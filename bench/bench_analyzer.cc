@@ -1,0 +1,59 @@
+// Ablation for the analyzer substrate (figure 1's "Video Analyzer"):
+// throughput of cut detection, key-frame selection, tracking, and the whole
+// frames-to-hierarchy pipeline on synthetic footage.
+
+#include <benchmark/benchmark.h>
+
+#include "analyzer/pipeline.h"
+#include "util/rng.h"
+#include "workload/footage_gen.h"
+
+namespace htl {
+namespace {
+
+Footage MakeFootage(int64_t scenes, uint64_t seed) {
+  Rng rng(seed);
+  FootageOptions opts;
+  opts.num_scenes = scenes;
+  opts.min_scene_frames = 8;
+  opts.max_scene_frames = 16;
+  opts.min_objects = 2;
+  opts.max_objects = 4;
+  return GenerateFootage(rng, opts);
+}
+
+void BM_DetectCuts(benchmark::State& state) {
+  Footage footage = MakeFootage(state.range(0), 1);
+  std::vector<FrameFeatures> features;
+  for (const RawFrame& f : footage.frames) features.push_back(f.features);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DetectCuts(features));
+  }
+  state.counters["frames"] = static_cast<double>(features.size());
+}
+BENCHMARK(BM_DetectCuts)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_TrackObjects(benchmark::State& state) {
+  Footage footage = MakeFootage(state.range(0), 2);
+  std::vector<std::vector<Detection>> detections;
+  for (const RawFrame& f : footage.frames) detections.push_back(f.detections);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TrackObjects(detections));
+  }
+  state.counters["frames"] = static_cast<double>(detections.size());
+}
+BENCHMARK(BM_TrackObjects)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_AnalyzeVideo(benchmark::State& state) {
+  Footage footage = MakeFootage(state.range(0), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AnalyzeVideo(footage.frames));
+  }
+  state.counters["frames"] = static_cast<double>(footage.frames.size());
+}
+BENCHMARK(BM_AnalyzeVideo)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace htl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Ablation for the picture-retrieval substrate: atomic query cost vs
+// segment count, object universe, and variable count — and the benefit of
+// index-driven candidate pruning (an equality constraint narrows a
+// variable's candidates through the attribute-value index; a bare
+// present(x) admits every object).
+
+#include <cstdio>
+
+#include "picture/picture_system.h"
+#include "util/string_util.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workload/video_gen.h"
+
+namespace {
+
+using namespace htl;
+
+AtomicFormula TypedAtomic(int vars) {
+  AtomicFormula atomic;
+  for (int i = 0; i < vars; ++i) {
+    const std::string v = StrCat("x", i);
+    Constraint c;
+    c.kind = Constraint::Kind::kCompare;
+    c.lhs = AttrTerm::AttrOf("type", v);
+    c.op = CompareOp::kEq;
+    c.rhs = AttrTerm::Literal(AttrValue("train"));  // ~1/4 of the universe.
+    atomic.constraints.push_back(std::move(c));
+    atomic.exists_vars.push_back(v);
+  }
+  return atomic;
+}
+
+AtomicFormula PresentAtomic(int vars) {
+  AtomicFormula atomic;
+  for (int i = 0; i < vars; ++i) {
+    const std::string v = StrCat("x", i);
+    Constraint c;
+    c.kind = Constraint::Kind::kPresent;
+    c.object_var = v;
+    atomic.constraints.push_back(std::move(c));
+    atomic.exists_vars.push_back(v);
+  }
+  return atomic;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("picture-system atomic query cost (exists-quantified variables)\n");
+  std::printf("%-10s %-9s %-6s %-12s %-14s %s\n", "segments", "objects", "vars",
+              "constraint", "result rows", "ms/query");
+  for (int64_t segments : {200, 800}) {
+    for (int objects : {8, 16}) {
+      Rng rng(42);
+      VideoGenOptions opts;
+      opts.levels = 2;
+      opts.min_branching = static_cast<int>(segments);
+      opts.max_branching = static_cast<int>(segments);
+      opts.num_objects = objects;
+      opts.object_density = 0.3;
+      VideoTree video = GenerateVideo(rng, opts);
+      PictureSystem ps(&video);
+
+      for (int vars : {1, 2}) {
+        struct Case {
+          const char* name;
+          AtomicFormula atomic;
+        };
+        Case cases[] = {{"type-eq", TypedAtomic(vars)}, {"present", PresentAtomic(vars)}};
+        for (Case& c : cases) {
+          constexpr int kReps = 5;
+          WallTimer timer;
+          int64_t rows = 0;
+          for (int r = 0; r < kReps; ++r) {
+            auto table = ps.Query(2, c.atomic);
+            if (!table.ok()) {
+              std::printf("error: %s\n", table.status().ToString().c_str());
+              return 1;
+            }
+            rows = table.value().num_rows();
+          }
+          std::printf("%-10lld %-9d %-6d %-12s %-14lld %.3f\n",
+                      static_cast<long long>(segments), objects, vars, c.name,
+                      static_cast<long long>(rows),
+                      1e3 * timer.ElapsedSeconds() / kReps);
+        }
+      }
+    }
+  }
+  std::printf(
+      "\n'type-eq' constraints prune candidates through the attribute-value index;\n"
+      "bare 'present' admits the whole object universe per variable (the paper's\n"
+      "picture system [27] relies on the same index-driven pruning).\n");
+  return 0;
+}

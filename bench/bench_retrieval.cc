@@ -1,0 +1,57 @@
+// End-to-end retrieval throughput across a multi-video store — the
+// operation a user of figure 1's architecture actually issues: parse the
+// query once, evaluate per video, rank globally, return the top k.
+
+#include <cstdio>
+
+#include "engine/retrieval.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workload/video_gen.h"
+
+int main() {
+  using namespace htl;
+
+  std::printf("store-wide top-k retrieval (query parsed once per run)\n");
+  std::printf("%-8s %-14s %-10s %-40s %s\n", "videos", "shots/video", "k", "query",
+              "ms/query");
+  const char* queries[] = {
+      "exists p (type(p) = 'person' and armed(p))",
+      "exists p (present(p)) until duration >= 90",
+      "exists a, b (present(a) and present(b) and fires_at(a, b))",
+  };
+  for (int num_videos : {4, 16, 64}) {
+    MetadataStore store;
+    Rng rng(2024);
+    VideoGenOptions opts;
+    opts.levels = 2;
+    opts.min_branching = 40;
+    opts.max_branching = 60;
+    for (int i = 0; i < num_videos; ++i) store.AddVideo(GenerateVideo(rng, opts));
+    Retriever retriever(&store);
+    for (const char* q : queries) {
+      auto prepared = retriever.Prepare(q);
+      if (!prepared.ok()) {
+        std::printf("query error: %s\n", prepared.status().ToString().c_str());
+        return 1;
+      }
+      constexpr int kReps = 10;
+      WallTimer timer;
+      size_t hits = 0;
+      for (int r = 0; r < kReps; ++r) {
+        auto result = retriever.TopSegments(*prepared.value(), 2, 10);
+        if (!result.ok()) {
+          std::printf("retrieval error: %s\n", result.status().ToString().c_str());
+          return 1;
+        }
+        hits = result.value().size();
+      }
+      std::printf("%-8d %-14s %-10zu %-40s %.3f\n", num_videos, "40-60", hits, q,
+                  1e3 * timer.ElapsedSeconds() / kReps);
+    }
+  }
+  std::printf("\ncost scales with total store size; the retriever caches per-video\n"
+              "engines, so repeated queries reuse atomic picture tables (the first\n"
+              "run of each query pays the indexing).\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation for the section 4.2 claim "the time taken by the direct method
+// increases linearly with the size which is in confirmity with our
+// complexity analysis": microbenchmarks of the direct list operators across
+// input sizes. Run with --benchmark_* flags as usual.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/list_ops.h"
+#include "util/rng.h"
+#include "workload/random_lists.h"
+
+namespace htl {
+namespace {
+
+SimilarityList MakeList(int64_t size, uint64_t seed) {
+  Rng rng(seed);
+  RandomListOptions opts;
+  opts.num_segments = size;
+  opts.coverage = 0.1;
+  return GenerateRandomList(rng, opts);
+}
+
+void BM_AndMerge(benchmark::State& state) {
+  const int64_t size = state.range(0);
+  SimilarityList a = MakeList(size, 1);
+  SimilarityList b = MakeList(size, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AndMerge(a, b));
+  }
+  state.SetComplexityN(a.length() + b.length());
+}
+BENCHMARK(BM_AndMerge)->Range(1 << 12, 1 << 20)->Complexity(benchmark::oN);
+
+void BM_UntilMerge(benchmark::State& state) {
+  const int64_t size = state.range(0);
+  SimilarityList g = MakeList(size, 3);
+  SimilarityList h = MakeList(size, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(UntilMerge(g, h, 0.5));
+  }
+  state.SetComplexityN(g.length() + h.length());
+}
+BENCHMARK(BM_UntilMerge)->Range(1 << 12, 1 << 20)->Complexity(benchmark::oN);
+
+void BM_Eventually(benchmark::State& state) {
+  SimilarityList h = MakeList(state.range(0), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Eventually(h));
+  }
+  state.SetComplexityN(h.length());
+}
+BENCHMARK(BM_Eventually)->Range(1 << 12, 1 << 20)->Complexity(benchmark::oN);
+
+void BM_NextShift(benchmark::State& state) {
+  SimilarityList a = MakeList(state.range(0), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NextShift(a));
+  }
+  state.SetComplexityN(a.length());
+}
+BENCHMARK(BM_NextShift)->Range(1 << 12, 1 << 20)->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace htl
+
+BENCHMARK_MAIN();

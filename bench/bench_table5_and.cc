@@ -1,0 +1,22 @@
+// Table 5 of the paper: performance of the two systems on the basic
+// conjunction  P1 AND P2  over randomly generated similarity tables of
+// 10'000 / 50'000 / 100'000 shots (about one tenth satisfying each atomic
+// predicate). The paper's own numbers for Table 5 are not legible in the
+// available scan ("n/l"); the shape to reproduce is direct << SQL with
+// linear growth of the direct method (the legible Table 6 confirms the
+// magnitudes on the same setup).
+
+#include "htl/ast.h"
+#include "perf_common.h"
+
+int main() {
+  using namespace htl;
+  FormulaPtr f = MakeAnd(MakePredicate("p1", {}), MakePredicate("p2", {}));
+  return bench::RunPerfTable(
+      "Table 5. Perf Results for P1 AND P2", *f, {"p1", "p2"},
+      {
+          {10'000, "n/l", "n/l"},
+          {50'000, "n/l", "n/l"},
+          {100'000, "n/l", "n/l"},
+      });
+}

@@ -1,0 +1,70 @@
+// Microbenchmarks for top-k retrieval (section 1: "the top k video segments
+// that have the highest similarity values ... will be retrieved") and for
+// the SQL engine's join strategies, which drive the Tables 5/6 baseline.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/topk.h"
+#include "sql/bridge.h"
+#include "sql/executor.h"
+#include "util/rng.h"
+#include "workload/random_lists.h"
+
+namespace htl {
+namespace {
+
+SimilarityList MakeList(int64_t size, uint64_t seed) {
+  Rng rng(seed);
+  RandomListOptions opts;
+  opts.num_segments = size;
+  opts.coverage = 0.1;
+  return GenerateRandomList(rng, opts);
+}
+
+void BM_TopKSegments(benchmark::State& state) {
+  SimilarityList list = MakeList(1 << 18, 5);
+  const int64_t k = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TopKSegments(list, k));
+  }
+}
+BENCHMARK(BM_TopKSegments)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_RankedEntries(benchmark::State& state) {
+  SimilarityList list = MakeList(state.range(0), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RankedEntries(list));
+  }
+}
+BENCHMARK(BM_RankedEntries)->Range(1 << 12, 1 << 18);
+
+void BM_SqlHashJoin(benchmark::State& state) {
+  sql::Catalog catalog;
+  catalog.CreateOrReplace("a", sql::ExpandedTableFromList(MakeList(state.range(0), 11)));
+  catalog.CreateOrReplace("b", sql::ExpandedTableFromList(MakeList(state.range(0), 12)));
+  sql::Executor exec(&catalog);
+  for (auto _ : state) {
+    auto r = exec.ExecuteSql(
+        "SELECT a.id, a.act + b.act AS act FROM a JOIN b ON b.id = a.id");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SqlHashJoin)->Range(1 << 12, 1 << 16);
+
+void BM_SqlRangeExpansion(benchmark::State& state) {
+  sql::Catalog catalog;
+  catalog.CreateOrReplace("iv", sql::TableFromList(MakeList(state.range(0), 13)));
+  catalog.CreateOrReplace("seq", sql::MakeSeqTable(state.range(0)));
+  sql::Executor exec(&catalog);
+  for (auto _ : state) {
+    auto r = exec.ExecuteSql(
+        "SELECT s.id, a.act FROM iv a JOIN seq s ON s.id >= a.beg AND s.id <= a.end");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SqlRangeExpansion)->Range(1 << 12, 1 << 16);
+
+}  // namespace
+}  // namespace htl
+
+BENCHMARK_MAIN();

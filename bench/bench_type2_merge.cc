@@ -1,0 +1,63 @@
+// Ablation for the section 3.2 claim: collapsing the m rows of an
+// existentially quantified similarity table is a modified m-way merge with
+// complexity O(l log m) for total entry count l. Sweeps m at fixed total l.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/list_ops.h"
+#include "sim/table_ops.h"
+#include "util/rng.h"
+#include "workload/random_lists.h"
+
+namespace htl {
+namespace {
+
+// m lists with total entry count ~kTotalEntries.
+std::vector<SimilarityList> MakeRows(int64_t m) {
+  constexpr int64_t kTotalCoveredIds = 1 << 18;
+  std::vector<SimilarityList> rows;
+  Rng rng(static_cast<uint64_t>(m) * 17 + 1);
+  RandomListOptions opts;
+  opts.num_segments = kTotalCoveredIds * 10 / m;
+  opts.coverage = 0.1;
+  for (int64_t i = 0; i < m; ++i) {
+    rows.push_back(GenerateRandomList(rng, opts));
+  }
+  return rows;
+}
+
+void BM_MultiMaxRows(benchmark::State& state) {
+  std::vector<SimilarityList> rows = MakeRows(state.range(0));
+  int64_t total = 0;
+  for (const auto& r : rows) total += r.length();
+  for (auto _ : state) {
+    std::vector<SimilarityList> copy = rows;
+    benchmark::DoNotOptimize(MultiMax(std::move(copy)));
+  }
+  state.counters["rows"] = static_cast<double>(state.range(0));
+  state.counters["total_entries"] = static_cast<double>(total);
+  state.SetComplexityN(state.range(0));
+}
+// Fixed total size, growing m: expect runtime ~ log m.
+BENCHMARK(BM_MultiMaxRows)->RangeMultiplier(4)->Range(2, 512)->Complexity(benchmark::oLogN);
+
+// CollapseExists over a table with m rows (one binding each).
+void BM_CollapseExists(benchmark::State& state) {
+  std::vector<SimilarityList> rows = MakeRows(state.range(0));
+  SimilarityTable table({"x"}, {});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    SimilarityTable::Row row;
+    row.objects = {static_cast<ObjectId>(i + 1)};
+    row.list = rows[i];
+    table.AddRow(std::move(row));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CollapseExists(table, {"x"}));
+  }
+}
+BENCHMARK(BM_CollapseExists)->RangeMultiplier(4)->Range(2, 512);
+
+}  // namespace
+}  // namespace htl
+
+BENCHMARK_MAIN();

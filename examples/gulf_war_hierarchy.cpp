@@ -1,0 +1,122 @@
+// The paper's section 2.1 motivating scenario: a Gulf-war news video
+// arranged hierarchically (video -> sub-plots -> scenes -> shots), queried
+// with level modal operators — the *extended conjunctive* class.
+//
+// Demonstrates: VideoBuilder for deep hierarchies, named levels, browsing
+// queries at the root, and at-X-level / at-next-level operators.
+
+#include <cstdio>
+
+#include "engine/direct_engine.h"
+#include "htl/binder.h"
+#include "htl/parser.h"
+#include "htl/classifier.h"
+#include "model/video_builder.h"
+#include "sim/topk.h"
+
+int main() {
+  using namespace htl;
+
+  // Object ids.
+  constexpr ObjectId kBomber = 1;
+  constexpr ObjectId kFighter = 2;
+  constexpr ObjectId kTank = 3;
+
+  VideoBuilder b;
+  b.Meta(b.root()).SetAttribute("title", "Gulf War Report");
+  b.Meta(b.root()).SetAttribute("type", "news");
+
+  // Sub-plot 1: bombing of Iraqi positions.
+  auto bombing = b.AddChild(b.root());
+  b.Meta(bombing).SetAttribute("topic", "bombing");
+  //   Scene 1.1: bombing command centers — shots: takeoff, strike, return.
+  auto cmd = b.AddChild(bombing);
+  b.Meta(cmd).SetAttribute("target", "command-centers");
+  auto takeoff = b.AddChild(cmd);
+  auto strike = b.AddChild(cmd);
+  auto ret = b.AddChild(cmd);
+  b.Meta(takeoff).AddObject({kBomber, {{"type", AttrValue("airplane")}, {"height", AttrValue(int64_t{0})}}});
+  b.Meta(takeoff).AddFact({"taking_off", {kBomber}});
+  b.Meta(strike).AddObject({kBomber, {{"type", AttrValue("airplane")}, {"height", AttrValue(int64_t{900})}}});
+  b.Meta(strike).AddFact({"dropping_bombs", {kBomber}});
+  b.Meta(ret).AddObject({kBomber, {{"type", AttrValue("airplane")}, {"height", AttrValue(int64_t{1200})}}});
+  //   Scene 1.2: bombing airfields — two shots.
+  auto airfields = b.AddChild(bombing);
+  b.Meta(airfields).SetAttribute("target", "airfields");
+  auto s21 = b.AddChild(airfields);
+  auto s22 = b.AddChild(airfields);
+  b.Meta(s21).AddObject({kFighter, {{"type", AttrValue("airplane")}, {"height", AttrValue(int64_t{500})}}});
+  b.Meta(s22).AddObject({kFighter, {{"type", AttrValue("airplane")}, {"height", AttrValue(int64_t{800})}}});
+  b.Meta(s22).AddFact({"dropping_bombs", {kFighter}});
+
+  // Sub-plot 2: ground engagement.
+  auto ground = b.AddChild(b.root());
+  b.Meta(ground).SetAttribute("topic", "ground-war");
+  auto advance = b.AddChild(ground);
+  b.Meta(advance).SetAttribute("target", "desert");
+  auto g1 = b.AddChild(advance);
+  auto g2 = b.AddChild(advance);
+  b.Meta(g1).AddObject({kTank, {{"type", AttrValue("tank")}}});
+  b.Meta(g2).AddObject({kTank, {{"type", AttrValue("tank")}}});
+  b.Meta(g2).AddFact({"firing", {kTank}});
+
+  b.NameLevel("plot", 2);
+  b.NameLevel("scene", 3);
+  b.NameLevel("shot", 4);
+
+  auto built = std::move(b).Build();
+  if (!built.ok()) {
+    std::printf("build error: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  VideoTree video = std::move(built).value();
+  std::printf("hierarchy: %d levels, %lld plots, %lld scenes, %lld shots\n\n",
+              video.num_levels(), static_cast<long long>(video.NumSegments(2)),
+              static_cast<long long>(video.NumSegments(3)),
+              static_cast<long long>(video.NumSegments(4)));
+
+  DirectEngine engine(&video);
+  auto run = [&](const char* text, int level) {
+    auto parsed = ParseFormula(text);
+    if (!parsed.ok() || !Bind(parsed.value().get()).ok()) {
+      std::printf("  query error for %s\n", text);
+      return;
+    }
+    std::printf("query [%s], class %s:\n", text,
+                std::string(FormulaClassName(Classify(*parsed.value()))).c_str());
+    auto list = engine.EvaluateList(level, *parsed.value());
+    if (!list.ok()) {
+      std::printf("  error: %s\n", list.status().ToString().c_str());
+      return;
+    }
+    for (const RankedEntry& row : RankedEntries(list.value())) {
+      std::printf("  segments [%lld..%lld] at level %d: similarity %.2f / %.2f\n",
+                  static_cast<long long>(row.entry.range.begin),
+                  static_cast<long long>(row.entry.range.end), level, row.entry.actual,
+                  row.max);
+    }
+    if (list.value().empty()) std::printf("  (no matching segments)\n");
+    std::printf("\n");
+  };
+
+  // 1. Temporal query at the shot level: a plane takes off and later drops
+  //    bombs (the paper's formula (A) shape).
+  run("exists p (taking_off(p) and type(p) = 'airplane') until "
+      "exists p (dropping_bombs(p))",
+      4);
+
+  // 2. Freeze quantifier (formula (C)): the same plane appears higher later.
+  run("exists z (present(z) and type(z) = 'airplane' and "
+      "[h <- height(z)] eventually (present(z) and height(z) > h))",
+      4);
+
+  // 3. Extended conjunctive: scenes whose shot sequence eventually shows a
+  //    firing tank.
+  run("at-next-level(eventually exists t (firing(t) and type(t) = 'tank'))", 3);
+
+  // 4. Browsing at the plot level, then drilling into its first scene's
+  //    first shot with nested level operators.
+  run("topic = 'bombing' and at-shot-level(exists p (taking_off(p)))", 2);
+
+  return 0;
+}

@@ -1,0 +1,81 @@
+// The complete figure-1 pipeline on synthetic raw footage: frame features
+// and anonymous detections go in; cut detection segments the clip into
+// shots; the tracker assigns the paper's universal object ids; spatial
+// facts are derived from bounding boxes; and the resulting hierarchical
+// meta-data is queried with HTL at both the shot and the frame level.
+
+#include <cstdio>
+
+#include "analyzer/pipeline.h"
+#include "engine/direct_engine.h"
+#include "engine/plan.h"
+#include "htl/binder.h"
+#include "htl/parser.h"
+#include "sim/topk.h"
+#include "util/rng.h"
+#include "workload/footage_gen.h"
+
+int main() {
+  using namespace htl;
+
+  // 1. "Decode" synthetic footage: 6 scenes, 1-3 moving objects each.
+  Rng rng(2026);
+  FootageOptions fopts;
+  fopts.num_scenes = 6;
+  fopts.min_objects = 2;
+  fopts.max_objects = 3;
+  Footage footage = GenerateFootage(rng, fopts);
+  std::printf("footage: %zu frames, %zu true scene starts\n", footage.frames.size(),
+              footage.scene_starts.size());
+
+  // 2. Run the analyzer.
+  auto analyzed = AnalyzeVideo(footage.frames);
+  if (!analyzed.ok()) {
+    std::printf("analyzer error: %s\n", analyzed.status().ToString().c_str());
+    return 1;
+  }
+  VideoTree video = std::move(analyzed).value();
+  std::printf("analyzer: %lld shots over %lld frames\n",
+              static_cast<long long>(video.NumSegments(2)),
+              static_cast<long long>(video.NumSegments(3)));
+  int recovered = 0;
+  for (int64_t start : footage.scene_starts) {
+    for (SegmentId s = 1; s <= video.NumSegments(2); ++s) {
+      if (video.Meta(2, s).Attribute("first_frame").AsInt() == start + 1) ++recovered;
+    }
+  }
+  std::printf("ground-truth scene starts recovered as shots: %d/%zu\n\n", recovered,
+              footage.scene_starts.size());
+
+  // 3. Query the result.
+  DirectEngine engine(&video);
+  auto run = [&](const char* text, int level) {
+    auto f = ParseFormula(text);
+    if (!f.ok() || !Bind(f.value().get()).ok()) {
+      std::printf("query error for %s\n", text);
+      return;
+    }
+    auto plan = ExplainPlan(video, level, *f.value());
+    if (plan.ok()) std::printf("%s", plan.value().c_str());
+    auto list = engine.EvaluateList(level, *f.value());
+    if (!list.ok()) {
+      std::printf("  error: %s\n\n", list.status().ToString().c_str());
+      return;
+    }
+    auto top = TopKSegments(list.value(), 3);
+    for (const RankedSegment& hit : top) {
+      std::printf("  -> segment %lld  similarity %.2f/%.2f\n",
+                  static_cast<long long>(hit.id), hit.sim.actual, hit.sim.max);
+    }
+    if (top.empty()) std::printf("  -> no matches\n");
+    std::printf("\n");
+  };
+
+  // Shots whose frames eventually show one tracked object left of another.
+  run("at-next-level(eventually exists a, b (left_of(a, b)))", 2);
+  // Frames where a person overlaps a train (tracked ids + derived facts).
+  run("exists p, t (type(p) = 'person' and type(t) = 'train' and overlaps(p, t))", 3);
+  // Temporal identity at the frame level: the same object persists.
+  run("exists o (present(o) and next present(o))", 3);
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "analyzer/cut_detection.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace htl {
+
+double HistogramDistance(const FrameFeatures& a, const FrameFeatures& b) {
+  double sum = 0;
+  const size_t n = std::min(a.histogram.size(), b.histogram.size());
+  for (size_t i = 0; i < n; ++i) sum += std::abs(a.histogram[i] - b.histogram[i]);
+  for (size_t i = n; i < a.histogram.size(); ++i) sum += std::abs(a.histogram[i]);
+  for (size_t i = n; i < b.histogram.size(); ++i) sum += std::abs(b.histogram[i]);
+  return sum;
+}
+
+Result<std::vector<int64_t>> DetectCuts(const std::vector<FrameFeatures>& frames,
+                                        const CutDetectorOptions& options) {
+  if (options.threshold < 0) return Status::InvalidArgument("negative threshold");
+  if (options.min_shot_length < 1) {
+    return Status::InvalidArgument("min_shot_length must be >= 1");
+  }
+  std::vector<int64_t> boundaries;
+  if (frames.empty()) return boundaries;
+  const size_t bins = frames[0].histogram.size();
+  for (const FrameFeatures& f : frames) {
+    if (f.histogram.size() != bins) {
+      return Status::InvalidArgument(
+          StrCat("inconsistent histogram sizes: ", bins, " vs ", f.histogram.size()));
+    }
+  }
+  boundaries.push_back(0);
+  for (size_t i = 1; i < frames.size(); ++i) {
+    if (HistogramDistance(frames[i - 1], frames[i]) <= options.threshold) continue;
+    if (static_cast<int64_t>(i) - boundaries.back() < options.min_shot_length) continue;
+    boundaries.push_back(static_cast<int64_t>(i));
+  }
+  return boundaries;
+}
+
+Result<int64_t> SelectKeyFrame(const std::vector<FrameFeatures>& frames, int64_t begin,
+                               int64_t end) {
+  if (begin < 0 || end > static_cast<int64_t>(frames.size()) || begin >= end) {
+    return Status::InvalidArgument(StrCat("bad shot range [", begin, ",", end, ")"));
+  }
+  int64_t best = begin;
+  double best_cost = -1;
+  for (int64_t i = begin; i < end; ++i) {
+    double cost = 0;
+    for (int64_t j = begin; j < end; ++j) {
+      if (i != j) {
+        cost += HistogramDistance(frames[static_cast<size_t>(i)],
+                                  frames[static_cast<size_t>(j)]);
+      }
+    }
+    if (best_cost < 0 || cost < best_cost) {
+      best_cost = cost;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace htl

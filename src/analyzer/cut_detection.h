@@ -1,0 +1,55 @@
+#ifndef HTL_ANALYZER_CUT_DETECTION_H_
+#define HTL_ANALYZER_CUT_DETECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+
+namespace htl {
+
+/// Shot segmentation by cut detection — the "video analyzer" stage of
+/// figure 1 ("the movie was segmented into smaller sequences (called shots)
+/// using a method called cut-detection [21, 11]", section 4.1). Real
+/// detectors threshold the frame-to-frame difference of color histograms;
+/// this substrate implements exactly that over per-frame feature vectors,
+/// so the pipeline from raw frames to the hierarchical model is exercised
+/// end to end even without decoding actual video.
+
+/// A per-frame feature: a normalized histogram (any fixed number of bins).
+struct FrameFeatures {
+  std::vector<double> histogram;
+};
+
+/// Options for the detector.
+struct CutDetectorOptions {
+  /// A cut is declared between frames whose histogram L1-distance exceeds
+  /// this threshold (histograms are normalized to sum 1, so the distance
+  /// lies in [0, 2]).
+  double threshold = 0.5;
+
+  /// Minimum shot length in frames; boundaries closer than this to the
+  /// previous one are suppressed (debouncing, as real detectors do to avoid
+  /// flash-induced over-segmentation).
+  int64_t min_shot_length = 2;
+};
+
+/// L1 distance between two equally sized histograms.
+double HistogramDistance(const FrameFeatures& a, const FrameFeatures& b);
+
+/// Returns the first frame index (0-based) of every shot: always starts
+/// with 0; a boundary at i means a cut between frames i-1 and i.
+/// InvalidArgument if frames have inconsistent histogram sizes.
+Result<std::vector<int64_t>> DetectCuts(const std::vector<FrameFeatures>& frames,
+                                        const CutDetectorOptions& options = {});
+
+/// Index of the key frame for the shot spanning frames [begin, end): the
+/// frame minimizing the summed distance to the rest of the shot (the
+/// medoid) — "in practice a key frame can be extracted from a shot and
+/// meta-data is associated with the key frame" (section 1).
+Result<int64_t> SelectKeyFrame(const std::vector<FrameFeatures>& frames, int64_t begin,
+                               int64_t end);
+
+}  // namespace htl
+
+#endif  // HTL_ANALYZER_CUT_DETECTION_H_

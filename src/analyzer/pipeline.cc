@@ -1,0 +1,65 @@
+#include "analyzer/pipeline.h"
+
+#include "model/video_builder.h"
+#include "picture/spatial.h"
+
+namespace htl {
+
+Result<VideoTree> AnalyzeVideo(const std::vector<RawFrame>& frames,
+                               const AnalyzerOptions& options) {
+  if (frames.empty()) return Status::InvalidArgument("no frames to analyze");
+
+  // 1. Shot boundaries from the feature stream.
+  std::vector<FrameFeatures> features;
+  features.reserve(frames.size());
+  for (const RawFrame& f : frames) features.push_back(f.features);
+  HTL_ASSIGN_OR_RETURN(std::vector<int64_t> boundaries,
+                       DetectCuts(features, options.cuts));
+
+  // 2. Stable object ids across the whole clip.
+  std::vector<std::vector<Detection>> detections;
+  detections.reserve(frames.size());
+  for (const RawFrame& f : frames) detections.push_back(f.detections);
+  HTL_ASSIGN_OR_RETURN(std::vector<std::vector<TrackedDetection>> tracked,
+                       TrackObjects(detections, options.tracker));
+
+  // 3. Assemble the hierarchy and its meta-data.
+  VideoBuilder builder;
+  builder.Meta(builder.root()).SetAttribute("frames",
+                                            static_cast<int64_t>(frames.size()));
+  auto frame_meta = [&](int64_t global_frame) {
+    SegmentMeta meta;
+    for (const TrackedDetection& td : tracked[static_cast<size_t>(global_frame)]) {
+      ObjectAppearance obj;
+      obj.id = td.id;
+      obj.attributes["type"] = AttrValue(td.detection.label);
+      SetBox(&obj, td.detection.box);
+      meta.AddObject(std::move(obj));
+    }
+    if (options.derive_spatial_facts) DeriveSpatialFacts(&meta);
+    return meta;
+  };
+
+  for (size_t s = 0; s < boundaries.size(); ++s) {
+    const int64_t begin = boundaries[s];
+    const int64_t end = s + 1 < boundaries.size() ? boundaries[s + 1]
+                                                  : static_cast<int64_t>(frames.size());
+    VideoBuilder::Handle shot = builder.AddChild(builder.root());
+    HTL_ASSIGN_OR_RETURN(int64_t key, SelectKeyFrame(features, begin, end));
+    SegmentMeta key_meta = frame_meta(key);
+    key_meta.SetAttribute("key_frame", key + 1);
+    key_meta.SetAttribute("first_frame", begin + 1);
+    key_meta.SetAttribute("num_frames", end - begin);
+    builder.Meta(shot) = std::move(key_meta);
+    for (int64_t f = begin; f < end; ++f) {
+      VideoBuilder::Handle frame = builder.AddChild(shot);
+      builder.Meta(frame) = frame_meta(f);
+    }
+  }
+  builder.NameLevel("shot", 2);
+  builder.NameLevel("frame", 3);
+  HTL_ASSIGN_OR_RETURN(VideoTree video, std::move(builder).Build());
+  return video;
+}
+
+}  // namespace htl

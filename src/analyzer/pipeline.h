@@ -1,0 +1,40 @@
+#ifndef HTL_ANALYZER_PIPELINE_H_
+#define HTL_ANALYZER_PIPELINE_H_
+
+#include <vector>
+
+#include "analyzer/cut_detection.h"
+#include "analyzer/tracker.h"
+#include "model/video.h"
+#include "util/result.h"
+
+namespace htl {
+
+/// The full video-analyzer pipeline of figure 1: raw frames -> cut
+/// detection -> shots -> object tracking -> meta-data -> the hierarchical
+/// model queried by HTL. Produces a three-level VideoTree (root / "shot" /
+/// "frame") whose frame meta-data carries the tracked objects (with
+/// bounding-box attributes and derived spatial facts) and whose shot
+/// meta-data is the key frame's meta-data, as the paper describes.
+struct RawFrame {
+  FrameFeatures features;
+  std::vector<Detection> detections;
+};
+
+struct AnalyzerOptions {
+  CutDetectorOptions cuts;
+  TrackerOptions tracker;
+  /// Derive pairwise spatial facts (left_of, overlaps, ...) per frame.
+  bool derive_spatial_facts = true;
+};
+
+/// Runs the pipeline. Frames must be non-empty. The resulting tree has the
+/// levels named "shot" (2) and "frame" (3); every shot carries the integer
+/// attribute "key_frame" (the 1-based global frame id of its medoid frame)
+/// and copies the key frame's objects and facts.
+Result<VideoTree> AnalyzeVideo(const std::vector<RawFrame>& frames,
+                               const AnalyzerOptions& options = {});
+
+}  // namespace htl
+
+#endif  // HTL_ANALYZER_PIPELINE_H_

@@ -1,0 +1,83 @@
+#include "analyzer/tracker.h"
+
+#include <algorithm>
+
+namespace htl {
+
+double Iou(const BoundingBox& a, const BoundingBox& b) {
+  if (!a.Valid() || !b.Valid()) return 0;
+  const double ix = std::max(0.0, std::min(a.right(), b.right()) - std::max(a.x, b.x));
+  const double iy =
+      std::max(0.0, std::min(a.bottom(), b.bottom()) - std::max(a.y, b.y));
+  const double inter = ix * iy;
+  const double uni = a.area() + b.area() - inter;
+  return uni > 0 ? inter / uni : 0;
+}
+
+Result<std::vector<std::vector<TrackedDetection>>> TrackObjects(
+    const std::vector<std::vector<Detection>>& detections,
+    const TrackerOptions& options) {
+  if (options.min_iou < 0 || options.min_iou > 1) {
+    return Status::InvalidArgument("min_iou must lie in [0, 1]");
+  }
+  if (options.max_gap < 0) return Status::InvalidArgument("negative max_gap");
+
+  struct Track {
+    ObjectId id;
+    BoundingBox last_box;
+    std::string label;
+    int64_t last_frame;
+  };
+  std::vector<Track> tracks;
+  ObjectId next_id = options.first_id;
+
+  std::vector<std::vector<TrackedDetection>> out(detections.size());
+  for (size_t f = 0; f < detections.size(); ++f) {
+    const int64_t frame = static_cast<int64_t>(f);
+    const auto& dets = detections[f];
+    // Candidate (track, detection) pairs above the IoU gate, best first.
+    struct Pair {
+      double iou;
+      size_t track;
+      size_t det;
+    };
+    std::vector<Pair> pairs;
+    for (size_t t = 0; t < tracks.size(); ++t) {
+      if (frame - tracks[t].last_frame > options.max_gap + 1) continue;
+      for (size_t d = 0; d < dets.size(); ++d) {
+        if (tracks[t].label != dets[d].label) continue;
+        const double iou = Iou(tracks[t].last_box, dets[d].box);
+        if (iou >= options.min_iou && iou > 0) pairs.push_back({iou, t, d});
+      }
+    }
+    std::stable_sort(pairs.begin(), pairs.end(),
+                     [](const Pair& a, const Pair& b) { return a.iou > b.iou; });
+    std::vector<bool> track_used(tracks.size(), false);
+    std::vector<ObjectId> det_id(dets.size(), kInvalidObjectId);
+    for (const Pair& p : pairs) {
+      if (track_used[p.track] || det_id[p.det] != kInvalidObjectId) continue;
+      track_used[p.track] = true;
+      det_id[p.det] = tracks[p.track].id;
+      tracks[p.track].last_box = dets[p.det].box;
+      tracks[p.track].last_frame = frame;
+    }
+    // Unmatched detections start new tracks.
+    for (size_t d = 0; d < dets.size(); ++d) {
+      if (det_id[d] == kInvalidObjectId) {
+        det_id[d] = next_id;
+        tracks.push_back(Track{next_id, dets[d].box, dets[d].label, frame});
+        ++next_id;
+      }
+      out[f].push_back(TrackedDetection{det_id[d], dets[d]});
+    }
+    // Drop expired tracks to keep matching linear-ish.
+    tracks.erase(std::remove_if(tracks.begin(), tracks.end(),
+                                [&](const Track& t) {
+                                  return frame - t.last_frame > options.max_gap + 1;
+                                }),
+                 tracks.end());
+  }
+  return out;
+}
+
+}  // namespace htl

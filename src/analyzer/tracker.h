@@ -1,0 +1,56 @@
+#ifndef HTL_ANALYZER_TRACKER_H_
+#define HTL_ANALYZER_TRACKER_H_
+
+#include <vector>
+
+#include "picture/spatial.h"
+#include "util/result.h"
+
+namespace htl {
+
+/// Object tracking — the substrate behind the paper's universal-object-id
+/// assumption: "once an object is identified in a frame of a scene, it is
+/// easy to track it in subsequent frames until it disappears" (section 2.2,
+/// citing [23]). Given per-frame anonymous detections (bounding boxes with
+/// a type label), the tracker associates them across frames by greedy
+/// best-IoU matching and assigns stable object ids.
+
+/// One anonymous detection in one frame.
+struct Detection {
+  BoundingBox box;
+  std::string label;  // e.g. "person", "airplane".
+};
+
+/// One tracked appearance: the detection plus its assigned stable id.
+struct TrackedDetection {
+  ObjectId id = kInvalidObjectId;
+  Detection detection;
+};
+
+struct TrackerOptions {
+  /// Minimum intersection-over-union with the track's last box for a
+  /// detection to continue it.
+  double min_iou = 0.3;
+
+  /// Tracks missing for more than this many consecutive frames terminate
+  /// (a later matching detection starts a new object id).
+  int64_t max_gap = 0;
+
+  /// First id handed out.
+  ObjectId first_id = 1;
+};
+
+/// Intersection-over-union of two boxes; 0 when either is invalid.
+double Iou(const BoundingBox& a, const BoundingBox& b);
+
+/// Associates detections frame by frame. detections[f] are frame f's
+/// detections; the result is parallel. Matching is greedy within a frame
+/// (highest IoU pair first), label-gated (a "person" never continues an
+/// "airplane" track), and respects options.max_gap.
+Result<std::vector<std::vector<TrackedDetection>>> TrackObjects(
+    const std::vector<std::vector<Detection>>& detections,
+    const TrackerOptions& options = {});
+
+}  // namespace htl
+
+#endif  // HTL_ANALYZER_TRACKER_H_

@@ -1,0 +1,265 @@
+#include "engine/direct_engine.h"
+
+#include <optional>
+
+#include "picture/atomic.h"
+#include "sim/list_ops.h"
+#include "sim/table_ops.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace htl {
+
+DirectEngine::DirectEngine(const VideoTree* video, QueryOptions options)
+    : video_(video), options_(options), pictures_(video, options.picture) {
+  HTL_CHECK(video != nullptr);
+}
+
+void DirectEngine::ClearCache() {
+  atomic_cache_.clear();
+  value_cache_.clear();
+}
+
+Result<SimilarityList> DirectEngine::EvaluateList(int level, const Formula& f) {
+  if (level < 1 || level > video_->num_levels()) {
+    return Status::OutOfRange(StrCat("level ", level, " out of range"));
+  }
+  const Interval bounds{1, video_->NumSegments(level)};
+  HTL_ASSIGN_OR_RETURN(SimilarityTable table, EvalTable(level, bounds, f));
+  if (!table.object_vars().empty() || !table.attr_vars().empty()) {
+    return Status::InvalidArgument(
+        StrCat("formula has free variables (",
+               StrJoin(table.object_vars(), ","), StrJoin(table.attr_vars(), ","),
+               "); retrieval queries must be closed"));
+  }
+  return table.ToList(MaxSimilarity(f));
+}
+
+Result<Sim> DirectEngine::EvaluateVideo(const Formula& f) {
+  HTL_ASSIGN_OR_RETURN(SimilarityTable table, EvalTable(1, Interval{1, 1}, f));
+  if (!table.object_vars().empty() || !table.attr_vars().empty()) {
+    return Status::InvalidArgument("formula has free variables");
+  }
+  return table.ToList(MaxSimilarity(f)).ValueAt(1);
+}
+
+Result<int> DirectEngine::ResolveLevel(int level, const LevelSpec& spec) const {
+  int target = 0;
+  switch (spec.kind) {
+    case LevelSpec::Kind::kNextLevel:
+      return level + 1;  // May exceed num_levels; the caller yields zeroes.
+    case LevelSpec::Kind::kAbsolute:
+      target = spec.level;
+      break;
+    case LevelSpec::Kind::kNamed: {
+      HTL_ASSIGN_OR_RETURN(target, video_->LevelByName(spec.name));
+      break;
+    }
+  }
+  if (target <= level || target > video_->num_levels()) {
+    return Status::InvalidArgument(
+        StrCat("level operator targets level ", target, " from level ", level));
+  }
+  return target;
+}
+
+Result<SimilarityTable> DirectEngine::EvalLevelOp(int level, const Interval& bounds,
+                                                  const Formula& f) {
+  HTL_ASSIGN_OR_RETURN(int target, ResolveLevel(level, f.level));
+  const double body_max = MaxSimilarity(*f.left);
+  if (target > video_->num_levels()) {
+    // at-next-level below the leaves: similarity zero everywhere.
+    return SimilarityTable();
+  }
+
+  // Accumulate, per (objects, ranges) key, run-length entries over the
+  // parent-level positions.
+  std::optional<SimilarityTable> schema;
+  struct Accum {
+    std::vector<ObjectId> objects;
+    std::vector<ValueRange> ranges;
+    std::vector<SimEntry> entries;
+  };
+  std::map<std::string, Accum> accums;
+
+  for (SegmentId pos = bounds.begin; pos <= bounds.end; ++pos) {
+    const Interval seq = f.level.kind == LevelSpec::Kind::kNextLevel
+                             ? video_->Children(level, pos)
+                             : video_->DescendantsAtLevel(level, pos, target);
+    if (seq.empty()) continue;
+    ++stats_.level_evaluations;
+    HTL_ASSIGN_OR_RETURN(SimilarityTable t, EvalTable(target, seq, *f.left));
+    if (!schema.has_value()) {
+      schema = SimilarityTable(t.object_vars(), t.attr_vars());
+    }
+    for (const SimilarityTable::Row& row : t.rows()) {
+      const double v = row.list.ActualAt(seq.begin);
+      if (v <= 0) continue;
+      std::string key;
+      for (ObjectId o : row.objects) key += StrCat(o, "|");
+      for (const ValueRange& r : row.ranges) key += r.ToString() + "|";
+      Accum& acc = accums[key];
+      if (acc.entries.empty()) {
+        acc.objects = row.objects;
+        acc.ranges = row.ranges;
+      }
+      if (!acc.entries.empty() && acc.entries.back().actual == v &&
+          acc.entries.back().range.end + 1 == pos) {
+        acc.entries.back().range.end = pos;
+      } else {
+        acc.entries.push_back(SimEntry{Interval{pos, pos}, v});
+      }
+    }
+  }
+  if (!schema.has_value()) return SimilarityTable();
+  SimilarityTable out(schema->object_vars(), schema->attr_vars());
+  for (auto& [key, acc] : accums) {
+    SimilarityTable::Row row;
+    row.objects = std::move(acc.objects);
+    row.ranges = std::move(acc.ranges);
+    HTL_ASSIGN_OR_RETURN(row.list,
+                         SimilarityList::FromEntries(std::move(acc.entries), body_max));
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+Result<SimilarityTable> DirectEngine::EvalTable(int level, const Interval& bounds,
+                                                const Formula& f) {
+  // Maximal atomic subtrees are single picture queries, evaluated once per
+  // (subtree, level) over the whole level and clipped to the active bounds
+  // (atomic similarity depends only on the segment, so clipping is exact).
+  if (f.kind != FormulaKind::kTrue && f.kind != FormulaKind::kFalse &&
+      IsAtomicShape(f)) {
+    const auto key = std::make_pair(f.ToString(), level);
+    auto it = atomic_cache_.find(key);
+    if (it == atomic_cache_.end()) {
+      ++stats_.atomic_queries;
+      HTL_ASSIGN_OR_RETURN(AtomicFormula atomic, ExtractAtomic(f));
+      HTL_ASSIGN_OR_RETURN(SimilarityTable table, pictures_.Query(level, atomic));
+      it = atomic_cache_.emplace(key, std::move(table)).first;
+    } else {
+      ++stats_.atomic_cache_hits;
+    }
+    return MapLists(it->second,
+                    [&](const SimilarityList& l) { return l.Clip(bounds); });
+  }
+
+  switch (f.kind) {
+    case FormulaKind::kTrue: {
+      SimilarityList list =
+          SimilarityList::FromEntriesOrDie({SimEntry{bounds, 1.0}}, 1.0);
+      return SimilarityTable::FromList(std::move(list));
+    }
+    case FormulaKind::kFalse:
+      return SimilarityTable();
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kUntil: {
+      HTL_ASSIGN_OR_RETURN(SimilarityTable lhs, EvalTable(level, bounds, *f.left));
+      HTL_ASSIGN_OR_RETURN(SimilarityTable rhs, EvalTable(level, bounds, *f.right));
+      ++stats_.table_joins;
+      TableCombine op = f.kind == FormulaKind::kOr    ? TableCombine::kOr
+                        : f.kind == FormulaKind::kUntil ? TableCombine::kUntil
+                        : options_.and_semantics == AndSemantics::kFuzzyMin
+                            ? TableCombine::kFuzzyAnd
+                            : TableCombine::kAnd;
+      return JoinTables(lhs, MaxSimilarity(*f.left), rhs, MaxSimilarity(*f.right), op,
+                        options_.until_threshold);
+    }
+    case FormulaKind::kNext: {
+      HTL_ASSIGN_OR_RETURN(SimilarityTable t, EvalTable(level, bounds, *f.left));
+      return MapLists(t, [&](const SimilarityList& l) {
+        return NextShift(l).Clip(bounds);
+      });
+    }
+    case FormulaKind::kEventually: {
+      HTL_ASSIGN_OR_RETURN(SimilarityTable t, EvalTable(level, bounds, *f.left));
+      return MapLists(t, [](const SimilarityList& l) { return Eventually(l); });
+    }
+    case FormulaKind::kExists: {
+      ++stats_.exists_collapses;
+      HTL_ASSIGN_OR_RETURN(SimilarityTable t, EvalTable(level, bounds, *f.left));
+      return CollapseExists(t, f.vars);
+    }
+    case FormulaKind::kFreeze: {
+      HTL_ASSIGN_OR_RETURN(SimilarityTable t, EvalTable(level, bounds, *f.left));
+      if (t.AttrColumn(f.freeze_var) < 0) return t;  // Variable unused.
+      const auto key = std::make_pair(f.freeze_term.ToString(), level);
+      auto it = value_cache_.find(key);
+      if (it == value_cache_.end()) {
+        HTL_ASSIGN_OR_RETURN(ValueTable vt, pictures_.Values(level, f.freeze_term));
+        it = value_cache_.emplace(key, std::move(vt)).first;
+      }
+      ++stats_.freeze_joins;
+      return FreezeJoin(t, f.freeze_var, it->second);
+    }
+    case FormulaKind::kLevel:
+      return EvalLevelOp(level, bounds, f);
+    case FormulaKind::kNot: {
+      // Extension: negation of a *closed* subformula complements its list
+      // over the active bounds (actual' = max - actual). Negation over free
+      // variables would need complemented tables with universal rows —
+      // outside the paper's classes; the reference engine covers it.
+      HTL_ASSIGN_OR_RETURN(SimilarityTable t, EvalTable(level, bounds, *f.left));
+      if (!t.object_vars().empty() || !t.attr_vars().empty()) {
+        return Status::Unimplemented(
+            "negation over free variables is outside the extended conjunctive "
+            "class (section 2.5); use ReferenceEngine for general formulas");
+      }
+      return SimilarityTable::FromList(
+          Complement(t.ToList(MaxSimilarity(*f.left)), bounds));
+    }
+    case FormulaKind::kConstraint:
+      break;  // Handled by the atomic branch above.
+  }
+  return Status::Internal(StrCat("unhandled formula: ", f.ToString()));
+}
+
+Result<SimilarityList> EvaluateWithLists(
+    const Formula& f, const std::map<std::string, SimilarityList>& inputs,
+    const QueryOptions& options) {
+  switch (f.kind) {
+    case FormulaKind::kConstraint: {
+      if (f.constraint.kind != Constraint::Kind::kPredicate) {
+        return Status::InvalidArgument(
+            StrCat("list evaluation expects named predicates as leaves, got: ",
+                   f.constraint.ToString()));
+      }
+      auto it = inputs.find(f.constraint.pred_name);
+      if (it == inputs.end()) {
+        return Status::NotFound(
+            StrCat("no input similarity list for predicate '", f.constraint.pred_name,
+                   "'"));
+      }
+      return it->second;
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kUntil: {
+      HTL_ASSIGN_OR_RETURN(SimilarityList lhs, EvaluateWithLists(*f.left, inputs, options));
+      HTL_ASSIGN_OR_RETURN(SimilarityList rhs,
+                           EvaluateWithLists(*f.right, inputs, options));
+      if (f.kind == FormulaKind::kAnd) {
+        return options.and_semantics == AndSemantics::kFuzzyMin
+                   ? FuzzyMinAndMerge(lhs, rhs)
+                   : AndMerge(lhs, rhs);
+      }
+      if (f.kind == FormulaKind::kOr) return OrMerge(lhs, rhs);
+      return UntilMerge(lhs, rhs, options.until_threshold);
+    }
+    case FormulaKind::kNext: {
+      HTL_ASSIGN_OR_RETURN(SimilarityList l, EvaluateWithLists(*f.left, inputs, options));
+      return NextShift(l);
+    }
+    case FormulaKind::kEventually: {
+      HTL_ASSIGN_OR_RETURN(SimilarityList l, EvaluateWithLists(*f.left, inputs, options));
+      return Eventually(l);
+    }
+    default:
+      return Status::InvalidArgument(
+          StrCat("not a list-evaluable (type (1)) formula: ", f.ToString()));
+  }
+}
+
+}  // namespace htl

@@ -1,0 +1,102 @@
+#ifndef HTL_ENGINE_DIRECT_ENGINE_H_
+#define HTL_ENGINE_DIRECT_ENGINE_H_
+
+#include <map>
+#include <string>
+
+#include "engine/query_options.h"
+#include "htl/ast.h"
+#include "htl/classifier.h"
+#include "model/video.h"
+#include "picture/picture_system.h"
+#include "sim/sim_table.h"
+#include "util/result.h"
+
+namespace htl {
+
+/// Runtime counters for one DirectEngine — observability for the ablation
+/// benches and for verifying cache behaviour.
+struct EngineStats {
+  int64_t atomic_queries = 0;      // Picture-system queries executed.
+  int64_t atomic_cache_hits = 0;   // Atomic tables served from cache.
+  int64_t table_joins = 0;         // and / or / until joins.
+  int64_t exists_collapses = 0;
+  int64_t freeze_joins = 0;
+  int64_t level_evaluations = 0;   // Per-parent subsequence evaluations.
+};
+
+/// The optimized retrieval engine of section 3: evaluates extended
+/// conjunctive HTL formulas bottom-up over similarity lists and similarity
+/// tables.
+///
+/// Evaluation strategy per node:
+///   * maximal atomic (non-temporal) subtrees become one picture-system
+///     query each; the resulting table is cached per (subtree, level) and
+///     clipped to the sequence bounds in effect;
+///   * `and` / `until` are table joins whose row lists merge with the
+///     linear-time algorithms of section 3.1 (AndMerge / UntilMerge);
+///   * `next` shifts lists; `eventually` is the suffix-max sweep;
+///   * prenex `exists` collapses the table by max-merging rows (the
+///     modified m-way merge of section 3.2);
+///   * freeze quantifiers join with attribute value tables (section 3.3);
+///   * level modal operators evaluate their body over each node's
+///     descendant subsequence and read the value at its first element
+///     (the extension to multi-level videos sketched in section 3);
+///   * `or` is supported as a max-merge extension, and `not` over *closed*
+///     subformulas as a list complement; negation over free variables
+///     reports Unimplemented — use ReferenceEngine for those.
+class DirectEngine {
+ public:
+  /// `video` must outlive the engine.
+  explicit DirectEngine(const VideoTree* video, QueryOptions options = {});
+
+  /// Similarity list of the closed formula `f` over the segments of
+  /// `level` (the proper sequence of the root's descendants there).
+  /// This is the operation the paper's experiments time.
+  Result<SimilarityList> EvaluateList(int level, const Formula& f);
+
+  /// Similarity of `f` at the root of the video, in the one-element root
+  /// sequence — "satisfied by a video" (section 2.3).
+  Result<Sim> EvaluateVideo(const Formula& f);
+
+  PictureSystem& pictures() { return pictures_; }
+
+  /// Drops the per-formula caches (needed when the video's meta-data
+  /// changes or when timing cold runs).
+  void ClearCache();
+
+  const EngineStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = EngineStats{}; }
+
+ private:
+  Result<SimilarityTable> EvalTable(int level, const Interval& bounds, const Formula& f);
+  Result<SimilarityTable> EvalLevelOp(int level, const Interval& bounds,
+                                      const Formula& f);
+  Result<int> ResolveLevel(int level, const LevelSpec& spec) const;
+
+  const VideoTree* video_;
+  QueryOptions options_;
+  PictureSystem pictures_;
+  EngineStats stats_;
+  // Full-level atomic tables keyed by (formula text, level). Text keys are
+  // stable across formula lifetimes (pointer keys would alias when a freed
+  // formula's address is reused by a later parse).
+  std::map<std::pair<std::string, int>, SimilarityTable> atomic_cache_;
+  // Value tables keyed by (term string, level).
+  std::map<std::pair<std::string, int>, ValueTable> value_cache_;
+};
+
+/// Evaluates a list-only (type (1), plus the `or` extension) formula over
+/// externally supplied similarity lists for its atomic predicates — the
+/// §4.2 experimental setup, where "both systems take the similarity tables
+/// associated with the atomic subformulas as input". Atomic leaves must be
+/// nullary-shaped predicates: a kPredicate constraint whose name keys into
+/// `inputs` (its arguments are ignored). kTrue is not allowed (it needs the
+/// sequence length, which lists do not carry).
+Result<SimilarityList> EvaluateWithLists(
+    const Formula& f, const std::map<std::string, SimilarityList>& inputs,
+    const QueryOptions& options = {});
+
+}  // namespace htl
+
+#endif  // HTL_ENGINE_DIRECT_ENGINE_H_

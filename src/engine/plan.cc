@@ -1,0 +1,105 @@
+#include "engine/plan.h"
+
+#include "htl/classifier.h"
+#include "picture/atomic.h"
+#include "util/string_util.h"
+
+namespace htl {
+
+namespace {
+
+struct PlanPrinter {
+  std::string out;
+
+  static std::string ChildPrefix(const std::string& prefix, bool last, bool root) {
+    if (root) return "";
+    return prefix + (last ? "   " : "│  ");
+  }
+
+  Status Visit(const Formula& f, const std::string& prefix, bool last, bool root) {
+    const double max = MaxSimilarity(f);
+    auto node = [&](const std::string& op, const std::string& algo,
+                    const std::string& extra = "") {
+      const std::string text = StrCat(op, "  [", algo, ", max=", max, "]",
+                                      extra.empty() ? "" : " ", extra);
+      if (root) {
+        out += text + "\n";
+      } else {
+        out += prefix + (last ? "└─ " : "├─ ") + text + "\n";
+      }
+    };
+    const std::string child_prefix = ChildPrefix(prefix, last, root);
+    if (f.kind != FormulaKind::kTrue && f.kind != FormulaKind::kFalse &&
+        IsAtomicShape(f)) {
+      HTL_ASSIGN_OR_RETURN(AtomicFormula atomic, ExtractAtomic(f));
+      std::string cols;
+      const auto objs = atomic.FreeObjectVars();
+      const auto attrs = atomic.FreeAttrVars();
+      if (!objs.empty() || !attrs.empty()) {
+        cols = StrCat(" columns=(", StrJoin(objs, ","),
+                      attrs.empty() ? "" : StrCat("|", StrJoin(attrs, ",")), ")");
+      }
+      node("atomic", "picture query", StrCat(atomic.ToString(), cols));
+      return Status::OK();
+    }
+    switch (f.kind) {
+      case FormulaKind::kTrue:
+        node("true", "constant list");
+        return Status::OK();
+      case FormulaKind::kFalse:
+        node("false", "empty list");
+        return Status::OK();
+      case FormulaKind::kAnd:
+        node("and", "AndMerge join");
+        break;
+      case FormulaKind::kOr:
+        node("or", "OrMerge join");
+        break;
+      case FormulaKind::kUntil:
+        node("until", "threshold + backward sweep join");
+        break;
+      case FormulaKind::kNext:
+        node("next", "interval shift");
+        break;
+      case FormulaKind::kEventually:
+        node("eventually", "suffix-max sweep");
+        break;
+      case FormulaKind::kNot:
+        node("not", "list complement (closed extension)");
+        break;
+      case FormulaKind::kExists:
+        node(StrCat("exists ", StrJoin(f.vars, ", ")), "m-way max collapse");
+        break;
+      case FormulaKind::kFreeze:
+        node(StrCat("[", f.freeze_var, " <- ", f.freeze_term.ToString(), "]"),
+             "value-table join");
+        break;
+      case FormulaKind::kLevel:
+        node(f.level.ToString(), "per-parent subsequence evaluation");
+        break;
+      case FormulaKind::kConstraint:
+        return Status::Internal("constraint outside atomic branch");
+    }
+    if (f.left && f.right) {
+      HTL_RETURN_IF_ERROR(Visit(*f.left, child_prefix, /*last=*/false, false));
+      return Visit(*f.right, child_prefix, /*last=*/true, false);
+    }
+    if (f.left) return Visit(*f.left, child_prefix, /*last=*/true, false);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Result<std::string> ExplainPlan(const VideoTree& video, int level, const Formula& f) {
+  if (level < 1 || level > video.num_levels()) {
+    return Status::OutOfRange(StrCat("level ", level, " out of range"));
+  }
+  PlanPrinter printer;
+  printer.out = StrCat("plan for level ", level, " (", video.NumSegments(level),
+                       " segments), class ", FormulaClassName(Classify(f)), ":\n");
+  HTL_RETURN_IF_ERROR(printer.Visit(f, "", /*last=*/true, /*root=*/true));
+  return printer.out;
+}
+
+}  // namespace htl

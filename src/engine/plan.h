@@ -1,0 +1,27 @@
+#ifndef HTL_ENGINE_PLAN_H_
+#define HTL_ENGINE_PLAN_H_
+
+#include <string>
+
+#include "htl/ast.h"
+#include "model/video.h"
+#include "util/result.h"
+
+namespace htl {
+
+/// Renders the evaluation plan the direct engine would use for `f` over one
+/// level of `video` — an EXPLAIN for HTL queries. Each line shows the
+/// operator, the list algorithm it maps to, the static max similarity, and
+/// for atomic leaves the picture query and its table columns, e.g.:
+///
+///   and                 [AndMerge, max=16.047]
+///   ├─ atomic           [picture query, max=6.26] exists x, y (...)
+///   └─ eventually       [suffix-max sweep, max=9.787]
+///      └─ atomic        [picture query, max=9.787] exists t (...)
+///
+/// The formula must be bound; classification is included in the header.
+Result<std::string> ExplainPlan(const VideoTree& video, int level, const Formula& f);
+
+}  // namespace htl
+
+#endif  // HTL_ENGINE_PLAN_H_

@@ -1,0 +1,41 @@
+#ifndef HTL_ENGINE_QUERY_OPTIONS_H_
+#define HTL_ENGINE_QUERY_OPTIONS_H_
+
+#include <cstdint>
+
+#include "picture/picture_system.h"
+
+namespace htl {
+
+/// How the `and` connective combines similarity values — the paper's
+/// section 5 names "other similarity functions" as future work; both
+/// engines implement two:
+enum class AndSemantics {
+  /// The paper's semantics (section 2.5): actuals and maxima add, so the
+  /// fraction is the weighted average of the operands' fractions.
+  kSum,
+  /// Fuzzy conjunction: the fraction is the minimum of the operands'
+  /// fractions (actual' = min(frac_g, frac_h) * (max_g + max_h), keeping
+  /// max a function of the formula alone). Conjunctions *inside* atomic
+  /// formulas always use weighted-sum partial matching — that is the
+  /// picture system's scoring — regardless of this knob.
+  kFuzzyMin,
+};
+
+/// Options shared by the direct and reference engines.
+struct QueryOptions {
+  /// The minimum fractional similarity the left operand of `until` must
+  /// reach for the temporal chain to extend (section 2.5 defines `until`
+  /// via such a threshold; the paper leaves its value a system parameter).
+  double until_threshold = 0.5;
+
+  /// Similarity function for non-atomic conjunctions.
+  AndSemantics and_semantics = AndSemantics::kSum;
+
+  /// Options forwarded to the picture-retrieval substrate.
+  PictureOptions picture;
+};
+
+}  // namespace htl
+
+#endif  // HTL_ENGINE_QUERY_OPTIONS_H_

@@ -1,0 +1,141 @@
+#include "engine/retrieval.h"
+
+#include <algorithm>
+
+#include "engine/direct_engine.h"
+#include "engine/reference_engine.h"
+#include "htl/binder.h"
+#include "htl/classifier.h"
+#include "htl/parser.h"
+#include "htl/rewriter.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace htl {
+
+Retriever::Retriever(const MetadataStore* store, QueryOptions options)
+    : store_(store), options_(options) {
+  HTL_CHECK(store != nullptr);
+}
+
+Result<FormulaPtr> Retriever::Prepare(std::string_view query_text) const {
+  HTL_ASSIGN_OR_RETURN(FormulaPtr f, ParseFormula(query_text));
+  HTL_RETURN_IF_ERROR(Bind(f.get()));
+  return Rewrite(std::move(f));
+}
+
+DirectEngine& Retriever::EngineFor(MetadataStore::VideoId video) {
+  auto it = engines_.find(video);
+  if (it == engines_.end()) {
+    it = engines_
+             .emplace(video,
+                      std::make_unique<DirectEngine>(&store_->Video(video), options_))
+             .first;
+  }
+  return *it->second;
+}
+
+Result<SimilarityList> Retriever::EvaluateList(MetadataStore::VideoId video_id, int level,
+                                               const Formula& query) {
+  const VideoTree& video = store_->Video(video_id);
+  if (level > video.num_levels()) {
+    return SimilarityList(MaxSimilarity(query));  // No such level: no hits.
+  }
+  // The direct engine covers the extended conjunctive class plus the
+  // disjunction and closed-negation extensions; only the constructs it
+  // reports Unimplemented for (negation over free variables, two-variable
+  // comparisons) drop to the exponential reference evaluator.
+  Result<SimilarityList> direct = EngineFor(video_id).EvaluateList(level, query);
+  if (direct.ok() || direct.status().code() != StatusCode::kUnimplemented) {
+    return direct;
+  }
+  ReferenceEngine reference(&video, options_);
+  return reference.EvaluateList(level, query);
+}
+
+namespace {
+
+// Global ranking: descending fraction, ties by video then segment id.
+void RankAndTrim(std::vector<SegmentHit>& all, int64_t k) {
+  std::stable_sort(all.begin(), all.end(), [](const SegmentHit& a, const SegmentHit& b) {
+    if (a.sim.fraction() != b.sim.fraction()) return a.sim.fraction() > b.sim.fraction();
+    if (a.video != b.video) return a.video < b.video;
+    return a.segment < b.segment;
+  });
+  if (static_cast<int64_t>(all.size()) > k) all.resize(static_cast<size_t>(k));
+}
+
+}  // namespace
+
+Result<std::vector<SegmentHit>> Retriever::TopSegments(const Formula& query, int level,
+                                                       int64_t k) {
+  std::vector<SegmentHit> all;
+  for (MetadataStore::VideoId v = 1; v <= store_->num_videos(); ++v) {
+    HTL_ASSIGN_OR_RETURN(SimilarityList list, EvaluateList(v, level, query));
+    // Keep at most k per video before the global merge.
+    for (const RankedSegment& rs : TopKSegments(list, k)) {
+      all.push_back(SegmentHit{v, rs.id, rs.sim});
+    }
+  }
+  RankAndTrim(all, k);
+  return all;
+}
+
+Result<std::vector<SegmentHit>> Retriever::TopSegmentsAtNamedLevel(
+    const Formula& query, const std::string& level_name, int64_t k) {
+  std::vector<SegmentHit> all;
+  for (MetadataStore::VideoId v = 1; v <= store_->num_videos(); ++v) {
+    Result<int> level = store_->Video(v).LevelByName(level_name);
+    if (!level.ok()) continue;  // This video has no such level.
+    HTL_ASSIGN_OR_RETURN(SimilarityList list, EvaluateList(v, level.value(), query));
+    for (const RankedSegment& rs : TopKSegments(list, k)) {
+      all.push_back(SegmentHit{v, rs.id, rs.sim});
+    }
+  }
+  RankAndTrim(all, k);
+  return all;
+}
+
+Result<std::vector<SegmentHit>> Retriever::TopSegmentsAtNamedLevel(
+    std::string_view query_text, const std::string& level_name, int64_t k) {
+  HTL_ASSIGN_OR_RETURN(FormulaPtr f, Prepare(query_text));
+  return TopSegmentsAtNamedLevel(*f, level_name, k);
+}
+
+Result<std::vector<SegmentHit>> Retriever::TopSegments(std::string_view query_text,
+                                                       int level, int64_t k) {
+  HTL_ASSIGN_OR_RETURN(FormulaPtr f, Prepare(query_text));
+  return TopSegments(*f, level, k);
+}
+
+Result<std::vector<VideoHit>> Retriever::TopVideos(const Formula& query, int64_t k) {
+  std::vector<VideoHit> all;
+  for (MetadataStore::VideoId v = 1; v <= store_->num_videos(); ++v) {
+    const VideoTree& video = store_->Video(v);
+    Sim sim;
+    Result<Sim> direct = EngineFor(v).EvaluateVideo(query);
+    if (direct.ok()) {
+      sim = direct.value();
+    } else if (direct.status().code() == StatusCode::kUnimplemented) {
+      ReferenceEngine reference(&video, options_);
+      HTL_ASSIGN_OR_RETURN(sim, reference.EvaluateVideo(query));
+    } else {
+      return direct.status();
+    }
+    if (sim.actual > 0) all.push_back(VideoHit{v, sim});
+  }
+  std::stable_sort(all.begin(), all.end(), [](const VideoHit& a, const VideoHit& b) {
+    if (a.sim.fraction() != b.sim.fraction()) return a.sim.fraction() > b.sim.fraction();
+    return a.video < b.video;
+  });
+  if (static_cast<int64_t>(all.size()) > k) all.resize(static_cast<size_t>(k));
+  return all;
+}
+
+Result<std::vector<VideoHit>> Retriever::TopVideos(std::string_view query_text,
+                                                   int64_t k) {
+  HTL_ASSIGN_OR_RETURN(FormulaPtr f, Prepare(query_text));
+  return TopVideos(*f, k);
+}
+
+}  // namespace htl

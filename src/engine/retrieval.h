@@ -1,0 +1,87 @@
+#ifndef HTL_ENGINE_RETRIEVAL_H_
+#define HTL_ENGINE_RETRIEVAL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/direct_engine.h"
+#include "engine/query_options.h"
+#include "htl/ast.h"
+#include "model/video.h"
+#include "sim/topk.h"
+#include "util/result.h"
+
+namespace htl {
+
+/// One retrieved video segment across the whole database.
+struct SegmentHit {
+  MetadataStore::VideoId video = 0;
+  SegmentId segment = kInvalidSegmentId;
+  Sim sim;
+};
+
+/// One retrieved video (query evaluated at the root).
+struct VideoHit {
+  MetadataStore::VideoId video = 0;
+  Sim sim;
+};
+
+/// The end-to-end retrieval façade of figure 1: parse → bind → classify →
+/// evaluate per video → rank globally → return the top k. Conjunctive and
+/// extended conjunctive queries run on the optimized DirectEngine;
+/// constructs it reports Unimplemented for transparently fall back to the
+/// ReferenceEngine.
+///
+/// The retriever keeps one DirectEngine per video, so atomic picture
+/// queries and value tables are cached *across* queries. The store must not
+/// be mutated while a Retriever holds it — create a fresh Retriever after
+/// changing meta-data.
+class Retriever {
+ public:
+  /// `store` must outlive the retriever.
+  explicit Retriever(const MetadataStore* store, QueryOptions options = {});
+
+  /// Parses and validates a query, returning the bound formula.
+  Result<FormulaPtr> Prepare(std::string_view query_text) const;
+
+  /// Top-k segments at `level` over all videos, ranked by fractional
+  /// similarity (ties: lower video id, then lower segment id).
+  Result<std::vector<SegmentHit>> TopSegments(const Formula& query, int level,
+                                              int64_t k);
+  Result<std::vector<SegmentHit>> TopSegments(std::string_view query_text, int level,
+                                              int64_t k);
+
+  /// As TopSegments but addressing the level by its registered name (e.g.
+  /// "shot"); each video resolves the name independently, so heterogeneous
+  /// hierarchies mix correctly. Videos lacking the name are skipped.
+  Result<std::vector<SegmentHit>> TopSegmentsAtNamedLevel(const Formula& query,
+                                                          const std::string& level_name,
+                                                          int64_t k);
+  Result<std::vector<SegmentHit>> TopSegmentsAtNamedLevel(std::string_view query_text,
+                                                          const std::string& level_name,
+                                                          int64_t k);
+
+  /// Top-k videos with the query asserted at the root (browsing queries and
+  /// whole-video matches).
+  Result<std::vector<VideoHit>> TopVideos(const Formula& query, int64_t k);
+  Result<std::vector<VideoHit>> TopVideos(std::string_view query_text, int64_t k);
+
+  /// The similarity list of `query` for one video's `level` — the
+  /// single-video operation the paper's experiments report (Tables 3-6).
+  Result<SimilarityList> EvaluateList(MetadataStore::VideoId video, int level,
+                                      const Formula& query);
+
+ private:
+  /// The cached per-video engine (created on first use).
+  DirectEngine& EngineFor(MetadataStore::VideoId video);
+
+  const MetadataStore* store_;
+  QueryOptions options_;
+  std::map<MetadataStore::VideoId, std::unique_ptr<DirectEngine>> engines_;
+};
+
+}  // namespace htl
+
+#endif  // HTL_ENGINE_RETRIEVAL_H_

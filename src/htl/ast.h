@@ -1,0 +1,164 @@
+#ifndef HTL_HTL_AST_H_
+#define HTL_HTL_AST_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model/value.h"
+
+namespace htl {
+
+/// Comparison operators allowed in atomic predicates. The paper restricts
+/// attribute-variable predicates to <, <=, =, >=, > over integers and = over
+/// other types (section 3.3); != is supported for plain attribute-to-literal
+/// comparisons as an extension.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view CompareOpName(CompareOp op);
+
+/// A term usable inside comparisons: a literal, an attribute variable (bound
+/// by a freeze quantifier), an attribute function applied to an object
+/// variable (height(x)), or a segment-level attribute (type, title).
+struct AttrTerm {
+  enum class Kind {
+    kLiteral,      // 5, 3.2, 'western'
+    kName,         // unresolved bare identifier (parser output; the binder
+                   // rewrites it to kVariable or kSegmentAttr)
+    kVariable,     // attribute variable bound by [y <- q]
+    kAttrOfVar,    // name(object_var), e.g. height(x)
+    kSegmentAttr,  // segment attribute, e.g. type in: type = 'western'
+  };
+
+  Kind kind = Kind::kLiteral;
+  AttrValue literal;       // kLiteral
+  std::string name;        // variable name / attribute-function name / attribute
+  std::string object_var;  // kAttrOfVar only
+
+  static AttrTerm Literal(AttrValue v);
+  static AttrTerm Name(std::string n);
+  static AttrTerm Variable(std::string n);
+  static AttrTerm AttrOf(std::string attr, std::string object_var);
+  static AttrTerm SegmentAttr(std::string attr);
+
+  std::string ToString() const;
+};
+
+/// One atomic constraint on a single video segment's meta-data. Non-temporal
+/// formulas are conjunctions of these (plus local existential quantifiers);
+/// the picture-retrieval substrate scores them by weighted partial match.
+struct Constraint {
+  enum class Kind {
+    kPresent,    // present(x)
+    kCompare,    // lhs OP rhs
+    kPredicate,  // name(x1, ..., xk) matched against ground facts
+  };
+
+  Kind kind = Kind::kPresent;
+  std::string object_var;                // kPresent
+  AttrTerm lhs, rhs;                     // kCompare
+  CompareOp op = CompareOp::kEq;         // kCompare
+  std::string pred_name;                 // kPredicate
+  std::vector<std::string> pred_args;    // kPredicate (object variables)
+  double weight = 1.0;                   // contribution to the similarity max
+
+  std::string ToString() const;
+};
+
+/// Which level a level-modal operator addresses.
+struct LevelSpec {
+  enum class Kind {
+    kNextLevel,  // at-next-level
+    kAbsolute,   // at-level-i
+    kNamed,      // at-scene-level, at-shot-level, at-frame-level, ...
+  };
+
+  Kind kind = Kind::kNextLevel;
+  int level = 0;      // kAbsolute
+  std::string name;   // kNamed
+
+  std::string ToString() const;
+};
+
+enum class FormulaKind {
+  kTrue,        // constant true (exactly satisfied everywhere)
+  kFalse,       // constant false
+  kConstraint,  // atomic constraint leaf
+  kAnd,
+  kOr,          // extension (not in the paper's conjunctive classes)
+  kNot,         // extension for the reference semantics; excluded from the
+                // optimized classes, as in the paper
+  kNext,
+  kEventually,
+  kUntil,
+  kExists,      // exists x1, ..., xn (f)
+  kFreeze,      // [y <- q] f
+  kLevel,       // at-...-level (f)
+};
+
+struct Formula;
+using FormulaPtr = std::unique_ptr<Formula>;
+
+/// A node of the HTL abstract syntax tree (section 2.2). Unary operators use
+/// `left`; kUntil uses `left until right`.
+struct Formula {
+  FormulaKind kind = FormulaKind::kTrue;
+
+  FormulaPtr left;
+  FormulaPtr right;
+
+  Constraint constraint;            // kConstraint
+  std::vector<std::string> vars;    // kExists
+  std::string freeze_var;           // kFreeze: y
+  AttrTerm freeze_term;             // kFreeze: q (kAttrOfVar or kSegmentAttr)
+  LevelSpec level;                  // kLevel
+
+  /// Deep copy.
+  FormulaPtr Clone() const;
+
+  /// Concrete-syntax round-trippable form.
+  std::string ToString() const;
+};
+
+/// Factory helpers for building formulas programmatically; mirrors the
+/// concrete syntax. See also htl/parser.h for the textual front end.
+FormulaPtr MakeTrue();
+FormulaPtr MakeFalse();
+FormulaPtr MakeConstraint(Constraint c);
+FormulaPtr MakePresent(std::string var, double weight = 1.0);
+FormulaPtr MakeCompare(AttrTerm lhs, CompareOp op, AttrTerm rhs, double weight = 1.0);
+FormulaPtr MakePredicate(std::string name, std::vector<std::string> args,
+                         double weight = 1.0);
+FormulaPtr MakeAnd(FormulaPtr a, FormulaPtr b);
+FormulaPtr MakeOr(FormulaPtr a, FormulaPtr b);
+FormulaPtr MakeNot(FormulaPtr a);
+FormulaPtr MakeNext(FormulaPtr a);
+FormulaPtr MakeEventually(FormulaPtr a);
+FormulaPtr MakeUntil(FormulaPtr a, FormulaPtr b);
+FormulaPtr MakeExists(std::vector<std::string> vars, FormulaPtr body);
+FormulaPtr MakeFreeze(std::string var, AttrTerm term, FormulaPtr body);
+FormulaPtr MakeAtNextLevel(FormulaPtr body);
+FormulaPtr MakeAtLevel(int level, FormulaPtr body);
+FormulaPtr MakeAtNamedLevel(std::string name, FormulaPtr body);
+
+/// Free object variables of `f` (used by present/predicates/attr functions
+/// and not bound by an enclosing exists), in first-occurrence order.
+std::vector<std::string> FreeObjectVars(const Formula& f);
+
+/// Free attribute variables of `f` (kVariable terms not bound by an
+/// enclosing freeze), in first-occurrence order.
+std::vector<std::string> FreeAttrVars(const Formula& f);
+
+/// True when `f` contains no temporal operator and no level-modal operator —
+/// a "non-temporal formula" asserting a property of a single segment.
+bool IsNonTemporal(const Formula& f);
+
+/// Sum of constraint weights — the static maximum similarity m(f) of
+/// section 2.5: m depends only on the formula. (kTrue and kFalse have m=0's
+/// conventional replacement 1 so that their fractional value is defined.)
+double MaxSimilarity(const Formula& f);
+
+}  // namespace htl
+
+#endif  // HTL_HTL_AST_H_

@@ -1,0 +1,150 @@
+#include "htl/binder.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace htl {
+
+namespace {
+
+class Binder {
+ public:
+  explicit Binder(const BindOptions& options) : options_(options) {}
+
+  Status Visit(Formula* f) {
+    switch (f->kind) {
+      case FormulaKind::kTrue:
+      case FormulaKind::kFalse:
+        return Status::OK();
+      case FormulaKind::kConstraint:
+        return VisitConstraint(&f->constraint);
+      case FormulaKind::kExists: {
+        for (const std::string& v : f->vars) {
+          HTL_RETURN_IF_ERROR(CheckFresh(v));
+          object_scope_.push_back(v);
+        }
+        Status s = Visit(f->left.get());
+        object_scope_.resize(object_scope_.size() - f->vars.size());
+        return s;
+      }
+      case FormulaKind::kFreeze: {
+        HTL_RETURN_IF_ERROR(CheckFresh(f->freeze_var));
+        HTL_RETURN_IF_ERROR(VisitTerm(&f->freeze_term, /*object_position=*/false));
+        if (f->freeze_term.kind != AttrTerm::Kind::kAttrOfVar &&
+            f->freeze_term.kind != AttrTerm::Kind::kSegmentAttr) {
+          return Status::InvalidArgument(
+              StrCat("freeze quantifier [", f->freeze_var,
+                     " <- ...] must capture an attribute function"));
+        }
+        attr_scope_.push_back(f->freeze_var);
+        Status s = Visit(f->left.get());
+        attr_scope_.pop_back();
+        return s;
+      }
+      case FormulaKind::kLevel:
+        if (f->level.kind == LevelSpec::Kind::kAbsolute && f->level.level < 1) {
+          return Status::InvalidArgument(
+              StrCat("level number must be >= 1, got ", f->level.level));
+        }
+        return Visit(f->left.get());
+      default: {
+        if (f->left) HTL_RETURN_IF_ERROR(Visit(f->left.get()));
+        if (f->right) HTL_RETURN_IF_ERROR(Visit(f->right.get()));
+        return Status::OK();
+      }
+    }
+  }
+
+ private:
+  bool InObjectScope(const std::string& v) const {
+    return std::find(object_scope_.begin(), object_scope_.end(), v) != object_scope_.end();
+  }
+  bool InAttrScope(const std::string& v) const {
+    return std::find(attr_scope_.begin(), attr_scope_.end(), v) != attr_scope_.end();
+  }
+
+  Status CheckFresh(const std::string& v) const {
+    if (InObjectScope(v) || InAttrScope(v)) {
+      return Status::InvalidArgument(StrCat("variable '", v, "' is already bound"));
+    }
+    return Status::OK();
+  }
+
+  Status CheckObjectVar(const std::string& v) const {
+    if (InAttrScope(v)) {
+      return Status::InvalidArgument(
+          StrCat("attribute variable '", v, "' used as an object variable"));
+    }
+    if (options_.require_closed && !InObjectScope(v)) {
+      return Status::InvalidArgument(
+          StrCat("unbound object variable '", v,
+                 "' (retrieval queries must be closed formulas)"));
+    }
+    return Status::OK();
+  }
+
+  Status VisitTerm(AttrTerm* t, bool object_position) {
+    switch (t->kind) {
+      case AttrTerm::Kind::kLiteral:
+        return Status::OK();
+      case AttrTerm::Kind::kName:
+        if (InAttrScope(t->name)) {
+          t->kind = AttrTerm::Kind::kVariable;
+        } else if (InObjectScope(t->name)) {
+          return Status::InvalidArgument(
+              StrCat("object variable '", t->name, "' used in a value comparison"));
+        } else {
+          t->kind = AttrTerm::Kind::kSegmentAttr;
+        }
+        return Status::OK();
+      case AttrTerm::Kind::kVariable:
+        if (!InAttrScope(t->name)) {
+          return Status::InvalidArgument(
+              StrCat("unbound attribute variable '", t->name, "'"));
+        }
+        return Status::OK();
+      case AttrTerm::Kind::kAttrOfVar:
+        return CheckObjectVar(t->object_var);
+      case AttrTerm::Kind::kSegmentAttr:
+        return Status::OK();
+    }
+    (void)object_position;
+    return Status::OK();
+  }
+
+  Status VisitConstraint(Constraint* c) {
+    switch (c->kind) {
+      case Constraint::Kind::kPresent:
+        return CheckObjectVar(c->object_var);
+      case Constraint::Kind::kCompare:
+        HTL_RETURN_IF_ERROR(VisitTerm(&c->lhs, false));
+        HTL_RETURN_IF_ERROR(VisitTerm(&c->rhs, false));
+        return Status::OK();
+      case Constraint::Kind::kPredicate:
+        // 0-ary predicates are allowed: they name externally supplied
+        // similarity lists (the section 4 experimental setup) or segment-
+        // level ground facts.
+        for (const std::string& a : c->pred_args) {
+          HTL_RETURN_IF_ERROR(CheckObjectVar(a));
+        }
+        return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  const BindOptions& options_;
+  std::vector<std::string> object_scope_;
+  std::vector<std::string> attr_scope_;
+};
+
+}  // namespace
+
+Status Bind(Formula* formula, const BindOptions& options) {
+  if (formula == nullptr) return Status::InvalidArgument("null formula");
+  Binder binder(options);
+  return binder.Visit(formula);
+}
+
+}  // namespace htl

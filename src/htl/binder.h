@@ -1,0 +1,30 @@
+#ifndef HTL_HTL_BINDER_H_
+#define HTL_HTL_BINDER_H_
+
+#include "htl/ast.h"
+#include "util/status.h"
+
+namespace htl {
+
+/// Options for Bind.
+struct BindOptions {
+  /// Require every object variable to be bound by an existential quantifier
+  /// (retrieval queries are closed formulas). When false, free object
+  /// variables are permitted — useful for evaluating subformulas under an
+  /// explicit evaluation, as the reference engine does.
+  bool require_closed = true;
+};
+
+/// Resolves names and checks well-formedness, in place:
+///   * bare identifiers in comparisons become attribute variables when an
+///     enclosing freeze quantifier binds them, segment attributes otherwise;
+///   * rebinding a variable (exists or freeze shadowing) is rejected;
+///   * using an attribute variable as an object (predicate argument,
+///     present(), attribute function argument) is rejected, and vice versa;
+///   * with require_closed, unbound object variables are rejected.
+/// Run this once on parser output before classification or evaluation.
+Status Bind(Formula* formula, const BindOptions& options = {});
+
+}  // namespace htl
+
+#endif  // HTL_HTL_BINDER_H_

@@ -1,0 +1,95 @@
+#include "htl/classifier.h"
+
+namespace htl {
+
+namespace {
+
+struct Flags {
+  bool has_not_or_false = false;       // kNot, kOr or kFalse anywhere.
+  bool has_level = false;              // any level modal operator.
+  bool has_freeze = false;             // any freeze quantifier.
+  bool exists_over_temporal = false;   // some exists scope contains a
+                                       // temporal/level operator...
+  bool nonprefix_exists_temporal = false;  // ...and that exists is not in
+                                           // the prenex prefix.
+  bool var_var_compare = false;        // attrvar OP attrvar.
+};
+
+// `in_prefix` is true while we are still inside the leading chain of
+// existential quantifiers of the whole formula.
+void Scan(const Formula& f, bool in_prefix, Flags* flags) {
+  switch (f.kind) {
+    case FormulaKind::kTrue:
+      return;
+    case FormulaKind::kFalse:
+      flags->has_not_or_false = true;
+      return;
+    case FormulaKind::kConstraint: {
+      const Constraint& c = f.constraint;
+      if (c.kind == Constraint::Kind::kCompare &&
+          c.lhs.kind == AttrTerm::Kind::kVariable &&
+          c.rhs.kind == AttrTerm::Kind::kVariable) {
+        flags->var_var_compare = true;
+      }
+      return;
+    }
+    case FormulaKind::kNot:
+    case FormulaKind::kOr:
+      flags->has_not_or_false = true;
+      break;
+    case FormulaKind::kLevel:
+      // A level operator opens a fresh formula over the target level's
+      // sequence, so a prenex existential prefix may restart inside it —
+      // the paper's own example `type = western and at-frame-level(f)` with
+      // f = formula (B) is extended conjunctive.
+      flags->has_level = true;
+      Scan(*f.left, /*in_prefix=*/true, flags);
+      return;
+    case FormulaKind::kFreeze:
+      flags->has_freeze = true;
+      break;
+    case FormulaKind::kExists:
+      if (!IsNonTemporal(*f.left)) {
+        flags->exists_over_temporal = true;
+        if (!in_prefix) flags->nonprefix_exists_temporal = true;
+      }
+      Scan(*f.left, in_prefix, flags);
+      return;
+    default:
+      break;
+  }
+  if (f.left) Scan(*f.left, /*in_prefix=*/false, flags);
+  if (f.right) Scan(*f.right, /*in_prefix=*/false, flags);
+}
+
+}  // namespace
+
+std::string_view FormulaClassName(FormulaClass c) {
+  switch (c) {
+    case FormulaClass::kType1:
+      return "type(1)";
+    case FormulaClass::kType2:
+      return "type(2)";
+    case FormulaClass::kConjunctive:
+      return "conjunctive";
+    case FormulaClass::kExtendedConjunctive:
+      return "extended-conjunctive";
+    case FormulaClass::kGeneral:
+      return "general";
+  }
+  return "?";
+}
+
+FormulaClass Classify(const Formula& f) {
+  Flags flags;
+  Scan(f, /*in_prefix=*/true, &flags);
+  if (flags.has_not_or_false || flags.nonprefix_exists_temporal || flags.var_var_compare) {
+    return FormulaClass::kGeneral;
+  }
+  if (flags.has_level) return FormulaClass::kExtendedConjunctive;
+  if (flags.has_freeze) return FormulaClass::kConjunctive;
+  if (flags.exists_over_temporal) return FormulaClass::kType2;
+  return FormulaClass::kType1;
+}
+
+}  // namespace htl

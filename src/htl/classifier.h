@@ -1,0 +1,41 @@
+#ifndef HTL_HTL_CLASSIFIER_H_
+#define HTL_HTL_CLASSIFIER_H_
+
+#include <string>
+
+#include "htl/ast.h"
+
+namespace htl {
+
+/// The formula classes of sections 2.5 and 3, in increasing generality:
+/// type (1) ⊂ type (2) ⊂ conjunctive ⊂ extended conjunctive ⊂ general.
+enum class FormulaClass {
+  /// No negation/disjunction, no level modal operators, no freeze
+  /// quantifiers, and no temporal operator inside the scope of any
+  /// existential quantifier — a tree of non-temporal formulas joined by
+  /// `and` and temporal operators. Evaluated purely on similarity lists.
+  kType1,
+  /// Conjunctive without freeze quantifiers: existential quantifiers over
+  /// temporal subformulas allowed only as a prenex prefix.
+  kType2,
+  /// No negation/disjunction, no level modal operators, every variable
+  /// bound, every existential quantifier prenex or with a non-temporal
+  /// scope. Freeze quantifiers allowed.
+  kConjunctive,
+  /// Conjunctive plus level modal operators.
+  kExtendedConjunctive,
+  /// Everything else (negation, disjunction, non-prenex existentials over
+  /// temporal scopes, attribute-variable-to-variable comparisons). Only the
+  /// reference evaluator handles these.
+  kGeneral,
+};
+
+std::string_view FormulaClassName(FormulaClass c);
+
+/// Determines the smallest class containing `f`. Expects a bound formula
+/// (see htl/binder.h).
+FormulaClass Classify(const Formula& f);
+
+}  // namespace htl
+
+#endif  // HTL_HTL_CLASSIFIER_H_

@@ -1,0 +1,222 @@
+#include "htl/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace htl {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kInt:
+      return "integer";
+    case TokenKind::kFloat:
+      return "number";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kAt:
+      return "'@'";
+    case TokenKind::kArrow:
+      return "'<-'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+std::string Token::ToString() const {
+  if (kind == TokenKind::kIdent) return StrCat("ident(", text, ")");
+  if (kind == TokenKind::kString) return StrCat("string('", text, "')");
+  if (kind == TokenKind::kInt || kind == TokenKind::kFloat) {
+    return StrCat("number(", number.ToString(), ")");
+  }
+  return std::string(TokenKindName(kind));
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto error = [&](const std::string& msg) {
+    return Status::ParseError(StrCat(msg, " at offset ", i));
+  };
+  auto push = [&](TokenKind kind, size_t offset) {
+    Token t;
+    t.kind = kind;
+    t.offset = offset;
+    out.push_back(std::move(t));
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      ++i;
+      while (i < n) {
+        if (IsIdentChar(text[i])) {
+          ++i;
+        } else if (text[i] == '-' && i + 1 < n && IsIdentChar(text[i + 1])) {
+          i += 2;
+        } else {
+          break;
+        }
+      }
+      Token t;
+      t.kind = TokenKind::kIdent;
+      t.text = std::string(text.substr(start, i - start));
+      t.offset = start;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (IsDigit(c) || (c == '-' && i + 1 < n && IsDigit(text[i + 1]))) {
+      ++i;
+      bool is_float = false;
+      while (i < n && (IsDigit(text[i]) || (!is_float && text[i] == '.'))) {
+        if (text[i] == '.') {
+          if (i + 1 >= n || !IsDigit(text[i + 1])) break;
+          is_float = true;
+        }
+        ++i;
+      }
+      const std::string num(text.substr(start, i - start));
+      Token t;
+      t.kind = is_float ? TokenKind::kFloat : TokenKind::kInt;
+      t.number = is_float ? AttrValue(std::stod(num))
+                          : AttrValue(static_cast<int64_t>(std::stoll(num)));
+      t.offset = start;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (text[i] == '\'') {
+          if (i + 1 < n && text[i + 1] == '\'') {  // '' escapes a quote.
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value += text[i];
+        ++i;
+      }
+      if (!closed) return error("unterminated string literal");
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = std::move(value);
+      t.offset = start;
+      out.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen, start);
+        ++i;
+        continue;
+      case ')':
+        push(TokenKind::kRParen, start);
+        ++i;
+        continue;
+      case '[':
+        push(TokenKind::kLBracket, start);
+        ++i;
+        continue;
+      case ']':
+        push(TokenKind::kRBracket, start);
+        ++i;
+        continue;
+      case ',':
+        push(TokenKind::kComma, start);
+        ++i;
+        continue;
+      case '@':
+        push(TokenKind::kAt, start);
+        ++i;
+        continue;
+      case '=':
+        push(TokenKind::kEq, start);
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kNe, start);
+          i += 2;
+          continue;
+        }
+        return error("unexpected '!'");
+      case '<':
+        if (i + 1 < n && text[i + 1] == '-') {
+          push(TokenKind::kArrow, start);
+          i += 2;
+          continue;
+        }
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kLe, start);
+          i += 2;
+          continue;
+        }
+        push(TokenKind::kLt, start);
+        ++i;
+        continue;
+      case '>':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kGe, start);
+          i += 2;
+          continue;
+        }
+        push(TokenKind::kGt, start);
+        ++i;
+        continue;
+      default:
+        return error(StrCat("unexpected character '", std::string(1, c), "'"));
+    }
+  }
+  push(TokenKind::kEnd, n);
+  return out;
+}
+
+}  // namespace htl

@@ -1,0 +1,26 @@
+#ifndef HTL_HTL_LEXER_H_
+#define HTL_HTL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "htl/token.h"
+#include "util/result.h"
+
+namespace htl {
+
+/// Tokenizes HTL query text. Returns all tokens including a trailing kEnd,
+/// or a ParseError naming the offending offset.
+///
+/// Lexical rules:
+///   * identifiers: [A-Za-z_][A-Za-z0-9_]* with '-' permitted when the next
+///     character is alphanumeric, so `at-next-level` and `at-level-3` are
+///     single identifiers (HTL has no arithmetic, so '-' is unambiguous);
+///   * numbers: 12, -4, 3.25, -0.5;
+///   * strings: single-quoted, '' escapes a quote;
+///   * comments: from # to end of line.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace htl
+
+#endif  // HTL_HTL_LEXER_H_

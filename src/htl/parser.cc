@@ -1,0 +1,305 @@
+#include "htl/parser.h"
+
+#include <optional>
+
+#include "htl/lexer.h"
+#include "util/string_util.h"
+
+namespace htl {
+
+namespace {
+
+// Recognizes level-modal operator identifiers: at-next-level, at-level-<i>,
+// at-<name>-level.
+std::optional<LevelSpec> ParseLevelIdent(const std::string& ident) {
+  if (!StartsWith(ident, "at-")) return std::nullopt;
+  if (ident == "at-next-level") {
+    LevelSpec s;
+    s.kind = LevelSpec::Kind::kNextLevel;
+    return s;
+  }
+  constexpr std::string_view kLevelPrefix = "at-level-";
+  if (StartsWith(ident, kLevelPrefix)) {
+    const std::string digits = ident.substr(kLevelPrefix.size());
+    if (!digits.empty() &&
+        digits.find_first_not_of("0123456789") == std::string::npos) {
+      LevelSpec s;
+      s.kind = LevelSpec::Kind::kAbsolute;
+      s.level = std::stoi(digits);
+      return s;
+    }
+    return std::nullopt;
+  }
+  constexpr std::string_view kSuffix = "-level";
+  if (ident.size() > 3 + kSuffix.size() &&
+      ident.compare(ident.size() - kSuffix.size(), kSuffix.size(), kSuffix) == 0) {
+    LevelSpec s;
+    s.kind = LevelSpec::Kind::kNamed;
+    s.name = ident.substr(3, ident.size() - 3 - kSuffix.size());
+    return s;
+  }
+  return std::nullopt;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<FormulaPtr> Parse() {
+    HTL_ASSIGN_OR_RETURN(FormulaPtr f, ParseUntil());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error(StrCat("unexpected ", Peek().ToString(), " after formula"));
+    }
+    return f;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  Token Take() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool PeekIdent(std::string_view word) const {
+    return Peek().kind == TokenKind::kIdent && Peek().text == word;
+  }
+  bool TakeIdent(std::string_view word) {
+    if (!PeekIdent(word)) return false;
+    ++pos_;
+    return true;
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(StrCat(msg, " at offset ", Peek().offset));
+  }
+  Status Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Error(StrCat("expected ", TokenKindName(kind), ", found ",
+                          Peek().ToString()));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<FormulaPtr> ParseUntil() {
+    HTL_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseOr());
+    if (TakeIdent("until")) {
+      HTL_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseUntil());
+      return MakeUntil(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<FormulaPtr> ParseOr() {
+    HTL_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseAnd());
+    while (TakeIdent("or")) {
+      HTL_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseAnd());
+      lhs = MakeOr(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<FormulaPtr> ParseAnd() {
+    HTL_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseUnary());
+    while (TakeIdent("and")) {
+      HTL_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseUnary());
+      lhs = MakeAnd(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<FormulaPtr> ParseUnary() {
+    if (TakeIdent("not")) {
+      HTL_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
+      return MakeNot(std::move(f));
+    }
+    if (TakeIdent("next")) {
+      HTL_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
+      return MakeNext(std::move(f));
+    }
+    if (TakeIdent("eventually")) {
+      HTL_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
+      return MakeEventually(std::move(f));
+    }
+    if (TakeIdent("exists")) return ParseExists();
+    if (Peek().kind == TokenKind::kLBracket) return ParseFreeze();
+    if (Peek().kind == TokenKind::kIdent) {
+      std::optional<LevelSpec> level = ParseLevelIdent(Peek().text);
+      if (level.has_value()) {
+        Take();
+        HTL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+        HTL_ASSIGN_OR_RETURN(FormulaPtr body, ParseUntil());
+        HTL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        auto f = MakeAtNextLevel(std::move(body));
+        f->level = *level;
+        return f;
+      }
+    }
+    return ParsePrimary();
+  }
+
+  Result<FormulaPtr> ParseExists() {
+    std::vector<std::string> vars;
+    while (true) {
+      if (Peek().kind != TokenKind::kIdent) return Error("expected variable name");
+      vars.push_back(Take().text);
+      if (Peek().kind == TokenKind::kComma) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    HTL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    HTL_ASSIGN_OR_RETURN(FormulaPtr body, ParseUntil());
+    HTL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    return MakeExists(std::move(vars), std::move(body));
+  }
+
+  Result<FormulaPtr> ParseFreeze() {
+    HTL_RETURN_IF_ERROR(Expect(TokenKind::kLBracket));
+    if (Peek().kind != TokenKind::kIdent) return Error("expected attribute variable");
+    std::string var = Take().text;
+    HTL_RETURN_IF_ERROR(Expect(TokenKind::kArrow));
+    HTL_ASSIGN_OR_RETURN(AttrTerm term, ParseTerm());
+    if (term.kind == AttrTerm::Kind::kLiteral) {
+      return Error("freeze quantifier requires an attribute function, not a literal");
+    }
+    if (term.kind == AttrTerm::Kind::kName) {
+      // A bare name after <- is a segment attribute (e.g. [d <- duration]).
+      term = AttrTerm::SegmentAttr(term.name);
+    }
+    HTL_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+    HTL_ASSIGN_OR_RETURN(FormulaPtr body, ParseUnary());
+    return MakeFreeze(std::move(var), std::move(term), std::move(body));
+  }
+
+  static std::optional<CompareOp> AsCompareOp(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kEq:
+        return CompareOp::kEq;
+      case TokenKind::kNe:
+        return CompareOp::kNe;
+      case TokenKind::kLt:
+        return CompareOp::kLt;
+      case TokenKind::kLe:
+        return CompareOp::kLe;
+      case TokenKind::kGt:
+        return CompareOp::kGt;
+      case TokenKind::kGe:
+        return CompareOp::kGe;
+      default:
+        return std::nullopt;
+    }
+  }
+
+  Result<AttrTerm> ParseTerm() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kInt || t.kind == TokenKind::kFloat) {
+      AttrTerm term = AttrTerm::Literal(Take().number);
+      return term;
+    }
+    if (t.kind == TokenKind::kString) {
+      AttrTerm term = AttrTerm::Literal(AttrValue(Take().text));
+      return term;
+    }
+    if (t.kind == TokenKind::kIdent) {
+      std::string name = Take().text;
+      if (Peek().kind == TokenKind::kLParen) {
+        ++pos_;
+        if (Peek().kind != TokenKind::kIdent) {
+          return Error(StrCat("expected object variable in ", name, "(...)"));
+        }
+        std::string var = Take().text;
+        HTL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        return AttrTerm::AttrOf(std::move(name), std::move(var));
+      }
+      return AttrTerm::Name(std::move(name));
+    }
+    return Error(StrCat("expected a term, found ", t.ToString()));
+  }
+
+  // Optional '@ <number>' weight suffix; defaults to 1.
+  Result<double> ParseWeight() {
+    if (Peek().kind != TokenKind::kAt) return 1.0;
+    ++pos_;
+    if (Peek().kind != TokenKind::kInt && Peek().kind != TokenKind::kFloat) {
+      return Error("expected a number after '@'");
+    }
+    return Take().number.AsDouble();
+  }
+
+  Result<FormulaPtr> ParsePrimary() {
+    if (Peek().kind == TokenKind::kLParen) {
+      ++pos_;
+      HTL_ASSIGN_OR_RETURN(FormulaPtr f, ParseUntil());
+      HTL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return f;
+    }
+    if (TakeIdent("true")) return MakeTrue();
+    if (TakeIdent("false")) return MakeFalse();
+    if (PeekIdent("present") && Peek(1).kind == TokenKind::kLParen) {
+      Take();
+      ++pos_;
+      if (Peek().kind != TokenKind::kIdent) return Error("expected object variable");
+      std::string var = Take().text;
+      HTL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      HTL_ASSIGN_OR_RETURN(double weight, ParseWeight());
+      return MakePresent(std::move(var), weight);
+    }
+    // Predicate or comparison.
+    if (Peek().kind == TokenKind::kIdent && Peek(1).kind == TokenKind::kLParen) {
+      // IDENT '(' ... ')' — attribute function (1 arg, followed by a compare
+      // op) or a k-ary predicate.
+      std::string name = Take().text;
+      ++pos_;  // '('
+      std::vector<std::string> args;
+      if (Peek().kind != TokenKind::kRParen) {
+        while (true) {
+          if (Peek().kind != TokenKind::kIdent) {
+            return Error(StrCat("expected object variable in ", name, "(...)"));
+          }
+          args.push_back(Take().text);
+          if (Peek().kind == TokenKind::kComma) {
+            ++pos_;
+            continue;
+          }
+          break;
+        }
+      }
+      HTL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      std::optional<CompareOp> op = AsCompareOp(Peek().kind);
+      if (op.has_value()) {
+        if (args.size() != 1) {
+          return Error(StrCat("attribute function ", name, " must take one variable"));
+        }
+        ++pos_;
+        HTL_ASSIGN_OR_RETURN(AttrTerm rhs, ParseTerm());
+        HTL_ASSIGN_OR_RETURN(double weight, ParseWeight());
+        return MakeCompare(AttrTerm::AttrOf(name, args[0]), *op, std::move(rhs), weight);
+      }
+      HTL_ASSIGN_OR_RETURN(double weight, ParseWeight());
+      return MakePredicate(std::move(name), std::move(args), weight);
+    }
+    // Bare term compared to another term, e.g. type = 'western' or h < 5.
+    HTL_ASSIGN_OR_RETURN(AttrTerm lhs, ParseTerm());
+    std::optional<CompareOp> op = AsCompareOp(Peek().kind);
+    if (!op.has_value()) {
+      return Error(StrCat("expected a comparison operator, found ", Peek().ToString()));
+    }
+    ++pos_;
+    HTL_ASSIGN_OR_RETURN(AttrTerm rhs, ParseTerm());
+    HTL_ASSIGN_OR_RETURN(double weight, ParseWeight());
+    return MakeCompare(std::move(lhs), *op, std::move(rhs), weight);
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<FormulaPtr> ParseFormula(std::string_view text) {
+  HTL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace htl

@@ -1,0 +1,42 @@
+#ifndef HTL_HTL_PARSER_H_
+#define HTL_HTL_PARSER_H_
+
+#include <string>
+
+#include "htl/ast.h"
+#include "util/result.h"
+
+namespace htl {
+
+/// Parses HTL concrete syntax into a Formula tree. Grammar (operators from
+/// loosest to tightest: until, or, and, prefix unaries):
+///
+///   formula    := until_expr
+///   until_expr := or_expr ('until' until_expr)?            # right-assoc
+///   or_expr    := and_expr ('or' and_expr)*
+///   and_expr   := unary ('and' unary)*
+///   unary      := 'not' unary | 'next' unary | 'eventually' unary
+///              | 'exists' IDENT (',' IDENT)* '(' formula ')'
+///              | '[' IDENT '<-' term ']' unary
+///              | LEVEL_OP '(' formula ')'
+///              | primary
+///   LEVEL_OP   := 'at-next-level' | 'at-level-' INT | 'at-' NAME '-level'
+///   primary    := '(' formula ')' | 'true' | 'false'
+///              | 'present' '(' IDENT ')' weight?
+///              | predicate-or-comparison weight?
+///   weight     := '@' NUMBER                               # extension
+///   term       := literal | IDENT | IDENT '(' IDENT ')'    # attr fn of var
+///
+/// Examples from the paper:
+///   (A)  M1(s) and next (M2(s) until M3(s))        -- with predicates
+///   (B)  exists x, y (present(x) and name(x) = 'JohnWayne' and ...)
+///   (C)  exists z (present(z) and type(z) = 'airplane'
+///          and [h <- height(z)] eventually (present(z) and height(z) > h))
+///
+/// The result still contains unresolved kName terms; run the binder
+/// (htl/binder.h) before evaluation.
+Result<FormulaPtr> ParseFormula(std::string_view text);
+
+}  // namespace htl
+
+#endif  // HTL_HTL_PARSER_H_

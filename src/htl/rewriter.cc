@@ -1,0 +1,108 @@
+#include "htl/rewriter.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace htl {
+
+namespace {
+
+thread_local int g_rewrite_count = 0;
+
+// Does `var` occur (as an attribute variable) anywhere in f? Unresolved
+// names (parser output before the binder ran) count conservatively, since
+// they may resolve to the variable.
+bool UsesAttrVar(const Formula& f, const std::string& var) {
+  if (f.kind == FormulaKind::kConstraint &&
+      f.constraint.kind == Constraint::Kind::kCompare) {
+    for (const AttrTerm* t : {&f.constraint.lhs, &f.constraint.rhs}) {
+      if ((t->kind == AttrTerm::Kind::kVariable || t->kind == AttrTerm::Kind::kName) &&
+          t->name == var) {
+        return true;
+      }
+    }
+  }
+  if (f.left && UsesAttrVar(*f.left, var)) return true;
+  if (f.right && UsesAttrVar(*f.right, var)) return true;
+  return false;
+}
+
+// One bottom-up pass; sets *changed when a rule fired.
+FormulaPtr Pass(FormulaPtr f, bool* changed) {
+  if (f->left) f->left = Pass(std::move(f->left), changed);
+  if (f->right) f->right = Pass(std::move(f->right), changed);
+
+  auto fire = [&](FormulaPtr replacement) {
+    ++g_rewrite_count;
+    *changed = true;
+    return replacement;
+  };
+
+  switch (f->kind) {
+    case FormulaKind::kEventually:
+      // eventually (eventually g) -> eventually g.
+      if (f->left->kind == FormulaKind::kEventually) return fire(std::move(f->left));
+      // eventually false -> false.
+      if (f->left->kind == FormulaKind::kFalse) return fire(std::move(f->left));
+      break;
+    case FormulaKind::kNext:
+      // next false -> false.
+      if (f->left->kind == FormulaKind::kFalse) return fire(std::move(f->left));
+      break;
+    case FormulaKind::kUntil:
+      // true until g -> eventually g.
+      if (f->left->kind == FormulaKind::kTrue) {
+        return fire(MakeEventually(std::move(f->right)));
+      }
+      // g until false -> false.
+      if (f->right->kind == FormulaKind::kFalse) return fire(std::move(f->right));
+      // false until g -> g (no chain can extend for tau > 0).
+      if (f->left->kind == FormulaKind::kFalse) return fire(std::move(f->right));
+      break;
+    case FormulaKind::kNot:
+      // not (not g) -> g.
+      if (f->left->kind == FormulaKind::kNot) return fire(std::move(f->left->left));
+      // not true -> false; not false -> true.
+      if (f->left->kind == FormulaKind::kTrue) return fire(MakeFalse());
+      if (f->left->kind == FormulaKind::kFalse) return fire(MakeTrue());
+      break;
+    case FormulaKind::kExists:
+      // exists X (exists Y (g)) -> exists X, Y (g).
+      if (f->left->kind == FormulaKind::kExists) {
+        for (const std::string& v : f->left->vars) f->vars.push_back(v);
+        f->left = std::move(f->left->left);
+        ++g_rewrite_count;
+        *changed = true;
+      }
+      break;
+    case FormulaKind::kOr:
+      // f or f -> f (syntactic identity).
+      if (f->left->ToString() == f->right->ToString()) return fire(std::move(f->left));
+      break;
+    case FormulaKind::kFreeze:
+      // [y <- q] g with y unused in g -> g.
+      if (!UsesAttrVar(*f->left, f->freeze_var)) return fire(std::move(f->left));
+      break;
+    default:
+      break;
+  }
+  return f;
+}
+
+}  // namespace
+
+FormulaPtr Rewrite(FormulaPtr f) {
+  HTL_CHECK(f != nullptr);
+  g_rewrite_count = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    f = Pass(std::move(f), &changed);
+  }
+  return f;
+}
+
+int LastRewriteCount() { return g_rewrite_count; }
+
+}  // namespace htl

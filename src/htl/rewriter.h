@@ -1,0 +1,39 @@
+#ifndef HTL_HTL_REWRITER_H_
+#define HTL_HTL_REWRITER_H_
+
+#include "htl/ast.h"
+
+namespace htl {
+
+/// Similarity-preserving formula normalization — a light query optimizer in
+/// front of both engines. Every rule preserves the section 2.5 semantics
+/// *exactly*, including the static maximum m(f) (which is why, e.g.,
+/// `f and true` is NOT simplified: dropping `true` would change m):
+///
+///   eventually (eventually f)   -> eventually f
+///   true until f                -> eventually f
+///   exists X (exists Y (f))     -> exists X∪Y (f)     (flattening)
+///   not (not f)                 -> f
+///   not true / not false        -> false / true
+///   next false                  -> false
+///   eventually false            -> false
+///   f until false               -> false
+///   false until f               -> f                  (no chain can extend)
+///   f or f                      -> f                  (syntactic identity)
+///   [y <- q] f, y unused in f   -> f
+///
+/// The two `until` rules assume the until threshold lies in (0, 1] — the
+/// meaningful range (at tau = 0 even `false` would extend a chain; above 1
+/// nothing would, not even `true`).
+///
+/// Rules apply bottom-up to a fixed point. Returns the rewritten tree (the
+/// input is consumed). Idempotent: Rewrite(Rewrite(f)) == Rewrite(f).
+FormulaPtr Rewrite(FormulaPtr f);
+
+/// Number of rule applications in the last Rewrite on this thread —
+/// exposed for tests and EXPLAIN-style diagnostics.
+int LastRewriteCount();
+
+}  // namespace htl
+
+#endif  // HTL_HTL_REWRITER_H_

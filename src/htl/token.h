@@ -1,0 +1,46 @@
+#ifndef HTL_HTL_TOKEN_H_
+#define HTL_HTL_TOKEN_H_
+
+#include <string>
+
+#include "model/value.h"
+
+namespace htl {
+
+enum class TokenKind {
+  kIdent,     // identifiers and keywords; '-' allowed between alphanumerics
+              // so that at-next-level lexes as one token, as in the paper
+  kInt,       // 42
+  kFloat,     // 3.5
+  kString,    // 'western'
+  kLParen,    // (
+  kRParen,    // )
+  kLBracket,  // [
+  kRBracket,  // ]
+  kComma,     // ,
+  kAt,        // @  (constraint weight annotation, an extension)
+  kArrow,     // <-
+  kEq,        // =
+  kNe,        // !=
+  kLt,        // <
+  kLe,        // <=
+  kGt,        // >
+  kGe,        // >=
+  kEnd,       // end of input
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+/// One lexical token with its source offset (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // Identifier / string contents.
+  AttrValue number;   // kInt / kFloat value.
+  size_t offset = 0;  // Byte offset in the query text.
+
+  std::string ToString() const;
+};
+
+}  // namespace htl
+
+#endif  // HTL_HTL_TOKEN_H_

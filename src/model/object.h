@@ -1,0 +1,37 @@
+#ifndef HTL_MODEL_OBJECT_H_
+#define HTL_MODEL_OBJECT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "model/value.h"
+
+namespace htl {
+
+/// Globally unique object id. The paper assumes a universal set of object
+/// ids: the same physical object carries the same id across all pictures in
+/// which it appears (object tracking), and distinct objects get distinct ids.
+using ObjectId = int64_t;
+
+inline constexpr ObjectId kInvalidObjectId = 0;
+
+/// One object's appearance within one video segment: the object id plus the
+/// attribute values it has *in that segment* (e.g. height of an airplane in
+/// a particular frame — formula (C) of the paper compares such per-segment
+/// values across time via the freeze quantifier).
+struct ObjectAppearance {
+  ObjectId id = kInvalidObjectId;
+  /// Attribute name -> value in this segment ("type", "name", "height", ...).
+  std::map<std::string, AttrValue> attributes;
+
+  /// Value of `name`, or null AttrValue when absent.
+  AttrValue Attribute(const std::string& name) const {
+    auto it = attributes.find(name);
+    return it == attributes.end() ? AttrValue() : it->second;
+  }
+};
+
+}  // namespace htl
+
+#endif  // HTL_MODEL_OBJECT_H_

@@ -1,0 +1,11 @@
+#include "model/predicate_fact.h"
+
+#include "util/string_util.h"
+
+namespace htl {
+
+std::string PredicateFact::ToString() const {
+  return StrCat(name, "(", StrJoin(args, ", "), ")");
+}
+
+}  // namespace htl

@@ -1,0 +1,32 @@
+#ifndef HTL_MODEL_PREDICATE_FACT_H_
+#define HTL_MODEL_PREDICATE_FACT_H_
+
+#include <string>
+#include <vector>
+
+#include "model/object.h"
+
+namespace htl {
+
+/// A ground k-ary predicate fact recorded in a segment's meta-data, e.g.
+/// holds_gun(7), fires_at(7, 12), left_of(3, 4). These are the facts the
+/// video analyzer (or a human annotator) extracts; atomic HTL predicates
+/// P(e1, ..., ek) are matched against them.
+struct PredicateFact {
+  std::string name;
+  std::vector<ObjectId> args;
+
+  friend bool operator==(const PredicateFact& a, const PredicateFact& b) {
+    return a.name == b.name && a.args == b.args;
+  }
+  friend bool operator<(const PredicateFact& a, const PredicateFact& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.args < b.args;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace htl
+
+#endif  // HTL_MODEL_PREDICATE_FACT_H_

@@ -1,0 +1,38 @@
+#include "model/segment.h"
+
+#include <algorithm>
+
+namespace htl {
+
+namespace {
+bool IdLess(const ObjectAppearance& a, ObjectId id) { return a.id < id; }
+}  // namespace
+
+void SegmentMeta::AddObject(ObjectAppearance object) {
+  auto it = std::lower_bound(objects_.begin(), objects_.end(), object.id, IdLess);
+  if (it != objects_.end() && it->id == object.id) {
+    for (auto& [k, v] : object.attributes) it->attributes[k] = v;
+    return;
+  }
+  objects_.insert(it, std::move(object));
+}
+
+bool SegmentMeta::HasObject(ObjectId id) const { return FindObject(id) != nullptr; }
+
+const ObjectAppearance* SegmentMeta::FindObject(ObjectId id) const {
+  auto it = std::lower_bound(objects_.begin(), objects_.end(), id, IdLess);
+  if (it != objects_.end() && it->id == id) return &*it;
+  return nullptr;
+}
+
+void SegmentMeta::AddFact(PredicateFact fact) {
+  auto it = std::lower_bound(facts_.begin(), facts_.end(), fact);
+  if (it != facts_.end() && *it == fact) return;
+  facts_.insert(it, std::move(fact));
+}
+
+bool SegmentMeta::HasFact(const PredicateFact& fact) const {
+  return std::binary_search(facts_.begin(), facts_.end(), fact);
+}
+
+}  // namespace htl

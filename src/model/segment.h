@@ -1,0 +1,64 @@
+#ifndef HTL_MODEL_SEGMENT_H_
+#define HTL_MODEL_SEGMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/object.h"
+#include "model/predicate_fact.h"
+#include "model/value.h"
+
+namespace htl {
+
+/// Meta-data attached to one video segment (any node of the hierarchy:
+/// the whole video, a sub-plot, a scene, a shot, or a frame). Contains
+/// segment-level attributes (e.g. type='western', title='...'), the objects
+/// present in the segment with their per-segment attribute values, and
+/// ground predicate facts over those objects.
+class SegmentMeta {
+ public:
+  SegmentMeta() = default;
+
+  /// Sets a segment-level attribute (e.g. "type" -> "western").
+  void SetAttribute(const std::string& name, AttrValue value) {
+    attributes_[name] = std::move(value);
+  }
+
+  /// Segment-level attribute value, or null when absent.
+  AttrValue Attribute(const std::string& name) const {
+    auto it = attributes_.find(name);
+    return it == attributes_.end() ? AttrValue() : it->second;
+  }
+
+  const std::map<std::string, AttrValue>& attributes() const { return attributes_; }
+
+  /// Records that `object` appears in this segment. Re-adding an id merges
+  /// (later attribute values win).
+  void AddObject(ObjectAppearance object);
+
+  /// True when the object id appears in this segment (predicate present(x)).
+  bool HasObject(ObjectId id) const;
+
+  /// The appearance record for `id`, or nullptr.
+  const ObjectAppearance* FindObject(ObjectId id) const;
+
+  const std::vector<ObjectAppearance>& objects() const { return objects_; }
+
+  /// Adds a ground predicate fact; duplicates are ignored.
+  void AddFact(PredicateFact fact);
+
+  /// True when the exact ground fact holds in this segment.
+  bool HasFact(const PredicateFact& fact) const;
+
+  const std::vector<PredicateFact>& facts() const { return facts_; }
+
+ private:
+  std::map<std::string, AttrValue> attributes_;
+  std::vector<ObjectAppearance> objects_;  // Sorted by id.
+  std::vector<PredicateFact> facts_;       // Sorted.
+};
+
+}  // namespace htl
+
+#endif  // HTL_MODEL_SEGMENT_H_

@@ -1,0 +1,14 @@
+#include "model/value.h"
+
+#include "util/string_util.h"
+
+namespace htl {
+
+std::string AttrValue::ToString() const {
+  if (is_null()) return "null";
+  if (is_int()) return StrCat(AsInt());
+  if (is_double()) return StrCat(AsDouble());
+  return StrCat("'", AsString(), "'");
+}
+
+}  // namespace htl

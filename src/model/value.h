@@ -1,0 +1,56 @@
+#ifndef HTL_MODEL_VALUE_H_
+#define HTL_MODEL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace htl {
+
+/// An attribute value in the extended E-R meta-data (section 2.1): null,
+/// integer, real, or string. Attribute predicates over integer attributes
+/// may use <, <=, =, >=, >; other types compare with = only (section 3.3).
+class AttrValue {
+ public:
+  AttrValue() : data_(std::monostate{}) {}
+  AttrValue(int64_t v) : data_(v) {}                 // NOLINT(runtime/explicit)
+  AttrValue(int v) : data_(static_cast<int64_t>(v)) {}  // NOLINT(runtime/explicit)
+  AttrValue(double v) : data_(v) {}                  // NOLINT(runtime/explicit)
+  AttrValue(std::string v) : data_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  AttrValue(const char* v) : data_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  /// True for int or double.
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return is_int() ? static_cast<double>(AsInt()) : std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Equality: numerics compare by numeric value (1 == 1.0); strings by
+  /// content; null equals only null; cross-kind otherwise unequal.
+  friend bool operator==(const AttrValue& a, const AttrValue& b) {
+    if (a.is_numeric() && b.is_numeric()) return a.AsDouble() == b.AsDouble();
+    return a.data_ == b.data_;
+  }
+
+  /// Numeric-or-string ordering. Comparing null or mixed string/numeric
+  /// returns false for every relation except inequality.
+  bool LessThan(const AttrValue& o) const {
+    if (is_numeric() && o.is_numeric()) return AsDouble() < o.AsDouble();
+    if (is_string() && o.is_string()) return AsString() < o.AsString();
+    return false;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+}  // namespace htl
+
+#endif  // HTL_MODEL_VALUE_H_

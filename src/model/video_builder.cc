@@ -1,0 +1,92 @@
+#include "model/video_builder.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace htl {
+
+VideoBuilder::VideoBuilder() { nodes_.emplace_back(); }
+
+VideoBuilder::Handle VideoBuilder::AddChild(Handle parent) {
+  HTL_CHECK_LT(parent, nodes_.size());
+  nodes_.emplace_back();
+  Handle h = nodes_.size() - 1;
+  nodes_[h].parent = parent;
+  nodes_[parent].children.push_back(h);
+  return h;
+}
+
+VideoBuilder::Handle VideoBuilder::AddChildren(Handle parent, int64_t n) {
+  HTL_CHECK_GE(n, 1);
+  Handle first = AddChild(parent);
+  for (int64_t i = 1; i < n; ++i) AddChild(parent);
+  return first;
+}
+
+SegmentMeta& VideoBuilder::Meta(Handle node) {
+  HTL_CHECK_LT(node, nodes_.size());
+  return nodes_[node].meta;
+}
+
+void VideoBuilder::NameLevel(const std::string& name, int level) {
+  level_names_.emplace_back(name, level);
+}
+
+Result<VideoTree> VideoBuilder::Build() && {
+  // BFS by depth; children of consecutive parents concatenate in order,
+  // which is exactly the "proper sequence" layout the engine relies on.
+  std::vector<std::vector<Handle>> by_depth;
+  by_depth.push_back({root()});
+  while (true) {
+    std::vector<Handle> next;
+    for (Handle h : by_depth.back()) {
+      for (Handle c : nodes_[h].children) next.push_back(c);
+    }
+    if (next.empty()) break;
+    by_depth.push_back(std::move(next));
+  }
+
+  // All leaves must lie at the deepest level.
+  const int depth = static_cast<int>(by_depth.size());
+  for (int level = 0; level + 1 < depth; ++level) {
+    for (Handle h : by_depth[static_cast<size_t>(level)]) {
+      if (nodes_[h].children.empty()) {
+        return Status::InvalidArgument(
+            StrCat("leaf at level ", level + 1, " but the tree has depth ", depth,
+                   "; the paper's model requires all leaves at the same level"));
+      }
+    }
+  }
+
+  VideoTree tree;
+  tree.levels_.resize(static_cast<size_t>(depth));
+  // Position (1-based) of each proto node in its level.
+  std::vector<SegmentId> position(nodes_.size(), kInvalidSegmentId);
+  for (int level = 0; level < depth; ++level) {
+    for (size_t i = 0; i < by_depth[static_cast<size_t>(level)].size(); ++i) {
+      position[by_depth[static_cast<size_t>(level)][i]] = static_cast<SegmentId>(i + 1);
+    }
+  }
+  for (int level = 0; level < depth; ++level) {
+    auto& out = tree.levels_[static_cast<size_t>(level)];
+    out.resize(by_depth[static_cast<size_t>(level)].size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      Handle h = by_depth[static_cast<size_t>(level)][i];
+      VideoTree::Node& node = out[i];
+      node.meta = std::move(nodes_[h].meta);
+      node.parent = level == 0 ? kInvalidSegmentId : position[nodes_[h].parent];
+      if (!nodes_[h].children.empty()) {
+        node.first_child = position[nodes_[h].children.front()];
+        node.num_children = static_cast<int64_t>(nodes_[h].children.size());
+      }
+    }
+  }
+  for (const auto& [name, level] : level_names_) {
+    HTL_RETURN_IF_ERROR(tree.NameLevel(name, level));
+  }
+  return tree;
+}
+
+}  // namespace htl

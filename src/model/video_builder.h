@@ -1,0 +1,63 @@
+#ifndef HTL_MODEL_VIDEO_BUILDER_H_
+#define HTL_MODEL_VIDEO_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "model/video.h"
+#include "util/result.h"
+
+namespace htl {
+
+/// Incrementally builds an arbitrary-depth VideoTree. Children keep their
+/// insertion order (the temporal order of the decomposition). Build()
+/// verifies the paper's structural assumption that all leaves lie at the
+/// same depth.
+///
+/// Example:
+///   VideoBuilder b;
+///   b.Meta(b.root()).SetAttribute("title", "Gulf War");
+///   auto plot = b.AddChild(b.root());
+///   auto scene = b.AddChild(plot);
+///   b.AddChild(scene);   // a shot
+///   HTL_ASSIGN_OR_RETURN(VideoTree video, std::move(b).Build());
+class VideoBuilder {
+ public:
+  /// Opaque handle to a node under construction.
+  using Handle = size_t;
+
+  VideoBuilder();
+
+  /// The root node (the whole video).
+  Handle root() const { return 0; }
+
+  /// Appends a child under `parent` and returns its handle.
+  Handle AddChild(Handle parent);
+
+  /// Appends `n` children under `parent`; returns the handle of the first.
+  Handle AddChildren(Handle parent, int64_t n);
+
+  /// Mutable meta-data of a node under construction.
+  SegmentMeta& Meta(Handle node);
+
+  /// Registers a level name (applied to the final tree by Build).
+  void NameLevel(const std::string& name, int level);
+
+  /// Validates (all leaves at equal depth, level names in range) and
+  /// produces the tree. The builder is consumed.
+  Result<VideoTree> Build() &&;
+
+ private:
+  struct ProtoNode {
+    Handle parent = 0;
+    std::vector<Handle> children;
+    SegmentMeta meta;
+  };
+
+  std::vector<ProtoNode> nodes_;
+  std::vector<std::pair<std::string, int>> level_names_;
+};
+
+}  // namespace htl
+
+#endif  // HTL_MODEL_VIDEO_BUILDER_H_

@@ -1,0 +1,110 @@
+#include "picture/atomic.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace htl {
+
+namespace {
+
+void AddUnique(std::vector<std::string>& out, const std::string& v) {
+  if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+}
+
+Status Collect(const Formula& f, AtomicFormula* out) {
+  switch (f.kind) {
+    case FormulaKind::kConstraint:
+      out->constraints.push_back(f.constraint);
+      return Status::OK();
+    case FormulaKind::kAnd:
+      HTL_RETURN_IF_ERROR(Collect(*f.left, out));
+      return Collect(*f.right, out);
+    case FormulaKind::kExists:
+      for (const std::string& v : f.vars) AddUnique(out->exists_vars, v);
+      return Collect(*f.left, out);
+    default:
+      return Status::InvalidArgument(
+          StrCat("subformula is not atomic: ", f.ToString()));
+  }
+}
+
+}  // namespace
+
+double AtomicFormula::MaxWeight() const {
+  double w = 0;
+  for (const Constraint& c : constraints) w += c.weight;
+  return w;
+}
+
+std::vector<std::string> AtomicFormula::AllObjectVars() const {
+  std::vector<std::string> vars;
+  for (const Constraint& c : constraints) {
+    switch (c.kind) {
+      case Constraint::Kind::kPresent:
+        AddUnique(vars, c.object_var);
+        break;
+      case Constraint::Kind::kPredicate:
+        for (const std::string& a : c.pred_args) AddUnique(vars, a);
+        break;
+      case Constraint::Kind::kCompare:
+        for (const AttrTerm* t : {&c.lhs, &c.rhs}) {
+          if (t->kind == AttrTerm::Kind::kAttrOfVar) AddUnique(vars, t->object_var);
+        }
+        break;
+    }
+  }
+  return vars;
+}
+
+std::vector<std::string> AtomicFormula::FreeObjectVars() const {
+  std::vector<std::string> out;
+  for (const std::string& v : AllObjectVars()) {
+    if (std::find(exists_vars.begin(), exists_vars.end(), v) == exists_vars.end()) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> AtomicFormula::FreeAttrVars() const {
+  std::vector<std::string> out;
+  for (const Constraint& c : constraints) {
+    if (c.kind != Constraint::Kind::kCompare) continue;
+    for (const AttrTerm* t : {&c.lhs, &c.rhs}) {
+      if (t->kind == AttrTerm::Kind::kVariable) AddUnique(out, t->name);
+    }
+  }
+  return out;
+}
+
+std::string AtomicFormula::ToString() const {
+  std::string body;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    if (i > 0) body += " and ";
+    body += constraints[i].ToString();
+  }
+  if (exists_vars.empty()) return body;
+  return StrCat("exists ", StrJoin(exists_vars, ", "), " (", body, ")");
+}
+
+Result<AtomicFormula> ExtractAtomic(const Formula& f) {
+  AtomicFormula out;
+  HTL_RETURN_IF_ERROR(Collect(f, &out));
+  return out;
+}
+
+bool IsAtomicShape(const Formula& f) {
+  switch (f.kind) {
+    case FormulaKind::kConstraint:
+      return true;
+    case FormulaKind::kAnd:
+      return IsAtomicShape(*f.left) && IsAtomicShape(*f.right);
+    case FormulaKind::kExists:
+      return IsAtomicShape(*f.left);
+    default:
+      return false;
+  }
+}
+
+}  // namespace htl

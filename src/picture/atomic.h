@@ -1,0 +1,52 @@
+#ifndef HTL_PICTURE_ATOMIC_H_
+#define HTL_PICTURE_ATOMIC_H_
+
+#include <string>
+#include <vector>
+
+#include "htl/ast.h"
+#include "util/result.h"
+
+namespace htl {
+
+/// A maximal non-temporal subformula in the shape the picture-retrieval
+/// system consumes: a conjunction of atomic constraints, possibly under
+/// local existential quantifiers (the paper's "atomic subformulas ... that
+/// do not have any temporal operators in them", section 4).
+struct AtomicFormula {
+  std::vector<Constraint> constraints;
+  /// Object variables quantified inside the atomic formula itself; they are
+  /// maxed out per segment rather than becoming table columns.
+  std::vector<std::string> exists_vars;
+
+  /// Static maximum similarity: the sum of constraint weights.
+  double MaxWeight() const;
+
+  /// Object variables free in the atomic formula (excluding exists_vars),
+  /// in first-occurrence order — the table's object columns.
+  std::vector<std::string> FreeObjectVars() const;
+
+  /// Attribute variables occurring in comparisons — the table's range
+  /// columns (they are always free here; freeze operators live above the
+  /// atomic level).
+  std::vector<std::string> FreeAttrVars() const;
+
+  /// All object variables (free + locally quantified).
+  std::vector<std::string> AllObjectVars() const;
+
+  std::string ToString() const;
+};
+
+/// Converts a non-temporal Formula subtree (kConstraint / kAnd / kExists
+/// over those) into an AtomicFormula. Returns InvalidArgument for subtrees
+/// containing temporal, level, negation, disjunction, freeze, or constant
+/// nodes — the engine keeps those as separate evaluation nodes.
+Result<AtomicFormula> ExtractAtomic(const Formula& f);
+
+/// True when ExtractAtomic would succeed — the engine's test for "this
+/// subtree is one picture query".
+bool IsAtomicShape(const Formula& f);
+
+}  // namespace htl
+
+#endif  // HTL_PICTURE_ATOMIC_H_

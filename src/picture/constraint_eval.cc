@@ -1,0 +1,146 @@
+#include "picture/constraint_eval.h"
+
+#include "util/string_util.h"
+
+namespace htl {
+
+AttrValue EvalTerm(const AttrTerm& term, const SegmentMeta& meta, const EvalEnv& env) {
+  switch (term.kind) {
+    case AttrTerm::Kind::kLiteral:
+      return term.literal;
+    case AttrTerm::Kind::kVariable:
+      return env.AttrOf(term.name);
+    case AttrTerm::Kind::kSegmentAttr:
+      return meta.Attribute(term.name);
+    case AttrTerm::Kind::kAttrOfVar: {
+      const ObjectId id = env.ObjectOf(term.object_var);
+      if (id == kInvalidObjectId) return AttrValue();
+      const ObjectAppearance* obj = meta.FindObject(id);
+      if (obj == nullptr) return AttrValue();
+      return obj->Attribute(term.name);
+    }
+    case AttrTerm::Kind::kName:
+      // Unresolved name: the binder was not run; treat as segment attribute.
+      return meta.Attribute(term.name);
+  }
+  return AttrValue();
+}
+
+bool Compare(const AttrValue& lhs, CompareOp op, const AttrValue& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return false;
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      // Null-free inequality; incomparable kinds count as unequal.
+      return !(lhs == rhs);
+    case CompareOp::kLt:
+      return lhs.LessThan(rhs);
+    case CompareOp::kLe:
+      return lhs.LessThan(rhs) || lhs == rhs;
+    case CompareOp::kGt:
+      return rhs.LessThan(lhs);
+    case CompareOp::kGe:
+      return rhs.LessThan(lhs) || lhs == rhs;
+  }
+  return false;
+}
+
+bool ConstraintSatisfied(const Constraint& c, const SegmentMeta& meta, const EvalEnv& env) {
+  switch (c.kind) {
+    case Constraint::Kind::kPresent: {
+      const ObjectId id = env.ObjectOf(c.object_var);
+      return id != kInvalidObjectId && meta.HasObject(id);
+    }
+    case Constraint::Kind::kCompare:
+      return Compare(EvalTerm(c.lhs, meta, env), c.op, EvalTerm(c.rhs, meta, env));
+    case Constraint::Kind::kPredicate: {
+      PredicateFact fact;
+      fact.name = c.pred_name;
+      fact.args.reserve(c.pred_args.size());
+      for (const std::string& a : c.pred_args) {
+        const ObjectId id = env.ObjectOf(a);
+        if (id == kInvalidObjectId) return false;
+        fact.args.push_back(id);
+      }
+      return meta.HasFact(fact);
+    }
+  }
+  return false;
+}
+
+Result<std::string> ComparisonAttrVar(const Constraint& c) {
+  if (c.kind != Constraint::Kind::kCompare) return std::string();
+  const bool lv = c.lhs.kind == AttrTerm::Kind::kVariable;
+  const bool rv = c.rhs.kind == AttrTerm::Kind::kVariable;
+  if (lv && rv) {
+    return Status::Unimplemented(
+        "comparisons between two attribute variables are outside the "
+        "conjunctive classes (section 3.3 restricts to y OP value)");
+  }
+  if (lv) return c.lhs.name;
+  if (rv) return c.rhs.name;
+  return std::string();
+}
+
+Result<AttrVarRange> CompareToRange(const Constraint& c, const SegmentMeta& meta,
+                                    const EvalEnv& env) {
+  HTL_ASSIGN_OR_RETURN(std::string var, ComparisonAttrVar(c));
+  if (var.empty()) {
+    return Status::InvalidArgument(
+        StrCat("constraint has no attribute variable: ", c.ToString()));
+  }
+  const bool var_on_left = c.lhs.kind == AttrTerm::Kind::kVariable;
+  const AttrValue value = EvalTerm(var_on_left ? c.rhs : c.lhs, meta, env);
+  AttrVarRange out;
+  out.var = std::move(var);
+  if (value.is_null()) {
+    // The compared attribute is undefined here: unsatisfiable.
+    out.range = ValueRange::Empty();
+    return out;
+  }
+  // Normalize to: var OP' value.
+  CompareOp op = c.op;
+  if (!var_on_left) {
+    switch (c.op) {
+      case CompareOp::kLt:
+        op = CompareOp::kGt;
+        break;
+      case CompareOp::kLe:
+        op = CompareOp::kGe;
+        break;
+      case CompareOp::kGt:
+        op = CompareOp::kLt;
+        break;
+      case CompareOp::kGe:
+        op = CompareOp::kLe;
+        break;
+      default:
+        break;  // = and != are symmetric.
+    }
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      out.range = ValueRange::Exactly(value);
+      break;
+    case CompareOp::kLt:
+      out.range = ValueRange::LessThan(value);
+      break;
+    case CompareOp::kLe:
+      out.range = ValueRange::AtMost(value);
+      break;
+    case CompareOp::kGt:
+      out.range = ValueRange::GreaterThan(value);
+      break;
+    case CompareOp::kGe:
+      out.range = ValueRange::AtLeast(value);
+      break;
+    case CompareOp::kNe:
+      return Status::Unimplemented(
+          "!= over attribute variables does not denote a single range "
+          "(section 3.3 restricts attribute-variable predicates)");
+  }
+  return out;
+}
+
+}  // namespace htl

@@ -1,0 +1,61 @@
+#ifndef HTL_PICTURE_CONSTRAINT_EVAL_H_
+#define HTL_PICTURE_CONSTRAINT_EVAL_H_
+
+#include <map>
+#include <string>
+
+#include "htl/ast.h"
+#include "model/segment.h"
+#include "sim/value_range.h"
+#include "util/result.h"
+
+namespace htl {
+
+/// An evaluation (the paper's ρ): bindings for object variables and, in the
+/// reference engine, concrete values for attribute variables.
+struct EvalEnv {
+  std::map<std::string, ObjectId> objects;
+  std::map<std::string, AttrValue> attrs;
+
+  ObjectId ObjectOf(const std::string& var) const {
+    auto it = objects.find(var);
+    return it == objects.end() ? kInvalidObjectId : it->second;
+  }
+  AttrValue AttrOf(const std::string& var) const {
+    auto it = attrs.find(var);
+    return it == attrs.end() ? AttrValue() : it->second;
+  }
+};
+
+/// Evaluates an attribute term in one segment under `env`. Missing objects,
+/// missing attributes, and unbound variables yield the null value.
+AttrValue EvalTerm(const AttrTerm& term, const SegmentMeta& meta, const EvalEnv& env);
+
+/// Applies a comparison operator; any null operand compares false (except
+/// nothing — null is never equal, less, or greater).
+bool Compare(const AttrValue& lhs, CompareOp op, const AttrValue& rhs);
+
+/// True when `c` is satisfied in `meta` under `env`. Attribute variables
+/// are looked up in env.attrs (the reference-engine mode). Unbound object
+/// variables make present/predicate/attribute constraints false.
+bool ConstraintSatisfied(const Constraint& c, const SegmentMeta& meta, const EvalEnv& env);
+
+/// Range-mode evaluation of a comparison that mentions exactly one
+/// attribute variable (the picture-system mode of section 3.3): returns the
+/// variable name and the range of its values satisfying the comparison in
+/// this segment under `env`. The range may be empty (e.g. the compared
+/// attribute is null: no value of the variable can satisfy it).
+struct AttrVarRange {
+  std::string var;
+  ValueRange range;
+};
+Result<AttrVarRange> CompareToRange(const Constraint& c, const SegmentMeta& meta,
+                                    const EvalEnv& env);
+
+/// Which attribute variable a comparison constraint mentions ("" for none;
+/// an error for two — those formulas are class kGeneral).
+Result<std::string> ComparisonAttrVar(const Constraint& c);
+
+}  // namespace htl
+
+#endif  // HTL_PICTURE_CONSTRAINT_EVAL_H_

@@ -1,0 +1,74 @@
+#include "picture/index.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace htl {
+
+namespace {
+
+template <typename T>
+void SortUnique(std::vector<T>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+std::string LevelIndex::ValueKey(const std::string& attr, const AttrValue& value) {
+  return StrCat(attr, "\x1f", value.ToString());
+}
+
+LevelIndex::LevelIndex(const VideoTree& video, int level)
+    : level_(level), num_segments_(video.NumSegments(level)) {
+  for (SegmentId id = 1; id <= num_segments_; ++id) {
+    const SegmentMeta& meta = video.Meta(level, id);
+    for (const auto& [attr, value] : meta.attributes()) {
+      segments_by_attr_value_[ValueKey(attr, value)].push_back(id);
+    }
+    for (const ObjectAppearance& obj : meta.objects()) {
+      all_objects_.push_back(obj.id);
+      postings_[obj.id].push_back(id);
+      for (const auto& [attr, value] : obj.attributes) {
+        objects_by_attr_value_[ValueKey(attr, value)].push_back(obj.id);
+      }
+    }
+    for (const PredicateFact& fact : meta.facts()) {
+      for (size_t pos = 0; pos < fact.args.size(); ++pos) {
+        objects_by_fact_position_[StrCat(fact.name, "\x1f", pos)].push_back(
+            fact.args[pos]);
+      }
+    }
+  }
+  SortUnique(all_objects_);
+  for (auto& [k, v] : postings_) SortUnique(v);
+  for (auto& [k, v] : objects_by_attr_value_) SortUnique(v);
+  for (auto& [k, v] : objects_by_fact_position_) SortUnique(v);
+  for (auto& [k, v] : segments_by_attr_value_) SortUnique(v);
+}
+
+const std::vector<SegmentId>& LevelIndex::Posting(ObjectId id) const {
+  auto it = postings_.find(id);
+  return it == postings_.end() ? empty_segments_ : it->second;
+}
+
+const std::vector<ObjectId>& LevelIndex::ObjectsWithAttrValue(
+    const std::string& attr, const AttrValue& value) const {
+  auto it = objects_by_attr_value_.find(ValueKey(attr, value));
+  return it == objects_by_attr_value_.end() ? empty_objects_ : it->second;
+}
+
+const std::vector<ObjectId>& LevelIndex::ObjectsInFactPosition(const std::string& pred,
+                                                               size_t pos) const {
+  auto it = objects_by_fact_position_.find(StrCat(pred, "\x1f", pos));
+  return it == objects_by_fact_position_.end() ? empty_objects_ : it->second;
+}
+
+const std::vector<SegmentId>& LevelIndex::SegmentsWithAttrValue(
+    const std::string& attr, const AttrValue& value) const {
+  auto it = segments_by_attr_value_.find(ValueKey(attr, value));
+  return it == segments_by_attr_value_.end() ? empty_segments_ : it->second;
+}
+
+}  // namespace htl

@@ -1,0 +1,61 @@
+#ifndef HTL_PICTURE_INDEX_H_
+#define HTL_PICTURE_INDEX_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/video.h"
+
+namespace htl {
+
+/// Inverted indices over one level of one video's meta-data — the "indices
+/// on the meta-data" the paper's picture retrieval system [27, 25, 2]
+/// employs. Built once per (video, level) and shared by all queries.
+class LevelIndex {
+ public:
+  /// Scans all segments of `level` in `video`.
+  LevelIndex(const VideoTree& video, int level);
+
+  int level() const { return level_; }
+  int64_t num_segments() const { return num_segments_; }
+
+  /// Every object id appearing at this level, sorted.
+  const std::vector<ObjectId>& all_objects() const { return all_objects_; }
+
+  /// Sorted ids of segments where `id` appears (empty vector if never).
+  const std::vector<SegmentId>& Posting(ObjectId id) const;
+
+  /// Objects having attribute `attr` equal to `value` in at least one
+  /// segment of this level (sorted). Drives candidate pruning for
+  /// constraints like type(x) = 'airplane'.
+  const std::vector<ObjectId>& ObjectsWithAttrValue(const std::string& attr,
+                                                    const AttrValue& value) const;
+
+  /// Objects appearing in argument position `pos` of a ground fact named
+  /// `pred` somewhere at this level (sorted).
+  const std::vector<ObjectId>& ObjectsInFactPosition(const std::string& pred,
+                                                     size_t pos) const;
+
+  /// Sorted ids of segments whose segment-level attribute `attr` equals
+  /// `value` — serves browsing predicates like type = 'western'.
+  const std::vector<SegmentId>& SegmentsWithAttrValue(const std::string& attr,
+                                                      const AttrValue& value) const;
+
+ private:
+  static std::string ValueKey(const std::string& attr, const AttrValue& value);
+
+  int level_;
+  int64_t num_segments_;
+  std::vector<ObjectId> all_objects_;
+  std::map<ObjectId, std::vector<SegmentId>> postings_;
+  std::map<std::string, std::vector<ObjectId>> objects_by_attr_value_;
+  std::map<std::string, std::vector<ObjectId>> objects_by_fact_position_;
+  std::map<std::string, std::vector<SegmentId>> segments_by_attr_value_;
+  std::vector<ObjectId> empty_objects_;
+  std::vector<SegmentId> empty_segments_;
+};
+
+}  // namespace htl
+
+#endif  // HTL_PICTURE_INDEX_H_

@@ -1,0 +1,64 @@
+#ifndef HTL_SIM_LIST_OPS_H_
+#define HTL_SIM_LIST_OPS_H_
+
+#include <vector>
+
+#include "sim/sim_list.h"
+#include "util/interval.h"
+
+namespace htl {
+
+/// The similarity-list operator algebra of section 3.1. Every function runs
+/// in O(n1 + n2) over the entry counts of its inputs (MultiMax is
+/// O(total * log m)), matching the complexities claimed in the paper.
+
+/// Conjunction f = g AND h: pointwise sum of actual values (a segment on one
+/// list only keeps that list's value — partial satisfaction), max = mg + mh.
+SimilarityList AndMerge(const SimilarityList& g, const SimilarityList& h);
+
+/// Fuzzy conjunction (the AndSemantics::kFuzzyMin alternative similarity
+/// function): fraction' = min(frac_g, frac_h), encoded with
+/// max = mg + mh so that maxima remain a function of the formula. Segments
+/// absent from either list score 0.
+SimilarityList FuzzyMinAndMerge(const SimilarityList& g, const SimilarityList& h);
+
+/// Pointwise maximum. Used to collapse the rows of an existentially
+/// quantified table (all rows share one max) and for the disjunction
+/// extension; output max = max(mg, mh).
+SimilarityList OrMerge(const SimilarityList& g, const SimilarityList& h);
+
+/// f = next g: entry [u, v] becomes [u-1, v-1]; ids below 1 are dropped
+/// (and the last segment of a sequence implicitly gets similarity 0).
+SimilarityList NextShift(const SimilarityList& g);
+
+/// f = g until h with g-threshold `tau` on *fractional* similarity
+/// (section 2.5: only whether g clears the threshold matters, not its
+/// value). Defined by the classical expansion
+///     f(u) = max( h(u), [frac(g,u) >= tau] * f(u+1) )
+/// evaluated right-to-left over interval runs; reproduces the worked
+/// example of figure 2 exactly. Output max = h.max.
+SimilarityList UntilMerge(const SimilarityList& g, const SimilarityList& h, double tau);
+
+/// f = eventually h == (true until h): running suffix maximum,
+/// f(u) = max(h(u), f(u+1)). Output max = h.max.
+SimilarityList Eventually(const SimilarityList& h);
+
+/// The coalesced support {u : frac(g,u) >= tau} as disjoint intervals —
+/// the preprocessed L1 of the paper's until algorithm. Exposed for tests
+/// and for the SQL translator.
+std::vector<Interval> ThresholdSupport(const SimilarityList& g, double tau);
+
+/// Pointwise maximum of m lists (empty input yields an empty list with
+/// max 0). Divide-and-conquer merge: O(l log m) for total entry count l —
+/// the "modified m-way merge" of section 3.2.
+SimilarityList MultiMax(std::vector<SimilarityList> lists);
+
+/// f = not g over the segment ids in `bounds`: actual' = max - actual
+/// (the natural involution on (actual, max) pairs; an extension — the
+/// paper's similarity semantics excludes negation from the optimized
+/// classes, see section 2.5). Ids outside `bounds` stay uncovered.
+SimilarityList Complement(const SimilarityList& g, const Interval& bounds);
+
+}  // namespace htl
+
+#endif  // HTL_SIM_LIST_OPS_H_

@@ -1,0 +1,129 @@
+#include "sim/sim_list.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace htl {
+
+namespace {
+
+// Drops zero entries and merges adjacent equal-valued runs, in place.
+std::vector<SimEntry> Canonicalize(std::vector<SimEntry> entries) {
+  std::vector<SimEntry> out;
+  out.reserve(entries.size());
+  for (SimEntry& e : entries) {
+    if (e.actual <= 0.0 || e.range.empty()) continue;
+    if (!out.empty() && out.back().actual == e.actual && out.back().range.Adjacent(e.range)) {
+      out.back().range.end = e.range.end;
+    } else {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SimilarityList> SimilarityList::FromEntries(std::vector<SimEntry> entries,
+                                                   double max) {
+  if (max < 0) return Status::InvalidArgument("negative max similarity");
+  SegmentId prev_end = 0;
+  bool first = true;
+  for (const SimEntry& e : entries) {
+    if (e.range.empty()) {
+      return Status::InvalidArgument(StrCat("empty interval ", e.range.ToString()));
+    }
+    if (!first && e.range.begin <= prev_end) {
+      return Status::InvalidArgument(
+          StrCat("entries not sorted/disjoint at ", e.range.ToString()));
+    }
+    if (e.actual < 0 || e.actual > max) {
+      return Status::InvalidArgument(
+          StrCat("actual ", e.actual, " outside [0, ", max, "]"));
+    }
+    prev_end = e.range.end;
+    first = false;
+  }
+  SimilarityList list(max);
+  list.entries_ = Canonicalize(std::move(entries));
+  return list;
+}
+
+SimilarityList SimilarityList::FromEntriesOrDie(std::vector<SimEntry> entries,
+                                                double max) {
+  Result<SimilarityList> r = FromEntries(std::move(entries), max);
+  HTL_CHECK(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+SimilarityList SimilarityList::FromDense(const std::vector<double>& values, double max,
+                                         SegmentId first_id) {
+  SimilarityList list(max);
+  size_t i = 0;
+  while (i < values.size()) {
+    if (values[i] <= 0.0) {
+      ++i;
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < values.size() && values[j] == values[i]) ++j;
+    HTL_CHECK_LE(values[i], max);
+    list.entries_.push_back(SimEntry{
+        Interval{first_id + static_cast<SegmentId>(i), first_id + static_cast<SegmentId>(j) - 1},
+        values[i]});
+    i = j;
+  }
+  return list;
+}
+
+Sim SimilarityList::ValueAt(SegmentId id) const { return Sim{ActualAt(id), max_}; }
+
+double SimilarityList::ActualAt(SegmentId id) const {
+  // First entry whose begin is > id, then check its predecessor.
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), id,
+      [](SegmentId v, const SimEntry& e) { return v < e.range.begin; });
+  if (it == entries_.begin()) return 0.0;
+  --it;
+  return it->range.Contains(id) ? it->actual : 0.0;
+}
+
+int64_t SimilarityList::CoveredIds() const {
+  int64_t n = 0;
+  for (const SimEntry& e : entries_) n += e.range.size();
+  return n;
+}
+
+SimilarityList SimilarityList::Clip(const Interval& bounds) const {
+  SimilarityList out(max_);
+  for (const SimEntry& e : entries_) {
+    Interval cut = e.range.Intersect(bounds);
+    if (!cut.empty()) out.entries_.push_back(SimEntry{cut, e.actual});
+  }
+  return out;
+}
+
+SimilarityList SimilarityList::WithMax(double new_max) const {
+  SimilarityList out(new_max);
+  out.entries_ = entries_;
+  for (const SimEntry& e : out.entries_) {
+    HTL_CHECK_LE(e.actual, new_max) << "WithMax would break actual <= max";
+  }
+  return out;
+}
+
+std::string SimilarityList::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const SimEntry& e : entries_) {
+    if (!first) out += ", ";
+    out += StrCat(e.range.ToString(), ":", e.actual);
+    first = false;
+  }
+  out += StrCat("} max=", max_);
+  return out;
+}
+
+}  // namespace htl

@@ -1,0 +1,88 @@
+#ifndef HTL_SIM_SIM_LIST_H_
+#define HTL_SIM_SIM_LIST_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/similarity.h"
+#include "util/interval.h"
+#include "util/result.h"
+
+namespace htl {
+
+/// One similarity-list entry ([beg_id, end_id], act_sim) — section 3.1. The
+/// max similarity is not stored per entry because it is identical for every
+/// entry of a list (it depends only on the formula).
+struct SimEntry {
+  Interval range;
+  double actual = 0.0;
+
+  friend bool operator==(const SimEntry& a, const SimEntry& b) {
+    return a.range == b.range && a.actual == b.actual;
+  }
+};
+
+/// A similarity list (a.k.a. similarity table column): interval-run-encoded
+/// similarity values of one formula over one proper sequence of video
+/// segments. Invariants:
+///   * entries are sorted by range.begin and pairwise disjoint;
+///   * every entry has actual > 0 (ids not covered have similarity zero);
+///   * adjacent entries with equal actual are merged (canonical form);
+///   * 0 < actual <= max() for every entry.
+class SimilarityList {
+ public:
+  SimilarityList() = default;
+
+  /// A list with no entries and the given formula maximum.
+  explicit SimilarityList(double max) : max_(max) {}
+
+  /// Builds a list from entries that must already be sorted and disjoint;
+  /// zero-actual entries are dropped, adjacent equal-valued runs merged.
+  /// Returns InvalidArgument when sorting/disjointness/actual<=max fail.
+  static Result<SimilarityList> FromEntries(std::vector<SimEntry> entries, double max);
+
+  /// As FromEntries but aborts on invalid input — for literals in tests.
+  static SimilarityList FromEntriesOrDie(std::vector<SimEntry> entries, double max);
+
+  /// Builds from a dense vector: value[i] is the similarity of segment
+  /// first_id + i. Runs of equal nonzero values become entries.
+  static SimilarityList FromDense(const std::vector<double>& values, double max,
+                                  SegmentId first_id = 1);
+
+  const std::vector<SimEntry>& entries() const { return entries_; }
+  double max() const { return max_; }
+  int64_t length() const { return static_cast<int64_t>(entries_.size()); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Similarity at segment `id` (0 when not covered).
+  Sim ValueAt(SegmentId id) const;
+
+  /// Actual value at `id`; 0 when not covered. O(log length).
+  double ActualAt(SegmentId id) const;
+
+  /// Total number of segment ids covered by entries.
+  int64_t CoveredIds() const;
+
+  /// Restricts the list to ids within `bounds` (used when evaluating over a
+  /// proper sub-sequence, e.g. the children of one node).
+  SimilarityList Clip(const Interval& bounds) const;
+
+  /// Returns a copy with max replaced (entries must still satisfy
+  /// actual <= new_max; checked).
+  SimilarityList WithMax(double new_max) const;
+
+  /// Human-readable one-line form, e.g. "{[10,24]:10, [25,60]:15} max=20".
+  std::string ToString() const;
+
+  friend bool operator==(const SimilarityList& a, const SimilarityList& b) {
+    return a.max_ == b.max_ && a.entries_ == b.entries_;
+  }
+
+ private:
+  std::vector<SimEntry> entries_;
+  double max_ = 0.0;
+};
+
+}  // namespace htl
+
+#endif  // HTL_SIM_SIM_LIST_H_

@@ -1,0 +1,76 @@
+#include "sim/sim_table.h"
+
+#include "sim/list_ops.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace htl {
+
+SimilarityTable SimilarityTable::FromList(SimilarityList list) {
+  SimilarityTable t;
+  if (!list.empty()) {
+    t.rows_.push_back(Row{{}, {}, std::move(list)});
+  } else {
+    // Keep the empty list's max by storing the row anyway only if nonempty;
+    // an empty list yields an empty table (max recoverable via fallback).
+  }
+  return t;
+}
+
+double SimilarityTable::MaxSim(double fallback_max) const {
+  if (rows_.empty()) return fallback_max;
+  return rows_.front().list.max();
+}
+
+int SimilarityTable::ObjectColumn(const std::string& var) const {
+  for (size_t i = 0; i < object_vars_.size(); ++i) {
+    if (object_vars_[i] == var) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int SimilarityTable::AttrColumn(const std::string& var) const {
+  for (size_t i = 0; i < attr_vars_.size(); ++i) {
+    if (attr_vars_[i] == var) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void SimilarityTable::AddRow(Row row) {
+  HTL_CHECK_EQ(row.objects.size(), object_vars_.size());
+  HTL_CHECK_EQ(row.ranges.size(), attr_vars_.size());
+  if (row.list.empty()) return;  // Zero-similarity evaluations are not stored.
+  rows_.push_back(std::move(row));
+}
+
+SimilarityList SimilarityTable::ToList(double fallback_max) const {
+  HTL_CHECK(object_vars_.empty() && attr_vars_.empty())
+      << "ToList on a table with variable columns";
+  if (rows_.empty()) return SimilarityList(fallback_max);
+  std::vector<SimilarityList> lists;
+  lists.reserve(rows_.size());
+  for (const Row& r : rows_) lists.push_back(r.list);
+  return MultiMax(std::move(lists));
+}
+
+std::string SimilarityTable::ToString() const {
+  std::string out =
+      StrCat("table objects=(", StrJoin(object_vars_, ","), ") attrs=(",
+             StrJoin(attr_vars_, ","), ") rows=", rows_.size(), "\n");
+  for (const Row& r : rows_) {
+    out += "  [";
+    for (size_t i = 0; i < r.objects.size(); ++i) {
+      out += i ? "," : "";
+      out += r.objects[i] == kAnyObject ? "*" : StrCat(r.objects[i]);
+    }
+    out += "|";
+    for (size_t i = 0; i < r.ranges.size(); ++i) {
+      out += i ? "," : "";
+      out += r.ranges[i].ToString();
+    }
+    out += StrCat("] ", r.list.ToString(), "\n");
+  }
+  return out;
+}
+
+}  // namespace htl

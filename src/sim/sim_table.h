@@ -1,0 +1,73 @@
+#ifndef HTL_SIM_SIM_TABLE_H_
+#define HTL_SIM_SIM_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "model/object.h"
+#include "sim/sim_list.h"
+#include "sim/value_range.h"
+#include "util/result.h"
+
+namespace htl {
+
+/// A similarity table (section 3.2 / 3.3): the result of evaluating a
+/// subformula with free variables. Each row gives
+///   * a binding of every free *object* variable to an object id — or the
+///     wildcard kAnyObject when the subformula does not constrain it (used
+///     to represent partial matches preserved by outer joins);
+///   * a range of values for every free *attribute* variable;
+///   * a similarity list over video segments, valid for exactly the
+///     evaluations described by the first two parts.
+class SimilarityTable {
+ public:
+  /// Wildcard object binding: "this row holds for any object here".
+  static constexpr ObjectId kAnyObject = kInvalidObjectId;
+
+  struct Row {
+    std::vector<ObjectId> objects;   // Parallel to object_vars().
+    std::vector<ValueRange> ranges;  // Parallel to attr_vars().
+    SimilarityList list;
+  };
+
+  SimilarityTable() = default;
+  SimilarityTable(std::vector<std::string> object_vars, std::vector<std::string> attr_vars)
+      : object_vars_(std::move(object_vars)), attr_vars_(std::move(attr_vars)) {}
+
+  /// A no-variable table holding a single row with `list` — the shape of a
+  /// closed subformula's result.
+  static SimilarityTable FromList(SimilarityList list);
+
+  const std::vector<std::string>& object_vars() const { return object_vars_; }
+  const std::vector<std::string>& attr_vars() const { return attr_vars_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+
+  /// Max similarity of the underlying formula: taken from any row's list
+  /// (all rows share it); `fallback_max` when the table has no rows.
+  double MaxSim(double fallback_max = 0.0) const;
+
+  /// Index of an object-variable column, or -1.
+  int ObjectColumn(const std::string& var) const;
+  /// Index of an attribute-variable column, or -1.
+  int AttrColumn(const std::string& var) const;
+
+  /// Appends a row; checks column arity and that empty lists are not added.
+  void AddRow(Row row);
+
+  /// The single similarity list of a no-variable table (max-merges rows if
+  /// several accumulated); `fallback_max` when empty.
+  SimilarityList ToList(double fallback_max = 0.0) const;
+
+  /// Multi-line debug form.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> object_vars_;
+  std::vector<std::string> attr_vars_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace htl
+
+#endif  // HTL_SIM_SIM_TABLE_H_

@@ -1,0 +1,11 @@
+#include "sim/similarity.h"
+
+#include "util/string_util.h"
+
+namespace htl {
+
+std::string Sim::ToString() const {
+  return StrCat("(", actual, "/", max, ")");
+}
+
+}  // namespace htl

@@ -1,0 +1,28 @@
+#ifndef HTL_SIM_SIMILARITY_H_
+#define HTL_SIM_SIMILARITY_H_
+
+#include <string>
+
+namespace htl {
+
+/// A similarity value per section 2.5: a pair (actual, max) with
+/// 0 <= actual <= max. `max` depends only on the formula, never on the video
+/// segment; actual == max means an exact match. The scalar the user sees is
+/// the fractional similarity actual/max.
+struct Sim {
+  double actual = 0.0;
+  double max = 0.0;
+
+  /// actual/max; 0 when max == 0 (the degenerate empty formula).
+  double fraction() const { return max > 0 ? actual / max : 0.0; }
+
+  friend bool operator==(const Sim& a, const Sim& b) {
+    return a.actual == b.actual && a.max == b.max;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace htl
+
+#endif  // HTL_SIM_SIMILARITY_H_

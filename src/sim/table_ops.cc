@@ -1,0 +1,359 @@
+#include "sim/table_ops.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "sim/list_ops.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace htl {
+
+namespace {
+
+using Row = SimilarityTable::Row;
+
+constexpr ObjectId kAny = SimilarityTable::kAnyObject;
+
+// Column mapping from an input table into the joined output schema.
+struct ColumnMap {
+  std::vector<int> object_to_out;  // input object col -> output object col
+  std::vector<int> attr_to_out;    // input attr col -> output attr col
+};
+
+struct JoinSchema {
+  std::vector<std::string> object_vars;
+  std::vector<std::string> attr_vars;
+  ColumnMap lhs, rhs;
+  // Common columns as (lhs index, rhs index) pairs.
+  std::vector<std::pair<int, int>> common_objects;
+};
+
+JoinSchema MakeJoinSchema(const SimilarityTable& lhs, const SimilarityTable& rhs) {
+  JoinSchema s;
+  s.object_vars = lhs.object_vars();
+  s.attr_vars = lhs.attr_vars();
+  s.lhs.object_to_out.resize(lhs.object_vars().size());
+  for (size_t i = 0; i < lhs.object_vars().size(); ++i) {
+    s.lhs.object_to_out[i] = static_cast<int>(i);
+  }
+  s.lhs.attr_to_out.resize(lhs.attr_vars().size());
+  for (size_t i = 0; i < lhs.attr_vars().size(); ++i) {
+    s.lhs.attr_to_out[i] = static_cast<int>(i);
+  }
+  s.rhs.object_to_out.resize(rhs.object_vars().size());
+  for (size_t i = 0; i < rhs.object_vars().size(); ++i) {
+    int lhs_col = lhs.ObjectColumn(rhs.object_vars()[i]);
+    if (lhs_col >= 0) {
+      s.rhs.object_to_out[i] = lhs_col;
+      s.common_objects.emplace_back(lhs_col, static_cast<int>(i));
+    } else {
+      s.object_vars.push_back(rhs.object_vars()[i]);
+      s.rhs.object_to_out[i] = static_cast<int>(s.object_vars.size() - 1);
+    }
+  }
+  s.rhs.attr_to_out.resize(rhs.attr_vars().size());
+  for (size_t i = 0; i < rhs.attr_vars().size(); ++i) {
+    int lhs_col = lhs.AttrColumn(rhs.attr_vars()[i]);
+    if (lhs_col >= 0) {
+      s.rhs.attr_to_out[i] = lhs_col;
+    } else {
+      s.attr_vars.push_back(rhs.attr_vars()[i]);
+      s.rhs.attr_to_out[i] = static_cast<int>(s.attr_vars.size() - 1);
+    }
+  }
+  return s;
+}
+
+// True when the two bindings can denote the same object (wildcard matches
+// anything).
+bool ObjectsCompatible(ObjectId a, ObjectId b) { return a == kAny || b == kAny || a == b; }
+
+// Key for hashing concrete common-column bindings.
+std::string CommonKey(const Row& row, const std::vector<std::pair<int, int>>& commons,
+                      bool lhs_side) {
+  std::string key;
+  for (const auto& [lc, rc] : commons) {
+    key += StrCat(row.objects[static_cast<size_t>(lhs_side ? lc : rc)], "|");
+  }
+  return key;
+}
+
+bool HasWildcardInCommons(const Row& row, const std::vector<std::pair<int, int>>& commons,
+                          bool lhs_side) {
+  for (const auto& [lc, rc] : commons) {
+    if (row.objects[static_cast<size_t>(lhs_side ? lc : rc)] == kAny) return true;
+  }
+  return false;
+}
+
+// Merges rows with identical (objects, ranges) keys by max-merging lists.
+std::vector<Row> DedupRows(std::vector<Row> rows) {
+  std::map<std::string, std::vector<size_t>> groups;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::string key;
+    for (ObjectId o : rows[i].objects) key += StrCat(o, "|");
+    for (const ValueRange& r : rows[i].ranges) key += r.ToString() + "|";
+    groups[key].push_back(i);
+  }
+  std::vector<Row> out;
+  out.reserve(groups.size());
+  for (auto& [key, idxs] : groups) {
+    if (idxs.size() == 1) {
+      out.push_back(std::move(rows[idxs[0]]));
+      continue;
+    }
+    std::vector<SimilarityList> lists;
+    lists.reserve(idxs.size());
+    for (size_t i : idxs) lists.push_back(std::move(rows[i].list));
+    Row merged = std::move(rows[idxs[0]]);
+    merged.list = MultiMax(std::move(lists));
+    out.push_back(std::move(merged));
+  }
+  return out;
+}
+
+}  // namespace
+
+SimilarityTable JoinTables(const SimilarityTable& lhs, double lhs_max,
+                           const SimilarityTable& rhs, double rhs_max, TableCombine op,
+                           double tau) {
+  const JoinSchema schema = MakeJoinSchema(lhs, rhs);
+  SimilarityTable out(schema.object_vars, schema.attr_vars);
+
+  auto combine = [&](const SimilarityList& a, const SimilarityList& b) {
+    switch (op) {
+      case TableCombine::kAnd:
+        return AndMerge(a, b);
+      case TableCombine::kFuzzyAnd:
+        return FuzzyMinAndMerge(a, b);
+      case TableCombine::kUntil:
+        return UntilMerge(a, b, tau);
+      case TableCombine::kOr:
+        return OrMerge(a, b);
+    }
+    HTL_LOG(Fatal) << "unreachable";
+    return SimilarityList();
+  };
+  const SimilarityList empty_lhs(lhs_max);
+  const SimilarityList empty_rhs(rhs_max);
+
+  std::vector<Row> produced;
+
+  // Projects one input row into the output schema with wildcard padding.
+  auto project_lhs = [&](const Row& lr) {
+    Row nr;
+    nr.objects.assign(schema.object_vars.size(), kAny);
+    nr.ranges.assign(schema.attr_vars.size(), ValueRange::All());
+    for (size_t i = 0; i < lr.objects.size(); ++i) {
+      nr.objects[static_cast<size_t>(schema.lhs.object_to_out[i])] = lr.objects[i];
+    }
+    for (size_t i = 0; i < lr.ranges.size(); ++i) {
+      nr.ranges[static_cast<size_t>(schema.lhs.attr_to_out[i])] = lr.ranges[i];
+    }
+    return nr;
+  };
+  auto project_rhs = [&](const Row& rr) {
+    Row nr;
+    nr.objects.assign(schema.object_vars.size(), kAny);
+    nr.ranges.assign(schema.attr_vars.size(), ValueRange::All());
+    for (size_t i = 0; i < rr.objects.size(); ++i) {
+      nr.objects[static_cast<size_t>(schema.rhs.object_to_out[i])] = rr.objects[i];
+    }
+    for (size_t i = 0; i < rr.ranges.size(); ++i) {
+      nr.ranges[static_cast<size_t>(schema.rhs.attr_to_out[i])] = rr.ranges[i];
+    }
+    return nr;
+  };
+
+  // Emits the combined row for one compatible pair (skips incompatible).
+  auto emit_pair = [&](const Row& lr, const Row& rr) {
+    for (const auto& [lc, rc] : schema.common_objects) {
+      if (!ObjectsCompatible(lr.objects[static_cast<size_t>(lc)],
+                             rr.objects[static_cast<size_t>(rc)])) {
+        return;
+      }
+    }
+    Row nr = project_lhs(lr);
+    for (size_t i = 0; i < rr.objects.size(); ++i) {
+      int oc = schema.rhs.object_to_out[i];
+      if (rr.objects[i] != kAny) nr.objects[static_cast<size_t>(oc)] = rr.objects[i];
+    }
+    for (size_t i = 0; i < rr.ranges.size(); ++i) {
+      int ac = schema.rhs.attr_to_out[i];
+      ValueRange merged = nr.ranges[static_cast<size_t>(ac)].Intersect(rr.ranges[i]);
+      if (merged.IsEmpty()) return;
+      nr.ranges[static_cast<size_t>(ac)] = merged;
+    }
+    nr.list = combine(lr.list, rr.list);
+    if (!nr.list.empty()) produced.push_back(std::move(nr));
+  };
+
+  // Stage 1: pairwise combined rows. Hash the rhs by its concrete
+  // common-column bindings; rows with wildcards in common columns are
+  // matched by a linear pass (they are rare — only outer joins make them).
+  std::unordered_map<std::string, std::vector<size_t>> rhs_by_key;
+  std::vector<size_t> rhs_loose;
+  for (size_t i = 0; i < rhs.rows().size(); ++i) {
+    if (HasWildcardInCommons(rhs.rows()[i], schema.common_objects, /*lhs_side=*/false)) {
+      rhs_loose.push_back(i);
+    } else {
+      rhs_by_key[CommonKey(rhs.rows()[i], schema.common_objects, false)].push_back(i);
+    }
+  }
+  for (const Row& lr : lhs.rows()) {
+    if (HasWildcardInCommons(lr, schema.common_objects, /*lhs_side=*/true)) {
+      for (const Row& rr : rhs.rows()) emit_pair(lr, rr);
+      continue;
+    }
+    auto it = rhs_by_key.find(CommonKey(lr, schema.common_objects, true));
+    if (it != rhs_by_key.end()) {
+      for (size_t i : it->second) emit_pair(lr, rhs.rows()[i]);
+    }
+    for (size_t i : rhs_loose) emit_pair(lr, rhs.rows()[i]);
+  }
+
+  // Stage 2: one-sided rows. These realize partial satisfaction — the value
+  // of the formula for evaluations where the other operand scores zero
+  // (bindings or attribute values the other side's table does not cover).
+  // Where a combined row also applies, the combined row dominates pointwise
+  // (AndMerge and UntilMerge are monotone in each operand), so keeping both
+  // is sound under the max-over-rows semantics of evaluation collapse.
+  for (const Row& lr : lhs.rows()) {
+    Row nr = project_lhs(lr);
+    nr.list = combine(lr.list, empty_rhs);
+    if (!nr.list.empty()) produced.push_back(std::move(nr));
+  }
+  for (const Row& rr : rhs.rows()) {
+    Row nr = project_rhs(rr);
+    nr.list = combine(empty_lhs, rr.list);
+    if (!nr.list.empty()) produced.push_back(std::move(nr));
+  }
+
+  for (Row& r : DedupRows(std::move(produced))) out.AddRow(std::move(r));
+  return out;
+}
+
+SimilarityTable CollapseExists(const SimilarityTable& table,
+                               const std::vector<std::string>& vars) {
+  std::vector<bool> drop(table.object_vars().size(), false);
+  for (const std::string& v : vars) {
+    int c = table.ObjectColumn(v);
+    if (c >= 0) drop[static_cast<size_t>(c)] = true;
+  }
+  std::vector<std::string> kept_vars;
+  for (size_t i = 0; i < table.object_vars().size(); ++i) {
+    if (!drop[i]) kept_vars.push_back(table.object_vars()[i]);
+  }
+  SimilarityTable out(kept_vars, table.attr_vars());
+  std::vector<Row> produced;
+  produced.reserve(table.rows().size());
+  for (const Row& r : table.rows()) {
+    Row nr;
+    for (size_t i = 0; i < r.objects.size(); ++i) {
+      if (!drop[i]) nr.objects.push_back(r.objects[i]);
+    }
+    nr.ranges = r.ranges;
+    nr.list = r.list;
+    produced.push_back(std::move(nr));
+  }
+  for (Row& r : DedupRows(std::move(produced))) out.AddRow(std::move(r));
+  return out;
+}
+
+SimilarityList ClipToIntervals(const SimilarityList& list,
+                               const std::vector<Interval>& keep) {
+  std::vector<SimEntry> out;
+  size_t ki = 0;
+  for (const SimEntry& e : list.entries()) {
+    while (ki < keep.size() && keep[ki].end < e.range.begin) ++ki;
+    for (size_t k = ki; k < keep.size() && keep[k].begin <= e.range.end; ++k) {
+      Interval cut = e.range.Intersect(keep[k]);
+      if (!cut.empty()) out.push_back(SimEntry{cut, e.actual});
+    }
+  }
+  return SimilarityList::FromEntriesOrDie(std::move(out), list.max());
+}
+
+SimilarityTable FreezeJoin(const SimilarityTable& table, const std::string& attr_var,
+                           const ValueTable& values) {
+  const int yc = table.AttrColumn(attr_var);
+  if (yc < 0) return table;  // The variable never occurs: no-op.
+
+  // Output schema: object vars of the table, then value-table-only vars;
+  // attr vars minus the consumed one.
+  std::vector<std::string> object_vars = table.object_vars();
+  std::vector<int> vt_obj_to_out(values.object_vars().size());
+  std::vector<std::pair<int, int>> common;  // (table col, value-table col)
+  for (size_t i = 0; i < values.object_vars().size(); ++i) {
+    int tc = table.ObjectColumn(values.object_vars()[i]);
+    if (tc >= 0) {
+      vt_obj_to_out[i] = tc;
+      common.emplace_back(tc, static_cast<int>(i));
+    } else {
+      object_vars.push_back(values.object_vars()[i]);
+      vt_obj_to_out[i] = static_cast<int>(object_vars.size() - 1);
+    }
+  }
+  std::vector<std::string> attr_vars;
+  for (size_t i = 0; i < table.attr_vars().size(); ++i) {
+    if (static_cast<int>(i) != yc) attr_vars.push_back(table.attr_vars()[i]);
+  }
+  SimilarityTable out(object_vars, attr_vars);
+
+  std::vector<Row> produced;
+  for (const Row& tr : table.rows()) {
+    const ValueRange& range = tr.ranges[static_cast<size_t>(yc)];
+    auto project = [&](const ValueTable::Row* vr) {
+      Row nr;
+      nr.objects.assign(object_vars.size(), kAny);
+      for (size_t i = 0; i < tr.objects.size(); ++i) nr.objects[i] = tr.objects[i];
+      if (vr != nullptr) {
+        for (size_t i = 0; i < vr->objects.size(); ++i) {
+          nr.objects[static_cast<size_t>(vt_obj_to_out[i])] = vr->objects[i];
+        }
+      }
+      for (size_t i = 0; i < tr.ranges.size(); ++i) {
+        if (static_cast<int>(i) != yc) nr.ranges.push_back(tr.ranges[i]);
+      }
+      return nr;
+    };
+    if (!range.has_lower() && !range.has_upper()) {
+      // Unconstrained variable: the value of q is irrelevant; pass through.
+      Row nr = project(nullptr);
+      nr.list = tr.list;
+      produced.push_back(std::move(nr));
+      continue;
+    }
+    for (const ValueTable::Row& vr : values.rows()) {
+      bool compatible = true;
+      for (const auto& [tc, vc] : common) {
+        if (!ObjectsCompatible(tr.objects[static_cast<size_t>(tc)],
+                               vr.objects[static_cast<size_t>(vc)])) {
+          compatible = false;
+          break;
+        }
+      }
+      if (!compatible || !range.Contains(vr.value)) continue;
+      Row nr = project(&vr);
+      nr.list = ClipToIntervals(tr.list, vr.where);
+      if (!nr.list.empty()) produced.push_back(std::move(nr));
+    }
+  }
+  for (Row& r : DedupRows(std::move(produced))) out.AddRow(std::move(r));
+  return out;
+}
+
+SimilarityTable MapLists(const SimilarityTable& table,
+                         const std::function<SimilarityList(const SimilarityList&)>& fn) {
+  SimilarityTable out(table.object_vars(), table.attr_vars());
+  for (const Row& r : table.rows()) {
+    Row nr = r;
+    nr.list = fn(r.list);
+    if (!nr.list.empty()) out.AddRow(std::move(nr));
+  }
+  return out;
+}
+
+}  // namespace htl

@@ -1,0 +1,66 @@
+#ifndef HTL_SIM_TABLE_OPS_H_
+#define HTL_SIM_TABLE_OPS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/sim_table.h"
+#include "sim/value_table.h"
+
+namespace htl {
+
+/// Operator algebra over similarity tables (sections 3.2 and 3.3).
+
+/// How JoinTables combines the similarity lists of matching rows.
+enum class TableCombine {
+  kAnd,       // AndMerge: pointwise sum, max = lhs_max + rhs_max.
+  kFuzzyAnd,  // FuzzyMinAndMerge: min of fractions (alternative semantics).
+  kUntil,     // UntilMerge(lhs, rhs, tau): max = rhs_max.
+  kOr,        // OrMerge: pointwise max (extension), max = max(lhs_max, rhs_max).
+};
+
+/// Natural outer join of two similarity tables: rows match when their
+/// bindings agree on common object-variable columns (the wildcard
+/// SimilarityTable::kAnyObject matches anything) and their ranges intersect
+/// on common attribute-variable columns. Matching rows' lists are combined
+/// per `op`; unmatched rows are preserved with an empty list on the missing
+/// side (which the list operators turn into the correct partial-match
+/// semantics: AND keeps the present side's values; UNTIL keeps unmatched
+/// rhs rows — the u''==u case — and drops unmatched lhs rows).
+///
+/// `lhs_max`/`rhs_max` are the static formula maxima of the two operands;
+/// they must be supplied because an empty table cannot carry its max.
+/// Result rows with identical keys are max-merged.
+SimilarityTable JoinTables(const SimilarityTable& lhs, double lhs_max,
+                           const SimilarityTable& rhs, double rhs_max, TableCombine op,
+                           double tau);
+
+/// Existential quantification: removes the given object-variable columns
+/// and max-merges rows whose remaining keys coincide (section 2.5's
+/// "maximum over evaluations").
+SimilarityTable CollapseExists(const SimilarityTable& table,
+                               const std::vector<std::string>& vars);
+
+/// Freeze-quantifier join (section 3.3): consumes attribute-variable column
+/// `attr_var` of `table` by joining with the value table of the attribute
+/// function q. A row survives for each value z of q (under a compatible
+/// object binding) lying in the row's range; its list is clipped to the
+/// intervals where q == z. Rows whose range is unbounded pass through
+/// unchanged (the variable was unconstrained, so the value of q is
+/// irrelevant). Result rows with identical keys are max-merged.
+SimilarityTable FreezeJoin(const SimilarityTable& table, const std::string& attr_var,
+                           const ValueTable& values);
+
+/// Applies `fn` to every row's similarity list (e.g. NextShift or
+/// Eventually), dropping rows whose mapped list is empty.
+SimilarityTable MapLists(const SimilarityTable& table,
+                         const std::function<SimilarityList(const SimilarityList&)>& fn);
+
+/// Intersects a list with a sorted-disjoint interval set, keeping values.
+SimilarityList ClipToIntervals(const SimilarityList& list,
+                               const std::vector<Interval>& keep);
+
+}  // namespace htl
+
+#endif  // HTL_SIM_TABLE_OPS_H_

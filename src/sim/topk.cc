@@ -1,0 +1,37 @@
+#include "sim/topk.h"
+
+#include <algorithm>
+
+namespace htl {
+
+std::vector<RankedSegment> TopKSegments(const SimilarityList& list, int64_t k) {
+  std::vector<RankedSegment> out;
+  if (k <= 0) return out;
+  // Sort entries by descending value (ties by ascending begin), then expand
+  // ids until k are produced.
+  std::vector<SimEntry> entries = list.entries();
+  std::stable_sort(entries.begin(), entries.end(), [](const SimEntry& a, const SimEntry& b) {
+    if (a.actual != b.actual) return a.actual > b.actual;
+    return a.range.begin < b.range.begin;
+  });
+  for (const SimEntry& e : entries) {
+    for (SegmentId id = e.range.begin; id <= e.range.end; ++id) {
+      out.push_back(RankedSegment{id, Sim{e.actual, list.max()}});
+      if (static_cast<int64_t>(out.size()) == k) return out;
+    }
+  }
+  return out;
+}
+
+std::vector<RankedEntry> RankedEntries(const SimilarityList& list) {
+  std::vector<RankedEntry> out;
+  out.reserve(list.entries().size());
+  for (const SimEntry& e : list.entries()) out.push_back(RankedEntry{e, list.max()});
+  std::stable_sort(out.begin(), out.end(), [](const RankedEntry& a, const RankedEntry& b) {
+    if (a.entry.actual != b.entry.actual) return a.entry.actual > b.entry.actual;
+    return a.entry.range.begin < b.entry.range.begin;
+  });
+  return out;
+}
+
+}  // namespace htl

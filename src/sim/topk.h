@@ -1,0 +1,40 @@
+#ifndef HTL_SIM_TOPK_H_
+#define HTL_SIM_TOPK_H_
+
+#include <vector>
+
+#include "sim/sim_list.h"
+
+namespace htl {
+
+/// One retrieved segment with its similarity.
+struct RankedSegment {
+  SegmentId id = kInvalidSegmentId;
+  Sim sim;
+
+  friend bool operator==(const RankedSegment& a, const RankedSegment& b) {
+    return a.id == b.id && a.sim == b.sim;
+  }
+};
+
+/// The k segments with the highest similarity values in `list` ("the top k
+/// video segments ... will be retrieved", section 1). Ties and the segments
+/// within one interval entry are ordered by ascending id. Returns fewer than
+/// k when the list covers fewer ids. O(length log length + k).
+std::vector<RankedSegment> TopKSegments(const SimilarityList& list, int64_t k);
+
+/// One retrieved interval entry with its similarity — the row shape the
+/// paper's result tables print (Tables 3 and 4 list interval rows sorted by
+/// descending similarity).
+struct RankedEntry {
+  SimEntry entry;
+  double max = 0.0;
+};
+
+/// All entries of `list` sorted by descending actual similarity, then by
+/// ascending begin id — the order of the paper's Table 4.
+std::vector<RankedEntry> RankedEntries(const SimilarityList& list);
+
+}  // namespace htl
+
+#endif  // HTL_SIM_TOPK_H_

@@ -1,0 +1,107 @@
+#include "sim/value_range.h"
+
+#include "util/string_util.h"
+
+namespace htl {
+
+ValueRange ValueRange::Empty() {
+  ValueRange r;
+  r.lower_ = AttrValue(int64_t{1});
+  r.upper_ = AttrValue(int64_t{0});
+  return r;
+}
+
+ValueRange ValueRange::Exactly(AttrValue v) {
+  ValueRange r;
+  r.lower_ = v;
+  r.upper_ = std::move(v);
+  return r;
+}
+
+ValueRange ValueRange::LessThan(AttrValue v) {
+  ValueRange r;
+  r.upper_ = std::move(v);
+  r.upper_open_ = true;
+  return r;
+}
+
+ValueRange ValueRange::AtMost(AttrValue v) {
+  ValueRange r;
+  r.upper_ = std::move(v);
+  return r;
+}
+
+ValueRange ValueRange::GreaterThan(AttrValue v) {
+  ValueRange r;
+  r.lower_ = std::move(v);
+  r.lower_open_ = true;
+  return r;
+}
+
+ValueRange ValueRange::AtLeast(AttrValue v) {
+  ValueRange r;
+  r.lower_ = std::move(v);
+  return r;
+}
+
+bool ValueRange::IsEmpty() const {
+  if (!lower_ || !upper_) return false;
+  if (lower_->LessThan(*upper_)) return false;
+  if (*lower_ == *upper_) return lower_open_ || upper_open_;
+  return true;  // lower > upper (or incomparable kinds).
+}
+
+bool ValueRange::Contains(const AttrValue& v) const {
+  if (v.is_null() && (lower_ || upper_)) return false;
+  if (lower_) {
+    if (lower_open_) {
+      if (!lower_->LessThan(v)) return false;
+    } else {
+      if (!(*lower_ == v) && !lower_->LessThan(v)) return false;
+    }
+  }
+  if (upper_) {
+    if (upper_open_) {
+      if (!v.LessThan(*upper_)) return false;
+    } else {
+      if (!(v == *upper_) && !v.LessThan(*upper_)) return false;
+    }
+  }
+  return true;
+}
+
+ValueRange ValueRange::Intersect(const ValueRange& o) const {
+  ValueRange r = *this;
+  if (o.lower_) {
+    if (!r.lower_ || r.lower_->LessThan(*o.lower_) ||
+        (*r.lower_ == *o.lower_ && o.lower_open_)) {
+      r.lower_ = o.lower_;
+      r.lower_open_ = o.lower_open_;
+    }
+  }
+  if (o.upper_) {
+    if (!r.upper_ || o.upper_->LessThan(*r.upper_) ||
+        (*r.upper_ == *o.upper_ && o.upper_open_)) {
+      r.upper_ = o.upper_;
+      r.upper_open_ = o.upper_open_;
+    }
+  }
+  return r;
+}
+
+bool operator==(const ValueRange& a, const ValueRange& b) {
+  auto opt_eq = [](const std::optional<AttrValue>& x, const std::optional<AttrValue>& y) {
+    if (x.has_value() != y.has_value()) return false;
+    return !x.has_value() || *x == *y;
+  };
+  return opt_eq(a.lower_, b.lower_) && opt_eq(a.upper_, b.upper_) &&
+         a.lower_open_ == b.lower_open_ && a.upper_open_ == b.upper_open_;
+}
+
+std::string ValueRange::ToString() const {
+  std::string lo = lower_ ? StrCat(lower_open_ ? "(" : "[", lower_->ToString()) : "(-inf";
+  std::string hi = upper_ ? StrCat(upper_->ToString(), upper_open_ ? ")" : "]") : "+inf)";
+  return StrCat(lo, ",", hi);
+}
+
+}  // namespace htl

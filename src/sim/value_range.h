@@ -1,0 +1,61 @@
+#ifndef HTL_SIM_VALUE_RANGE_H_
+#define HTL_SIM_VALUE_RANGE_H_
+
+#include <optional>
+#include <string>
+
+#include "model/value.h"
+
+namespace htl {
+
+/// A range of attribute values, used for attribute-variable columns in
+/// similarity tables (section 3.3): the paper restricts attribute-variable
+/// predicates to y < q, y <= q, y = q, y >= q, y > q (integers; equality
+/// only for other types), so the satisfying set of a conjunction of such
+/// predicates is always one interval of values.
+class ValueRange {
+ public:
+  /// The unconstrained range (-inf, +inf).
+  ValueRange() = default;
+
+  static ValueRange All() { return ValueRange(); }
+  /// A canonical empty range (contains nothing).
+  static ValueRange Empty();
+  static ValueRange Exactly(AttrValue v);
+  static ValueRange LessThan(AttrValue v);
+  static ValueRange AtMost(AttrValue v);
+  static ValueRange GreaterThan(AttrValue v);
+  static ValueRange AtLeast(AttrValue v);
+
+  bool has_lower() const { return lower_.has_value(); }
+  bool has_upper() const { return upper_.has_value(); }
+  const AttrValue& lower() const { return *lower_; }
+  const AttrValue& upper() const { return *upper_; }
+  bool lower_open() const { return lower_open_; }
+  bool upper_open() const { return upper_open_; }
+
+  /// True when no value can satisfy the range (e.g. (5, 5]).
+  bool IsEmpty() const;
+
+  /// True when `v` lies in the range. Null values never match a bounded
+  /// range; mixed string/numeric bounds never match.
+  bool Contains(const AttrValue& v) const;
+
+  /// Intersection of the two ranges (may be empty; check IsEmpty).
+  ValueRange Intersect(const ValueRange& o) const;
+
+  friend bool operator==(const ValueRange& a, const ValueRange& b);
+
+  /// e.g. "(-inf,5]", "[3,3]", "(2,+inf)".
+  std::string ToString() const;
+
+ private:
+  std::optional<AttrValue> lower_;
+  std::optional<AttrValue> upper_;
+  bool lower_open_ = false;
+  bool upper_open_ = false;
+};
+
+}  // namespace htl
+
+#endif  // HTL_SIM_VALUE_RANGE_H_

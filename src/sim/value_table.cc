@@ -1,0 +1,25 @@
+#include "sim/value_table.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace htl {
+
+void ValueTable::AddRow(Row row) {
+  HTL_CHECK_EQ(row.objects.size(), object_vars_.size());
+  HTL_CHECK(IsDisjointSorted(row.where)) << "value-table intervals must be disjoint";
+  if (row.where.empty()) return;
+  rows_.push_back(std::move(row));
+}
+
+std::string ValueTable::ToString() const {
+  std::string out = StrCat("values objects=(", StrJoin(object_vars_, ","), ")\n");
+  for (const Row& r : rows_) {
+    out += StrCat("  (", StrJoin(r.objects, ","), ") = ", r.value.ToString(), " @ ");
+    for (const Interval& iv : r.where) out += iv.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace htl

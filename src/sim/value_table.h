@@ -1,0 +1,44 @@
+#ifndef HTL_SIM_VALUE_TABLE_H_
+#define HTL_SIM_VALUE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "model/object.h"
+#include "model/value.h"
+#include "util/interval.h"
+
+namespace htl {
+
+/// A value table (section 3.3): for an attribute function q (e.g.
+/// height(x)), each row gives a binding of q's free object variables, one
+/// value of q, and the segment-id intervals where q equals that value under
+/// the binding. Consumed by the freeze-quantifier join.
+class ValueTable {
+ public:
+  struct Row {
+    std::vector<ObjectId> objects;  // Parallel to object_vars().
+    AttrValue value;
+    std::vector<Interval> where;  // Sorted disjoint id intervals.
+  };
+
+  ValueTable() = default;
+  explicit ValueTable(std::vector<std::string> object_vars)
+      : object_vars_(std::move(object_vars)) {}
+
+  const std::vector<std::string>& object_vars() const { return object_vars_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+
+  void AddRow(Row row);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> object_vars_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace htl
+
+#endif  // HTL_SIM_VALUE_TABLE_H_

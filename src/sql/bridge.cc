@@ -1,0 +1,168 @@
+#include "sql/bridge.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace htl::sql {
+
+Table TableFromList(const SimilarityList& list) {
+  Table t({"beg", "end", "act"});
+  for (const SimEntry& e : list.entries()) {
+    t.AddRow({Value(e.range.begin), Value(e.range.end), Value(e.actual)});
+  }
+  return t;
+}
+
+namespace {
+
+// Converts one ValueRange bound to a closed integer SQL value (NULL when
+// unbounded); open integer bounds normalize by +-1.
+Result<Value> ClosedIntBound(bool present, const AttrValue& bound, bool open,
+                             int64_t open_shift) {
+  if (!present) return Value::Null();
+  if (!bound.is_int()) {
+    return Status::InvalidArgument(
+        "SQL translation supports integer attribute-variable bounds only "
+        "(section 3.3)");
+  }
+  return Value(bound.AsInt() + (open ? open_shift : 0));
+}
+
+}  // namespace
+
+Result<Table> TableFromSimilarityTable(const SimilarityTable& table) {
+  std::vector<std::string> columns = table.object_vars();
+  for (const std::string& y : table.attr_vars()) {
+    columns.push_back(y + "_lo");
+    columns.push_back(y + "_hi");
+  }
+  columns.push_back("beg");
+  columns.push_back("end");
+  columns.push_back("act");
+  Table out(columns);
+  for (const SimilarityTable::Row& row : table.rows()) {
+    std::vector<Value> binding;
+    for (ObjectId o : row.objects) {
+      binding.push_back(o == SimilarityTable::kAnyObject ? Value::Null() : Value(o));
+    }
+    for (const ValueRange& range : row.ranges) {
+      HTL_ASSIGN_OR_RETURN(
+          Value lo, ClosedIntBound(range.has_lower(),
+                                   range.has_lower() ? range.lower() : AttrValue(),
+                                   range.lower_open(), +1));
+      HTL_ASSIGN_OR_RETURN(
+          Value hi, ClosedIntBound(range.has_upper(),
+                                   range.has_upper() ? range.upper() : AttrValue(),
+                                   range.upper_open(), -1));
+      binding.push_back(std::move(lo));
+      binding.push_back(std::move(hi));
+    }
+    for (const SimEntry& e : row.list.entries()) {
+      Row r = binding;
+      r.push_back(Value(e.range.begin));
+      r.push_back(Value(e.range.end));
+      r.push_back(Value(e.actual));
+      out.AddRow(std::move(r));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Value SqlValueFromAttr(const AttrValue& v) {
+  if (v.is_int()) return Value(v.AsInt());
+  if (v.is_double()) return Value(v.AsDouble());
+  if (v.is_string()) return Value(v.AsString());
+  return Value::Null();
+}
+
+}  // namespace
+
+Table TableFromValueTable(const ValueTable& values) {
+  std::vector<std::string> columns = values.object_vars();
+  columns.push_back("val");
+  columns.push_back("beg");
+  columns.push_back("end");
+  Table out(columns);
+  for (const ValueTable::Row& row : values.rows()) {
+    const Value val = SqlValueFromAttr(row.value);
+    for (const Interval& where : row.where) {
+      Row r;
+      r.reserve(columns.size());
+      for (ObjectId o : row.objects) r.push_back(Value(o));
+      r.push_back(val);
+      r.push_back(Value(where.begin));
+      r.push_back(Value(where.end));
+      out.AddRow(std::move(r));
+    }
+  }
+  return out;
+}
+
+Table ExpandedTableFromList(const SimilarityList& list) {
+  Table t({"id", "act"});
+  for (const SimEntry& e : list.entries()) {
+    for (SegmentId id = e.range.begin; id <= e.range.end; ++id) {
+      t.AddRow({Value(id), Value(e.actual)});
+    }
+  }
+  return t;
+}
+
+Table MakeSeqTable(int64_t n) {
+  Table t({"id"});
+  for (int64_t i = 1; i <= n; ++i) t.AddRow({Value(i)});
+  return t;
+}
+
+Result<SimilarityList> ListFromExpandedTable(const Table& table, double max) {
+  const int id_col = table.ColumnIndex("id");
+  const int act_col = table.ColumnIndex("act");
+  if (id_col < 0 || act_col < 0) {
+    return Status::InvalidArgument("expected columns (id, act)");
+  }
+  std::vector<std::pair<SegmentId, double>> cells;
+  cells.reserve(table.rows().size());
+  for (const Row& r : table.rows()) {
+    const Value& id = r[static_cast<size_t>(id_col)];
+    const Value& act = r[static_cast<size_t>(act_col)];
+    if (id.is_null() || act.is_null()) {
+      return Status::InvalidArgument("NULL in expanded similarity relation");
+    }
+    cells.emplace_back(id.AsInt(), act.AsDouble());
+  }
+  std::sort(cells.begin(), cells.end());
+  std::vector<SimEntry> entries;
+  for (const auto& [id, act] : cells) {
+    if (!entries.empty() && entries.back().range.end == id) {
+      return Status::InvalidArgument(StrCat("duplicate id ", id, " in relation"));
+    }
+    entries.push_back(SimEntry{Interval{id, id}, act});
+  }
+  return SimilarityList::FromEntries(std::move(entries), max);
+}
+
+Result<SimilarityList> ListFromIntervalTable(const Table& table, double max) {
+  const int beg_col = table.ColumnIndex("beg");
+  const int end_col = table.ColumnIndex("end");
+  const int act_col = table.ColumnIndex("act");
+  if (beg_col < 0 || end_col < 0 || act_col < 0) {
+    return Status::InvalidArgument("expected columns (beg, end, act)");
+  }
+  std::vector<SimEntry> entries;
+  entries.reserve(table.rows().size());
+  for (const Row& r : table.rows()) {
+    entries.push_back(SimEntry{Interval{r[static_cast<size_t>(beg_col)].AsInt(),
+                                        r[static_cast<size_t>(end_col)].AsInt()},
+                               r[static_cast<size_t>(act_col)].AsDouble()});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const SimEntry& a, const SimEntry& b) {
+              return a.range.begin < b.range.begin;
+            });
+  return SimilarityList::FromEntries(std::move(entries), max);
+}
+
+}  // namespace htl::sql

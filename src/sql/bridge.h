@@ -1,0 +1,51 @@
+#ifndef HTL_SQL_BRIDGE_H_
+#define HTL_SQL_BRIDGE_H_
+
+#include "sim/sim_list.h"
+#include "sim/sim_table.h"
+#include "sim/value_table.h"
+#include "sql/table.h"
+#include "util/result.h"
+
+namespace htl::sql {
+
+/// Conversions between the retrieval engine's similarity lists and the SQL
+/// engine's relations — the loading step of the paper's SQL-based system
+/// (similarity tables of atomic subformulas are fed in as relations).
+
+/// Interval-form relation (beg, end, act) from a similarity list.
+Table TableFromList(const SimilarityList& list);
+
+/// Interval-form relation (<var1>, ..., <vark>[, <attr>_lo, <attr>_hi]...,
+/// beg, end, act) from a similarity table — one row per (binding[, range],
+/// interval entry); wildcard bindings become SQL NULL. Attribute-variable
+/// range columns encode *closed integer* bounds with NULL for unbounded
+/// (open integer bounds normalize by ±1; section 3.3 restricts attribute-
+/// variable predicates to integer attributes — non-integer bounds are
+/// InvalidArgument).
+Result<Table> TableFromSimilarityTable(const SimilarityTable& table);
+
+/// Relation (<var1>, ..., <vark>, val, beg, end) from a value table — one
+/// row per (binding, value, interval), the section 3.3 value table in
+/// relational form for the freeze-quantifier join.
+Table TableFromValueTable(const ValueTable& values);
+
+/// Expanded-form relation (id, act): one row per covered segment id.
+Table ExpandedTableFromList(const SimilarityList& list);
+
+/// The id domain relation seq(id) = {1..n} used by the translator to expand
+/// interval tables (stands in for the RDBMS's sequence/numbers table).
+Table MakeSeqTable(int64_t n);
+
+/// Rebuilds a similarity list from an expanded (id, act) relation; rows may
+/// be unordered and must not repeat ids. `max` is the formula's static
+/// maximum (relations do not carry it).
+Result<SimilarityList> ListFromExpandedTable(const Table& table, double max);
+
+/// Rebuilds a similarity list from an interval-form (beg, end, act)
+/// relation with disjoint intervals.
+Result<SimilarityList> ListFromIntervalTable(const Table& table, double max);
+
+}  // namespace htl::sql
+
+#endif  // HTL_SQL_BRIDGE_H_

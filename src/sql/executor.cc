@@ -1,0 +1,766 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "sql/parser.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace htl::sql {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Schema of an intermediate working set: qualified columns.
+
+struct SchemaCol {
+  std::string alias;   // Table alias (lower-cased).
+  std::string column;  // Column name (lower-cased).
+};
+
+struct Schema {
+  std::vector<SchemaCol> cols;
+
+  Result<int> Resolve(const std::string& alias, const std::string& column) const {
+    const std::string a = AsciiToLower(alias);
+    const std::string c = AsciiToLower(column);
+    int found = -1;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (!a.empty() && cols[i].alias != a) continue;
+      if (cols[i].column != c) continue;
+      if (found >= 0) {
+        return Status::InvalidArgument(StrCat("ambiguous column '", column, "'"));
+      }
+      found = static_cast<int>(i);
+    }
+    if (found < 0) {
+      return Status::InvalidArgument(
+          StrCat("unknown column '", alias.empty() ? column : alias + "." + column, "'"));
+    }
+    return found;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Bound (column-resolved) expressions.
+
+enum class BKind { kLiteral, kColumn, kUnary, kBinary, kFunction, kIsNull, kAggSlot };
+
+struct BoundExpr {
+  BKind kind = BKind::kLiteral;
+  Value literal;
+  int index = -1;  // kColumn: row index; kAggSlot: aggregate slot.
+  std::string op;
+  std::string fn;
+  bool is_not_null = false;
+  std::vector<BoundExpr> args;
+};
+
+// An aggregate call discovered in a select/having expression.
+struct AggSpec {
+  std::string fn;       // count/sum/min/max/avg
+  bool count_star = false;
+  BoundExpr arg;        // Valid unless count_star.
+};
+
+struct BindContext {
+  const Schema* schema = nullptr;
+  // When non-null, aggregate calls are allowed and collected here.
+  std::vector<AggSpec>* aggs = nullptr;
+};
+
+Result<BoundExpr> BindExpr(const Expr& e, const BindContext& ctx) {
+  BoundExpr b;
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      b.kind = BKind::kLiteral;
+      b.literal = e.literal;
+      return b;
+    case ExprKind::kColumn: {
+      b.kind = BKind::kColumn;
+      HTL_ASSIGN_OR_RETURN(b.index, ctx.schema->Resolve(e.table_alias, e.column));
+      return b;
+    }
+    case ExprKind::kStar:
+      return Status::InvalidArgument("'*' is only valid as a whole select item");
+    case ExprKind::kUnary: {
+      b.kind = BKind::kUnary;
+      b.op = e.op;
+      HTL_ASSIGN_OR_RETURN(BoundExpr a, BindExpr(*e.args[0], ctx));
+      b.args.push_back(std::move(a));
+      return b;
+    }
+    case ExprKind::kBinary: {
+      b.kind = BKind::kBinary;
+      b.op = e.op;
+      for (const auto& arg : e.args) {
+        HTL_ASSIGN_OR_RETURN(BoundExpr a, BindExpr(*arg, ctx));
+        b.args.push_back(std::move(a));
+      }
+      return b;
+    }
+    case ExprKind::kFunction: {
+      b.kind = BKind::kFunction;
+      b.fn = e.fn;
+      for (const auto& arg : e.args) {
+        HTL_ASSIGN_OR_RETURN(BoundExpr a, BindExpr(*arg, ctx));
+        b.args.push_back(std::move(a));
+      }
+      return b;
+    }
+    case ExprKind::kAggregate: {
+      if (ctx.aggs == nullptr) {
+        return Status::InvalidArgument(
+            StrCat("aggregate ", e.fn, "() not allowed in this clause"));
+      }
+      AggSpec spec;
+      spec.fn = e.fn;
+      spec.count_star = e.count_star;
+      if (!e.count_star) {
+        if (e.args.size() != 1) {
+          return Status::InvalidArgument(StrCat(e.fn, "() takes one argument"));
+        }
+        BindContext inner = ctx;
+        inner.aggs = nullptr;  // No nested aggregates.
+        HTL_ASSIGN_OR_RETURN(spec.arg, BindExpr(*e.args[0], inner));
+      }
+      b.kind = BKind::kAggSlot;
+      b.index = static_cast<int>(ctx.aggs->size());
+      ctx.aggs->push_back(std::move(spec));
+      return b;
+    }
+    case ExprKind::kIsNull: {
+      b.kind = BKind::kIsNull;
+      b.is_not_null = e.is_not_null;
+      HTL_ASSIGN_OR_RETURN(BoundExpr a, BindExpr(*e.args[0], ctx));
+      b.args.push_back(std::move(a));
+      return b;
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Value EvalBound(const BoundExpr& e, const Row& row, const std::vector<Value>* aggs) {
+  switch (e.kind) {
+    case BKind::kLiteral:
+      return e.literal;
+    case BKind::kColumn:
+      return row[static_cast<size_t>(e.index)];
+    case BKind::kAggSlot:
+      HTL_CHECK(aggs != nullptr);
+      return (*aggs)[static_cast<size_t>(e.index)];
+    case BKind::kUnary: {
+      Value v = EvalBound(e.args[0], row, aggs);
+      if (e.op == "not") return Value::FromBool(!v.Truthy());
+      if (v.is_null()) return Value::Null();
+      if (v.is_int()) return Value(-v.AsInt());
+      if (v.is_double()) return Value(-v.AsDouble());
+      return Value::Null();
+    }
+    case BKind::kIsNull: {
+      const bool isnull = EvalBound(e.args[0], row, aggs).is_null();
+      return Value::FromBool(e.is_not_null ? !isnull : isnull);
+    }
+    case BKind::kFunction: {
+      if (e.fn == "coalesce") {
+        for (const BoundExpr& a : e.args) {
+          Value v = EvalBound(a, row, aggs);
+          if (!v.is_null()) return v;
+        }
+        return Value::Null();
+      }
+      if (e.fn == "abs") {
+        Value v = EvalBound(e.args[0], row, aggs);
+        if (v.is_int()) return Value(std::abs(v.AsInt()));
+        if (v.is_double()) return Value(std::fabs(v.AsDouble()));
+        return Value::Null();
+      }
+      // least / greatest: NULL if any argument is NULL (SQL semantics).
+      Value best;
+      bool first = true;
+      for (const BoundExpr& a : e.args) {
+        Value v = EvalBound(a, row, aggs);
+        if (v.is_null()) return Value::Null();
+        if (first) {
+          best = v;
+          first = false;
+          continue;
+        }
+        const int cmp = Value::Compare(v, best);
+        if ((e.fn == "least" && cmp < 0) || (e.fn == "greatest" && cmp > 0)) best = v;
+      }
+      return best;
+    }
+    case BKind::kBinary: {
+      if (e.op == "and") {
+        return Value::FromBool(EvalBound(e.args[0], row, aggs).Truthy() &&
+                               EvalBound(e.args[1], row, aggs).Truthy());
+      }
+      if (e.op == "or") {
+        return Value::FromBool(EvalBound(e.args[0], row, aggs).Truthy() ||
+                               EvalBound(e.args[1], row, aggs).Truthy());
+      }
+      Value l = EvalBound(e.args[0], row, aggs);
+      Value r = EvalBound(e.args[1], row, aggs);
+      if (l.is_null() || r.is_null()) return Value::Null();
+      if (e.op == "=") return Value::FromBool(l == r);
+      if (e.op == "!=") return Value::FromBool(!(l == r));
+      if (e.op == "<") return Value::FromBool(Value::Compare(l, r) < 0);
+      if (e.op == "<=") return Value::FromBool(Value::Compare(l, r) <= 0);
+      if (e.op == ">") return Value::FromBool(Value::Compare(l, r) > 0);
+      if (e.op == ">=") return Value::FromBool(Value::Compare(l, r) >= 0);
+      // Arithmetic.
+      if (!l.is_numeric() || !r.is_numeric()) return Value::Null();
+      if (e.op == "/") {
+        const double d = r.AsDouble();
+        if (d == 0) return Value::Null();
+        return Value(l.AsDouble() / d);
+      }
+      if (l.is_int() && r.is_int()) {
+        if (e.op == "+") return Value(l.AsInt() + r.AsInt());
+        if (e.op == "-") return Value(l.AsInt() - r.AsInt());
+        if (e.op == "*") return Value(l.AsInt() * r.AsInt());
+      } else {
+        if (e.op == "+") return Value(l.AsDouble() + r.AsDouble());
+        if (e.op == "-") return Value(l.AsDouble() - r.AsDouble());
+        if (e.op == "*") return Value(l.AsDouble() * r.AsDouble());
+      }
+      return Value::Null();
+    }
+  }
+  return Value::Null();
+}
+
+// True when the bound expression only reads columns with index in
+// [lo, hi) (aggregates/agg slots disqualify).
+bool ReadsOnly(const BoundExpr& e, int lo, int hi) {
+  if (e.kind == BKind::kColumn) return e.index >= lo && e.index < hi;
+  if (e.kind == BKind::kAggSlot) return false;
+  for (const BoundExpr& a : e.args) {
+    if (!ReadsOnly(a, lo, hi)) return false;
+  }
+  return true;
+}
+
+void SplitConjuncts(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.kind == ExprKind::kBinary && e.op == "and") {
+    SplitConjuncts(*e.args[0], out);
+    SplitConjuncts(*e.args[1], out);
+    return;
+  }
+  out->push_back(&e);
+}
+
+// Rebases a bound expression that reads only inner columns [w, w+inner_width)
+// to read [0, inner_width) instead — for evaluating on a bare inner row.
+BoundExpr Rebase(const BoundExpr& e, int w) {
+  BoundExpr out = e;
+  if (out.kind == BKind::kColumn) out.index -= w;
+  for (BoundExpr& a : out.args) a = Rebase(a, w);
+  return out;
+}
+
+struct Aggregator {
+  int64_t count = 0;
+  double sum = 0;
+  bool sum_is_int = true;
+  int64_t sum_int = 0;
+  Value min, max;
+
+  void Add(const Value& v) {
+    if (v.is_null()) return;
+    ++count;
+    if (v.is_numeric()) {
+      sum += v.AsDouble();
+      if (v.is_int()) {
+        sum_int += v.AsInt();
+      } else {
+        sum_is_int = false;
+      }
+    } else {
+      sum_is_int = false;
+    }
+    if (min.is_null() || Value::Compare(v, min) < 0) min = v;
+    if (max.is_null() || Value::Compare(v, max) > 0) max = v;
+  }
+
+  Value Finish(const std::string& fn) const {
+    if (fn == "count") return Value(count);
+    if (count == 0) return Value::Null();
+    if (fn == "sum") return sum_is_int ? Value(sum_int) : Value(sum);
+    if (fn == "avg") return Value(sum / static_cast<double>(count));
+    if (fn == "min") return min;
+    if (fn == "max") return max;
+    return Value::Null();
+  }
+};
+
+}  // namespace
+
+Result<Table> Executor::ExecuteSql(std::string_view text) {
+  HTL_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(text));
+  return Execute(stmt);
+}
+
+Result<Table> Executor::ExecuteScript(std::string_view text) {
+  HTL_ASSIGN_OR_RETURN(std::vector<Statement> stmts, ParseScript(text));
+  Table last;
+  for (const Statement& s : stmts) {
+    HTL_ASSIGN_OR_RETURN(Table t, Execute(s));
+    if (s.kind == Statement::Kind::kSelect) last = std::move(t);
+  }
+  return last;
+}
+
+Result<Table> Executor::Execute(const Statement& stmt) {
+  ++stats_.statements;
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+      return ExecuteSelect(*stmt.select);
+    case Statement::Kind::kCreateTableAs: {
+      HTL_ASSIGN_OR_RETURN(Table t, ExecuteSelect(*stmt.select));
+      HTL_RETURN_IF_ERROR(catalog_->Create(stmt.table, std::move(t)));
+      return Table();
+    }
+    case Statement::Kind::kCreateTable: {
+      HTL_RETURN_IF_ERROR(catalog_->Create(stmt.table, Table(stmt.columns)));
+      return Table();
+    }
+    case Statement::Kind::kDropTable: {
+      HTL_RETURN_IF_ERROR(catalog_->Drop(stmt.table, stmt.if_exists));
+      return Table();
+    }
+    case Statement::Kind::kInsertValues: {
+      HTL_ASSIGN_OR_RETURN(const Table* target, catalog_->Get(stmt.table));
+      Table copy = *target;
+      Schema empty_schema;
+      BindContext ctx{&empty_schema, nullptr};
+      for (const auto& row_exprs : stmt.values) {
+        if (row_exprs.size() != copy.columns().size()) {
+          return Status::InvalidArgument(
+              StrCat("INSERT arity mismatch for table '", stmt.table, "'"));
+        }
+        Row row;
+        row.reserve(row_exprs.size());
+        for (const auto& e : row_exprs) {
+          HTL_ASSIGN_OR_RETURN(BoundExpr b, BindExpr(*e, ctx));
+          row.push_back(EvalBound(b, {}, nullptr));
+        }
+        copy.AddRow(std::move(row));
+      }
+      stats_.rows_materialized += static_cast<int64_t>(stmt.values.size());
+      catalog_->CreateOrReplace(stmt.table, std::move(copy));
+      return Table();
+    }
+    case Statement::Kind::kInsertSelect: {
+      HTL_ASSIGN_OR_RETURN(Table produced, ExecuteSelect(*stmt.select));
+      HTL_ASSIGN_OR_RETURN(const Table* target, catalog_->Get(stmt.table));
+      if (produced.columns().size() != target->columns().size()) {
+        return Status::InvalidArgument(
+            StrCat("INSERT SELECT arity mismatch for table '", stmt.table, "'"));
+      }
+      Table copy = *target;
+      for (Row& r : produced.mutable_rows()) copy.AddRow(std::move(r));
+      catalog_->CreateOrReplace(stmt.table, std::move(copy));
+      return Table();
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<Table> Executor::ExecuteSelect(const SelectStmt& stmt) {
+  // ---- FROM: left-deep materialized join pipeline ------------------------
+  Schema schema;
+  std::vector<Row> work;
+  bool first_table = true;
+  for (const TableRef& ref : stmt.from) {
+    HTL_ASSIGN_OR_RETURN(const Table* t, catalog_->Get(ref.table));
+    const std::string alias = AsciiToLower(ref.alias);
+    Schema inner_schema;
+    for (const std::string& c : t->columns()) {
+      inner_schema.cols.push_back(SchemaCol{alias, AsciiToLower(c)});
+    }
+    if (first_table) {
+      schema = inner_schema;
+      work = t->rows();
+      first_table = false;
+      continue;
+    }
+    const int w = static_cast<int>(schema.cols.size());
+    const int iw = static_cast<int>(inner_schema.cols.size());
+    Schema combined = schema;
+    combined.cols.insert(combined.cols.end(), inner_schema.cols.begin(),
+                         inner_schema.cols.end());
+
+    // Classify ON conjuncts.
+    std::vector<const Expr*> conjuncts;
+    if (ref.on) SplitConjuncts(*ref.on, &conjuncts);
+    BindContext cctx{&combined, nullptr};
+    struct EquiPair {
+      BoundExpr outer;  // Evaluated on the outer row.
+      BoundExpr inner;  // Rebased to the inner row.
+    };
+    std::vector<EquiPair> equis;
+    struct RangeBound {
+      BoundExpr outer;  // Bound value from the outer row.
+      bool is_lower;    // inner >= / > outer  vs  inner <= / < outer.
+      bool strict;
+      BoundExpr full;   // The whole conjunct, for residual demotion.
+    };
+    int range_col = -1;  // Inner column index (rebased) for range bounds.
+    std::vector<RangeBound> ranges;
+    std::vector<BoundExpr> residual;
+    for (const Expr* c : conjuncts) {
+      HTL_ASSIGN_OR_RETURN(BoundExpr b, BindExpr(*c, cctx));
+      bool handled = false;
+      if (b.kind == BKind::kBinary &&
+          (b.op == "=" || b.op == "<" || b.op == "<=" || b.op == ">" || b.op == ">=")) {
+        const BoundExpr* lhs = &b.args[0];
+        const BoundExpr* rhs = &b.args[1];
+        std::string op = b.op;
+        // Normalize to inner OP outer.
+        if (ReadsOnly(*lhs, 0, w) && ReadsOnly(*rhs, w, w + iw)) {
+          std::swap(lhs, rhs);
+          if (op == "<") op = ">";
+          else if (op == "<=") op = ">=";
+          else if (op == ">") op = "<";
+          else if (op == ">=") op = "<=";
+        }
+        if (ReadsOnly(*lhs, w, w + iw) && ReadsOnly(*rhs, 0, w)) {
+          if (op == "=") {
+            equis.push_back(EquiPair{*rhs, Rebase(*lhs, w)});
+            handled = true;
+          } else if (lhs->kind == BKind::kColumn) {
+            const int col = lhs->index - w;
+            if (range_col < 0 || range_col == col) {
+              range_col = col;
+              ranges.push_back(RangeBound{*rhs, op == ">" || op == ">=",
+                                          op == ">" || op == "<", b});
+              handled = true;
+            }
+          }
+        }
+      }
+      if (!handled) residual.push_back(std::move(b));
+    }
+    // Strategy selection: a hash join wins whenever an equality is present;
+    // range conjuncts then demote to residual filters (they were collected
+    // for a sort-seek join that will not run).
+    if (!equis.empty()) {
+      for (RangeBound& rb : ranges) residual.push_back(std::move(rb.full));
+      ranges.clear();
+      range_col = -1;
+    }
+
+    std::vector<Row> next;
+    auto emit = [&](const Row& outer, const Row* inner) -> bool {
+      Row combined_row = outer;
+      if (inner != nullptr) {
+        combined_row.insert(combined_row.end(), inner->begin(), inner->end());
+      } else {
+        combined_row.resize(static_cast<size_t>(w + iw));  // NULL padding.
+      }
+      if (inner != nullptr) {
+        for (const BoundExpr& r : residual) {
+          if (!EvalBound(r, combined_row, nullptr).Truthy()) return false;
+        }
+      }
+      next.push_back(std::move(combined_row));
+      return true;
+    };
+
+    if (!equis.empty()) {
+      ++stats_.hash_joins;
+      std::unordered_map<std::string, std::vector<const Row*>> ht;
+      ht.reserve(t->rows().size() * 2);
+      for (const Row& ir : t->rows()) {
+        std::string key;
+        for (const EquiPair& ep : equis) key += EvalBound(ep.inner, ir, nullptr).Key() + "|";
+        ht[key].push_back(&ir);
+      }
+      for (const Row& outer : work) {
+        std::string key;
+        for (const EquiPair& ep : equis) key += EvalBound(ep.outer, outer, nullptr).Key() + "|";
+        bool matched = false;
+        auto it = ht.find(key);
+        if (it != ht.end()) {
+          for (const Row* ir : it->second) matched |= emit(outer, ir);
+        }
+        if (!matched && ref.join == JoinType::kLeft) emit(outer, nullptr);
+      }
+    } else if (range_col >= 0) {
+      ++stats_.range_joins;
+      // Sort inner row pointers by the range column.
+      std::vector<const Row*> sorted;
+      sorted.reserve(t->rows().size());
+      for (const Row& ir : t->rows()) sorted.push_back(&ir);
+      std::sort(sorted.begin(), sorted.end(), [&](const Row* a, const Row* b) {
+        return Value::Compare((*a)[static_cast<size_t>(range_col)],
+                              (*b)[static_cast<size_t>(range_col)]) < 0;
+      });
+      for (const Row& outer : work) {
+        // Effective bounds for this outer row.
+        Value lo, hi;
+        bool lo_strict = false, hi_strict = false, empty = false;
+        for (const RangeBound& rb : ranges) {
+          Value v = EvalBound(rb.outer, outer, nullptr);
+          if (v.is_null()) {
+            empty = true;
+            break;
+          }
+          if (rb.is_lower) {
+            if (lo.is_null() || Value::Compare(v, lo) > 0 ||
+                (Value::Compare(v, lo) == 0 && rb.strict)) {
+              lo = v;
+              lo_strict = rb.strict;
+            }
+          } else {
+            if (hi.is_null() || Value::Compare(v, hi) < 0 ||
+                (Value::Compare(v, hi) == 0 && rb.strict)) {
+              hi = v;
+              hi_strict = rb.strict;
+            }
+          }
+        }
+        bool matched = false;
+        if (!empty) {
+          size_t start = 0;
+          if (!lo.is_null()) {
+            start = static_cast<size_t>(
+                std::lower_bound(sorted.begin(), sorted.end(), lo,
+                                 [&](const Row* r, const Value& v) {
+                                   const int cmp = Value::Compare(
+                                       (*r)[static_cast<size_t>(range_col)], v);
+                                   return lo_strict ? cmp <= 0 : cmp < 0;
+                                 }) -
+                sorted.begin());
+          }
+          for (size_t i = start; i < sorted.size(); ++i) {
+            const Value& v = (*sorted[i])[static_cast<size_t>(range_col)];
+            if (v.is_null()) continue;
+            if (!hi.is_null()) {
+              const int cmp = Value::Compare(v, hi);
+              if (cmp > 0 || (cmp == 0 && hi_strict)) break;
+            }
+            matched |= emit(outer, sorted[i]);
+          }
+        }
+        if (!matched && ref.join == JoinType::kLeft) emit(outer, nullptr);
+      }
+    } else {
+      ++stats_.loop_joins;
+      for (const Row& outer : work) {
+        bool matched = false;
+        for (const Row& ir : t->rows()) matched |= emit(outer, &ir);
+        if (!matched && ref.join == JoinType::kLeft) emit(outer, nullptr);
+      }
+    }
+    schema = std::move(combined);
+    work = std::move(next);
+    stats_.rows_materialized += static_cast<int64_t>(work.size());
+  }
+
+  // ---- WHERE --------------------------------------------------------------
+  if (stmt.where) {
+    BindContext ctx{&schema, nullptr};
+    HTL_ASSIGN_OR_RETURN(BoundExpr w, BindExpr(*stmt.where, ctx));
+    std::vector<Row> filtered;
+    filtered.reserve(work.size());
+    for (Row& r : work) {
+      if (EvalBound(w, r, nullptr).Truthy()) filtered.push_back(std::move(r));
+    }
+    work = std::move(filtered);
+  }
+
+  // ---- Select list / aggregation -----------------------------------------
+  // Expand '*' items. Expanded items are owned by `owned`; the rest alias
+  // the statement's expressions.
+  std::vector<ExprPtr> owned;
+  std::vector<std::pair<const Expr*, std::string>> items;  // (expr, alias)
+  for (const SelectItem& item : stmt.items) {
+    if (item.expr->kind == ExprKind::kStar) {
+      for (const SchemaCol& sc : schema.cols) {
+        owned.push_back(MakeColumn(sc.alias, sc.column));
+        items.emplace_back(owned.back().get(), sc.column);
+      }
+    } else {
+      items.emplace_back(item.expr.get(), item.alias);
+    }
+  }
+
+  auto output_name = [&](const std::pair<const Expr*, std::string>& si,
+                         size_t i) -> std::string {
+    if (!si.second.empty()) return AsciiToLower(si.second);
+    if (si.first->kind == ExprKind::kColumn) return AsciiToLower(si.first->column);
+    return StrCat("col", i + 1);
+  };
+
+  std::vector<std::string> out_cols;
+  for (size_t i = 0; i < items.size(); ++i) out_cols.push_back(output_name(items[i], i));
+  Table out(out_cols);
+
+  std::vector<AggSpec> aggs;
+  BindContext agg_ctx{&schema, &aggs};
+  std::vector<BoundExpr> bound_items;
+  for (const auto& si : items) {
+    HTL_ASSIGN_OR_RETURN(BoundExpr b, BindExpr(*si.first, agg_ctx));
+    bound_items.push_back(std::move(b));
+  }
+  BoundExpr bound_having;
+  bool has_having = false;
+  if (stmt.having) {
+    HTL_ASSIGN_OR_RETURN(bound_having, BindExpr(*stmt.having, agg_ctx));
+    has_having = true;
+  }
+
+  // Input rows (or group representatives) kept parallel to the output rows
+  // so ORDER BY can reference non-projected input columns.
+  std::vector<Row> order_inputs;
+
+  const bool aggregate_query = !aggs.empty() || !stmt.group_by.empty();
+  if (aggregate_query) {
+    BindContext plain{&schema, nullptr};
+    std::vector<BoundExpr> keys;
+    for (const auto& g : stmt.group_by) {
+      HTL_ASSIGN_OR_RETURN(BoundExpr b, BindExpr(*g, plain));
+      keys.push_back(std::move(b));
+    }
+    struct Group {
+      Row representative;
+      std::vector<Aggregator> accs;
+    };
+    std::map<std::string, Group> groups;
+    for (const Row& r : work) {
+      std::string key;
+      for (const BoundExpr& k : keys) key += EvalBound(k, r, nullptr).Key() + "|";
+      auto [it, inserted] = groups.try_emplace(key);
+      if (inserted) {
+        it->second.representative = r;
+        it->second.accs.resize(aggs.size());
+      }
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        if (aggs[i].count_star) {
+          it->second.accs[i].Add(Value(1));
+        } else {
+          it->second.accs[i].Add(EvalBound(aggs[i].arg, r, nullptr));
+        }
+      }
+    }
+    // A global aggregate over zero rows still yields one group.
+    if (groups.empty() && stmt.group_by.empty()) {
+      Group g;
+      g.representative.resize(schema.cols.size());
+      g.accs.resize(aggs.size());
+      groups.emplace("", std::move(g));
+    }
+    for (const auto& [key, g] : groups) {
+      std::vector<Value> agg_values;
+      agg_values.reserve(aggs.size());
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        agg_values.push_back(g.accs[i].Finish(aggs[i].fn));
+      }
+      if (has_having &&
+          !EvalBound(bound_having, g.representative, &agg_values).Truthy()) {
+        continue;
+      }
+      Row out_row;
+      out_row.reserve(bound_items.size());
+      for (const BoundExpr& b : bound_items) {
+        out_row.push_back(EvalBound(b, g.representative, &agg_values));
+      }
+      out.AddRow(std::move(out_row));
+      order_inputs.push_back(g.representative);
+    }
+  } else {
+    for (const Row& r : work) {
+      Row out_row;
+      out_row.reserve(bound_items.size());
+      for (const BoundExpr& b : bound_items) out_row.push_back(EvalBound(b, r, nullptr));
+      out.AddRow(std::move(out_row));
+      order_inputs.push_back(r);
+    }
+  }
+  stats_.rows_materialized += out.num_rows();
+
+  // ---- DISTINCT -------------------------------------------------------------
+  if (stmt.distinct) {
+    std::unordered_map<std::string, bool> seen;
+    std::vector<Row> rows;
+    std::vector<Row> inputs;
+    for (size_t i = 0; i < out.rows().size(); ++i) {
+      std::string key;
+      for (const Value& v : out.rows()[i]) key += v.Key() + "|";
+      if (seen.emplace(std::move(key), true).second) {
+        rows.push_back(std::move(out.mutable_rows()[i]));
+        inputs.push_back(std::move(order_inputs[i]));
+      }
+    }
+    out.mutable_rows() = std::move(rows);
+    order_inputs = std::move(inputs);
+  }
+
+  // ---- ORDER BY / LIMIT ----------------------------------------------------
+  if (!stmt.order_by.empty()) {
+    // Each order item binds against the output columns when possible
+    // (unqualified aliases), otherwise against the input schema — so
+    // "ORDER BY age" works without projecting age, and "ORDER BY p.id"
+    // works with qualified names.
+    Schema out_schema;
+    for (const std::string& c : out.columns()) {
+      out_schema.cols.push_back(SchemaCol{"", c});
+    }
+    BindContext octx{&out_schema, nullptr};
+    BindContext ictx{&schema, nullptr};
+    struct OrderKey {
+      BoundExpr expr;
+      bool from_input = false;
+      bool desc = false;
+    };
+    std::vector<OrderKey> order;
+    for (const OrderItem& oi : stmt.order_by) {
+      Result<BoundExpr> b = BindExpr(*oi.expr, octx);
+      if (b.ok()) {
+        order.push_back(OrderKey{std::move(b).value(), false, oi.desc});
+        continue;
+      }
+      HTL_ASSIGN_OR_RETURN(BoundExpr ib, BindExpr(*oi.expr, ictx));
+      order.push_back(OrderKey{std::move(ib), true, oi.desc});
+    }
+    HTL_CHECK_EQ(order_inputs.size(), out.rows().size());
+    std::vector<size_t> perm(out.rows().size());
+    for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+      for (const OrderKey& k : order) {
+        const Row& ra = k.from_input ? order_inputs[a] : out.rows()[a];
+        const Row& rb = k.from_input ? order_inputs[b] : out.rows()[b];
+        const int cmp = Value::Compare(EvalBound(k.expr, ra, nullptr),
+                                       EvalBound(k.expr, rb, nullptr));
+        if (cmp != 0) return k.desc ? cmp > 0 : cmp < 0;
+      }
+      return false;
+    });
+    std::vector<Row> sorted;
+    sorted.reserve(perm.size());
+    for (size_t i : perm) sorted.push_back(std::move(out.mutable_rows()[i]));
+    out.mutable_rows() = std::move(sorted);
+  }
+  if (stmt.limit.has_value() &&
+      out.num_rows() > *stmt.limit) {
+    out.mutable_rows().resize(static_cast<size_t>(*stmt.limit));
+  }
+
+  // ---- UNION ALL ------------------------------------------------------------
+  if (stmt.union_all) {
+    HTL_ASSIGN_OR_RETURN(Table rest, ExecuteSelect(*stmt.union_all));
+    if (rest.columns().size() != out.columns().size()) {
+      return Status::InvalidArgument("UNION ALL arity mismatch");
+    }
+    for (Row& r : rest.mutable_rows()) out.AddRow(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace htl::sql

@@ -1,0 +1,144 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace htl::sql {
+
+Result<std::vector<Tok>> TokenizeSql(std::string_view text) {
+  std::vector<Tok> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto push_symbol = [&](std::string sym, size_t offset) {
+    Tok t;
+    t.kind = TokKind::kSymbol;
+    t.text = std::move(sym);
+    t.offset = offset;
+    out.push_back(std::move(t));
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && text[i + 1] == '-') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      ++i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) || text[i] == '_')) {
+        ++i;
+      }
+      Tok t;
+      t.kind = TokKind::kIdent;
+      t.text = std::string(text.substr(start, i - start));
+      t.offset = start;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      ++i;
+      bool is_float = false;
+      while (i < n &&
+             (std::isdigit(static_cast<unsigned char>(text[i])) ||
+              (!is_float && text[i] == '.' && i + 1 < n &&
+               std::isdigit(static_cast<unsigned char>(text[i + 1]))))) {
+        if (text[i] == '.') is_float = true;
+        ++i;
+      }
+      const std::string num(text.substr(start, i - start));
+      Tok t;
+      t.kind = is_float ? TokKind::kFloat : TokKind::kInt;
+      t.number = is_float ? Value(std::stod(num))
+                          : Value(static_cast<int64_t>(std::stoll(num)));
+      t.offset = start;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (text[i] == '\'') {
+          if (i + 1 < n && text[i + 1] == '\'') {
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value += text[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError(StrCat("unterminated string at offset ", start));
+      }
+      Tok t;
+      t.kind = TokKind::kString;
+      t.string = std::move(value);
+      t.offset = start;
+      out.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '(':
+      case ')':
+      case ',':
+      case '.':
+      case '*':
+      case '+':
+      case '-':
+      case '/':
+      case ';':
+      case '=':
+        push_symbol(std::string(1, c), start);
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push_symbol("!=", start);
+          i += 2;
+          continue;
+        }
+        return Status::ParseError(StrCat("unexpected '!' at offset ", start));
+      case '<':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push_symbol("<=", start);
+          i += 2;
+        } else if (i + 1 < n && text[i + 1] == '>') {
+          push_symbol("!=", start);
+          i += 2;
+        } else {
+          push_symbol("<", start);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push_symbol(">=", start);
+          i += 2;
+        } else {
+          push_symbol(">", start);
+          ++i;
+        }
+        continue;
+      default:
+        return Status::ParseError(
+            StrCat("unexpected character '", std::string(1, c), "' at offset ", start));
+    }
+  }
+  Tok end;
+  end.kind = TokKind::kEnd;
+  end.offset = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace htl::sql

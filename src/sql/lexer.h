@@ -1,0 +1,34 @@
+#ifndef HTL_SQL_LEXER_H_
+#define HTL_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/value.h"
+#include "util/result.h"
+
+namespace htl::sql {
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords (keywords matched case-insensitively)
+  kInt,
+  kFloat,
+  kString,   // single-quoted, '' escapes
+  kSymbol,   // ( ) , . * + - / ; = != < <= > >=
+  kEnd,
+};
+
+struct Tok {
+  TokKind kind = TokKind::kEnd;
+  std::string text;    // Identifier (original case) or symbol spelling.
+  Value number;        // kInt/kFloat.
+  std::string string;  // kString contents.
+  size_t offset = 0;
+};
+
+/// Tokenizes SQL text. Comments: -- to end of line.
+Result<std::vector<Tok>> TokenizeSql(std::string_view text);
+
+}  // namespace htl::sql
+
+#endif  // HTL_SQL_LEXER_H_

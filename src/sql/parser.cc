@@ -1,0 +1,479 @@
+#include "sql/parser.h"
+
+#include <optional>
+
+#include "sql/lexer.h"
+#include "util/string_util.h"
+
+namespace htl::sql {
+
+namespace {
+
+bool IsFunctionName(const std::string& lower) {
+  return lower == "least" || lower == "greatest" || lower == "coalesce" ||
+         lower == "abs";
+}
+
+bool IsAggregateName(const std::string& lower) {
+  return lower == "count" || lower == "sum" || lower == "min" || lower == "max" ||
+         lower == "avg";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Tok> toks) : toks_(std::move(toks)) {}
+
+  Result<std::vector<Statement>> ParseScript() {
+    std::vector<Statement> out;
+    while (true) {
+      while (PeekSymbol(";")) ++pos_;
+      if (Peek().kind == TokKind::kEnd) break;
+      HTL_ASSIGN_OR_RETURN(Statement s, ParseStatement());
+      out.push_back(std::move(s));
+      if (!PeekSymbol(";") && Peek().kind != TokKind::kEnd) {
+        return Error("expected ';' between statements");
+      }
+    }
+    return out;
+  }
+
+  Result<Statement> ParseOne() {
+    HTL_ASSIGN_OR_RETURN(Statement s, ParseStatement());
+    while (PeekSymbol(";")) ++pos_;
+    if (Peek().kind != TokKind::kEnd) return Error("unexpected trailing tokens");
+    return s;
+  }
+
+ private:
+  const Tok& Peek(size_t ahead = 0) const {
+    return toks_[std::min(pos_ + ahead, toks_.size() - 1)];
+  }
+  Tok Take() { return toks_[std::min(pos_++, toks_.size() - 1)]; }
+  bool PeekKeyword(std::string_view kw) const {
+    return Peek().kind == TokKind::kIdent && AsciiToLower(Peek().text) == kw;
+  }
+  bool TakeKeyword(std::string_view kw) {
+    if (!PeekKeyword(kw)) return false;
+    ++pos_;
+    return true;
+  }
+  bool PeekSymbol(std::string_view sym) const {
+    return Peek().kind == TokKind::kSymbol && Peek().text == sym;
+  }
+  bool TakeSymbol(std::string_view sym) {
+    if (!PeekSymbol(sym)) return false;
+    ++pos_;
+    return true;
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(StrCat(msg, " at offset ", Peek().offset));
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!TakeKeyword(kw)) return Error(StrCat("expected ", kw));
+    return Status::OK();
+  }
+  Status ExpectSymbol(std::string_view sym) {
+    if (!TakeSymbol(sym)) return Error(StrCat("expected '", sym, "'"));
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokKind::kIdent) return Error("expected identifier");
+    return Take().text;
+  }
+
+  Result<Statement> ParseStatement() {
+    if (PeekKeyword("select")) {
+      Statement s;
+      s.kind = Statement::Kind::kSelect;
+      HTL_ASSIGN_OR_RETURN(s.select, ParseSelect());
+      return s;
+    }
+    if (TakeKeyword("create")) {
+      HTL_RETURN_IF_ERROR(ExpectKeyword("table"));
+      Statement s;
+      HTL_ASSIGN_OR_RETURN(s.table, ExpectIdent());
+      if (TakeKeyword("as")) {
+        s.kind = Statement::Kind::kCreateTableAs;
+        HTL_ASSIGN_OR_RETURN(s.select, ParseSelect());
+        return s;
+      }
+      HTL_RETURN_IF_ERROR(ExpectSymbol("("));
+      s.kind = Statement::Kind::kCreateTable;
+      while (true) {
+        HTL_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        s.columns.push_back(std::move(col));
+        if (TakeSymbol(",")) continue;
+        break;
+      }
+      HTL_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return s;
+    }
+    if (TakeKeyword("drop")) {
+      HTL_RETURN_IF_ERROR(ExpectKeyword("table"));
+      Statement s;
+      s.kind = Statement::Kind::kDropTable;
+      if (TakeKeyword("if")) {
+        HTL_RETURN_IF_ERROR(ExpectKeyword("exists"));
+        s.if_exists = true;
+      }
+      HTL_ASSIGN_OR_RETURN(s.table, ExpectIdent());
+      return s;
+    }
+    if (TakeKeyword("insert")) {
+      HTL_RETURN_IF_ERROR(ExpectKeyword("into"));
+      Statement s;
+      HTL_ASSIGN_OR_RETURN(s.table, ExpectIdent());
+      if (TakeKeyword("values")) {
+        s.kind = Statement::Kind::kInsertValues;
+        while (true) {
+          HTL_RETURN_IF_ERROR(ExpectSymbol("("));
+          std::vector<ExprPtr> row;
+          while (true) {
+            HTL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+            row.push_back(std::move(e));
+            if (TakeSymbol(",")) continue;
+            break;
+          }
+          HTL_RETURN_IF_ERROR(ExpectSymbol(")"));
+          s.values.push_back(std::move(row));
+          if (TakeSymbol(",")) continue;
+          break;
+        }
+        return s;
+      }
+      s.kind = Statement::Kind::kInsertSelect;
+      HTL_ASSIGN_OR_RETURN(s.select, ParseSelect());
+      return s;
+    }
+    return Error("expected SELECT, CREATE, DROP, or INSERT");
+  }
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelect() {
+    HTL_RETURN_IF_ERROR(ExpectKeyword("select"));
+    auto stmt = std::make_unique<SelectStmt>();
+    if (TakeKeyword("distinct")) stmt->distinct = true;
+    while (true) {
+      SelectItem item;
+      if (TakeSymbol("*")) {
+        item.expr = std::make_unique<Expr>();
+        item.expr->kind = ExprKind::kStar;
+      } else {
+        HTL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (TakeKeyword("as")) {
+          HTL_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+        } else if (Peek().kind == TokKind::kIdent && !IsClauseKeyword()) {
+          item.alias = Take().text;
+        }
+      }
+      stmt->items.push_back(std::move(item));
+      if (TakeSymbol(",")) continue;
+      break;
+    }
+    if (TakeKeyword("from")) {
+      HTL_ASSIGN_OR_RETURN(TableRef first, ParseTableRef(JoinType::kCross));
+      stmt->from.push_back(std::move(first));
+      while (true) {
+        if (TakeSymbol(",")) {
+          HTL_ASSIGN_OR_RETURN(TableRef t, ParseTableRef(JoinType::kCross));
+          stmt->from.push_back(std::move(t));
+          continue;
+        }
+        JoinType jt;
+        if (TakeKeyword("left")) {
+          TakeKeyword("outer");
+          HTL_RETURN_IF_ERROR(ExpectKeyword("join"));
+          jt = JoinType::kLeft;
+        } else if (TakeKeyword("inner")) {
+          HTL_RETURN_IF_ERROR(ExpectKeyword("join"));
+          jt = JoinType::kInner;
+        } else if (TakeKeyword("join")) {
+          jt = JoinType::kInner;
+        } else {
+          break;
+        }
+        HTL_ASSIGN_OR_RETURN(TableRef t, ParseTableRef(jt));
+        HTL_RETURN_IF_ERROR(ExpectKeyword("on"));
+        HTL_ASSIGN_OR_RETURN(t.on, ParseExpr());
+        stmt->from.push_back(std::move(t));
+      }
+    }
+    if (TakeKeyword("where")) {
+      HTL_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    if (TakeKeyword("group")) {
+      HTL_RETURN_IF_ERROR(ExpectKeyword("by"));
+      while (true) {
+        HTL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt->group_by.push_back(std::move(e));
+        if (TakeSymbol(",")) continue;
+        break;
+      }
+    }
+    if (TakeKeyword("having")) {
+      HTL_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+    }
+    if (TakeKeyword("order")) {
+      HTL_RETURN_IF_ERROR(ExpectKeyword("by"));
+      while (true) {
+        OrderItem item;
+        HTL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (TakeKeyword("desc")) {
+          item.desc = true;
+        } else {
+          TakeKeyword("asc");
+        }
+        stmt->order_by.push_back(std::move(item));
+        if (TakeSymbol(",")) continue;
+        break;
+      }
+    }
+    if (TakeKeyword("limit")) {
+      if (Peek().kind != TokKind::kInt) return Error("expected integer after LIMIT");
+      stmt->limit = Take().number.AsInt();
+    }
+    if (TakeKeyword("union")) {
+      HTL_RETURN_IF_ERROR(ExpectKeyword("all"));
+      HTL_ASSIGN_OR_RETURN(stmt->union_all, ParseSelect());
+    }
+    return stmt;
+  }
+
+  bool IsClauseKeyword() const {
+    static constexpr std::string_view kClauses[] = {
+        "from", "where", "group", "having", "order", "limit",
+        "union", "on",    "left",  "inner",  "join",  "as"};
+    const std::string lower = AsciiToLower(Peek().text);
+    for (std::string_view kw : kClauses) {
+      if (lower == kw) return true;
+    }
+    return false;
+  }
+
+  Result<TableRef> ParseTableRef(JoinType jt) {
+    TableRef ref;
+    ref.join = jt;
+    HTL_ASSIGN_OR_RETURN(ref.table, ExpectIdent());
+    ref.alias = ref.table;
+    if (TakeKeyword("as")) {
+      HTL_ASSIGN_OR_RETURN(ref.alias, ExpectIdent());
+    } else if (Peek().kind == TokKind::kIdent && !IsClauseKeyword()) {
+      ref.alias = Take().text;
+    }
+    return ref;
+  }
+
+  // ---- Expressions -------------------------------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    HTL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (TakeKeyword("or")) {
+      HTL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary("or", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    HTL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (TakeKeyword("and")) {
+      HTL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeBinary("and", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (TakeKeyword("not")) {
+      HTL_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->op = "not";
+      e->args.push_back(std::move(inner));
+      return ExprPtr(std::move(e));
+    }
+    return ParseComparison();
+  }
+
+  // Deep copy (needed to desugar BETWEEN / IN, whose operand is reused).
+  static ExprPtr CloneExpr(const Expr& e) {
+    auto out = std::make_unique<Expr>();
+    out->kind = e.kind;
+    out->literal = e.literal;
+    out->table_alias = e.table_alias;
+    out->column = e.column;
+    out->op = e.op;
+    out->fn = e.fn;
+    out->count_star = e.count_star;
+    out->is_not_null = e.is_not_null;
+    for (const auto& a : e.args) out->args.push_back(CloneExpr(*a));
+    return out;
+  }
+
+  static ExprPtr Negate(ExprPtr e) {
+    auto out = std::make_unique<Expr>();
+    out->kind = ExprKind::kUnary;
+    out->op = "not";
+    out->args.push_back(std::move(e));
+    return out;
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    HTL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdd());
+    if (TakeKeyword("is")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kIsNull;
+      if (TakeKeyword("not")) e->is_not_null = true;
+      HTL_RETURN_IF_ERROR(ExpectKeyword("null"));
+      e->args.push_back(std::move(lhs));
+      return ExprPtr(std::move(e));
+    }
+    // [NOT] BETWEEN a AND b  /  [NOT] IN (v, ...): desugared.
+    bool negated = false;
+    if (PeekKeyword("not") &&
+        (AsciiToLower(Peek(1).text) == "between" || AsciiToLower(Peek(1).text) == "in")) {
+      TakeKeyword("not");
+      negated = true;
+    }
+    if (TakeKeyword("between")) {
+      HTL_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdd());
+      HTL_RETURN_IF_ERROR(ExpectKeyword("and"));
+      HTL_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdd());
+      ExprPtr lhs_copy = CloneExpr(*lhs);  // Before moving lhs below.
+      ExprPtr lower = MakeBinary(">=", std::move(lhs_copy), std::move(lo));
+      ExprPtr upper = MakeBinary("<=", std::move(lhs), std::move(hi));
+      ExprPtr range = MakeBinary("and", std::move(lower), std::move(upper));
+      return negated ? Negate(std::move(range)) : std::move(range);
+    }
+    if (TakeKeyword("in")) {
+      HTL_RETURN_IF_ERROR(ExpectSymbol("("));
+      ExprPtr any;
+      while (true) {
+        HTL_ASSIGN_OR_RETURN(ExprPtr v, ParseExpr());
+        ExprPtr lhs_copy = CloneExpr(*lhs);
+        ExprPtr eq = MakeBinary("=", std::move(lhs_copy), std::move(v));
+        any = any ? MakeBinary("or", std::move(any), std::move(eq)) : std::move(eq);
+        if (TakeSymbol(",")) continue;
+        break;
+      }
+      HTL_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return negated ? Negate(std::move(any)) : std::move(any);
+    }
+    if (negated) return Error("expected BETWEEN or IN after NOT");
+    for (std::string_view op : {"=", "!=", "<=", ">=", "<", ">"}) {
+      if (PeekSymbol(op)) {
+        ++pos_;
+        HTL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdd());
+        return MakeBinary(std::string(op), std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdd() {
+    HTL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMul());
+    while (PeekSymbol("+") || PeekSymbol("-")) {
+      std::string op = Take().text;
+      HTL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMul());
+      lhs = MakeBinary(std::move(op), std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMul() {
+    HTL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (PeekSymbol("*") || PeekSymbol("/")) {
+      std::string op = Take().text;
+      HTL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = MakeBinary(std::move(op), std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (TakeSymbol("-")) {
+      HTL_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->op = "-";
+      e->args.push_back(std::move(inner));
+      return ExprPtr(std::move(e));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Tok& t = Peek();
+    if (t.kind == TokKind::kInt || t.kind == TokKind::kFloat) {
+      return MakeLiteral(Take().number);
+    }
+    if (t.kind == TokKind::kString) {
+      return MakeLiteral(Value(Take().string));
+    }
+    if (TakeSymbol("(")) {
+      HTL_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      HTL_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    if (t.kind == TokKind::kIdent) {
+      const std::string lower = AsciiToLower(t.text);
+      if (lower == "null") {
+        ++pos_;
+        return MakeLiteral(Value::Null());
+      }
+      std::string name = Take().text;
+      if (PeekSymbol("(")) {
+        ++pos_;
+        auto e = std::make_unique<Expr>();
+        const std::string fn = AsciiToLower(name);
+        if (IsAggregateName(fn)) {
+          e->kind = ExprKind::kAggregate;
+        } else if (IsFunctionName(fn)) {
+          e->kind = ExprKind::kFunction;
+        } else {
+          return Error(StrCat("unknown function '", name, "'"));
+        }
+        e->fn = fn;
+        if (fn == "count" && TakeSymbol("*")) {
+          e->count_star = true;
+          HTL_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return ExprPtr(std::move(e));
+        }
+        while (true) {
+          HTL_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          e->args.push_back(std::move(arg));
+          if (TakeSymbol(",")) continue;
+          break;
+        }
+        HTL_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return ExprPtr(std::move(e));
+      }
+      if (TakeSymbol(".")) {
+        HTL_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        return MakeColumn(std::move(name), std::move(col));
+      }
+      return MakeColumn("", std::move(name));
+    }
+    return Error("expected an expression");
+  }
+
+  std::vector<Tok> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(std::string_view text) {
+  HTL_ASSIGN_OR_RETURN(std::vector<Tok> toks, TokenizeSql(text));
+  Parser p(std::move(toks));
+  return p.ParseOne();
+}
+
+Result<std::vector<Statement>> ParseScript(std::string_view text) {
+  HTL_ASSIGN_OR_RETURN(std::vector<Tok> toks, TokenizeSql(text));
+  Parser p(std::move(toks));
+  return p.ParseScript();
+}
+
+}  // namespace htl::sql

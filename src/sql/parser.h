@@ -1,0 +1,20 @@
+#ifndef HTL_SQL_PARSER_H_
+#define HTL_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "util/result.h"
+
+namespace htl::sql {
+
+/// Parses one statement (a trailing ';' is allowed).
+Result<Statement> ParseStatement(std::string_view text);
+
+/// Parses a ';'-separated script.
+Result<std::vector<Statement>> ParseScript(std::string_view text);
+
+}  // namespace htl::sql
+
+#endif  // HTL_SQL_PARSER_H_

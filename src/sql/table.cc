@@ -1,0 +1,81 @@
+#include "sql/table.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace htl::sql {
+
+int Table::ColumnIndex(const std::string& name) const {
+  const std::string lower = AsciiToLower(name);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (AsciiToLower(columns_[i]) == lower) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Table::AddRow(Row row) {
+  HTL_CHECK_EQ(row.size(), columns_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::ToString(int64_t max_rows) const {
+  std::string out = StrJoin(columns_, " | ") + "\n";
+  int64_t shown = 0;
+  for (const Row& r : rows_) {
+    if (shown++ >= max_rows) {
+      out += StrCat("... (", num_rows() - max_rows, " more rows)\n");
+      break;
+    }
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (i) out += " | ";
+      out += r[i].ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Status Catalog::Create(const std::string& name, Table table) {
+  const std::string key = AsciiToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists(StrCat("table '", name, "' already exists"));
+  }
+  tables_.emplace(key, std::move(table));
+  return Status::OK();
+}
+
+void Catalog::CreateOrReplace(const std::string& name, Table table) {
+  tables_[AsciiToLower(name)] = std::move(table);
+}
+
+Status Catalog::Drop(const std::string& name, bool if_exists) {
+  const std::string key = AsciiToLower(name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    if (if_exists) return Status::OK();
+    return Status::NotFound(StrCat("table '", name, "' does not exist"));
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Result<const Table*> Catalog::Get(const std::string& name) const {
+  auto it = tables_.find(AsciiToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("table '", name, "' does not exist"));
+  }
+  return &it->second;
+}
+
+bool Catalog::Has(const std::string& name) const {
+  return tables_.count(AsciiToLower(name)) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [k, v] : tables_) names.push_back(k);
+  return names;
+}
+
+}  // namespace htl::sql

@@ -1,0 +1,65 @@
+#ifndef HTL_SQL_TABLE_H_
+#define HTL_SQL_TABLE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sql/value.h"
+#include "util/result.h"
+
+namespace htl::sql {
+
+using Row = std::vector<Value>;
+
+/// An in-memory relation: named columns and a row vector. Rows are
+/// positionally aligned with `columns()`.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+
+  /// Index of `name` (case-insensitive), or -1.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Appends a row; arity-checked.
+  void AddRow(Row row);
+
+  /// Pretty multi-line rendering (for examples and debugging).
+  std::string ToString(int64_t max_rows = 50) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+/// The database catalog: named tables. Names are case-insensitive.
+class Catalog {
+ public:
+  /// Creates a table; AlreadyExists if present.
+  Status Create(const std::string& name, Table table);
+
+  /// Creates or replaces.
+  void CreateOrReplace(const std::string& name, Table table);
+
+  /// Drops; NotFound unless if_exists.
+  Status Drop(const std::string& name, bool if_exists);
+
+  Result<const Table*> Get(const std::string& name) const;
+
+  bool Has(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, Table> tables_;  // Keyed by lower-cased name.
+};
+
+}  // namespace htl::sql
+
+#endif  // HTL_SQL_TABLE_H_

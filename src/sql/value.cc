@@ -1,0 +1,59 @@
+#include "sql/value.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace htl::sql {
+
+int64_t Value::AsInt() const {
+  if (is_double()) return static_cast<int64_t>(std::get<double>(data_));
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  if (is_int()) return static_cast<double>(std::get<int64_t>(data_));
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsString() const { return std::get<std::string>(data_); }
+
+bool Value::Truthy() const {
+  if (is_int()) return AsInt() != 0;
+  if (is_double()) return AsDouble() != 0.0;
+  return false;
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return false;
+  if (a.is_numeric() && b.is_numeric()) return a.AsDouble() == b.AsDouble();
+  if (a.is_string() && b.is_string()) return a.AsString() == b.AsString();
+  return false;
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  auto rank = [](const Value& v) { return v.is_null() ? 0 : (v.is_numeric() ? 1 : 2); };
+  if (rank(a) != rank(b)) return rank(a) < rank(b) ? -1 : 1;
+  if (a.is_null()) return 0;
+  if (a.is_numeric()) {
+    const double x = a.AsDouble(), y = b.AsDouble();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  return a.AsString().compare(b.AsString()) < 0
+             ? -1
+             : (a.AsString() == b.AsString() ? 0 : 1);
+}
+
+std::string Value::Key() const {
+  if (is_null()) return "\x01";
+  if (is_numeric()) return StrCat("n", AsDouble());
+  return StrCat("s", AsString());
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return StrCat(AsInt());
+  if (is_double()) return StrCat(AsDouble());
+  return StrCat("'", AsString(), "'");
+}
+
+}  // namespace htl::sql

@@ -1,0 +1,439 @@
+#include "storage/serialization.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "model/video_builder.h"
+#include "util/string_util.h"
+
+namespace htl {
+
+namespace {
+
+// Tokens never contain whitespace: strings escape backslash, newline and
+// space.
+std::string EscapeString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case ' ':
+        out += "\\_";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (i + 1 >= s.size()) return Status::ParseError("dangling escape");
+    switch (s[++i]) {
+      case '\\':
+        out += '\\';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case '_':
+        out += ' ';
+        break;
+      default:
+        return Status::ParseError(StrCat("bad escape \\", std::string(1, s[i])));
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+std::string EncodeValue(const AttrValue& v) {
+  if (v.is_null()) return "0";
+  if (v.is_int()) return StrCat("i", v.AsInt());
+  if (v.is_double()) return StrCat("f", FormatDouble(v.AsDouble()));
+  return StrCat("s", EscapeString(v.AsString()));
+}
+
+Result<AttrValue> DecodeValue(const std::string& token) {
+  if (token.empty()) return Status::ParseError("empty value token");
+  const std::string body = token.substr(1);
+  switch (token[0]) {
+    case '0':
+      return AttrValue();
+    case 'i':
+      try {
+        return AttrValue(static_cast<int64_t>(std::stoll(body)));
+      } catch (...) {
+        return Status::ParseError(StrCat("bad integer '", body, "'"));
+      }
+    case 'f':
+      try {
+        return AttrValue(std::stod(body));
+      } catch (...) {
+        return Status::ParseError(StrCat("bad float '", body, "'"));
+      }
+    case 's': {
+      HTL_ASSIGN_OR_RETURN(std::string s, UnescapeString(body));
+      return AttrValue(std::move(s));
+    }
+    default:
+      return Status::ParseError(StrCat("bad value token '", token, "'"));
+  }
+}
+
+// Splits one line into whitespace-separated tokens.
+std::vector<std::string> Tokens(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+Status ParseErrorAt(int line_no, const std::string& msg) {
+  return Status::ParseError(StrCat("line ", line_no, ": ", msg));
+}
+
+}  // namespace
+
+void WriteSimilarityList(const SimilarityList& list, std::ostream& out) {
+  out << "htl-simlist 1\n";
+  out << "max " << FormatDouble(list.max()) << "\n";
+  for (const SimEntry& e : list.entries()) {
+    out << "entry " << e.range.begin << " " << e.range.end << " "
+        << FormatDouble(e.actual) << "\n";
+  }
+  out << "end\n";
+}
+
+Result<SimilarityList> ReadSimilarityList(std::istream& in) {
+  std::string line;
+  int line_no = 0;
+  auto next = [&]() -> bool {
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (!StripWhitespace(line).empty()) return true;
+    }
+    return false;
+  };
+  if (!next() || Tokens(line) != std::vector<std::string>{"htl-simlist", "1"}) {
+    return ParseErrorAt(line_no, "expected header 'htl-simlist 1'");
+  }
+  double max = 0;
+  std::vector<SimEntry> entries;
+  bool have_max = false;
+  while (next()) {
+    std::vector<std::string> toks = Tokens(line);
+    if (toks[0] == "end") {
+      if (!have_max) return ParseErrorAt(line_no, "missing max line");
+      return SimilarityList::FromEntries(std::move(entries), max);
+    }
+    if (toks[0] == "max" && toks.size() == 2) {
+      try {
+        max = std::stod(toks[1]);
+      } catch (...) {
+        return ParseErrorAt(line_no, "bad max");
+      }
+      have_max = true;
+      continue;
+    }
+    if (toks[0] == "entry" && toks.size() == 4) {
+      try {
+        entries.push_back(SimEntry{Interval{std::stoll(toks[1]), std::stoll(toks[2])},
+                                   std::stod(toks[3])});
+      } catch (...) {
+        return ParseErrorAt(line_no, "bad entry");
+      }
+      continue;
+    }
+    return ParseErrorAt(line_no, StrCat("unexpected directive '", toks[0], "'"));
+  }
+  return ParseErrorAt(line_no, "missing 'end'");
+}
+
+void WriteVideo(const VideoTree& video, std::ostream& out) {
+  out << "htl-video 1\n";
+  out << "levels " << video.num_levels() << "\n";
+  for (const auto& [name, level] : video.level_names()) {
+    out << "levelname " << EscapeString(name) << " " << level << "\n";
+  }
+  for (int level = 1; level <= video.num_levels(); ++level) {
+    for (SegmentId id = 1; id <= video.NumSegments(level); ++id) {
+      const Interval kids = video.Children(level, id);
+      out << "segment " << level << " " << id << " " << kids.size() << "\n";
+      const SegmentMeta& meta = video.Meta(level, id);
+      for (const auto& [name, value] : meta.attributes()) {
+        out << "attr " << EscapeString(name) << " " << EncodeValue(value) << "\n";
+      }
+      for (const ObjectAppearance& obj : meta.objects()) {
+        out << "object " << obj.id << "\n";
+        for (const auto& [name, value] : obj.attributes) {
+          out << "attr " << EscapeString(name) << " " << EncodeValue(value) << "\n";
+        }
+      }
+      for (const PredicateFact& fact : meta.facts()) {
+        out << "fact " << EscapeString(fact.name);
+        for (ObjectId arg : fact.args) out << " " << arg;
+        out << "\n";
+      }
+    }
+  }
+  out << "end\n";
+}
+
+Result<VideoTree> ReadVideo(std::istream& in) {
+  std::string line;
+  int line_no = 0;
+  auto next = [&]() -> bool {
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (!StripWhitespace(line).empty()) return true;
+    }
+    return false;
+  };
+  if (!next() || Tokens(line) != std::vector<std::string>{"htl-video", "1"}) {
+    return ParseErrorAt(line_no, "expected header 'htl-video 1'");
+  }
+  if (!next()) return ParseErrorAt(line_no, "missing levels line");
+  std::vector<std::string> toks = Tokens(line);
+  if (toks.size() != 2 || toks[0] != "levels") {
+    return ParseErrorAt(line_no, "expected 'levels <n>'");
+  }
+  int num_levels = 0;
+  try {
+    num_levels = std::stoi(toks[1]);
+  } catch (...) {
+    return ParseErrorAt(line_no, "bad level count");
+  }
+  if (num_levels < 1) return ParseErrorAt(line_no, "level count must be >= 1");
+
+  VideoBuilder builder;
+  // Handles per (level, id); filled as segment lines declare children.
+  std::vector<std::vector<VideoBuilder::Handle>> handles(
+      static_cast<size_t>(num_levels) + 1);
+  handles[1] = {builder.root()};
+
+  SegmentMeta* current_meta = nullptr;
+  ObjectAppearance* current_object = nullptr;
+  std::vector<std::pair<std::string, int>> level_names;
+  bool saw_end = false;
+
+  while (next()) {
+    toks = Tokens(line);
+    const std::string& dir = toks[0];
+    if (dir == "end") {
+      saw_end = true;
+      break;
+    }
+    if (dir == "levelname") {
+      if (toks.size() != 3) return ParseErrorAt(line_no, "bad levelname");
+      HTL_ASSIGN_OR_RETURN(std::string name, UnescapeString(toks[1]));
+      try {
+        level_names.emplace_back(std::move(name), std::stoi(toks[2]));
+      } catch (...) {
+        return ParseErrorAt(line_no, "bad levelname level");
+      }
+      continue;
+    }
+    if (dir == "segment") {
+      if (toks.size() != 4) return ParseErrorAt(line_no, "bad segment line");
+      int level = 0;
+      SegmentId id = 0;
+      int64_t kids = 0;
+      try {
+        level = std::stoi(toks[1]);
+        id = std::stoll(toks[2]);
+        kids = std::stoll(toks[3]);
+      } catch (...) {
+        return ParseErrorAt(line_no, "bad segment numbers");
+      }
+      if (level < 1 || level > num_levels) {
+        return ParseErrorAt(line_no, StrCat("segment level ", level, " out of range"));
+      }
+      if (level == 1 && id != 1) {
+        return ParseErrorAt(line_no, "level 1 has exactly one segment (the root)");
+      }
+      auto& level_handles = handles[static_cast<size_t>(level)];
+      // Segments arrive in level order 1..N, and a segment's handle exists
+      // only once its parent declared its children.
+      if (id < 1 || static_cast<size_t>(id) > level_handles.size()) {
+        return ParseErrorAt(
+            line_no, StrCat("segment (", level, ",", id,
+                            ") declared before its parent or out of order"));
+      }
+      VideoBuilder::Handle h = level_handles[static_cast<size_t>(id - 1)];
+      if (kids > 0) {
+        if (level + 1 > num_levels) {
+          return ParseErrorAt(line_no, "children below the last level");
+        }
+        for (int64_t k = 0; k < kids; ++k) {
+          handles[static_cast<size_t>(level + 1)].push_back(builder.AddChild(h));
+        }
+      }
+      current_meta = &builder.Meta(h);
+      current_object = nullptr;
+      continue;
+    }
+    if (current_meta == nullptr) {
+      return ParseErrorAt(line_no, StrCat("'", dir, "' before any segment"));
+    }
+    if (dir == "object") {
+      if (toks.size() != 2) return ParseErrorAt(line_no, "bad object line");
+      ObjectAppearance obj;
+      try {
+        obj.id = std::stoll(toks[1]);
+      } catch (...) {
+        return ParseErrorAt(line_no, "bad object id");
+      }
+      current_meta->AddObject(std::move(obj));
+      // AddObject keeps objects sorted; find it again for attribute lines.
+      current_object = const_cast<ObjectAppearance*>(
+          current_meta->FindObject(std::stoll(toks[1])));
+      continue;
+    }
+    if (dir == "attr") {
+      if (toks.size() != 3) return ParseErrorAt(line_no, "bad attr line");
+      HTL_ASSIGN_OR_RETURN(std::string name, UnescapeString(toks[1]));
+      HTL_ASSIGN_OR_RETURN(AttrValue value, DecodeValue(toks[2]));
+      if (current_object != nullptr) {
+        current_object->attributes[name] = std::move(value);
+      } else {
+        current_meta->SetAttribute(name, std::move(value));
+      }
+      continue;
+    }
+    if (dir == "fact") {
+      if (toks.size() < 2) return ParseErrorAt(line_no, "bad fact line");
+      PredicateFact fact;
+      HTL_ASSIGN_OR_RETURN(fact.name, UnescapeString(toks[1]));
+      for (size_t i = 2; i < toks.size(); ++i) {
+        try {
+          fact.args.push_back(std::stoll(toks[i]));
+        } catch (...) {
+          return ParseErrorAt(line_no, "bad fact argument");
+        }
+      }
+      current_meta->AddFact(std::move(fact));
+      continue;
+    }
+    return ParseErrorAt(line_no, StrCat("unknown directive '", dir, "'"));
+  }
+  if (!saw_end) return ParseErrorAt(line_no, "missing 'end'");
+  HTL_ASSIGN_OR_RETURN(VideoTree video, std::move(builder).Build());
+  if (video.num_levels() != num_levels) {
+    return Status::ParseError(
+        StrCat("declared ", num_levels, " levels but reconstructed ",
+               video.num_levels()));
+  }
+  for (auto& [name, level] : level_names) {
+    HTL_RETURN_IF_ERROR(video.NameLevel(name, level));
+  }
+  return video;
+}
+
+void WriteStore(const MetadataStore& store, std::ostream& out) {
+  out << "htl-store 1\n";
+  out << "videos " << store.num_videos() << "\n";
+  for (MetadataStore::VideoId v = 1; v <= store.num_videos(); ++v) {
+    WriteVideo(store.Video(v), out);
+  }
+}
+
+Result<MetadataStore> ReadStore(std::istream& in) {
+  std::string line;
+  int line_no = 0;
+  auto next = [&]() -> bool {
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (!StripWhitespace(line).empty()) return true;
+    }
+    return false;
+  };
+  if (!next() || Tokens(line) != std::vector<std::string>{"htl-store", "1"}) {
+    return ParseErrorAt(line_no, "expected header 'htl-store 1'");
+  }
+  if (!next()) return ParseErrorAt(line_no, "missing videos line");
+  std::vector<std::string> toks = Tokens(line);
+  if (toks.size() != 2 || toks[0] != "videos") {
+    return ParseErrorAt(line_no, "expected 'videos <n>'");
+  }
+  int64_t count = 0;
+  try {
+    count = std::stoll(toks[1]);
+  } catch (...) {
+    return ParseErrorAt(line_no, "bad video count");
+  }
+  if (count < 0) return ParseErrorAt(line_no, "negative video count");
+  MetadataStore store;
+  for (int64_t i = 0; i < count; ++i) {
+    HTL_ASSIGN_OR_RETURN(VideoTree video, ReadVideo(in));
+    store.AddVideo(std::move(video));
+  }
+  return store;
+}
+
+Status SaveSimilarityList(const SimilarityList& list, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal(StrCat("cannot open '", path, "' for writing"));
+  WriteSimilarityList(list, out);
+  out.flush();
+  if (!out) return Status::Internal(StrCat("write to '", path, "' failed"));
+  return Status::OK();
+}
+
+Result<SimilarityList> LoadSimilarityList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound(StrCat("cannot open '", path, "'"));
+  return ReadSimilarityList(in);
+}
+
+Status SaveVideo(const VideoTree& video, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal(StrCat("cannot open '", path, "' for writing"));
+  WriteVideo(video, out);
+  out.flush();
+  if (!out) return Status::Internal(StrCat("write to '", path, "' failed"));
+  return Status::OK();
+}
+
+Result<VideoTree> LoadVideo(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound(StrCat("cannot open '", path, "'"));
+  return ReadVideo(in);
+}
+
+Status SaveStore(const MetadataStore& store, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal(StrCat("cannot open '", path, "' for writing"));
+  WriteStore(store, out);
+  out.flush();
+  if (!out) return Status::Internal(StrCat("write to '", path, "' failed"));
+  return Status::OK();
+}
+
+Result<MetadataStore> LoadStore(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound(StrCat("cannot open '", path, "'"));
+  return ReadStore(in);
+}
+
+}  // namespace htl

@@ -1,0 +1,63 @@
+#ifndef HTL_STORAGE_SERIALIZATION_H_
+#define HTL_STORAGE_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "model/video.h"
+#include "sim/sim_list.h"
+#include "util/result.h"
+
+namespace htl {
+
+/// Plain-text serialization for the two artifacts the paper stores on
+/// secondary storage: similarity lists (the tables fed between the picture
+/// retrieval system and the video retrieval system, section 4) and the
+/// meta-data database itself (figure 1). The format is line-oriented and
+/// versioned; readers validate structure and report precise errors.
+///
+/// Similarity list format:
+///   htl-simlist 1
+///   max <float>
+///   entry <beg> <end> <actual>     # repeated, sorted
+///   end
+///
+/// Video format:
+///   htl-video 1
+///   levels <n>
+///   levelname <name> <level>       # repeated
+///   segment <level> <id> <num_children>
+///   attr <name> <value>            # repeated, owned by last segment/object
+///   object <id>
+///   fact <name> <arg>...
+///   end
+///
+/// Values encode as: i<int>, f<float>, s<escaped string> (\\ and \n escaped).
+
+/// Writes/parses one similarity list.
+void WriteSimilarityList(const SimilarityList& list, std::ostream& out);
+Result<SimilarityList> ReadSimilarityList(std::istream& in);
+
+/// Writes/parses one video tree with all its meta-data.
+void WriteVideo(const VideoTree& video, std::ostream& out);
+Result<VideoTree> ReadVideo(std::istream& in);
+
+/// Writes/parses a whole store (all videos, concatenated with a count
+/// header):
+///   htl-store 1
+///   videos <n>
+///   <n> video blocks>
+void WriteStore(const MetadataStore& store, std::ostream& out);
+Result<MetadataStore> ReadStore(std::istream& in);
+
+/// File-level helpers.
+Status SaveSimilarityList(const SimilarityList& list, const std::string& path);
+Result<SimilarityList> LoadSimilarityList(const std::string& path);
+Status SaveVideo(const VideoTree& video, const std::string& path);
+Result<VideoTree> LoadVideo(const std::string& path);
+Status SaveStore(const MetadataStore& store, const std::string& path);
+Result<MetadataStore> LoadStore(const std::string& path);
+
+}  // namespace htl
+
+#endif  // HTL_STORAGE_SERIALIZATION_H_

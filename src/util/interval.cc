@@ -1,0 +1,39 @@
+#include "util/interval.h"
+
+#include "util/string_util.h"
+
+namespace htl {
+
+std::string Interval::ToString() const {
+  if (empty()) return "[]";
+  return StrCat("[", begin, ",", end, "]");
+}
+
+bool IsDisjointSorted(const std::vector<Interval>& intervals) {
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    if (intervals[i].empty()) return false;
+    if (i > 0 && intervals[i - 1].end >= intervals[i].begin) return false;
+  }
+  return true;
+}
+
+std::vector<Interval> CoalesceAdjacent(const std::vector<Interval>& intervals) {
+  std::vector<Interval> out;
+  out.reserve(intervals.size());
+  for (const Interval& iv : intervals) {
+    if (!out.empty() && out.back().Adjacent(iv)) {
+      out.back().end = iv.end;
+    } else {
+      out.push_back(iv);
+    }
+  }
+  return out;
+}
+
+int64_t TotalCovered(const std::vector<Interval>& intervals) {
+  int64_t n = 0;
+  for (const Interval& iv : intervals) n += iv.size();
+  return n;
+}
+
+}  // namespace htl

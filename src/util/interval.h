@@ -1,0 +1,58 @@
+#ifndef HTL_UTIL_INTERVAL_H_
+#define HTL_UTIL_INTERVAL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace htl {
+
+/// Id of a video segment within one proper sequence. The paper numbers
+/// segments sequentially starting from 1; id 0 is reserved as "invalid".
+using SegmentId = int64_t;
+
+inline constexpr SegmentId kInvalidSegmentId = 0;
+
+/// A closed integer interval [begin, end] of segment ids. Empty iff
+/// begin > end.
+struct Interval {
+  SegmentId begin = 1;
+  SegmentId end = 0;  // Default-constructed interval is empty.
+
+  bool empty() const { return begin > end; }
+  /// Number of ids covered; 0 when empty.
+  int64_t size() const { return empty() ? 0 : end - begin + 1; }
+  bool Contains(SegmentId id) const { return begin <= id && id <= end; }
+  bool Overlaps(const Interval& o) const {
+    return !empty() && !o.empty() && begin <= o.end && o.begin <= end;
+  }
+  /// True when `o` starts exactly one past this interval's end.
+  bool Adjacent(const Interval& o) const { return !empty() && !o.empty() && end + 1 == o.begin; }
+
+  /// Intersection; empty when disjoint.
+  Interval Intersect(const Interval& o) const {
+    return Interval{std::max(begin, o.begin), std::min(end, o.end)};
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+
+  std::string ToString() const;
+};
+
+/// True when `intervals` is sorted by begin, non-empty element-wise, and
+/// pairwise disjoint — the invariant of similarity-list interval columns.
+bool IsDisjointSorted(const std::vector<Interval>& intervals);
+
+/// Coalesces a sorted disjoint sequence, merging adjacent intervals
+/// ([1,3],[4,9] -> [1,9]). Input must satisfy IsDisjointSorted.
+std::vector<Interval> CoalesceAdjacent(const std::vector<Interval>& intervals);
+
+/// Total number of ids covered by a disjoint interval set.
+int64_t TotalCovered(const std::vector<Interval>& intervals);
+
+}  // namespace htl
+
+#endif  // HTL_UTIL_INTERVAL_H_

@@ -1,0 +1,100 @@
+#ifndef HTL_UTIL_LOGGING_H_
+#define HTL_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace htl {
+namespace internal_logging {
+
+/// Severity for the minimal logging facility. kFatal aborts after emitting.
+enum class Severity { kInfo, kWarning, kError, kFatal };
+
+/// Accumulates one log line via operator<< and emits it (with severity tag)
+/// to stderr on destruction. Used only through the HTL_LOG / HTL_CHECK
+/// macros below.
+class LogMessage {
+ public:
+  LogMessage(Severity severity, const char* file, int line) : severity_(severity) {
+    stream_ << "[" << Tag(severity) << " " << Basename(file) << ":" << line << "] ";
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage() {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+    if (severity_ == Severity::kFatal) {
+      std::cerr.flush();
+      std::abort();
+    }
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* Tag(Severity s) {
+    switch (s) {
+      case Severity::kInfo:
+        return "INFO";
+      case Severity::kWarning:
+        return "WARN";
+      case Severity::kError:
+        return "ERROR";
+      case Severity::kFatal:
+        return "FATAL";
+    }
+    return "?";
+  }
+  static const char* Basename(const char* file) {
+    const char* base = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  Severity severity_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a streamed expression; used for the disabled branch of checks.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Allows `cond ? (void)0 : Voidify() & stream` in macro expansions.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace htl
+
+#define HTL_LOG(severity)                                                        \
+  ::htl::internal_logging::LogMessage(                                           \
+      ::htl::internal_logging::Severity::k##severity, __FILE__, __LINE__)        \
+      .stream()
+
+/// Aborts with a message when `cond` is false. Active in all build modes:
+/// these guard library invariants whose violation means memory-unsafe or
+/// semantically wrong results downstream.
+#define HTL_CHECK(cond)                              \
+  (cond) ? (void)0                                   \
+         : ::htl::internal_logging::Voidify() &      \
+               HTL_LOG(Fatal) << "Check failed: " #cond " "
+
+#define HTL_CHECK_EQ(a, b) HTL_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HTL_CHECK_NE(a, b) HTL_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HTL_CHECK_LE(a, b) HTL_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HTL_CHECK_LT(a, b) HTL_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HTL_CHECK_GE(a, b) HTL_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HTL_CHECK_GT(a, b) HTL_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // HTL_UTIL_LOGGING_H_

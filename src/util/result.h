@@ -1,0 +1,79 @@
+#ifndef HTL_UTIL_RESULT_H_
+#define HTL_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace htl {
+
+/// Result<T> holds either a value of type T or a non-OK Status, in the style
+/// of absl::StatusOr / arrow::Result. Accessing the value of an errored
+/// Result aborts the process (library code must check ok() first or use the
+/// HTL_ASSIGN_OR_RETURN macro).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return MakeThing();`.
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+  /// Implicit from error status: `return Status::InvalidArgument(...)`.
+  /// Constructing from an OK status is a caller bug and aborts.
+  Result(Status status) : data_(std::in_place_index<1>, std::move(status)) {
+    HTL_CHECK(!std::get<1>(data_).ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return data_.index() == 0; }
+
+  /// The error status; OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<1>(data_);
+  }
+
+  const T& value() const& {
+    HTL_CHECK(ok()) << "Result::value() on error: " << std::get<1>(data_).ToString();
+    return std::get<0>(data_);
+  }
+  T& value() & {
+    HTL_CHECK(ok()) << "Result::value() on error: " << std::get<1>(data_).ToString();
+    return std::get<0>(data_);
+  }
+  T&& value() && {
+    HTL_CHECK(ok()) << "Result::value() on error: " << std::get<1>(data_).ToString();
+    return std::move(std::get<0>(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when errored.
+  T value_or(T fallback) const {
+    if (ok()) return std::get<0>(data_);
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace htl
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its status
+/// from the enclosing function, otherwise assigns the value to `lhs`.
+#define HTL_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  HTL_ASSIGN_OR_RETURN_IMPL_(                                 \
+      HTL_RESULT_CONCAT_(htl_result_tmp_, __LINE__), lhs, rexpr)
+
+#define HTL_RESULT_CONCAT_INNER_(a, b) a##b
+#define HTL_RESULT_CONCAT_(a, b) HTL_RESULT_CONCAT_INNER_(a, b)
+#define HTL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // HTL_UTIL_RESULT_H_

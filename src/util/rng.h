@@ -1,0 +1,37 @@
+#ifndef HTL_UTIL_RNG_H_
+#define HTL_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace htl {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256**), used by
+/// the synthetic workload generators so every experiment is reproducible
+/// from its seed. Not cryptographic.
+class Rng {
+ public:
+  /// Seeds the state via SplitMix64 expansion of `seed`.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace htl
+
+#endif  // HTL_UTIL_RNG_H_

@@ -1,0 +1,96 @@
+#ifndef HTL_UTIL_STATUS_H_
+#define HTL_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace htl {
+
+/// Error categories used across the library. Mirrors the usual storage-engine
+/// convention (LevelDB/RocksDB): library functions that can fail return a
+/// Status (or Result<T>, see result.h) instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kFailedPrecondition = 7,
+  kParseError = 8,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "ParseError", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap value type carrying success or an (code, message) error.
+///
+/// The OK status carries no allocation. Statuses are copyable and movable;
+/// an ignored Status is a bug in the caller, so builders should always
+/// propagate or assert on them.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. A kOk code with a
+  /// non-empty message is normalized to plain OK.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(code == StatusCode::kOk ? std::string() : std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace htl
+
+/// Evaluates `expr` (a Status expression); on error, returns it from the
+/// enclosing function. The enclosing function must return Status or a type
+/// constructible from Status (e.g. Result<T>).
+#define HTL_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::htl::Status htl_status_tmp_ = (expr);        \
+    if (!htl_status_tmp_.ok()) return htl_status_tmp_; \
+  } while (0)
+
+#endif  // HTL_UTIL_STATUS_H_

@@ -1,0 +1,14 @@
+#ifndef HTL_UTIL_VERSION_H_
+#define HTL_UTIL_VERSION_H_
+
+namespace htl {
+
+/// Library version, bumped on releases (semver).
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace htl
+
+#endif  // HTL_UTIL_VERSION_H_

@@ -1,0 +1,155 @@
+#include "workload/casablanca.h"
+
+#include "util/logging.h"
+
+namespace htl {
+namespace casablanca {
+
+namespace {
+
+// Object ids in the annotation.
+constexpr ObjectId kRick = 1;     // The man of the man-woman pair.
+constexpr ObjectId kIlsa = 2;     // The woman.
+constexpr ObjectId kManA = 3;     // Two men appearing together.
+constexpr ObjectId kManB = 4;
+constexpr ObjectId kTrain = 5;
+
+// Constraint weights calibrated to the published similarity values:
+//   two persons                      -> 0.63 + 0.63            = 1.26
+//   + man/woman pair                 -> + 1.335                = 2.595
+//   + close-up                       -> + 3.665                = 6.26
+//   train + moving                   -> 4.8935 + 4.8935        = 9.787
+constexpr double kPersonW = 0.63;
+constexpr double kPairW = 1.335;
+constexpr double kCloseUpW = 3.665;
+constexpr double kTrainW = 4.8935;
+constexpr double kMovingW = 4.8935;
+
+void AddPerson(SegmentMeta& meta, ObjectId id) {
+  ObjectAppearance obj;
+  obj.id = id;
+  obj.attributes["type"] = AttrValue("person");
+  meta.AddObject(std::move(obj));
+}
+
+}  // namespace
+
+SimilarityList MovingTrainTable() {
+  return SimilarityList::FromEntriesOrDie({{Interval{9, 9}, kTrainW + kMovingW}},
+                                          kTrainW + kMovingW);
+}
+
+SimilarityList ManWomanTable() {
+  const double two = 2 * kPersonW;
+  const double pair = two + kPairW;
+  const double close = pair + kCloseUpW;
+  return SimilarityList::FromEntriesOrDie(
+      {
+          {Interval{1, 4}, pair},   // Man and woman together.
+          {Interval{6, 6}, two},    // Two men.
+          {Interval{8, 8}, two},
+          {Interval{10, 44}, two},
+          {Interval{47, 49}, close},  // Close-up of the pair.
+      },
+      close);
+}
+
+SimilarityList EventuallyMovingTrainTable() {
+  return SimilarityList::FromEntriesOrDie({{Interval{1, 9}, kTrainW + kMovingW}},
+                                          kTrainW + kMovingW);
+}
+
+SimilarityList Query1ResultTable() {
+  const double mt = kTrainW + kMovingW;                     // 9.787
+  const double two = 2 * kPersonW;                          // 1.26
+  const double pair = two + kPairW;                         // 2.595
+  const double close = pair + kCloseUpW;                    // 6.26
+  return SimilarityList::FromEntriesOrDie(
+      {
+          {Interval{1, 4}, pair + mt},   // 12.382
+          {Interval{5, 5}, mt},          // 9.787
+          {Interval{6, 6}, two + mt},    // 11.047
+          {Interval{7, 7}, mt},          // 9.787
+          {Interval{8, 8}, two + mt},    // 11.047
+          {Interval{9, 9}, mt},          // 9.787
+          {Interval{10, 44}, two},       // 1.26
+          {Interval{47, 49}, close},     // 6.26
+      },
+      close + mt);
+}
+
+FormulaPtr Query1Named() {
+  return MakeAnd(MakePredicate("man_woman", {}),
+                 MakeEventually(MakePredicate("moving_train", {})));
+}
+
+std::map<std::string, SimilarityList> NamedInputs() {
+  return {{"man_woman", ManWomanTable()}, {"moving_train", MovingTrainTable()}};
+}
+
+FormulaPtr MovingTrainAtomic() {
+  return MakeExists(
+      {"t"},
+      MakeAnd(MakeCompare(AttrTerm::AttrOf("type", "t"), CompareOp::kEq,
+                          AttrTerm::Literal(AttrValue("train")), kTrainW),
+              MakePredicate("moving", {"t"}, kMovingW)));
+}
+
+FormulaPtr ManWomanAtomic() {
+  FormulaPtr body = MakeAnd(
+      MakeAnd(MakeCompare(AttrTerm::AttrOf("type", "x"), CompareOp::kEq,
+                          AttrTerm::Literal(AttrValue("person")), kPersonW),
+              MakeCompare(AttrTerm::AttrOf("type", "y"), CompareOp::kEq,
+                          AttrTerm::Literal(AttrValue("person")), kPersonW)),
+      MakeAnd(MakePredicate("man_woman_pair", {"x", "y"}, kPairW),
+              MakePredicate("close_up", {"x", "y"}, kCloseUpW)));
+  return MakeExists({"x", "y"}, std::move(body));
+}
+
+FormulaPtr Query1Full() {
+  return MakeAnd(ManWomanAtomic(), MakeEventually(MovingTrainAtomic()));
+}
+
+VideoTree MakeVideo() {
+  VideoTree video = VideoTree::Flat(kNumShots);
+  video.MutableMeta(1, 1).SetAttribute("title", "The Making of Casablanca");
+  video.MutableMeta(1, 1).SetAttribute("type", "documentary");
+  HTL_CHECK(video.NameLevel("shot", 2).ok());
+
+  auto shot = [&](SegmentId s) -> SegmentMeta& { return video.MutableMeta(2, s); };
+
+  // Shots 1-4: the man-woman pair.
+  for (SegmentId s = 1; s <= 4; ++s) {
+    AddPerson(shot(s), kRick);
+    AddPerson(shot(s), kIlsa);
+    shot(s).AddFact({"man_woman_pair", {kRick, kIlsa}});
+  }
+  // Shots 6, 8 and 10-44: two men.
+  for (SegmentId s : {SegmentId{6}, SegmentId{8}}) {
+    AddPerson(shot(s), kManA);
+    AddPerson(shot(s), kManB);
+  }
+  for (SegmentId s = 10; s <= 44; ++s) {
+    AddPerson(shot(s), kManA);
+    AddPerson(shot(s), kManB);
+  }
+  // Shot 9: the moving train.
+  {
+    ObjectAppearance train;
+    train.id = kTrain;
+    train.attributes["type"] = AttrValue("train");
+    shot(9).AddObject(std::move(train));
+    shot(9).AddFact({"moving", {kTrain}});
+  }
+  // Shots 47-49: close-up of the pair.
+  for (SegmentId s = 47; s <= 49; ++s) {
+    AddPerson(shot(s), kRick);
+    AddPerson(shot(s), kIlsa);
+    shot(s).AddFact({"man_woman_pair", {kRick, kIlsa}});
+    shot(s).AddFact({"close_up", {kRick, kIlsa}});
+  }
+  return video;
+}
+
+}  // namespace casablanca
+}  // namespace htl

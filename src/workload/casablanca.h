@@ -1,0 +1,66 @@
+#ifndef HTL_WORKLOAD_CASABLANCA_H_
+#define HTL_WORKLOAD_CASABLANCA_H_
+
+#include <map>
+#include <string>
+
+#include "htl/ast.h"
+#include "model/video.h"
+#include "sim/sim_list.h"
+
+namespace htl {
+
+/// The real-data test case of section 4.1: "The Making of Casablanca",
+/// segmented into 50 shots by cut detection; each shot annotated in the
+/// picture retrieval system. Tables 1-4 of the paper are reproduced exactly:
+/// the input similarity tables (Tables 1-2) are transcribed from the paper,
+/// and the meta-data of MakeCasablancaVideo() is annotated so that the
+/// picture system re-derives them (constraint weights chosen to match the
+/// published similarity values).
+namespace casablanca {
+
+inline constexpr int64_t kNumShots = 50;
+
+/// Table 1 — atomic predicate Moving-Train: {[9,9]: 9.787}, max 9.787.
+SimilarityList MovingTrainTable();
+
+/// Table 2 — atomic predicate Man-Woman:
+/// {[1,4]: 2.595, [6,6]: 1.26, [8,8]: 1.26, [10,44]: 1.26, [47,49]: 6.26},
+/// max 6.26. Lower values are shots with two men instead of a man and a
+/// woman.
+SimilarityList ManWomanTable();
+
+/// Table 3 — intermediate result `eventually Moving-Train`: {[1,9]: 9.787}.
+SimilarityList EventuallyMovingTrainTable();
+
+/// Table 4 — final result of Query 1 =
+/// `Man-Woman and (eventually Moving-Train)`, eight interval rows with
+/// actual values 12.382, 11.047, 11.047, 9.787, 9.787, 9.787, 6.26, 1.26.
+SimilarityList Query1ResultTable();
+
+/// Query 1 over named predicates (for EvaluateWithLists and the SQL
+/// translator): man_woman and (eventually moving_train).
+FormulaPtr Query1Named();
+
+/// The input lists keyed by the predicate names Query1Named() uses.
+std::map<std::string, SimilarityList> NamedInputs();
+
+/// The atomic HTL formulas whose picture-system evaluation over
+/// MakeCasablancaVideo() reproduces Tables 1 and 2 exactly:
+///   moving_train := exists t (type(t)='train' @4.8935 and moving(t) @4.8935)
+///   man_woman    := exists x, y (type(x)='person' @0.63 and
+///                   type(y)='person' @0.63 and man_woman_pair(x,y) @1.335
+///                   and close_up(x,y) @3.665)
+FormulaPtr MovingTrainAtomic();
+FormulaPtr ManWomanAtomic();
+
+/// Query 1 composed from the atomic formulas (full end-to-end pipeline).
+FormulaPtr Query1Full();
+
+/// The 50-shot video (two levels: root + shots) with annotated meta-data.
+VideoTree MakeVideo();
+
+}  // namespace casablanca
+}  // namespace htl
+
+#endif  // HTL_WORKLOAD_CASABLANCA_H_

@@ -1,0 +1,79 @@
+#include "workload/footage_gen.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace htl {
+
+namespace {
+
+// A random normalized histogram concentrated on a few bins — distinct
+// scenes get visibly different distributions.
+std::vector<double> RandomHistogram(Rng& rng, int bins) {
+  std::vector<double> h(static_cast<size_t>(bins), 0.0);
+  for (int i = 0; i < bins; ++i) h[static_cast<size_t>(i)] = rng.UniformDouble(0, 0.1);
+  // Two dominant bins carry most of the mass.
+  h[static_cast<size_t>(rng.UniformInt(0, bins - 1))] += rng.UniformDouble(0.3, 0.6);
+  h[static_cast<size_t>(rng.UniformInt(0, bins - 1))] += rng.UniformDouble(0.2, 0.4);
+  double sum = 0;
+  for (double v : h) sum += v;
+  for (double& v : h) v /= sum;
+  return h;
+}
+
+}  // namespace
+
+Footage GenerateFootage(Rng& rng, const FootageOptions& options) {
+  HTL_CHECK_GE(options.num_scenes, 1);
+  HTL_CHECK_GE(options.min_scene_frames, 1);
+  HTL_CHECK_GE(options.max_scene_frames, options.min_scene_frames);
+
+  Footage out;
+  for (int64_t scene = 0; scene < options.num_scenes; ++scene) {
+    out.scene_starts.push_back(static_cast<int64_t>(out.frames.size()));
+    const int64_t len =
+        rng.UniformInt(options.min_scene_frames, options.max_scene_frames);
+    const std::vector<double> base = RandomHistogram(rng, options.histogram_bins);
+
+    // Scene cast: boxes with types and starting positions.
+    struct Actor {
+      std::string label;
+      BoundingBox box;
+    };
+    std::vector<Actor> cast;
+    const int64_t actors = rng.UniformInt(options.min_objects, options.max_objects);
+    for (int64_t a = 0; a < actors; ++a) {
+      Actor actor;
+      actor.label = options.labels[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(options.labels.size()) - 1))];
+      const double w = rng.UniformDouble(20, 60);
+      const double h = rng.UniformDouble(20, 60);
+      actor.box = BoundingBox{rng.UniformDouble(0, options.width - w),
+                              rng.UniformDouble(0, options.height - h), w, h};
+      cast.push_back(std::move(actor));
+    }
+
+    for (int64_t f = 0; f < len; ++f) {
+      RawFrame frame;
+      frame.features.histogram = base;
+      // Small within-scene jitter that stays far below the cut threshold.
+      for (double& v : frame.features.histogram) {
+        v = std::max(0.0, v + rng.UniformDouble(-0.005, 0.005));
+      }
+      for (Actor& actor : cast) {
+        actor.box.x = std::clamp(actor.box.x + rng.UniformDouble(-options.drift,
+                                                                 options.drift),
+                                 0.0, options.width - actor.box.width);
+        actor.box.y = std::clamp(actor.box.y + rng.UniformDouble(-options.drift,
+                                                                 options.drift),
+                                 0.0, options.height - actor.box.height);
+        frame.detections.push_back(Detection{actor.box, actor.label});
+      }
+      out.frames.push_back(std::move(frame));
+    }
+  }
+  return out;
+}
+
+}  // namespace htl

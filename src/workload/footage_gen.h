@@ -1,0 +1,44 @@
+#ifndef HTL_WORKLOAD_FOOTAGE_GEN_H_
+#define HTL_WORKLOAD_FOOTAGE_GEN_H_
+
+#include <vector>
+
+#include "analyzer/pipeline.h"
+#include "util/rng.h"
+
+namespace htl {
+
+/// Synthetic "raw footage" for the analyzer pipeline: a sequence of frames
+/// whose feature histograms change sharply at scene changes (so the cut
+/// detector has ground truth to find) and whose detections are moving
+/// boxes with smooth trajectories within a scene (so the tracker can
+/// follow them). The stand-in for real decoded video, which the paper's
+/// testbed had and this reproduction does not.
+struct FootageOptions {
+  int64_t num_scenes = 5;
+  int64_t min_scene_frames = 4;
+  int64_t max_scene_frames = 12;
+  int histogram_bins = 8;
+  /// Objects per scene, each a random type from this palette.
+  int min_objects = 1;
+  int max_objects = 3;
+  std::vector<std::string> labels = {"person", "train", "airplane"};
+  /// Image dimensions the boxes live in.
+  double width = 320;
+  double height = 240;
+  /// Per-frame drift of a box center (uniform in [-drift, +drift]).
+  double drift = 6.0;
+};
+
+struct Footage {
+  std::vector<RawFrame> frames;
+  /// Ground-truth first frame (0-based) of every scene.
+  std::vector<int64_t> scene_starts;
+};
+
+/// Deterministic given the Rng state.
+Footage GenerateFootage(Rng& rng, const FootageOptions& options);
+
+}  // namespace htl
+
+#endif  // HTL_WORKLOAD_FOOTAGE_GEN_H_

@@ -1,0 +1,158 @@
+#include "workload/formula_gen.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace htl {
+
+namespace {
+
+class Generator {
+ public:
+  Generator(Rng& rng, const FormulaGenOptions& options) : rng_(rng), options_(options) {}
+
+  FormulaPtr Gen(int depth) {
+    if (depth <= 0) return Leaf();
+    switch (rng_.UniformInt(0, 7)) {
+      case 0:
+        return MakeAnd(Gen(depth - 1), Gen(depth - 1));
+      case 1:
+        return MakeUntil(Gen(depth - 1), Gen(depth - 1));
+      case 2:
+        return MakeEventually(Gen(depth - 1));
+      case 3:
+        return MakeNext(Gen(depth - 1));
+      case 4:
+        if (options_.allow_or) return MakeOr(Gen(depth - 1), Gen(depth - 1));
+        return MakeAnd(Gen(depth - 1), Gen(depth - 1));
+      case 5:
+        if (options_.allow_not) return MakeNot(Gen(depth - 1));
+        if (options_.allow_closed_not) {
+          // Negate a closed (variable-free) temporal subformula.
+          return MakeNot(MakeEventually(VarFreeLeaf()));
+        }
+        return MakeEventually(Gen(depth - 1));
+      case 6:
+        if (options_.allow_level && options_.max_levels > 2) {
+          // Level operators nest from level 1 only in our tests; keep them
+          // at the top via GenTop instead. Here fall through to a leaf.
+          return Leaf();
+        }
+        return Leaf();
+      default:
+        return Leaf();
+    }
+  }
+
+  /// A top-level formula; may wrap the body in a level operator.
+  FormulaPtr GenTop() {
+    if (options_.allow_level && options_.max_levels > 2 && rng_.Bernoulli(0.5)) {
+      return MakeAtNamedLevel("frame", Gen(options_.max_depth - 1));
+    }
+    return Gen(options_.max_depth);
+  }
+
+ private:
+  std::string Fresh(const char* base) { return StrCat(base, ++var_counter_); }
+
+  const std::string& Pick(const std::vector<std::string>& v) {
+    return v[static_cast<size_t>(rng_.UniformInt(0, static_cast<int64_t>(v.size()) - 1))];
+  }
+
+  CompareOp PickOp() {
+    switch (rng_.UniformInt(0, 4)) {
+      case 0:
+        return CompareOp::kEq;
+      case 1:
+        return CompareOp::kLt;
+      case 2:
+        return CompareOp::kLe;
+      case 3:
+        return CompareOp::kGt;
+      default:
+        return CompareOp::kGe;
+    }
+  }
+
+  double Weight() { return static_cast<double>(rng_.UniformInt(1, 8)) / 2.0; }
+
+  FormulaPtr Leaf() {
+    switch (rng_.UniformInt(0, options_.allow_freeze ? 4 : 3)) {
+      case 0: {
+        // Segment attribute comparison (variable-free).
+        return MakeCompare(AttrTerm::SegmentAttr("duration"), PickOp(),
+                           AttrTerm::Literal(AttrValue(rng_.UniformInt(1, 100))),
+                           Weight());
+      }
+      case 1: {
+        // One object variable: type plus optional attribute/fact.
+        if (!options_.allow_exists) return VarFreeLeaf();
+        std::string x = Fresh("x");
+        FormulaPtr body = MakeCompare(AttrTerm::AttrOf("type", x), CompareOp::kEq,
+                                      AttrTerm::Literal(AttrValue(Pick(options_.types))),
+                                      Weight());
+        if (rng_.Bernoulli(0.5)) {
+          body = MakeAnd(std::move(body),
+                         MakeCompare(AttrTerm::AttrOf(options_.int_attr, x), PickOp(),
+                                     AttrTerm::Literal(AttrValue(
+                                         rng_.UniformInt(1, options_.attr_range))),
+                                     Weight()));
+        }
+        if (rng_.Bernoulli(0.4)) {
+          body = MakeAnd(std::move(body),
+                         MakePredicate(Pick(options_.unary_facts), {x}, Weight()));
+        }
+        return MakeExists({x}, std::move(body));
+      }
+      case 2: {
+        // Two object variables joined by a binary fact.
+        if (!options_.allow_exists) return VarFreeLeaf();
+        std::string x = Fresh("x");
+        std::string y = Fresh("y");
+        FormulaPtr body =
+            MakeAnd(MakePresent(x, Weight()),
+                    MakeAnd(MakePresent(y, Weight()),
+                            MakePredicate(Pick(options_.binary_facts), {x, y}, Weight())));
+        return MakeExists({x, y}, std::move(body));
+      }
+      case 3:
+        return VarFreeLeaf();
+      default: {
+        // Freeze template (formula (C) of the paper): capture an attribute
+        // now, compare later.
+        std::string z = Fresh("z");
+        std::string h = Fresh("h");
+        FormulaPtr later = MakeAnd(MakePresent(z, Weight()),
+                                   MakeCompare(AttrTerm::AttrOf(options_.int_attr, z),
+                                               PickOp(), AttrTerm::Variable(h), Weight()));
+        FormulaPtr body = MakeAnd(
+            MakeCompare(AttrTerm::AttrOf("type", z), CompareOp::kEq,
+                        AttrTerm::Literal(AttrValue(Pick(options_.types))), Weight()),
+            MakeFreeze(h, AttrTerm::AttrOf(options_.int_attr, z),
+                       MakeEventually(std::move(later))));
+        return MakeExists({z}, std::move(body));
+      }
+    }
+  }
+
+  FormulaPtr VarFreeLeaf() {
+    if (rng_.Bernoulli(0.5)) {
+      return MakeCompare(AttrTerm::SegmentAttr("duration"), PickOp(),
+                         AttrTerm::Literal(AttrValue(rng_.UniformInt(1, 100))), Weight());
+    }
+    return MakeTrue();
+  }
+
+  Rng& rng_;
+  const FormulaGenOptions& options_;
+  int var_counter_ = 0;
+};
+
+}  // namespace
+
+FormulaPtr GenerateFormula(Rng& rng, const FormulaGenOptions& options) {
+  Generator g(rng, options);
+  return g.GenTop();
+}
+
+}  // namespace htl

@@ -1,0 +1,45 @@
+#ifndef HTL_WORKLOAD_FORMULA_GEN_H_
+#define HTL_WORKLOAD_FORMULA_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "htl/ast.h"
+#include "util/rng.h"
+
+namespace htl {
+
+/// Parameters for the random formula generator used by the property tests
+/// (direct engine vs reference engine equivalence).
+struct FormulaGenOptions {
+  /// Maximum operator depth above the atomic leaves.
+  int max_depth = 4;
+
+  /// Construct toggles. The defaults cover the extended conjunctive class;
+  /// enabling `or` leaves the class the direct engine still supports, and
+  /// `not` produces kGeneral formulas only the reference engine evaluates.
+  bool allow_exists = true;
+  bool allow_freeze = true;
+  bool allow_level = false;  // Needs a >2-level video.
+  bool allow_or = false;
+  bool allow_not = false;
+  /// Negation over variable-free subformulas only — the extension the
+  /// direct engine supports (list complement); allow_not produces fully
+  /// general negation that only the reference engine evaluates.
+  bool allow_closed_not = false;
+
+  /// Vocabulary matching VideoGenOptions' defaults.
+  std::vector<std::string> types = {"person", "train", "airplane", "horse"};
+  std::vector<std::string> unary_facts = {"moving", "armed"};
+  std::vector<std::string> binary_facts = {"fires_at", "close_up"};
+  std::string int_attr = "height";
+  int64_t attr_range = 5;
+  int max_levels = 3;  // For at-level-i when allow_level.
+};
+
+/// Generates a closed, bindable formula. Deterministic given the Rng state.
+FormulaPtr GenerateFormula(Rng& rng, const FormulaGenOptions& options);
+
+}  // namespace htl
+
+#endif  // HTL_WORKLOAD_FORMULA_GEN_H_

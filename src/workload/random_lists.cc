@@ -1,0 +1,50 @@
+#include "workload/random_lists.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace htl {
+
+namespace {
+
+// Geometric draw with the given mean (>= 1).
+int64_t GeometricLength(Rng& rng, double mean) {
+  if (mean <= 1.0) return 1;
+  const double p = 1.0 / mean;
+  // Inverse-CDF sampling; clamp to avoid log(0).
+  const double u = std::max(rng.UniformDouble(), 1e-12);
+  return 1 + static_cast<int64_t>(std::floor(std::log(u) / std::log(1.0 - p)));
+}
+
+}  // namespace
+
+SimilarityList GenerateRandomList(Rng& rng, const RandomListOptions& options) {
+  HTL_CHECK_GT(options.num_segments, 0);
+  HTL_CHECK_GT(options.coverage, 0.0);
+  HTL_CHECK_LT(options.coverage, 1.0);
+  // Mean gap that yields the requested coverage given the mean run length:
+  // coverage = run / (run + gap).
+  const double mean_gap = options.mean_run * (1.0 - options.coverage) / options.coverage;
+
+  std::vector<SimEntry> entries;
+  SegmentId pos = 1;
+  bool in_gap = true;
+  while (pos <= options.num_segments) {
+    if (in_gap) {
+      pos += GeometricLength(rng, mean_gap);
+    } else {
+      const int64_t run = GeometricLength(rng, options.mean_run);
+      const SegmentId end = std::min<SegmentId>(pos + run - 1, options.num_segments);
+      // Quantize to 1/16ths of the unit so values are exact in binary.
+      const int64_t ticks = rng.UniformInt(1, static_cast<int64_t>(options.max_sim * 16));
+      entries.push_back(SimEntry{Interval{pos, end}, static_cast<double>(ticks) / 16.0});
+      pos = end + 2;  // Mandatory 1-segment gap between runs.
+    }
+    in_gap = !in_gap;
+  }
+  return SimilarityList::FromEntriesOrDie(std::move(entries), options.max_sim);
+}
+
+}  // namespace htl

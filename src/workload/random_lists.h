@@ -1,0 +1,37 @@
+#ifndef HTL_WORKLOAD_RANDOM_LISTS_H_
+#define HTL_WORKLOAD_RANDOM_LISTS_H_
+
+#include <cstdint>
+
+#include "sim/sim_list.h"
+#include "util/rng.h"
+
+namespace htl {
+
+/// Parameters for the randomly generated similarity lists of section 4.2
+/// ("approximately one tenth of these shots satisfy the atomic predicates").
+struct RandomListOptions {
+  /// Number of shots in the synthetic movie (the paper's "size" column).
+  int64_t num_segments = 10'000;
+
+  /// Fraction of segments with non-zero similarity (~0.1 in the paper).
+  double coverage = 0.1;
+
+  /// Mean length of a covered run (entries in the generated list represent
+  /// runs of consecutive matching shots, as cut-adjacent shots often score
+  /// alike).
+  double mean_run = 4.0;
+
+  /// Maximum similarity value of the generated atomic predicate. Actual
+  /// values are drawn uniformly from (0, max_sim] quantized to 1/16 so that
+  /// both evaluation paths produce bit-identical doubles.
+  double max_sim = 20.0;
+};
+
+/// Draws a random similarity list: alternating geometric gaps and runs with
+/// per-run uniform values. Deterministic given the Rng state.
+SimilarityList GenerateRandomList(Rng& rng, const RandomListOptions& options);
+
+}  // namespace htl
+
+#endif  // HTL_WORKLOAD_RANDOM_LISTS_H_

@@ -1,0 +1,90 @@
+#include "workload/video_gen.h"
+
+#include "model/video_builder.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace htl {
+
+VideoTree GenerateVideo(Rng& rng, const VideoGenOptions& options) {
+  HTL_CHECK_GE(options.levels, 1);
+  HTL_CHECK_GE(options.min_branching, 1);
+  HTL_CHECK_GE(options.max_branching, options.min_branching);
+
+  VideoBuilder builder;
+  builder.Meta(builder.root()).SetAttribute("title", "synthetic");
+  builder.Meta(builder.root()).SetAttribute("type", "synthetic");
+
+  // Grow the tree level by level.
+  std::vector<VideoBuilder::Handle> frontier = {builder.root()};
+  for (int depth = 1; depth < options.levels; ++depth) {
+    std::vector<VideoBuilder::Handle> next;
+    for (VideoBuilder::Handle h : frontier) {
+      const int64_t kids = rng.UniformInt(options.min_branching, options.max_branching);
+      for (int64_t i = 0; i < kids; ++i) next.push_back(builder.AddChild(h));
+    }
+    frontier = std::move(next);
+  }
+
+  // Annotate every node (most queries target the leaf level, but level
+  // operators read intermediate meta-data too). Re-walk by building: we
+  // annotate the frontier (leaves) densely and all nodes sparsely via the
+  // builder handles we kept; simpler: annotate leaves densely here.
+  auto annotate = [&](SegmentMeta& meta, SegmentId salt) {
+    meta.SetAttribute("duration", rng.UniformInt(1, 100));
+    for (int o = 1; o <= options.num_objects; ++o) {
+      if (!rng.Bernoulli(options.object_density)) continue;
+      ObjectAppearance obj;
+      obj.id = o;
+      obj.attributes["type"] =
+          AttrValue(options.types[static_cast<size_t>(o) % options.types.size()]);
+      if (!options.int_attr.empty()) {
+        obj.attributes[options.int_attr] = AttrValue(rng.UniformInt(1, options.attr_range));
+      }
+      meta.AddObject(std::move(obj));
+    }
+    std::vector<ObjectId> present;
+    for (const ObjectAppearance& o : meta.objects()) present.push_back(o.id);
+    if (!present.empty()) {
+      for (const std::string& fact : options.unary_facts) {
+        if (rng.Bernoulli(options.fact_density)) {
+          meta.AddFact({fact,
+                        {present[static_cast<size_t>(rng.UniformInt(
+                            0, static_cast<int64_t>(present.size()) - 1))]}});
+        }
+      }
+      if (present.size() >= 2) {
+        for (const std::string& fact : options.binary_facts) {
+          if (rng.Bernoulli(options.fact_density)) {
+            const int64_t a =
+                rng.UniformInt(0, static_cast<int64_t>(present.size()) - 1);
+            int64_t b = rng.UniformInt(0, static_cast<int64_t>(present.size()) - 1);
+            meta.AddFact({fact,
+                          {present[static_cast<size_t>(a)],
+                           present[static_cast<size_t>(b)]}});
+          }
+        }
+      }
+    }
+    (void)salt;
+  };
+  // Annotate every node of the builder (handles are dense 0..N-1 with 0 the
+  // root; we annotate all of them).
+  for (VideoBuilder::Handle h : frontier) annotate(builder.Meta(h), static_cast<SegmentId>(h));
+
+  Result<VideoTree> built = std::move(builder).Build();
+  HTL_CHECK(built.ok()) << built.status().ToString();
+  VideoTree video = std::move(built).value();
+  if (options.levels >= 2 && video.num_levels() >= 2) {
+    HTL_CHECK(video.NameLevel("frame", video.num_levels()).ok());
+  }
+  if (video.num_levels() >= 3) {
+    HTL_CHECK(video.NameLevel("shot", video.num_levels() - 1).ok());
+  }
+  if (video.num_levels() >= 4) {
+    HTL_CHECK(video.NameLevel("scene", video.num_levels() - 2).ok());
+  }
+  return video;
+}
+
+}  // namespace htl

@@ -1,0 +1,50 @@
+#ifndef HTL_WORKLOAD_VIDEO_GEN_H_
+#define HTL_WORKLOAD_VIDEO_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "model/video.h"
+#include "util/rng.h"
+
+namespace htl {
+
+/// Parameters for the synthetic hierarchical video generator used by the
+/// property tests and the multi-level benchmarks (the paper could not print
+/// multi-level meta-data; this generator exercises the same code paths).
+struct VideoGenOptions {
+  /// Depth of the hierarchy including the root (2 = root + shots).
+  int levels = 3;
+
+  /// Children per node, drawn uniformly from [min, max].
+  int min_branching = 2;
+  int max_branching = 4;
+
+  /// Size of the object-id universe.
+  int num_objects = 6;
+
+  /// Probability that a given object appears in a given segment.
+  double object_density = 0.4;
+
+  /// Object types assigned round-robin from this palette.
+  std::vector<std::string> types = {"person", "train", "airplane", "horse"};
+
+  /// Unary/binary fact names sprinkled over present objects.
+  std::vector<std::string> unary_facts = {"moving", "armed"};
+  std::vector<std::string> binary_facts = {"fires_at", "close_up"};
+  double fact_density = 0.3;
+
+  /// Integer attribute attached to present objects (e.g. height), drawn
+  /// uniformly from [1, attr_range].
+  std::string int_attr = "height";
+  int64_t attr_range = 5;
+};
+
+/// Generates a random video tree; all leaves at the same depth, named
+/// levels "scene" (2) and "shot" (3) when that deep. Deterministic given
+/// the Rng state.
+VideoTree GenerateVideo(Rng& rng, const VideoGenOptions& options);
+
+}  // namespace htl
+
+#endif  // HTL_WORKLOAD_VIDEO_GEN_H_

@@ -1,0 +1,115 @@
+#include "workload/western.h"
+
+#include "htl/parser.h"
+#include "model/video_builder.h"
+#include "util/logging.h"
+
+namespace htl {
+namespace western {
+
+namespace {
+
+FormulaPtr MustParse(const char* text) {
+  Result<FormulaPtr> r = ParseFormula(text);
+  HTL_CHECK(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+void AddPlane(SegmentMeta& meta, ObjectId id, const char* state_fact) {
+  ObjectAppearance plane;
+  plane.id = id;
+  plane.attributes["type"] = AttrValue("airplane");
+  meta.AddObject(std::move(plane));
+  meta.AddFact({state_fact, {id}});
+}
+
+void AddPerson(SegmentMeta& meta, ObjectId id, const char* type, const char* name) {
+  ObjectAppearance person;
+  person.id = id;
+  person.attributes["type"] = AttrValue(type);
+  person.attributes["name"] = AttrValue(name);
+  meta.AddObject(std::move(person));
+}
+
+}  // namespace
+
+VideoTree MakeVideo() {
+  VideoBuilder b;
+  b.Meta(b.root()).SetAttribute("title", AttrValue("Rio Lobo"));
+  b.Meta(b.root()).SetAttribute("type", AttrValue("western"));
+  b.Meta(b.root()).SetAttribute("star", AttrValue("JohnWayne"));
+
+  VideoBuilder::Handle scenes[4];
+  VideoBuilder::Handle frames[12];
+  for (int s = 0; s < 4; ++s) {
+    scenes[s] = b.AddChild(b.root());
+    for (int f = 0; f < 3; ++f) frames[s * 3 + f] = b.AddChild(scenes[s]);
+  }
+  b.Meta(scenes[0]).SetAttribute("topic", AttrValue("airfield"));
+  b.Meta(scenes[1]).SetAttribute("topic", AttrValue("shootout"));
+  b.Meta(scenes[2]).SetAttribute("topic", AttrValue("sunset"));
+  b.Meta(scenes[3]).SetAttribute("topic", AttrValue("landscape"));
+
+  // Scene 1 (frames 1-3): the airplane pattern of formula (A).
+  AddPlane(b.Meta(frames[0]), kPlaneA, "on_ground");
+  AddPlane(b.Meta(frames[0]), kPlaneB, "on_ground");
+  AddPlane(b.Meta(frames[1]), kPlaneA, "in_air");
+  AddPlane(b.Meta(frames[1]), kPlaneB, "in_air");
+  AddPlane(b.Meta(frames[2]), kPlaneA, "shot_down");
+  AddPlane(b.Meta(frames[2]), kPlaneB, "in_air");
+
+  // Scene 2 (frames 4-6): John Wayne shoots the bandit — formula (B).
+  {
+    SegmentMeta& f4 = b.Meta(frames[3]);
+    AddPerson(f4, kJohnWayne, "person", "JohnWayne");
+    AddPerson(f4, kBandit, "bandit", "Frank");
+    f4.AddFact({"holds_gun", {kJohnWayne}});
+    f4.AddFact({"holds_gun", {kBandit}});
+    SegmentMeta& f5 = b.Meta(frames[4]);
+    AddPerson(f5, kJohnWayne, "person", "JohnWayne");
+    AddPerson(f5, kBandit, "bandit", "Frank");
+    f5.AddFact({"fires_at", {kJohnWayne, kBandit}});
+    SegmentMeta& f6 = b.Meta(frames[5]);
+    AddPerson(f6, kBandit, "bandit", "Frank");
+    f6.AddFact({"on_floor", {kBandit}});
+  }
+
+  // Scene 3 (frames 7-9): John Wayne rides into the sunset.
+  for (int f = 6; f < 9; ++f) {
+    AddPerson(b.Meta(frames[f]), kJohnWayne, "person", "JohnWayne");
+  }
+  // Scene 4 (frames 10-12): empty landscape.
+
+  b.NameLevel("scene", 2);
+  b.NameLevel("frame", 3);
+  Result<VideoTree> built = std::move(b).Build();
+  HTL_CHECK(built.ok()) << built.status().ToString();
+  return std::move(built).value();
+}
+
+FormulaPtr FormulaB() {
+  return MustParse(
+      "exists x, y (present(x) and present(y) and name(x) = 'JohnWayne' and "
+      "type(y) = 'bandit' and holds_gun(x) and holds_gun(y) and "
+      "eventually (present(x) and present(y) and fires_at(x, y) and "
+      "eventually (present(y) and on_floor(y))))");
+}
+
+FormulaPtr FormulaA() {
+  return MustParse(
+      "exists p (type(p) = 'airplane' and on_ground(p)) and next "
+      "(exists p (type(p) = 'airplane' and in_air(p)) until "
+      "exists p (type(p) = 'airplane' and shot_down(p)))");
+}
+
+FormulaPtr BrowsingQuery() {
+  return MustParse(
+      "type = 'western' and at-frame-level("
+      "exists x, y (present(x) and present(y) and name(x) = 'JohnWayne' and "
+      "type(y) = 'bandit' and holds_gun(x) and holds_gun(y) and "
+      "eventually (present(x) and present(y) and fires_at(x, y) and "
+      "eventually (present(y) and on_floor(y)))))");
+}
+
+}  // namespace western
+}  // namespace htl

@@ -1,0 +1,54 @@
+#ifndef HTL_WORKLOAD_WESTERN_H_
+#define HTL_WORKLOAD_WESTERN_H_
+
+#include "htl/ast.h"
+#include "model/video.h"
+
+namespace htl {
+
+/// The running example of the paper's sections 2.1-2.4: a western movie
+/// starring John Wayne, annotated so that the example formulas (A) and (B)
+/// evaluate to known values.
+///
+/// The video has three levels: root (the movie), 4 scenes, and 12 frames.
+/// Scene 2 contains the shooting: John Wayne and a bandit both holding
+/// guns, then John Wayne firing at the bandit, then the bandit on the
+/// floor — exactly formula (B)'s pattern. The frame level also carries a
+/// plane sequence for formula (A)'s shot pattern (planes on the ground,
+/// planes in the air, a plane shot down).
+namespace western {
+
+inline constexpr ObjectId kJohnWayne = 1;
+inline constexpr ObjectId kBandit = 2;
+inline constexpr ObjectId kPlaneA = 3;
+inline constexpr ObjectId kPlaneB = 4;
+
+/// Builds the annotated movie. Levels: 1 root, 2 "scene" (4), 3 "frame"
+/// (12, 3 per scene).
+VideoTree MakeVideo();
+
+/// Formula (B): John Wayne shoots a bandit —
+///   exists x, y (present(x) and present(y) and name(x)='JohnWayne' and
+///     type(y)='bandit' and holds_gun(x) and holds_gun(y) and
+///     eventually (fires_at(x, y) and eventually on_floor(y)))
+/// Asserted at the frame level it peaks (exact match, 8/8) at the first
+/// frame of the shooting scene (global frame 4).
+FormulaPtr FormulaB();
+
+/// Formula (A)'s shape over the frame level:
+///   planes_on_ground and next (planes_in_air until plane_down)
+/// with the three non-temporal parts expressed as atomic formulas:
+///   M1 = exists p (type(p)='airplane' and on_ground(p))
+///   M2 = exists p (type(p)='airplane' and in_air(p))
+///   M3 = exists p (type(p)='airplane' and shot_down(p))
+FormulaPtr FormulaA();
+
+/// The browsing query of section 2.3: a western starring John Wayne, with
+/// the shooting pattern somewhere at the frame level —
+///   type = 'western' and at-frame-level(FormulaB body).
+FormulaPtr BrowsingQuery();
+
+}  // namespace western
+}  // namespace htl
+
+#endif  // HTL_WORKLOAD_WESTERN_H_

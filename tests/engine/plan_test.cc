@@ -1,0 +1,81 @@
+#include "engine/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "htl/binder.h"
+#include "htl/parser.h"
+#include "testing/helpers.h"
+#include "workload/casablanca.h"
+
+namespace htl {
+namespace {
+
+FormulaPtr Parse(std::string_view text) {
+  auto r = ParseFormula(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  FormulaPtr f = std::move(r).value();
+  EXPECT_OK(Bind(f.get()));
+  return f;
+}
+
+TEST(ExplainPlanTest, Query1Plan) {
+  VideoTree v = casablanca::MakeVideo();
+  FormulaPtr q = casablanca::Query1Full();
+  ASSERT_OK(Bind(q.get()));
+  ASSERT_OK_AND_ASSIGN(std::string plan, ExplainPlan(v, 2, *q));
+  EXPECT_NE(plan.find("class type(1)"), std::string::npos);
+  EXPECT_NE(plan.find("AndMerge join"), std::string::npos);
+  EXPECT_NE(plan.find("suffix-max sweep"), std::string::npos);
+  EXPECT_NE(plan.find("picture query"), std::string::npos);
+  EXPECT_NE(plan.find("50 segments"), std::string::npos);
+}
+
+TEST(ExplainPlanTest, ShowsAtomicColumns) {
+  VideoTree v = VideoTree::Flat(3);
+  // Non-closed atomic under a prenex exists: the atomic carries column x.
+  FormulaPtr q = Parse("exists x (present(x) and eventually present(x))");
+  ASSERT_OK_AND_ASSIGN(std::string plan, ExplainPlan(v, 2, *q));
+  EXPECT_NE(plan.find("m-way max collapse"), std::string::npos);
+  EXPECT_NE(plan.find("columns=(x)"), std::string::npos);
+}
+
+TEST(ExplainPlanTest, FreezeAndUntilAndLevel) {
+  VideoTree v = VideoTree::Flat(3);
+  FormulaPtr q = Parse(
+      "exists z (type(z) = 'airplane' and "
+      "[h <- height(z)] (true until height(z) > h))");
+  ASSERT_OK_AND_ASSIGN(std::string plan, ExplainPlan(v, 2, *q));
+  EXPECT_NE(plan.find("value-table join"), std::string::npos);
+  EXPECT_NE(plan.find("backward sweep"), std::string::npos);
+
+  FormulaPtr lvl = Parse("at-next-level(true)");
+  ASSERT_OK_AND_ASSIGN(std::string plan2, ExplainPlan(v, 1, *lvl));
+  EXPECT_NE(plan2.find("per-parent subsequence"), std::string::npos);
+}
+
+TEST(ExplainPlanTest, NegationAndConstants) {
+  VideoTree v = VideoTree::Flat(3);
+  FormulaPtr q = Parse("not (false or true)");
+  ASSERT_OK_AND_ASSIGN(std::string plan, ExplainPlan(v, 2, *q));
+  EXPECT_NE(plan.find("list complement"), std::string::npos);
+  EXPECT_NE(plan.find("constant list"), std::string::npos);
+  EXPECT_NE(plan.find("empty list"), std::string::npos);
+  EXPECT_NE(plan.find("class general"), std::string::npos);
+}
+
+TEST(ExplainPlanTest, OutOfRangeLevel) {
+  VideoTree v = VideoTree::Flat(3);
+  FormulaPtr q = Parse("true");
+  EXPECT_EQ(ExplainPlan(v, 9, *q).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ExplainPlanTest, TreeStructureIsIndented) {
+  VideoTree v = VideoTree::Flat(3);
+  FormulaPtr q = Parse("true and (true until true)");
+  ASSERT_OK_AND_ASSIGN(std::string plan, ExplainPlan(v, 2, *q));
+  EXPECT_NE(plan.find("├─"), std::string::npos);
+  EXPECT_NE(plan.find("└─"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace htl

@@ -1,0 +1,110 @@
+#include "htl/ast.h"
+
+#include <gtest/gtest.h>
+
+#include "htl/binder.h"
+#include "htl/parser.h"
+#include "testing/helpers.h"
+
+namespace htl {
+namespace {
+
+FormulaPtr Parse(std::string_view text) {
+  auto r = ParseFormula(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(AstTest, FreeObjectVarsInOccurrenceOrder) {
+  FormulaPtr f = Parse("present(a) and fires_at(b, a) and type(c) = 'x'");
+  EXPECT_EQ(FreeObjectVars(*f), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(AstTest, ExistsBindsVars) {
+  FormulaPtr f = Parse("exists a (present(a) and present(b))");
+  EXPECT_EQ(FreeObjectVars(*f), std::vector<std::string>{"b"});
+}
+
+TEST(AstTest, FreezeTermObjectVarIsFree) {
+  FormulaPtr f = Parse("[h <- height(z)] true");
+  EXPECT_EQ(FreeObjectVars(*f), std::vector<std::string>{"z"});
+}
+
+TEST(AstTest, FreeAttrVars) {
+  // An unfrozen bare name resolves to a segment attribute, so a free
+  // attribute variable only arises from explicit construction.
+  FormulaPtr f = MakeCompare(AttrTerm::AttrOf("height", "z"), CompareOp::kGt,
+                             AttrTerm::Variable("h"));
+  EXPECT_EQ(FreeAttrVars(*f), std::vector<std::string>{"h"});
+  // And the binder rejects it: attribute variables must be frozen.
+  EXPECT_FALSE(Bind(f.get(), BindOptions{.require_closed = false}).ok());
+}
+
+TEST(AstTest, FreezeBindsAttrVar) {
+  FormulaPtr f = Parse("exists z ([h <- height(z)] (height(z) > h))");
+  ASSERT_OK(Bind(f.get()));
+  EXPECT_TRUE(FreeAttrVars(*f).empty());
+}
+
+TEST(AstTest, IsNonTemporal) {
+  EXPECT_TRUE(IsNonTemporal(*Parse("present(x) and type(x) = 'a'")));
+  EXPECT_TRUE(IsNonTemporal(*Parse("exists x (present(x))")));
+  EXPECT_FALSE(IsNonTemporal(*Parse("next present(x)")));
+  EXPECT_FALSE(IsNonTemporal(*Parse("eventually present(x)")));
+  EXPECT_FALSE(IsNonTemporal(*Parse("present(x) until present(y)")));
+  EXPECT_FALSE(IsNonTemporal(*Parse("at-next-level(present(x))")));
+}
+
+TEST(AstTest, MaxSimilaritySumsWeightsThroughAnd) {
+  EXPECT_EQ(MaxSimilarity(*Parse("present(x) @ 2 and present(y) @ 3")), 5.0);
+}
+
+TEST(AstTest, MaxSimilarityOfUntilIsRhs) {
+  EXPECT_EQ(MaxSimilarity(*Parse("present(x) @ 2 until present(y) @ 3")), 3.0);
+}
+
+TEST(AstTest, MaxSimilarityThroughUnaries) {
+  EXPECT_EQ(MaxSimilarity(*Parse("next present(x) @ 2")), 2.0);
+  EXPECT_EQ(MaxSimilarity(*Parse("eventually present(x) @ 2")), 2.0);
+  EXPECT_EQ(MaxSimilarity(*Parse("not present(x) @ 2")), 2.0);
+  EXPECT_EQ(MaxSimilarity(*Parse("exists x (present(x) @ 2)")), 2.0);
+  EXPECT_EQ(MaxSimilarity(*Parse("at-next-level(present(x) @ 2)")), 2.0);
+}
+
+TEST(AstTest, MaxSimilarityOfOrIsMax) {
+  EXPECT_EQ(MaxSimilarity(*Parse("present(x) @ 2 or present(y) @ 3")), 3.0);
+}
+
+TEST(AstTest, MaxSimilarityOfConstants) {
+  EXPECT_EQ(MaxSimilarity(*Parse("true")), 1.0);
+  EXPECT_EQ(MaxSimilarity(*Parse("false")), 1.0);
+}
+
+TEST(AstTest, CloneIsDeep) {
+  FormulaPtr f = Parse("exists x (present(x) and eventually present(x))");
+  FormulaPtr g = f->Clone();
+  // Mutate the clone; the original must not change.
+  g->vars[0] = "zzz";
+  EXPECT_EQ(f->vars[0], "x");
+  EXPECT_NE(f->left.get(), g->left.get());
+}
+
+TEST(AstTest, ToStringForms) {
+  EXPECT_EQ(Parse("present(x)")->ToString(), "present(x)");
+  EXPECT_EQ(Parse("present(x) @ 2")->ToString(), "present(x) @ 2");
+  EXPECT_EQ(Parse("a() and b()")->ToString(), "(a() and b())");
+  EXPECT_EQ(Parse("at-level-3(true)")->ToString(), "at-level-3 (true)");
+  EXPECT_EQ(Parse("[h <- height(z)] true")->ToString(), "[h <- height(z)] (true)");
+}
+
+TEST(AstTest, CompareOpNames) {
+  EXPECT_EQ(CompareOpName(CompareOp::kEq), "=");
+  EXPECT_EQ(CompareOpName(CompareOp::kNe), "!=");
+  EXPECT_EQ(CompareOpName(CompareOp::kLt), "<");
+  EXPECT_EQ(CompareOpName(CompareOp::kLe), "<=");
+  EXPECT_EQ(CompareOpName(CompareOp::kGt), ">");
+  EXPECT_EQ(CompareOpName(CompareOp::kGe), ">=");
+}
+
+}  // namespace
+}  // namespace htl

@@ -1,0 +1,101 @@
+#include "htl/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "htl/parser.h"
+#include "testing/helpers.h"
+
+namespace htl {
+namespace {
+
+Status BindText(std::string_view text, BindOptions options = {}) {
+  auto r = ParseFormula(text);
+  if (!r.ok()) return r.status();
+  return Bind(r.value().get(), options);
+}
+
+TEST(BinderTest, ClosedFormulaBinds) {
+  EXPECT_OK(BindText("exists x (present(x))"));
+  EXPECT_OK(BindText("exists x, y (fires_at(x, y))"));
+  EXPECT_OK(BindText("type = 'western'"));
+}
+
+TEST(BinderTest, UnboundObjectVariableRejected) {
+  Status s = BindText("present(x)");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BinderTest, FreeVariablesAllowedWhenNotRequired) {
+  BindOptions open;
+  open.require_closed = false;
+  EXPECT_OK(BindText("present(x)", open));
+  EXPECT_OK(BindText("fires_at(x, y)", open));
+}
+
+TEST(BinderTest, RebindingRejected) {
+  EXPECT_FALSE(BindText("exists x (exists x (present(x)))").ok());
+  EXPECT_FALSE(
+      BindText("exists h ([h <- height(h)] present(h))").ok());
+}
+
+TEST(BinderTest, AttrVarUsedAsObjectRejected) {
+  Status s = BindText("exists z ([h <- height(z)] present(h))");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BinderTest, ObjectVarInComparisonRejected) {
+  Status s = BindText("exists x (x = 5)");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BinderTest, BareNameResolvesToAttrVariableWhenFrozen) {
+  auto r = ParseFormula("exists z ([h <- height(z)] eventually height(z) > h)");
+  ASSERT_OK(r.status());
+  FormulaPtr f = std::move(r).value();
+  ASSERT_OK(Bind(f.get()));
+  // Find the comparison; its rhs must now be kVariable.
+  const Formula* node = f.get();
+  while (node->kind != FormulaKind::kConstraint) node = node->left.get();
+  EXPECT_EQ(node->constraint.rhs.kind, AttrTerm::Kind::kVariable);
+  EXPECT_EQ(node->constraint.rhs.name, "h");
+}
+
+TEST(BinderTest, BareNameResolvesToSegmentAttributeOtherwise) {
+  auto r = ParseFormula("duration > 5");
+  ASSERT_OK(r.status());
+  FormulaPtr f = std::move(r).value();
+  ASSERT_OK(Bind(f.get()));
+  EXPECT_EQ(f->constraint.lhs.kind, AttrTerm::Kind::kSegmentAttr);
+}
+
+TEST(BinderTest, FreezeOverUnboundObjectRejected) {
+  Status s = BindText("[h <- height(z)] true");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BinderTest, LevelNumberValidated) {
+  EXPECT_FALSE(BindText("at-level-0(true)").ok());
+  EXPECT_OK(BindText("at-level-2(true)"));
+}
+
+TEST(BinderTest, NullaryPredicateAllowed) {
+  EXPECT_OK(BindText("man_woman() and eventually moving_train()"));
+}
+
+TEST(BinderTest, NullFormulaRejected) {
+  EXPECT_FALSE(Bind(nullptr).ok());
+}
+
+TEST(BinderTest, PaperFormulasBind) {
+  EXPECT_OK(
+      BindText("exists x, y (present(x) and present(y) and name(x) = 'JohnWayne' and "
+               "type(y) = 'bandit' and holds_gun(x) and holds_gun(y) and "
+               "eventually (fires_at(x, y) and eventually on_floor(y)))"));
+  EXPECT_OK(
+      BindText("exists z (present(z) and type(z) = 'airplane' and "
+               "[h <- height(z)] eventually (present(z) and height(z) > h))"));
+  EXPECT_OK(BindText("type = 'western' and at-frame-level(exists x (present(x)))"));
+}
+
+}  // namespace
+}  // namespace htl

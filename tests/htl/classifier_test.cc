@@ -1,0 +1,109 @@
+#include "htl/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "htl/binder.h"
+#include "htl/parser.h"
+#include "testing/helpers.h"
+
+namespace htl {
+namespace {
+
+FormulaClass ClassOf(std::string_view text) {
+  auto r = ParseFormula(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  FormulaPtr f = std::move(r).value();
+  Status s = Bind(f.get());
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return Classify(*f);
+}
+
+TEST(ClassifierTest, PaperFormulaAIsType1) {
+  // (A): M1 and next (M2 until M3) — non-temporal formulas joined by
+  // temporal operators and conjunction.
+  EXPECT_EQ(ClassOf("m1() and next (m2() until m3())"), FormulaClass::kType1);
+}
+
+TEST(ClassifierTest, ExistsInsideNonTemporalLeavesType1) {
+  // Existential quantifiers entirely inside non-temporal subformulas count
+  // as part of the atomic formulas.
+  EXPECT_EQ(ClassOf("exists x (present(x)) and eventually exists y (present(y))"),
+            FormulaClass::kType1);
+}
+
+TEST(ClassifierTest, PaperFormulaBIsType2) {
+  // (B): prenex exists over a temporal body, no freeze.
+  EXPECT_EQ(ClassOf("exists x, y (present(x) and present(y) and "
+                    "eventually (fires_at(x, y) and eventually present(y)))"),
+            FormulaClass::kType2);
+}
+
+TEST(ClassifierTest, PaperFormulaCIsConjunctive) {
+  // (C): freeze quantifier makes it conjunctive but not type (2).
+  EXPECT_EQ(ClassOf("exists z (present(z) and type(z) = 'airplane' and "
+                    "[h <- height(z)] eventually (present(z) and height(z) > h))"),
+            FormulaClass::kConjunctive);
+}
+
+TEST(ClassifierTest, LevelOperatorMakesExtendedConjunctive) {
+  EXPECT_EQ(ClassOf("type = 'western' and at-frame-level(exists x (present(x)))"),
+            FormulaClass::kExtendedConjunctive);
+}
+
+TEST(ClassifierTest, NegationIsGeneral) {
+  EXPECT_EQ(ClassOf("not m1()"), FormulaClass::kGeneral);
+}
+
+TEST(ClassifierTest, DisjunctionIsGeneral) {
+  EXPECT_EQ(ClassOf("m1() or m2()"), FormulaClass::kGeneral);
+}
+
+TEST(ClassifierTest, FalseIsGeneral) {
+  EXPECT_EQ(ClassOf("false"), FormulaClass::kGeneral);
+}
+
+TEST(ClassifierTest, NonPrenexExistsOverTemporalIsGeneral) {
+  EXPECT_EQ(ClassOf("eventually exists x (present(x) and eventually present(x))"),
+            FormulaClass::kGeneral);
+}
+
+TEST(ClassifierTest, PrenexChainStaysType2) {
+  EXPECT_EQ(ClassOf("exists x (exists y (present(x) and eventually present(y)))"),
+            FormulaClass::kType2);
+}
+
+TEST(ClassifierTest, TrueAloneIsType1) {
+  EXPECT_EQ(ClassOf("true"), FormulaClass::kType1);
+  EXPECT_EQ(ClassOf("true until m1()"), FormulaClass::kType1);
+}
+
+TEST(ClassifierTest, FreezeWithoutTemporalStillConjunctive) {
+  EXPECT_EQ(ClassOf("exists z ([h <- height(z)] height(z) >= h)"),
+            FormulaClass::kConjunctive);
+}
+
+TEST(ClassifierTest, ClassNamesAreStable) {
+  EXPECT_EQ(FormulaClassName(FormulaClass::kType1), "type(1)");
+  EXPECT_EQ(FormulaClassName(FormulaClass::kType2), "type(2)");
+  EXPECT_EQ(FormulaClassName(FormulaClass::kConjunctive), "conjunctive");
+  EXPECT_EQ(FormulaClassName(FormulaClass::kExtendedConjunctive),
+            "extended-conjunctive");
+  EXPECT_EQ(FormulaClassName(FormulaClass::kGeneral), "general");
+}
+
+
+TEST(ClassifierTest, LevelOperatorRestartsPrenexContext) {
+  // The paper's flagship extended conjunctive example: formula (B) under
+  // at-frame-level, conjoined with a browsing predicate.
+  EXPECT_EQ(ClassOf("type = 'western' and at-frame-level("
+                    "exists x, y (present(x) and holds_gun(x) and "
+                    "eventually fires_at(x, y)))"),
+            FormulaClass::kExtendedConjunctive);
+  // But a non-prenex exists *inside* the level body is still general.
+  EXPECT_EQ(ClassOf("at-frame-level(eventually exists x (present(x) and "
+                    "eventually present(x)))"),
+            FormulaClass::kGeneral);
+}
+
+}  // namespace
+}  // namespace htl

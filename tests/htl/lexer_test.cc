@@ -1,0 +1,104 @@
+#include "htl/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/helpers.h"
+
+namespace htl {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::vector<Token>& toks) {
+  std::vector<TokenKind> out;
+  for (const Token& t : toks) out.push_back(t.kind);
+  return out;
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  ASSERT_OK_AND_ASSIGN(auto toks, Tokenize(""));
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, Identifiers) {
+  ASSERT_OK_AND_ASSIGN(auto toks, Tokenize("present x_1 _y"));
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "present");
+  EXPECT_EQ(toks[1].text, "x_1");
+  EXPECT_EQ(toks[2].text, "_y");
+}
+
+TEST(LexerTest, HyphenatedIdentifiers) {
+  // at-next-level and at-level-3 lex as single identifiers.
+  ASSERT_OK_AND_ASSIGN(auto toks, Tokenize("at-next-level at-level-3 at-shot-level"));
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "at-next-level");
+  EXPECT_EQ(toks[1].text, "at-level-3");
+  EXPECT_EQ(toks[2].text, "at-shot-level");
+}
+
+TEST(LexerTest, Numbers) {
+  ASSERT_OK_AND_ASSIGN(auto toks, Tokenize("42 3.25 -7 -0.5"));
+  EXPECT_EQ(toks[0].kind, TokenKind::kInt);
+  EXPECT_EQ(toks[0].number.AsInt(), 42);
+  EXPECT_EQ(toks[1].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(toks[1].number.AsDouble(), 3.25);
+  EXPECT_EQ(toks[2].number.AsInt(), -7);
+  EXPECT_DOUBLE_EQ(toks[3].number.AsDouble(), -0.5);
+}
+
+TEST(LexerTest, Strings) {
+  ASSERT_OK_AND_ASSIGN(auto toks, Tokenize("'JohnWayne' 'it''s'"));
+  EXPECT_EQ(toks[0].kind, TokenKind::kString);
+  EXPECT_EQ(toks[0].text, "JohnWayne");
+  EXPECT_EQ(toks[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  ASSERT_OK_AND_ASSIGN(auto toks, Tokenize("( ) [ ] , @ <- = != < <= > >="));
+  EXPECT_EQ(Kinds(toks),
+            (std::vector<TokenKind>{
+                TokenKind::kLParen, TokenKind::kRParen, TokenKind::kLBracket,
+                TokenKind::kRBracket, TokenKind::kComma, TokenKind::kAt,
+                TokenKind::kArrow, TokenKind::kEq, TokenKind::kNe, TokenKind::kLt,
+                TokenKind::kLe, TokenKind::kGt, TokenKind::kGe, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, ArrowVsLessThan) {
+  ASSERT_OK_AND_ASSIGN(auto toks, Tokenize("h <- height(x) < 5"));
+  EXPECT_EQ(toks[1].kind, TokenKind::kArrow);
+  EXPECT_EQ(toks[6].kind, TokenKind::kLt);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  ASSERT_OK_AND_ASSIGN(auto toks, Tokenize("a # comment to end\n b"));
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  auto r = Tokenize("a $ b");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, OffsetsPointIntoSource) {
+  ASSERT_OK_AND_ASSIGN(auto toks, Tokenize("ab cd"));
+  EXPECT_EQ(toks[0].offset, 0u);
+  EXPECT_EQ(toks[1].offset, 3u);
+}
+
+TEST(LexerTest, MinusBetweenIdentifierAndNumberIsNegative) {
+  // HTL has no arithmetic; '-3' after an identifier is a negative literal.
+  ASSERT_OK_AND_ASSIGN(auto toks, Tokenize("height -3"));
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(toks[1].kind, TokenKind::kInt);
+  EXPECT_EQ(toks[1].number.AsInt(), -3);
+}
+
+}  // namespace
+}  // namespace htl

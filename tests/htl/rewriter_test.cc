@@ -1,0 +1,134 @@
+#include "htl/rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/direct_engine.h"
+#include "engine/reference_engine.h"
+#include "htl/binder.h"
+#include "htl/parser.h"
+#include "testing/helpers.h"
+#include "util/rng.h"
+#include "workload/formula_gen.h"
+#include "workload/video_gen.h"
+
+namespace htl {
+namespace {
+
+using testing::ListsEqual;
+
+std::string Rewritten(std::string_view text) {
+  auto r = ParseFormula(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return Rewrite(std::move(r).value())->ToString();
+}
+
+TEST(RewriterTest, CollapsesNestedEventually) {
+  EXPECT_EQ(Rewritten("eventually eventually eventually m()"),
+            "eventually (m())");
+  EXPECT_EQ(LastRewriteCount(), 2);
+}
+
+TEST(RewriterTest, TrueUntilBecomesEventually) {
+  EXPECT_EQ(Rewritten("true until m()"), "eventually (m())");
+  // And chains with the eventually collapse.
+  EXPECT_EQ(Rewritten("true until eventually m()"), "eventually (m())");
+}
+
+TEST(RewriterTest, FalseAbsorption) {
+  EXPECT_EQ(Rewritten("next false"), "false");
+  EXPECT_EQ(Rewritten("eventually false"), "false");
+  EXPECT_EQ(Rewritten("m() until false"), "false");
+  EXPECT_EQ(Rewritten("false until m()"), "m()");
+}
+
+TEST(RewriterTest, NegationRules) {
+  EXPECT_EQ(Rewritten("not not m()"), "m()");
+  EXPECT_EQ(Rewritten("not true"), "false");
+  EXPECT_EQ(Rewritten("not false"), "true");
+  EXPECT_EQ(Rewritten("not not not true"), "false");
+}
+
+TEST(RewriterTest, FlattensExistsChains) {
+  EXPECT_EQ(Rewritten("exists x (exists y (fires_at(x, y)))"),
+            "exists x, y (fires_at(x, y))");
+}
+
+TEST(RewriterTest, OrIdempotence) {
+  EXPECT_EQ(Rewritten("m() or m()"), "m()");
+  EXPECT_EQ(Rewritten("m() or n()"), "(m() or n())");  // Unchanged.
+}
+
+TEST(RewriterTest, DropsUnusedFreeze) {
+  EXPECT_EQ(Rewritten("exists z ([h <- height(z)] present(z))"),
+            "exists z (present(z))");
+  // Used freeze variables stay.
+  EXPECT_EQ(Rewritten("exists z ([h <- height(z)] eventually height(z) > h)"),
+            "exists z ([h <- height(z)] (eventually (height(z) > h)))");
+}
+
+TEST(RewriterTest, DoesNotDropTrueConjuncts) {
+  // `f and true` must stay: removing it would change the static max.
+  EXPECT_EQ(Rewritten("m() and true"), "(m() and true)");
+}
+
+TEST(RewriterTest, IsIdempotent) {
+  const char* cases[] = {
+      "true until eventually (not not m())",
+      "exists x (exists y (exists z (present(x))))",
+      "eventually eventually (m() or m())",
+  };
+  for (const char* text : cases) {
+    auto once = Rewrite(ParseFormula(text).value());
+    auto twice = Rewrite(once->Clone());
+    EXPECT_EQ(once->ToString(), twice->ToString()) << text;
+    EXPECT_EQ(LastRewriteCount(), 0) << text;
+  }
+}
+
+TEST(RewriterTest, PreservesMaxSimilarity) {
+  const char* cases[] = {
+      "true until m() @ 3",
+      "eventually eventually m() @ 2",
+      "not not (m() @ 5)",
+      "m() @ 2 or m() @ 2",
+  };
+  for (const char* text : cases) {
+    FormulaPtr original = ParseFormula(text).value();
+    const double before = MaxSimilarity(*original);
+    FormulaPtr after = Rewrite(std::move(original));
+    EXPECT_EQ(MaxSimilarity(*after), before) << text;
+  }
+}
+
+// The central property: rewriting never changes evaluation results.
+class RewriterPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RewriterPropertyTest, RewrittenFormulaEvaluatesIdentically) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 6151 + 2);
+  VideoGenOptions vopts;
+  vopts.levels = 2;
+  vopts.min_branching = 6;
+  vopts.max_branching = 10;
+  VideoTree video = GenerateVideo(rng, vopts);
+  ReferenceEngine reference(&video);
+  DirectEngine direct(&video);
+
+  FormulaGenOptions fopts;
+  fopts.max_depth = 3;
+  fopts.allow_or = true;
+  for (int trial = 0; trial < 5; ++trial) {
+    FormulaPtr f = GenerateFormula(rng, fopts);
+    ASSERT_OK(Bind(f.get()));
+    FormulaPtr g = Rewrite(f->Clone());
+    ASSERT_OK_AND_ASSIGN(SimilarityList want, reference.EvaluateList(2, *f));
+    ASSERT_OK_AND_ASSIGN(SimilarityList got_ref, reference.EvaluateList(2, *g));
+    EXPECT_TRUE(ListsEqual(got_ref, want)) << f->ToString() << " vs " << g->ToString();
+    ASSERT_OK_AND_ASSIGN(SimilarityList got_direct, direct.EvaluateList(2, *g));
+    EXPECT_TRUE(ListsEqual(got_direct, want)) << g->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewriterPropertyTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace htl

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "analyzer/cut_detection.h"
+#include "analyzer/pipeline.h"
+#include "analyzer/tracker.h"
+#include "engine/direct_engine.h"
+#include "htl/binder.h"
+#include "htl/parser.h"
+#include "testing/helpers.h"
+#include "workload/footage_gen.h"
+
+namespace htl {
+namespace {
+
+FrameFeatures Hist(std::initializer_list<double> values) {
+  FrameFeatures f;
+  f.histogram = values;
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Cut detection.
+
+TEST(CutDetectionTest, HistogramDistance) {
+  EXPECT_EQ(HistogramDistance(Hist({1, 0}), Hist({0, 1})), 2.0);
+  EXPECT_EQ(HistogramDistance(Hist({0.5, 0.5}), Hist({0.5, 0.5})), 0.0);
+  // Size mismatch treated as zero padding.
+  EXPECT_EQ(HistogramDistance(Hist({1}), Hist({1, 0.5})), 0.5);
+}
+
+TEST(CutDetectionTest, FindsSharpTransitions) {
+  std::vector<FrameFeatures> frames = {
+      Hist({1, 0}), Hist({1, 0}), Hist({1, 0}),
+      Hist({0, 1}), Hist({0, 1}),  // Cut at index 3.
+      Hist({1, 0}), Hist({1, 0}),  // Cut at index 5.
+  };
+  ASSERT_OK_AND_ASSIGN(auto cuts, DetectCuts(frames));
+  EXPECT_EQ(cuts, (std::vector<int64_t>{0, 3, 5}));
+}
+
+TEST(CutDetectionTest, NoCutsWithinSmoothScene) {
+  std::vector<FrameFeatures> frames(10, Hist({0.5, 0.5}));
+  ASSERT_OK_AND_ASSIGN(auto cuts, DetectCuts(frames));
+  EXPECT_EQ(cuts, std::vector<int64_t>{0});
+}
+
+TEST(CutDetectionTest, MinShotLengthDebounces) {
+  std::vector<FrameFeatures> frames = {
+      Hist({1, 0}), Hist({0, 1}), Hist({1, 0}), Hist({0, 1}),
+  };
+  CutDetectorOptions opts;
+  opts.min_shot_length = 2;
+  ASSERT_OK_AND_ASSIGN(auto cuts, DetectCuts(frames, opts));
+  EXPECT_EQ(cuts, (std::vector<int64_t>{0, 2}));
+}
+
+TEST(CutDetectionTest, EmptyAndErrors) {
+  ASSERT_OK_AND_ASSIGN(auto cuts, DetectCuts({}));
+  EXPECT_TRUE(cuts.empty());
+  std::vector<FrameFeatures> bad = {Hist({1, 0}), Hist({1, 0, 0})};
+  EXPECT_FALSE(DetectCuts(bad).ok());
+  CutDetectorOptions opts;
+  opts.min_shot_length = 0;
+  EXPECT_FALSE(DetectCuts(bad, opts).ok());
+}
+
+TEST(CutDetectionTest, KeyFrameIsMedoid) {
+  std::vector<FrameFeatures> frames = {
+      Hist({1, 0}), Hist({0.5, 0.5}), Hist({0.6, 0.4}), Hist({0, 1}),
+  };
+  // Frame 1 or 2 minimize the summed distance; frame 2 (0.6/0.4) has
+  // cost |0.8|+|0.2|+|1.2| vs frame 1: |1|+|0.2|+|1|; frame1=2.2, frame2=2.2?
+  ASSERT_OK_AND_ASSIGN(int64_t key, SelectKeyFrame(frames, 0, 4));
+  EXPECT_TRUE(key == 1 || key == 2);
+  EXPECT_FALSE(SelectKeyFrame(frames, 2, 2).ok());
+  EXPECT_FALSE(SelectKeyFrame(frames, 0, 9).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Tracker.
+
+Detection Det(double x, double y, const char* label) {
+  return Detection{BoundingBox{x, y, 10, 10}, label};
+}
+
+TEST(TrackerTest, IouBasics) {
+  EXPECT_DOUBLE_EQ(Iou(BoundingBox{0, 0, 10, 10}, BoundingBox{0, 0, 10, 10}), 1.0);
+  EXPECT_DOUBLE_EQ(Iou(BoundingBox{0, 0, 10, 10}, BoundingBox{20, 0, 10, 10}), 0.0);
+  EXPECT_NEAR(Iou(BoundingBox{0, 0, 10, 10}, BoundingBox{5, 0, 10, 10}),
+              50.0 / 150.0, 1e-12);
+}
+
+TEST(TrackerTest, StableIdsAcrossSmoothMotion) {
+  std::vector<std::vector<Detection>> frames = {
+      {Det(0, 0, "person"), Det(100, 0, "train")},
+      {Det(2, 1, "person"), Det(98, 0, "train")},
+      {Det(4, 2, "person"), Det(96, 0, "train")},
+  };
+  ASSERT_OK_AND_ASSIGN(auto tracked, TrackObjects(frames));
+  ASSERT_EQ(tracked.size(), 3u);
+  const ObjectId person = tracked[0][0].id;
+  const ObjectId train = tracked[0][1].id;
+  EXPECT_NE(person, train);
+  for (const auto& frame : tracked) {
+    EXPECT_EQ(frame[0].id, person);
+    EXPECT_EQ(frame[1].id, train);
+  }
+}
+
+TEST(TrackerTest, LabelGateSplitsTracks) {
+  std::vector<std::vector<Detection>> frames = {
+      {Det(0, 0, "person")},
+      {Det(0, 0, "train")},  // Same box, different label: new id.
+  };
+  ASSERT_OK_AND_ASSIGN(auto tracked, TrackObjects(frames));
+  EXPECT_NE(tracked[0][0].id, tracked[1][0].id);
+}
+
+TEST(TrackerTest, DisappearanceEndsTrack) {
+  std::vector<std::vector<Detection>> frames = {
+      {Det(0, 0, "person")},
+      {},  // Gone for one frame; max_gap = 0.
+      {Det(0, 0, "person")},
+  };
+  ASSERT_OK_AND_ASSIGN(auto tracked, TrackObjects(frames));
+  EXPECT_NE(tracked[0][0].id, tracked[2][0].id);
+  // With max_gap = 1 the id survives the gap.
+  TrackerOptions opts;
+  opts.max_gap = 1;
+  ASSERT_OK_AND_ASSIGN(auto patient, TrackObjects(frames, opts));
+  EXPECT_EQ(patient[0][0].id, patient[2][0].id);
+}
+
+TEST(TrackerTest, JumpBeyondIouGateStartsNewTrack) {
+  std::vector<std::vector<Detection>> frames = {
+      {Det(0, 0, "person")},
+      {Det(200, 200, "person")},
+  };
+  ASSERT_OK_AND_ASSIGN(auto tracked, TrackObjects(frames));
+  EXPECT_NE(tracked[0][0].id, tracked[1][0].id);
+}
+
+TEST(TrackerTest, GreedyPicksBestIouFirst) {
+  std::vector<std::vector<Detection>> frames = {
+      {Det(0, 0, "person"), Det(8, 0, "person")},
+      {Det(1, 0, "person"), Det(7, 0, "person")},
+  };
+  ASSERT_OK_AND_ASSIGN(auto tracked, TrackObjects(frames));
+  EXPECT_EQ(tracked[1][0].id, tracked[0][0].id);
+  EXPECT_EQ(tracked[1][1].id, tracked[0][1].id);
+}
+
+TEST(TrackerTest, OptionValidation) {
+  EXPECT_FALSE(TrackObjects({}, TrackerOptions{.min_iou = -1}).ok());
+  EXPECT_FALSE(TrackObjects({}, TrackerOptions{.max_gap = -2}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Full pipeline.
+
+TEST(AnalyzerPipelineTest, BuildsThreeLevelVideo) {
+  Rng rng(7);
+  FootageOptions opts;
+  opts.num_scenes = 4;
+  Footage footage = GenerateFootage(rng, opts);
+  ASSERT_OK_AND_ASSIGN(VideoTree video, AnalyzeVideo(footage.frames));
+  EXPECT_EQ(video.num_levels(), 3);
+  EXPECT_EQ(video.LevelByName("shot").value(), 2);
+  EXPECT_EQ(video.LevelByName("frame").value(), 3);
+  EXPECT_EQ(video.NumSegments(3), static_cast<int64_t>(footage.frames.size()));
+}
+
+TEST(AnalyzerPipelineTest, RecoversInjectedSceneBoundaries) {
+  Rng rng(11);
+  FootageOptions opts;
+  opts.num_scenes = 6;
+  Footage footage = GenerateFootage(rng, opts);
+  ASSERT_OK_AND_ASSIGN(auto cuts, DetectCuts([&] {
+                         std::vector<FrameFeatures> f;
+                         for (const RawFrame& r : footage.frames) {
+                           f.push_back(r.features);
+                         }
+                         return f;
+                       }()));
+  // Generated scenes have sharply different histograms, so the detector
+  // must recover the ground truth starts (rarely, two random scenes are
+  // close — allow missing at most one boundary).
+  int found = 0;
+  for (int64_t start : footage.scene_starts) {
+    found += std::count(cuts.begin(), cuts.end(), start) > 0;
+  }
+  EXPECT_GE(found, static_cast<int>(footage.scene_starts.size()) - 1);
+}
+
+TEST(AnalyzerPipelineTest, ShotsCarryKeyFrameMetadata) {
+  Rng rng(13);
+  Footage footage = GenerateFootage(rng, FootageOptions{});
+  ASSERT_OK_AND_ASSIGN(VideoTree video, AnalyzeVideo(footage.frames));
+  for (SegmentId s = 1; s <= video.NumSegments(2); ++s) {
+    const SegmentMeta& meta = video.Meta(2, s);
+    EXPECT_TRUE(meta.Attribute("key_frame").is_int());
+    EXPECT_TRUE(meta.Attribute("num_frames").is_int());
+    const Interval frames = video.Children(2, s);
+    EXPECT_EQ(meta.Attribute("num_frames").AsInt(), frames.size());
+  }
+}
+
+TEST(AnalyzerPipelineTest, AnalyzedVideoIsQueryable) {
+  Rng rng(17);
+  FootageOptions opts;
+  opts.num_scenes = 4;
+  opts.min_objects = 2;
+  opts.max_objects = 3;
+  Footage footage = GenerateFootage(rng, opts);
+  ASSERT_OK_AND_ASSIGN(VideoTree video, AnalyzeVideo(footage.frames));
+  DirectEngine engine(&video);
+  // A query spanning the analyzer's whole output: shots whose frame
+  // sequence eventually shows two objects side by side.
+  auto q = ParseFormula(
+      "at-next-level(eventually exists a, b (left_of(a, b)))");
+  ASSERT_OK(q.status());
+  ASSERT_OK(Bind(q.value().get()));
+  EXPECT_OK(engine.EvaluateList(2, *q.value()).status());
+  // And the tracked ids satisfy temporal identity: some object present in
+  // a frame and still present later.
+  auto q2 = ParseFormula("exists o (present(o) and eventually present(o))");
+  ASSERT_OK(q2.status());
+  ASSERT_OK(Bind(q2.value().get()));
+  ASSERT_OK_AND_ASSIGN(SimilarityList list, engine.EvaluateList(3, *q2.value()));
+  EXPECT_GT(list.CoveredIds(), 0);
+}
+
+TEST(AnalyzerPipelineTest, EmptyFramesRejected) {
+  EXPECT_EQ(AnalyzeVideo({}).status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace htl

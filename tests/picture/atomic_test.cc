@@ -1,0 +1,76 @@
+#include "picture/atomic.h"
+
+#include <gtest/gtest.h>
+
+#include "htl/parser.h"
+#include "testing/helpers.h"
+
+namespace htl {
+namespace {
+
+FormulaPtr Parse(std::string_view text) {
+  auto r = ParseFormula(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(AtomicTest, ExtractsConjunction) {
+  FormulaPtr f = Parse("present(x) @ 2 and type(x) = 'a' and holds_gun(x)");
+  ASSERT_OK_AND_ASSIGN(AtomicFormula a, ExtractAtomic(*f));
+  EXPECT_EQ(a.constraints.size(), 3u);
+  EXPECT_TRUE(a.exists_vars.empty());
+  EXPECT_EQ(a.MaxWeight(), 4.0);
+  EXPECT_EQ(a.FreeObjectVars(), std::vector<std::string>{"x"});
+}
+
+TEST(AtomicTest, ExtractsLocalExists) {
+  FormulaPtr f = Parse("exists x, y (present(x) and fires_at(x, y))");
+  ASSERT_OK_AND_ASSIGN(AtomicFormula a, ExtractAtomic(*f));
+  EXPECT_EQ(a.exists_vars, (std::vector<std::string>{"x", "y"}));
+  EXPECT_TRUE(a.FreeObjectVars().empty());
+  EXPECT_EQ(a.AllObjectVars(), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(AtomicTest, NestedExistsMerges) {
+  FormulaPtr f = Parse("exists x (present(x) and exists y (fires_at(x, y)))");
+  ASSERT_OK_AND_ASSIGN(AtomicFormula a, ExtractAtomic(*f));
+  EXPECT_EQ(a.exists_vars, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(AtomicTest, FreeAttrVarsFromComparisons) {
+  FormulaPtr f = MakeAnd(MakePresent("z"),
+                         MakeCompare(AttrTerm::AttrOf("height", "z"), CompareOp::kGt,
+                                     AttrTerm::Variable("h")));
+  ASSERT_OK_AND_ASSIGN(AtomicFormula a, ExtractAtomic(*f));
+  EXPECT_EQ(a.FreeAttrVars(), std::vector<std::string>{"h"});
+}
+
+TEST(AtomicTest, RejectsTemporal) {
+  EXPECT_FALSE(ExtractAtomic(*Parse("eventually present(x)")).ok());
+  EXPECT_FALSE(ExtractAtomic(*Parse("present(x) until present(y)")).ok());
+  EXPECT_FALSE(ExtractAtomic(*Parse("next present(x)")).ok());
+}
+
+TEST(AtomicTest, RejectsOtherOperators) {
+  EXPECT_FALSE(ExtractAtomic(*Parse("not present(x)")).ok());
+  EXPECT_FALSE(ExtractAtomic(*Parse("present(x) or present(y)")).ok());
+  EXPECT_FALSE(ExtractAtomic(*Parse("true")).ok());
+  EXPECT_FALSE(ExtractAtomic(*Parse("[h <- height(z)] present(z)")).ok());
+  EXPECT_FALSE(ExtractAtomic(*Parse("at-next-level(present(x))")).ok());
+}
+
+TEST(AtomicTest, IsAtomicShapeMatchesExtract) {
+  EXPECT_TRUE(IsAtomicShape(*Parse("present(x)")));
+  EXPECT_TRUE(IsAtomicShape(*Parse("exists x (present(x) and holds_gun(x))")));
+  EXPECT_FALSE(IsAtomicShape(*Parse("eventually present(x)")));
+  EXPECT_FALSE(IsAtomicShape(*Parse("present(x) and eventually present(x)")));
+}
+
+TEST(AtomicTest, ToStringReadable) {
+  FormulaPtr f = Parse("exists x (present(x) and moving(x))");
+  ASSERT_OK_AND_ASSIGN(AtomicFormula a, ExtractAtomic(*f));
+  EXPECT_EQ(a.ToString(), "exists x (present(x) and moving(x))");
+}
+
+}  // namespace
+}  // namespace htl

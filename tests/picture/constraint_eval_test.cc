@@ -1,0 +1,191 @@
+#include "picture/constraint_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/helpers.h"
+
+namespace htl {
+namespace {
+
+SegmentMeta MakeMeta() {
+  SegmentMeta meta;
+  meta.SetAttribute("type", AttrValue("western"));
+  meta.SetAttribute("duration", AttrValue(int64_t{42}));
+  ObjectAppearance plane;
+  plane.id = 1;
+  plane.attributes["type"] = AttrValue("airplane");
+  plane.attributes["height"] = AttrValue(int64_t{10});
+  meta.AddObject(std::move(plane));
+  ObjectAppearance person;
+  person.id = 2;
+  person.attributes["type"] = AttrValue("person");
+  person.attributes["name"] = AttrValue("JohnWayne");
+  meta.AddObject(std::move(person));
+  meta.AddFact({"holds_gun", {2}});
+  meta.AddFact({"fires_at", {2, 1}});
+  return meta;
+}
+
+EvalEnv Env() {
+  EvalEnv env;
+  env.objects["x"] = 1;
+  env.objects["y"] = 2;
+  return env;
+}
+
+TEST(EvalTermTest, Literal) {
+  EXPECT_EQ(EvalTerm(AttrTerm::Literal(AttrValue(int64_t{5})), MakeMeta(), {}),
+            AttrValue(int64_t{5}));
+}
+
+TEST(EvalTermTest, SegmentAttr) {
+  EXPECT_EQ(EvalTerm(AttrTerm::SegmentAttr("type"), MakeMeta(), {}),
+            AttrValue("western"));
+  EXPECT_TRUE(EvalTerm(AttrTerm::SegmentAttr("missing"), MakeMeta(), {}).is_null());
+}
+
+TEST(EvalTermTest, AttrOfVar) {
+  SegmentMeta meta = MakeMeta();
+  EXPECT_EQ(EvalTerm(AttrTerm::AttrOf("height", "x"), meta, Env()),
+            AttrValue(int64_t{10}));
+  // Unbound variable and absent object give null.
+  EXPECT_TRUE(EvalTerm(AttrTerm::AttrOf("height", "zz"), meta, Env()).is_null());
+  EvalEnv env;
+  env.objects["x"] = 99;  // Not in the segment.
+  EXPECT_TRUE(EvalTerm(AttrTerm::AttrOf("height", "x"), meta, env).is_null());
+}
+
+TEST(EvalTermTest, AttrVariable) {
+  EvalEnv env;
+  env.attrs["h"] = AttrValue(int64_t{7});
+  EXPECT_EQ(EvalTerm(AttrTerm::Variable("h"), MakeMeta(), env), AttrValue(int64_t{7}));
+  EXPECT_TRUE(EvalTerm(AttrTerm::Variable("q"), MakeMeta(), env).is_null());
+}
+
+TEST(CompareTest, NullNeverSatisfies) {
+  EXPECT_FALSE(Compare(AttrValue(), CompareOp::kEq, AttrValue()));
+  EXPECT_FALSE(Compare(AttrValue(int64_t{1}), CompareOp::kNe, AttrValue()));
+}
+
+TEST(CompareTest, AllOps) {
+  AttrValue a(int64_t{3}), b(int64_t{5});
+  EXPECT_TRUE(Compare(a, CompareOp::kLt, b));
+  EXPECT_TRUE(Compare(a, CompareOp::kLe, b));
+  EXPECT_TRUE(Compare(a, CompareOp::kLe, a));
+  EXPECT_TRUE(Compare(b, CompareOp::kGt, a));
+  EXPECT_TRUE(Compare(b, CompareOp::kGe, b));
+  EXPECT_TRUE(Compare(a, CompareOp::kEq, a));
+  EXPECT_TRUE(Compare(a, CompareOp::kNe, b));
+  EXPECT_FALSE(Compare(a, CompareOp::kGt, b));
+}
+
+TEST(ConstraintSatisfiedTest, Present) {
+  Constraint c;
+  c.kind = Constraint::Kind::kPresent;
+  c.object_var = "x";
+  EXPECT_TRUE(ConstraintSatisfied(c, MakeMeta(), Env()));
+  EvalEnv env;
+  env.objects["x"] = 99;
+  EXPECT_FALSE(ConstraintSatisfied(c, MakeMeta(), env));
+  EXPECT_FALSE(ConstraintSatisfied(c, MakeMeta(), {}));  // Unbound.
+}
+
+TEST(ConstraintSatisfiedTest, Predicate) {
+  Constraint c;
+  c.kind = Constraint::Kind::kPredicate;
+  c.pred_name = "fires_at";
+  c.pred_args = {"y", "x"};
+  EXPECT_TRUE(ConstraintSatisfied(c, MakeMeta(), Env()));
+  c.pred_args = {"x", "y"};  // Wrong order.
+  EXPECT_FALSE(ConstraintSatisfied(c, MakeMeta(), Env()));
+}
+
+TEST(ConstraintSatisfiedTest, CompareAttrOfVar) {
+  Constraint c;
+  c.kind = Constraint::Kind::kCompare;
+  c.lhs = AttrTerm::AttrOf("name", "y");
+  c.op = CompareOp::kEq;
+  c.rhs = AttrTerm::Literal(AttrValue("JohnWayne"));
+  EXPECT_TRUE(ConstraintSatisfied(c, MakeMeta(), Env()));
+}
+
+TEST(ComparisonAttrVarTest, DetectsVariableSide) {
+  Constraint c;
+  c.kind = Constraint::Kind::kCompare;
+  c.lhs = AttrTerm::Variable("h");
+  c.op = CompareOp::kLt;
+  c.rhs = AttrTerm::Literal(AttrValue(int64_t{5}));
+  ASSERT_OK_AND_ASSIGN(std::string var, ComparisonAttrVar(c));
+  EXPECT_EQ(var, "h");
+  c.lhs = AttrTerm::Literal(AttrValue(int64_t{5}));
+  c.rhs = AttrTerm::Variable("g");
+  ASSERT_OK_AND_ASSIGN(var, ComparisonAttrVar(c));
+  EXPECT_EQ(var, "g");
+}
+
+TEST(ComparisonAttrVarTest, RejectsTwoVariables) {
+  Constraint c;
+  c.kind = Constraint::Kind::kCompare;
+  c.lhs = AttrTerm::Variable("a");
+  c.rhs = AttrTerm::Variable("b");
+  EXPECT_EQ(ComparisonAttrVar(c).status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(CompareToRangeTest, VarOnLeft) {
+  // h < height(x) where height(x) = 10  ->  h in (-inf, 10).
+  Constraint c;
+  c.kind = Constraint::Kind::kCompare;
+  c.lhs = AttrTerm::Variable("h");
+  c.op = CompareOp::kLt;
+  c.rhs = AttrTerm::AttrOf("height", "x");
+  ASSERT_OK_AND_ASSIGN(AttrVarRange r, CompareToRange(c, MakeMeta(), Env()));
+  EXPECT_EQ(r.var, "h");
+  EXPECT_TRUE(r.range.Contains(AttrValue(int64_t{9})));
+  EXPECT_FALSE(r.range.Contains(AttrValue(int64_t{10})));
+}
+
+TEST(CompareToRangeTest, VarOnRightInvertsOp) {
+  // height(x) > h with height(x)=10  ->  h < 10.
+  Constraint c;
+  c.kind = Constraint::Kind::kCompare;
+  c.lhs = AttrTerm::AttrOf("height", "x");
+  c.op = CompareOp::kGt;
+  c.rhs = AttrTerm::Variable("h");
+  ASSERT_OK_AND_ASSIGN(AttrVarRange r, CompareToRange(c, MakeMeta(), Env()));
+  EXPECT_TRUE(r.range.Contains(AttrValue(int64_t{9})));
+  EXPECT_FALSE(r.range.Contains(AttrValue(int64_t{10})));
+}
+
+TEST(CompareToRangeTest, EqualityMakesPoint) {
+  Constraint c;
+  c.kind = Constraint::Kind::kCompare;
+  c.lhs = AttrTerm::Variable("h");
+  c.op = CompareOp::kEq;
+  c.rhs = AttrTerm::AttrOf("height", "x");
+  ASSERT_OK_AND_ASSIGN(AttrVarRange r, CompareToRange(c, MakeMeta(), Env()));
+  EXPECT_TRUE(r.range.Contains(AttrValue(int64_t{10})));
+  EXPECT_FALSE(r.range.Contains(AttrValue(int64_t{11})));
+}
+
+TEST(CompareToRangeTest, NullValueMakesEmptyRange) {
+  Constraint c;
+  c.kind = Constraint::Kind::kCompare;
+  c.lhs = AttrTerm::Variable("h");
+  c.op = CompareOp::kLt;
+  c.rhs = AttrTerm::AttrOf("missing_attr", "x");
+  ASSERT_OK_AND_ASSIGN(AttrVarRange r, CompareToRange(c, MakeMeta(), Env()));
+  EXPECT_TRUE(r.range.IsEmpty());
+}
+
+TEST(CompareToRangeTest, NotEqualUnsupported) {
+  Constraint c;
+  c.kind = Constraint::Kind::kCompare;
+  c.lhs = AttrTerm::Variable("h");
+  c.op = CompareOp::kNe;
+  c.rhs = AttrTerm::Literal(AttrValue(int64_t{5}));
+  EXPECT_EQ(CompareToRange(c, MakeMeta(), {}).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace htl

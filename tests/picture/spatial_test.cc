@@ -1,0 +1,186 @@
+#include "picture/spatial.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/direct_engine.h"
+#include "htl/binder.h"
+#include "htl/parser.h"
+#include "testing/helpers.h"
+
+namespace htl {
+namespace {
+
+using testing::L;
+using testing::ListsEqual;
+
+BoundingBox Box(double x, double y, double w, double h) { return {x, y, w, h}; }
+
+TEST(BoundingBoxTest, Accessors) {
+  BoundingBox b = Box(10, 20, 30, 40);
+  EXPECT_EQ(b.right(), 40);
+  EXPECT_EQ(b.bottom(), 60);
+  EXPECT_EQ(b.area(), 1200);
+  EXPECT_TRUE(b.Valid());
+  EXPECT_FALSE(Box(0, 0, 0, 5).Valid());
+  EXPECT_FALSE(Box(0, 0, 5, -1).Valid());
+}
+
+TEST(SpatialRelationTest, Directional) {
+  BoundingBox a = Box(0, 0, 10, 10);
+  BoundingBox b = Box(20, 0, 10, 10);
+  EXPECT_TRUE(HoldsBetween(a, b, SpatialRelation::kLeftOf));
+  EXPECT_TRUE(HoldsBetween(b, a, SpatialRelation::kRightOf));
+  EXPECT_FALSE(HoldsBetween(b, a, SpatialRelation::kLeftOf));
+  BoundingBox up = Box(0, 0, 10, 5);
+  BoundingBox down = Box(0, 10, 10, 5);
+  EXPECT_TRUE(HoldsBetween(up, down, SpatialRelation::kAbove));
+  EXPECT_TRUE(HoldsBetween(down, up, SpatialRelation::kBelow));
+}
+
+TEST(SpatialRelationTest, TouchingIsNotStrictlyBeside) {
+  BoundingBox a = Box(0, 0, 10, 10);
+  BoundingBox b = Box(10, 0, 10, 10);  // Shares an edge.
+  EXPECT_FALSE(HoldsBetween(a, b, SpatialRelation::kLeftOf));
+  EXPECT_FALSE(HoldsBetween(a, b, SpatialRelation::kOverlaps));  // No interior overlap.
+}
+
+TEST(SpatialRelationTest, OverlapsIsSymmetricInteriorIntersection) {
+  BoundingBox a = Box(0, 0, 10, 10);
+  BoundingBox b = Box(5, 5, 10, 10);
+  EXPECT_TRUE(HoldsBetween(a, b, SpatialRelation::kOverlaps));
+  EXPECT_TRUE(HoldsBetween(b, a, SpatialRelation::kOverlaps));
+  EXPECT_FALSE(HoldsBetween(a, Box(50, 50, 5, 5), SpatialRelation::kOverlaps));
+}
+
+TEST(SpatialRelationTest, InsideAndContains) {
+  BoundingBox outer = Box(0, 0, 100, 100);
+  BoundingBox inner = Box(10, 10, 20, 20);
+  EXPECT_TRUE(HoldsBetween(inner, outer, SpatialRelation::kInside));
+  EXPECT_TRUE(HoldsBetween(outer, inner, SpatialRelation::kContains));
+  EXPECT_FALSE(HoldsBetween(outer, inner, SpatialRelation::kInside));
+  // A box is not inside itself (proper containment).
+  EXPECT_FALSE(HoldsBetween(outer, outer, SpatialRelation::kInside));
+}
+
+TEST(SpatialRelationTest, ComposeDirectionalTransitivity) {
+  EXPECT_EQ(Compose(SpatialRelation::kLeftOf, SpatialRelation::kLeftOf),
+            SpatialRelation::kLeftOf);
+  EXPECT_EQ(Compose(SpatialRelation::kAbove, SpatialRelation::kAbove),
+            SpatialRelation::kAbove);
+  EXPECT_EQ(Compose(SpatialRelation::kInside, SpatialRelation::kInside),
+            SpatialRelation::kInside);
+  EXPECT_EQ(Compose(SpatialRelation::kInside, SpatialRelation::kLeftOf),
+            SpatialRelation::kLeftOf);
+  EXPECT_EQ(Compose(SpatialRelation::kLeftOf, SpatialRelation::kAbove), std::nullopt);
+  EXPECT_EQ(Compose(SpatialRelation::kOverlaps, SpatialRelation::kOverlaps),
+            std::nullopt);
+}
+
+TEST(SpatialRelationTest, ComposeIsSoundOnConcreteBoxes) {
+  // Whenever Compose says a R c follows from a R1 b, b R2 c, it must hold.
+  const BoundingBox boxes[] = {Box(0, 0, 5, 5), Box(10, 2, 5, 5), Box(20, 4, 5, 5),
+                               Box(1, 1, 2, 2), Box(0, 20, 5, 5)};
+  constexpr SpatialRelation kAll[] = {
+      SpatialRelation::kLeftOf,   SpatialRelation::kRightOf, SpatialRelation::kAbove,
+      SpatialRelation::kBelow,    SpatialRelation::kOverlaps, SpatialRelation::kInside,
+      SpatialRelation::kContains,
+  };
+  for (const auto& a : boxes) {
+    for (const auto& b : boxes) {
+      for (const auto& c : boxes) {
+        for (SpatialRelation r1 : kAll) {
+          for (SpatialRelation r2 : kAll) {
+            auto implied = Compose(r1, r2);
+            if (!implied.has_value()) continue;
+            if (HoldsBetween(a, b, r1) && HoldsBetween(b, c, r2)) {
+              EXPECT_TRUE(HoldsBetween(a, c, *implied))
+                  << a.ToString() << " " << SpatialRelationName(r1) << " "
+                  << b.ToString() << " " << SpatialRelationName(r2) << " "
+                  << c.ToString();
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SpatialFactsTest, BoxAttributesRoundTrip) {
+  ObjectAppearance obj;
+  obj.id = 1;
+  SetBox(&obj, Box(1, 2, 3, 4));
+  auto box = BoxOf(obj);
+  ASSERT_TRUE(box.has_value());
+  EXPECT_EQ(*box, Box(1, 2, 3, 4));
+}
+
+TEST(SpatialFactsTest, BoxOfRejectsMissingOrInvalid) {
+  ObjectAppearance obj;
+  obj.id = 1;
+  EXPECT_FALSE(BoxOf(obj).has_value());
+  SetBox(&obj, Box(0, 0, 0, 5));  // Invalid width.
+  EXPECT_FALSE(BoxOf(obj).has_value());
+}
+
+TEST(SpatialFactsTest, DeriveAddsPairwiseFacts) {
+  SegmentMeta meta;
+  ObjectAppearance a;
+  a.id = 1;
+  SetBox(&a, Box(0, 0, 10, 10));
+  ObjectAppearance b;
+  b.id = 2;
+  SetBox(&b, Box(20, 0, 10, 10));
+  meta.AddObject(a);
+  meta.AddObject(b);
+  const int added = DeriveSpatialFacts(&meta);
+  EXPECT_EQ(added, 2);  // left_of(1,2) and right_of(2,1).
+  EXPECT_TRUE(meta.HasFact({"left_of", {1, 2}}));
+  EXPECT_TRUE(meta.HasFact({"right_of", {2, 1}}));
+  // Idempotent.
+  EXPECT_EQ(DeriveSpatialFacts(&meta), 0);
+}
+
+TEST(SpatialFactsTest, ObjectsWithoutBoxesIgnored) {
+  SegmentMeta meta;
+  meta.AddObject({1, {}});
+  ObjectAppearance b;
+  b.id = 2;
+  SetBox(&b, Box(0, 0, 5, 5));
+  meta.AddObject(b);
+  EXPECT_EQ(DeriveSpatialFacts(&meta), 0);
+}
+
+TEST(SpatialFactsTest, SpatialPredicatesInHtlQueries) {
+  // The paper's John-Wayne-shoots-a-bandit scene, spatially: the gunman on
+  // the left, the bandit on the right, later the bandit on the floor
+  // (below the gunman).
+  VideoTree v = VideoTree::Flat(3);
+  auto add = [&](SegmentId s, ObjectId id, BoundingBox box) {
+    ObjectAppearance obj;
+    obj.id = id;
+    obj.attributes["type"] = AttrValue(id == 1 ? "gunman" : "bandit");
+    SetBox(&obj, box);
+    v.MutableMeta(2, s).AddObject(std::move(obj));
+  };
+  add(1, 1, Box(0, 0, 10, 30));
+  add(1, 2, Box(50, 0, 10, 30));
+  add(2, 1, Box(0, 0, 10, 30));
+  add(2, 2, Box(30, 0, 10, 30));
+  add(3, 1, Box(0, 0, 10, 30));
+  add(3, 2, Box(5, 50, 30, 10));  // On the floor: below the gunman.
+  for (SegmentId s = 1; s <= 3; ++s) DeriveSpatialFacts(&v.MutableMeta(2, s));
+
+  DirectEngine engine(&v);
+  auto q = ParseFormula(
+      "exists g, b (type(g) = 'gunman' and type(b) = 'bandit' and "
+      "left_of(g, b) and eventually below(b, g))");
+  ASSERT_OK(q.status());
+  ASSERT_OK(Bind(q.value().get()));
+  ASSERT_OK_AND_ASSIGN(SimilarityList list, engine.EvaluateList(2, *q.value()));
+  // All 4 constraints satisfiable from shots 1 and 2 (left_of holds there,
+  // below(b, g) eventually at shot 3); at shot 3 left_of no longer holds.
+  EXPECT_TRUE(ListsEqual(list, L({{1, 2, 4.0}, {3, 3, 3.0}}, 4.0)));
+}
+
+}  // namespace
+}  // namespace htl

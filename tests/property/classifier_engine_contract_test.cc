@@ -1,0 +1,109 @@
+// Contract between the classifier and the engines: every formula the
+// classifier places below kGeneral MUST evaluate on the direct engine
+// (no Unimplemented), and classification itself must be stable under
+// rewriting (normalization can only keep or lower the class).
+
+#include <gtest/gtest.h>
+
+#include "engine/direct_engine.h"
+#include "htl/binder.h"
+#include "htl/classifier.h"
+#include "htl/rewriter.h"
+#include "testing/helpers.h"
+#include "util/rng.h"
+#include "workload/formula_gen.h"
+#include "workload/video_gen.h"
+
+namespace htl {
+namespace {
+
+int Rank(FormulaClass c) {
+  switch (c) {
+    case FormulaClass::kType1:
+      return 0;
+    case FormulaClass::kType2:
+      return 1;
+    case FormulaClass::kConjunctive:
+      return 2;
+    case FormulaClass::kExtendedConjunctive:
+      return 3;
+    case FormulaClass::kGeneral:
+      return 4;
+  }
+  return 5;
+}
+
+class ClassifierContractTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClassifierContractTest, SubGeneralClassesAlwaysRunOnDirectEngine) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 50021 + 9);
+  VideoGenOptions vopts;
+  vopts.levels = 3;
+  vopts.min_branching = 2;
+  vopts.max_branching = 4;
+  VideoTree video = GenerateVideo(rng, vopts);
+  DirectEngine engine(&video);
+
+  FormulaGenOptions fopts;
+  fopts.max_depth = 3;
+  fopts.allow_level = true;
+  fopts.allow_or = true;
+  fopts.allow_closed_not = true;
+  fopts.max_levels = video.num_levels();
+  for (int trial = 0; trial < 10; ++trial) {
+    FormulaPtr f = GenerateFormula(rng, fopts);
+    ASSERT_OK(Bind(f.get()));
+    const FormulaClass cls = Classify(*f);
+    auto result = engine.EvaluateList(1, *f);
+    if (cls != FormulaClass::kGeneral) {
+      EXPECT_OK(result.status());
+    } else if (!result.ok()) {
+      // General formulas may be refused, but only with Unimplemented —
+      // never a crash or a misleading error code.
+      EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented)
+          << f->ToString();
+    }
+  }
+}
+
+TEST_P(ClassifierContractTest, RewritingNeverRaisesTheClass) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7321 + 77);
+  FormulaGenOptions fopts;
+  fopts.max_depth = 3;
+  fopts.allow_or = true;
+  fopts.allow_closed_not = true;
+  for (int trial = 0; trial < 10; ++trial) {
+    FormulaPtr f = GenerateFormula(rng, fopts);
+    ASSERT_OK(Bind(f.get()));
+    const int before = Rank(Classify(*f));
+    FormulaPtr g = Rewrite(f->Clone());
+    EXPECT_LE(Rank(Classify(*g)), before) << f->ToString() << "\n-> " << g->ToString();
+  }
+}
+
+TEST_P(ClassifierContractTest, ClassMatchesPaperHierarchy) {
+  // Every class below general is also a member of the classes above it in
+  // the paper's chain — verified structurally: stripping the construct that
+  // forced the class must lower it.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 17 + 3);
+  FormulaGenOptions fopts;
+  fopts.max_depth = 2;
+  for (int trial = 0; trial < 10; ++trial) {
+    FormulaPtr body = GenerateFormula(rng, fopts);
+    ASSERT_OK(Bind(body.get()));
+    if (Classify(*body) == FormulaClass::kGeneral) continue;
+    // Wrapping in a level operator can only move within {<=extended}.
+    FormulaPtr wrapped = MakeAtNextLevel(body->Clone());
+    ASSERT_OK(Bind(wrapped.get()));
+    const FormulaClass cls = Classify(*wrapped);
+    EXPECT_TRUE(cls == FormulaClass::kExtendedConjunctive ||
+                cls == FormulaClass::kGeneral)
+        << wrapped->ToString();
+    EXPECT_NE(cls, FormulaClass::kGeneral) << wrapped->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClassifierContractTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace htl

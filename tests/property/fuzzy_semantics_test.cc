@@ -1,0 +1,103 @@
+// The alternative similarity function of section 5's future work
+// (AndSemantics::kFuzzyMin): both engines must still agree, and the fuzzy
+// conjunction must satisfy its defining properties.
+
+#include <gtest/gtest.h>
+
+#include "engine/direct_engine.h"
+#include "engine/reference_engine.h"
+#include "htl/binder.h"
+#include "sim/list_ops.h"
+#include "testing/helpers.h"
+#include "util/rng.h"
+#include "workload/formula_gen.h"
+#include "workload/random_lists.h"
+#include "workload/video_gen.h"
+
+namespace htl {
+namespace {
+
+using testing::L;
+using testing::ListsEqual;
+using testing::ListsNear;
+
+TEST(FuzzyMinMergeTest, TakesMinOfFractions) {
+  SimilarityList g = L({{1, 10, 2.0}}, 4.0);   // fraction 0.5
+  SimilarityList h = L({{5, 15, 3.0}}, 12.0);  // fraction 0.25
+  SimilarityList out = FuzzyMinAndMerge(g, h);
+  EXPECT_EQ(out.max(), 16.0);
+  // Overlap [5,10]: min(0.5, 0.25) * 16 = 4. One-sided parts: min with 0 = 0.
+  EXPECT_TRUE(ListsEqual(out, L({{5, 10, 4.0}}, 16.0)));
+}
+
+TEST(FuzzyMinMergeTest, ExactMatchesStayExact) {
+  SimilarityList g = L({{1, 4, 4.0}}, 4.0);
+  SimilarityList h = L({{1, 4, 12.0}}, 12.0);
+  SimilarityList out = FuzzyMinAndMerge(g, h);
+  EXPECT_TRUE(ListsEqual(out, L({{1, 4, 16.0}}, 16.0)));
+}
+
+TEST(FuzzyMinMergeTest, CommutativeAndIdempotentOnFractions) {
+  Rng rng(5);
+  RandomListOptions opts;
+  opts.num_segments = 200;
+  opts.coverage = 0.3;
+  SimilarityList a = GenerateRandomList(rng, opts);
+  SimilarityList b = GenerateRandomList(rng, opts);
+  EXPECT_TRUE(ListsEqual(FuzzyMinAndMerge(a, b), FuzzyMinAndMerge(b, a)));
+  // a fuzzy-and a keeps all fractions (doubled encoding).
+  SimilarityList aa = FuzzyMinAndMerge(a, a);
+  for (const SimEntry& e : a.entries()) {
+    EXPECT_NEAR(aa.ValueAt(e.range.begin).fraction(), e.actual / a.max(), 1e-12);
+  }
+}
+
+class FuzzyEnginesAgreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzyEnginesAgreeTest, DirectMatchesReferenceUnderFuzzyMin) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 131 + 7);
+  VideoGenOptions vopts;
+  vopts.levels = 2;
+  vopts.min_branching = 6;
+  vopts.max_branching = 12;
+  vopts.num_objects = 4;
+  VideoTree video = GenerateVideo(rng, vopts);
+
+  QueryOptions options;
+  options.and_semantics = AndSemantics::kFuzzyMin;
+  DirectEngine direct(&video, options);
+  ReferenceEngine reference(&video, options);
+
+  FormulaGenOptions fopts;
+  fopts.max_depth = 3;
+  for (int trial = 0; trial < 6; ++trial) {
+    FormulaPtr f = GenerateFormula(rng, fopts);
+    ASSERT_OK(Bind(f.get()));
+    auto got = direct.EvaluateList(2, *f);
+    auto want = reference.EvaluateList(2, *f);
+    ASSERT_OK(want.status());
+    ASSERT_OK(got.status());
+    EXPECT_TRUE(ListsNear(got.value(), want.value(), 1e-9))
+        << "formula: " << f->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzyEnginesAgreeTest, ::testing::Range(0, 8));
+
+TEST(FuzzySemanticsTest, ChangesRankingsAsExpected) {
+  // Segment 1: strong g, no h (a one-sided partial match).
+  // Segment 2: moderate g and h (a balanced full match).
+  SimilarityList g = L({{1, 1, 9.0}, {2, 2, 4.0}}, 10.0);
+  SimilarityList h = L({{2, 2, 4.0}}, 10.0);
+
+  SimilarityList sum = AndMerge(g, h);
+  EXPECT_EQ(sum.ActualAt(1), 9.0);  // Under sum the partial match ranks first...
+  EXPECT_EQ(sum.ActualAt(2), 8.0);
+
+  SimilarityList fuzzy = FuzzyMinAndMerge(g, h);
+  EXPECT_EQ(fuzzy.ActualAt(1), 0.0);  // ...under fuzzy-min it scores zero,
+  EXPECT_EQ(fuzzy.ActualAt(2), 8.0);  // and the balanced match wins.
+}
+
+}  // namespace
+}  // namespace htl

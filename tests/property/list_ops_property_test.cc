@@ -1,0 +1,186 @@
+// Property tests: the interval-run-encoded operator algebra of section 3.1
+// must agree with brute-force dense evaluation of the section 2.5 semantics
+// on randomly generated lists, and must satisfy the obvious algebraic laws.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/list_ops.h"
+#include "testing/helpers.h"
+#include "util/rng.h"
+#include "workload/random_lists.h"
+
+namespace htl {
+namespace {
+
+using testing::ListsEqual;
+
+constexpr int64_t kN = 300;  // Sequence length for dense cross-checks.
+constexpr double kTau = 0.5;
+
+SimilarityList RandomList(Rng& rng) {
+  RandomListOptions opts;
+  opts.num_segments = kN;
+  opts.coverage = 0.3;
+  opts.mean_run = 3;
+  opts.max_sim = 8.0;
+  return GenerateRandomList(rng, opts);
+}
+
+std::vector<double> Dense(const SimilarityList& list) {
+  std::vector<double> out(static_cast<size_t>(kN) + 1, 0.0);
+  for (const SimEntry& e : list.entries()) {
+    for (SegmentId i = e.range.begin; i <= e.range.end && i <= kN; ++i) {
+      out[static_cast<size_t>(i)] = e.actual;
+    }
+  }
+  return out;
+}
+
+// Checks structural invariants: sorted, disjoint, positive, canonical.
+void CheckInvariants(const SimilarityList& list) {
+  SegmentId prev_end = 0;
+  double prev_val = -1;
+  bool prev_adjacent = false;
+  for (const SimEntry& e : list.entries()) {
+    ASSERT_FALSE(e.range.empty());
+    ASSERT_GT(e.range.begin, prev_end);
+    ASSERT_GT(e.actual, 0.0);
+    ASSERT_LE(e.actual, list.max() + 1e-12);
+    if (prev_adjacent && prev_end + 1 == e.range.begin) {
+      ASSERT_NE(e.actual, prev_val) << "adjacent equal runs must merge";
+    }
+    prev_adjacent = true;
+    prev_end = e.range.end;
+    prev_val = e.actual;
+  }
+}
+
+class ListOpsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ListOpsPropertyTest, AndMatchesDenseSum) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  SimilarityList a = RandomList(rng), b = RandomList(rng);
+  SimilarityList out = AndMerge(a, b);
+  CheckInvariants(out);
+  auto da = Dense(a), db = Dense(b), dout = Dense(out);
+  for (int64_t i = 1; i <= kN; ++i) {
+    EXPECT_DOUBLE_EQ(dout[static_cast<size_t>(i)],
+                     da[static_cast<size_t>(i)] + db[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(out.max(), a.max() + b.max());
+}
+
+TEST_P(ListOpsPropertyTest, AndIsCommutative) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 1000);
+  SimilarityList a = RandomList(rng), b = RandomList(rng);
+  EXPECT_TRUE(ListsEqual(AndMerge(a, b), AndMerge(b, a)));
+}
+
+TEST_P(ListOpsPropertyTest, OrMatchesDenseMax) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 2000);
+  SimilarityList a = RandomList(rng), b = RandomList(rng);
+  SimilarityList out = OrMerge(a, b);
+  CheckInvariants(out);
+  auto da = Dense(a), db = Dense(b), dout = Dense(out);
+  for (int64_t i = 1; i <= kN; ++i) {
+    EXPECT_DOUBLE_EQ(dout[static_cast<size_t>(i)],
+                     std::max(da[static_cast<size_t>(i)], db[static_cast<size_t>(i)]));
+  }
+}
+
+TEST_P(ListOpsPropertyTest, OrIsIdempotentAndCommutative) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 3000);
+  SimilarityList a = RandomList(rng), b = RandomList(rng);
+  EXPECT_TRUE(ListsEqual(OrMerge(a, a), a));
+  EXPECT_TRUE(ListsEqual(OrMerge(a, b), OrMerge(b, a)));
+}
+
+TEST_P(ListOpsPropertyTest, NextMatchesDenseShift) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 4000);
+  SimilarityList a = RandomList(rng);
+  SimilarityList out = NextShift(a);
+  CheckInvariants(out);
+  auto da = Dense(a), dout = Dense(out);
+  for (int64_t i = 1; i < kN; ++i) {
+    EXPECT_DOUBLE_EQ(dout[static_cast<size_t>(i)], da[static_cast<size_t>(i + 1)]);
+  }
+}
+
+TEST_P(ListOpsPropertyTest, UntilMatchesDenseRecurrence) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 5000);
+  SimilarityList g = RandomList(rng), h = RandomList(rng);
+  SimilarityList out = UntilMerge(g, h, kTau);
+  CheckInvariants(out);
+  auto dg = Dense(g), dh = Dense(h), dout = Dense(out);
+  // f(u) = max(h(u), [g(u)/gmax >= tau] * f(u+1)), computed right-to-left.
+  std::vector<double> want(static_cast<size_t>(kN) + 2, 0.0);
+  for (int64_t u = kN; u >= 1; --u) {
+    const bool gok = dg[static_cast<size_t>(u)] / g.max() + 1e-12 >= kTau;
+    want[static_cast<size_t>(u)] =
+        std::max(dh[static_cast<size_t>(u)], gok ? want[static_cast<size_t>(u + 1)] : 0.0);
+  }
+  for (int64_t u = 1; u <= kN; ++u) {
+    EXPECT_DOUBLE_EQ(dout[static_cast<size_t>(u)], want[static_cast<size_t>(u)]) << u;
+  }
+  EXPECT_EQ(out.max(), h.max());
+}
+
+TEST_P(ListOpsPropertyTest, EventuallyMatchesDenseSuffixMax) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 6000);
+  SimilarityList h = RandomList(rng);
+  SimilarityList out = Eventually(h);
+  CheckInvariants(out);
+  auto dh = Dense(h), dout = Dense(out);
+  double running = 0;
+  for (int64_t u = kN; u >= 1; --u) {
+    running = std::max(running, dh[static_cast<size_t>(u)]);
+    EXPECT_DOUBLE_EQ(dout[static_cast<size_t>(u)], running);
+  }
+}
+
+TEST_P(ListOpsPropertyTest, EventuallyIsUntilWithSaturatedG) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 7000);
+  SimilarityList h = RandomList(rng);
+  // true until h with g saturated over the whole axis.
+  SimilarityList g =
+      SimilarityList::FromEntriesOrDie({SimEntry{Interval{1, kN}, 1.0}}, 1.0);
+  SimilarityList via_until = UntilMerge(g, h, kTau);
+  // Eventually may extend below id 1? No: ids start at 1. It may extend the
+  // carry below h's first entry; until does the same within g's support.
+  EXPECT_TRUE(ListsEqual(via_until, Eventually(h).Clip(Interval{1, kN})));
+}
+
+TEST_P(ListOpsPropertyTest, MultiMaxEqualsFoldedOr) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 8000);
+  std::vector<SimilarityList> lists;
+  const int m = 1 + GetParam() % 7;
+  double max = 0;
+  for (int i = 0; i < m; ++i) {
+    lists.push_back(RandomList(rng));
+    max = std::max(max, lists.back().max());
+  }
+  SimilarityList folded(max);
+  for (const auto& l : lists) folded = OrMerge(folded, l);
+  EXPECT_TRUE(ListsEqual(MultiMax(lists), folded));
+}
+
+TEST_P(ListOpsPropertyTest, UntilMonotoneInH) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 9000);
+  SimilarityList g = RandomList(rng), h = RandomList(rng);
+  // Dropping an entry of h can only lower the result.
+  if (h.length() < 2) return;
+  std::vector<SimEntry> reduced(h.entries().begin(), h.entries().end() - 1);
+  SimilarityList h2 = SimilarityList::FromEntriesOrDie(reduced, h.max());
+  auto full = Dense(UntilMerge(g, h, kTau));
+  auto less = Dense(UntilMerge(g, h2, kTau));
+  for (int64_t u = 1; u <= kN; ++u) {
+    EXPECT_LE(less[static_cast<size_t>(u)], full[static_cast<size_t>(u)] + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ListOpsPropertyTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace htl

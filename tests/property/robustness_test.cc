@@ -1,0 +1,181 @@
+// Failure-injection and fuzz-style robustness tests: malformed inputs must
+// produce Status errors — never crashes, hangs, or silent wrong answers.
+
+#include <gtest/gtest.h>
+
+#include "engine/direct_engine.h"
+#include "htl/binder.h"
+#include "htl/lexer.h"
+#include "htl/parser.h"
+#include "sql/parser.h"
+#include "sql/sql_system.h"
+#include "testing/helpers.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace htl {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HTL parser fuzz: random token soup never crashes.
+
+class HtlParserFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HtlParserFuzzTest, RandomTokenSoupNeverCrashes) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761u + 1);
+  const char* vocab[] = {"and",   "or",      "not",   "next",  "until",
+                         "eventually", "exists", "present", "true",  "false",
+                         "(",     ")",       "[",     "]",     ",",
+                         "<-",    "=",       "<",     ">",     "<=",
+                         ">=",    "!=",      "@",     "x",     "y",
+                         "height", "type",   "'str'", "3",     "2.5",
+                         "at-next-level", "at-shot-level", "at-level-2"};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string text;
+    const int len = static_cast<int>(rng.UniformInt(1, 25));
+    for (int i = 0; i < len; ++i) {
+      text += vocab[rng.UniformInt(0, std::size(vocab) - 1)];
+      text += ' ';
+    }
+    auto r = ParseFormula(text);  // Must terminate and not crash.
+    if (r.ok()) {
+      // Whatever parses must print and re-parse.
+      auto again = ParseFormula(r.value()->ToString());
+      EXPECT_TRUE(again.ok()) << r.value()->ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HtlParserFuzzTest, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// SQL parser fuzz.
+
+class SqlParserFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SqlParserFuzzTest, RandomTokenSoupNeverCrashes) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 40503u + 7);
+  const char* vocab[] = {"SELECT", "FROM",  "WHERE", "GROUP",  "BY",    "ORDER",
+                         "LIMIT",  "JOIN",  "LEFT",  "ON",     "AND",   "OR",
+                         "NOT",    "NULL",  "IS",    "COUNT",  "MAX",   "(",
+                         ")",      ",",     "*",     "+",      "-",     "=",
+                         "<",      ">",     "t",     "a",      "b",     "'s'",
+                         "1",      "2.5",   ";",     "BETWEEN", "IN",   "DISTINCT"};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string text;
+    const int len = static_cast<int>(rng.UniformInt(1, 25));
+    for (int i = 0; i < len; ++i) {
+      text += vocab[rng.UniformInt(0, std::size(vocab) - 1)];
+      text += ' ';
+    }
+    (void)sql::ParseScript(text);  // Must terminate and not crash.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlParserFuzzTest, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// Lexer edge cases.
+
+TEST(LexerEdgeTest, LongInputsAndOddStrings) {
+  std::string many_parens(10'000, '(');
+  EXPECT_OK(Tokenize(many_parens).status());
+  EXPECT_OK(Tokenize("'" + std::string(10'000, 'a') + "'").status());
+  EXPECT_FALSE(Tokenize("'" + std::string(10'000, 'a')).ok());
+  EXPECT_OK(Tokenize("a-b-c-d-e-f-g-h").status());
+  EXPECT_OK(Tokenize("# only a comment").status());
+}
+
+TEST(ParserEdgeTest, DeepNestingParses) {
+  std::string text;
+  constexpr int kDepth = 200;
+  for (int i = 0; i < kDepth; ++i) text += "next (";
+  text += "true";
+  for (int i = 0; i < kDepth; ++i) text += ")";
+  auto r = ParseFormula(text);
+  ASSERT_OK(r.status());
+  EXPECT_EQ(MaxSimilarity(*r.value()), 1.0);
+}
+
+TEST(ParserEdgeTest, DeepNestingEvaluates) {
+  VideoTree v = VideoTree::Flat(4);
+  std::string text;
+  constexpr int kDepth = 100;
+  for (int i = 0; i < kDepth; ++i) text += "eventually (";
+  text += "true";
+  for (int i = 0; i < kDepth; ++i) text += ")";
+  auto f = ParseFormula(text);
+  ASSERT_OK(f.status());
+  ASSERT_OK(Bind(f.value().get()));
+  DirectEngine e(&v);
+  auto list = e.EvaluateList(2, *f.value());
+  ASSERT_OK(list.status());
+  EXPECT_EQ(list.value().ActualAt(1), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-facing failure injection.
+
+TEST(EngineRobustnessTest, EmptyVideoLevels) {
+  VideoTree v = VideoTree::Flat(0);  // Root only.
+  DirectEngine e(&v);
+  auto f = ParseFormula("true");
+  ASSERT_OK(f.status());
+  ASSERT_OK_AND_ASSIGN(SimilarityList list, e.EvaluateList(1, *f.value()));
+  EXPECT_EQ(list.ActualAt(1), 1.0);
+  EXPECT_EQ(e.EvaluateList(2, *f.value()).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(EngineRobustnessTest, HugeWeightsDoNotOverflowInvariants) {
+  VideoTree v = VideoTree::Flat(3);
+  v.MutableMeta(2, 2).SetAttribute("d", AttrValue(int64_t{1}));
+  DirectEngine e(&v);
+  auto f = ParseFormula("d = 1 @ 1000000000 and true");
+  ASSERT_OK(f.status());
+  ASSERT_OK(Bind(f.value().get()));
+  ASSERT_OK_AND_ASSIGN(SimilarityList list, e.EvaluateList(2, *f.value()));
+  EXPECT_EQ(list.max(), 1000000001.0);
+  EXPECT_EQ(list.ActualAt(2), 1000000001.0);
+}
+
+TEST(EngineRobustnessTest, ManyDistinctAtomicsOneQuery) {
+  VideoTree v = VideoTree::Flat(10);
+  for (SegmentId s = 1; s <= 10; ++s) {
+    v.MutableMeta(2, s).SetAttribute("d", AttrValue(s));
+  }
+  std::string text = "d >= 1";
+  for (int i = 2; i <= 40; ++i) text = StrCat(text, " and d >= ", i % 10);
+  auto f = ParseFormula(text);
+  ASSERT_OK(f.status());
+  ASSERT_OK(Bind(f.value().get()));
+  DirectEngine e(&v);
+  EXPECT_OK(e.EvaluateList(2, *f.value()).status());
+}
+
+TEST(SqlRobustnessTest, RerunningTranslationIsIdempotent) {
+  auto f = ParseFormula("p() until q()");
+  ASSERT_OK(f.status());
+  std::map<std::string, SimilarityList> inputs = {
+      {"p", SimilarityList::FromEntriesOrDie({{Interval{1, 5}, 2.0}}, 2.0)},
+      {"q", SimilarityList::FromEntriesOrDie({{Interval{6, 6}, 1.0}}, 2.0)},
+  };
+  sql::SqlSystem sys;
+  ASSERT_OK_AND_ASSIGN(auto first, sys.Evaluate(*f.value(), inputs, 10));
+  ASSERT_OK_AND_ASSIGN(auto second, sys.Evaluate(*f.value(), inputs, 10));
+  EXPECT_EQ(first, second);
+}
+
+TEST(SqlRobustnessTest, MismatchedDomainSizeStillSound) {
+  // n smaller than the lists' ids: expansion simply clips to the domain.
+  auto f = ParseFormula("p()");
+  ASSERT_OK(f.status());
+  std::map<std::string, SimilarityList> inputs = {
+      {"p", SimilarityList::FromEntriesOrDie({{Interval{1, 100}, 2.0}}, 2.0)},
+  };
+  sql::SqlSystem sys;
+  ASSERT_OK_AND_ASSIGN(auto out, sys.Evaluate(*f.value(), inputs, 10));
+  EXPECT_EQ(out.CoveredIds(), 10);
+}
+
+}  // namespace
+}  // namespace htl

@@ -1,0 +1,72 @@
+// Parity of the two systems of section 4: the direct list algebra and the
+// SQL translation must produce identical similarity lists for random
+// type (1) formulas on random inputs ("Both approaches produced identical
+// final values as well as identical intermediate similarity tables").
+
+#include <gtest/gtest.h>
+
+#include "engine/direct_engine.h"
+#include "sql/sql_system.h"
+#include "testing/helpers.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "workload/random_lists.h"
+
+namespace htl {
+namespace {
+
+using testing::ListsEqual;
+
+constexpr int64_t kN = 200;
+
+// Random type (1) formula over predicates p0..p3 (plus `or` extension).
+FormulaPtr RandomType1(Rng& rng, int depth) {
+  if (depth <= 0) {
+    return MakePredicate(StrCat("p", rng.UniformInt(0, 3)), {});
+  }
+  switch (rng.UniformInt(0, 5)) {
+    case 0:
+      return MakeAnd(RandomType1(rng, depth - 1), RandomType1(rng, depth - 1));
+    case 1:
+      return MakeUntil(RandomType1(rng, depth - 1), RandomType1(rng, depth - 1));
+    case 2:
+      return MakeEventually(RandomType1(rng, depth - 1));
+    case 3:
+      return MakeNext(RandomType1(rng, depth - 1));
+    case 4:
+      return MakeOr(RandomType1(rng, depth - 1), RandomType1(rng, depth - 1));
+    default:
+      return MakePredicate(StrCat("p", rng.UniformInt(0, 3)), {});
+  }
+}
+
+class SqlParityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SqlParityTest, SqlMatchesDirectOnRandomFormulas) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 977 + 13);
+  RandomListOptions lopts;
+  lopts.num_segments = kN;
+  lopts.coverage = 0.25;
+  lopts.mean_run = 3;
+  lopts.max_sim = 16.0;
+
+  std::map<std::string, SimilarityList> inputs;
+  for (int i = 0; i < 4; ++i) {
+    inputs[StrCat("p", i)] = GenerateRandomList(rng, lopts);
+  }
+  sql::SqlSystem sys;
+  for (int trial = 0; trial < 4; ++trial) {
+    FormulaPtr f = RandomType1(rng, 3);
+    auto direct = EvaluateWithLists(*f, inputs);
+    ASSERT_OK(direct.status());
+    auto via_sql = sys.Evaluate(*f, inputs, kN);
+    ASSERT_OK(via_sql.status());
+    EXPECT_TRUE(ListsEqual(via_sql.value(), direct.value()))
+        << "formula: " << f->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlParityTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace htl

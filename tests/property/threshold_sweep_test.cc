@@ -1,0 +1,136 @@
+// Parameterized sweeps over the system knobs the paper leaves open: the
+// until threshold tau and the hierarchy shape for level operators. The
+// engines must agree for every setting.
+
+#include <gtest/gtest.h>
+
+#include "engine/direct_engine.h"
+#include "engine/reference_engine.h"
+#include "htl/binder.h"
+#include "htl/parser.h"
+#include "testing/helpers.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "workload/formula_gen.h"
+#include "workload/video_gen.h"
+
+namespace htl {
+namespace {
+
+using testing::ListsNear;
+
+// ---------------------------------------------------------------------------
+// tau sweep: until semantics parameterized by the threshold.
+
+class ThresholdSweepTest : public ::testing::TestWithParam<int> {
+ protected:
+  double Tau() const { return static_cast<double>(GetParam()) / 10.0; }
+};
+
+TEST_P(ThresholdSweepTest, EnginesAgreeAtThisThreshold) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31337 + 5);
+  VideoGenOptions vopts;
+  vopts.levels = 2;
+  vopts.min_branching = 8;
+  vopts.max_branching = 12;
+  VideoTree video = GenerateVideo(rng, vopts);
+
+  QueryOptions options;
+  options.until_threshold = Tau();
+  DirectEngine direct(&video, options);
+  ReferenceEngine reference(&video, options);
+
+  FormulaGenOptions fopts;
+  fopts.max_depth = 3;
+  for (int trial = 0; trial < 5; ++trial) {
+    FormulaPtr f = GenerateFormula(rng, fopts);
+    ASSERT_OK(Bind(f.get()));
+    ASSERT_OK_AND_ASSIGN(SimilarityList got, direct.EvaluateList(2, *f));
+    ASSERT_OK_AND_ASSIGN(SimilarityList want, reference.EvaluateList(2, *f));
+    EXPECT_TRUE(ListsNear(got, want, 1e-9))
+        << "tau=" << Tau() << " formula: " << f->ToString();
+  }
+}
+
+TEST_P(ThresholdSweepTest, HigherThresholdNeverImprovesUntil) {
+  // Monotonicity: raising tau can only remove chains, never add value.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7 + 99);
+  VideoGenOptions vopts;
+  vopts.levels = 2;
+  vopts.min_branching = 10;
+  vopts.max_branching = 14;
+  VideoTree video = GenerateVideo(rng, vopts);
+  auto f = ParseFormula(
+      "exists p (type(p) = 'person' @ 2 and duration >= 20) until duration >= 80");
+  ASSERT_OK(f.status());
+  ASSERT_OK(Bind(f.value().get()));
+
+  QueryOptions low;
+  low.until_threshold = Tau();
+  QueryOptions high;
+  high.until_threshold = std::min(1.0, Tau() + 0.3);
+  DirectEngine el(&video, low), eh(&video, high);
+  ASSERT_OK_AND_ASSIGN(SimilarityList loose, el.EvaluateList(2, *f.value()));
+  ASSERT_OK_AND_ASSIGN(SimilarityList tight, eh.EvaluateList(2, *f.value()));
+  for (SegmentId id = 1; id <= video.NumSegments(2); ++id) {
+    EXPECT_LE(tight.ActualAt(id), loose.ActualAt(id) + 1e-12) << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tau, ThresholdSweepTest, ::testing::Values(1, 3, 5, 7, 9, 10));
+
+// ---------------------------------------------------------------------------
+// Absolute level operators on deeper hierarchies.
+
+class DeepLevelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeepLevelTest, AbsoluteLevelOperatorsAgree) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 271 + 17);
+  VideoGenOptions vopts;
+  vopts.levels = 4;
+  vopts.min_branching = 2;
+  vopts.max_branching = 3;
+  VideoTree video = GenerateVideo(rng, vopts);
+  DirectEngine direct(&video);
+  ReferenceEngine reference(&video);
+
+  const std::string queries[] = {
+      "at-level-3(eventually exists p (present(p)))",
+      "at-level-4(duration >= 40)",
+      "at-next-level(at-next-level(exists p (present(p))))",
+      StrCat("at-level-2(true) and at-level-4(eventually duration >= ",
+             30 + GetParam(), ")"),
+  };
+  for (const std::string& q : queries) {
+    auto f = ParseFormula(q);
+    ASSERT_OK(f.status());
+    ASSERT_OK(Bind(f.value().get()));
+    ASSERT_OK_AND_ASSIGN(SimilarityList got, direct.EvaluateList(1, *f.value()));
+    ASSERT_OK_AND_ASSIGN(SimilarityList want, reference.EvaluateList(1, *f.value()));
+    EXPECT_TRUE(ListsNear(got, want, 1e-9)) << q;
+  }
+}
+
+TEST_P(DeepLevelTest, SceneLevelEvaluationAgrees) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 613 + 23);
+  VideoGenOptions vopts;
+  vopts.levels = 4;
+  vopts.min_branching = 2;
+  vopts.max_branching = 3;
+  VideoTree video = GenerateVideo(rng, vopts);
+  DirectEngine direct(&video);
+  ReferenceEngine reference(&video);
+  // Temporal operators over the scene sequence, with frame-level hops.
+  auto f = ParseFormula(
+      "at-frame-level(exists p (present(p))) until at-shot-level(duration >= 50)");
+  ASSERT_OK(f.status());
+  ASSERT_OK(Bind(f.value().get()));
+  ASSERT_OK_AND_ASSIGN(SimilarityList got, direct.EvaluateList(2, *f.value()));
+  ASSERT_OK_AND_ASSIGN(SimilarityList want, reference.EvaluateList(2, *f.value()));
+  EXPECT_TRUE(ListsNear(got, want, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeepLevelTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace htl

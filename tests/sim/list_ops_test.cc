@@ -1,0 +1,333 @@
+#include "sim/list_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/table_ops.h"
+#include "testing/helpers.h"
+
+namespace htl {
+namespace {
+
+using testing::L;
+using testing::ListsEqual;
+
+// ---------------------------------------------------------------------------
+// AndMerge (section 3.1, f = g AND h)
+
+TEST(AndMergeTest, DisjointListsKeepBothSides) {
+  SimilarityList out = AndMerge(L({{1, 3, 2.0}}, 5.0), L({{5, 6, 1.0}}, 4.0));
+  EXPECT_TRUE(ListsEqual(out, L({{1, 3, 2.0}, {5, 6, 1.0}}, 9.0)));
+}
+
+TEST(AndMergeTest, OverlapSums) {
+  SimilarityList out = AndMerge(L({{1, 10, 2.0}}, 5.0), L({{5, 15, 3.0}}, 5.0));
+  EXPECT_TRUE(
+      ListsEqual(out, L({{1, 4, 2.0}, {5, 10, 5.0}, {11, 15, 3.0}}, 10.0)));
+}
+
+TEST(AndMergeTest, MaxIsSumOfMaxes) {
+  EXPECT_EQ(AndMerge(SimilarityList(3.0), SimilarityList(4.0)).max(), 7.0);
+}
+
+TEST(AndMergeTest, EmptyRightKeepsLeftValues) {
+  SimilarityList out = AndMerge(L({{2, 4, 1.5}}, 3.0), SimilarityList(4.0));
+  EXPECT_TRUE(ListsEqual(out, L({{2, 4, 1.5}}, 7.0)));
+}
+
+TEST(AndMergeTest, IdenticalIntervalsMergeIntoOne) {
+  SimilarityList out = AndMerge(L({{1, 5, 1.0}}, 2.0), L({{1, 5, 2.0}}, 3.0));
+  EXPECT_TRUE(ListsEqual(out, L({{1, 5, 3.0}}, 5.0)));
+}
+
+TEST(AndMergeTest, PaperExampleQuery1) {
+  // Table 4 = Table 2 AND Table 3 (the Casablanca final merge shape).
+  SimilarityList man_woman =
+      L({{1, 4, 2.595}, {6, 6, 1.26}, {8, 8, 1.26}, {10, 44, 1.26}, {47, 49, 6.26}},
+        6.26);
+  SimilarityList ev_train = L({{1, 9, 9.787}}, 9.787);
+  SimilarityList out = AndMerge(man_woman, ev_train);
+  EXPECT_TRUE(ListsEqual(out, L(
+                                  {
+                                      {1, 4, 2.595 + 9.787},
+                                      {5, 5, 9.787},
+                                      {6, 6, 1.26 + 9.787},
+                                      {7, 7, 9.787},
+                                      {8, 8, 1.26 + 9.787},
+                                      {9, 9, 9.787},
+                                      {10, 44, 1.26},
+                                      {47, 49, 6.26},
+                                  },
+                                  6.26 + 9.787)));
+}
+
+TEST(AndMergeTest, AdjacentFragmentsWithEqualSumsCanonicalize) {
+  // [1,2]:1 + [3,4]:2 vs [1,2]:2 + [3,4]:1 -> constant 3 across [1,4].
+  SimilarityList a = L({{1, 2, 1.0}, {3, 4, 2.0}}, 2.0);
+  SimilarityList b = L({{1, 2, 2.0}, {3, 4, 1.0}}, 2.0);
+  EXPECT_TRUE(ListsEqual(AndMerge(a, b), L({{1, 4, 3.0}}, 4.0)));
+}
+
+// ---------------------------------------------------------------------------
+// OrMerge
+
+TEST(OrMergeTest, TakesPointwiseMax) {
+  SimilarityList out = OrMerge(L({{1, 10, 2.0}}, 5.0), L({{5, 15, 3.0}}, 5.0));
+  EXPECT_TRUE(ListsEqual(out, L({{1, 4, 2.0}, {5, 15, 3.0}}, 5.0)));
+}
+
+TEST(OrMergeTest, MaxIsMaxOfMaxes) {
+  EXPECT_EQ(OrMerge(SimilarityList(3.0), SimilarityList(4.0)).max(), 4.0);
+}
+
+TEST(OrMergeTest, EmptySideIsIdentity) {
+  SimilarityList a = L({{1, 3, 2.0}}, 5.0);
+  EXPECT_TRUE(ListsEqual(OrMerge(a, SimilarityList(5.0)), a));
+  EXPECT_TRUE(ListsEqual(OrMerge(SimilarityList(5.0), a), a));
+}
+
+// ---------------------------------------------------------------------------
+// NextShift (section 3.1, f = next g)
+
+TEST(NextShiftTest, ShiftsIntervalsDownByOne) {
+  EXPECT_TRUE(ListsEqual(NextShift(L({{5, 9, 2.0}}, 3.0)), L({{4, 8, 2.0}}, 3.0)));
+}
+
+TEST(NextShiftTest, DropsIdZero) {
+  EXPECT_TRUE(ListsEqual(NextShift(L({{1, 3, 2.0}}, 3.0)), L({{1, 2, 2.0}}, 3.0)));
+}
+
+TEST(NextShiftTest, SingleIdOneVanishes) {
+  EXPECT_TRUE(NextShift(L({{1, 1, 2.0}}, 3.0)).empty());
+}
+
+TEST(NextShiftTest, PreservesMax) {
+  EXPECT_EQ(NextShift(L({{3, 4, 1.0}}, 7.0)).max(), 7.0);
+}
+
+TEST(NextShiftTest, DoubleShiftComposes) {
+  SimilarityList once = NextShift(L({{10, 12, 1.0}}, 2.0));
+  EXPECT_TRUE(ListsEqual(NextShift(once), L({{8, 10, 1.0}}, 2.0)));
+}
+
+// ---------------------------------------------------------------------------
+// ThresholdSupport
+
+TEST(ThresholdSupportTest, FiltersBelowThresholdAndCoalesces) {
+  SimilarityList g = L({{1, 3, 2.0}, {4, 6, 10.0}, {7, 9, 9.0}, {20, 21, 1.0}}, 10.0);
+  std::vector<Interval> support = ThresholdSupport(g, 0.5);
+  ASSERT_EQ(support.size(), 1u);
+  EXPECT_EQ(support[0], (Interval{4, 9}));
+}
+
+TEST(ThresholdSupportTest, ZeroThresholdKeepsAllEntries) {
+  SimilarityList g = L({{1, 3, 0.1}, {5, 6, 0.2}}, 10.0);
+  std::vector<Interval> support = ThresholdSupport(g, 0.0);
+  ASSERT_EQ(support.size(), 2u);
+}
+
+TEST(ThresholdSupportTest, ExactThresholdIsKept) {
+  SimilarityList g = L({{1, 3, 5.0}}, 10.0);
+  EXPECT_EQ(ThresholdSupport(g, 0.5).size(), 1u);
+  EXPECT_EQ(ThresholdSupport(g, 0.5001).size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// UntilMerge — including the paper's worked example (figure 2).
+
+TEST(UntilMergeTest, PaperFigure2Example) {
+  // L1 (g): [25,100], [200,250] after thresholding (values irrelevant).
+  SimilarityList g = L({{25, 100, 20.0}, {200, 250, 20.0}}, 20.0);
+  // L2 (h): ([10 50],10) ([55 60],15) ([90 110],12) ([125 175],10), max 20.
+  SimilarityList h =
+      L({{10, 50, 10.0}, {55, 60, 15.0}, {90, 110, 12.0}, {125, 175, 10.0}}, 20.0);
+  SimilarityList out = UntilMerge(g, h, 0.5);
+  // Paper output: ([10 24],10) ([25 60],15) ([61 110],12) ([125 175],10).
+  EXPECT_TRUE(ListsEqual(
+      out, L({{10, 24, 10.0}, {25, 60, 15.0}, {61, 110, 12.0}, {125, 175, 10.0}}, 20.0)));
+}
+
+TEST(UntilMergeTest, HAloneSatisfiesWithoutG) {
+  SimilarityList out = UntilMerge(SimilarityList(10.0), L({{5, 7, 3.0}}, 4.0), 0.5);
+  EXPECT_TRUE(ListsEqual(out, L({{5, 7, 3.0}}, 4.0)));
+}
+
+TEST(UntilMergeTest, EmptyHYieldsEmpty) {
+  SimilarityList out = UntilMerge(L({{1, 100, 10.0}}, 10.0), SimilarityList(4.0), 0.5);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(out.max(), 4.0);
+}
+
+TEST(UntilMergeTest, GBelowThresholdDoesNotExtend) {
+  SimilarityList g = L({{1, 10, 2.0}}, 10.0);  // fraction 0.2 < 0.5
+  SimilarityList h = L({{10, 10, 5.0}}, 5.0);
+  SimilarityList out = UntilMerge(g, h, 0.5);
+  EXPECT_TRUE(ListsEqual(out, L({{10, 10, 5.0}}, 5.0)));
+}
+
+TEST(UntilMergeTest, GExtendsBackwardsThroughRun) {
+  SimilarityList g = L({{1, 9, 8.0}}, 10.0);
+  SimilarityList h = L({{10, 10, 5.0}}, 5.0);
+  // g holds on [1,9]; h at 10, reachable from any start in [1,10].
+  SimilarityList out = UntilMerge(g, h, 0.5);
+  EXPECT_TRUE(ListsEqual(out, L({{1, 10, 5.0}}, 5.0)));
+}
+
+TEST(UntilMergeTest, GapInGBreaksReach) {
+  SimilarityList g = L({{1, 3, 8.0}, {5, 9, 8.0}}, 10.0);
+  SimilarityList h = L({{10, 10, 5.0}}, 5.0);
+  SimilarityList out = UntilMerge(g, h, 0.5);
+  // Segment 4 has no g, so ids 1-3 cannot reach h at 10; ids 5-10 can.
+  EXPECT_TRUE(ListsEqual(out, L({{5, 10, 5.0}}, 5.0)));
+}
+
+TEST(UntilMergeTest, AdjacentGEntriesActAsOneRun) {
+  // Two g entries with different values but adjacent intervals coalesce.
+  SimilarityList g = L({{1, 3, 8.0}, {4, 9, 9.0}}, 10.0);
+  SimilarityList h = L({{10, 10, 5.0}}, 5.0);
+  SimilarityList out = UntilMerge(g, h, 0.5);
+  EXPECT_TRUE(ListsEqual(out, L({{1, 10, 5.0}}, 5.0)));
+}
+
+TEST(UntilMergeTest, TakesMaxOverReachableH) {
+  SimilarityList g = L({{1, 20, 10.0}}, 10.0);
+  SimilarityList h = L({{5, 5, 2.0}, {10, 10, 7.0}, {15, 15, 4.0}}, 10.0);
+  SimilarityList out = UntilMerge(g, h, 0.5);
+  // From ids <= 10 the best reachable h is 7; from 11..15 it's 4.
+  EXPECT_TRUE(ListsEqual(out, L({{1, 10, 7.0}, {11, 15, 4.0}}, 10.0)));
+}
+
+TEST(UntilMergeTest, HInsideGRunTakesSuffixMax) {
+  SimilarityList g = L({{1, 10, 10.0}}, 10.0);
+  SimilarityList h = L({{3, 4, 6.0}, {8, 8, 2.0}}, 10.0);
+  SimilarityList out = UntilMerge(g, h, 0.5);
+  EXPECT_TRUE(ListsEqual(out, L({{1, 4, 6.0}, {5, 8, 2.0}}, 10.0)));
+}
+
+TEST(UntilMergeTest, OutputMaxIsHMax) {
+  EXPECT_EQ(UntilMerge(L({{1, 2, 1.0}}, 1.0), L({{1, 2, 1.0}}, 7.0), 0.5).max(), 7.0);
+}
+
+TEST(UntilMergeTest, HJustAfterRunEndIsReachable) {
+  // u'' may be the segment immediately after the g-run (g holds on
+  // [u, u''-1] only).
+  SimilarityList g = L({{1, 5, 10.0}}, 10.0);
+  SimilarityList h = L({{6, 6, 3.0}}, 5.0);
+  SimilarityList out = UntilMerge(g, h, 0.5);
+  EXPECT_TRUE(ListsEqual(out, L({{1, 6, 3.0}}, 5.0)));
+}
+
+// ---------------------------------------------------------------------------
+// Eventually
+
+TEST(EventuallyTest, SuffixMax) {
+  SimilarityList h = L({{5, 6, 2.0}, {10, 10, 7.0}, {20, 22, 4.0}}, 10.0);
+  SimilarityList out = Eventually(h);
+  EXPECT_TRUE(ListsEqual(out, L({{1, 10, 7.0}, {11, 22, 4.0}}, 10.0)));
+}
+
+TEST(EventuallyTest, PaperTable3) {
+  // eventually Moving-Train with Moving-Train = {[9,9]: 9.787}.
+  SimilarityList out = Eventually(L({{9, 9, 9.787}}, 9.787));
+  EXPECT_TRUE(ListsEqual(out, L({{1, 9, 9.787}}, 9.787)));
+}
+
+TEST(EventuallyTest, EmptyStaysEmpty) {
+  EXPECT_TRUE(Eventually(SimilarityList(3.0)).empty());
+}
+
+TEST(EventuallyTest, CrossesGaps) {
+  SimilarityList out = Eventually(L({{100, 100, 1.0}}, 1.0));
+  EXPECT_TRUE(ListsEqual(out, L({{1, 100, 1.0}}, 1.0)));
+}
+
+TEST(EventuallyTest, IsIdempotent) {
+  SimilarityList h = L({{5, 6, 2.0}, {10, 10, 7.0}}, 10.0);
+  SimilarityList once = Eventually(h);
+  EXPECT_TRUE(ListsEqual(Eventually(once), once));
+}
+
+// ---------------------------------------------------------------------------
+// MultiMax
+
+TEST(MultiMaxTest, EmptyInputIsEmptyList) {
+  SimilarityList out = MultiMax({});
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(out.max(), 0.0);
+}
+
+TEST(MultiMaxTest, SingleListPassesThrough) {
+  SimilarityList a = L({{1, 2, 1.0}}, 2.0);
+  EXPECT_TRUE(ListsEqual(MultiMax({a}), a));
+}
+
+TEST(MultiMaxTest, ThreeListsTakePointwiseMax) {
+  SimilarityList out = MultiMax({
+      L({{1, 10, 1.0}}, 5.0),
+      L({{3, 6, 4.0}}, 5.0),
+      L({{5, 12, 2.0}}, 5.0),
+  });
+  EXPECT_TRUE(
+      ListsEqual(out, L({{1, 2, 1.0}, {3, 6, 4.0}, {7, 12, 2.0}}, 5.0)));
+}
+
+TEST(MultiMaxTest, ManyListsStressAgainstPairwise) {
+  std::vector<SimilarityList> lists;
+  for (int i = 0; i < 17; ++i) {
+    lists.push_back(L({{i + 1, i + 10, static_cast<double>(i + 1)}}, 20.0));
+  }
+  SimilarityList tournament = MultiMax(lists);
+  SimilarityList sequential(20.0);
+  for (const auto& l : lists) sequential = OrMerge(sequential, l);
+  EXPECT_TRUE(ListsEqual(tournament, sequential));
+}
+
+// ---------------------------------------------------------------------------
+// ClipToIntervals (table_ops helper used by the freeze join)
+
+TEST(ClipToIntervalsTest, KeepsOnlyCoveredParts) {
+  SimilarityList a = L({{1, 10, 2.0}, {20, 30, 3.0}}, 5.0);
+  SimilarityList out = ClipToIntervals(a, {{Interval{5, 8}}, {Interval{25, 40}}});
+  EXPECT_TRUE(ListsEqual(out, L({{5, 8, 2.0}, {25, 30, 3.0}}, 5.0)));
+}
+
+
+// ---------------------------------------------------------------------------
+// Complement (closed-negation extension)
+
+TEST(ComplementTest, InvertsOverBounds) {
+  SimilarityList g = L({{3, 5, 2.0}}, 5.0);
+  SimilarityList out = Complement(g, Interval{1, 8});
+  EXPECT_TRUE(ListsEqual(out, L({{1, 2, 5.0}, {3, 5, 3.0}, {6, 8, 5.0}}, 5.0)));
+}
+
+TEST(ComplementTest, FullValueEntriesVanish) {
+  SimilarityList g = L({{2, 4, 5.0}}, 5.0);
+  SimilarityList out = Complement(g, Interval{1, 6});
+  EXPECT_TRUE(ListsEqual(out, L({{1, 1, 5.0}, {5, 6, 5.0}}, 5.0)));
+}
+
+TEST(ComplementTest, EmptyInputBecomesSaturated) {
+  SimilarityList out = Complement(SimilarityList(3.0), Interval{2, 4});
+  EXPECT_TRUE(ListsEqual(out, L({{2, 4, 3.0}}, 3.0)));
+}
+
+TEST(ComplementTest, EmptyBoundsYieldEmpty) {
+  SimilarityList g = L({{1, 3, 1.0}}, 2.0);
+  EXPECT_TRUE(Complement(g, Interval{5, 4}).empty());
+}
+
+TEST(ComplementTest, IsAnInvolution) {
+  SimilarityList g = L({{2, 4, 1.0}, {7, 9, 3.0}}, 4.0);
+  const Interval bounds{1, 12};
+  EXPECT_TRUE(ListsEqual(Complement(Complement(g, bounds), bounds),
+                         OrMerge(g, SimilarityList(4.0)).Clip(bounds)));
+}
+
+TEST(ComplementTest, EntriesOutsideBoundsClipped) {
+  SimilarityList g = L({{1, 10, 1.0}}, 2.0);
+  SimilarityList out = Complement(g, Interval{4, 6});
+  EXPECT_TRUE(ListsEqual(out, L({{4, 6, 1.0}}, 2.0)));
+}
+
+}  // namespace
+}  // namespace htl

@@ -1,0 +1,148 @@
+#include "sim/sim_list.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/helpers.h"
+
+namespace htl {
+namespace {
+
+using testing::L;
+using testing::ListsEqual;
+
+TEST(SimilarityListTest, EmptyListHasNoEntries) {
+  SimilarityList list(5.0);
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.length(), 0);
+  EXPECT_EQ(list.max(), 5.0);
+  EXPECT_EQ(list.ActualAt(1), 0.0);
+  EXPECT_EQ(list.CoveredIds(), 0);
+}
+
+TEST(SimilarityListTest, FromEntriesKeepsSortedDisjointEntries) {
+  SimilarityList list = L({{1, 4, 2.0}, {6, 8, 3.0}}, 5.0);
+  ASSERT_EQ(list.length(), 2);
+  EXPECT_EQ(list.entries()[0].range, (Interval{1, 4}));
+  EXPECT_EQ(list.entries()[1].range, (Interval{6, 8}));
+  EXPECT_EQ(list.CoveredIds(), 7);
+}
+
+TEST(SimilarityListTest, FromEntriesDropsZeroEntries) {
+  ASSERT_OK_AND_ASSIGN(
+      SimilarityList list,
+      SimilarityList::FromEntries({{Interval{1, 2}, 0.0}, {Interval{4, 5}, 1.0}}, 5.0));
+  EXPECT_EQ(list.length(), 1);
+  EXPECT_EQ(list.entries()[0].range, (Interval{4, 5}));
+}
+
+TEST(SimilarityListTest, FromEntriesMergesAdjacentEqualRuns) {
+  ASSERT_OK_AND_ASSIGN(
+      SimilarityList list,
+      SimilarityList::FromEntries({{Interval{1, 3}, 2.0}, {Interval{4, 6}, 2.0}}, 5.0));
+  EXPECT_TRUE(ListsEqual(list, L({{1, 6, 2.0}}, 5.0)));
+}
+
+TEST(SimilarityListTest, FromEntriesDoesNotMergeDifferentValues) {
+  SimilarityList list = L({{1, 3, 2.0}, {4, 6, 3.0}}, 5.0);
+  EXPECT_EQ(list.length(), 2);
+}
+
+TEST(SimilarityListTest, FromEntriesRejectsOverlap) {
+  auto r = SimilarityList::FromEntries({{Interval{1, 5}, 1.0}, {Interval{5, 9}, 1.0}}, 5.0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SimilarityListTest, FromEntriesRejectsUnsorted) {
+  auto r = SimilarityList::FromEntries({{Interval{6, 9}, 1.0}, {Interval{1, 2}, 1.0}}, 5.0);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SimilarityListTest, FromEntriesRejectsEmptyInterval) {
+  auto r = SimilarityList::FromEntries({{Interval{5, 4}, 1.0}}, 5.0);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SimilarityListTest, FromEntriesRejectsActualAboveMax) {
+  auto r = SimilarityList::FromEntries({{Interval{1, 2}, 6.0}}, 5.0);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SimilarityListTest, FromEntriesRejectsNegativeMax) {
+  auto r = SimilarityList::FromEntries({}, -1.0);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SimilarityListTest, ActualAtReturnsValueInsideIntervals) {
+  SimilarityList list = L({{2, 4, 1.5}, {7, 7, 3.0}}, 5.0);
+  EXPECT_EQ(list.ActualAt(1), 0.0);
+  EXPECT_EQ(list.ActualAt(2), 1.5);
+  EXPECT_EQ(list.ActualAt(3), 1.5);
+  EXPECT_EQ(list.ActualAt(4), 1.5);
+  EXPECT_EQ(list.ActualAt(5), 0.0);
+  EXPECT_EQ(list.ActualAt(7), 3.0);
+  EXPECT_EQ(list.ActualAt(100), 0.0);
+}
+
+TEST(SimilarityListTest, ValueAtCarriesMax) {
+  SimilarityList list = L({{1, 1, 2.0}}, 8.0);
+  Sim s = list.ValueAt(1);
+  EXPECT_EQ(s.actual, 2.0);
+  EXPECT_EQ(s.max, 8.0);
+  EXPECT_DOUBLE_EQ(s.fraction(), 0.25);
+}
+
+TEST(SimilarityListTest, FractionOfZeroMaxIsZero) {
+  Sim s{0.0, 0.0};
+  EXPECT_EQ(s.fraction(), 0.0);
+}
+
+TEST(SimilarityListTest, FromDenseBuildsRuns) {
+  SimilarityList list = SimilarityList::FromDense({0, 2, 2, 0, 3}, 5.0);
+  EXPECT_TRUE(ListsEqual(list, L({{2, 3, 2.0}, {5, 5, 3.0}}, 5.0)));
+}
+
+TEST(SimilarityListTest, FromDenseWithOffset) {
+  SimilarityList list = SimilarityList::FromDense({1, 1}, 5.0, 10);
+  EXPECT_TRUE(ListsEqual(list, L({{10, 11, 1.0}}, 5.0)));
+}
+
+TEST(SimilarityListTest, FromDenseAllZeroIsEmpty) {
+  SimilarityList list = SimilarityList::FromDense({0, 0, 0}, 5.0);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(SimilarityListTest, ClipKeepsIntersection) {
+  SimilarityList list = L({{1, 10, 1.0}, {20, 30, 2.0}}, 5.0);
+  EXPECT_TRUE(ListsEqual(list.Clip(Interval{5, 25}),
+                         L({{5, 10, 1.0}, {20, 25, 2.0}}, 5.0)));
+}
+
+TEST(SimilarityListTest, ClipToEmptyBoundsIsEmpty) {
+  SimilarityList list = L({{1, 10, 1.0}}, 5.0);
+  EXPECT_TRUE(list.Clip(Interval{11, 20}).empty());
+}
+
+TEST(SimilarityListTest, ClipPreservesMax) {
+  SimilarityList list = L({{1, 10, 1.0}}, 5.0);
+  EXPECT_EQ(list.Clip(Interval{2, 3}).max(), 5.0);
+}
+
+TEST(SimilarityListTest, WithMaxReplacesMax) {
+  SimilarityList list = L({{1, 2, 1.0}}, 5.0);
+  EXPECT_EQ(list.WithMax(9.0).max(), 9.0);
+  EXPECT_EQ(list.WithMax(9.0).entries(), list.entries());
+}
+
+TEST(SimilarityListTest, EqualityComparesEntriesAndMax) {
+  EXPECT_EQ(L({{1, 2, 1.0}}, 5.0), L({{1, 2, 1.0}}, 5.0));
+  EXPECT_FALSE(L({{1, 2, 1.0}}, 5.0) == L({{1, 2, 1.0}}, 6.0));
+  EXPECT_FALSE(L({{1, 2, 1.0}}, 5.0) == L({{1, 3, 1.0}}, 5.0));
+}
+
+TEST(SimilarityListTest, ToStringIsReadable) {
+  EXPECT_EQ(L({{10, 24, 10.0}}, 20.0).ToString(), "{[10,24]:10} max=20");
+}
+
+}  // namespace
+}  // namespace htl

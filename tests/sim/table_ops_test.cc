@@ -1,0 +1,315 @@
+#include "sim/table_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/list_ops.h"
+#include "testing/helpers.h"
+
+namespace htl {
+namespace {
+
+using testing::L;
+using testing::ListsEqual;
+
+SimilarityTable::Row MakeRow(std::vector<ObjectId> objects, SimilarityList list,
+                             std::vector<ValueRange> ranges = {}) {
+  SimilarityTable::Row r;
+  r.objects = std::move(objects);
+  r.ranges = std::move(ranges);
+  r.list = std::move(list);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// JoinTables
+
+TEST(JoinTablesTest, EquiJoinOnCommonVariable) {
+  SimilarityTable t1({"x"}, {});
+  t1.AddRow(MakeRow({1}, L({{1, 5, 2.0}}, 3.0)));
+  t1.AddRow(MakeRow({2}, L({{1, 5, 1.0}}, 3.0)));
+  SimilarityTable t2({"x"}, {});
+  t2.AddRow(MakeRow({1}, L({{3, 8, 4.0}}, 5.0)));
+
+  SimilarityTable out = JoinTables(t1, 3.0, t2, 5.0, TableCombine::kAnd, 0.5);
+  ASSERT_EQ(out.object_vars(), std::vector<std::string>{"x"});
+  // Rows: combined (x=1), one-sided (x=1 from t1 — dominated but present is
+  // allowed to be pruned by dedup only when keys equal; here keys equal so
+  // they merge), one-sided (x=2), one-sided (x=1 from t2, same key merges).
+  double best_at_4_x1 = 0;
+  for (const auto& row : out.rows()) {
+    if (row.objects[0] == 1) best_at_4_x1 = std::max(best_at_4_x1, row.list.ActualAt(4));
+  }
+  EXPECT_EQ(best_at_4_x1, 6.0);  // 2 + 4 where both overlap.
+}
+
+TEST(JoinTablesTest, UnmatchedRowsSurviveWithPartialScore) {
+  SimilarityTable t1({"x"}, {});
+  t1.AddRow(MakeRow({7}, L({{1, 2, 2.0}}, 3.0)));
+  SimilarityTable t2({"x"}, {});  // Empty.
+
+  SimilarityTable out = JoinTables(t1, 3.0, t2, 5.0, TableCombine::kAnd, 0.5);
+  ASSERT_EQ(out.num_rows(), 1);
+  EXPECT_EQ(out.rows()[0].objects[0], 7);
+  EXPECT_TRUE(ListsEqual(out.rows()[0].list, L({{1, 2, 2.0}}, 8.0)));
+}
+
+TEST(JoinTablesTest, DisjointVariablesCrossJoin) {
+  SimilarityTable t1({"x"}, {});
+  t1.AddRow(MakeRow({1}, L({{1, 4, 1.0}}, 2.0)));
+  SimilarityTable t2({"y"}, {});
+  t2.AddRow(MakeRow({9}, L({{3, 6, 2.0}}, 2.0)));
+
+  SimilarityTable out = JoinTables(t1, 2.0, t2, 2.0, TableCombine::kAnd, 0.5);
+  EXPECT_EQ(out.object_vars(), (std::vector<std::string>{"x", "y"}));
+  // Combined row (1, 9) must exist with summed overlap.
+  bool found = false;
+  for (const auto& row : out.rows()) {
+    if (row.objects[0] == 1 && row.objects[1] == 9) {
+      found = true;
+      EXPECT_EQ(row.list.ActualAt(3), 3.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(JoinTablesTest, UntilKeepsRhsOnlyRows) {
+  SimilarityTable g({"x"}, {});  // g empty: until still holds where h holds.
+  SimilarityTable h({"x"}, {});
+  h.AddRow(MakeRow({1}, L({{5, 7, 3.0}}, 4.0)));
+
+  SimilarityTable out = JoinTables(g, 2.0, h, 4.0, TableCombine::kUntil, 0.5);
+  ASSERT_EQ(out.num_rows(), 1);
+  EXPECT_TRUE(ListsEqual(out.rows()[0].list, L({{5, 7, 3.0}}, 4.0)));
+}
+
+TEST(JoinTablesTest, UntilDropsLhsOnlyRows) {
+  SimilarityTable g({"x"}, {});
+  g.AddRow(MakeRow({1}, L({{1, 9, 2.0}}, 2.0)));
+  SimilarityTable h({"x"}, {});  // Empty h: until never satisfied.
+
+  SimilarityTable out = JoinTables(g, 2.0, h, 4.0, TableCombine::kUntil, 0.5);
+  EXPECT_EQ(out.num_rows(), 0);
+}
+
+TEST(JoinTablesTest, WildcardMatchesAnyBinding) {
+  SimilarityTable t1({"x"}, {});
+  t1.AddRow(MakeRow({SimilarityTable::kAnyObject}, L({{1, 4, 1.5}}, 2.0)));
+  SimilarityTable t2({"x"}, {});
+  t2.AddRow(MakeRow({3}, L({{2, 6, 2.5}}, 3.0)));
+
+  SimilarityTable out = JoinTables(t1, 2.0, t2, 3.0, TableCombine::kAnd, 0.5);
+  // The combined row must bind x=3 (concrete wins over wildcard).
+  bool found = false;
+  for (const auto& row : out.rows()) {
+    if (row.objects[0] == 3 && row.list.ActualAt(3) == 4.0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(JoinTablesTest, RangeColumnsIntersect) {
+  SimilarityTable t1({}, {"h"});
+  t1.AddRow(MakeRow({}, L({{1, 9, 1.0}}, 1.0),
+                    {ValueRange::AtMost(AttrValue(int64_t{10}))}));
+  SimilarityTable t2({}, {"h"});
+  t2.AddRow(MakeRow({}, L({{1, 9, 1.0}}, 1.0),
+                    {ValueRange::AtLeast(AttrValue(int64_t{5}))}));
+
+  SimilarityTable out = JoinTables(t1, 1.0, t2, 1.0, TableCombine::kAnd, 0.5);
+  // Expect a combined row with range [5,10] and value 2, plus the two
+  // one-sided partial rows with their original ranges and value 1.
+  bool combined = false, left_only = false, right_only = false;
+  for (const auto& row : out.rows()) {
+    const ValueRange& r = row.ranges[0];
+    if (r.Contains(AttrValue(int64_t{7})) && row.list.ActualAt(5) == 2.0) combined = true;
+    if (r.Contains(AttrValue(int64_t{2})) && row.list.ActualAt(5) == 1.0) left_only = true;
+    if (r.Contains(AttrValue(int64_t{99})) && row.list.ActualAt(5) == 1.0) {
+      right_only = true;
+    }
+  }
+  EXPECT_TRUE(combined);
+  EXPECT_TRUE(left_only);
+  EXPECT_TRUE(right_only);
+}
+
+TEST(JoinTablesTest, DedupMergesIdenticalKeys) {
+  SimilarityTable t1({"x"}, {});
+  t1.AddRow(MakeRow({1}, L({{1, 3, 2.0}}, 2.0)));
+  SimilarityTable t2({"x"}, {});
+
+  // Joining against empty t2 twice should still produce a single x=1 row.
+  SimilarityTable out = JoinTables(t1, 2.0, t2, 0.0, TableCombine::kAnd, 0.5);
+  EXPECT_EQ(out.num_rows(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// CollapseExists
+
+TEST(CollapseExistsTest, MaxMergesRowsOverQuantifiedVariable) {
+  SimilarityTable t({"x"}, {});
+  t.AddRow(MakeRow({1}, L({{1, 5, 2.0}}, 4.0)));
+  t.AddRow(MakeRow({2}, L({{3, 8, 3.0}}, 4.0)));
+
+  SimilarityTable out = CollapseExists(t, {"x"});
+  EXPECT_TRUE(out.object_vars().empty());
+  ASSERT_EQ(out.num_rows(), 1);
+  EXPECT_TRUE(ListsEqual(out.rows()[0].list,
+                         L({{1, 2, 2.0}, {3, 8, 3.0}}, 4.0)));
+}
+
+TEST(CollapseExistsTest, KeepsOtherColumns) {
+  SimilarityTable t({"x", "y"}, {});
+  t.AddRow(MakeRow({1, 9}, L({{1, 2, 1.0}}, 2.0)));
+  t.AddRow(MakeRow({2, 9}, L({{2, 3, 2.0}}, 2.0)));
+  t.AddRow(MakeRow({1, 8}, L({{5, 5, 1.0}}, 2.0)));
+
+  SimilarityTable out = CollapseExists(t, {"x"});
+  EXPECT_EQ(out.object_vars(), std::vector<std::string>{"y"});
+  EXPECT_EQ(out.num_rows(), 2);  // y=9 merged, y=8 separate.
+}
+
+TEST(CollapseExistsTest, UnknownVariableIsNoOp) {
+  SimilarityTable t({"x"}, {});
+  t.AddRow(MakeRow({1}, L({{1, 2, 1.0}}, 2.0)));
+  SimilarityTable out = CollapseExists(t, {"zzz"});
+  EXPECT_EQ(out.object_vars(), std::vector<std::string>{"x"});
+  EXPECT_EQ(out.num_rows(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// FreezeJoin
+
+ValueTable MakeHeightValues() {
+  // height(x): object 1 has height 3 on [1,4] and 7 on [5,9]; object 2 has
+  // height 5 on [2,6].
+  ValueTable vt({"x"});
+  vt.AddRow({{1}, AttrValue(int64_t{3}), {Interval{1, 4}}});
+  vt.AddRow({{1}, AttrValue(int64_t{7}), {Interval{5, 9}}});
+  vt.AddRow({{2}, AttrValue(int64_t{5}), {Interval{2, 6}}});
+  return vt;
+}
+
+TEST(FreezeJoinTest, SelectsRowsByValueInRange) {
+  SimilarityTable t({"x"}, {"h"});
+  // Row valid for h < 6, any segment in [1,9].
+  t.AddRow(MakeRow({1}, L({{1, 9, 2.0}}, 2.0),
+                   {ValueRange::LessThan(AttrValue(int64_t{6}))}));
+
+  SimilarityTable out = FreezeJoin(t, "h", MakeHeightValues());
+  EXPECT_TRUE(out.attr_vars().empty());
+  // Only height value 3 (object 1) lies in (-inf, 6) for x=1; the list is
+  // clipped to where height==3, i.e. [1,4].
+  ASSERT_EQ(out.num_rows(), 1);
+  EXPECT_EQ(out.rows()[0].objects[0], 1);
+  EXPECT_TRUE(ListsEqual(out.rows()[0].list, L({{1, 4, 2.0}}, 2.0)));
+}
+
+TEST(FreezeJoinTest, MultipleMatchingValuesMaxMerge) {
+  SimilarityTable t({"x"}, {"h"});
+  t.AddRow(MakeRow({1}, L({{1, 9, 2.0}}, 2.0), {ValueRange::All()
+                                                    .Intersect(ValueRange::AtLeast(
+                                                        AttrValue(int64_t{0})))}));
+
+  SimilarityTable out = FreezeJoin(t, "h", MakeHeightValues());
+  // Both height values of object 1 match [0, inf): clip to [1,4] ∪ [5,9],
+  // dedup merges them into one row covering [1,9].
+  ASSERT_EQ(out.num_rows(), 1);
+  EXPECT_TRUE(ListsEqual(out.rows()[0].list, L({{1, 9, 2.0}}, 2.0)));
+}
+
+TEST(FreezeJoinTest, UnconstrainedRangePassesThrough) {
+  SimilarityTable t({"x"}, {"h"});
+  t.AddRow(MakeRow({1}, L({{1, 20, 2.0}}, 2.0), {ValueRange::All()}));
+
+  SimilarityTable out = FreezeJoin(t, "h", MakeHeightValues());
+  // h unconstrained: the value of the attribute is irrelevant, including
+  // segments where it is undefined (ids 10-20).
+  ASSERT_EQ(out.num_rows(), 1);
+  EXPECT_TRUE(ListsEqual(out.rows()[0].list, L({{1, 20, 2.0}}, 2.0)));
+}
+
+TEST(FreezeJoinTest, MissingColumnIsNoOp) {
+  SimilarityTable t({"x"}, {});
+  t.AddRow(MakeRow({1}, L({{1, 2, 1.0}}, 1.0)));
+  SimilarityTable out = FreezeJoin(t, "h", MakeHeightValues());
+  EXPECT_EQ(out.num_rows(), 1);
+}
+
+TEST(FreezeJoinTest, ObjectBindingsMustBeCompatible) {
+  SimilarityTable t({"x"}, {"h"});
+  t.AddRow(MakeRow({2}, L({{1, 9, 1.0}}, 1.0),
+                   {ValueRange::Exactly(AttrValue(int64_t{3}))}));
+  SimilarityTable out = FreezeJoin(t, "h", MakeHeightValues());
+  // Object 2 never has height 3.
+  EXPECT_EQ(out.num_rows(), 0);
+}
+
+TEST(FreezeJoinTest, SegmentAttributeValueTable) {
+  // Value table with no object variables (segment attribute).
+  ValueTable vt{std::vector<std::string>{}};
+  vt.AddRow({{}, AttrValue(int64_t{10}), {Interval{1, 3}}});
+  vt.AddRow({{}, AttrValue(int64_t{20}), {Interval{4, 6}}});
+
+  SimilarityTable t({}, {"d"});
+  t.AddRow(MakeRow({}, L({{1, 6, 1.0}}, 1.0),
+                   {ValueRange::GreaterThan(AttrValue(int64_t{15}))}));
+  SimilarityTable out = FreezeJoin(t, "d", vt);
+  ASSERT_EQ(out.num_rows(), 1);
+  EXPECT_TRUE(ListsEqual(out.rows()[0].list, L({{4, 6, 1.0}}, 1.0)));
+}
+
+// ---------------------------------------------------------------------------
+// MapLists
+
+TEST(MapListsTest, AppliesFunctionAndDropsEmpties) {
+  SimilarityTable t({"x"}, {});
+  t.AddRow(MakeRow({1}, L({{1, 1, 1.0}}, 2.0)));
+  t.AddRow(MakeRow({2}, L({{5, 9, 1.0}}, 2.0)));
+
+  SimilarityTable out =
+      MapLists(t, [](const SimilarityList& l) { return NextShift(l); });
+  // Row x=1 shifts [1,1] into nothing and is dropped.
+  ASSERT_EQ(out.num_rows(), 1);
+  EXPECT_EQ(out.rows()[0].objects[0], 2);
+  EXPECT_TRUE(ListsEqual(out.rows()[0].list, L({{4, 8, 1.0}}, 2.0)));
+}
+
+// ---------------------------------------------------------------------------
+// SimilarityTable basics
+
+TEST(SimilarityTableTest, FromListAndToListRoundTrip) {
+  SimilarityList list = L({{1, 4, 2.0}}, 5.0);
+  SimilarityTable t = SimilarityTable::FromList(list);
+  EXPECT_EQ(t.num_rows(), 1);
+  EXPECT_TRUE(ListsEqual(t.ToList(5.0), list));
+}
+
+TEST(SimilarityTableTest, EmptyListMakesEmptyTable) {
+  SimilarityTable t = SimilarityTable::FromList(SimilarityList(5.0));
+  EXPECT_EQ(t.num_rows(), 0);
+  EXPECT_EQ(t.ToList(5.0).max(), 5.0);
+}
+
+TEST(SimilarityTableTest, AddRowDropsEmptyLists) {
+  SimilarityTable t({"x"}, {});
+  t.AddRow(MakeRow({1}, SimilarityList(5.0)));
+  EXPECT_EQ(t.num_rows(), 0);
+}
+
+TEST(SimilarityTableTest, ColumnLookup) {
+  SimilarityTable t({"x", "y"}, {"h"});
+  EXPECT_EQ(t.ObjectColumn("x"), 0);
+  EXPECT_EQ(t.ObjectColumn("y"), 1);
+  EXPECT_EQ(t.ObjectColumn("z"), -1);
+  EXPECT_EQ(t.AttrColumn("h"), 0);
+  EXPECT_EQ(t.AttrColumn("x"), -1);
+}
+
+TEST(SimilarityTableTest, MaxSimFallsBackWhenEmpty) {
+  SimilarityTable t({"x"}, {});
+  EXPECT_EQ(t.MaxSim(7.0), 7.0);
+  t.AddRow(MakeRow({1}, L({{1, 1, 1.0}}, 3.0)));
+  EXPECT_EQ(t.MaxSim(7.0), 3.0);
+}
+
+}  // namespace
+}  // namespace htl

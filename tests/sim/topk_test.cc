@@ -1,0 +1,84 @@
+#include "sim/topk.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/helpers.h"
+
+namespace htl {
+namespace {
+
+using testing::L;
+
+TEST(TopKTest, ReturnsHighestValuesFirst) {
+  SimilarityList list = L({{1, 2, 1.0}, {5, 5, 9.0}, {8, 9, 4.0}}, 10.0);
+  auto top = TopKSegments(list, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 5);
+  EXPECT_EQ(top[0].sim.actual, 9.0);
+  EXPECT_EQ(top[1].id, 8);
+  EXPECT_EQ(top[2].id, 9);
+}
+
+TEST(TopKTest, ExpandsIntervalsById) {
+  SimilarityList list = L({{10, 14, 3.0}}, 5.0);
+  auto top = TopKSegments(list, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 10);
+  EXPECT_EQ(top[1].id, 11);
+  EXPECT_EQ(top[2].id, 12);
+}
+
+TEST(TopKTest, FewerThanKWhenListSmall) {
+  SimilarityList list = L({{1, 1, 2.0}}, 5.0);
+  EXPECT_EQ(TopKSegments(list, 10).size(), 1u);
+}
+
+TEST(TopKTest, ZeroOrNegativeKIsEmpty) {
+  SimilarityList list = L({{1, 5, 2.0}}, 5.0);
+  EXPECT_TRUE(TopKSegments(list, 0).empty());
+  EXPECT_TRUE(TopKSegments(list, -3).empty());
+}
+
+TEST(TopKTest, TiesBreakByAscendingId) {
+  SimilarityList list = L({{7, 7, 2.0}, {9, 9, 2.0}}, 5.0);
+  auto top = TopKSegments(list, 2);
+  EXPECT_EQ(top[0].id, 7);
+  EXPECT_EQ(top[1].id, 9);
+}
+
+TEST(TopKTest, EmptyListYieldsNothing) {
+  EXPECT_TRUE(TopKSegments(SimilarityList(5.0), 3).empty());
+}
+
+TEST(RankedEntriesTest, SortsByDescendingActual) {
+  // The paper's Table 4 ordering: rows sorted by similarity, ties by id.
+  SimilarityList list = L(
+      {
+          {1, 4, 12.382},
+          {5, 5, 9.787},
+          {6, 6, 11.047},
+          {7, 7, 9.787},
+          {8, 8, 11.047},
+          {9, 9, 9.787},
+          {10, 44, 1.26},
+          {47, 49, 6.26},
+      },
+      16.047);
+  auto ranked = RankedEntries(list);
+  ASSERT_EQ(ranked.size(), 8u);
+  EXPECT_EQ(ranked[0].entry.range, (Interval{1, 4}));
+  EXPECT_EQ(ranked[1].entry.range, (Interval{6, 6}));
+  EXPECT_EQ(ranked[2].entry.range, (Interval{8, 8}));
+  EXPECT_EQ(ranked[3].entry.range, (Interval{5, 5}));
+  EXPECT_EQ(ranked[4].entry.range, (Interval{7, 7}));
+  EXPECT_EQ(ranked[5].entry.range, (Interval{9, 9}));
+  EXPECT_EQ(ranked[6].entry.range, (Interval{47, 49}));
+  EXPECT_EQ(ranked[7].entry.range, (Interval{10, 44}));
+}
+
+TEST(RankedEntriesTest, EmptyList) {
+  EXPECT_TRUE(RankedEntries(SimilarityList(1.0)).empty());
+}
+
+}  // namespace
+}  // namespace htl

@@ -1,0 +1,130 @@
+#include "sim/value_range.h"
+
+#include <gtest/gtest.h>
+
+namespace htl {
+namespace {
+
+TEST(ValueRangeTest, AllContainsEverything) {
+  ValueRange all = ValueRange::All();
+  EXPECT_FALSE(all.IsEmpty());
+  EXPECT_TRUE(all.Contains(AttrValue(int64_t{5})));
+  EXPECT_TRUE(all.Contains(AttrValue(-3.5)));
+  EXPECT_TRUE(all.Contains(AttrValue("abc")));
+  EXPECT_TRUE(all.Contains(AttrValue()));  // Even null: no bounds.
+}
+
+TEST(ValueRangeTest, EmptyContainsNothing) {
+  ValueRange empty = ValueRange::Empty();
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_FALSE(empty.Contains(AttrValue(int64_t{0})));
+  EXPECT_FALSE(empty.Contains(AttrValue(int64_t{1})));
+}
+
+TEST(ValueRangeTest, ExactlyMatchesOnlyThatValue) {
+  ValueRange r = ValueRange::Exactly(AttrValue(int64_t{7}));
+  EXPECT_TRUE(r.Contains(AttrValue(int64_t{7})));
+  EXPECT_TRUE(r.Contains(AttrValue(7.0)));  // Numeric equality across kinds.
+  EXPECT_FALSE(r.Contains(AttrValue(int64_t{8})));
+  EXPECT_FALSE(r.Contains(AttrValue()));
+  EXPECT_FALSE(r.IsEmpty());
+}
+
+TEST(ValueRangeTest, ExactlyStringValue) {
+  ValueRange r = ValueRange::Exactly(AttrValue("western"));
+  EXPECT_TRUE(r.Contains(AttrValue("western")));
+  EXPECT_FALSE(r.Contains(AttrValue("eastern")));
+  EXPECT_FALSE(r.Contains(AttrValue(int64_t{1})));
+}
+
+TEST(ValueRangeTest, LessThanIsOpen) {
+  ValueRange r = ValueRange::LessThan(AttrValue(int64_t{5}));
+  EXPECT_TRUE(r.Contains(AttrValue(int64_t{4})));
+  EXPECT_FALSE(r.Contains(AttrValue(int64_t{5})));
+}
+
+TEST(ValueRangeTest, AtMostIsClosed) {
+  ValueRange r = ValueRange::AtMost(AttrValue(int64_t{5}));
+  EXPECT_TRUE(r.Contains(AttrValue(int64_t{5})));
+  EXPECT_FALSE(r.Contains(AttrValue(int64_t{6})));
+}
+
+TEST(ValueRangeTest, GreaterThanIsOpen) {
+  ValueRange r = ValueRange::GreaterThan(AttrValue(int64_t{5}));
+  EXPECT_FALSE(r.Contains(AttrValue(int64_t{5})));
+  EXPECT_TRUE(r.Contains(AttrValue(int64_t{6})));
+}
+
+TEST(ValueRangeTest, AtLeastIsClosed) {
+  ValueRange r = ValueRange::AtLeast(AttrValue(int64_t{5}));
+  EXPECT_TRUE(r.Contains(AttrValue(int64_t{5})));
+  EXPECT_FALSE(r.Contains(AttrValue(int64_t{4})));
+}
+
+TEST(ValueRangeTest, IntersectBounds) {
+  ValueRange r = ValueRange::AtLeast(AttrValue(int64_t{3}))
+                     .Intersect(ValueRange::LessThan(AttrValue(int64_t{7})));
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_FALSE(r.Contains(AttrValue(int64_t{2})));
+  EXPECT_TRUE(r.Contains(AttrValue(int64_t{3})));
+  EXPECT_TRUE(r.Contains(AttrValue(int64_t{6})));
+  EXPECT_FALSE(r.Contains(AttrValue(int64_t{7})));
+}
+
+TEST(ValueRangeTest, IntersectTightensToStricterBound) {
+  // [5, inf) ∩ (5, inf) = (5, inf).
+  ValueRange r = ValueRange::AtLeast(AttrValue(int64_t{5}))
+                     .Intersect(ValueRange::GreaterThan(AttrValue(int64_t{5})));
+  EXPECT_FALSE(r.Contains(AttrValue(int64_t{5})));
+  EXPECT_TRUE(r.Contains(AttrValue(int64_t{6})));
+}
+
+TEST(ValueRangeTest, DisjointIntersectionIsEmpty) {
+  ValueRange r = ValueRange::AtMost(AttrValue(int64_t{3}))
+                     .Intersect(ValueRange::AtLeast(AttrValue(int64_t{5})));
+  EXPECT_TRUE(r.IsEmpty());
+}
+
+TEST(ValueRangeTest, TouchingOpenBoundsAreEmpty) {
+  // (5, inf) ∩ (-inf, 5) and [5,5] with one open side.
+  ValueRange r = ValueRange::GreaterThan(AttrValue(int64_t{5}))
+                     .Intersect(ValueRange::LessThan(AttrValue(int64_t{5})));
+  EXPECT_TRUE(r.IsEmpty());
+  ValueRange half = ValueRange::GreaterThan(AttrValue(int64_t{5}))
+                        .Intersect(ValueRange::AtMost(AttrValue(int64_t{5})));
+  EXPECT_TRUE(half.IsEmpty());
+}
+
+TEST(ValueRangeTest, TouchingClosedBoundsArePoint) {
+  ValueRange r = ValueRange::AtLeast(AttrValue(int64_t{5}))
+                     .Intersect(ValueRange::AtMost(AttrValue(int64_t{5})));
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_TRUE(r.Contains(AttrValue(int64_t{5})));
+}
+
+TEST(ValueRangeTest, EqualityAndToString) {
+  EXPECT_EQ(ValueRange::Exactly(AttrValue(int64_t{3})),
+            ValueRange::Exactly(AttrValue(int64_t{3})));
+  EXPECT_FALSE(ValueRange::Exactly(AttrValue(int64_t{3})) ==
+               ValueRange::AtLeast(AttrValue(int64_t{3})));
+  EXPECT_EQ(ValueRange::All().ToString(), "(-inf,+inf)");
+  EXPECT_EQ(ValueRange::Exactly(AttrValue(int64_t{3})).ToString(), "[3,3]");
+  EXPECT_EQ(ValueRange::LessThan(AttrValue(int64_t{2})).ToString(), "(-inf,2)");
+}
+
+TEST(ValueRangeTest, DoubleBounds) {
+  ValueRange r = ValueRange::GreaterThan(AttrValue(2.5));
+  EXPECT_TRUE(r.Contains(AttrValue(int64_t{3})));
+  EXPECT_FALSE(r.Contains(AttrValue(2.5)));
+}
+
+TEST(ValueRangeTest, StringOrderingBounds) {
+  ValueRange r = ValueRange::AtLeast(AttrValue("m"));
+  EXPECT_TRUE(r.Contains(AttrValue("zebra")));
+  EXPECT_FALSE(r.Contains(AttrValue("apple")));
+  // Numeric values never satisfy string bounds.
+  EXPECT_FALSE(r.Contains(AttrValue(int64_t{5})));
+}
+
+}  // namespace
+}  // namespace htl

@@ -1,0 +1,58 @@
+#include "sim/value_table.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/similarity.h"
+#include "testing/helpers.h"
+
+namespace htl {
+namespace {
+
+TEST(ValueTableTest, SchemaAndRows) {
+  ValueTable vt({"x"});
+  EXPECT_EQ(vt.object_vars(), std::vector<std::string>{"x"});
+  EXPECT_EQ(vt.num_rows(), 0);
+  vt.AddRow({{7}, AttrValue(int64_t{3}), {Interval{1, 4}}});
+  vt.AddRow({{7}, AttrValue(int64_t{5}), {Interval{5, 9}, Interval{12, 12}}});
+  EXPECT_EQ(vt.num_rows(), 2);
+  EXPECT_EQ(vt.rows()[1].where.size(), 2u);
+}
+
+TEST(ValueTableTest, EmptyWhereRowsDropped) {
+  ValueTable vt({"x"});
+  vt.AddRow({{7}, AttrValue(int64_t{3}), {}});
+  EXPECT_EQ(vt.num_rows(), 0);
+}
+
+TEST(ValueTableTest, ToStringIsReadable) {
+  ValueTable vt({"x"});
+  vt.AddRow({{7}, AttrValue(int64_t{3}), {Interval{1, 4}}});
+  const std::string text = vt.ToString();
+  EXPECT_NE(text.find("values objects=(x)"), std::string::npos);
+  EXPECT_NE(text.find("(7) = 3 @ [1,4]"), std::string::npos);
+}
+
+TEST(ValueTableTest, NoVariableTable) {
+  ValueTable vt{std::vector<std::string>{}};
+  vt.AddRow({{}, AttrValue("western"), {Interval{1, 50}}});
+  EXPECT_EQ(vt.num_rows(), 1);
+  EXPECT_EQ(vt.rows()[0].value, AttrValue("western"));
+}
+
+TEST(SimTest, ToStringShowsPair) {
+  EXPECT_EQ((Sim{2.5, 10.0}).ToString(), "(2.5/10)");
+  EXPECT_EQ((Sim{}).ToString(), "(0/0)");
+}
+
+TEST(SimTest, FractionHandlesZeroMax) {
+  EXPECT_EQ((Sim{0.0, 0.0}).fraction(), 0.0);
+  EXPECT_DOUBLE_EQ((Sim{1.0, 4.0}).fraction(), 0.25);
+}
+
+TEST(SimTest, Equality) {
+  EXPECT_EQ((Sim{1, 2}), (Sim{1, 2}));
+  EXPECT_FALSE((Sim{1, 2}) == (Sim{1, 3}));
+}
+
+}  // namespace
+}  // namespace htl

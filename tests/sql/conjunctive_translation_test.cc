@@ -1,0 +1,197 @@
+// The full conjunctive SQL translation: freeze quantifiers realized as
+// relational value-table joins (section 3.3 in SQL — "any conjunctive
+// formula", section 4). Cross-checked against the direct engine on the
+// paper's formula (C) pattern, where attribute-variable constraints are
+// one-sided (the case where the translation is exact).
+
+#include <gtest/gtest.h>
+
+#include "engine/direct_engine.h"
+#include "htl/binder.h"
+#include "htl/parser.h"
+#include "picture/atomic.h"
+#include "picture/picture_system.h"
+#include "sql/bridge.h"
+#include "sql/sql_system.h"
+#include "testing/helpers.h"
+
+namespace htl {
+namespace {
+
+using testing::L;
+using testing::ListsEqual;
+
+// A flat video with two airplanes whose heights change over 8 segments.
+VideoTree MakeAltitudeVideo() {
+  VideoTree v = VideoTree::Flat(8);
+  const int64_t heights_a[] = {100, 200, 150, 400, 0, 0, 0, 0};   // 0 = absent.
+  const int64_t heights_b[] = {0, 0, 900, 600, 600, 300, 0, 0};
+  for (SegmentId s = 1; s <= 8; ++s) {
+    if (heights_a[s - 1] > 0) {
+      v.MutableMeta(2, s).AddObject({1,
+                                     {{"type", AttrValue("airplane")},
+                                      {"height", AttrValue(heights_a[s - 1])}}});
+    }
+    if (heights_b[s - 1] > 0) {
+      v.MutableMeta(2, s).AddObject({2,
+                                     {{"type", AttrValue("airplane")},
+                                      {"height", AttrValue(heights_b[s - 1])}}});
+    }
+  }
+  return v;
+}
+
+// Extracts the two atomic pieces of formula (C) as picture-system tables:
+//   q1(z)    = present(z) and type(z) = 'airplane'
+//   q2(z, h) = present(z) and height(z) > h
+struct FormulaCInputs {
+  std::map<std::string, sql::SqlSystem::TableInput> predicates;
+  std::map<std::string, ValueTable> values;
+};
+
+FormulaCInputs ExtractInputs(PictureSystem& pictures, int level) {
+  FormulaCInputs out;
+  {
+    auto parsed = ParseFormula("present(z) and type(z) = 'airplane'");
+    auto atomic = ExtractAtomic(*parsed.value());
+    auto table = pictures.Query(level, atomic.value());
+    out.predicates["q1"] = {table.value(), atomic.value().MaxWeight()};
+  }
+  {
+    // Build q2 by hand (h is an attribute variable).
+    AtomicFormula atomic;
+    Constraint present;
+    present.kind = Constraint::Kind::kPresent;
+    present.object_var = "z";
+    Constraint higher;
+    higher.kind = Constraint::Kind::kCompare;
+    higher.lhs = AttrTerm::AttrOf("height", "z");
+    higher.op = CompareOp::kGt;
+    higher.rhs = AttrTerm::Variable("h");
+    atomic.constraints = {present, higher};
+    auto table = pictures.Query(level, atomic);
+    out.predicates["q2"] = {table.value(), atomic.MaxWeight()};
+  }
+  out.values["height(z)"] =
+      pictures.Values(level, AttrTerm::AttrOf("height", "z")).value();
+  return out;
+}
+
+TEST(ConjunctiveSqlTest, FormulaCMatchesDirectEngine) {
+  VideoTree v = MakeAltitudeVideo();
+  PictureSystem pictures(&v);
+  FormulaCInputs inputs = ExtractInputs(pictures, 2);
+
+  // The named-predicate skeleton of formula (C).
+  auto skeleton = ParseFormula(
+      "exists z (q1(z) and [h <- height(z)] eventually q2(z))");
+  ASSERT_OK(skeleton.status());
+  sql::SqlSystem sys;
+  ASSERT_OK_AND_ASSIGN(
+      SimilarityList via_sql,
+      sys.EvaluateConjunctive(*skeleton.value(), inputs.predicates, inputs.values,
+                              v.NumSegments(2)));
+
+  // The real formula (C) through the direct engine.
+  auto real = ParseFormula(
+      "exists z (present(z) and type(z) = 'airplane' and "
+      "[h <- height(z)] eventually (present(z) and height(z) > h))");
+  ASSERT_OK(real.status());
+  ASSERT_OK(Bind(real.value().get()));
+  DirectEngine engine(&v);
+  ASSERT_OK_AND_ASSIGN(SimilarityList direct, engine.EvaluateList(2, *real.value()));
+
+  EXPECT_TRUE(ListsEqual(via_sql, direct));
+}
+
+TEST(ConjunctiveSqlTest, FreezeOverSegmentAttribute) {
+  // [d <- duration] eventually q(d): q's rows constrain d; exact match when
+  // a later segment's score-table row admits the captured duration.
+  VideoTree v = VideoTree::Flat(5);
+  for (SegmentId s = 1; s <= 5; ++s) {
+    v.MutableMeta(2, s).SetAttribute("duration", AttrValue(s * 10));
+  }
+  PictureSystem pictures(&v);
+  // q = duration > d (segment attribute vs attribute variable).
+  AtomicFormula atomic;
+  Constraint c;
+  c.kind = Constraint::Kind::kCompare;
+  c.lhs = AttrTerm::SegmentAttr("duration");
+  c.op = CompareOp::kGt;
+  c.rhs = AttrTerm::Variable("d");
+  atomic.constraints = {c};
+  ASSERT_OK_AND_ASSIGN(SimilarityTable q_table, pictures.Query(2, atomic));
+  ASSERT_OK_AND_ASSIGN(ValueTable values,
+                       pictures.Values(2, AttrTerm::SegmentAttr("duration")));
+
+  auto skeleton = ParseFormula("[d <- duration] eventually q()");
+  ASSERT_OK(skeleton.status());
+  sql::SqlSystem sys;
+  ASSERT_OK_AND_ASSIGN(
+      SimilarityList via_sql,
+      sys.EvaluateConjunctive(*skeleton.value(), {{"q", {q_table, 1.0}}},
+                              {{"duration", values}}, 5));
+
+  auto real = ParseFormula("[d <- duration] eventually (duration > d)");
+  ASSERT_OK(real.status());
+  ASSERT_OK(Bind(real.value().get()));
+  DirectEngine engine(&v);
+  ASSERT_OK_AND_ASSIGN(SimilarityList direct, engine.EvaluateList(2, *real.value()));
+  EXPECT_TRUE(ListsEqual(via_sql, direct));
+  // Durations rise strictly, so every segment but the last sees a higher one.
+  EXPECT_TRUE(ListsEqual(direct, L({{1, 4, 1.0}}, 1.0)));
+}
+
+TEST(ConjunctiveSqlTest, UntilOverAttrVarsRejected) {
+  auto skeleton = ParseFormula("exists z ([h <- height(z)] (q2(z) until q2(z)))");
+  ASSERT_OK(skeleton.status());
+  sql::SqlSystem sys;
+  SimilarityTable t({"z"}, {"h"});
+  auto r = sys.EvaluateConjunctive(*skeleton.value(), {{"q2", {t, 2.0}}},
+                                   {{"height(z)", ValueTable({"z"})}}, 5);
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(ConjunctiveSqlTest, MissingValueTableIsNotFound) {
+  auto skeleton = ParseFormula("exists z ([h <- height(z)] eventually q2(z))");
+  ASSERT_OK(skeleton.status());
+  sql::SqlSystem sys;
+  SimilarityTable t({"z"}, {"h"});
+  auto r = sys.EvaluateConjunctive(*skeleton.value(), {{"q2", {t, 2.0}}}, {}, 5);
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ConjunctiveSqlTest, NonIntegerBoundsRejected) {
+  SimilarityTable t({}, {"h"});
+  SimilarityTable::Row row;
+  row.ranges = {ValueRange::LessThan(AttrValue(2.5))};
+  row.list = L({{1, 2, 1.0}}, 1.0);
+  t.AddRow(std::move(row));
+  auto relation = sql::TableFromSimilarityTable(t);
+  EXPECT_EQ(relation.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConjunctiveSqlTest, OpenIntegerBoundsNormalize) {
+  SimilarityTable t({}, {"h"});
+  SimilarityTable::Row row;
+  row.ranges = {ValueRange::GreaterThan(AttrValue(int64_t{4}))
+                    .Intersect(ValueRange::LessThan(AttrValue(int64_t{9})))};
+  row.list = L({{1, 2, 1.0}}, 1.0);
+  t.AddRow(std::move(row));
+  ASSERT_OK_AND_ASSIGN(sql::Table relation, sql::TableFromSimilarityTable(t));
+  ASSERT_EQ(relation.num_rows(), 1);
+  EXPECT_EQ(relation.rows()[0][relation.ColumnIndex("h_lo")], sql::Value(int64_t{5}));
+  EXPECT_EQ(relation.rows()[0][relation.ColumnIndex("h_hi")], sql::Value(int64_t{8}));
+}
+
+TEST(ConjunctiveSqlTest, ValueTableRelationShape) {
+  ValueTable vt({"z"});
+  vt.AddRow({{7}, AttrValue(int64_t{3}), {Interval{1, 4}, Interval{6, 6}}});
+  sql::Table relation = sql::TableFromValueTable(vt);
+  EXPECT_EQ(relation.columns(),
+            (std::vector<std::string>{"z", "val", "beg", "end"}));
+  EXPECT_EQ(relation.num_rows(), 2);  // One row per interval.
+}
+
+}  // namespace
+}  // namespace htl

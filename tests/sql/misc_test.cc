@@ -1,0 +1,86 @@
+// Odds and ends of the SQL substrate: executor counters, printers, and the
+// translation's script rendering.
+
+#include <gtest/gtest.h>
+
+#include "htl/parser.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "sql/translator.h"
+#include "testing/helpers.h"
+
+namespace htl::sql {
+namespace {
+
+TEST(ExecutorStatsTest, CountsStatementsAndRows) {
+  Catalog catalog;
+  Executor exec(&catalog);
+  ASSERT_OK(exec.ExecuteSql("CREATE TABLE t (a)").status());
+  ASSERT_OK(exec.ExecuteSql("INSERT INTO t VALUES (1), (2), (3)").status());
+  ASSERT_OK(exec.ExecuteSql("SELECT a FROM t WHERE a >= 2").status());
+  EXPECT_EQ(exec.stats().statements, 3);
+  EXPECT_GE(exec.stats().rows_materialized, 5);  // 3 inserted + 2 selected.
+  exec.ResetStats();
+  EXPECT_EQ(exec.stats().statements, 0);
+}
+
+TEST(ExecutorStatsTest, JoinStrategyCounters) {
+  Catalog catalog;
+  Table t({"a"});
+  t.AddRow({Value(int64_t{1})});
+  catalog.CreateOrReplace("t", std::move(t));
+  Executor exec(&catalog);
+  ASSERT_OK(exec.ExecuteSql("SELECT x.a FROM t x JOIN t y ON y.a = x.a").status());
+  ASSERT_OK(
+      exec.ExecuteSql("SELECT x.a FROM t x JOIN t y ON y.a >= x.a").status());
+  ASSERT_OK(exec.ExecuteSql("SELECT x.a FROM t x, t y").status());
+  EXPECT_EQ(exec.stats().hash_joins, 1);
+  EXPECT_EQ(exec.stats().range_joins, 1);
+  EXPECT_EQ(exec.stats().loop_joins, 1);
+}
+
+TEST(SqlTablePrinterTest, RendersRowsAndTruncates) {
+  Table t({"a", "b"});
+  for (int64_t i = 0; i < 5; ++i) t.AddRow({Value(i), Value("x")});
+  const std::string full = t.ToString();
+  EXPECT_NE(full.find("a | b"), std::string::npos);
+  EXPECT_NE(full.find("4 | 'x'"), std::string::npos);
+  const std::string cut = t.ToString(2);
+  EXPECT_NE(cut.find("more rows"), std::string::npos);
+  EXPECT_EQ(cut.find("4 | 'x'"), std::string::npos);
+}
+
+TEST(SqlExprPrinterTest, RendersOperatorsAndCalls) {
+  auto stmt = ParseStatement(
+      "SELECT COUNT(*), LEAST(a, 1) FROM t WHERE NOT (a + 1 = 2) AND b IS NOT NULL");
+  ASSERT_OK(stmt.status());
+  EXPECT_EQ(stmt.value().select->items[0].expr->ToString(), "count(*)");
+  EXPECT_EQ(stmt.value().select->items[1].expr->ToString(), "least(a, 1)");
+  const std::string where = stmt.value().select->where->ToString();
+  EXPECT_NE(where.find("not (((a + 1) = 2))"), std::string::npos);
+  EXPECT_NE(where.find("b is not null"), std::string::npos);
+}
+
+TEST(TranslationScriptTest, JoinsStatementsWithSemicolons) {
+  auto f = ParseFormula("p() and q()");
+  ASSERT_OK(f.status());
+  ASSERT_OK_AND_ASSIGN(Translation tr,
+                       TranslateToSql(*f.value(), {{"p", 1.0}, {"q", 1.0}}, "s"));
+  const std::string script = tr.Script();
+  EXPECT_NE(script.find("DROP TABLE IF EXISTS s_t1;"), std::string::npos);
+  EXPECT_NE(script.find("CREATE TABLE"), std::string::npos);
+  // Script statement count matches the statements vector.
+  size_t semis = 0;
+  for (char c : script) semis += c == ';';
+  EXPECT_EQ(semis, tr.statements.size() - 1);
+}
+
+TEST(TranslationScriptTest, InputsRegisteredOnce) {
+  auto f = ParseFormula("p() and (p() until p())");
+  ASSERT_OK(f.status());
+  ASSERT_OK_AND_ASSIGN(Translation tr, TranslateToSql(*f.value(), {{"p", 2.0}}, "s"));
+  EXPECT_EQ(tr.inputs.size(), 1u);  // p registered once despite 3 uses.
+}
+
+}  // namespace
+}  // namespace htl::sql

@@ -1,0 +1,196 @@
+#include "sql/translator.h"
+
+#include <gtest/gtest.h>
+
+#include "htl/parser.h"
+#include "sql/bridge.h"
+#include "sql/parser.h"
+#include "sim/list_ops.h"
+#include "sql/sql_system.h"
+#include "testing/helpers.h"
+#include "workload/casablanca.h"
+
+namespace htl::sql {
+namespace {
+
+using ::htl::testing::L;
+using ::htl::testing::ListsEqual;
+
+FormulaPtr Parse(std::string_view text) {
+  auto r = ParseFormula(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+// ---------------------------------------------------------------------------
+// Bridge round trips.
+
+TEST(BridgeTest, IntervalTableRoundTrip) {
+  SimilarityList list = L({{1, 4, 2.0}, {9, 9, 1.5}}, 5.0);
+  Table t = TableFromList(list);
+  EXPECT_EQ(t.num_rows(), 2);
+  ASSERT_OK_AND_ASSIGN(SimilarityList back, ListFromIntervalTable(t, 5.0));
+  EXPECT_TRUE(ListsEqual(back, list));
+}
+
+TEST(BridgeTest, ExpandedTableRoundTrip) {
+  SimilarityList list = L({{1, 4, 2.0}, {9, 9, 1.5}}, 5.0);
+  Table t = ExpandedTableFromList(list);
+  EXPECT_EQ(t.num_rows(), 5);
+  ASSERT_OK_AND_ASSIGN(SimilarityList back, ListFromExpandedTable(t, 5.0));
+  EXPECT_TRUE(ListsEqual(back, list));
+}
+
+TEST(BridgeTest, ExpandedTableRejectsDuplicates) {
+  Table t({"id", "act"});
+  t.AddRow({Value(int64_t{1}), Value(1.0)});
+  t.AddRow({Value(int64_t{1}), Value(2.0)});
+  EXPECT_FALSE(ListFromExpandedTable(t, 5.0).ok());
+}
+
+TEST(BridgeTest, SeqTable) {
+  Table t = MakeSeqTable(4);
+  EXPECT_EQ(t.num_rows(), 4);
+  EXPECT_EQ(t.columns(), std::vector<std::string>{"id"});
+  EXPECT_EQ(t.rows()[3][0], Value(int64_t{4}));
+}
+
+// ---------------------------------------------------------------------------
+// Translation structure.
+
+TEST(TranslatorTest, LeafRegistersInput) {
+  FormulaPtr f = Parse("p1()");
+  ASSERT_OK_AND_ASSIGN(Translation tr, TranslateToSql(*f, {{"p1", 10.0}}, "q"));
+  ASSERT_EQ(tr.inputs.size(), 1u);
+  EXPECT_EQ(tr.inputs[0].first, "p1");
+  EXPECT_EQ(tr.inputs[0].second, "q_in_p1");
+  EXPECT_EQ(tr.result_max, 10.0);
+  EXPECT_FALSE(tr.statements.empty());
+}
+
+TEST(TranslatorTest, MissingInputMaxFails) {
+  FormulaPtr f = Parse("p1()");
+  EXPECT_EQ(TranslateToSql(*f, {}, "q").status().code(), StatusCode::kNotFound);
+}
+
+TEST(TranslatorTest, NonType1Rejected) {
+  FormulaPtr f = Parse("exists x (present(x) and eventually present(x))");
+  EXPECT_FALSE(TranslateToSql(*f, {}, "q").ok());
+  FormulaPtr g = Parse("duration > 3");
+  EXPECT_FALSE(TranslateToSql(*g, {}, "q").ok());
+}
+
+TEST(TranslatorTest, AndMaxSums) {
+  FormulaPtr f = Parse("p1() and p2()");
+  ASSERT_OK_AND_ASSIGN(Translation tr,
+                       TranslateToSql(*f, {{"p1", 10.0}, {"p2", 5.0}}, "q"));
+  EXPECT_EQ(tr.result_max, 15.0);
+  EXPECT_EQ(tr.inputs.size(), 2u);
+}
+
+TEST(TranslatorTest, UntilMaxIsRhs) {
+  FormulaPtr f = Parse("p1() until p2()");
+  ASSERT_OK_AND_ASSIGN(Translation tr,
+                       TranslateToSql(*f, {{"p1", 10.0}, {"p2", 5.0}}, "q"));
+  EXPECT_EQ(tr.result_max, 5.0);
+}
+
+TEST(TranslatorTest, ScriptIsParseable) {
+  FormulaPtr f = Parse("p1() and next (p2() until p1())");
+  ASSERT_OK_AND_ASSIGN(Translation tr,
+                       TranslateToSql(*f, {{"p1", 10.0}, {"p2", 5.0}}, "q"));
+  auto parsed = ParseScript(tr.Script());
+  EXPECT_OK(parsed.status());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end SQL evaluation vs the direct list algebra.
+
+class SqlEvalTest : public ::testing::Test {
+ protected:
+  SimilarityList Eval(std::string_view formula,
+                      std::map<std::string, SimilarityList> inputs, int64_t n) {
+    FormulaPtr f = Parse(formula);
+    SqlSystem sys;
+    auto r = sys.Evaluate(*f, inputs, n);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(r).value() : SimilarityList();
+  }
+};
+
+TEST_F(SqlEvalTest, AtomicPassThrough) {
+  SimilarityList p = L({{2, 5, 3.0}}, 10.0);
+  EXPECT_TRUE(ListsEqual(Eval("p()", {{"p", p}}, 10), p));
+}
+
+TEST_F(SqlEvalTest, AndMatchesDirect) {
+  SimilarityList a = L({{1, 10, 2.0}}, 5.0);
+  SimilarityList b = L({{5, 15, 3.0}}, 5.0);
+  EXPECT_TRUE(ListsEqual(Eval("a() and b()", {{"a", a}, {"b", b}}, 20),
+                         L({{1, 4, 2.0}, {5, 10, 5.0}, {11, 15, 3.0}}, 10.0)));
+}
+
+TEST_F(SqlEvalTest, OrMatchesDirect) {
+  SimilarityList a = L({{1, 10, 2.0}}, 5.0);
+  SimilarityList b = L({{5, 15, 3.0}}, 5.0);
+  EXPECT_TRUE(ListsEqual(Eval("a() or b()", {{"a", a}, {"b", b}}, 20),
+                         L({{1, 4, 2.0}, {5, 15, 3.0}}, 5.0)));
+}
+
+TEST_F(SqlEvalTest, NextShifts) {
+  SimilarityList a = L({{1, 3, 2.0}}, 5.0);
+  EXPECT_TRUE(ListsEqual(Eval("next a()", {{"a", a}}, 10), L({{1, 2, 2.0}}, 5.0)));
+}
+
+TEST_F(SqlEvalTest, EventuallySuffixMax) {
+  SimilarityList a = L({{5, 6, 2.0}, {9, 9, 4.0}}, 5.0);
+  EXPECT_TRUE(
+      ListsEqual(Eval("eventually a()", {{"a", a}}, 10), L({{1, 9, 4.0}}, 5.0)));
+}
+
+TEST_F(SqlEvalTest, UntilPaperFigure2) {
+  SimilarityList g = L({{25, 100, 20.0}, {200, 250, 20.0}}, 20.0);
+  SimilarityList h =
+      L({{10, 50, 10.0}, {55, 60, 15.0}, {90, 110, 12.0}, {125, 175, 10.0}}, 20.0);
+  EXPECT_TRUE(ListsEqual(
+      Eval("g() until h()", {{"g", g}, {"h", h}}, 300),
+      L({{10, 24, 10.0}, {25, 60, 15.0}, {61, 110, 12.0}, {125, 175, 10.0}}, 20.0)));
+}
+
+TEST_F(SqlEvalTest, UntilWithAdjacentGEntries) {
+  // Adjacent thresholded g entries must coalesce into one run (the
+  // pointer-doubling reach computation).
+  SimilarityList g = L({{1, 3, 8.0}, {4, 9, 9.0}}, 10.0);
+  SimilarityList h = L({{10, 10, 5.0}}, 5.0);
+  EXPECT_TRUE(ListsEqual(Eval("g() until h()", {{"g", g}, {"h", h}}, 12),
+                         L({{1, 10, 5.0}}, 5.0)));
+}
+
+TEST_F(SqlEvalTest, UntilThresholdFilters) {
+  SimilarityList g = L({{1, 10, 2.0}}, 10.0);  // 0.2 < 0.5 threshold.
+  SimilarityList h = L({{10, 10, 5.0}}, 5.0);
+  EXPECT_TRUE(ListsEqual(Eval("g() until h()", {{"g", g}, {"h", h}}, 12),
+                         L({{10, 10, 5.0}}, 5.0)));
+}
+
+TEST_F(SqlEvalTest, CasablancaQuery1MatchesPaperTable4) {
+  SimilarityList result =
+      Eval("man_woman() and eventually moving_train()", casablanca::NamedInputs(),
+           casablanca::kNumShots);
+  EXPECT_TRUE(ListsEqual(result, casablanca::Query1ResultTable()));
+}
+
+TEST_F(SqlEvalTest, ComposedFormula) {
+  // The paper's formula (A) shape: m1 and next (m2 until m3).
+  SimilarityList m1 = L({{1, 6, 4.0}}, 4.0);
+  SimilarityList m2 = L({{3, 8, 3.0}}, 4.0);
+  SimilarityList m3 = L({{9, 9, 2.0}}, 4.0);
+  SimilarityList sql = Eval("m1() and next (m2() until m3())",
+                            {{"m1", m1}, {"m2", m2}, {"m3", m3}}, 12);
+  // Compare against the direct algebra.
+  SimilarityList direct = AndMerge(m1, NextShift(UntilMerge(m2, m3, 0.5)));
+  EXPECT_TRUE(ListsEqual(sql, direct));
+}
+
+}  // namespace
+}  // namespace htl::sql

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "sql/table.h"
+#include "sql/value.h"
+#include "testing/helpers.h"
+
+namespace htl::sql {
+namespace {
+
+TEST(SqlValueTest, Kinds) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(int64_t{1}).is_int());
+  EXPECT_TRUE(Value(1.5).is_double());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value(int64_t{1}).is_numeric());
+}
+
+TEST(SqlValueTest, Truthiness) {
+  EXPECT_FALSE(Value().Truthy());
+  EXPECT_FALSE(Value(int64_t{0}).Truthy());
+  EXPECT_TRUE(Value(int64_t{1}).Truthy());
+  EXPECT_TRUE(Value(-2.5).Truthy());
+  EXPECT_FALSE(Value("yes").Truthy());  // Strings are not truthy.
+}
+
+TEST(SqlValueTest, EqualityNullNeverEqual) {
+  EXPECT_FALSE(Value() == Value());
+  EXPECT_TRUE(Value(int64_t{3}) == Value(3.0));
+  EXPECT_TRUE(Value("a") == Value("a"));
+  EXPECT_FALSE(Value("a") == Value(int64_t{1}));
+}
+
+TEST(SqlValueTest, CompareTotalOrder) {
+  EXPECT_LT(Value::Compare(Value(), Value(int64_t{0})), 0);       // NULL first.
+  EXPECT_LT(Value::Compare(Value(int64_t{5}), Value("a")), 0);    // Numbers < strings.
+  EXPECT_EQ(Value::Compare(Value(int64_t{2}), Value(2.0)), 0);
+  EXPECT_GT(Value::Compare(Value("b"), Value("a")), 0);
+}
+
+TEST(SqlValueTest, KeysDistinguishKinds) {
+  EXPECT_NE(Value(int64_t{1}).Key(), Value("1").Key());
+  EXPECT_EQ(Value(int64_t{1}).Key(), Value(1.0).Key());  // Numeric join keys.
+  EXPECT_NE(Value().Key(), Value(int64_t{0}).Key());
+}
+
+TEST(SqlValueTest, ToString) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value("a").ToString(), "'a'");
+}
+
+TEST(SqlTableTest, ColumnsAndRows) {
+  Table t({"id", "act"});
+  t.AddRow({Value(int64_t{1}), Value(2.5)});
+  t.AddRow({Value(int64_t{2}), Value()});
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.ColumnIndex("id"), 0);
+  EXPECT_EQ(t.ColumnIndex("ACT"), 1);  // Case-insensitive.
+  EXPECT_EQ(t.ColumnIndex("nope"), -1);
+}
+
+TEST(SqlCatalogTest, CreateGetDrop) {
+  Catalog cat;
+  EXPECT_OK(cat.Create("t", Table({"a"})));
+  EXPECT_TRUE(cat.Has("T"));
+  EXPECT_EQ(cat.Create("t", Table({"a"})).code(), StatusCode::kAlreadyExists);
+  ASSERT_OK_AND_ASSIGN(const Table* t, cat.Get("t"));
+  EXPECT_EQ(t->columns().size(), 1u);
+  EXPECT_OK(cat.Drop("t", false));
+  EXPECT_FALSE(cat.Has("t"));
+  EXPECT_EQ(cat.Drop("t", false).code(), StatusCode::kNotFound);
+  EXPECT_OK(cat.Drop("t", true));  // IF EXISTS.
+}
+
+TEST(SqlCatalogTest, CreateOrReplace) {
+  Catalog cat;
+  cat.CreateOrReplace("t", Table({"a"}));
+  cat.CreateOrReplace("t", Table({"a", "b"}));
+  ASSERT_OK_AND_ASSIGN(const Table* t, cat.Get("t"));
+  EXPECT_EQ(t->columns().size(), 2u);
+}
+
+TEST(SqlCatalogTest, TableNames) {
+  Catalog cat;
+  cat.CreateOrReplace("B", Table(std::vector<std::string>{}));
+  cat.CreateOrReplace("a", Table(std::vector<std::string>{}));
+  EXPECT_EQ(cat.TableNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace htl::sql

@@ -1,0 +1,85 @@
+#include "util/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace htl {
+namespace {
+
+TEST(IntervalTest, DefaultIsEmpty) {
+  Interval iv;
+  EXPECT_TRUE(iv.empty());
+  EXPECT_EQ(iv.size(), 0);
+}
+
+TEST(IntervalTest, SizeAndContains) {
+  Interval iv{3, 7};
+  EXPECT_FALSE(iv.empty());
+  EXPECT_EQ(iv.size(), 5);
+  EXPECT_TRUE(iv.Contains(3));
+  EXPECT_TRUE(iv.Contains(7));
+  EXPECT_FALSE(iv.Contains(2));
+  EXPECT_FALSE(iv.Contains(8));
+}
+
+TEST(IntervalTest, SingletonInterval) {
+  Interval iv{5, 5};
+  EXPECT_EQ(iv.size(), 1);
+  EXPECT_TRUE(iv.Contains(5));
+}
+
+TEST(IntervalTest, Overlaps) {
+  EXPECT_TRUE((Interval{1, 5}).Overlaps(Interval{5, 9}));
+  EXPECT_TRUE((Interval{1, 9}).Overlaps(Interval{3, 4}));
+  EXPECT_FALSE((Interval{1, 4}).Overlaps(Interval{5, 9}));
+  EXPECT_FALSE((Interval{1, 4}).Overlaps(Interval{5, 4}));  // Empty other.
+}
+
+TEST(IntervalTest, Adjacent) {
+  EXPECT_TRUE((Interval{1, 4}).Adjacent(Interval{5, 9}));
+  EXPECT_FALSE((Interval{1, 4}).Adjacent(Interval{6, 9}));
+  EXPECT_FALSE((Interval{1, 4}).Adjacent(Interval{4, 9}));
+}
+
+TEST(IntervalTest, Intersect) {
+  EXPECT_EQ((Interval{1, 6}).Intersect(Interval{4, 9}), (Interval{4, 6}));
+  EXPECT_TRUE((Interval{1, 3}).Intersect(Interval{5, 9}).empty());
+  EXPECT_EQ((Interval{1, 9}).Intersect(Interval{1, 9}), (Interval{1, 9}));
+}
+
+TEST(IntervalTest, ToString) {
+  EXPECT_EQ((Interval{2, 4}).ToString(), "[2,4]");
+  EXPECT_EQ(Interval{}.ToString(), "[]");
+}
+
+TEST(IsDisjointSortedTest, AcceptsValidSequences) {
+  EXPECT_TRUE(IsDisjointSorted({}));
+  EXPECT_TRUE(IsDisjointSorted({{1, 4}}));
+  EXPECT_TRUE(IsDisjointSorted({{1, 4}, {5, 5}, {9, 20}}));
+}
+
+TEST(IsDisjointSortedTest, RejectsOverlapUnsortedEmpty) {
+  EXPECT_FALSE(IsDisjointSorted({{1, 4}, {4, 6}}));
+  EXPECT_FALSE(IsDisjointSorted({{5, 6}, {1, 2}}));
+  EXPECT_FALSE(IsDisjointSorted({{4, 3}}));
+}
+
+TEST(CoalesceAdjacentTest, MergesTouchingRuns) {
+  auto out = CoalesceAdjacent({{1, 3}, {4, 6}, {8, 9}});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Interval{1, 6}));
+  EXPECT_EQ(out[1], (Interval{8, 9}));
+}
+
+TEST(CoalesceAdjacentTest, ChainsOfAdjacency) {
+  auto out = CoalesceAdjacent({{1, 1}, {2, 2}, {3, 3}, {4, 4}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Interval{1, 4}));
+}
+
+TEST(TotalCoveredTest, SumsSizes) {
+  EXPECT_EQ(TotalCovered({}), 0);
+  EXPECT_EQ(TotalCovered({{1, 4}, {6, 6}}), 5);
+}
+
+}  // namespace
+}  // namespace htl

@@ -1,0 +1,240 @@
+#include "storage/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "model/video_builder.h"
+#include "testing/helpers.h"
+#include "util/rng.h"
+#include "workload/casablanca.h"
+#include "workload/random_lists.h"
+#include "workload/video_gen.h"
+
+namespace htl {
+namespace {
+
+using testing::L;
+using testing::ListsEqual;
+
+SimilarityList RoundTripList(const SimilarityList& list) {
+  std::stringstream buf;
+  WriteSimilarityList(list, buf);
+  auto back = ReadSimilarityList(buf);
+  EXPECT_TRUE(back.ok()) << back.status().ToString();
+  return back.ok() ? std::move(back).value() : SimilarityList();
+}
+
+TEST(SimListSerializationTest, RoundTripSimple) {
+  SimilarityList list = L({{1, 4, 2.5}, {9, 9, 0.125}}, 10.0);
+  EXPECT_TRUE(ListsEqual(RoundTripList(list), list));
+}
+
+TEST(SimListSerializationTest, RoundTripEmpty) {
+  SimilarityList list(7.0);
+  SimilarityList back = RoundTripList(list);
+  EXPECT_TRUE(back.empty());
+  EXPECT_EQ(back.max(), 7.0);
+}
+
+TEST(SimListSerializationTest, RoundTripPreservesDoublesExactly) {
+  // Awkward doubles (non-representable decimals) must survive bit-exactly.
+  SimilarityList list = L({{1, 1, 9.787}, {2, 2, 2.595}, {3, 3, 1.0 / 3.0}}, 9.787);
+  SimilarityList back = RoundTripList(list);
+  EXPECT_EQ(back, list);  // Exact equality, not near.
+}
+
+TEST(SimListSerializationTest, RoundTripRandomLists) {
+  Rng rng(3);
+  RandomListOptions opts;
+  opts.num_segments = 5000;
+  for (int i = 0; i < 10; ++i) {
+    SimilarityList list = GenerateRandomList(rng, opts);
+    EXPECT_TRUE(ListsEqual(RoundTripList(list), list));
+  }
+}
+
+TEST(SimListSerializationTest, Errors) {
+  auto parse = [](const std::string& text) {
+    std::stringstream buf(text);
+    return ReadSimilarityList(buf).status();
+  };
+  EXPECT_EQ(parse("").code(), StatusCode::kParseError);
+  EXPECT_EQ(parse("wrong-magic 1\n").code(), StatusCode::kParseError);
+  EXPECT_EQ(parse("htl-simlist 1\nmax 5\n").code(), StatusCode::kParseError);  // No end.
+  EXPECT_EQ(parse("htl-simlist 1\nentry 1 2 3\nend\n").code(),
+            StatusCode::kParseError);  // No max.
+  EXPECT_EQ(parse("htl-simlist 1\nmax 5\nentry x y z\nend\n").code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(parse("htl-simlist 1\nmax 5\nbogus\nend\n").code(),
+            StatusCode::kParseError);
+  // Overlapping entries are rejected by the list invariant.
+  EXPECT_FALSE(parse("htl-simlist 1\nmax 5\nentry 1 5 1\nentry 3 9 1\nend\n").ok());
+}
+
+VideoTree RoundTripVideo(const VideoTree& video) {
+  std::stringstream buf;
+  WriteVideo(video, buf);
+  auto back = ReadVideo(buf);
+  EXPECT_TRUE(back.ok()) << back.status().ToString();
+  return back.ok() ? std::move(back).value() : VideoTree::Flat(0);
+}
+
+void ExpectVideosEqual(const VideoTree& a, const VideoTree& b) {
+  ASSERT_EQ(a.num_levels(), b.num_levels());
+  EXPECT_EQ(a.level_names(), b.level_names());
+  for (int level = 1; level <= a.num_levels(); ++level) {
+    ASSERT_EQ(a.NumSegments(level), b.NumSegments(level)) << "level " << level;
+    for (SegmentId id = 1; id <= a.NumSegments(level); ++id) {
+      EXPECT_EQ(a.Children(level, id), b.Children(level, id));
+      const SegmentMeta& ma = a.Meta(level, id);
+      const SegmentMeta& mb = b.Meta(level, id);
+      EXPECT_EQ(ma.attributes(), mb.attributes());
+      ASSERT_EQ(ma.objects().size(), mb.objects().size());
+      for (size_t i = 0; i < ma.objects().size(); ++i) {
+        EXPECT_EQ(ma.objects()[i].id, mb.objects()[i].id);
+        EXPECT_EQ(ma.objects()[i].attributes, mb.objects()[i].attributes);
+      }
+      EXPECT_EQ(ma.facts(), mb.facts());
+    }
+  }
+}
+
+TEST(VideoSerializationTest, RoundTripFlatVideo) {
+  VideoTree v = VideoTree::Flat(5);
+  v.MutableMeta(1, 1).SetAttribute("title", AttrValue("T with spaces"));
+  v.MutableMeta(2, 3).AddObject({7, {{"type", AttrValue("person")}}});
+  v.MutableMeta(2, 3).AddFact({"holds_gun", {7}});
+  ASSERT_OK(v.NameLevel("shot", 2));
+  ExpectVideosEqual(v, RoundTripVideo(v));
+}
+
+TEST(VideoSerializationTest, RoundTripDeepVideo) {
+  VideoBuilder b;
+  auto s1 = b.AddChild(b.root());
+  auto s2 = b.AddChild(b.root());
+  b.AddChildren(s1, 3);
+  b.AddChildren(s2, 2);
+  b.NameLevel("scene", 2);
+  b.NameLevel("shot", 3);
+  auto built = std::move(b).Build();
+  ASSERT_OK(built.status());
+  ExpectVideosEqual(built.value(), RoundTripVideo(built.value()));
+}
+
+TEST(VideoSerializationTest, RoundTripCasablanca) {
+  VideoTree v = casablanca::MakeVideo();
+  ExpectVideosEqual(v, RoundTripVideo(v));
+}
+
+TEST(VideoSerializationTest, RoundTripGeneratedVideos) {
+  Rng rng(11);
+  VideoGenOptions opts;
+  opts.levels = 3;
+  for (int i = 0; i < 5; ++i) {
+    VideoTree v = GenerateVideo(rng, opts);
+    ExpectVideosEqual(v, RoundTripVideo(v));
+  }
+}
+
+TEST(VideoSerializationTest, EscapedStringsSurvive) {
+  VideoTree v = VideoTree::Flat(1);
+  v.MutableMeta(1, 1).SetAttribute("weird name", AttrValue("line\nbreak \\slash"));
+  ExpectVideosEqual(v, RoundTripVideo(v));
+}
+
+TEST(VideoSerializationTest, Errors) {
+  auto parse = [](const std::string& text) {
+    std::stringstream buf(text);
+    return ReadVideo(buf).status();
+  };
+  EXPECT_EQ(parse("").code(), StatusCode::kParseError);
+  EXPECT_EQ(parse("htl-video 1\n").code(), StatusCode::kParseError);
+  EXPECT_EQ(parse("htl-video 1\nlevels 0\nend\n").code(), StatusCode::kParseError);
+  EXPECT_EQ(parse("htl-video 1\nlevels 1\nattr a i1\nend\n").code(),
+            StatusCode::kParseError);  // attr before segment.
+  EXPECT_EQ(parse("htl-video 1\nlevels 1\nsegment 1 2 0\nend\n").code(),
+            StatusCode::kParseError);  // Root id must be 1.
+  EXPECT_EQ(parse("htl-video 1\nlevels 1\nsegment 1 1 2\nend\n").code(),
+            StatusCode::kParseError);  // Children below last level.
+  EXPECT_EQ(parse("htl-video 1\nlevels 2\nsegment 2 1 0\nend\n").code(),
+            StatusCode::kParseError);  // Child before parent declared it.
+}
+
+TEST(FileIoTest, SaveAndLoadRoundTrip) {
+  const std::string dir = ::testing::TempDir();
+  const std::string list_path = dir + "/htl_test_list.txt";
+  const std::string video_path = dir + "/htl_test_video.txt";
+
+  SimilarityList list = L({{2, 8, 1.5}}, 4.0);
+  ASSERT_OK(SaveSimilarityList(list, list_path));
+  ASSERT_OK_AND_ASSIGN(SimilarityList list_back, LoadSimilarityList(list_path));
+  EXPECT_TRUE(ListsEqual(list_back, list));
+
+  VideoTree v = casablanca::MakeVideo();
+  ASSERT_OK(SaveVideo(v, video_path));
+  ASSERT_OK_AND_ASSIGN(VideoTree v_back, LoadVideo(video_path));
+  ExpectVideosEqual(v, v_back);
+
+  std::remove(list_path.c_str());
+  std::remove(video_path.c_str());
+}
+
+TEST(FileIoTest, MissingFileIsNotFound) {
+  EXPECT_EQ(LoadSimilarityList("/nonexistent/path/x.txt").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(LoadVideo("/nonexistent/path/x.txt").status().code(),
+            StatusCode::kNotFound);
+}
+
+
+TEST(StoreSerializationTest, RoundTripMultipleVideos) {
+  MetadataStore store;
+  store.AddVideo(casablanca::MakeVideo());
+  VideoTree small = VideoTree::Flat(2);
+  small.MutableMeta(1, 1).SetAttribute("title", AttrValue("Short"));
+  store.AddVideo(std::move(small));
+
+  std::stringstream buf;
+  WriteStore(store, buf);
+  auto back = ReadStore(buf);
+  ASSERT_OK(back.status());
+  ASSERT_EQ(back.value().num_videos(), 2);
+  ExpectVideosEqual(store.Video(1), back.value().Video(1));
+  ExpectVideosEqual(store.Video(2), back.value().Video(2));
+}
+
+TEST(StoreSerializationTest, EmptyStoreRoundTrips) {
+  MetadataStore store;
+  std::stringstream buf;
+  WriteStore(store, buf);
+  auto back = ReadStore(buf);
+  ASSERT_OK(back.status());
+  EXPECT_EQ(back.value().num_videos(), 0);
+}
+
+TEST(StoreSerializationTest, Errors) {
+  auto parse = [](const std::string& text) {
+    std::stringstream buf(text);
+    return ReadStore(buf).status();
+  };
+  EXPECT_EQ(parse("").code(), StatusCode::kParseError);
+  EXPECT_EQ(parse("htl-store 1\n").code(), StatusCode::kParseError);
+  EXPECT_EQ(parse("htl-store 1\nvideos -1\n").code(), StatusCode::kParseError);
+  EXPECT_EQ(parse("htl-store 1\nvideos 1\n").code(),
+            StatusCode::kParseError);  // Missing video block.
+}
+
+TEST(StoreSerializationTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/htl_test_store.txt";
+  MetadataStore store;
+  store.AddVideo(casablanca::MakeVideo());
+  ASSERT_OK(SaveStore(store, path));
+  ASSERT_OK_AND_ASSIGN(MetadataStore back, LoadStore(path));
+  EXPECT_EQ(back.num_videos(), 1);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace htl

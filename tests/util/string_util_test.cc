@@ -1,0 +1,51 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace htl {
+namespace {
+
+TEST(StrCatTest, ConcatenatesMixedTypes) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrCat(), "");
+  EXPECT_EQ(StrCat(42), "42");
+}
+
+TEST(StrSplitTest, SplitsAndKeepsEmptyPieces) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  abc \t\n"), "abc");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("a b"), "a b");
+}
+
+TEST(AsciiToLowerTest, LowersOnlyAscii) {
+  EXPECT_EQ(AsciiToLower("AbC123"), "abc123");
+  EXPECT_EQ(AsciiToLower(""), "");
+}
+
+TEST(StartsWithTest, PrefixChecks) {
+  EXPECT_TRUE(StartsWith("at-next-level", "at-"));
+  EXPECT_FALSE(StartsWith("at", "at-"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin(std::vector<std::string>{"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(StrJoin(std::vector<int>{1, 2, 3}, "-"), "1-2-3");
+  EXPECT_EQ(StrJoin(std::vector<int>{}, ","), "");
+}
+
+TEST(FormatFixedTest, FixedDecimals) {
+  EXPECT_EQ(FormatFixed(9.787, 3), "9.787");
+  EXPECT_EQ(FormatFixed(12.382, 6), "12.382000");
+  EXPECT_EQ(FormatFixed(2.0, 2), "2.00");
+}
+
+}  // namespace
+}  // namespace htl

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "htl/binder.h"
+#include "htl/classifier.h"
+#include "testing/helpers.h"
+#include "workload/casablanca.h"
+#include "workload/formula_gen.h"
+#include "workload/random_lists.h"
+#include "workload/video_gen.h"
+
+namespace htl {
+namespace {
+
+using testing::ListsEqual;
+
+// ---------------------------------------------------------------------------
+// Casablanca data (paper tables transcription consistency).
+
+TEST(CasablancaTest, Table1Shape) {
+  SimilarityList t1 = casablanca::MovingTrainTable();
+  ASSERT_EQ(t1.length(), 1);
+  EXPECT_EQ(t1.entries()[0].range, (Interval{9, 9}));
+  EXPECT_NEAR(t1.entries()[0].actual, 9.787, 1e-9);
+  EXPECT_NEAR(t1.max(), 9.787, 1e-9);
+}
+
+TEST(CasablancaTest, Table2Shape) {
+  SimilarityList t2 = casablanca::ManWomanTable();
+  ASSERT_EQ(t2.length(), 5);
+  EXPECT_EQ(t2.entries()[0].range, (Interval{1, 4}));
+  EXPECT_NEAR(t2.entries()[0].actual, 2.595, 1e-9);
+  EXPECT_EQ(t2.entries()[4].range, (Interval{47, 49}));
+  EXPECT_NEAR(t2.entries()[4].actual, 6.26, 1e-9);
+}
+
+TEST(CasablancaTest, Table3IsEventuallyOfTable1) {
+  SimilarityList t3 = casablanca::EventuallyMovingTrainTable();
+  ASSERT_EQ(t3.length(), 1);
+  EXPECT_EQ(t3.entries()[0].range, (Interval{1, 9}));
+}
+
+TEST(CasablancaTest, Table4HasEightRows) {
+  SimilarityList t4 = casablanca::Query1ResultTable();
+  EXPECT_EQ(t4.length(), 8);
+  // The paper's printed similarity values.
+  EXPECT_NEAR(t4.ActualAt(1), 12.382, 1e-9);
+  EXPECT_NEAR(t4.ActualAt(6), 11.047, 1e-9);
+  EXPECT_NEAR(t4.ActualAt(5), 9.787, 1e-9);
+  EXPECT_NEAR(t4.ActualAt(20), 1.26, 1e-9);
+  EXPECT_NEAR(t4.ActualAt(48), 6.26, 1e-9);
+  EXPECT_EQ(t4.ActualAt(45), 0.0);
+  EXPECT_EQ(t4.ActualAt(50), 0.0);
+}
+
+TEST(CasablancaTest, VideoHas50Shots) {
+  VideoTree v = casablanca::MakeVideo();
+  EXPECT_EQ(v.num_levels(), 2);
+  EXPECT_EQ(v.NumSegments(2), 50);
+  EXPECT_EQ(v.Title(), "The Making of Casablanca");
+  EXPECT_EQ(v.LevelByName("shot").value(), 2);
+}
+
+TEST(CasablancaTest, FormulasBindAndClassify) {
+  FormulaPtr named = casablanca::Query1Named();
+  ASSERT_OK(Bind(named.get()));
+  EXPECT_EQ(Classify(*named), FormulaClass::kType1);
+  FormulaPtr full = casablanca::Query1Full();
+  ASSERT_OK(Bind(full.get()));
+  EXPECT_EQ(Classify(*full), FormulaClass::kType1);
+}
+
+// ---------------------------------------------------------------------------
+// Random list generator (section 4.2 workload).
+
+TEST(RandomListsTest, DeterministicForSeed) {
+  RandomListOptions opts;
+  opts.num_segments = 1000;
+  Rng r1(5), r2(5);
+  EXPECT_TRUE(ListsEqual(GenerateRandomList(r1, opts), GenerateRandomList(r2, opts)));
+}
+
+TEST(RandomListsTest, StaysInBounds) {
+  RandomListOptions opts;
+  opts.num_segments = 5000;
+  Rng rng(7);
+  SimilarityList list = GenerateRandomList(rng, opts);
+  ASSERT_GT(list.length(), 0);
+  EXPECT_GE(list.entries().front().range.begin, 1);
+  EXPECT_LE(list.entries().back().range.end, opts.num_segments);
+  for (const SimEntry& e : list.entries()) {
+    EXPECT_GT(e.actual, 0.0);
+    EXPECT_LE(e.actual, opts.max_sim);
+  }
+}
+
+TEST(RandomListsTest, CoverageNearTarget) {
+  RandomListOptions opts;
+  opts.num_segments = 100'000;
+  opts.coverage = 0.1;
+  Rng rng(11);
+  SimilarityList list = GenerateRandomList(rng, opts);
+  const double coverage =
+      static_cast<double>(list.CoveredIds()) / static_cast<double>(opts.num_segments);
+  EXPECT_GT(coverage, 0.07);
+  EXPECT_LT(coverage, 0.13);
+}
+
+TEST(RandomListsTest, EntriesAreSeparatedByGaps) {
+  RandomListOptions opts;
+  opts.num_segments = 10'000;
+  Rng rng(13);
+  SimilarityList list = GenerateRandomList(rng, opts);
+  for (int64_t i = 1; i < list.length(); ++i) {
+    EXPECT_GT(list.entries()[static_cast<size_t>(i)].range.begin,
+              list.entries()[static_cast<size_t>(i - 1)].range.end + 1);
+  }
+}
+
+TEST(RandomListsTest, ValuesAreSixteenthQuantized) {
+  RandomListOptions opts;
+  opts.num_segments = 2000;
+  Rng rng(17);
+  SimilarityList list = GenerateRandomList(rng, opts);
+  for (const SimEntry& e : list.entries()) {
+    const double ticks = e.actual * 16.0;
+    EXPECT_EQ(ticks, std::floor(ticks));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Video generator.
+
+TEST(VideoGenTest, RespectsShape) {
+  VideoGenOptions opts;
+  opts.levels = 3;
+  opts.min_branching = 2;
+  opts.max_branching = 3;
+  Rng rng(3);
+  VideoTree v = GenerateVideo(rng, opts);
+  EXPECT_EQ(v.num_levels(), 3);
+  EXPECT_GE(v.NumSegments(2), 2);
+  EXPECT_LE(v.NumSegments(2), 3);
+  EXPECT_GE(v.NumSegments(3), 4);
+  EXPECT_LE(v.NumSegments(3), 9);
+}
+
+TEST(VideoGenTest, DeterministicForSeed) {
+  VideoGenOptions opts;
+  Rng r1(9), r2(9);
+  VideoTree a = GenerateVideo(r1, opts);
+  VideoTree b = GenerateVideo(r2, opts);
+  ASSERT_EQ(a.NumSegments(a.num_levels()), b.NumSegments(b.num_levels()));
+  for (SegmentId s = 1; s <= a.NumSegments(a.num_levels()); ++s) {
+    EXPECT_EQ(a.Meta(a.num_levels(), s).objects().size(),
+              b.Meta(b.num_levels(), s).objects().size());
+  }
+}
+
+TEST(VideoGenTest, LeavesAreAnnotated) {
+  VideoGenOptions opts;
+  opts.levels = 2;
+  opts.object_density = 1.0;
+  Rng rng(21);
+  VideoTree v = GenerateVideo(rng, opts);
+  for (SegmentId s = 1; s <= v.NumSegments(2); ++s) {
+    EXPECT_EQ(v.Meta(2, s).objects().size(), static_cast<size_t>(opts.num_objects));
+    EXPECT_FALSE(v.Meta(2, s).Attribute("duration").is_null());
+  }
+}
+
+TEST(VideoGenTest, LevelNamesAssigned) {
+  VideoGenOptions opts;
+  opts.levels = 4;
+  Rng rng(23);
+  VideoTree v = GenerateVideo(rng, opts);
+  EXPECT_EQ(v.LevelByName("frame").value(), 4);
+  EXPECT_EQ(v.LevelByName("shot").value(), 3);
+  EXPECT_EQ(v.LevelByName("scene").value(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Formula generator.
+
+TEST(FormulaGenTest, GeneratesBindableFormulas) {
+  FormulaGenOptions opts;
+  Rng rng(31);
+  for (int i = 0; i < 50; ++i) {
+    FormulaPtr f = GenerateFormula(rng, opts);
+    ASSERT_NE(f, nullptr);
+    Status s = Bind(f.get());
+    EXPECT_TRUE(s.ok()) << s.ToString() << " for " << f->ToString();
+  }
+}
+
+TEST(FormulaGenTest, RespectsToggles) {
+  FormulaGenOptions opts;
+  opts.allow_or = false;
+  opts.allow_not = false;
+  Rng rng(37);
+  for (int i = 0; i < 50; ++i) {
+    FormulaPtr f = GenerateFormula(rng, opts);
+    std::string text = f->ToString();
+    EXPECT_EQ(text.find(" or "), std::string::npos);
+    EXPECT_EQ(text.find("not ("), std::string::npos);
+  }
+}
+
+TEST(FormulaGenTest, DeterministicForSeed) {
+  FormulaGenOptions opts;
+  Rng r1(41), r2(41);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(GenerateFormula(r1, opts)->ToString(), GenerateFormula(r2, opts)->ToString());
+  }
+}
+
+}  // namespace
+}  // namespace htl
