@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analyzer.dir/bench_analyzer.cc.o"
+  "CMakeFiles/bench_analyzer.dir/bench_analyzer.cc.o.d"
+  "bench_analyzer"
+  "bench_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_casablanca.dir/bench_casablanca.cc.o"
+  "CMakeFiles/bench_casablanca.dir/bench_casablanca.cc.o.d"
+  "bench_casablanca"
+  "bench_casablanca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_casablanca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_complex_formulas.dir/bench_complex_formulas.cc.o"
+  "CMakeFiles/bench_complex_formulas.dir/bench_complex_formulas.cc.o.d"
+  "bench_complex_formulas"
+  "bench_complex_formulas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_complex_formulas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

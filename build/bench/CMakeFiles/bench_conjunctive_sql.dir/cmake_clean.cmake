@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conjunctive_sql.dir/bench_conjunctive_sql.cc.o"
+  "CMakeFiles/bench_conjunctive_sql.dir/bench_conjunctive_sql.cc.o.d"
+  "bench_conjunctive_sql"
+  "bench_conjunctive_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conjunctive_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_until.dir/bench_fig2_until.cc.o"
+  "CMakeFiles/bench_fig2_until.dir/bench_fig2_until.cc.o.d"
+  "bench_fig2_until"
+  "bench_fig2_until.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_until.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

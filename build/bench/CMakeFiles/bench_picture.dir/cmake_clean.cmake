@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_picture.dir/bench_picture.cc.o"
+  "CMakeFiles/bench_picture.dir/bench_picture.cc.o.d"
+  "bench_picture"
+  "bench_picture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_picture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_retrieval.dir/bench_retrieval.cc.o"
+  "CMakeFiles/bench_retrieval.dir/bench_retrieval.cc.o.d"
+  "bench_retrieval"
+  "bench_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

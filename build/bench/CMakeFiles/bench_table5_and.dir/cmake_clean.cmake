@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_and.dir/bench_table5_and.cc.o"
+  "CMakeFiles/bench_table5_and.dir/bench_table5_and.cc.o.d"
+  "bench_table5_and"
+  "bench_table5_and.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_and.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

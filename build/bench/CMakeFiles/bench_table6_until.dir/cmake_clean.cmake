@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_until.dir/bench_table6_until.cc.o"
+  "CMakeFiles/bench_table6_until.dir/bench_table6_until.cc.o.d"
+  "bench_table6_until"
+  "bench_table6_until.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_until.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_topk.dir/bench_topk.cc.o"
+  "CMakeFiles/bench_topk.dir/bench_topk.cc.o.d"
+  "bench_topk"
+  "bench_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

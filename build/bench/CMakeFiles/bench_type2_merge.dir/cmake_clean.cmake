@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_type2_merge.dir/bench_type2_merge.cc.o"
+  "CMakeFiles/bench_type2_merge.dir/bench_type2_merge.cc.o.d"
+  "bench_type2_merge"
+  "bench_type2_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_type2_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_type2_merge.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_airplane_freeze.dir/airplane_freeze.cpp.o"
+  "CMakeFiles/example_airplane_freeze.dir/airplane_freeze.cpp.o.d"
+  "example_airplane_freeze"
+  "example_airplane_freeze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_airplane_freeze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

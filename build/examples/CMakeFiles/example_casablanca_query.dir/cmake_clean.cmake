@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_casablanca_query.dir/casablanca_query.cpp.o"
+  "CMakeFiles/example_casablanca_query.dir/casablanca_query.cpp.o.d"
+  "example_casablanca_query"
+  "example_casablanca_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_casablanca_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gulf_war_hierarchy.dir/gulf_war_hierarchy.cpp.o"
+  "CMakeFiles/example_gulf_war_hierarchy.dir/gulf_war_hierarchy.cpp.o.d"
+  "example_gulf_war_hierarchy"
+  "example_gulf_war_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gulf_war_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

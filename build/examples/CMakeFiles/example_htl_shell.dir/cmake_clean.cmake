@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_htl_shell.dir/htl_shell.cpp.o"
+  "CMakeFiles/example_htl_shell.dir/htl_shell.cpp.o.d"
+  "example_htl_shell"
+  "example_htl_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_htl_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_video_analyzer.dir/video_analyzer.cpp.o"
+  "CMakeFiles/example_video_analyzer.dir/video_analyzer.cpp.o.d"
+  "example_video_analyzer"
+  "example_video_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_video_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

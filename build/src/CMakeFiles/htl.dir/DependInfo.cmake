@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analyzer/cut_detection.cc" "src/CMakeFiles/htl.dir/analyzer/cut_detection.cc.o" "gcc" "src/CMakeFiles/htl.dir/analyzer/cut_detection.cc.o.d"
+  "/root/repo/src/analyzer/pipeline.cc" "src/CMakeFiles/htl.dir/analyzer/pipeline.cc.o" "gcc" "src/CMakeFiles/htl.dir/analyzer/pipeline.cc.o.d"
+  "/root/repo/src/analyzer/tracker.cc" "src/CMakeFiles/htl.dir/analyzer/tracker.cc.o" "gcc" "src/CMakeFiles/htl.dir/analyzer/tracker.cc.o.d"
+  "/root/repo/src/engine/direct_engine.cc" "src/CMakeFiles/htl.dir/engine/direct_engine.cc.o" "gcc" "src/CMakeFiles/htl.dir/engine/direct_engine.cc.o.d"
+  "/root/repo/src/engine/plan.cc" "src/CMakeFiles/htl.dir/engine/plan.cc.o" "gcc" "src/CMakeFiles/htl.dir/engine/plan.cc.o.d"
+  "/root/repo/src/engine/reference_engine.cc" "src/CMakeFiles/htl.dir/engine/reference_engine.cc.o" "gcc" "src/CMakeFiles/htl.dir/engine/reference_engine.cc.o.d"
+  "/root/repo/src/engine/retrieval.cc" "src/CMakeFiles/htl.dir/engine/retrieval.cc.o" "gcc" "src/CMakeFiles/htl.dir/engine/retrieval.cc.o.d"
+  "/root/repo/src/htl/ast.cc" "src/CMakeFiles/htl.dir/htl/ast.cc.o" "gcc" "src/CMakeFiles/htl.dir/htl/ast.cc.o.d"
+  "/root/repo/src/htl/binder.cc" "src/CMakeFiles/htl.dir/htl/binder.cc.o" "gcc" "src/CMakeFiles/htl.dir/htl/binder.cc.o.d"
+  "/root/repo/src/htl/classifier.cc" "src/CMakeFiles/htl.dir/htl/classifier.cc.o" "gcc" "src/CMakeFiles/htl.dir/htl/classifier.cc.o.d"
+  "/root/repo/src/htl/lexer.cc" "src/CMakeFiles/htl.dir/htl/lexer.cc.o" "gcc" "src/CMakeFiles/htl.dir/htl/lexer.cc.o.d"
+  "/root/repo/src/htl/parser.cc" "src/CMakeFiles/htl.dir/htl/parser.cc.o" "gcc" "src/CMakeFiles/htl.dir/htl/parser.cc.o.d"
+  "/root/repo/src/htl/rewriter.cc" "src/CMakeFiles/htl.dir/htl/rewriter.cc.o" "gcc" "src/CMakeFiles/htl.dir/htl/rewriter.cc.o.d"
+  "/root/repo/src/model/predicate_fact.cc" "src/CMakeFiles/htl.dir/model/predicate_fact.cc.o" "gcc" "src/CMakeFiles/htl.dir/model/predicate_fact.cc.o.d"
+  "/root/repo/src/model/segment.cc" "src/CMakeFiles/htl.dir/model/segment.cc.o" "gcc" "src/CMakeFiles/htl.dir/model/segment.cc.o.d"
+  "/root/repo/src/model/value.cc" "src/CMakeFiles/htl.dir/model/value.cc.o" "gcc" "src/CMakeFiles/htl.dir/model/value.cc.o.d"
+  "/root/repo/src/model/video.cc" "src/CMakeFiles/htl.dir/model/video.cc.o" "gcc" "src/CMakeFiles/htl.dir/model/video.cc.o.d"
+  "/root/repo/src/model/video_builder.cc" "src/CMakeFiles/htl.dir/model/video_builder.cc.o" "gcc" "src/CMakeFiles/htl.dir/model/video_builder.cc.o.d"
+  "/root/repo/src/picture/atomic.cc" "src/CMakeFiles/htl.dir/picture/atomic.cc.o" "gcc" "src/CMakeFiles/htl.dir/picture/atomic.cc.o.d"
+  "/root/repo/src/picture/constraint_eval.cc" "src/CMakeFiles/htl.dir/picture/constraint_eval.cc.o" "gcc" "src/CMakeFiles/htl.dir/picture/constraint_eval.cc.o.d"
+  "/root/repo/src/picture/index.cc" "src/CMakeFiles/htl.dir/picture/index.cc.o" "gcc" "src/CMakeFiles/htl.dir/picture/index.cc.o.d"
+  "/root/repo/src/picture/picture_system.cc" "src/CMakeFiles/htl.dir/picture/picture_system.cc.o" "gcc" "src/CMakeFiles/htl.dir/picture/picture_system.cc.o.d"
+  "/root/repo/src/picture/spatial.cc" "src/CMakeFiles/htl.dir/picture/spatial.cc.o" "gcc" "src/CMakeFiles/htl.dir/picture/spatial.cc.o.d"
+  "/root/repo/src/sim/list_ops.cc" "src/CMakeFiles/htl.dir/sim/list_ops.cc.o" "gcc" "src/CMakeFiles/htl.dir/sim/list_ops.cc.o.d"
+  "/root/repo/src/sim/sim_list.cc" "src/CMakeFiles/htl.dir/sim/sim_list.cc.o" "gcc" "src/CMakeFiles/htl.dir/sim/sim_list.cc.o.d"
+  "/root/repo/src/sim/sim_table.cc" "src/CMakeFiles/htl.dir/sim/sim_table.cc.o" "gcc" "src/CMakeFiles/htl.dir/sim/sim_table.cc.o.d"
+  "/root/repo/src/sim/similarity.cc" "src/CMakeFiles/htl.dir/sim/similarity.cc.o" "gcc" "src/CMakeFiles/htl.dir/sim/similarity.cc.o.d"
+  "/root/repo/src/sim/table_ops.cc" "src/CMakeFiles/htl.dir/sim/table_ops.cc.o" "gcc" "src/CMakeFiles/htl.dir/sim/table_ops.cc.o.d"
+  "/root/repo/src/sim/topk.cc" "src/CMakeFiles/htl.dir/sim/topk.cc.o" "gcc" "src/CMakeFiles/htl.dir/sim/topk.cc.o.d"
+  "/root/repo/src/sim/value_range.cc" "src/CMakeFiles/htl.dir/sim/value_range.cc.o" "gcc" "src/CMakeFiles/htl.dir/sim/value_range.cc.o.d"
+  "/root/repo/src/sim/value_table.cc" "src/CMakeFiles/htl.dir/sim/value_table.cc.o" "gcc" "src/CMakeFiles/htl.dir/sim/value_table.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/htl.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/htl.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/bridge.cc" "src/CMakeFiles/htl.dir/sql/bridge.cc.o" "gcc" "src/CMakeFiles/htl.dir/sql/bridge.cc.o.d"
+  "/root/repo/src/sql/executor.cc" "src/CMakeFiles/htl.dir/sql/executor.cc.o" "gcc" "src/CMakeFiles/htl.dir/sql/executor.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/htl.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/htl.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/htl.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/htl.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/sql_system.cc" "src/CMakeFiles/htl.dir/sql/sql_system.cc.o" "gcc" "src/CMakeFiles/htl.dir/sql/sql_system.cc.o.d"
+  "/root/repo/src/sql/table.cc" "src/CMakeFiles/htl.dir/sql/table.cc.o" "gcc" "src/CMakeFiles/htl.dir/sql/table.cc.o.d"
+  "/root/repo/src/sql/translator.cc" "src/CMakeFiles/htl.dir/sql/translator.cc.o" "gcc" "src/CMakeFiles/htl.dir/sql/translator.cc.o.d"
+  "/root/repo/src/sql/value.cc" "src/CMakeFiles/htl.dir/sql/value.cc.o" "gcc" "src/CMakeFiles/htl.dir/sql/value.cc.o.d"
+  "/root/repo/src/storage/serialization.cc" "src/CMakeFiles/htl.dir/storage/serialization.cc.o" "gcc" "src/CMakeFiles/htl.dir/storage/serialization.cc.o.d"
+  "/root/repo/src/util/interval.cc" "src/CMakeFiles/htl.dir/util/interval.cc.o" "gcc" "src/CMakeFiles/htl.dir/util/interval.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/htl.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/htl.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/htl.dir/util/status.cc.o" "gcc" "src/CMakeFiles/htl.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/htl.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/htl.dir/util/string_util.cc.o.d"
+  "/root/repo/src/workload/casablanca.cc" "src/CMakeFiles/htl.dir/workload/casablanca.cc.o" "gcc" "src/CMakeFiles/htl.dir/workload/casablanca.cc.o.d"
+  "/root/repo/src/workload/footage_gen.cc" "src/CMakeFiles/htl.dir/workload/footage_gen.cc.o" "gcc" "src/CMakeFiles/htl.dir/workload/footage_gen.cc.o.d"
+  "/root/repo/src/workload/formula_gen.cc" "src/CMakeFiles/htl.dir/workload/formula_gen.cc.o" "gcc" "src/CMakeFiles/htl.dir/workload/formula_gen.cc.o.d"
+  "/root/repo/src/workload/random_lists.cc" "src/CMakeFiles/htl.dir/workload/random_lists.cc.o" "gcc" "src/CMakeFiles/htl.dir/workload/random_lists.cc.o.d"
+  "/root/repo/src/workload/video_gen.cc" "src/CMakeFiles/htl.dir/workload/video_gen.cc.o" "gcc" "src/CMakeFiles/htl.dir/workload/video_gen.cc.o.d"
+  "/root/repo/src/workload/western.cc" "src/CMakeFiles/htl.dir/workload/western.cc.o" "gcc" "src/CMakeFiles/htl.dir/workload/western.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/direct_engine_test.cc" "tests/CMakeFiles/engine_tests.dir/engine/direct_engine_test.cc.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/direct_engine_test.cc.o.d"
+  "/root/repo/tests/engine/plan_test.cc" "tests/CMakeFiles/engine_tests.dir/engine/plan_test.cc.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/plan_test.cc.o.d"
+  "/root/repo/tests/engine/reference_engine_test.cc" "tests/CMakeFiles/engine_tests.dir/engine/reference_engine_test.cc.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/reference_engine_test.cc.o.d"
+  "/root/repo/tests/engine/retrieval_test.cc" "tests/CMakeFiles/engine_tests.dir/engine/retrieval_test.cc.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/retrieval_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/htl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_tests.dir/engine/direct_engine_test.cc.o"
+  "CMakeFiles/engine_tests.dir/engine/direct_engine_test.cc.o.d"
+  "CMakeFiles/engine_tests.dir/engine/plan_test.cc.o"
+  "CMakeFiles/engine_tests.dir/engine/plan_test.cc.o.d"
+  "CMakeFiles/engine_tests.dir/engine/reference_engine_test.cc.o"
+  "CMakeFiles/engine_tests.dir/engine/reference_engine_test.cc.o.d"
+  "CMakeFiles/engine_tests.dir/engine/retrieval_test.cc.o"
+  "CMakeFiles/engine_tests.dir/engine/retrieval_test.cc.o.d"
+  "engine_tests"
+  "engine_tests.pdb"
+  "engine_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/htl/ast_test.cc" "tests/CMakeFiles/htl_tests.dir/htl/ast_test.cc.o" "gcc" "tests/CMakeFiles/htl_tests.dir/htl/ast_test.cc.o.d"
+  "/root/repo/tests/htl/binder_test.cc" "tests/CMakeFiles/htl_tests.dir/htl/binder_test.cc.o" "gcc" "tests/CMakeFiles/htl_tests.dir/htl/binder_test.cc.o.d"
+  "/root/repo/tests/htl/classifier_test.cc" "tests/CMakeFiles/htl_tests.dir/htl/classifier_test.cc.o" "gcc" "tests/CMakeFiles/htl_tests.dir/htl/classifier_test.cc.o.d"
+  "/root/repo/tests/htl/lexer_test.cc" "tests/CMakeFiles/htl_tests.dir/htl/lexer_test.cc.o" "gcc" "tests/CMakeFiles/htl_tests.dir/htl/lexer_test.cc.o.d"
+  "/root/repo/tests/htl/parser_test.cc" "tests/CMakeFiles/htl_tests.dir/htl/parser_test.cc.o" "gcc" "tests/CMakeFiles/htl_tests.dir/htl/parser_test.cc.o.d"
+  "/root/repo/tests/htl/rewriter_test.cc" "tests/CMakeFiles/htl_tests.dir/htl/rewriter_test.cc.o" "gcc" "tests/CMakeFiles/htl_tests.dir/htl/rewriter_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/htl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htl_tests.dir/htl/ast_test.cc.o"
+  "CMakeFiles/htl_tests.dir/htl/ast_test.cc.o.d"
+  "CMakeFiles/htl_tests.dir/htl/binder_test.cc.o"
+  "CMakeFiles/htl_tests.dir/htl/binder_test.cc.o.d"
+  "CMakeFiles/htl_tests.dir/htl/classifier_test.cc.o"
+  "CMakeFiles/htl_tests.dir/htl/classifier_test.cc.o.d"
+  "CMakeFiles/htl_tests.dir/htl/lexer_test.cc.o"
+  "CMakeFiles/htl_tests.dir/htl/lexer_test.cc.o.d"
+  "CMakeFiles/htl_tests.dir/htl/parser_test.cc.o"
+  "CMakeFiles/htl_tests.dir/htl/parser_test.cc.o.d"
+  "CMakeFiles/htl_tests.dir/htl/rewriter_test.cc.o"
+  "CMakeFiles/htl_tests.dir/htl/rewriter_test.cc.o.d"
+  "htl_tests"
+  "htl_tests.pdb"
+  "htl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_tests.dir/model/model_test.cc.o"
+  "CMakeFiles/model_tests.dir/model/model_test.cc.o.d"
+  "model_tests"
+  "model_tests.pdb"
+  "model_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/picture/analyzer_test.cc" "tests/CMakeFiles/picture_tests.dir/picture/analyzer_test.cc.o" "gcc" "tests/CMakeFiles/picture_tests.dir/picture/analyzer_test.cc.o.d"
+  "/root/repo/tests/picture/atomic_test.cc" "tests/CMakeFiles/picture_tests.dir/picture/atomic_test.cc.o" "gcc" "tests/CMakeFiles/picture_tests.dir/picture/atomic_test.cc.o.d"
+  "/root/repo/tests/picture/constraint_eval_test.cc" "tests/CMakeFiles/picture_tests.dir/picture/constraint_eval_test.cc.o" "gcc" "tests/CMakeFiles/picture_tests.dir/picture/constraint_eval_test.cc.o.d"
+  "/root/repo/tests/picture/picture_system_test.cc" "tests/CMakeFiles/picture_tests.dir/picture/picture_system_test.cc.o" "gcc" "tests/CMakeFiles/picture_tests.dir/picture/picture_system_test.cc.o.d"
+  "/root/repo/tests/picture/spatial_test.cc" "tests/CMakeFiles/picture_tests.dir/picture/spatial_test.cc.o" "gcc" "tests/CMakeFiles/picture_tests.dir/picture/spatial_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/htl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

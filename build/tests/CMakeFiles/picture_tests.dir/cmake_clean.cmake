@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picture_tests.dir/picture/analyzer_test.cc.o"
+  "CMakeFiles/picture_tests.dir/picture/analyzer_test.cc.o.d"
+  "CMakeFiles/picture_tests.dir/picture/atomic_test.cc.o"
+  "CMakeFiles/picture_tests.dir/picture/atomic_test.cc.o.d"
+  "CMakeFiles/picture_tests.dir/picture/constraint_eval_test.cc.o"
+  "CMakeFiles/picture_tests.dir/picture/constraint_eval_test.cc.o.d"
+  "CMakeFiles/picture_tests.dir/picture/picture_system_test.cc.o"
+  "CMakeFiles/picture_tests.dir/picture/picture_system_test.cc.o.d"
+  "CMakeFiles/picture_tests.dir/picture/spatial_test.cc.o"
+  "CMakeFiles/picture_tests.dir/picture/spatial_test.cc.o.d"
+  "picture_tests"
+  "picture_tests.pdb"
+  "picture_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picture_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

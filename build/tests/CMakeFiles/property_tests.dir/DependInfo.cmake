@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property/classifier_engine_contract_test.cc" "tests/CMakeFiles/property_tests.dir/property/classifier_engine_contract_test.cc.o" "gcc" "tests/CMakeFiles/property_tests.dir/property/classifier_engine_contract_test.cc.o.d"
+  "/root/repo/tests/property/engines_agree_test.cc" "tests/CMakeFiles/property_tests.dir/property/engines_agree_test.cc.o" "gcc" "tests/CMakeFiles/property_tests.dir/property/engines_agree_test.cc.o.d"
+  "/root/repo/tests/property/fuzzy_semantics_test.cc" "tests/CMakeFiles/property_tests.dir/property/fuzzy_semantics_test.cc.o" "gcc" "tests/CMakeFiles/property_tests.dir/property/fuzzy_semantics_test.cc.o.d"
+  "/root/repo/tests/property/list_ops_property_test.cc" "tests/CMakeFiles/property_tests.dir/property/list_ops_property_test.cc.o" "gcc" "tests/CMakeFiles/property_tests.dir/property/list_ops_property_test.cc.o.d"
+  "/root/repo/tests/property/robustness_test.cc" "tests/CMakeFiles/property_tests.dir/property/robustness_test.cc.o" "gcc" "tests/CMakeFiles/property_tests.dir/property/robustness_test.cc.o.d"
+  "/root/repo/tests/property/sql_parity_test.cc" "tests/CMakeFiles/property_tests.dir/property/sql_parity_test.cc.o" "gcc" "tests/CMakeFiles/property_tests.dir/property/sql_parity_test.cc.o.d"
+  "/root/repo/tests/property/threshold_sweep_test.cc" "tests/CMakeFiles/property_tests.dir/property/threshold_sweep_test.cc.o" "gcc" "tests/CMakeFiles/property_tests.dir/property/threshold_sweep_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/htl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

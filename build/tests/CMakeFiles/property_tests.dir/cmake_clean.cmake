@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_tests.dir/property/classifier_engine_contract_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/classifier_engine_contract_test.cc.o.d"
+  "CMakeFiles/property_tests.dir/property/engines_agree_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/engines_agree_test.cc.o.d"
+  "CMakeFiles/property_tests.dir/property/fuzzy_semantics_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/fuzzy_semantics_test.cc.o.d"
+  "CMakeFiles/property_tests.dir/property/list_ops_property_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/list_ops_property_test.cc.o.d"
+  "CMakeFiles/property_tests.dir/property/robustness_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/robustness_test.cc.o.d"
+  "CMakeFiles/property_tests.dir/property/sql_parity_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/sql_parity_test.cc.o.d"
+  "CMakeFiles/property_tests.dir/property/threshold_sweep_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/threshold_sweep_test.cc.o.d"
+  "property_tests"
+  "property_tests.pdb"
+  "property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/list_ops_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/list_ops_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/list_ops_test.cc.o.d"
+  "/root/repo/tests/sim/sim_list_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/sim_list_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/sim_list_test.cc.o.d"
+  "/root/repo/tests/sim/table_ops_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/table_ops_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/table_ops_test.cc.o.d"
+  "/root/repo/tests/sim/topk_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/topk_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/topk_test.cc.o.d"
+  "/root/repo/tests/sim/value_range_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/value_range_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/value_range_test.cc.o.d"
+  "/root/repo/tests/sim/value_table_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/value_table_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/value_table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/htl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

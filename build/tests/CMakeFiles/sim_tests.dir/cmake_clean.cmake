@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/list_ops_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/list_ops_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/sim_list_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/sim_list_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/table_ops_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/table_ops_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/topk_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/topk_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/value_range_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/value_range_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/value_table_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/value_table_test.cc.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

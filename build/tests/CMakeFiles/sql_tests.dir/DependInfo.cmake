@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sql/conjunctive_translation_test.cc" "tests/CMakeFiles/sql_tests.dir/sql/conjunctive_translation_test.cc.o" "gcc" "tests/CMakeFiles/sql_tests.dir/sql/conjunctive_translation_test.cc.o.d"
+  "/root/repo/tests/sql/executor_test.cc" "tests/CMakeFiles/sql_tests.dir/sql/executor_test.cc.o" "gcc" "tests/CMakeFiles/sql_tests.dir/sql/executor_test.cc.o.d"
+  "/root/repo/tests/sql/misc_test.cc" "tests/CMakeFiles/sql_tests.dir/sql/misc_test.cc.o" "gcc" "tests/CMakeFiles/sql_tests.dir/sql/misc_test.cc.o.d"
+  "/root/repo/tests/sql/parser_test.cc" "tests/CMakeFiles/sql_tests.dir/sql/parser_test.cc.o" "gcc" "tests/CMakeFiles/sql_tests.dir/sql/parser_test.cc.o.d"
+  "/root/repo/tests/sql/translator_test.cc" "tests/CMakeFiles/sql_tests.dir/sql/translator_test.cc.o" "gcc" "tests/CMakeFiles/sql_tests.dir/sql/translator_test.cc.o.d"
+  "/root/repo/tests/sql/type2_translation_test.cc" "tests/CMakeFiles/sql_tests.dir/sql/type2_translation_test.cc.o" "gcc" "tests/CMakeFiles/sql_tests.dir/sql/type2_translation_test.cc.o.d"
+  "/root/repo/tests/sql/value_table_test.cc" "tests/CMakeFiles/sql_tests.dir/sql/value_table_test.cc.o" "gcc" "tests/CMakeFiles/sql_tests.dir/sql/value_table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/htl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

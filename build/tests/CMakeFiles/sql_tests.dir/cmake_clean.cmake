@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_tests.dir/sql/conjunctive_translation_test.cc.o"
+  "CMakeFiles/sql_tests.dir/sql/conjunctive_translation_test.cc.o.d"
+  "CMakeFiles/sql_tests.dir/sql/executor_test.cc.o"
+  "CMakeFiles/sql_tests.dir/sql/executor_test.cc.o.d"
+  "CMakeFiles/sql_tests.dir/sql/misc_test.cc.o"
+  "CMakeFiles/sql_tests.dir/sql/misc_test.cc.o.d"
+  "CMakeFiles/sql_tests.dir/sql/parser_test.cc.o"
+  "CMakeFiles/sql_tests.dir/sql/parser_test.cc.o.d"
+  "CMakeFiles/sql_tests.dir/sql/translator_test.cc.o"
+  "CMakeFiles/sql_tests.dir/sql/translator_test.cc.o.d"
+  "CMakeFiles/sql_tests.dir/sql/type2_translation_test.cc.o"
+  "CMakeFiles/sql_tests.dir/sql/type2_translation_test.cc.o.d"
+  "CMakeFiles/sql_tests.dir/sql/value_table_test.cc.o"
+  "CMakeFiles/sql_tests.dir/sql/value_table_test.cc.o.d"
+  "sql_tests"
+  "sql_tests.pdb"
+  "sql_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

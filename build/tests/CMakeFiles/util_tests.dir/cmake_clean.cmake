@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_tests.dir/util/interval_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/interval_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/rng_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/rng_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/serialization_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/serialization_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/status_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/status_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/string_util_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/string_util_test.cc.o.d"
+  "util_tests"
+  "util_tests.pdb"
+  "util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
