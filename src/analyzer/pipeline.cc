@@ -2,6 +2,7 @@
 
 #include "model/video_builder.h"
 #include "picture/spatial.h"
+#include "util/logging.h"
 
 namespace htl {
 
@@ -59,6 +60,7 @@ Result<VideoTree> AnalyzeVideo(const std::vector<RawFrame>& frames,
   builder.NameLevel("shot", 2);
   builder.NameLevel("frame", 3);
   HTL_ASSIGN_OR_RETURN(VideoTree video, std::move(builder).Build());
+  HTL_DCHECK_OK(video.CheckInvariants());
   return video;
 }
 

@@ -26,6 +26,7 @@ Result<SimilarityList> DirectEngine::EvaluateList(int level, const Formula& f) {
   }
   const Interval bounds{1, video_->NumSegments(level)};
   HTL_ASSIGN_OR_RETURN(SimilarityTable table, EvalTable(level, bounds, f));
+  HTL_DCHECK_OK(table.CheckInvariants());
   if (!table.object_vars().empty() || !table.attr_vars().empty()) {
     return Status::InvalidArgument(
         StrCat("formula has free variables (",

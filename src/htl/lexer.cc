@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "util/parse.h"
 #include "util/string_util.h"
 
 namespace htl {
@@ -120,8 +121,19 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
       const std::string num(text.substr(start, i - start));
       Token t;
       t.kind = is_float ? TokenKind::kFloat : TokenKind::kInt;
-      t.number = is_float ? AttrValue(std::stod(num))
-                          : AttrValue(static_cast<int64_t>(std::stoll(num)));
+      if (is_float) {
+        double d = 0;
+        if (!ParseDouble(num, &d)) {
+          return Status::ParseError(StrCat("bad numeric literal '", num, "'"));
+        }
+        t.number = AttrValue(d);
+      } else {
+        int64_t v = 0;
+        if (!ParseInt64(num, &v)) {
+          return Status::ParseError(StrCat("integer literal out of range '", num, "'"));
+        }
+        t.number = AttrValue(v);
+      }
       t.offset = start;
       out.push_back(std::move(t));
       continue;

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "htl/lexer.h"
+#include "util/parse.h"
 #include "util/string_util.h"
 
 namespace htl {
@@ -21,11 +22,13 @@ std::optional<LevelSpec> ParseLevelIdent(const std::string& ident) {
   constexpr std::string_view kLevelPrefix = "at-level-";
   if (StartsWith(ident, kLevelPrefix)) {
     const std::string digits = ident.substr(kLevelPrefix.size());
+    int32_t level = 0;
     if (!digits.empty() &&
-        digits.find_first_not_of("0123456789") == std::string::npos) {
+        digits.find_first_not_of("0123456789") == std::string::npos &&
+        ParseInt32(digits, &level)) {
       LevelSpec s;
       s.kind = LevelSpec::Kind::kAbsolute;
-      s.level = std::stoi(digits);
+      s.level = level;
       return s;
     }
     return std::nullopt;

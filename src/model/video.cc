@@ -105,6 +105,71 @@ VideoTree VideoTree::Flat(int64_t num_children) {
   return v;
 }
 
+Status VideoTree::CheckInvariants() const {
+  if (levels_.empty()) return Status::Internal("video has no levels");
+  if (levels_[0].size() != 1) {
+    return Status::Internal(
+        StrCat("level 1 must hold exactly the root, has ", levels_[0].size()));
+  }
+  if (levels_[0][0].parent != kInvalidSegmentId) {
+    return Status::Internal("root must not have a parent");
+  }
+  for (int level = 1; level <= num_levels(); ++level) {
+    const auto& nodes = levels_[static_cast<size_t>(level - 1)];
+    const int64_t next_size =
+        level < num_levels()
+            ? static_cast<int64_t>(levels_[static_cast<size_t>(level)].size())
+            : 0;
+    // Children intervals must march left to right across the next level
+    // without gaps or overlaps: that contiguity is what makes interval-coded
+    // similarity lists valid per level.
+    SegmentId next_covered = 0;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      const Node& n = nodes[i];
+      if (n.num_children < 0) {
+        return Status::Internal(StrCat("node (", level, ",", i + 1,
+                                       ") has negative child count ", n.num_children));
+      }
+      if (n.num_children == 0) continue;
+      if (level == num_levels()) {
+        return Status::Internal(StrCat("node (", level, ",", i + 1,
+                                       ") has children below the last level"));
+      }
+      if (n.first_child != next_covered + 1) {
+        return Status::Internal(
+            StrCat("node (", level, ",", i + 1, ") children start at ", n.first_child,
+                   ", expected ", next_covered + 1, " (gap or overlap)"));
+      }
+      next_covered = n.first_child + n.num_children - 1;
+      if (next_covered > next_size) {
+        return Status::Internal(StrCat("node (", level, ",", i + 1,
+                                       ") children run to ", next_covered,
+                                       " past level ", level + 1, " size ", next_size));
+      }
+      for (SegmentId c = n.first_child; c <= next_covered; ++c) {
+        const Node& child = levels_[static_cast<size_t>(level)][static_cast<size_t>(c - 1)];
+        if (child.parent != static_cast<SegmentId>(i + 1)) {
+          return Status::Internal(
+              StrCat("node (", level + 1, ",", c, ") has parent ", child.parent,
+                     " but lies in the children interval of (", level, ",", i + 1, ")"));
+        }
+      }
+    }
+    if (next_covered != next_size) {
+      return Status::Internal(StrCat("level ", level + 1, " has ", next_size,
+                                     " segments but children intervals cover ",
+                                     next_covered));
+    }
+  }
+  for (const auto& [name, level] : level_names_) {
+    if (level < 1 || level > num_levels()) {
+      return Status::Internal(
+          StrCat("level name '", name, "' maps to out-of-range level ", level));
+    }
+  }
+  return Status::OK();
+}
+
 MetadataStore::VideoId MetadataStore::AddVideo(VideoTree video) {
   videos_.push_back(std::move(video));
   return static_cast<VideoId>(videos_.size());

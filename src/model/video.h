@@ -74,6 +74,14 @@ class VideoTree {
   /// empty meta-data to be filled by the caller.
   static VideoTree Flat(int64_t num_children);
 
+  /// Validates proper-sequence well-formedness (section 2.1): level 1 holds
+  /// exactly the root; every deeper node's parent pointer is in range and
+  /// agrees with the parent's children interval; children intervals are
+  /// non-overlapping, in temporal order, and together cover the next level
+  /// exactly; level names map to existing levels. O(total nodes); production
+  /// call sites go through HTL_DCHECK_OK.
+  Status CheckInvariants() const;
+
  private:
   friend class VideoBuilder;
 

@@ -86,6 +86,7 @@ Result<VideoTree> VideoBuilder::Build() && {
   for (const auto& [name, level] : level_names_) {
     HTL_RETURN_IF_ERROR(tree.NameLevel(name, level));
   }
+  HTL_DCHECK_OK(tree.CheckInvariants());
   return tree;
 }
 

@@ -48,6 +48,7 @@ Result<SimilarityList> SimilarityList::FromEntries(std::vector<SimEntry> entries
   }
   SimilarityList list(max);
   list.entries_ = Canonicalize(std::move(entries));
+  HTL_DCHECK_OK(list.CheckInvariants());
   return list;
 }
 
@@ -75,6 +76,7 @@ SimilarityList SimilarityList::FromDense(const std::vector<double>& values, doub
         values[i]});
     i = j;
   }
+  HTL_DCHECK_OK(list.CheckInvariants());
   return list;
 }
 
@@ -102,6 +104,7 @@ SimilarityList SimilarityList::Clip(const Interval& bounds) const {
     Interval cut = e.range.Intersect(bounds);
     if (!cut.empty()) out.entries_.push_back(SimEntry{cut, e.actual});
   }
+  HTL_DCHECK_OK(out.CheckInvariants());
   return out;
 }
 
@@ -112,6 +115,40 @@ SimilarityList SimilarityList::WithMax(double new_max) const {
     HTL_CHECK_LE(e.actual, new_max) << "WithMax would break actual <= max";
   }
   return out;
+}
+
+Status SimilarityList::CheckInvariants() const {
+  if (max_ < 0) {
+    return Status::Internal(StrCat("negative max similarity ", max_));
+  }
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const SimEntry& e = entries_[i];
+    if (e.range.empty()) {
+      return Status::Internal(StrCat("entry ", i, " has empty range ", e.range.ToString()));
+    }
+    if (e.actual <= 0) {
+      return Status::Internal(
+          StrCat("entry ", i, " has actual ", e.actual, " <= 0 (zero runs are dropped)"));
+    }
+    if (e.actual > max_) {
+      return Status::Internal(
+          StrCat("entry ", i, " has actual ", e.actual, " > max ", max_));
+    }
+    if (i > 0) {
+      const SimEntry& prev = entries_[i - 1];
+      if (e.range.begin <= prev.range.end) {
+        return Status::Internal(StrCat("entries ", i - 1, " and ", i,
+                                       " not sorted/disjoint: ", prev.range.ToString(),
+                                       " then ", e.range.ToString()));
+      }
+      if (prev.range.Adjacent(e.range) && prev.actual == e.actual) {
+        return Status::Internal(StrCat("entries ", i - 1, " and ", i,
+                                       " form an unmerged equal-valued run at ",
+                                       e.range.ToString()));
+      }
+    }
+  }
+  return Status::OK();
 }
 
 std::string SimilarityList::ToString() const {

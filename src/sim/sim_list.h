@@ -71,6 +71,12 @@ class SimilarityList {
   /// actual <= new_max; checked).
   SimilarityList WithMax(double new_max) const;
 
+  /// Validates the class invariants listed above (sorted, disjoint,
+  /// canonical merged form, 0 < actual <= max). Returns OK or an Internal
+  /// status naming the first violation. O(length); production call sites go
+  /// through HTL_DCHECK_OK so the walk compiles out under NDEBUG.
+  Status CheckInvariants() const;
+
   /// Human-readable one-line form, e.g. "{[10,24]:10, [25,60]:15} max=20".
   std::string ToString() const;
 

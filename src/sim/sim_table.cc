@@ -40,6 +40,7 @@ void SimilarityTable::AddRow(Row row) {
   HTL_CHECK_EQ(row.objects.size(), object_vars_.size());
   HTL_CHECK_EQ(row.ranges.size(), attr_vars_.size());
   if (row.list.empty()) return;  // Zero-similarity evaluations are not stored.
+  HTL_DCHECK_OK(row.list.CheckInvariants());
   rows_.push_back(std::move(row));
 }
 
@@ -51,6 +52,33 @@ SimilarityList SimilarityTable::ToList(double fallback_max) const {
   lists.reserve(rows_.size());
   for (const Row& r : rows_) lists.push_back(r.list);
   return MultiMax(std::move(lists));
+}
+
+Status SimilarityTable::CheckInvariants() const {
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const Row& r = rows_[i];
+    if (r.objects.size() != object_vars_.size()) {
+      return Status::Internal(StrCat("row ", i, " has ", r.objects.size(),
+                                     " object bindings for ", object_vars_.size(),
+                                     " object columns"));
+    }
+    if (r.ranges.size() != attr_vars_.size()) {
+      return Status::Internal(StrCat("row ", i, " has ", r.ranges.size(),
+                                     " value ranges for ", attr_vars_.size(),
+                                     " attribute columns"));
+    }
+    if (r.list.empty()) {
+      return Status::Internal(
+          StrCat("row ", i, " holds an empty list (zero rows are not stored)"));
+    }
+    HTL_RETURN_IF_ERROR(r.list.CheckInvariants());
+    if (r.list.max() != rows_.front().list.max()) {
+      return Status::Internal(StrCat("row ", i, " has max ", r.list.max(),
+                                     " but row 0 has ", rows_.front().list.max(),
+                                     " (all rows share the formula max)"));
+    }
+  }
+  return Status::OK();
 }
 
 std::string SimilarityTable::ToString() const {

@@ -59,6 +59,12 @@ class SimilarityTable {
   /// several accumulated); `fallback_max` when empty.
   SimilarityList ToList(double fallback_max = 0.0) const;
 
+  /// Validates table invariants: every row has object/range arity matching
+  /// the variable columns, a non-empty list satisfying
+  /// SimilarityList::CheckInvariants(), and all rows share one max (the
+  /// formula's static maximum). O(total entries); call via HTL_DCHECK_OK.
+  Status CheckInvariants() const;
+
   /// Multi-line debug form.
   std::string ToString() const;
 

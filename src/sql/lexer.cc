@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "util/parse.h"
 #include "util/string_util.h"
 
 namespace htl::sql {
@@ -53,8 +54,19 @@ Result<std::vector<Tok>> TokenizeSql(std::string_view text) {
       const std::string num(text.substr(start, i - start));
       Tok t;
       t.kind = is_float ? TokKind::kFloat : TokKind::kInt;
-      t.number = is_float ? Value(std::stod(num))
-                          : Value(static_cast<int64_t>(std::stoll(num)));
+      if (is_float) {
+        double d = 0;
+        if (!ParseDouble(num, &d)) {
+          return Status::ParseError(StrCat("bad numeric literal '", num, "'"));
+        }
+        t.number = Value(d);
+      } else {
+        int64_t v = 0;
+        if (!ParseInt64(num, &v)) {
+          return Status::ParseError(StrCat("integer literal out of range '", num, "'"));
+        }
+        t.number = Value(v);
+      }
       t.offset = start;
       out.push_back(std::move(t));
       continue;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "model/video_builder.h"
+#include "util/parse.h"
 #include "util/string_util.h"
 
 namespace htl {
@@ -79,18 +80,20 @@ Result<AttrValue> DecodeValue(const std::string& token) {
   switch (token[0]) {
     case '0':
       return AttrValue();
-    case 'i':
-      try {
-        return AttrValue(static_cast<int64_t>(std::stoll(body)));
-      } catch (...) {
+    case 'i': {
+      int64_t i = 0;
+      if (!ParseInt64(body, &i)) {
         return Status::ParseError(StrCat("bad integer '", body, "'"));
       }
-    case 'f':
-      try {
-        return AttrValue(std::stod(body));
-      } catch (...) {
+      return AttrValue(i);
+    }
+    case 'f': {
+      double d = 0;
+      if (!ParseDouble(body, &d)) {
         return Status::ParseError(StrCat("bad float '", body, "'"));
       }
+      return AttrValue(d);
+    }
     case 's': {
       HTL_ASSIGN_OR_RETURN(std::string s, UnescapeString(body));
       return AttrValue(std::move(s));
@@ -148,21 +151,17 @@ Result<SimilarityList> ReadSimilarityList(std::istream& in) {
       return SimilarityList::FromEntries(std::move(entries), max);
     }
     if (toks[0] == "max" && toks.size() == 2) {
-      try {
-        max = std::stod(toks[1]);
-      } catch (...) {
-        return ParseErrorAt(line_no, "bad max");
-      }
+      if (!ParseDouble(toks[1], &max)) return ParseErrorAt(line_no, "bad max");
       have_max = true;
       continue;
     }
     if (toks[0] == "entry" && toks.size() == 4) {
-      try {
-        entries.push_back(SimEntry{Interval{std::stoll(toks[1]), std::stoll(toks[2])},
-                                   std::stod(toks[3])});
-      } catch (...) {
+      SimEntry e;
+      if (!ParseInt64(toks[1], &e.range.begin) || !ParseInt64(toks[2], &e.range.end) ||
+          !ParseDouble(toks[3], &e.actual)) {
         return ParseErrorAt(line_no, "bad entry");
       }
+      entries.push_back(e);
       continue;
     }
     return ParseErrorAt(line_no, StrCat("unexpected directive '", toks[0], "'"));
@@ -218,10 +217,8 @@ Result<VideoTree> ReadVideo(std::istream& in) {
   if (toks.size() != 2 || toks[0] != "levels") {
     return ParseErrorAt(line_no, "expected 'levels <n>'");
   }
-  int num_levels = 0;
-  try {
-    num_levels = std::stoi(toks[1]);
-  } catch (...) {
+  int32_t num_levels = 0;
+  if (!ParseInt32(toks[1], &num_levels)) {
     return ParseErrorAt(line_no, "bad level count");
   }
   if (num_levels < 1) return ParseErrorAt(line_no, "level count must be >= 1");
@@ -247,23 +244,20 @@ Result<VideoTree> ReadVideo(std::istream& in) {
     if (dir == "levelname") {
       if (toks.size() != 3) return ParseErrorAt(line_no, "bad levelname");
       HTL_ASSIGN_OR_RETURN(std::string name, UnescapeString(toks[1]));
-      try {
-        level_names.emplace_back(std::move(name), std::stoi(toks[2]));
-      } catch (...) {
+      int32_t name_level = 0;
+      if (!ParseInt32(toks[2], &name_level)) {
         return ParseErrorAt(line_no, "bad levelname level");
       }
+      level_names.emplace_back(std::move(name), name_level);
       continue;
     }
     if (dir == "segment") {
       if (toks.size() != 4) return ParseErrorAt(line_no, "bad segment line");
-      int level = 0;
+      int32_t level = 0;
       SegmentId id = 0;
       int64_t kids = 0;
-      try {
-        level = std::stoi(toks[1]);
-        id = std::stoll(toks[2]);
-        kids = std::stoll(toks[3]);
-      } catch (...) {
+      if (!ParseInt32(toks[1], &level) || !ParseInt64(toks[2], &id) ||
+          !ParseInt64(toks[3], &kids)) {
         return ParseErrorAt(line_no, "bad segment numbers");
       }
       if (level < 1 || level > num_levels) {
@@ -299,15 +293,14 @@ Result<VideoTree> ReadVideo(std::istream& in) {
     if (dir == "object") {
       if (toks.size() != 2) return ParseErrorAt(line_no, "bad object line");
       ObjectAppearance obj;
-      try {
-        obj.id = std::stoll(toks[1]);
-      } catch (...) {
+      if (!ParseInt64(toks[1], &obj.id)) {
         return ParseErrorAt(line_no, "bad object id");
       }
+      const ObjectId obj_id = obj.id;
       current_meta->AddObject(std::move(obj));
       // AddObject keeps objects sorted; find it again for attribute lines.
-      current_object = const_cast<ObjectAppearance*>(
-          current_meta->FindObject(std::stoll(toks[1])));
+      current_object =
+          const_cast<ObjectAppearance*>(current_meta->FindObject(obj_id));
       continue;
     }
     if (dir == "attr") {
@@ -326,11 +319,11 @@ Result<VideoTree> ReadVideo(std::istream& in) {
       PredicateFact fact;
       HTL_ASSIGN_OR_RETURN(fact.name, UnescapeString(toks[1]));
       for (size_t i = 2; i < toks.size(); ++i) {
-        try {
-          fact.args.push_back(std::stoll(toks[i]));
-        } catch (...) {
+        ObjectId arg = 0;
+        if (!ParseInt64(toks[i], &arg)) {
           return ParseErrorAt(line_no, "bad fact argument");
         }
+        fact.args.push_back(arg);
       }
       current_meta->AddFact(std::move(fact));
       continue;
@@ -377,9 +370,7 @@ Result<MetadataStore> ReadStore(std::istream& in) {
     return ParseErrorAt(line_no, "expected 'videos <n>'");
   }
   int64_t count = 0;
-  try {
-    count = std::stoll(toks[1]);
-  } catch (...) {
+  if (!ParseInt64(toks[1], &count)) {
     return ParseErrorAt(line_no, "bad video count");
   }
   if (count < 0) return ParseErrorAt(line_no, "negative video count");

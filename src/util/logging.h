@@ -74,6 +74,17 @@ struct Voidify {
   void operator&(std::ostream&) {}
 };
 
+/// Renders a Status or a Result<T> for a check-failure message without this
+/// header depending on status.h/result.h (both include logging.h).
+template <typename StatusLike>
+std::string StatusLikeToString(const StatusLike& s) {
+  if constexpr (requires { s.status().ToString(); }) {
+    return s.status().ToString();
+  } else {
+    return s.ToString();
+  }
+}
+
 }  // namespace internal_logging
 }  // namespace htl
 
@@ -96,5 +107,45 @@ struct Voidify {
 #define HTL_CHECK_LT(a, b) HTL_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
 #define HTL_CHECK_GE(a, b) HTL_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
 #define HTL_CHECK_GT(a, b) HTL_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+
+/// Aborts when `expr` (a Status or Result<T> expression) is not OK. Active
+/// in all build modes; use for must-succeed calls whose failure leaves the
+/// process in an undefined state.
+#define HTL_CHECK_OK(expr)                                               \
+  do {                                                                   \
+    const auto& htl_check_ok_tmp_ = (expr);                              \
+    HTL_CHECK(htl_check_ok_tmp_.ok())                                    \
+        << ::htl::internal_logging::StatusLikeToString(htl_check_ok_tmp_) << " "; \
+  } while (0)
+
+/// Debug-only invariant checks. HTL_DCHECK* compile to nothing under NDEBUG
+/// (Release) so they may guard O(n)-and-worse structural walks — e.g. the
+/// CheckInvariants() validators on SimilarityList / SimilarityTable / the
+/// video segment tree — without taxing production binaries. The condition is
+/// NOT evaluated when disabled, so it must be side-effect free.
+#ifndef NDEBUG
+#define HTL_DCHECK_IS_ON() 1
+#define HTL_DCHECK(cond) HTL_CHECK(cond)
+#define HTL_DCHECK_EQ(a, b) HTL_CHECK_EQ(a, b)
+#define HTL_DCHECK_NE(a, b) HTL_CHECK_NE(a, b)
+#define HTL_DCHECK_LE(a, b) HTL_CHECK_LE(a, b)
+#define HTL_DCHECK_LT(a, b) HTL_CHECK_LT(a, b)
+#define HTL_DCHECK_GE(a, b) HTL_CHECK_GE(a, b)
+#define HTL_DCHECK_GT(a, b) HTL_CHECK_GT(a, b)
+#define HTL_DCHECK_OK(expr) HTL_CHECK_OK(expr)
+#else
+#define HTL_DCHECK_IS_ON() 0
+#define HTL_DCHECK(cond) \
+  while (false) ::htl::internal_logging::NullStream() << !(cond)
+#define HTL_DCHECK_EQ(a, b) HTL_DCHECK((a) == (b))
+#define HTL_DCHECK_NE(a, b) HTL_DCHECK((a) != (b))
+#define HTL_DCHECK_LE(a, b) HTL_DCHECK((a) <= (b))
+#define HTL_DCHECK_LT(a, b) HTL_DCHECK((a) < (b))
+#define HTL_DCHECK_GE(a, b) HTL_DCHECK((a) >= (b))
+#define HTL_DCHECK_GT(a, b) HTL_DCHECK((a) > (b))
+#define HTL_DCHECK_OK(expr) \
+  do {                      \
+  } while (false)
+#endif
 
 #endif  // HTL_UTIL_LOGGING_H_

@@ -1,0 +1,35 @@
+#include "util/parse.h"
+
+#include <charconv>
+
+namespace htl {
+
+namespace {
+
+template <typename T>
+bool ParseWhole(std::string_view text, T* out) {
+  if (text.empty()) return false;
+  T value{};
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  // std::from_chars accepts no leading '+' but does accept '-'; tolerate an
+  // explicit '+' for symmetry with the std::sto* family this replaces.
+  if (*first == '+') {
+    ++first;
+    if (first == last || *first == '-') return false;
+  }
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool ParseInt64(std::string_view text, int64_t* out) { return ParseWhole(text, out); }
+
+bool ParseInt32(std::string_view text, int32_t* out) { return ParseWhole(text, out); }
+
+bool ParseDouble(std::string_view text, double* out) { return ParseWhole(text, out); }
+
+}  // namespace htl

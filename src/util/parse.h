@@ -1,0 +1,20 @@
+#ifndef HTL_UTIL_PARSE_H_
+#define HTL_UTIL_PARSE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace htl {
+
+/// Non-throwing numeric parsers (std::from_chars wrappers). The house rule
+/// forbids exceptions in src/ (see CONTRIBUTING.md), so parsing code uses
+/// these instead of std::stoll / std::stod. All of them require the WHOLE
+/// text to be consumed: "12x" and "" fail, surrounding whitespace is not
+/// skipped. On failure `*out` is left untouched.
+bool ParseInt64(std::string_view text, int64_t* out);
+bool ParseInt32(std::string_view text, int32_t* out);
+bool ParseDouble(std::string_view text, double* out);
+
+}  // namespace htl
+
+#endif  // HTL_UTIL_PARSE_H_

@@ -14,8 +14,10 @@ namespace htl {
 /// of absl::StatusOr / arrow::Result. Accessing the value of an errored
 /// Result aborts the process (library code must check ok() first or use the
 /// HTL_ASSIGN_OR_RETURN macro).
+/// The class is [[nodiscard]] for the same reason as Status: discarding a
+/// Result<T> silently drops both the computed value and any error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: `return MakeThing();`.
   Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}
@@ -56,6 +58,9 @@ class Result {
     if (ok()) return std::get<0>(data_);
     return fallback;
   }
+
+  /// Explicitly drops the result (value or error); see Status::IgnoreError.
+  void IgnoreError() const {}
 
  private:
   std::variant<T, Status> data_;

@@ -27,10 +27,12 @@ std::string_view StatusCodeName(StatusCode code);
 
 /// A cheap value type carrying success or an (code, message) error.
 ///
-/// The OK status carries no allocation. Statuses are copyable and movable;
-/// an ignored Status is a bug in the caller, so builders should always
-/// propagate or assert on them.
-class Status {
+/// The OK status carries no allocation. Statuses are copyable and movable.
+/// The class is [[nodiscard]]: a Status-returning call whose result is
+/// ignored fails to compile (under -Werror=unused-result; it warns
+/// otherwise). Callers must propagate (HTL_RETURN_IF_ERROR), assert
+/// (HTL_CHECK_OK / HTL_DCHECK_OK), or explicitly discard via IgnoreError().
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -69,6 +71,12 @@ class Status {
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// Explicitly drops an error. The only sanctioned way to ignore a Status:
+  /// it documents at the call site that failure is acceptable there, and it
+  /// keeps grep-ability (`tools/lint.py` forbids `(void)` casts of
+  /// statuses).
+  void IgnoreError() const {}
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

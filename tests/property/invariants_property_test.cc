@@ -1,0 +1,152 @@
+// Property tests for the machine-checked invariants of the interval-coded
+// similarity structures (section 3.1) and the segment tree (section 2.1):
+// canonical form is a fixed point of normalization, FromEntries round-trips,
+// and random operator sequences preserve CheckInvariants().
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "model/video_builder.h"
+#include "sim/list_ops.h"
+#include "sim/sim_table.h"
+#include "testing/helpers.h"
+#include "util/rng.h"
+#include "workload/casablanca.h"
+#include "workload/random_lists.h"
+#include "workload/video_gen.h"
+
+namespace htl {
+namespace {
+
+using testing::L;
+using testing::ListsEqual;
+
+constexpr int64_t kN = 200;
+
+SimilarityList RandomList(Rng& rng) {
+  RandomListOptions opts;
+  opts.num_segments = kN;
+  opts.coverage = 0.4;
+  opts.mean_run = 3;
+  opts.max_sim = 8.0;
+  return GenerateRandomList(rng, opts);
+}
+
+class InvariantsPropertyTest : public ::testing::TestWithParam<int> {};
+
+// Normalization is idempotent: feeding a canonical list's own entries back
+// through FromEntries reproduces it exactly (no further merging/dropping).
+TEST_P(InvariantsPropertyTest, NormalizationIsIdempotent) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  SimilarityList list = RandomList(rng);
+  ASSERT_OK(list.CheckInvariants());
+  ASSERT_OK_AND_ASSIGN(SimilarityList again,
+                       SimilarityList::FromEntries(list.entries(), list.max()));
+  EXPECT_TRUE(ListsEqual(again, list));
+}
+
+// FromEntries round-trips: sorted disjoint input with splittable runs
+// canonicalizes to the same pointwise function and satisfies the checker.
+TEST_P(InvariantsPropertyTest, FromEntriesRoundTripsSplitRuns) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 100);
+  SimilarityList list = RandomList(rng);
+  // Split every multi-id run into two pieces with the same value; the
+  // canonicalizer must stitch them back together.
+  std::vector<SimEntry> split;
+  for (const SimEntry& e : list.entries()) {
+    if (e.range.size() >= 2) {
+      const SegmentId mid = e.range.begin + (e.range.end - e.range.begin) / 2;
+      split.push_back(SimEntry{Interval{e.range.begin, mid}, e.actual});
+      split.push_back(SimEntry{Interval{mid + 1, e.range.end}, e.actual});
+    } else {
+      split.push_back(e);
+    }
+  }
+  ASSERT_OK_AND_ASSIGN(SimilarityList rebuilt,
+                       SimilarityList::FromEntries(std::move(split), list.max()));
+  EXPECT_TRUE(ListsEqual(rebuilt, list));
+  EXPECT_OK(rebuilt.CheckInvariants());
+}
+
+// Random And/Or/Until/Next/Eventually/Complement/Clip sequences keep every
+// intermediate result canonical.
+TEST_P(InvariantsPropertyTest, RandomOpSequencesPreserveInvariants) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 200);
+  SimilarityList acc = RandomList(rng);
+  for (int step = 0; step < 24; ++step) {
+    SimilarityList other = RandomList(rng);
+    switch (rng.UniformInt(0, 6)) {
+      case 0:
+        acc = AndMerge(acc, other);
+        break;
+      case 1:
+        acc = OrMerge(acc, other);
+        break;
+      case 2:
+        acc = UntilMerge(acc, other, 0.5);
+        break;
+      case 3:
+        acc = NextShift(acc);
+        break;
+      case 4:
+        acc = Eventually(acc);
+        break;
+      case 5:
+        acc = Complement(acc, Interval{1, kN});
+        break;
+      default:
+        acc = acc.Clip(Interval{rng.UniformInt(1, kN / 2),
+                                rng.UniformInt(kN / 2 + 1, kN)});
+        break;
+    }
+    SCOPED_TRACE(StrCat("after step ", step, ": ", acc.ToString()));
+    ASSERT_OK(acc.CheckInvariants());
+    ASSERT_OK(SimilarityTable::FromList(acc).CheckInvariants());
+  }
+}
+
+TEST(InvariantsTest, CheckerAcceptsCanonicalLiterals) {
+  EXPECT_OK(SimilarityList().CheckInvariants());
+  EXPECT_OK(L({}, 5).CheckInvariants());
+  EXPECT_OK(L({{1, 4, 2.5}, {5, 6, 1.0}, {9, 9, 2.5}}, 10).CheckInvariants());
+}
+
+// The one table invariant AddRow cannot enforce locally: all rows must share
+// the formula's static max. CheckInvariants has to catch the mismatch.
+TEST(InvariantsTest, TableCheckerRejectsMixedMax) {
+  SimilarityTable table;
+  table.AddRow(SimilarityTable::Row{{}, {}, L({{1, 3, 1.0}}, 5)});
+  ASSERT_OK(table.CheckInvariants());
+  table.AddRow(SimilarityTable::Row{{}, {}, L({{4, 6, 1.0}}, 7)});
+  const Status bad = table.CheckInvariants();
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInternal);
+}
+
+TEST(InvariantsTest, FlatAndBuiltVideosAreWellFormed) {
+  EXPECT_OK(VideoTree::Flat(0).CheckInvariants());
+  EXPECT_OK(VideoTree::Flat(12).CheckInvariants());
+  EXPECT_OK(casablanca::MakeVideo().CheckInvariants());
+
+  VideoBuilder b;
+  VideoBuilder::Handle scene1 = b.AddChild(b.root());
+  VideoBuilder::Handle scene2 = b.AddChild(b.root());
+  b.AddChildren(scene1, 3);
+  b.AddChildren(scene2, 2);
+  ASSERT_OK_AND_ASSIGN(VideoTree video, std::move(b).Build());
+  EXPECT_OK(video.CheckInvariants());
+}
+
+TEST_P(InvariantsPropertyTest, GeneratedVideosAreWellFormed) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 300);
+  VideoGenOptions opts;
+  VideoTree video = GenerateVideo(rng, opts);
+  EXPECT_OK(video.CheckInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvariantsPropertyTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace htl

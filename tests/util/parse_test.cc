@@ -1,0 +1,80 @@
+#include "util/parse.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace htl {
+namespace {
+
+TEST(ParseInt64Test, ParsesDecimalIntegers) {
+  int64_t v = -1;
+  EXPECT_TRUE(ParseInt64("0", &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(ParseInt64("9223372036854775807", &v));
+  EXPECT_EQ(v, INT64_MAX);
+  EXPECT_TRUE(ParseInt64("-9223372036854775808", &v));
+  EXPECT_EQ(v, INT64_MIN);
+  EXPECT_TRUE(ParseInt64("+42", &v));
+  EXPECT_EQ(v, 42);
+}
+
+TEST(ParseInt64Test, RejectsJunkWholeTextAndOverflow) {
+  int64_t v = 123;
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64(" 12", &v));
+  EXPECT_FALSE(ParseInt64("12 ", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+  EXPECT_FALSE(ParseInt64("+", &v));
+  EXPECT_FALSE(ParseInt64("+-3", &v));
+  EXPECT_FALSE(ParseInt64("9223372036854775808", &v));  // INT64_MAX + 1.
+  EXPECT_EQ(v, 123) << "failed parse must leave *out untouched";
+}
+
+TEST(ParseInt32Test, EnforcesInt32Range) {
+  int32_t v = 7;
+  EXPECT_TRUE(ParseInt32("2147483647", &v));
+  EXPECT_EQ(v, INT32_MAX);
+  EXPECT_FALSE(ParseInt32("2147483648", &v));
+  EXPECT_EQ(v, INT32_MAX);
+}
+
+TEST(ParseDoubleTest, ParsesFloatsIncludingExponents) {
+  double d = -1;
+  EXPECT_TRUE(ParseDouble("2.5", &d));
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_TRUE(ParseDouble("-0.125", &d));
+  EXPECT_DOUBLE_EQ(d, -0.125);
+  EXPECT_TRUE(ParseDouble("1e3", &d));
+  EXPECT_DOUBLE_EQ(d, 1000.0);
+  EXPECT_TRUE(ParseDouble("17", &d));
+  EXPECT_DOUBLE_EQ(d, 17.0);
+  EXPECT_TRUE(ParseDouble("+3.5", &d));
+  EXPECT_DOUBLE_EQ(d, 3.5);
+}
+
+TEST(ParseDoubleTest, RejectsJunkAndPartialText) {
+  double d = 4.0;
+  EXPECT_FALSE(ParseDouble("", &d));
+  EXPECT_FALSE(ParseDouble("1.5garbage", &d));
+  EXPECT_FALSE(ParseDouble("nanx", &d));
+  EXPECT_FALSE(ParseDouble("--1", &d));
+  EXPECT_EQ(d, 4.0);
+}
+
+// The seventeen-significant-digit round trip used by the text serialization
+// format (storage/serialization.cc) must be exact.
+TEST(ParseDoubleTest, RoundTripsSerializationPrecision) {
+  const double values[] = {9.787, 1.26, 12.382, 0.1, 1.0 / 3.0};
+  for (double want : values) {
+    char buf[64];
+    snprintf(buf, sizeof buf, "%.17g", want);
+    double got = 0;
+    ASSERT_TRUE(ParseDouble(buf, &got));
+    EXPECT_EQ(got, want);
+  }
+}
+
+}  // namespace
+}  // namespace htl

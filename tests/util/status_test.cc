@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "util/logging.h"
 #include "util/result.h"
 
 namespace htl {
@@ -95,6 +100,49 @@ TEST(ResultTest, MoveOnlyTypes) {
   std::unique_ptr<int> v = std::move(r).value();
   EXPECT_EQ(*v, 5);
 }
+
+Status AlwaysFails() { return Status::Internal("expected"); }
+
+// IgnoreError is the one sanctioned way to drop a [[nodiscard]] Status;
+// without it this call would fail to compile under -Werror=unused-result.
+TEST(NodiscardTest, IgnoreErrorDiscardsExplicitly) {
+  AlwaysFails().IgnoreError();
+  Result<int> r = Status::NotFound("gone");
+  r.IgnoreError();
+  static_assert(
+      !std::is_convertible_v<Status, int>,
+      "Status must stay an opaque value type, not decay to a success flag");
+}
+
+TEST(CheckOkTest, PassesOnOkStatusAndResult) {
+  HTL_CHECK_OK(Status::OK());
+  HTL_CHECK_OK(Result<int>(3));
+  HTL_DCHECK_OK(Status::OK());
+}
+
+TEST(CheckOkDeathTest, AbortsWithStatusMessage) {
+  EXPECT_DEATH(HTL_CHECK_OK(AlwaysFails()), "Internal: expected");
+}
+
+#ifndef NDEBUG
+TEST(DcheckDeathTest, ActiveInDebugBuilds) {
+  static_assert(HTL_DCHECK_IS_ON(), "Debug builds must enable HTL_DCHECK");
+  EXPECT_DEATH(HTL_DCHECK(1 == 2) << "impossible", "Check failed");
+  EXPECT_DEATH(HTL_DCHECK_OK(AlwaysFails()), "Internal: expected");
+}
+#else
+TEST(DcheckTest, CompiledOutInReleaseAndDoesNotEvaluate) {
+  static_assert(!HTL_DCHECK_IS_ON(), "Release builds must disable HTL_DCHECK");
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return true;
+  };
+  HTL_DCHECK(count()) << "never printed";
+  HTL_DCHECK_OK(AlwaysFails());  // Not evaluated, must not abort.
+  EXPECT_EQ(evaluations, 0) << "disabled HTL_DCHECK must not evaluate its condition";
+}
+#endif
 
 }  // namespace
 }  // namespace htl

@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""House-rules linter for the htl codebase (run in CI; see CONTRIBUTING.md).
+
+Checks, over src/ by default:
+
+  no-exceptions     `throw` / `try` / `catch` are forbidden in src/: fallible
+                    code returns htl::Status / htl::Result<T> (status.h).
+  no-using-namespace-in-header
+                    `using namespace` in a header leaks into every includer.
+  header-guard      Headers open with `#ifndef HTL_<PATH>_H_` derived from the
+                    path relative to src/ (e.g. src/sim/sim_list.h ->
+                    HTL_SIM_SIM_LIST_H_), matching #define, and a trailing
+                    `#endif  // HTL_<PATH>_H_`.
+  include-order     First include of foo.cc is its own header "foo.h"; the
+                    remaining includes form blank-line-separated blocks, each
+                    internally sorted, with <system> blocks before "project"
+                    blocks.
+  no-void-status-discard
+                    `(void)call(...)` is forbidden: discarding a call result
+                    defeats [[nodiscard]] Status/Result. Use .IgnoreError()
+                    with a comment instead. (`(void)param;` for unused
+                    parameters stays legal.)
+  no-throwing-parse `std::stoi` / `std::stoll` / `std::stod` & friends throw;
+                    use htl::ParseInt32/ParseInt64/ParseDouble (util/parse.h).
+
+A finding can be locally suppressed with `// htl-lint: allow(<rule>)` on the
+same line. Exit status is 0 when clean, 1 when any finding is reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+HEADER_EXTS = {".h"}
+SOURCE_EXTS = {".h", ".cc", ".cpp"}
+
+ALLOW_RE = re.compile(r"//\s*htl-lint:\s*allow\(([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\)")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Replaces comment/string-literal contents with spaces, keeping offsets.
+
+    Newlines are preserved so line numbers survive. String and char literals
+    become `""` / `''`; comments become whitespace.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * max(0, j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self) -> str:
+        rel = self.path.relative_to(REPO_ROOT) if self.path.is_absolute() else self.path
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def allowed_rules(raw_line: str) -> set[str]:
+    m = ALLOW_RE.search(raw_line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",")}
+
+
+EXCEPTION_RE = re.compile(r"(?<![\w])(?:throw|try|catch)(?![\w])")
+USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\b")
+VOID_DISCARD_RE = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_][\w:.\->]*\s*\(")
+THROWING_PARSE_RE = re.compile(r"\bstd\s*::\s*sto(?:i|l|ll|ul|ull|f|d|ld)\b")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(<[^>]+>|"[^"]+")')
+
+
+def expected_guard(path: Path) -> str:
+    rel = path.relative_to(REPO_ROOT / "src")
+    token = re.sub(r"[^A-Za-z0-9]", "_", str(rel).upper())
+    return f"HTL_{token}_"
+
+
+def check_line_rules(path: Path, raw_lines: list[str], code_lines: list[str],
+                     findings: list[Finding]) -> None:
+    is_header = path.suffix in HEADER_EXTS
+    for idx, code in enumerate(code_lines):
+        lineno = idx + 1
+        allows = allowed_rules(raw_lines[idx])
+
+        if EXCEPTION_RE.search(code) and "no-exceptions" not in allows:
+            findings.append(Finding(
+                path, lineno, "no-exceptions",
+                "throw/try/catch is forbidden in src/; return htl::Status instead"))
+        if is_header and USING_NAMESPACE_RE.search(code) and \
+                "no-using-namespace-in-header" not in allows:
+            findings.append(Finding(
+                path, lineno, "no-using-namespace-in-header",
+                "`using namespace` in a header pollutes every includer"))
+        if VOID_DISCARD_RE.search(code) and "no-void-status-discard" not in allows:
+            findings.append(Finding(
+                path, lineno, "no-void-status-discard",
+                "discarding a call with (void) defeats [[nodiscard]]; "
+                "use .IgnoreError() or handle the result"))
+        if THROWING_PARSE_RE.search(code) and "no-throwing-parse" not in allows:
+            findings.append(Finding(
+                path, lineno, "no-throwing-parse",
+                "std::sto* throws on overflow; use htl::Parse* (util/parse.h)"))
+
+
+def check_header_guard(path: Path, raw_lines: list[str],
+                       findings: list[Finding]) -> None:
+    guard = expected_guard(path)
+    text_lines = [l.strip() for l in raw_lines]
+    try:
+        ifndef_idx = next(i for i, l in enumerate(text_lines) if l.startswith("#ifndef"))
+    except StopIteration:
+        findings.append(Finding(path, 1, "header-guard",
+                                f"missing header guard (expected {guard})"))
+        return
+    if text_lines[ifndef_idx] != f"#ifndef {guard}":
+        findings.append(Finding(path, ifndef_idx + 1, "header-guard",
+                                f"guard should be {guard}"))
+        return
+    if ifndef_idx + 1 >= len(text_lines) or \
+            text_lines[ifndef_idx + 1] != f"#define {guard}":
+        findings.append(Finding(path, ifndef_idx + 2, "header-guard",
+                                f"#define {guard} must follow the #ifndef"))
+    last_nonempty = next((l for l in reversed(text_lines) if l), "")
+    if last_nonempty != f"#endif  // {guard}":
+        findings.append(Finding(path, len(text_lines), "header-guard",
+                                f"file must end with `#endif  // {guard}`"))
+
+
+def check_include_order(path: Path, raw_lines: list[str],
+                        findings: list[Finding]) -> None:
+    includes = []  # (lineno, token) with token like <x> or "y"
+    for idx, line in enumerate(raw_lines):
+        m = INCLUDE_RE.match(line)
+        if m:
+            includes.append((idx + 1, m.group(1)))
+    if not includes:
+        return
+
+    start = 0
+    if path.suffix != ".h":
+        own = f'"{path.parent.name}/{path.stem}.h"'
+        if (REPO_ROOT / "src" / path.parent.name / f"{path.stem}.h").exists():
+            first_line, first_tok = includes[0]
+            if first_tok == own:
+                start = 1
+            else:
+                findings.append(Finding(
+                    path, first_line, "include-order",
+                    f"first include of a .cc must be its own header {own}"))
+
+    # Blocks are maximal runs of includes on consecutive lines.
+    blocks: list[list[tuple[int, str]]] = []
+    for lineno, tok in includes[start:]:
+        if blocks and lineno == blocks[-1][-1][0] + 1:
+            blocks[-1].append((lineno, tok))
+        else:
+            blocks.append([(lineno, tok)])
+
+    seen_project_block = False
+    for block in blocks:
+        kinds = {tok[0] for _, tok in block}
+        if kinds == {"<"}:
+            if seen_project_block and "include-order" not in \
+                    allowed_rules(raw_lines[block[0][0] - 1]):
+                findings.append(Finding(
+                    path, block[0][0], "include-order",
+                    "<system> include block after a \"project\" block"))
+        elif kinds == {'"'}:
+            seen_project_block = True
+        else:
+            findings.append(Finding(
+                path, block[0][0], "include-order",
+                "mixed <system> and \"project\" includes in one block"))
+        toks = [tok for _, tok in block]
+        if toks != sorted(toks):
+            findings.append(Finding(
+                path, block[0][0], "include-order",
+                "includes within a block must be sorted alphabetically"))
+
+
+def lint_file(path: Path) -> list[Finding]:
+    raw = path.read_text(encoding="utf-8")
+    raw_lines = raw.splitlines()
+    code_lines = strip_comments_and_strings(raw).splitlines()
+    findings: list[Finding] = []
+    check_line_rules(path, raw_lines, code_lines, findings)
+    if path.suffix in HEADER_EXTS:
+        check_header_guard(path, raw_lines, findings)
+    check_include_order(path, raw_lines, findings)
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories (default: src/)")
+    args = parser.parse_args(argv)
+
+    roots = args.paths or [REPO_ROOT / "src"]
+    files: list[Path] = []
+    for root in roots:
+        root = root.resolve()
+        if root.is_dir():
+            files.extend(sorted(p for p in root.rglob("*")
+                                if p.suffix in SOURCE_EXTS))
+        elif root.suffix in SOURCE_EXTS:
+            files.append(root)
+
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f))
+
+    for finding in findings:
+        print(finding)
+    print(f"lint.py: {len(files)} files checked, {len(findings)} finding(s)",
+          file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Runs clang-tidy over src/ using the repo's .clang-tidy config.
+
+Usage:
+  tools/run_clang_tidy.py [--build-dir BUILD] [paths...]
+
+Needs a build directory containing compile_commands.json (any configure of
+this repo produces one; CMAKE_EXPORT_COMPILE_COMMANDS is always on). Files
+default to every .cc under src/. Exits 0 when clean, 1 on findings, and 2
+when no clang-tidy binary is available — callers that merely *gate* on tidy
+(pre-commit hooks on boxes without LLVM) can treat 2 as "skipped".
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+TIDY_CANDIDATES = ["clang-tidy"] + [f"clang-tidy-{v}" for v in range(22, 13, -1)]
+
+
+def find_clang_tidy() -> str | None:
+    for name in TIDY_CANDIDATES:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def find_build_dir(explicit: str | None) -> Path | None:
+    if explicit:
+        p = Path(explicit)
+        return p if (p / "compile_commands.json").exists() else None
+    candidates = [REPO_ROOT / "build"]
+    candidates += sorted((REPO_ROOT / "build").glob("*")) if (REPO_ROOT / "build").is_dir() else []
+    for c in candidates:
+        if (c / "compile_commands.json").exists():
+            return c
+    return None
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", help="directory with compile_commands.json")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=multiprocessing.cpu_count())
+    parser.add_argument("paths", nargs="*", type=Path)
+    args = parser.parse_args(argv)
+
+    tidy = find_clang_tidy()
+    if tidy is None:
+        print("run_clang_tidy.py: no clang-tidy binary found (tried "
+              f"{', '.join(TIDY_CANDIDATES[:2])}, ...); skipping", file=sys.stderr)
+        return 2
+
+    build_dir = find_build_dir(args.build_dir)
+    if build_dir is None:
+        print("run_clang_tidy.py: no compile_commands.json found; configure "
+              "first (cmake --preset release)", file=sys.stderr)
+        return 2
+
+    files = [str(p) for p in args.paths] or \
+        sorted(str(p) for p in (REPO_ROOT / "src").rglob("*.cc"))
+
+    failed = False
+    # Chunk the file list so long runs still stream progress.
+    chunk = max(1, len(files) // max(1, args.jobs))
+    procs = []
+    for i in range(0, len(files), chunk):
+        procs.append(subprocess.Popen(
+            [tidy, "-p", str(build_dir), "--quiet", *files[i:i + chunk]],
+            cwd=REPO_ROOT))
+        while len(procs) >= args.jobs:
+            failed |= procs.pop(0).wait() != 0
+    for p in procs:
+        failed |= p.wait() != 0
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
