@@ -11,6 +11,7 @@
 int main() {
   using namespace htl;
   int rc = 0;
+  bench::BenchJson json("complex_formulas");
   {
     // (P1 AND P2) UNTIL P3 — a conjunction chained into until.
     FormulaPtr f = MakeUntil(MakeAnd(MakePredicate("p1", {}), MakePredicate("p2", {})),
@@ -21,7 +22,8 @@ int main() {
             {10'000, "n/a", "n/a"},
             {50'000, "n/a", "n/a"},
             {100'000, "n/a", "n/a"},
-        });
+        },
+        /*reps=*/5, &json);
   }
   {
     // P1 AND NEXT (P2 UNTIL P3) — the paper's formula (A) shape.
@@ -34,7 +36,8 @@ int main() {
             {10'000, "n/a", "n/a"},
             {50'000, "n/a", "n/a"},
             {100'000, "n/a", "n/a"},
-        });
+        },
+        /*reps=*/5, &json);
   }
   return rc;
 }

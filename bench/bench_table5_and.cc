@@ -12,11 +12,13 @@
 int main() {
   using namespace htl;
   FormulaPtr f = MakeAnd(MakePredicate("p1", {}), MakePredicate("p2", {}));
+  bench::BenchJson json("table5_and");
   return bench::RunPerfTable(
       "Table 5. Perf Results for P1 AND P2", *f, {"p1", "p2"},
       {
           {10'000, "n/l", "n/l"},
           {50'000, "n/l", "n/l"},
           {100'000, "n/l", "n/l"},
-      });
+      },
+      /*reps=*/5, &json);
 }

@@ -16,11 +16,13 @@
 int main() {
   using namespace htl;
   FormulaPtr f = MakeUntil(MakePredicate("p1", {}), MakePredicate("p2", {}));
+  bench::BenchJson json("table6_until");
   return bench::RunPerfTable(
       "Table 6. Perf Results for P1 UNTIL P2", *f, {"p1", "p2"},
       {
           {10'000, "1.46", "42.14"},
           {50'000, "7.35", "99.72"},
           {100'000, "14.97", "134.63"},
-      });
+      },
+      /*reps=*/5, &json);
 }

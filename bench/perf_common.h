@@ -24,10 +24,74 @@
 #include "sql/sql_system.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/string_util.h"
 #include "util/timer.h"
 #include "workload/random_lists.h"
 
 namespace htl::bench {
+
+/// Machine-readable benchmark output: each bench binary owns one BenchJson
+/// and writes BENCH_<name>.json (cwd) with a flat list of labeled metric
+/// records, so CI and regression tooling can diff runs without scraping the
+/// human-readable tables.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  ~BenchJson() { Flush(); }
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  void Add(std::string label,
+           std::initializer_list<std::pair<const char*, double>> metrics) {
+    Record rec;
+    rec.label = std::move(label);
+    for (const auto& [key, value] : metrics) rec.metrics.emplace_back(key, value);
+    records_.push_back(std::move(rec));
+  }
+
+  /// Writes BENCH_<name>.json; called automatically on destruction.
+  void Flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [", Escaped(name_).c_str());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"label\": \"%s\"", i == 0 ? "" : ",",
+                   Escaped(records_[i].label).c_str());
+      for (const auto& [key, value] : records_[i].metrics) {
+        std::fprintf(f, ", \"%s\": %.9g", Escaped(key).c_str(), value);
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  struct Record {
+    std::string label;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<Record> records_;
+  bool flushed_ = false;
+};
 
 struct PerfInputs {
   std::map<std::string, SimilarityList> lists;
@@ -103,10 +167,12 @@ struct PaperRow {
 };
 
 // Runs one table: sizes x {direct (best of `reps`), SQL (once)}, verifying
-// that both systems produce identical lists.
+// that both systems produce identical lists. When `json` is non-null, each
+// row is also recorded as a machine-readable metric record.
 inline int RunPerfTable(const char* title, const Formula& f,
                         const std::vector<std::string>& preds,
-                        const std::vector<PaperRow>& rows, int reps = 5) {
+                        const std::vector<PaperRow>& rows, int reps = 5,
+                        BenchJson* json = nullptr) {
   std::printf("%s\n", title);
   std::printf("%-10s %-16s %-16s %-10s %-14s %s\n", "Size", "Direct (s)",
               "SQL-based (s)", "SQL/Dir", "Paper Direct", "Paper SQL");
@@ -126,6 +192,13 @@ inline int RunPerfTable(const char* title, const Formula& f,
                 static_cast<long long>(row.size), best_direct, sql_s,
                 sql_s / best_direct, row.direct, row.sql,
                 match ? "" : "   RESULTS DIFFER!");
+    if (json != nullptr) {
+      json->Add(StrCat(title, " / size ", row.size),
+                {{"size", static_cast<double>(row.size)},
+                 {"direct_s", best_direct},
+                 {"sql_s", sql_s},
+                 {"results_match", match ? 1.0 : 0.0}});
+    }
   }
   std::printf(
       "\nshape check: the direct method is orders of magnitude faster and grows\n"

@@ -5,6 +5,7 @@
 #include "picture/atomic.h"
 #include "sim/list_ops.h"
 #include "sim/table_ops.h"
+#include "util/fault_point.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -84,6 +85,7 @@ Result<SimilarityTable> DirectEngine::EvalLevelOp(int level, const Interval& bou
   std::map<std::string, Accum> accums;
 
   for (SegmentId pos = bounds.begin; pos <= bounds.end; ++pos) {
+    HTL_CHECK_EXEC(exec_);
     const Interval seq = f.level.kind == LevelSpec::Kind::kNextLevel
                              ? video_->Children(level, pos)
                              : video_->DescendantsAtLevel(level, pos, target);
@@ -127,6 +129,10 @@ Result<SimilarityTable> DirectEngine::EvalLevelOp(int level, const Interval& bou
 
 Result<SimilarityTable> DirectEngine::EvalTable(int level, const Interval& bounds,
                                                 const Formula& f) {
+  // Every evaluation node is a loop boundary: poll deadline/cancellation
+  // and bound the recursion depth (formula nesting) in one place.
+  DepthScope depth(exec_);
+  HTL_RETURN_IF_ERROR(depth.status());
   // Maximal atomic subtrees are single picture queries, evaluated once per
   // (subtree, level) over the whole level and clipped to the active bounds
   // (atomic similarity depends only on the segment, so clipping is exact).
@@ -138,6 +144,10 @@ Result<SimilarityTable> DirectEngine::EvalTable(int level, const Interval& bound
       ++stats_.atomic_queries;
       HTL_ASSIGN_OR_RETURN(AtomicFormula atomic, ExtractAtomic(f));
       HTL_ASSIGN_OR_RETURN(SimilarityTable table, pictures_.Query(level, atomic));
+      if (exec_ != nullptr) {
+        HTL_RETURN_IF_ERROR(exec_->ChargeTable());
+        HTL_RETURN_IF_ERROR(exec_->ChargeRows(table.num_rows()));
+      }
       it = atomic_cache_.emplace(key, std::move(table)).first;
     } else {
       ++stats_.atomic_cache_hits;
@@ -159,7 +169,12 @@ Result<SimilarityTable> DirectEngine::EvalTable(int level, const Interval& bound
     case FormulaKind::kUntil: {
       HTL_ASSIGN_OR_RETURN(SimilarityTable lhs, EvalTable(level, bounds, *f.left));
       HTL_ASSIGN_OR_RETURN(SimilarityTable rhs, EvalTable(level, bounds, *f.right));
+      HTL_FAULT_POINT("engine.table_join");
       ++stats_.table_joins;
+      if (exec_ != nullptr) {
+        HTL_RETURN_IF_ERROR(exec_->ChargeTable());
+        HTL_RETURN_IF_ERROR(exec_->ChargeRows(lhs.num_rows() + rhs.num_rows()));
+      }
       TableCombine op = f.kind == FormulaKind::kOr    ? TableCombine::kOr
                         : f.kind == FormulaKind::kUntil ? TableCombine::kUntil
                         : options_.and_semantics == AndSemantics::kFuzzyMin
@@ -189,6 +204,7 @@ Result<SimilarityTable> DirectEngine::EvalTable(int level, const Interval& bound
       const auto key = std::make_pair(f.freeze_term.ToString(), level);
       auto it = value_cache_.find(key);
       if (it == value_cache_.end()) {
+        HTL_FAULT_POINT("engine.value_table");
         HTL_ASSIGN_OR_RETURN(ValueTable vt, pictures_.Values(level, f.freeze_term));
         it = value_cache_.emplace(key, std::move(vt)).first;
       }

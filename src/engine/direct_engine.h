@@ -4,6 +4,7 @@
 #include <map>
 #include <string>
 
+#include "engine/exec_context.h"
 #include "engine/query_options.h"
 #include "htl/ast.h"
 #include "htl/classifier.h"
@@ -61,6 +62,12 @@ class DirectEngine {
 
   PictureSystem& pictures() { return pictures_; }
 
+  /// Attaches a deadline/cancellation/budget context polled at every
+  /// evaluation node and charged for merged rows and materialized tables.
+  /// Null (the default) disables all limits. The context must outlive the
+  /// evaluation calls it governs.
+  void set_exec_context(ExecContext* ctx) { exec_ = ctx; }
+
   /// Drops the per-formula caches (needed when the video's meta-data
   /// changes or when timing cold runs).
   void ClearCache();
@@ -77,6 +84,7 @@ class DirectEngine {
   const VideoTree* video_;
   QueryOptions options_;
   PictureSystem pictures_;
+  ExecContext* exec_ = nullptr;  // Not owned; null means unlimited.
   EngineStats stats_;
   // Full-level atomic tables keyed by (formula text, level). Text keys are
   // stable across formula lifetimes (pointer keys would alias when a freed

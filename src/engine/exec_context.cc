@@ -1,0 +1,33 @@
+#include "engine/exec_context.h"
+
+#include "util/string_util.h"
+
+namespace htl {
+
+Status ExecContext::CheckDeadline() {
+  if (deadline_hit_) return Status::DeadlineExceeded("deadline exceeded");
+  if (++polls_since_clock_read_ < kDeadlinePollStride) return Status::OK();
+  polls_since_clock_read_ = 0;
+  if (Clock::now() >= deadline_) {
+    deadline_hit_ = true;
+    return Status::DeadlineExceeded("deadline exceeded");
+  }
+  return Status::OK();
+}
+
+std::string ExecContext::RowsExhaustedMessage() const {
+  return StrCat("row budget exhausted (", rows_used_, " > ", budgets_.max_rows,
+                " rows merged/materialized)");
+}
+
+std::string ExecContext::TablesExhaustedMessage() const {
+  return StrCat("table budget exhausted (", tables_used_, " > ",
+                budgets_.max_tables, " intermediate tables)");
+}
+
+std::string ExecContext::DepthExhaustedMessage() const {
+  return StrCat("depth budget exhausted (recursion deeper than ",
+                budgets_.max_depth, ")");
+}
+
+}  // namespace htl

@@ -73,6 +73,10 @@ Result<Sim> ReferenceEngine::EvaluateVideo(const Formula& f) {
 Result<double> ReferenceEngine::Actual(int level, const Interval& bounds, SegmentId pos,
                                        const Formula& f, const EvalEnv& env) {
   HTL_CHECK(bounds.Contains(pos));
+  // Every (formula, position) recursion step polls the context: the
+  // exponential evaluator must stay interruptible and depth-bounded.
+  DepthScope depth(exec_);
+  HTL_RETURN_IF_ERROR(depth.status());
   // Atomic conjunctions get the dedicated weighted-partial-match scoring
   // with hard attribute-variable constraints; this is the semantics the
   // picture system implements, applied at the maximal atomic subtree (a

@@ -1,6 +1,7 @@
 #ifndef HTL_ENGINE_REFERENCE_ENGINE_H_
 #define HTL_ENGINE_REFERENCE_ENGINE_H_
 
+#include "engine/exec_context.h"
 #include "engine/query_options.h"
 #include "htl/ast.h"
 #include "model/video.h"
@@ -54,12 +55,18 @@ class ReferenceEngine {
   /// "satisfied by a video" (section 2.3).
   Result<Sim> EvaluateVideo(const Formula& f);
 
+  /// Attaches a deadline/cancellation/budget context, polled on every
+  /// recursive Actual() call — essential here, since the evaluator is
+  /// worst-case exponential. Null (the default) disables all limits.
+  void set_exec_context(ExecContext* ctx) { exec_ = ctx; }
+
  private:
   Result<double> Actual(int level, const Interval& bounds, SegmentId pos,
                         const Formula& f, const EvalEnv& env);
 
   const VideoTree* video_;
   QueryOptions options_;
+  ExecContext* exec_ = nullptr;  // Not owned; null means unlimited.
 };
 
 }  // namespace htl

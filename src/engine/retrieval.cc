@@ -13,6 +13,15 @@
 
 namespace htl {
 
+std::string RetrievalReport::ToString() const {
+  std::string out = StrCat("evaluated ", videos_evaluated, ", failed ", videos_failed,
+                           ", degraded-to-reference ", videos_degraded);
+  for (const VideoFailure& f : failures) {
+    out += StrCat("; video ", f.video, ": ", f.status.ToString());
+  }
+  return out;
+}
+
 Retriever::Retriever(const MetadataStore* store, QueryOptions options)
     : store_(store), options_(options) {
   HTL_CHECK(store != nullptr);
@@ -36,7 +45,9 @@ DirectEngine& Retriever::EngineFor(MetadataStore::VideoId video) {
 }
 
 Result<SimilarityList> Retriever::EvaluateList(MetadataStore::VideoId video_id, int level,
-                                               const Formula& query) {
+                                               const Formula& query, ExecContext* ctx,
+                                               bool* degraded) {
+  if (degraded != nullptr) *degraded = false;
   const VideoTree& video = store_->Video(video_id);
   if (level > video.num_levels()) {
     return SimilarityList(MaxSimilarity(query));  // No such level: no hits.
@@ -45,11 +56,16 @@ Result<SimilarityList> Retriever::EvaluateList(MetadataStore::VideoId video_id, 
   // disjunction and closed-negation extensions; only the constructs it
   // reports Unimplemented for (negation over free variables, two-variable
   // comparisons) drop to the exponential reference evaluator.
-  Result<SimilarityList> direct = EngineFor(video_id).EvaluateList(level, query);
+  DirectEngine& engine = EngineFor(video_id);
+  engine.set_exec_context(ctx);
+  Result<SimilarityList> direct = engine.EvaluateList(level, query);
+  engine.set_exec_context(nullptr);
   if (direct.ok() || direct.status().code() != StatusCode::kUnimplemented) {
     return direct;
   }
+  if (degraded != nullptr) *degraded = true;
   ReferenceEngine reference(&video, options_);
+  reference.set_exec_context(ctx);
   return reference.EvaluateList(level, query);
 }
 
@@ -65,77 +81,159 @@ void RankAndTrim(std::vector<SegmentHit>& all, int64_t k) {
   if (static_cast<int64_t>(all.size()) > k) all.resize(static_cast<size_t>(k));
 }
 
+// Strict wrapper semantics: a degraded run surfaces its first per-video
+// error; deadline/cancel already propagated as the call's own status.
+Status FirstFailure(const RetrievalReport& report) {
+  if (report.failures.empty()) return Status::OK();
+  return report.failures.front().status;
+}
+
 }  // namespace
 
-Result<std::vector<SegmentHit>> Retriever::TopSegments(const Formula& query, int level,
-                                                       int64_t k) {
-  std::vector<SegmentHit> all;
+template <typename ResolveLevel>
+Result<SegmentRetrieval> Retriever::RunSegmentQuery(const Formula& query, int64_t k,
+                                                    ExecContext* ctx,
+                                                    const ResolveLevel& resolve_level) {
+  SegmentRetrieval out;
   for (MetadataStore::VideoId v = 1; v <= store_->num_videos(); ++v) {
-    HTL_ASSIGN_OR_RETURN(SimilarityList list, EvaluateList(v, level, query));
+    HTL_CHECK_EXEC(ctx);  // Deadline/cancel abort the whole call.
+    const int level = resolve_level(v);
+    if (level < 0) continue;  // Named level absent: silently skipped.
+    if (ctx != nullptr) ctx->BeginUnit();  // Budgets bound each video alone.
+    bool degraded = false;
+    Result<SimilarityList> list = EvaluateList(v, level, query, ctx, &degraded);
+    if (!list.ok()) {
+      // A query-wide abort is not a per-video fault: propagate it.
+      if (list.status().IsQueryAbort()) return list.status();
+      ++out.report.videos_failed;
+      out.report.failures.push_back(RetrievalReport::VideoFailure{v, list.status()});
+      continue;
+    }
+    ++out.report.videos_evaluated;
+    if (degraded) ++out.report.videos_degraded;
     // Keep at most k per video before the global merge.
-    for (const RankedSegment& rs : TopKSegments(list, k)) {
-      all.push_back(SegmentHit{v, rs.id, rs.sim});
+    for (const RankedSegment& rs : TopKSegments(list.value(), k)) {
+      out.hits.push_back(SegmentHit{v, rs.id, rs.sim});
     }
   }
-  RankAndTrim(all, k);
-  return all;
+  RankAndTrim(out.hits, k);
+  return out;
 }
 
-Result<std::vector<SegmentHit>> Retriever::TopSegmentsAtNamedLevel(
-    const Formula& query, const std::string& level_name, int64_t k) {
-  std::vector<SegmentHit> all;
-  for (MetadataStore::VideoId v = 1; v <= store_->num_videos(); ++v) {
-    Result<int> level = store_->Video(v).LevelByName(level_name);
-    if (!level.ok()) continue;  // This video has no such level.
-    HTL_ASSIGN_OR_RETURN(SimilarityList list, EvaluateList(v, level.value(), query));
-    for (const RankedSegment& rs : TopKSegments(list, k)) {
-      all.push_back(SegmentHit{v, rs.id, rs.sim});
-    }
-  }
-  RankAndTrim(all, k);
-  return all;
+Result<SegmentRetrieval> Retriever::TopSegmentsWithReport(const Formula& query,
+                                                          int level, int64_t k,
+                                                          ExecContext* ctx) {
+  return RunSegmentQuery(query, k, ctx,
+                         [level](MetadataStore::VideoId) { return level; });
 }
 
-Result<std::vector<SegmentHit>> Retriever::TopSegmentsAtNamedLevel(
-    std::string_view query_text, const std::string& level_name, int64_t k) {
+Result<SegmentRetrieval> Retriever::TopSegmentsWithReport(std::string_view query_text,
+                                                          int level, int64_t k,
+                                                          ExecContext* ctx) {
   HTL_ASSIGN_OR_RETURN(FormulaPtr f, Prepare(query_text));
-  return TopSegmentsAtNamedLevel(*f, level_name, k);
+  return TopSegmentsWithReport(*f, level, k, ctx);
+}
+
+Result<std::vector<SegmentHit>> Retriever::TopSegments(const Formula& query, int level,
+                                                       int64_t k, ExecContext* ctx) {
+  HTL_ASSIGN_OR_RETURN(SegmentRetrieval r, TopSegmentsWithReport(query, level, k, ctx));
+  HTL_RETURN_IF_ERROR(FirstFailure(r.report));
+  return std::move(r.hits);
 }
 
 Result<std::vector<SegmentHit>> Retriever::TopSegments(std::string_view query_text,
-                                                       int level, int64_t k) {
+                                                       int level, int64_t k,
+                                                       ExecContext* ctx) {
   HTL_ASSIGN_OR_RETURN(FormulaPtr f, Prepare(query_text));
-  return TopSegments(*f, level, k);
+  return TopSegments(*f, level, k, ctx);
 }
 
-Result<std::vector<VideoHit>> Retriever::TopVideos(const Formula& query, int64_t k) {
-  std::vector<VideoHit> all;
+Result<SegmentRetrieval> Retriever::TopSegmentsAtNamedLevelWithReport(
+    const Formula& query, const std::string& level_name, int64_t k, ExecContext* ctx) {
+  return RunSegmentQuery(query, k, ctx, [this, &level_name](MetadataStore::VideoId v) {
+    Result<int> level = store_->Video(v).LevelByName(level_name);
+    return level.ok() ? level.value() : -1;
+  });
+}
+
+Result<std::vector<SegmentHit>> Retriever::TopSegmentsAtNamedLevel(
+    const Formula& query, const std::string& level_name, int64_t k, ExecContext* ctx) {
+  HTL_ASSIGN_OR_RETURN(SegmentRetrieval r,
+                       TopSegmentsAtNamedLevelWithReport(query, level_name, k, ctx));
+  HTL_RETURN_IF_ERROR(FirstFailure(r.report));
+  return std::move(r.hits);
+}
+
+Result<std::vector<SegmentHit>> Retriever::TopSegmentsAtNamedLevel(
+    std::string_view query_text, const std::string& level_name, int64_t k,
+    ExecContext* ctx) {
+  HTL_ASSIGN_OR_RETURN(FormulaPtr f, Prepare(query_text));
+  return TopSegmentsAtNamedLevel(*f, level_name, k, ctx);
+}
+
+Result<VideoRetrieval> Retriever::TopVideosWithReport(const Formula& query, int64_t k,
+                                                      ExecContext* ctx) {
+  VideoRetrieval out;
   for (MetadataStore::VideoId v = 1; v <= store_->num_videos(); ++v) {
+    HTL_CHECK_EXEC(ctx);
+    if (ctx != nullptr) ctx->BeginUnit();
     const VideoTree& video = store_->Video(v);
     Sim sim;
-    Result<Sim> direct = EngineFor(v).EvaluateVideo(query);
+    bool degraded = false;
+    DirectEngine& engine = EngineFor(v);
+    engine.set_exec_context(ctx);
+    Result<Sim> direct = engine.EvaluateVideo(query);
+    engine.set_exec_context(nullptr);
+    Status video_error = Status::OK();
     if (direct.ok()) {
       sim = direct.value();
     } else if (direct.status().code() == StatusCode::kUnimplemented) {
+      degraded = true;
       ReferenceEngine reference(&video, options_);
-      HTL_ASSIGN_OR_RETURN(sim, reference.EvaluateVideo(query));
+      reference.set_exec_context(ctx);
+      Result<Sim> ref = reference.EvaluateVideo(query);
+      if (ref.ok()) {
+        sim = ref.value();
+      } else {
+        video_error = ref.status();
+      }
     } else {
-      return direct.status();
+      video_error = direct.status();
     }
-    if (sim.actual > 0) all.push_back(VideoHit{v, sim});
+    if (!video_error.ok()) {
+      if (video_error.IsQueryAbort()) return video_error;
+      ++out.report.videos_failed;
+      out.report.failures.push_back(RetrievalReport::VideoFailure{v, video_error});
+      continue;
+    }
+    ++out.report.videos_evaluated;
+    if (degraded) ++out.report.videos_degraded;
+    if (sim.actual > 0) out.hits.push_back(VideoHit{v, sim});
   }
-  std::stable_sort(all.begin(), all.end(), [](const VideoHit& a, const VideoHit& b) {
-    if (a.sim.fraction() != b.sim.fraction()) return a.sim.fraction() > b.sim.fraction();
-    return a.video < b.video;
-  });
-  if (static_cast<int64_t>(all.size()) > k) all.resize(static_cast<size_t>(k));
-  return all;
+  std::stable_sort(out.hits.begin(), out.hits.end(),
+                   [](const VideoHit& a, const VideoHit& b) {
+                     if (a.sim.fraction() != b.sim.fraction()) {
+                       return a.sim.fraction() > b.sim.fraction();
+                     }
+                     return a.video < b.video;
+                   });
+  if (static_cast<int64_t>(out.hits.size()) > k) {
+    out.hits.resize(static_cast<size_t>(k));
+  }
+  return out;
+}
+
+Result<std::vector<VideoHit>> Retriever::TopVideos(const Formula& query, int64_t k,
+                                                   ExecContext* ctx) {
+  HTL_ASSIGN_OR_RETURN(VideoRetrieval r, TopVideosWithReport(query, k, ctx));
+  HTL_RETURN_IF_ERROR(FirstFailure(r.report));
+  return std::move(r.hits);
 }
 
 Result<std::vector<VideoHit>> Retriever::TopVideos(std::string_view query_text,
-                                                   int64_t k) {
+                                                   int64_t k, ExecContext* ctx) {
   HTL_ASSIGN_OR_RETURN(FormulaPtr f, Prepare(query_text));
-  return TopVideos(*f, k);
+  return TopVideos(*f, k, ctx);
 }
 
 }  // namespace htl

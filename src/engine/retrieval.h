@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "engine/direct_engine.h"
+#include "engine/exec_context.h"
 #include "engine/query_options.h"
 #include "htl/ast.h"
 #include "model/video.h"
@@ -28,11 +29,57 @@ struct VideoHit {
   Sim sim;
 };
 
+/// What happened to each video during a store-wide retrieval — the truthful
+/// companion of a partial result. A video that faults, times out its
+/// per-video budget, or blows a resource budget is *skipped* (recorded
+/// here), not allowed to abort the whole call.
+struct RetrievalReport {
+  /// One skipped video and the first error it produced.
+  struct VideoFailure {
+    MetadataStore::VideoId video = 0;
+    Status status;
+  };
+
+  int64_t videos_evaluated = 0;  // Contributed results (incl. degraded).
+  int64_t videos_failed = 0;     // Skipped with an error (see failures).
+  int64_t videos_degraded = 0;   // Fell back from DirectEngine to ReferenceEngine.
+  std::vector<VideoFailure> failures;  // First error per failed video, in id order.
+
+  /// True when every video contributed (the result is exact, not partial).
+  bool complete() const { return videos_failed == 0; }
+
+  /// Human-readable one-line summary for logs.
+  std::string ToString() const;
+};
+
+/// Partial-tolerant retrieval result: ranked hits over the healthy videos
+/// plus the report saying exactly which videos are missing and why.
+struct SegmentRetrieval {
+  std::vector<SegmentHit> hits;
+  RetrievalReport report;
+};
+
+/// As SegmentRetrieval for whole-video (browsing) retrieval.
+struct VideoRetrieval {
+  std::vector<VideoHit> hits;
+  RetrievalReport report;
+};
+
 /// The end-to-end retrieval façade of figure 1: parse → bind → classify →
 /// evaluate per video → rank globally → return the top k. Conjunctive and
 /// extended conjunctive queries run on the optimized DirectEngine;
 /// constructs it reports Unimplemented for transparently fall back to the
 /// ReferenceEngine.
+///
+/// Execution resilience: every entry point accepts an optional ExecContext
+/// carrying a deadline, a cooperative cancellation flag, and per-video
+/// resource budgets. Deadline expiry and cancellation abort the whole call
+/// with Status::DeadlineExceeded / Cancelled; any *other* per-video error
+/// (an injected fault, a blown budget, corrupt meta-data) is isolated — the
+/// video is skipped, recorded in the RetrievalReport, and ranked results
+/// over the healthy videos are still returned. The plain Top* methods keep
+/// the strict historical contract (first per-video error fails the call);
+/// the *WithReport variants implement graceful degradation.
 ///
 /// The retriever keeps one DirectEngine per video, so atomic picture
 /// queries and value tables are cached *across* queries. The store must not
@@ -47,35 +94,68 @@ class Retriever {
   Result<FormulaPtr> Prepare(std::string_view query_text) const;
 
   /// Top-k segments at `level` over all videos, ranked by fractional
-  /// similarity (ties: lower video id, then lower segment id).
+  /// similarity (ties: lower video id, then lower segment id). Strict: the
+  /// first per-video error fails the call.
   Result<std::vector<SegmentHit>> TopSegments(const Formula& query, int level,
-                                              int64_t k);
+                                              int64_t k, ExecContext* ctx = nullptr);
   Result<std::vector<SegmentHit>> TopSegments(std::string_view query_text, int level,
-                                              int64_t k);
+                                              int64_t k, ExecContext* ctx = nullptr);
+
+  /// Degradation-tolerant TopSegments: faulting videos are skipped and
+  /// recorded; the ranked partial result covers every healthy video. Only
+  /// deadline expiry / cancellation (and Prepare errors for the text
+  /// overload) fail the call itself.
+  Result<SegmentRetrieval> TopSegmentsWithReport(const Formula& query, int level,
+                                                 int64_t k, ExecContext* ctx = nullptr);
+  Result<SegmentRetrieval> TopSegmentsWithReport(std::string_view query_text, int level,
+                                                 int64_t k, ExecContext* ctx = nullptr);
 
   /// As TopSegments but addressing the level by its registered name (e.g.
   /// "shot"); each video resolves the name independently, so heterogeneous
-  /// hierarchies mix correctly. Videos lacking the name are skipped.
+  /// hierarchies mix correctly. Videos lacking the name are skipped (not
+  /// counted as failures).
   Result<std::vector<SegmentHit>> TopSegmentsAtNamedLevel(const Formula& query,
                                                           const std::string& level_name,
-                                                          int64_t k);
+                                                          int64_t k,
+                                                          ExecContext* ctx = nullptr);
   Result<std::vector<SegmentHit>> TopSegmentsAtNamedLevel(std::string_view query_text,
                                                           const std::string& level_name,
-                                                          int64_t k);
+                                                          int64_t k,
+                                                          ExecContext* ctx = nullptr);
+  Result<SegmentRetrieval> TopSegmentsAtNamedLevelWithReport(
+      const Formula& query, const std::string& level_name, int64_t k,
+      ExecContext* ctx = nullptr);
 
   /// Top-k videos with the query asserted at the root (browsing queries and
-  /// whole-video matches).
-  Result<std::vector<VideoHit>> TopVideos(const Formula& query, int64_t k);
-  Result<std::vector<VideoHit>> TopVideos(std::string_view query_text, int64_t k);
+  /// whole-video matches). Strict, like TopSegments.
+  Result<std::vector<VideoHit>> TopVideos(const Formula& query, int64_t k,
+                                          ExecContext* ctx = nullptr);
+  Result<std::vector<VideoHit>> TopVideos(std::string_view query_text, int64_t k,
+                                          ExecContext* ctx = nullptr);
+
+  /// Degradation-tolerant TopVideos.
+  Result<VideoRetrieval> TopVideosWithReport(const Formula& query, int64_t k,
+                                             ExecContext* ctx = nullptr);
 
   /// The similarity list of `query` for one video's `level` — the
   /// single-video operation the paper's experiments report (Tables 3-6).
+  /// Sets `degraded` (when non-null) to true if the direct engine declined
+  /// and the reference engine produced the list.
   Result<SimilarityList> EvaluateList(MetadataStore::VideoId video, int level,
-                                      const Formula& query);
+                                      const Formula& query, ExecContext* ctx = nullptr,
+                                      bool* degraded = nullptr);
 
  private:
   /// The cached per-video engine (created on first use).
   DirectEngine& EngineFor(MetadataStore::VideoId video);
+
+  /// The shared per-video evaluation loop behind the segment entry points.
+  /// `resolve_level` maps a video to the level to query (negative: skip the
+  /// video silently, the named-level contract).
+  template <typename ResolveLevel>
+  Result<SegmentRetrieval> RunSegmentQuery(const Formula& query, int64_t k,
+                                           ExecContext* ctx,
+                                           const ResolveLevel& resolve_level);
 
   const MetadataStore* store_;
   QueryOptions options_;

@@ -57,6 +57,19 @@ class Parser {
   }
 
  private:
+  /// Hard bound on recursive-descent depth: adversarial `((((...` token
+  /// soup returns ParseError instead of risking a stack overflow. Genuine
+  /// queries nest orders of magnitude shallower (each syntactic nesting
+  /// level costs ~3 tracked frames, so ~340 real nesting levels fit).
+  static constexpr int kMaxDepth = 1024;
+
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+    ~DepthGuard() { --*depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    int* depth_;
+  };
   const Token& Peek(size_t ahead = 0) const {
     size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
     return tokens_[i];
@@ -83,6 +96,8 @@ class Parser {
   }
 
   Result<FormulaPtr> ParseUntil() {
+    DepthGuard guard(&depth_);
+    if (depth_ > kMaxDepth) return Error("formula nesting too deep");
     HTL_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseOr());
     if (TakeIdent("until")) {
       HTL_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseUntil());
@@ -110,6 +125,8 @@ class Parser {
   }
 
   Result<FormulaPtr> ParseUnary() {
+    DepthGuard guard(&depth_);
+    if (depth_ > kMaxDepth) return Error("formula nesting too deep");
     if (TakeIdent("not")) {
       HTL_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
       return MakeNot(std::move(f));
@@ -295,6 +312,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

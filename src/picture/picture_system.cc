@@ -5,6 +5,7 @@
 
 #include "picture/constraint_eval.h"
 #include "sim/table_ops.h"
+#include "util/fault_point.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -66,6 +67,9 @@ const LevelIndex& PictureSystem::Index(int level) {
 }
 
 Result<SimilarityTable> PictureSystem::Query(int level, const AtomicFormula& atomic) {
+  // The I/O-shaped seam of figure 1: in the paper's architecture this call
+  // crosses into the external picture retrieval system.
+  HTL_FAULT_POINT("picture.query");
   if (level < 1 || level > video_->num_levels()) {
     return Status::OutOfRange(StrCat("level ", level, " out of range"));
   }

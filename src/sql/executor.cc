@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "sql/parser.h"
+#include "util/fault_point.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -315,8 +316,19 @@ Result<Table> Executor::ExecuteScript(std::string_view text) {
   return last;
 }
 
+Status Executor::ChargeRows(int64_t n) {
+  if (exec_ == nullptr) return Status::OK();
+  return exec_->ChargeRows(n);
+}
+
 Result<Table> Executor::Execute(const Statement& stmt) {
   ++stats_.statements;
+  // Statement boundary: poll deadline/cancel and reset the per-unit
+  // budgets, so each statement of a translated script is bounded alone.
+  if (exec_ != nullptr) {
+    exec_->BeginUnit();
+    HTL_RETURN_IF_ERROR(exec_->Check());
+  }
   switch (stmt.kind) {
     case Statement::Kind::kSelect:
       return ExecuteSelect(*stmt.select);
@@ -372,11 +384,19 @@ Result<Table> Executor::Execute(const Statement& stmt) {
 }
 
 Result<Table> Executor::ExecuteSelect(const SelectStmt& stmt) {
+  // SELECT nesting (UNION ALL chains, CREATE TABLE AS) is bounded by the
+  // context's depth budget.
+  DepthScope depth(exec_);
+  HTL_RETURN_IF_ERROR(depth.status());
   // ---- FROM: left-deep materialized join pipeline ------------------------
   Schema schema;
   std::vector<Row> work;
   bool first_table = true;
   for (const TableRef& ref : stmt.from) {
+    // The base-table scan: in the paper's setup this is Sybase reading a
+    // stored relation.
+    HTL_FAULT_POINT("sql.scan");
+    if (exec_ != nullptr) HTL_RETURN_IF_ERROR(exec_->ChargeTable());
     HTL_ASSIGN_OR_RETURN(const Table* t, catalog_->Get(ref.table));
     const std::string alias = AsciiToLower(ref.alias);
     Schema inner_schema;
@@ -482,6 +502,7 @@ Result<Table> Executor::ExecuteSelect(const SelectStmt& stmt) {
         ht[key].push_back(&ir);
       }
       for (const Row& outer : work) {
+        HTL_CHECK_EXEC(exec_);
         std::string key;
         for (const EquiPair& ep : equis) key += EvalBound(ep.outer, outer, nullptr).Key() + "|";
         bool matched = false;
@@ -502,6 +523,7 @@ Result<Table> Executor::ExecuteSelect(const SelectStmt& stmt) {
                               (*b)[static_cast<size_t>(range_col)]) < 0;
       });
       for (const Row& outer : work) {
+        HTL_CHECK_EXEC(exec_);
         // Effective bounds for this outer row.
         Value lo, hi;
         bool lo_strict = false, hi_strict = false, empty = false;
@@ -553,6 +575,7 @@ Result<Table> Executor::ExecuteSelect(const SelectStmt& stmt) {
     } else {
       ++stats_.loop_joins;
       for (const Row& outer : work) {
+        HTL_CHECK_EXEC(exec_);
         bool matched = false;
         for (const Row& ir : t->rows()) matched |= emit(outer, &ir);
         if (!matched && ref.join == JoinType::kLeft) emit(outer, nullptr);
@@ -561,6 +584,7 @@ Result<Table> Executor::ExecuteSelect(const SelectStmt& stmt) {
     schema = std::move(combined);
     work = std::move(next);
     stats_.rows_materialized += static_cast<int64_t>(work.size());
+    HTL_RETURN_IF_ERROR(ChargeRows(static_cast<int64_t>(work.size())));
   }
 
   // ---- WHERE --------------------------------------------------------------
@@ -570,6 +594,7 @@ Result<Table> Executor::ExecuteSelect(const SelectStmt& stmt) {
     std::vector<Row> filtered;
     filtered.reserve(work.size());
     for (Row& r : work) {
+      HTL_CHECK_EXEC(exec_);
       if (EvalBound(w, r, nullptr).Truthy()) filtered.push_back(std::move(r));
     }
     work = std::move(filtered);
@@ -634,6 +659,7 @@ Result<Table> Executor::ExecuteSelect(const SelectStmt& stmt) {
     };
     std::map<std::string, Group> groups;
     for (const Row& r : work) {
+      HTL_CHECK_EXEC(exec_);
       std::string key;
       for (const BoundExpr& k : keys) key += EvalBound(k, r, nullptr).Key() + "|";
       auto [it, inserted] = groups.try_emplace(key);
@@ -684,6 +710,7 @@ Result<Table> Executor::ExecuteSelect(const SelectStmt& stmt) {
     }
   }
   stats_.rows_materialized += out.num_rows();
+  HTL_RETURN_IF_ERROR(ChargeRows(out.num_rows()));
 
   // ---- DISTINCT -------------------------------------------------------------
   if (stmt.distinct) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "engine/exec_context.h"
 #include "sql/ast.h"
 #include "sql/table.h"
 #include "util/result.h"
@@ -50,11 +51,22 @@ class Executor {
   const ExecStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ExecStats{}; }
 
+  /// Attaches a deadline/cancellation/budget context. Join and filter loops
+  /// poll it per outer row; every materialized intermediate charges the row
+  /// budget, and each FROM pipeline charges one table per joined input.
+  /// Budget counters reset per statement (ExecContext::BeginUnit). Null
+  /// (the default) disables all limits.
+  void set_exec_context(ExecContext* ctx) { exec_ = ctx; }
+
  private:
   Result<Table> ExecuteSelect(const SelectStmt& stmt);
 
+  /// Poll + row-budget charge for one materialization step.
+  Status ChargeRows(int64_t n);
+
   Catalog* catalog_;
   ExecStats stats_;
+  ExecContext* exec_ = nullptr;  // Not owned; null means unlimited.
 };
 
 }  // namespace htl::sql

@@ -264,7 +264,25 @@ class Parser {
 
   // ---- Expressions -------------------------------------------------------
 
-  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  /// Hard bound on expression recursion depth: `(((((...` / `NOT NOT ...`
+  /// token soup returns ParseError instead of risking a stack overflow.
+  /// One syntactic nesting level costs one tracked frame (counted at
+  /// ParseExpr and the self-recursing unary productions).
+  static constexpr int kMaxExprDepth = 256;
+
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+    ~DepthGuard() { --*depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    int* depth_;
+  };
+
+  Result<ExprPtr> ParseExpr() {
+    DepthGuard guard(&expr_depth_);
+    if (expr_depth_ > kMaxExprDepth) return Error("expression nesting too deep");
+    return ParseOr();
+  }
 
   Result<ExprPtr> ParseOr() {
     HTL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
@@ -285,6 +303,8 @@ class Parser {
   }
 
   Result<ExprPtr> ParseNot() {
+    DepthGuard guard(&expr_depth_);
+    if (expr_depth_ > kMaxExprDepth) return Error("expression nesting too deep");
     if (TakeKeyword("not")) {
       HTL_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
       auto e = std::make_unique<Expr>();
@@ -392,6 +412,8 @@ class Parser {
   }
 
   Result<ExprPtr> ParseUnary() {
+    DepthGuard guard(&expr_depth_);
+    if (expr_depth_ > kMaxExprDepth) return Error("expression nesting too deep");
     if (TakeSymbol("-")) {
       HTL_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
       auto e = std::make_unique<Expr>();
@@ -460,6 +482,7 @@ class Parser {
 
   std::vector<Tok> toks_;
   size_t pos_ = 0;
+  int expr_depth_ = 0;
 };
 
 }  // namespace

@@ -1,0 +1,111 @@
+#ifndef HTL_UTIL_FAULT_POINT_H_
+#define HTL_UTIL_FAULT_POINT_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace htl {
+
+/// How an armed fault point fires.
+struct FaultSpec {
+  /// The status code the point returns when it fires. kOk is invalid.
+  StatusCode code = StatusCode::kInternal;
+
+  /// Fire on hit number `fire_on_hit` (1-based) and every hit after it when
+  /// `sticky`; 0 means "every hit from the first".
+  int64_t fire_on_hit = 0;
+  bool sticky = true;
+
+  /// When in (0, 1), fire probabilistically with this rate instead of by
+  /// count (deterministic given the registry seed — see Seed()).
+  double probability = 0.0;
+};
+
+/// Process-wide registry of named fault points, in the style of RocksDB's
+/// SyncPoint: production code plants `HTL_FAULT_POINT("area.seam")` at
+/// I/O-shaped seams; tests arm individual points with FaultSpecs and assert
+/// that the error surfaces as a clean Status with truthful partial results.
+///
+/// Cost when idle: HTL_FAULT_POINT compiles in always (no build flag), but
+/// reduces to one relaxed atomic load and a predictable branch while the
+/// registry is disarmed — the registry mutex is only touched when armed.
+///
+/// Point names are "area.seam" (e.g. "picture.query", "sql.scan"); the full
+/// set is compiled into KnownPoints() so tests can enumerate coverage, and a
+/// debug check rejects hits on unregistered names (catching drift between
+/// the list and the planted macros).
+class FaultRegistry {
+ public:
+  static FaultRegistry& Instance();
+
+  /// Every fault point planted in the library, sorted. Keep in sync with
+  /// the HTL_FAULT_POINT sites (fault_point.cc asserts membership on hit in
+  /// debug builds).
+  static const std::vector<std::string_view>& KnownPoints();
+
+  /// True when any point is armed or tracing is on (the macro's fast-path
+  /// gate).
+  static bool Armed() {
+    return Instance().armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms `point` with `spec`. Resets the point's hit counter.
+  void Enable(std::string_view point, FaultSpec spec);
+
+  /// Disarms one point / all points. DisableAll also stops tracing and
+  /// clears trace hits.
+  void Disable(std::string_view point);
+  void DisableAll();
+
+  /// Trace mode: record every hit (without injecting faults) so tests can
+  /// prove a workload reaches a seam. Armed points still fire while
+  /// tracing.
+  void StartTrace();
+  /// Hit counts per point name observed since StartTrace().
+  std::map<std::string, int64_t> TraceHits();
+
+  /// Reseeds the RNG used for probabilistic specs (deterministic runs).
+  void Seed(uint64_t seed);
+
+  /// Called by HTL_FAULT_POINT when armed. Returns the injected error when
+  /// the point fires, OK otherwise.
+  Status Hit(std::string_view point);
+
+ private:
+  FaultRegistry() = default;
+
+  struct PointState {
+    FaultSpec spec;
+    int64_t hits = 0;
+    bool enabled = false;
+  };
+
+  void UpdateArmed();  // Requires mu_ held.
+
+  std::atomic<bool> armed_{false};
+  std::mutex mu_;
+  std::map<std::string, PointState, std::less<>> points_;
+  bool tracing_ = false;
+  std::map<std::string, int64_t> trace_hits_;
+  uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;
+};
+
+}  // namespace htl
+
+/// Plants a named fault point. In a function returning Status or Result<T>:
+/// when the registry has armed this point and it fires, the injected error
+/// returns from the enclosing function; otherwise execution continues.
+#define HTL_FAULT_POINT(name)                                            \
+  do {                                                                   \
+    if (::htl::FaultRegistry::Armed()) {                                 \
+      HTL_RETURN_IF_ERROR(::htl::FaultRegistry::Instance().Hit(name));   \
+    }                                                                    \
+  } while (0)
+
+#endif  // HTL_UTIL_FAULT_POINT_H_

@@ -20,6 +20,9 @@ enum class StatusCode {
   kInternal = 6,
   kFailedPrecondition = 7,
   kParseError = 8,
+  kDeadlineExceeded = 9,
+  kCancelled = 10,
+  kResourceExhausted = 11,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "ParseError", ...).
@@ -67,8 +70,26 @@ class [[nodiscard]] Status {
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// Predicates for the execution-resilience codes (exec_context.h,
+  /// fault_point.h). A query-wide abort (deadline/cancel) must propagate out
+  /// of Retriever::TopSegments*, while any other error is isolated per video
+  /// — IsQueryAbort() is that dispatch in one place.
+  bool IsDeadlineExceeded() const { return code_ == StatusCode::kDeadlineExceeded; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const { return code_ == StatusCode::kResourceExhausted; }
+  bool IsQueryAbort() const { return IsDeadlineExceeded() || IsCancelled(); }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

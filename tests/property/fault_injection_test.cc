@@ -1,0 +1,186 @@
+// Fault-injection tests over the Casablanca workload: every fault point
+// planted in the library is provably reached by the workload, and arming any
+// of them yields a clean Status plus a truthful RetrievalReport — never a
+// crash, a hang, or silently wrong top-k results.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "engine/retrieval.h"
+#include "model/video.h"
+#include "sql/sql_system.h"
+#include "testing/helpers.h"
+#include "util/fault_point.h"
+#include "workload/casablanca.h"
+
+namespace htl {
+namespace {
+
+// A freeze query over the Casablanca annotation (value table of type(z)):
+// exercises the direct engine's value-table seam on the same video.
+constexpr const char* kFreezeQuery =
+    "exists z (type(z) = 'person' and [h <- type(z)] eventually (type(z) = h))";
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultRegistry::Instance().DisableAll();
+    store_.AddVideo(casablanca::MakeVideo());
+    store_.AddVideo(casablanca::MakeVideo());  // Second copy: the healthy video.
+  }
+  void TearDown() override { FaultRegistry::Instance().DisableAll(); }
+
+  // Runs the retrieval side of the workload: Query 1 end-to-end plus the
+  // freeze query. A fresh Retriever each run (caches would otherwise mask
+  // fault points on repeat runs).
+  static Result<SegmentRetrieval> RunRetrieval(MetadataStore* store) {
+    Retriever r(store);
+    FormulaPtr q = casablanca::Query1Full();
+    return r.TopSegmentsWithReport(*q, 2, 8);
+  }
+
+  static Result<SegmentRetrieval> RunFreeze(MetadataStore* store) {
+    Retriever r(store);
+    return r.TopSegmentsWithReport(kFreezeQuery, 2, 8);
+  }
+
+  // Runs the SQL-translation side of the workload.
+  static Result<SimilarityList> RunSql() {
+    FormulaPtr q = casablanca::Query1Named();
+    sql::SqlSystem sys;
+    return sys.Evaluate(*q, casablanca::NamedInputs(), casablanca::kNumShots);
+  }
+
+  MetadataStore store_;
+};
+
+TEST_F(FaultInjectionTest, WorkloadReachesEveryKnownFaultPoint) {
+  FaultRegistry::Instance().StartTrace();
+  ASSERT_OK(RunRetrieval(&store_).status());
+  ASSERT_OK(RunFreeze(&store_).status());
+  ASSERT_OK(RunSql().status());
+  std::map<std::string, int64_t> hits = FaultRegistry::Instance().TraceHits();
+  for (std::string_view point : FaultRegistry::KnownPoints()) {
+    auto it = hits.find(std::string(point));
+    ASSERT_NE(it, hits.end()) << "workload never reached fault point " << point;
+    EXPECT_GT(it->second, 0) << point;
+  }
+}
+
+// The headline degradation property: a fault in one video is isolated — the
+// call still returns ranked results over the healthy video, and the report
+// names the failed video and the injected error.
+TEST_F(FaultInjectionTest, SingleVideoFaultYieldsPartialResultsAndTruthfulReport) {
+  for (std::string_view point :
+       {std::string_view("picture.query"), std::string_view("engine.table_join")}) {
+    SCOPED_TRACE(std::string(point));
+    FaultSpec spec;
+    spec.fire_on_hit = 1;
+    spec.sticky = false;  // Only the very first hit (inside video 1) fires.
+    FaultRegistry::Instance().Enable(point, spec);
+    ASSERT_OK_AND_ASSIGN(SegmentRetrieval out, RunRetrieval(&store_));
+    FaultRegistry::Instance().DisableAll();
+
+    EXPECT_EQ(out.report.videos_failed, 1) << out.report.ToString();
+    EXPECT_EQ(out.report.videos_evaluated, 1);
+    EXPECT_FALSE(out.report.complete());
+    ASSERT_EQ(out.report.failures.size(), 1u);
+    EXPECT_EQ(out.report.failures[0].video, 1);
+    EXPECT_EQ(out.report.failures[0].status.code(), StatusCode::kInternal);
+    EXPECT_NE(out.report.failures[0].status.message().find(point), std::string::npos)
+        << "report must name the faulted seam: "
+        << out.report.failures[0].status.ToString();
+
+    // The partial result is the healthy video's exact answer (paper Table 4:
+    // shots 1-4 lead with actual 12.382).
+    ASSERT_GE(out.hits.size(), 1u);
+    for (const SegmentHit& h : out.hits) EXPECT_EQ(h.video, 2);
+    EXPECT_EQ(out.hits[0].segment, 1);
+    EXPECT_NEAR(out.hits[0].sim.actual, 12.382, 1e-9);
+  }
+}
+
+TEST_F(FaultInjectionTest, ValueTableFaultIsIsolatedPerVideo) {
+  FaultSpec spec;
+  spec.fire_on_hit = 1;
+  spec.sticky = false;
+  FaultRegistry::Instance().Enable("engine.value_table", spec);
+  ASSERT_OK_AND_ASSIGN(SegmentRetrieval out, RunFreeze(&store_));
+  EXPECT_EQ(out.report.videos_failed, 1) << out.report.ToString();
+  EXPECT_EQ(out.report.videos_evaluated, 1);
+  ASSERT_EQ(out.report.failures.size(), 1u);
+  EXPECT_EQ(out.report.failures[0].video, 1);
+  for (const SegmentHit& h : out.hits) EXPECT_EQ(h.video, 2);
+}
+
+// Every point firing on every hit: the whole store fails, the call still
+// returns OK with an empty-but-truthful result (no crash, no hang).
+TEST_F(FaultInjectionTest, AllVideosFaultingStillReturnsCleanEmptyResult) {
+  for (std::string_view point : FaultRegistry::KnownPoints()) {
+    if (point == "sql.scan") continue;  // SQL path asserted separately below.
+    SCOPED_TRACE(std::string(point));
+    FaultRegistry::Instance().Enable(point, FaultSpec{});
+    Result<SegmentRetrieval> retrieval = RunRetrieval(&store_);
+    Result<SegmentRetrieval> freeze = RunFreeze(&store_);
+    FaultRegistry::Instance().DisableAll();
+    for (const Result<SegmentRetrieval>* r : {&retrieval, &freeze}) {
+      ASSERT_OK(r->status());
+      const SegmentRetrieval& out = r->value();
+      // Either the point was on this query's path (both videos failed) or it
+      // was not (both evaluated) — the report must never claim otherwise.
+      EXPECT_EQ(out.report.videos_failed + out.report.videos_evaluated, 2);
+      EXPECT_EQ(out.report.failures.size(),
+                static_cast<size_t>(out.report.videos_failed));
+      if (out.report.videos_failed == 2) EXPECT_TRUE(out.hits.empty());
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, SqlScanFaultSurfacesAsCleanStatus) {
+  FaultRegistry::Instance().Enable("sql.scan", FaultSpec{});
+  Status s = RunSql().status();
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("sql.scan"), std::string::npos) << s.ToString();
+  // Disarmed again, the same system works and the answer is exact.
+  FaultRegistry::Instance().DisableAll();
+  ASSERT_OK_AND_ASSIGN(SimilarityList out, RunSql());
+  EXPECT_TRUE(out == casablanca::Query1ResultTable());
+}
+
+// The strict (report-free) API keeps its historical contract: the first
+// injected per-video error fails the call with that error.
+TEST_F(FaultInjectionTest, StrictApiSurfacesInjectedError) {
+  FaultSpec spec;
+  spec.code = StatusCode::kFailedPrecondition;
+  FaultRegistry::Instance().Enable("picture.query", spec);
+  Retriever r(&store_);
+  FormulaPtr q = casablanca::Query1Full();
+  Status s = r.TopSegments(*q, 2, 8).status();
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition) << s.ToString();
+}
+
+// Probabilistic injection at the busiest seam: whatever subset of videos
+// fails, the report stays consistent with the hits (no crash, no lie).
+TEST_F(FaultInjectionTest, ProbabilisticFaultsKeepReportConsistent) {
+  FaultSpec spec;
+  spec.probability = 0.3;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    FaultRegistry::Instance().Seed(seed);
+    FaultRegistry::Instance().Enable("picture.query", spec);
+    ASSERT_OK_AND_ASSIGN(SegmentRetrieval out, RunRetrieval(&store_));
+    FaultRegistry::Instance().DisableAll();
+    EXPECT_EQ(out.report.videos_failed + out.report.videos_evaluated, 2);
+    EXPECT_EQ(out.report.failures.size(),
+              static_cast<size_t>(out.report.videos_failed));
+    for (const SegmentHit& h : out.hits) {
+      for (const RetrievalReport::VideoFailure& f : out.report.failures) {
+        EXPECT_NE(h.video, f.video) << "hit from a video reported as failed";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace htl

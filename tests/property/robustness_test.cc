@@ -118,6 +118,74 @@ TEST(ParserEdgeTest, DeepNestingEvaluates) {
   EXPECT_EQ(list.value().ActualAt(1), 1.0);
 }
 
+// Adversarial nesting: unbounded recursion in the recursive-descent parsers
+// would overflow the stack (and abort under ASan) long before the lexer or
+// grammar rejects the input. Both parsers bound their depth and return
+// ParseError instead.
+
+TEST(ParserEdgeTest, ExcessiveHtlParenNestingIsRejected) {
+  std::string text(5'000, '(');
+  text += "true";
+  text.append(5'000, ')');
+  auto r = ParseFormula(text);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("nesting too deep"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(ParserEdgeTest, ExcessiveHtlOperatorNestingIsRejected) {
+  std::string text;
+  constexpr int kDepth = 5'000;
+  for (int i = 0; i < kDepth; ++i) text += "next (";
+  text += "true";
+  text.append(kDepth, ')');
+  EXPECT_EQ(ParseFormula(text).status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserEdgeTest, UnclosedParenSoupIsRejectedNotCrashing) {
+  // No closers at all: the parser must fail cleanly at the depth bound (or
+  // at end of input), never run away.
+  std::string text(20'000, '(');
+  EXPECT_FALSE(ParseFormula(text).ok());
+}
+
+TEST(SqlParserEdgeTest, ModerateExprNestingParses) {
+  std::string text = "SELECT * FROM t WHERE ";
+  constexpr int kDepth = 40;
+  text.append(kDepth, '(');
+  text += "1 = 1";
+  text.append(kDepth, ')');
+  text += ";";
+  EXPECT_OK(sql::ParseScript(text).status());
+}
+
+TEST(SqlParserEdgeTest, ExcessiveExprParenNestingIsRejected) {
+  std::string text = "SELECT * FROM t WHERE ";
+  constexpr int kDepth = 5'000;
+  text.append(kDepth, '(');
+  text += "1 = 1";
+  text.append(kDepth, ')');
+  text += ";";
+  auto r = sql::ParseScript(text);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("nesting too deep"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(SqlParserEdgeTest, ExcessiveUnaryChainsAreRejected) {
+  std::string nots = "SELECT * FROM t WHERE ";
+  for (int i = 0; i < 5'000; ++i) nots += "NOT ";
+  nots += "1 = 1;";
+  EXPECT_EQ(sql::ParseScript(nots).status().code(), StatusCode::kParseError);
+
+  std::string minuses = "SELECT ";
+  minuses.append(5'000, '-');
+  minuses += "1;";
+  EXPECT_EQ(sql::ParseScript(minuses).status().code(), StatusCode::kParseError);
+}
+
 // ---------------------------------------------------------------------------
 // Engine-facing failure injection.
 

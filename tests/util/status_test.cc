@@ -35,6 +35,38 @@ TEST(StatusTest, AllFactoriesProduceTheirCode) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(), StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, ExecutionCodesRenderTheirName) {
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(), "DeadlineExceeded: late");
+  EXPECT_EQ(Status::Cancelled("stop").ToString(), "Cancelled: stop");
+  EXPECT_EQ(Status::ResourceExhausted("rows").ToString(), "ResourceExhausted: rows");
+}
+
+TEST(StatusTest, ExecutionPredicatesMatchOnlyTheirCode) {
+  const Status deadline = Status::DeadlineExceeded("x");
+  const Status cancelled = Status::Cancelled("x");
+  const Status exhausted = Status::ResourceExhausted("x");
+  const Status other = Status::Internal("x");
+
+  EXPECT_TRUE(deadline.IsDeadlineExceeded());
+  EXPECT_FALSE(deadline.IsCancelled());
+  EXPECT_FALSE(deadline.IsResourceExhausted());
+
+  EXPECT_TRUE(cancelled.IsCancelled());
+  EXPECT_FALSE(cancelled.IsDeadlineExceeded());
+
+  EXPECT_TRUE(exhausted.IsResourceExhausted());
+  EXPECT_FALSE(exhausted.IsQueryAbort())
+      << "a blown budget is a per-unit fault, not a query-wide abort";
+
+  EXPECT_TRUE(deadline.IsQueryAbort());
+  EXPECT_TRUE(cancelled.IsQueryAbort());
+  EXPECT_FALSE(other.IsQueryAbort());
+  EXPECT_FALSE(Status::OK().IsQueryAbort());
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

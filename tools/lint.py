@@ -22,6 +22,14 @@ Checks, over src/ by default:
                     parameters stays legal.)
   no-throwing-parse `std::stoi` / `std::stoll` / `std::stod` & friends throw;
                     use htl::ParseInt32/ParseInt64/ParseDouble (util/parse.h).
+  exec-context-polling
+                    Engine-loop files (src/engine/*.cc and src/sql/executor.cc)
+                    that contain loops must reference the execution context
+                    (ExecContext / HTL_CHECK_EXEC / ChargeRows / ...): a loop
+                    over segments or rows that never polls it cannot honor
+                    deadlines or cancellation (CONTRIBUTING.md ground rule).
+                    File-scoped: suppress with `// htl-lint:
+                    allow(exec-context-polling)` anywhere in the file.
 
 A finding can be locally suppressed with `// htl-lint: allow(<rule>)` on the
 same line. Exit status is 0 when clean, 1 when any finding is reported.
@@ -209,15 +217,46 @@ def check_include_order(path: Path, raw_lines: list[str],
                 "includes within a block must be sorted alphabetically"))
 
 
+LOOP_RE = re.compile(r"\b(?:for|while)\s*\(")
+EXEC_REF_RE = re.compile(
+    r"\b(?:ExecContext|DepthScope|HTL_CHECK_EXEC|ChargeRows|ChargeTable|exec_)\b")
+
+
+def is_engine_loop_file(path: Path) -> bool:
+    if path.suffix != ".cc":
+        return False
+    try:
+        rel = path.relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return False
+    return rel.startswith("src/engine/") or rel == "src/sql/executor.cc"
+
+
+def check_exec_context_polling(path: Path, raw_lines: list[str], code: str,
+                               findings: list[Finding]) -> None:
+    if not is_engine_loop_file(path):
+        return
+    if any("exec-context-polling" in allowed_rules(l) for l in raw_lines):
+        return
+    if LOOP_RE.search(code) and not EXEC_REF_RE.search(code):
+        findings.append(Finding(
+            path, 1, "exec-context-polling",
+            "engine-loop file never references the execution context; loops "
+            "over segments/rows must poll it (HTL_CHECK_EXEC / ChargeRows), "
+            "see CONTRIBUTING.md"))
+
+
 def lint_file(path: Path) -> list[Finding]:
     raw = path.read_text(encoding="utf-8")
     raw_lines = raw.splitlines()
-    code_lines = strip_comments_and_strings(raw).splitlines()
+    code = strip_comments_and_strings(raw)
+    code_lines = code.splitlines()
     findings: list[Finding] = []
     check_line_rules(path, raw_lines, code_lines, findings)
     if path.suffix in HEADER_EXTS:
         check_header_guard(path, raw_lines, findings)
     check_include_order(path, raw_lines, findings)
+    check_exec_context_polling(path, raw_lines, code, findings)
     return findings
 
 
