@@ -21,6 +21,9 @@
 #include <vector>
 
 #include "engine/direct_engine.h"
+#include "engine/exec_context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sql/sql_system.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -68,7 +71,14 @@ class BenchJson {
       }
       std::fprintf(f, "}");
     }
-    std::fprintf(f, "\n  ]\n}\n");
+    std::fprintf(f, "\n  ]");
+    if (obs::MetricsRegistry::Enabled()) {
+      // Process-wide counter snapshot (ToJson emits a complete JSON object),
+      // so a bench run records which kernels it actually exercised.
+      std::fprintf(f, ",\n  \"metrics\": %s",
+                   obs::MetricsRegistry::Instance().Snapshot().ToJson().c_str());
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
   }
@@ -169,10 +179,44 @@ struct PaperRow {
 // Runs one table: sizes x {direct (best of `reps`), SQL (once)}, verifying
 // that both systems produce identical lists. When `json` is non-null, each
 // row is also recorded as a machine-readable metric record.
+// Untimed EXPLAIN pass: one profiled evaluation per system at `size`,
+// printing where the time goes (per-operator spans on the direct path,
+// per-statement/join spans on the SQL path).
+inline void PrintProfiles(const char* title, const Formula& f,
+                          const PerfInputs& inputs, int64_t size) {
+  {
+    obs::QueryTrace trace;
+    Result<SimilarityList> r = EvaluateWithLists(f, inputs.lists, {}, &trace);
+    HTL_CHECK(r.ok()) << r.status().ToString();
+    std::printf("%s / size %lld: direct profile\n%s", title,
+                static_cast<long long>(size), trace.Finish().ToText().c_str());
+  }
+  {
+    sql::SqlSystem sys;
+    Result<sql::Translation> tr = sql::TranslateToSql(f, inputs.maxes, "q");
+    HTL_CHECK(tr.ok()) << tr.status().ToString();
+    Status loaded = sys.LoadInputs(tr.value(), inputs.lists, size);
+    HTL_CHECK(loaded.ok()) << loaded.ToString();
+    ExecContext ctx;
+    obs::QueryTrace trace;
+    ctx.set_trace(&trace);
+    sys.executor().set_exec_context(&ctx);
+    Result<SimilarityList> r = sys.Run(tr.value());
+    sys.executor().set_exec_context(nullptr);
+    HTL_CHECK(r.ok()) << r.status().ToString();
+    std::printf("%s / size %lld: SQL profile\n%s\n", title,
+                static_cast<long long>(size), trace.Finish().ToText().c_str());
+  }
+}
+
 inline int RunPerfTable(const char* title, const Formula& f,
                         const std::vector<std::string>& preds,
                         const std::vector<PaperRow>& rows, int reps = 5,
                         BenchJson* json = nullptr) {
+  // Process-wide counters stay on for the whole bench; BenchJson::Flush
+  // embeds the final snapshot into BENCH_<name>.json. The timed arms below
+  // carry no trace, so span instrumentation stays on its disarmed path.
+  obs::MetricsRegistry::Instance().SetEnabled(true);
   std::printf("%s\n", title);
   std::printf("%-10s %-16s %-16s %-10s %-14s %s\n", "Size", "Direct (s)",
               "SQL-based (s)", "SQL/Dir", "Paper Direct", "Paper SQL");
@@ -204,6 +248,11 @@ inline int RunPerfTable(const char* title, const Formula& f,
       "\nshape check: the direct method is orders of magnitude faster and grows\n"
       "linearly with size, as in the paper; absolute values differ (2026 CPU and\n"
       "an in-memory SQL engine vs 1997 SPARC + Sybase).\n\n");
+  if (!rows.empty()) {
+    const int64_t size = rows.front().size;
+    PerfInputs inputs = MakeInputs(size, 0xC0FFEE + static_cast<uint64_t>(size), preds);
+    PrintProfiles(title, f, inputs, size);
+  }
   return all_match ? 0 : 1;
 }
 

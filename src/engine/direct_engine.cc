@@ -2,6 +2,8 @@
 
 #include <optional>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "picture/atomic.h"
 #include "sim/list_ops.h"
 #include "sim/table_ops.h"
@@ -90,7 +92,8 @@ Result<SimilarityTable> DirectEngine::EvalLevelOp(int level, const Interval& bou
                              ? video_->Children(level, pos)
                              : video_->DescendantsAtLevel(level, pos, target);
     if (seq.empty()) continue;
-    ++stats_.level_evaluations;
+    counters_.level_evaluations.Increment();
+    HTL_OBS_COUNT("engine.level_evaluations", 1);
     HTL_ASSIGN_OR_RETURN(SimilarityTable t, EvalTable(target, seq, *f.left));
     if (!schema.has_value()) {
       schema = SimilarityTable(t.object_vars(), t.attr_vars());
@@ -141,16 +144,21 @@ Result<SimilarityTable> DirectEngine::EvalTable(int level, const Interval& bound
     const auto key = std::make_pair(f.ToString(), level);
     auto it = atomic_cache_.find(key);
     if (it == atomic_cache_.end()) {
-      ++stats_.atomic_queries;
+      counters_.atomic_queries.Increment();
+      HTL_OBS_COUNT("engine.atomic_queries", 1);
+      HTL_OBS_SPAN(span, trace(), "op.picture_query");
       HTL_ASSIGN_OR_RETURN(AtomicFormula atomic, ExtractAtomic(f));
       HTL_ASSIGN_OR_RETURN(SimilarityTable table, pictures_.Query(level, atomic));
+      span.AddTables(1);
+      span.AddRows(table.num_rows());
       if (exec_ != nullptr) {
         HTL_RETURN_IF_ERROR(exec_->ChargeTable());
         HTL_RETURN_IF_ERROR(exec_->ChargeRows(table.num_rows()));
       }
       it = atomic_cache_.emplace(key, std::move(table)).first;
     } else {
-      ++stats_.atomic_cache_hits;
+      counters_.atomic_cache_hits.Increment();
+      HTL_OBS_COUNT("engine.atomic_cache_hits", 1);
     }
     return MapLists(it->second,
                     [&](const SimilarityList& l) { return l.Clip(bounds); });
@@ -170,7 +178,16 @@ Result<SimilarityTable> DirectEngine::EvalTable(int level, const Interval& bound
       HTL_ASSIGN_OR_RETURN(SimilarityTable lhs, EvalTable(level, bounds, *f.left));
       HTL_ASSIGN_OR_RETURN(SimilarityTable rhs, EvalTable(level, bounds, *f.right));
       HTL_FAULT_POINT("engine.table_join");
-      ++stats_.table_joins;
+      counters_.table_joins.Increment();
+      HTL_OBS_COUNT("engine.table_joins", 1);
+      // The span opens after the operands are evaluated, so it times the
+      // join kernel alone (operand spans nest as siblings, not children).
+      const char* join_name = f.kind == FormulaKind::kOr      ? "op.or_join"
+                              : f.kind == FormulaKind::kUntil ? "op.until_join"
+                                                              : "op.and_join";
+      HTL_OBS_SPAN(span, trace(), join_name);
+      span.AddTables(1);
+      span.AddRows(lhs.num_rows() + rhs.num_rows());
       if (exec_ != nullptr) {
         HTL_RETURN_IF_ERROR(exec_->ChargeTable());
         HTL_RETURN_IF_ERROR(exec_->ChargeRows(lhs.num_rows() + rhs.num_rows()));
@@ -185,17 +202,24 @@ Result<SimilarityTable> DirectEngine::EvalTable(int level, const Interval& bound
     }
     case FormulaKind::kNext: {
       HTL_ASSIGN_OR_RETURN(SimilarityTable t, EvalTable(level, bounds, *f.left));
+      HTL_OBS_SPAN(span, trace(), "op.next_shift");
+      span.AddRows(t.num_rows());
       return MapLists(t, [&](const SimilarityList& l) {
         return NextShift(l).Clip(bounds);
       });
     }
     case FormulaKind::kEventually: {
       HTL_ASSIGN_OR_RETURN(SimilarityTable t, EvalTable(level, bounds, *f.left));
+      HTL_OBS_SPAN(span, trace(), "op.eventually");
+      span.AddRows(t.num_rows());
       return MapLists(t, [](const SimilarityList& l) { return Eventually(l); });
     }
     case FormulaKind::kExists: {
-      ++stats_.exists_collapses;
+      counters_.exists_collapses.Increment();
+      HTL_OBS_COUNT("engine.exists_collapses", 1);
       HTL_ASSIGN_OR_RETURN(SimilarityTable t, EvalTable(level, bounds, *f.left));
+      HTL_OBS_SPAN(span, trace(), "op.exists_collapse");
+      span.AddRows(t.num_rows());
       return CollapseExists(t, f.vars);
     }
     case FormulaKind::kFreeze: {
@@ -204,15 +228,23 @@ Result<SimilarityTable> DirectEngine::EvalTable(int level, const Interval& bound
       const auto key = std::make_pair(f.freeze_term.ToString(), level);
       auto it = value_cache_.find(key);
       if (it == value_cache_.end()) {
+        HTL_OBS_SPAN(vspan, trace(), "op.value_table");
         HTL_FAULT_POINT("engine.value_table");
         HTL_ASSIGN_OR_RETURN(ValueTable vt, pictures_.Values(level, f.freeze_term));
+        vspan.AddRows(vt.num_rows());
+        vspan.AddTables(1);
         it = value_cache_.emplace(key, std::move(vt)).first;
       }
-      ++stats_.freeze_joins;
+      counters_.freeze_joins.Increment();
+      HTL_OBS_COUNT("engine.freeze_joins", 1);
+      HTL_OBS_SPAN(span, trace(), "op.freeze_join");
+      span.AddRows(t.num_rows());
       return FreezeJoin(t, f.freeze_var, it->second);
     }
-    case FormulaKind::kLevel:
+    case FormulaKind::kLevel: {
+      HTL_OBS_SPAN(span, trace(), "op.level_eval");
       return EvalLevelOp(level, bounds, f);
+    }
     case FormulaKind::kNot: {
       // Extension: negation of a *closed* subformula complements its list
       // over the active bounds (actual' = max - actual). Negation over free
@@ -224,6 +256,8 @@ Result<SimilarityTable> DirectEngine::EvalTable(int level, const Interval& bound
             "negation over free variables is outside the extended conjunctive "
             "class (section 2.5); use ReferenceEngine for general formulas");
       }
+      HTL_OBS_SPAN(span, trace(), "op.complement");
+      span.AddRows(t.num_rows());
       return SimilarityTable::FromList(
           Complement(t.ToList(MaxSimilarity(*f.left)), bounds));
     }
@@ -235,7 +269,7 @@ Result<SimilarityTable> DirectEngine::EvalTable(int level, const Interval& bound
 
 Result<SimilarityList> EvaluateWithLists(
     const Formula& f, const std::map<std::string, SimilarityList>& inputs,
-    const QueryOptions& options) {
+    const QueryOptions& options, obs::QueryTrace* trace) {
   switch (f.kind) {
     case FormulaKind::kConstraint: {
       if (f.constraint.kind != Constraint::Kind::kPredicate) {
@@ -254,24 +288,42 @@ Result<SimilarityList> EvaluateWithLists(
     case FormulaKind::kAnd:
     case FormulaKind::kOr:
     case FormulaKind::kUntil: {
-      HTL_ASSIGN_OR_RETURN(SimilarityList lhs, EvaluateWithLists(*f.left, inputs, options));
+      HTL_ASSIGN_OR_RETURN(SimilarityList lhs,
+                           EvaluateWithLists(*f.left, inputs, options, trace));
       HTL_ASSIGN_OR_RETURN(SimilarityList rhs,
-                           EvaluateWithLists(*f.right, inputs, options));
-      if (f.kind == FormulaKind::kAnd) {
-        return options.and_semantics == AndSemantics::kFuzzyMin
-                   ? FuzzyMinAndMerge(lhs, rhs)
-                   : AndMerge(lhs, rhs);
-      }
-      if (f.kind == FormulaKind::kOr) return OrMerge(lhs, rhs);
-      return UntilMerge(lhs, rhs, options.until_threshold);
+                           EvaluateWithLists(*f.right, inputs, options, trace));
+      const char* merge_name = f.kind == FormulaKind::kAnd     ? "op.and_merge"
+                               : f.kind == FormulaKind::kOr    ? "op.or_merge"
+                                                               : "op.until_merge";
+      HTL_OBS_SPAN(span, trace, merge_name);
+      span.AddRows(lhs.length() + rhs.length());
+      SimilarityList out =
+          f.kind == FormulaKind::kAnd
+              ? (options.and_semantics == AndSemantics::kFuzzyMin
+                     ? FuzzyMinAndMerge(lhs, rhs)
+                     : AndMerge(lhs, rhs))
+          : f.kind == FormulaKind::kOr ? OrMerge(lhs, rhs)
+                                       : UntilMerge(lhs, rhs, options.until_threshold);
+      span.AddIntervals(out.length());
+      return out;
     }
     case FormulaKind::kNext: {
-      HTL_ASSIGN_OR_RETURN(SimilarityList l, EvaluateWithLists(*f.left, inputs, options));
-      return NextShift(l);
+      HTL_ASSIGN_OR_RETURN(SimilarityList l,
+                           EvaluateWithLists(*f.left, inputs, options, trace));
+      HTL_OBS_SPAN(span, trace, "op.next_shift");
+      span.AddRows(l.length());
+      SimilarityList out = NextShift(l);
+      span.AddIntervals(out.length());
+      return out;
     }
     case FormulaKind::kEventually: {
-      HTL_ASSIGN_OR_RETURN(SimilarityList l, EvaluateWithLists(*f.left, inputs, options));
-      return Eventually(l);
+      HTL_ASSIGN_OR_RETURN(SimilarityList l,
+                           EvaluateWithLists(*f.left, inputs, options, trace));
+      HTL_OBS_SPAN(span, trace, "op.eventually");
+      span.AddRows(l.length());
+      SimilarityList out = Eventually(l);
+      span.AddIntervals(out.length());
+      return out;
     }
     default:
       return Status::InvalidArgument(

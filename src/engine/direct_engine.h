@@ -9,14 +9,19 @@
 #include "htl/ast.h"
 #include "htl/classifier.h"
 #include "model/video.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "picture/picture_system.h"
 #include "sim/sim_table.h"
 #include "util/result.h"
 
 namespace htl {
 
-/// Runtime counters for one DirectEngine — observability for the ablation
-/// benches and for verifying cache behaviour.
+/// Point-in-time snapshot of one DirectEngine's runtime counters —
+/// observability for the ablation benches and for verifying cache behaviour.
+/// Returned by value from DirectEngine::stats(); the live counters are
+/// relaxed atomics (obs::Counter), so snapshotting and ResetStats() are
+/// race-free against a query running on another thread.
 struct EngineStats {
   int64_t atomic_queries = 0;      // Picture-system queries executed.
   int64_t atomic_cache_hits = 0;   // Atomic tables served from cache.
@@ -72,20 +77,55 @@ class DirectEngine {
   /// changes or when timing cold runs).
   void ClearCache();
 
-  const EngineStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = EngineStats{}; }
+  /// Snapshot of the live counters. By value: the underlying counters are
+  /// atomics shared with a possibly-running query, so callers get a coherent
+  /// detached copy instead of a reference into mutating state.
+  EngineStats stats() const {
+    EngineStats s;
+    s.atomic_queries = counters_.atomic_queries.Value();
+    s.atomic_cache_hits = counters_.atomic_cache_hits.Value();
+    s.table_joins = counters_.table_joins.Value();
+    s.exists_collapses = counters_.exists_collapses.Value();
+    s.freeze_joins = counters_.freeze_joins.Value();
+    s.level_evaluations = counters_.level_evaluations.Value();
+    return s;
+  }
+  void ResetStats() {
+    counters_.atomic_queries.Reset();
+    counters_.atomic_cache_hits.Reset();
+    counters_.table_joins.Reset();
+    counters_.exists_collapses.Reset();
+    counters_.freeze_joins.Reset();
+    counters_.level_evaluations.Reset();
+  }
 
  private:
+  /// Live per-engine counters behind EngineStats (PR 3 folded the plain-int
+  /// EngineStats into the obs layer; this is the thin compat backing).
+  struct EngineCounters {
+    obs::Counter atomic_queries;
+    obs::Counter atomic_cache_hits;
+    obs::Counter table_joins;
+    obs::Counter exists_collapses;
+    obs::Counter freeze_joins;
+    obs::Counter level_evaluations;
+  };
+
   Result<SimilarityTable> EvalTable(int level, const Interval& bounds, const Formula& f);
   Result<SimilarityTable> EvalLevelOp(int level, const Interval& bounds,
                                       const Formula& f);
   Result<int> ResolveLevel(int level, const LevelSpec& spec) const;
 
+  /// The trace riding on the attached ExecContext (null when unprofiled).
+  obs::QueryTrace* trace() const {
+    return exec_ != nullptr ? exec_->trace() : nullptr;
+  }
+
   const VideoTree* video_;
   QueryOptions options_;
   PictureSystem pictures_;
   ExecContext* exec_ = nullptr;  // Not owned; null means unlimited.
-  EngineStats stats_;
+  EngineCounters counters_;
   // Full-level atomic tables keyed by (formula text, level). Text keys are
   // stable across formula lifetimes (pointer keys would alias when a freed
   // formula's address is reused by a later parse).
@@ -101,9 +141,13 @@ class DirectEngine {
 /// nullary-shaped predicates: a kPredicate constraint whose name keys into
 /// `inputs` (its arguments are ignored). kTrue is not allowed (it needs the
 /// sequence length, which lists do not carry).
+///
+/// When `trace` is non-null, every merge operator opens a span on it with
+/// the intervals it produced — the §4.2 benches print these as per-operator
+/// profiles. Null (the default) costs one branch per node.
 Result<SimilarityList> EvaluateWithLists(
     const Formula& f, const std::map<std::string, SimilarityList>& inputs,
-    const QueryOptions& options = {});
+    const QueryOptions& options = {}, obs::QueryTrace* trace = nullptr);
 
 }  // namespace htl
 

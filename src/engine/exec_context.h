@@ -11,6 +11,10 @@
 
 namespace htl {
 
+namespace obs {
+class QueryTrace;
+}  // namespace obs
+
 /// Resource budgets for one query execution. The defaults are "unlimited"
 /// (max int64), so a default-constructed ExecContext never trips a budget.
 /// Budgets that are naturally per-video (rows, tables, depth) reset at each
@@ -134,6 +138,13 @@ class ExecContext {
   int64_t tables_used() const { return tables_used_; }
   int64_t depth_used() const { return depth_used_; }
 
+  /// The query trace riding on this context (null for unprofiled queries —
+  /// the common case). Engines read it at the same seams where they poll the
+  /// context, so profiling reuses the PR 2 threading instead of new plumbing.
+  /// The trace is borrowed, not owned; the attacher keeps it alive.
+  obs::QueryTrace* trace() const { return trace_; }
+  void set_trace(obs::QueryTrace* trace) { trace_ = trace; }
+
  private:
   Status CheckDeadline();
 
@@ -157,6 +168,8 @@ class ExecContext {
   int64_t rows_used_ = 0;
   int64_t tables_used_ = 0;
   int64_t depth_used_ = 0;
+
+  obs::QueryTrace* trace_ = nullptr;  // Borrowed; see trace().
 };
 
 /// RAII depth guard: `HTL_RETURN_IF_ERROR(scope.status())` after

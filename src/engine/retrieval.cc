@@ -8,6 +8,7 @@
 #include "htl/classifier.h"
 #include "htl/parser.h"
 #include "htl/rewriter.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -18,6 +19,9 @@ std::string RetrievalReport::ToString() const {
                            ", degraded-to-reference ", videos_degraded);
   for (const VideoFailure& f : failures) {
     out += StrCat("; video ", f.video, ": ", f.status.ToString());
+  }
+  for (const obs::QueryProfile::FaultTrip& trip : profile.fault_trips) {
+    out += StrCat("; fault trip ", trip.point);
   }
   return out;
 }
@@ -88,6 +92,28 @@ Status FirstFailure(const RetrievalReport& report) {
   return report.failures.front().status;
 }
 
+// Shared plumbing behind the *Profiled entry points: attach a fresh trace
+// to the effective context (a local unlimited one when the caller passed
+// null), make it the thread's current trace so fault points report into it,
+// run `body(ctx, trace)`, and move the finished profile into the result's
+// report. The context's previous trace is restored on every path.
+template <typename Body>
+auto RunProfiled(ExecContext* ctx, const Body& body)
+    -> decltype(body(ctx, static_cast<obs::QueryTrace*>(nullptr))) {
+  ExecContext local;
+  ExecContext* use = ctx != nullptr ? ctx : &local;
+  obs::QueryTrace trace;
+  obs::QueryTrace* saved = use->trace();
+  use->set_trace(&trace);
+  obs::ScopedTraceAttach attach(&trace);
+  auto result = body(use, &trace);
+  use->set_trace(saved);
+  if (!result.ok()) return result.status();
+  auto out = std::move(result).value();
+  out.report.profile = trace.Finish();
+  return out;
+}
+
 }  // namespace
 
 template <typename ResolveLevel>
@@ -95,20 +121,31 @@ Result<SegmentRetrieval> Retriever::RunSegmentQuery(const Formula& query, int64_
                                                     ExecContext* ctx,
                                                     const ResolveLevel& resolve_level) {
   SegmentRetrieval out;
+  obs::QueryTrace* tr = ctx != nullptr ? ctx->trace() : nullptr;
   for (MetadataStore::VideoId v = 1; v <= store_->num_videos(); ++v) {
     HTL_CHECK_EXEC(ctx);  // Deadline/cancel abort the whole call.
     const int level = resolve_level(v);
     if (level < 0) continue;  // Named level absent: silently skipped.
     if (ctx != nullptr) ctx->BeginUnit();  // Budgets bound each video alone.
+    // One span per video; the unit carries the video id (span names stay
+    // static so the unprofiled path never allocates).
+    HTL_OBS_SPAN(vspan, tr, "video");
+    vspan.SetUnit(v);
     bool degraded = false;
     Result<SimilarityList> list = EvaluateList(v, level, query, ctx, &degraded);
+    if (vspan.active() && ctx != nullptr) {
+      vspan.AddRows(ctx->rows_used());
+      vspan.AddTables(ctx->tables_used());
+    }
     if (!list.ok()) {
       // A query-wide abort is not a per-video fault: propagate it.
       if (list.status().IsQueryAbort()) return list.status();
+      vspan.SetNote(StrCat("failed: ", list.status().ToString()));
       ++out.report.videos_failed;
       out.report.failures.push_back(RetrievalReport::VideoFailure{v, list.status()});
       continue;
     }
+    if (degraded) vspan.SetNote("degraded");
     ++out.report.videos_evaluated;
     if (degraded) ++out.report.videos_degraded;
     // Keep at most k per video before the global merge.
@@ -132,6 +169,46 @@ Result<SegmentRetrieval> Retriever::TopSegmentsWithReport(std::string_view query
                                                           ExecContext* ctx) {
   HTL_ASSIGN_OR_RETURN(FormulaPtr f, Prepare(query_text));
   return TopSegmentsWithReport(*f, level, k, ctx);
+}
+
+Result<SegmentRetrieval> Retriever::TopSegmentsProfiled(const Formula& query, int level,
+                                                        int64_t k, ExecContext* ctx) {
+  return RunProfiled(ctx, [&](ExecContext* use, obs::QueryTrace* trace)
+                              -> Result<SegmentRetrieval> {
+    {
+      HTL_OBS_SPAN(span, trace, "stage.classify");
+      span.SetNote(std::string(FormulaClassName(Classify(query))));
+    }
+    HTL_OBS_SPAN(span, trace, "stage.execute");
+    return TopSegmentsWithReport(query, level, k, use);
+  });
+}
+
+Result<SegmentRetrieval> Retriever::TopSegmentsProfiled(std::string_view query_text,
+                                                        int level, int64_t k,
+                                                        ExecContext* ctx) {
+  return RunProfiled(ctx, [&](ExecContext* use, obs::QueryTrace* trace)
+                              -> Result<SegmentRetrieval> {
+    FormulaPtr f;
+    {
+      HTL_OBS_SPAN(span, trace, "stage.parse");
+      HTL_ASSIGN_OR_RETURN(f, ParseFormula(query_text));
+    }
+    {
+      HTL_OBS_SPAN(span, trace, "stage.bind");
+      HTL_RETURN_IF_ERROR(Bind(f.get()));
+    }
+    {
+      HTL_OBS_SPAN(span, trace, "stage.rewrite");
+      f = Rewrite(std::move(f));
+    }
+    {
+      HTL_OBS_SPAN(span, trace, "stage.classify");
+      span.SetNote(std::string(FormulaClassName(Classify(*f))));
+    }
+    HTL_OBS_SPAN(span, trace, "stage.execute");
+    return TopSegmentsWithReport(*f, level, k, use);
+  });
 }
 
 Result<std::vector<SegmentHit>> Retriever::TopSegments(const Formula& query, int level,
@@ -174,9 +251,12 @@ Result<std::vector<SegmentHit>> Retriever::TopSegmentsAtNamedLevel(
 Result<VideoRetrieval> Retriever::TopVideosWithReport(const Formula& query, int64_t k,
                                                       ExecContext* ctx) {
   VideoRetrieval out;
+  obs::QueryTrace* tr = ctx != nullptr ? ctx->trace() : nullptr;
   for (MetadataStore::VideoId v = 1; v <= store_->num_videos(); ++v) {
     HTL_CHECK_EXEC(ctx);
     if (ctx != nullptr) ctx->BeginUnit();
+    HTL_OBS_SPAN(vspan, tr, "video");
+    vspan.SetUnit(v);
     const VideoTree& video = store_->Video(v);
     Sim sim;
     bool degraded = false;
@@ -200,12 +280,18 @@ Result<VideoRetrieval> Retriever::TopVideosWithReport(const Formula& query, int6
     } else {
       video_error = direct.status();
     }
+    if (vspan.active() && ctx != nullptr) {
+      vspan.AddRows(ctx->rows_used());
+      vspan.AddTables(ctx->tables_used());
+    }
     if (!video_error.ok()) {
       if (video_error.IsQueryAbort()) return video_error;
+      vspan.SetNote(StrCat("failed: ", video_error.ToString()));
       ++out.report.videos_failed;
       out.report.failures.push_back(RetrievalReport::VideoFailure{v, video_error});
       continue;
     }
+    if (degraded) vspan.SetNote("degraded");
     ++out.report.videos_evaluated;
     if (degraded) ++out.report.videos_degraded;
     if (sim.actual > 0) out.hits.push_back(VideoHit{v, sim});
@@ -221,6 +307,19 @@ Result<VideoRetrieval> Retriever::TopVideosWithReport(const Formula& query, int6
     out.hits.resize(static_cast<size_t>(k));
   }
   return out;
+}
+
+Result<VideoRetrieval> Retriever::TopVideosProfiled(const Formula& query, int64_t k,
+                                                    ExecContext* ctx) {
+  return RunProfiled(ctx, [&](ExecContext* use, obs::QueryTrace* trace)
+                              -> Result<VideoRetrieval> {
+    {
+      HTL_OBS_SPAN(span, trace, "stage.classify");
+      span.SetNote(std::string(FormulaClassName(Classify(query))));
+    }
+    HTL_OBS_SPAN(span, trace, "stage.execute");
+    return TopVideosWithReport(query, k, use);
+  });
 }
 
 Result<std::vector<VideoHit>> Retriever::TopVideos(const Formula& query, int64_t k,

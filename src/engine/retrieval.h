@@ -11,6 +11,7 @@
 #include "engine/query_options.h"
 #include "htl/ast.h"
 #include "model/video.h"
+#include "obs/profile.h"
 #include "sim/topk.h"
 #include "util/result.h"
 
@@ -45,10 +46,14 @@ struct RetrievalReport {
   int64_t videos_degraded = 0;   // Fell back from DirectEngine to ReferenceEngine.
   std::vector<VideoFailure> failures;  // First error per failed video, in id order.
 
+  /// Stage/operator/per-video profile with the fault points that fired —
+  /// filled by the Retriever's *Profiled entry points, empty otherwise.
+  obs::QueryProfile profile;
+
   /// True when every video contributed (the result is exact, not partial).
   bool complete() const { return videos_failed == 0; }
 
-  /// Human-readable one-line summary for logs.
+  /// Human-readable one-line summary for logs (names tripped fault points).
   std::string ToString() const;
 };
 
@@ -110,6 +115,21 @@ class Retriever {
   Result<SegmentRetrieval> TopSegmentsWithReport(std::string_view query_text, int level,
                                                  int64_t k, ExecContext* ctx = nullptr);
 
+  /// EXPLAIN/profile surface: as TopSegmentsWithReport, but runs the query
+  /// under an obs::QueryTrace and attaches the finished QueryProfile —
+  /// stage spans (classify/execute; the text overload adds parse, bind and
+  /// rewrite), one span per video with rows/tables charged and the failure
+  /// or degradation note, per-operator kernel spans underneath, and every
+  /// fault point that fired — to the returned report
+  /// (RetrievalReport::profile, rendered by QueryProfile::ToText()). The
+  /// caller's ExecContext is used when given (its budgets and deadline
+  /// apply; its previous trace is restored on return); null gets a local
+  /// unlimited context.
+  Result<SegmentRetrieval> TopSegmentsProfiled(const Formula& query, int level,
+                                               int64_t k, ExecContext* ctx = nullptr);
+  Result<SegmentRetrieval> TopSegmentsProfiled(std::string_view query_text, int level,
+                                               int64_t k, ExecContext* ctx = nullptr);
+
   /// As TopSegments but addressing the level by its registered name (e.g.
   /// "shot"); each video resolves the name independently, so heterogeneous
   /// hierarchies mix correctly. Videos lacking the name are skipped (not
@@ -136,6 +156,11 @@ class Retriever {
   /// Degradation-tolerant TopVideos.
   Result<VideoRetrieval> TopVideosWithReport(const Formula& query, int64_t k,
                                              ExecContext* ctx = nullptr);
+
+  /// EXPLAIN/profile surface for whole-video retrieval; see
+  /// TopSegmentsProfiled.
+  Result<VideoRetrieval> TopVideosProfiled(const Formula& query, int64_t k,
+                                           ExecContext* ctx = nullptr);
 
   /// The similarity list of `query` for one video's `level` — the
   /// single-video operation the paper's experiments report (Tables 3-6).

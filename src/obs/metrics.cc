@@ -1,0 +1,181 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace htl::obs {
+
+Histogram::Histogram(std::vector<int64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  HTL_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+}
+
+void Histogram::Observe(int64_t value) {
+  // First bound >= value; everything above the last bound overflows into
+  // the extra bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t idx = static_cast<size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.bounds = bounds_;
+  s.buckets.reserve(buckets_.size());
+  for (const auto& b : buckets_) s.buckets.push_back(b.load(std::memory_order_relaxed));
+  return s;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> Histogram::ExponentialBounds(int64_t start, double factor,
+                                                  int count) {
+  HTL_CHECK(start > 0 && factor > 1.0 && count > 0);
+  std::vector<int64_t> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double bound = static_cast<double>(start);
+  for (int i = 0; i < count; ++i) {
+    int64_t b = static_cast<int64_t>(bound);
+    if (!bounds.empty() && b <= bounds.back()) b = bounds.back() + 1;
+    bounds.push_back(b);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+namespace {
+
+void AppendJsonScalarMap(std::string* out, const char* key,
+                         const std::vector<std::pair<std::string, int64_t>>& rows) {
+  *out += StrCat("\"", key, "\": {");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    *out += StrCat(i == 0 ? "" : ", ", "\"", rows[i].first, "\": ", rows[i].second);
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  for (const CounterRow& c : counters) {
+    out += StrCat("counter   ", c.name, " = ", c.value, "\n");
+  }
+  for (const GaugeRow& g : gauges) {
+    out += StrCat("gauge     ", g.name, " = ", g.value, "\n");
+  }
+  for (const HistogramRow& h : histograms) {
+    out += StrCat("histogram ", h.name, " count=", h.hist.count, " sum=", h.hist.sum);
+    for (size_t i = 0; i < h.hist.buckets.size(); ++i) {
+      if (h.hist.buckets[i] == 0) continue;
+      if (i < h.hist.bounds.size()) {
+        out += StrCat(" le", h.hist.bounds[i], "=", h.hist.buckets[i]);
+      } else {
+        out += StrCat(" overflow=", h.hist.buckets[i]);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  std::vector<std::pair<std::string, int64_t>> rows;
+  rows.reserve(counters.size());
+  for (const CounterRow& c : counters) rows.emplace_back(c.name, c.value);
+  AppendJsonScalarMap(&out, "counters", rows);
+  rows.clear();
+  for (const GaugeRow& g : gauges) rows.emplace_back(g.name, g.value);
+  out += ", ";
+  AppendJsonScalarMap(&out, "gauges", rows);
+  out += ", \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramRow& h = histograms[i];
+    out += StrCat(i == 0 ? "" : ", ", "\"", h.name, "\": {\"count\": ", h.hist.count,
+                  ", \"sum\": ", h.hist.sum, ", \"bounds\": [");
+    for (size_t j = 0; j < h.hist.bounds.size(); ++j) {
+      out += StrCat(j == 0 ? "" : ", ", h.hist.bounds[j]);
+    }
+    out += "], \"buckets\": [";
+    for (size_t j = 0; j < h.hist.buckets.size(); ++j) {
+      out += StrCat(j == 0 ? "" : ", ", h.hist.buckets[j]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // Leaked singleton.
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back(MetricsSnapshot::CounterRow{name, c->Value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back(MetricsSnapshot::GaugeRow{name, g->Value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.push_back(MetricsSnapshot::HistogramRow{name, h->Snap()});
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) c->Reset();
+  for (const auto& [name, g] : gauges_) g->Reset();
+  for (const auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace htl::obs

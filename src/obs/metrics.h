@@ -1,0 +1,163 @@
+#ifndef HTL_OBS_METRICS_H_
+#define HTL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace htl::obs {
+
+/// A monotonically increasing counter. All operations are relaxed atomics:
+/// increments from any thread are safe and never torn, and a snapshot taken
+/// while writers run sees each counter at some value it actually held.
+class Counter {
+ public:
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A gauge: a value that can go up and down (cache sizes, live engines).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A fixed-bucket histogram for latencies and sizes. `bounds` are inclusive
+/// upper bounds in ascending order; an implicit overflow bucket catches
+/// everything above the last bound. Observations are relaxed atomics, so
+/// concurrent Observe() calls are safe; a snapshot taken mid-write may be
+/// momentarily inconsistent between count and buckets but never corrupt.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<int64_t> bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(int64_t value);
+
+  struct Snapshot {
+    int64_t count = 0;
+    int64_t sum = 0;
+    std::vector<int64_t> bounds;   // Inclusive upper bounds.
+    std::vector<int64_t> buckets;  // bounds.size() + 1 (last = overflow).
+  };
+  Snapshot Snap() const;
+  void Reset();
+
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+
+  /// `count` bounds starting at `start`, each `factor` times the previous
+  /// (rounded up so bounds stay strictly increasing).
+  static std::vector<int64_t> ExponentialBounds(int64_t start, double factor,
+                                                int count);
+
+ private:
+  std::vector<int64_t> bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// Point-in-time copy of every registered metric, detached from the live
+/// atomics — safe to serialize or diff while queries keep running.
+struct MetricsSnapshot {
+  struct CounterRow {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct GaugeRow {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct HistogramRow {
+    std::string name;
+    Histogram::Snapshot hist;
+  };
+
+  std::vector<CounterRow> counters;
+  std::vector<GaugeRow> gauges;
+  std::vector<HistogramRow> histograms;
+
+  /// Multi-line human-readable listing ("name = value" per metric).
+  std::string ToText() const;
+  /// One JSON object: {"counters": {...}, "gauges": {...}, "histograms":
+  /// {...}} — embedded verbatim into BENCH_<name>.json by bench::BenchJson.
+  std::string ToJson() const;
+};
+
+/// Process-wide registry of named metrics, following the fault_point
+/// disarmed-fast-path discipline: HTL_OBS_COUNT compiles in always but
+/// reduces to one relaxed atomic load and a predictable branch while the
+/// registry is disabled (the default). Benches and servers call
+/// SetEnabled(true); the registry mutex is only touched at registration and
+/// snapshot time, never on the increment path.
+///
+/// Names are "area.metric" (e.g. "engine.table_joins", "sim.and_merge.calls")
+/// mirroring the fault-point naming convention. Metric objects live for the
+/// process lifetime; the pointers handed out are stable and lock-free to use.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  /// The macro's fast-path gate.
+  static bool Enabled() { return enabled_.load(std::memory_order_relaxed); }
+  void SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Finds or creates the named metric. The returned pointer is stable for
+  /// the process lifetime and safe to cache (HTL_OBS_COUNT does).
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// `bounds` are only used on first creation; later calls for the same name
+  /// return the existing histogram regardless of bounds.
+  Histogram* GetHistogram(std::string_view name, std::vector<int64_t> bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (registrations are kept). Race-free:
+  /// concurrent writers may land increments before or after the reset, but
+  /// values are never torn.
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  inline static std::atomic<bool> enabled_{false};
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace htl::obs
+
+/// Adds `n` to the named process-wide counter when metrics are enabled.
+/// Disarmed cost: one relaxed atomic load and a branch (no registration, no
+/// lock). The counter pointer is resolved once per call site and cached.
+#define HTL_OBS_COUNT(name, n)                                       \
+  do {                                                               \
+    if (::htl::obs::MetricsRegistry::Enabled()) {                    \
+      static ::htl::obs::Counter* htl_obs_counter_ =                 \
+          ::htl::obs::MetricsRegistry::Instance().GetCounter(name);  \
+      htl_obs_counter_->Add(n);                                      \
+    }                                                                \
+  } while (0)
+
+#endif  // HTL_OBS_METRICS_H_

@@ -1,0 +1,63 @@
+#include "obs/profile.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace htl::obs {
+
+namespace {
+
+const QueryProfile::Node* FindIn(const std::vector<QueryProfile::Node>& nodes,
+                                 std::string_view name) {
+  for (const QueryProfile::Node& n : nodes) {
+    if (n.name == name) return &n;
+    if (const QueryProfile::Node* hit = FindIn(n.children, name)) return hit;
+  }
+  return nullptr;
+}
+
+std::string FormatMillis(int64_t nanos) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%9.3f ms", static_cast<double>(nanos) * 1e-6);
+  return buf;
+}
+
+void Render(const QueryProfile::Node& node, int depth, std::string* out) {
+  std::string label(static_cast<size_t>(depth) * 2, ' ');
+  label += node.name;
+  if (node.unit >= 0) label += StrCat(" #", node.unit);
+  if (label.size() < 28) label.resize(28, ' ');
+  *out += StrCat(label, " ", FormatMillis(node.nanos));
+  if (node.stats.rows != 0) *out += StrCat("  rows=", node.stats.rows);
+  if (node.stats.intervals != 0) *out += StrCat("  intervals=", node.stats.intervals);
+  if (node.stats.tables != 0) *out += StrCat("  tables=", node.stats.tables);
+  if (!node.note.empty()) *out += StrCat("  [", node.note, "]");
+  *out += "\n";
+  for (const QueryProfile::Node& child : node.children) {
+    Render(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+int64_t QueryProfile::TotalNanos() const {
+  int64_t total = 0;
+  for (const Node& n : roots) total += n.nanos;
+  return total;
+}
+
+const QueryProfile::Node* QueryProfile::Find(std::string_view name) const {
+  return FindIn(roots, name);
+}
+
+std::string QueryProfile::ToText() const {
+  std::string out = StrCat("query profile (total", FormatMillis(TotalNanos()), ")\n");
+  for (const Node& n : roots) Render(n, 1, &out);
+  for (const FaultTrip& trip : fault_trips) {
+    out += StrCat("  fault trip: ", trip.point, " -> ", trip.status, "\n");
+  }
+  return out;
+}
+
+}  // namespace htl::obs

@@ -1,0 +1,124 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace htl::obs {
+
+namespace {
+
+thread_local QueryTrace* g_current_trace = nullptr;
+
+}  // namespace
+
+QueryTrace::SpanId QueryTrace::BeginSpan(std::string_view name) {
+  Rec rec;
+  rec.name = std::string(name);
+  rec.parent = open_.empty() ? kNoSpan : open_.back();
+  rec.start = std::chrono::steady_clock::now();
+  const SpanId id = static_cast<SpanId>(recs_.size());
+  recs_.push_back(std::move(rec));
+  open_.push_back(id);
+  return id;
+}
+
+void QueryTrace::EndSpan(SpanId id) {
+  HTL_DCHECK(!open_.empty() && open_.back() == id)
+      << "spans must close in LIFO order (id " << id << ")";
+  if (open_.empty()) return;
+  Rec& rec = recs_[static_cast<size_t>(open_.back())];
+  rec.nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - rec.start)
+                  .count();
+  open_.pop_back();
+}
+
+void QueryTrace::AddRows(SpanId id, int64_t n) {
+  recs_[static_cast<size_t>(id)].stats.rows += n;
+}
+
+void QueryTrace::AddIntervals(SpanId id, int64_t n) {
+  recs_[static_cast<size_t>(id)].stats.intervals += n;
+}
+
+void QueryTrace::AddTables(SpanId id, int64_t n) {
+  recs_[static_cast<size_t>(id)].stats.tables += n;
+}
+
+void QueryTrace::SetUnit(SpanId id, int64_t unit) {
+  recs_[static_cast<size_t>(id)].unit = unit;
+}
+
+void QueryTrace::SetNote(SpanId id, std::string note) {
+  recs_[static_cast<size_t>(id)].note = std::move(note);
+}
+
+void QueryTrace::RecordFault(std::string_view point, const Status& status) {
+  fault_trips_.push_back(
+      QueryProfile::FaultTrip{std::string(point), status.ToString()});
+  if (!open_.empty()) {
+    Rec& rec = recs_[static_cast<size_t>(open_.back())];
+    if (!rec.note.empty()) rec.note += "; ";
+    rec.note += StrCat("fault:", point);
+  }
+}
+
+QueryProfile QueryTrace::Finish() {
+  while (!open_.empty()) EndSpan(open_.back());
+
+  // Rebuild the tree from the parent links, preserving creation order.
+  // Children are attached depth-first from the back so indices into
+  // partially built vectors stay valid: collect child ids per parent first.
+  std::vector<std::vector<SpanId>> children(recs_.size());
+  std::vector<SpanId> root_ids;
+  for (size_t i = 0; i < recs_.size(); ++i) {
+    const SpanId parent = recs_[i].parent;
+    if (parent == kNoSpan) {
+      root_ids.push_back(static_cast<SpanId>(i));
+    } else {
+      children[static_cast<size_t>(parent)].push_back(static_cast<SpanId>(i));
+    }
+  }
+
+  QueryProfile profile;
+  // Recursive assembly without actual recursion depth limits is fine here:
+  // span nesting mirrors formula nesting, which the parsers already bound.
+  struct Builder {
+    const std::vector<Rec>& recs;
+    const std::vector<std::vector<SpanId>>& children;
+
+    QueryProfile::Node Build(SpanId id) const {
+      const Rec& rec = recs[static_cast<size_t>(id)];
+      QueryProfile::Node node;
+      node.name = rec.name;
+      node.nanos = rec.nanos;
+      node.unit = rec.unit;
+      node.stats = rec.stats;
+      node.note = rec.note;
+      for (SpanId child : children[static_cast<size_t>(id)]) {
+        node.children.push_back(Build(child));
+      }
+      return node;
+    }
+  };
+  const Builder builder{recs_, children};
+  profile.roots.reserve(root_ids.size());
+  for (SpanId root : root_ids) profile.roots.push_back(builder.Build(root));
+  profile.fault_trips = std::move(fault_trips_);
+
+  recs_.clear();
+  fault_trips_.clear();
+  return profile;
+}
+
+QueryTrace* QueryTrace::Current() { return g_current_trace; }
+
+ScopedTraceAttach::ScopedTraceAttach(QueryTrace* trace) : prev_(g_current_trace) {
+  g_current_trace = trace;
+}
+
+ScopedTraceAttach::~ScopedTraceAttach() { g_current_trace = prev_; }
+
+}  // namespace htl::obs

@@ -1,0 +1,145 @@
+#ifndef HTL_OBS_TRACE_H_
+#define HTL_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/profile.h"
+#include "util/status.h"
+
+namespace htl::obs {
+
+/// Collects one query's spans while it runs; Finish() converts the record
+/// into an immutable QueryProfile tree. A trace is carried on the query's
+/// ExecContext (engines read it through ExecContext::trace()), so the spans
+/// share the exact call sites PR 2 threaded with HTL_CHECK_EXEC.
+///
+/// Cost model: code paths take a `QueryTrace*` that is null for unprofiled
+/// queries — TraceSpan on a null trace is one pointer test in the
+/// constructor and destructor, nothing else. The clock is steady_clock (the
+/// same clock as util/timer.h and ExecContext deadlines), so span times can
+/// never go negative.
+///
+/// Thread model: a trace is owned by the querying thread; it is not
+/// thread-safe. Cross-thread aggregation belongs to the MetricsRegistry.
+class QueryTrace {
+ public:
+  using SpanId = int32_t;
+  static constexpr SpanId kNoSpan = -1;
+
+  QueryTrace() = default;
+  QueryTrace(const QueryTrace&) = delete;
+  QueryTrace& operator=(const QueryTrace&) = delete;
+
+  /// Opens a span nested under the innermost open span. Prefer the RAII
+  /// TraceSpan / HTL_OBS_SPAN over calling these directly.
+  SpanId BeginSpan(std::string_view name);
+  /// Closes `id`; spans must close in LIFO order (RAII guarantees it).
+  void EndSpan(SpanId id);
+
+  /// Accumulates operator stats / annotations on a specific span.
+  void AddRows(SpanId id, int64_t n);
+  void AddIntervals(SpanId id, int64_t n);
+  void AddTables(SpanId id, int64_t n);
+  void SetUnit(SpanId id, int64_t unit);
+  void SetNote(SpanId id, std::string note);
+
+  /// Records a fault-point trip (called by FaultRegistry::Hit via
+  /// Current()); also annotates the innermost open span.
+  void RecordFault(std::string_view point, const Status& status);
+
+  int64_t num_spans() const { return static_cast<int64_t>(recs_.size()); }
+
+  /// Closes any still-open spans and builds the profile tree. The trace is
+  /// spent afterwards (start a fresh one per query).
+  QueryProfile Finish();
+
+  /// The trace attached to the calling thread (null when none) — the hook
+  /// used by code that has no ExecContext in reach, e.g. FaultRegistry.
+  static QueryTrace* Current();
+
+ private:
+  friend class ScopedTraceAttach;
+
+  struct Rec {
+    std::string name;
+    SpanId parent = kNoSpan;
+    std::chrono::steady_clock::time_point start;
+    int64_t nanos = 0;
+    int64_t unit = -1;
+    OpStats stats;
+    std::string note;
+  };
+
+  std::vector<Rec> recs_;
+  std::vector<SpanId> open_;  // Stack of open span ids.
+  std::vector<QueryProfile::FaultTrip> fault_trips_;
+};
+
+/// RAII span over one stage or operator. Tolerates a null trace (no-op), so
+/// hot kernels construct it unconditionally and pay one branch when the
+/// query is not being profiled.
+class TraceSpan {
+ public:
+  TraceSpan(QueryTrace* trace, std::string_view name) : trace_(trace) {
+    if (trace_ != nullptr) id_ = trace_->BeginSpan(name);
+  }
+  ~TraceSpan() {
+    if (trace_ != nullptr) trace_->EndSpan(id_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// True when a trace is attached — gate for stat computations that are
+  /// themselves non-trivial (e.g. counting a table's intervals).
+  bool active() const { return trace_ != nullptr; }
+
+  void AddRows(int64_t n) {
+    if (trace_ != nullptr) trace_->AddRows(id_, n);
+  }
+  void AddIntervals(int64_t n) {
+    if (trace_ != nullptr) trace_->AddIntervals(id_, n);
+  }
+  void AddTables(int64_t n) {
+    if (trace_ != nullptr) trace_->AddTables(id_, n);
+  }
+  void SetUnit(int64_t unit) {
+    if (trace_ != nullptr) trace_->SetUnit(id_, unit);
+  }
+  void SetNote(std::string note) {
+    if (trace_ != nullptr) trace_->SetNote(id_, std::move(note));
+  }
+
+ private:
+  QueryTrace* trace_;
+  QueryTrace::SpanId id_ = QueryTrace::kNoSpan;
+};
+
+/// Attaches `trace` as the calling thread's current trace for its lifetime
+/// (restoring the previous one on destruction), so fault points fired
+/// anywhere under the scope land in the trace. Null is allowed (no-op
+/// attach, used to mute fault recording in a nested scope).
+class ScopedTraceAttach {
+ public:
+  explicit ScopedTraceAttach(QueryTrace* trace);
+  ~ScopedTraceAttach();
+  ScopedTraceAttach(const ScopedTraceAttach&) = delete;
+  ScopedTraceAttach& operator=(const ScopedTraceAttach&) = delete;
+
+ private:
+  QueryTrace* prev_;
+};
+
+}  // namespace htl::obs
+
+/// The sanctioned operator-span macro for hot-path kernels (tools/lint.py
+/// rule obs-operator-span): declares an RAII span named `var` on `trace_expr`
+/// (which may be null). Bare WallTimer use in src/sim/ and src/engine/ is
+/// forbidden — spans carry the timing so profiles and benches agree.
+#define HTL_OBS_SPAN(var, trace_expr, name) \
+  ::htl::obs::TraceSpan var((trace_expr), (name))
+
+#endif  // HTL_OBS_TRACE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "obs/metrics.h"
 #include "picture/constraint_eval.h"
 #include "sim/table_ops.h"
 #include "util/fault_point.h"
@@ -69,6 +70,7 @@ const LevelIndex& PictureSystem::Index(int level) {
 Result<SimilarityTable> PictureSystem::Query(int level, const AtomicFormula& atomic) {
   // The I/O-shaped seam of figure 1: in the paper's architecture this call
   // crosses into the external picture retrieval system.
+  HTL_OBS_COUNT("picture.queries", 1);
   HTL_FAULT_POINT("picture.query");
   if (level < 1 || level > video_->num_levels()) {
     return Status::OutOfRange(StrCat("level ", level, " out of range"));
@@ -250,6 +252,7 @@ Result<SimilarityList> PictureSystem::QueryClosed(int level, const AtomicFormula
 }
 
 Result<ValueTable> PictureSystem::Values(int level, const AttrTerm& q) {
+  HTL_OBS_COUNT("picture.value_queries", 1);
   if (level < 1 || level > video_->num_levels()) {
     return Status::OutOfRange(StrCat("level ", level, " out of range"));
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace htl {
@@ -62,10 +63,14 @@ SimilarityList ZipMerge(const SimilarityList& a, const SimilarityList& b, double
 }  // namespace
 
 SimilarityList AndMerge(const SimilarityList& g, const SimilarityList& h) {
+  HTL_OBS_COUNT("sim.and_merge.calls", 1);
+  HTL_OBS_COUNT("sim.and_merge.entries_in", g.length() + h.length());
   return ZipMerge(g, h, g.max() + h.max(), [](double a, double b) { return a + b; });
 }
 
 SimilarityList FuzzyMinAndMerge(const SimilarityList& g, const SimilarityList& h) {
+  HTL_OBS_COUNT("sim.fuzzy_and_merge.calls", 1);
+  HTL_OBS_COUNT("sim.fuzzy_and_merge.entries_in", g.length() + h.length());
   const double mg = g.max();
   const double mh = h.max();
   const double out_max = mg + mh;
@@ -77,11 +82,14 @@ SimilarityList FuzzyMinAndMerge(const SimilarityList& g, const SimilarityList& h
 }
 
 SimilarityList OrMerge(const SimilarityList& g, const SimilarityList& h) {
+  HTL_OBS_COUNT("sim.or_merge.calls", 1);
+  HTL_OBS_COUNT("sim.or_merge.entries_in", g.length() + h.length());
   return ZipMerge(g, h, std::max(g.max(), h.max()),
                   [](double a, double b) { return std::max(a, b); });
 }
 
 SimilarityList NextShift(const SimilarityList& g) {
+  HTL_OBS_COUNT("sim.next_shift.calls", 1);
   std::vector<SimEntry> out;
   out.reserve(g.entries().size());
   for (const SimEntry& e : g.entries()) {
@@ -166,14 +174,19 @@ SimilarityList BackwardUntilSweep(const std::vector<Interval>& g_support, bool g
 }  // namespace
 
 SimilarityList UntilMerge(const SimilarityList& g, const SimilarityList& h, double tau) {
+  HTL_OBS_COUNT("sim.until_merge.calls", 1);
+  HTL_OBS_COUNT("sim.until_merge.entries_in", g.length() + h.length());
   return BackwardUntilSweep(ThresholdSupport(g, tau), /*g_always=*/false, h);
 }
 
 SimilarityList Eventually(const SimilarityList& h) {
+  HTL_OBS_COUNT("sim.eventually.calls", 1);
+  HTL_OBS_COUNT("sim.eventually.entries_in", h.length());
   return BackwardUntilSweep({}, /*g_always=*/true, h);
 }
 
 SimilarityList Complement(const SimilarityList& g, const Interval& bounds) {
+  HTL_OBS_COUNT("sim.complement.calls", 1);
   std::vector<SimEntry> out;
   if (bounds.empty()) return SimilarityList(g.max());
   SegmentId cursor = bounds.begin;
@@ -193,6 +206,7 @@ SimilarityList Complement(const SimilarityList& g, const Interval& bounds) {
 }
 
 SimilarityList MultiMax(std::vector<SimilarityList> lists) {
+  HTL_OBS_COUNT("sim.multi_max.calls", 1);
   if (lists.empty()) return SimilarityList(0.0);
   // Tournament merge: each of the ceil(log2 m) rounds touches every entry
   // once, giving the O(l log m) bound of section 3.2.

@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "sim/list_ops.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -119,6 +120,8 @@ std::vector<Row> DedupRows(std::vector<Row> rows) {
 SimilarityTable JoinTables(const SimilarityTable& lhs, double lhs_max,
                            const SimilarityTable& rhs, double rhs_max, TableCombine op,
                            double tau) {
+  HTL_OBS_COUNT("sim.table_join.calls", 1);
+  HTL_OBS_COUNT("sim.table_join.rows_in", lhs.num_rows() + rhs.num_rows());
   const JoinSchema schema = MakeJoinSchema(lhs, rhs);
   SimilarityTable out(schema.object_vars, schema.attr_vars);
 
@@ -237,6 +240,8 @@ SimilarityTable JoinTables(const SimilarityTable& lhs, double lhs_max,
 
 SimilarityTable CollapseExists(const SimilarityTable& table,
                                const std::vector<std::string>& vars) {
+  HTL_OBS_COUNT("sim.exists_collapse.calls", 1);
+  HTL_OBS_COUNT("sim.exists_collapse.rows_in", table.num_rows());
   std::vector<bool> drop(table.object_vars().size(), false);
   for (const std::string& v : vars) {
     int c = table.ObjectColumn(v);
@@ -278,6 +283,8 @@ SimilarityList ClipToIntervals(const SimilarityList& list,
 
 SimilarityTable FreezeJoin(const SimilarityTable& table, const std::string& attr_var,
                            const ValueTable& values) {
+  HTL_OBS_COUNT("sim.freeze_join.calls", 1);
+  HTL_OBS_COUNT("sim.freeze_join.rows_in", table.num_rows());
   const int yc = table.AttrColumn(attr_var);
   if (yc < 0) return table;  // The variable never occurs: no-op.
 

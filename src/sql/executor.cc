@@ -5,6 +5,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sql/parser.h"
 #include "util/fault_point.h"
 #include "util/logging.h"
@@ -322,7 +324,9 @@ Status Executor::ChargeRows(int64_t n) {
 }
 
 Result<Table> Executor::Execute(const Statement& stmt) {
-  ++stats_.statements;
+  counters_.statements.Increment();
+  HTL_OBS_COUNT("sql.statements", 1);
+  HTL_OBS_SPAN(span, trace(), "sql.statement");
   // Statement boundary: poll deadline/cancel and reset the per-unit
   // budgets, so each statement of a translated script is bounded alone.
   if (exec_ != nullptr) {
@@ -363,7 +367,8 @@ Result<Table> Executor::Execute(const Statement& stmt) {
         }
         copy.AddRow(std::move(row));
       }
-      stats_.rows_materialized += static_cast<int64_t>(stmt.values.size());
+      counters_.rows_materialized.Add(static_cast<int64_t>(stmt.values.size()));
+      HTL_OBS_COUNT("sql.rows_materialized", static_cast<int64_t>(stmt.values.size()));
       catalog_->CreateOrReplace(stmt.table, std::move(copy));
       return Table();
     }
@@ -395,9 +400,15 @@ Result<Table> Executor::ExecuteSelect(const SelectStmt& stmt) {
   for (const TableRef& ref : stmt.from) {
     // The base-table scan: in the paper's setup this is Sybase reading a
     // stored relation.
-    HTL_FAULT_POINT("sql.scan");
-    if (exec_ != nullptr) HTL_RETURN_IF_ERROR(exec_->ChargeTable());
-    HTL_ASSIGN_OR_RETURN(const Table* t, catalog_->Get(ref.table));
+    const Table* t = nullptr;
+    {
+      HTL_OBS_SPAN(scan_span, trace(), "sql.scan");
+      HTL_FAULT_POINT("sql.scan");
+      if (exec_ != nullptr) HTL_RETURN_IF_ERROR(exec_->ChargeTable());
+      HTL_ASSIGN_OR_RETURN(t, catalog_->Get(ref.table));
+      scan_span.AddTables(1);
+      scan_span.AddRows(t->num_rows());
+    }
     const std::string alias = AsciiToLower(ref.alias);
     Schema inner_schema;
     for (const std::string& c : t->columns()) {
@@ -493,7 +504,10 @@ Result<Table> Executor::ExecuteSelect(const SelectStmt& stmt) {
     };
 
     if (!equis.empty()) {
-      ++stats_.hash_joins;
+      counters_.hash_joins.Increment();
+      HTL_OBS_COUNT("sql.hash_joins", 1);
+      HTL_OBS_SPAN(span, trace(), "sql.hash_join");
+      span.AddRows(static_cast<int64_t>(work.size()) + t->num_rows());
       std::unordered_map<std::string, std::vector<const Row*>> ht;
       ht.reserve(t->rows().size() * 2);
       for (const Row& ir : t->rows()) {
@@ -513,7 +527,10 @@ Result<Table> Executor::ExecuteSelect(const SelectStmt& stmt) {
         if (!matched && ref.join == JoinType::kLeft) emit(outer, nullptr);
       }
     } else if (range_col >= 0) {
-      ++stats_.range_joins;
+      counters_.range_joins.Increment();
+      HTL_OBS_COUNT("sql.range_joins", 1);
+      HTL_OBS_SPAN(span, trace(), "sql.range_join");
+      span.AddRows(static_cast<int64_t>(work.size()) + t->num_rows());
       // Sort inner row pointers by the range column.
       std::vector<const Row*> sorted;
       sorted.reserve(t->rows().size());
@@ -573,7 +590,10 @@ Result<Table> Executor::ExecuteSelect(const SelectStmt& stmt) {
         if (!matched && ref.join == JoinType::kLeft) emit(outer, nullptr);
       }
     } else {
-      ++stats_.loop_joins;
+      counters_.loop_joins.Increment();
+      HTL_OBS_COUNT("sql.loop_joins", 1);
+      HTL_OBS_SPAN(span, trace(), "sql.loop_join");
+      span.AddRows(static_cast<int64_t>(work.size()) + t->num_rows());
       for (const Row& outer : work) {
         HTL_CHECK_EXEC(exec_);
         bool matched = false;
@@ -583,7 +603,8 @@ Result<Table> Executor::ExecuteSelect(const SelectStmt& stmt) {
     }
     schema = std::move(combined);
     work = std::move(next);
-    stats_.rows_materialized += static_cast<int64_t>(work.size());
+    counters_.rows_materialized.Add(static_cast<int64_t>(work.size()));
+    HTL_OBS_COUNT("sql.rows_materialized", static_cast<int64_t>(work.size()));
     HTL_RETURN_IF_ERROR(ChargeRows(static_cast<int64_t>(work.size())));
   }
 
@@ -709,7 +730,8 @@ Result<Table> Executor::ExecuteSelect(const SelectStmt& stmt) {
       order_inputs.push_back(r);
     }
   }
-  stats_.rows_materialized += out.num_rows();
+  counters_.rows_materialized.Add(out.num_rows());
+  HTL_OBS_COUNT("sql.rows_materialized", out.num_rows());
   HTL_RETURN_IF_ERROR(ChargeRows(out.num_rows()));
 
   // ---- DISTINCT -------------------------------------------------------------

@@ -4,13 +4,18 @@
 #include <cstdint>
 
 #include "engine/exec_context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sql/ast.h"
 #include "sql/table.h"
 #include "util/result.h"
 
 namespace htl::sql {
 
-/// Counters exposed for the benchmark harness and ablations.
+/// Point-in-time counter snapshot exposed for the benchmark harness and
+/// ablations. Returned by value from Executor::stats(); the live counters
+/// are relaxed atomics, so stats() and ResetStats() are race-free against a
+/// statement running on another thread.
 struct ExecStats {
   int64_t statements = 0;
   int64_t rows_materialized = 0;  // Rows written into intermediate results.
@@ -48,8 +53,23 @@ class Executor {
   /// empty table when the script has none).
   Result<Table> ExecuteScript(std::string_view text);
 
-  const ExecStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ExecStats{}; }
+  /// Snapshot of the live counters (by value; see ExecStats).
+  ExecStats stats() const {
+    ExecStats s;
+    s.statements = counters_.statements.Value();
+    s.rows_materialized = counters_.rows_materialized.Value();
+    s.hash_joins = counters_.hash_joins.Value();
+    s.range_joins = counters_.range_joins.Value();
+    s.loop_joins = counters_.loop_joins.Value();
+    return s;
+  }
+  void ResetStats() {
+    counters_.statements.Reset();
+    counters_.rows_materialized.Reset();
+    counters_.hash_joins.Reset();
+    counters_.range_joins.Reset();
+    counters_.loop_joins.Reset();
+  }
 
   /// Attaches a deadline/cancellation/budget context. Join and filter loops
   /// poll it per outer row; every materialized intermediate charges the row
@@ -59,13 +79,27 @@ class Executor {
   void set_exec_context(ExecContext* ctx) { exec_ = ctx; }
 
  private:
+  /// Live counters behind ExecStats (folded into the obs layer in PR 3).
+  struct ExecCounters {
+    obs::Counter statements;
+    obs::Counter rows_materialized;
+    obs::Counter hash_joins;
+    obs::Counter range_joins;
+    obs::Counter loop_joins;
+  };
+
   Result<Table> ExecuteSelect(const SelectStmt& stmt);
 
   /// Poll + row-budget charge for one materialization step.
   Status ChargeRows(int64_t n);
 
+  /// The trace riding on the attached ExecContext (null when unprofiled).
+  obs::QueryTrace* trace() const {
+    return exec_ != nullptr ? exec_->trace() : nullptr;
+  }
+
   Catalog* catalog_;
-  ExecStats stats_;
+  ExecCounters counters_;
   ExecContext* exec_ = nullptr;  // Not owned; null means unlimited.
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -100,8 +101,15 @@ Status FaultRegistry::Hit(std::string_view point) {
     fire = state.hits == state.spec.fire_on_hit;
   }
   if (!fire) return Status::OK();
-  return Status(state.spec.code,
-                StrCat("injected fault at '", point, "' (hit ", state.hits, ")"));
+  Status injected(state.spec.code,
+                  StrCat("injected fault at '", point, "' (hit ", state.hits, ")"));
+  // Surface the trip into the query's trace (if one is attached to this
+  // thread) so RetrievalReport profiles name the fault point that caused a
+  // per-video failure — not just the Status text that bubbled up.
+  if (obs::QueryTrace* trace = obs::QueryTrace::Current(); trace != nullptr) {
+    trace->RecordFault(point, injected);
+  }
+  return injected;
 }
 
 }  // namespace htl

@@ -7,8 +7,17 @@
 namespace htl {
 
 /// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+///
+/// The clock is steady_clock — the same clock obs::QueryTrace spans and
+/// ExecContext deadlines use — so bench timings, profiles, and deadlines are
+/// mutually comparable and can never go backwards (the static_assert makes
+/// the monotonicity requirement a compile-time fact, not a hope).
 class WallTimer {
  public:
+  using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady,
+                "WallTimer and trace spans require a monotonic clock");
+
   WallTimer() : start_(Clock::now()) {}
 
   /// Resets the epoch to now.
@@ -26,7 +35,6 @@ class WallTimer {
   }
 
  private:
-  using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
 

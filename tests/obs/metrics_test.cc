@@ -1,0 +1,190 @@
+// Metrics-registry tests: counter/gauge/histogram semantics, bucket
+// boundaries, registry pointer stability, the enable gate, and the
+// concurrency contracts (exact totals under concurrent increments; snapshots
+// taken while writers run are coherent, never torn).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace htl::obs {
+namespace {
+
+// Every test runs against the process-wide registry, so isolate by prefixing
+// metric names per test and restoring the disabled state.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::Instance().SetEnabled(false); }
+  void TearDown() override {
+    MetricsRegistry::Instance().SetEnabled(false);
+    MetricsRegistry::Instance().ResetAll();
+  }
+};
+
+TEST_F(MetricsTest, CounterBasics) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0);
+}
+
+TEST_F(MetricsTest, GaugeGoesUpAndDown) {
+  Gauge g;
+  g.Set(7);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 4);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST_F(MetricsTest, HistogramBucketBoundariesAreInclusive) {
+  Histogram h({10, 100, 1000});
+  // One observation per region: below first bound, exactly on each bound,
+  // between bounds, and overflow.
+  h.Observe(0);     // bucket 0 (<= 10)
+  h.Observe(10);    // bucket 0 (inclusive upper bound)
+  h.Observe(11);    // bucket 1
+  h.Observe(100);   // bucket 1 (inclusive)
+  h.Observe(101);   // bucket 2
+  h.Observe(1000);  // bucket 2 (inclusive)
+  h.Observe(1001);  // overflow bucket
+  const Histogram::Snapshot snap = h.Snap();
+  EXPECT_EQ(snap.count, 7);
+  EXPECT_EQ(snap.sum, 0 + 10 + 11 + 100 + 101 + 1000 + 1001);
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], 2);
+  EXPECT_EQ(snap.buckets[1], 2);
+  EXPECT_EQ(snap.buckets[2], 2);
+  EXPECT_EQ(snap.buckets[3], 1);
+  h.Reset();
+  EXPECT_EQ(h.Snap().count, 0);
+}
+
+TEST_F(MetricsTest, ExponentialBoundsAreStrictlyIncreasing) {
+  const std::vector<int64_t> bounds = Histogram::ExponentialBounds(1, 1.1, 16);
+  ASSERT_EQ(bounds.size(), 16u);
+  EXPECT_EQ(bounds.front(), 1);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]) << "at index " << i;
+  }
+}
+
+TEST_F(MetricsTest, RegistryReturnsStablePointers) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  Counter* a = reg.GetCounter("metrics_test.stable");
+  Counter* b = reg.GetCounter("metrics_test.stable");
+  EXPECT_EQ(a, b);
+  Gauge* g1 = reg.GetGauge("metrics_test.gauge");
+  Gauge* g2 = reg.GetGauge("metrics_test.gauge");
+  EXPECT_EQ(g1, g2);
+  Histogram* h1 = reg.GetHistogram("metrics_test.hist", {1, 2, 3});
+  Histogram* h2 = reg.GetHistogram("metrics_test.hist", {9});  // Bounds ignored.
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1->bounds().size(), 3u);
+}
+
+TEST_F(MetricsTest, EnableGateControlsMacro) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  Counter* c = reg.GetCounter("metrics_test.gated");
+  c->Reset();
+  HTL_OBS_COUNT("metrics_test.gated", 5);  // Disabled: no-op.
+  EXPECT_EQ(c->Value(), 0);
+  reg.SetEnabled(true);
+  HTL_OBS_COUNT("metrics_test.gated", 5);
+  HTL_OBS_COUNT("metrics_test.gated", 2);
+  EXPECT_EQ(c->Value(), 7);
+  reg.SetEnabled(false);
+  HTL_OBS_COUNT("metrics_test.gated", 100);
+  EXPECT_EQ(c->Value(), 7);
+}
+
+TEST_F(MetricsTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  Counter* c = reg.GetCounter("metrics_test.concurrent");
+  c->Reset();
+  Histogram* h = reg.GetHistogram("metrics_test.concurrent_hist",
+                                  Histogram::ExponentialBounds(1, 2.0, 10));
+  h->Reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Observe(t + 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c->Value(), static_cast<int64_t>(kThreads) * kPerThread);
+  const Histogram::Snapshot snap = h->Snap();
+  EXPECT_EQ(snap.count, static_cast<int64_t>(kThreads) * kPerThread);
+  int64_t bucket_total = 0;
+  for (int64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST_F(MetricsTest, SnapshotWhileWritingIsCoherent) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  Counter* c = reg.GetCounter("metrics_test.racing");
+  c->Reset();
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) c->Increment();
+  });
+  int64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    const MetricsSnapshot snap = reg.Snapshot();
+    bool found = false;
+    for (const MetricsSnapshot::CounterRow& row : snap.counters) {
+      if (row.name == "metrics_test.racing") {
+        // Monotone, never torn, never negative.
+        EXPECT_GE(row.value, last);
+        last = row.value;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_GE(c->Value(), last);
+}
+
+TEST_F(MetricsTest, ResetAllZeroesButKeepsRegistrations) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  Counter* c = reg.GetCounter("metrics_test.reset");
+  c->Add(9);
+  reg.ResetAll();
+  EXPECT_EQ(c->Value(), 0);
+  EXPECT_EQ(reg.GetCounter("metrics_test.reset"), c);
+}
+
+TEST_F(MetricsTest, SnapshotSerializes) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  reg.GetCounter("metrics_test.json_counter")->Add(3);
+  reg.GetGauge("metrics_test.json_gauge")->Set(-4);
+  reg.GetHistogram("metrics_test.json_hist", {5})->Observe(2);
+  const MetricsSnapshot snap = reg.Snapshot();
+  const std::string text = snap.ToText();
+  EXPECT_NE(text.find("metrics_test.json_counter"), std::string::npos);
+  EXPECT_NE(text.find("metrics_test.json_gauge"), std::string::npos);
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics_test.json_counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics_test.json_gauge\": -4"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics_test.json_hist\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace htl::obs

@@ -1,0 +1,165 @@
+// QueryTrace / TraceSpan tests: span nesting and timing, operator-stat
+// accumulation, the null-trace no-op contract, the thread-local attach used
+// by fault points, and profile rendering.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "util/fault_point.h"
+#include "util/status.h"
+
+namespace htl::obs {
+namespace {
+
+TEST(QueryTraceTest, SpansNestInLifoOrder) {
+  QueryTrace trace;
+  {
+    TraceSpan outer(&trace, "stage.execute");
+    {
+      TraceSpan inner(&trace, "op.and_merge");
+      inner.AddIntervals(3);
+    }
+    {
+      TraceSpan inner(&trace, "op.until_merge");
+      inner.AddIntervals(5);
+    }
+  }
+  EXPECT_EQ(trace.num_spans(), 3);
+  const QueryProfile profile = trace.Finish();
+  ASSERT_EQ(profile.roots.size(), 1u);
+  const QueryProfile::Node& root = profile.roots[0];
+  EXPECT_EQ(root.name, "stage.execute");
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].name, "op.and_merge");
+  EXPECT_EQ(root.children[0].stats.intervals, 3);
+  EXPECT_EQ(root.children[1].name, "op.until_merge");
+  EXPECT_EQ(root.children[1].stats.intervals, 5);
+  // Span times are steady-clock deltas: non-negative, parent >= 0.
+  EXPECT_GE(root.nanos, 0);
+  EXPECT_GE(root.children[0].nanos, 0);
+}
+
+TEST(QueryTraceTest, StatsUnitAndNoteAccumulate) {
+  QueryTrace trace;
+  {
+    TraceSpan span(&trace, "video");
+    span.SetUnit(7);
+    span.AddRows(10);
+    span.AddRows(5);
+    span.AddTables(2);
+    span.SetNote("degraded");
+    EXPECT_TRUE(span.active());
+  }
+  const QueryProfile profile = trace.Finish();
+  ASSERT_EQ(profile.roots.size(), 1u);
+  EXPECT_EQ(profile.roots[0].unit, 7);
+  EXPECT_EQ(profile.roots[0].stats.rows, 15);
+  EXPECT_EQ(profile.roots[0].stats.tables, 2);
+  EXPECT_EQ(profile.roots[0].note, "degraded");
+}
+
+TEST(QueryTraceTest, NullTraceIsANoOp) {
+  TraceSpan span(nullptr, "op.anything");
+  EXPECT_FALSE(span.active());
+  span.AddRows(5);  // Must not crash.
+  span.SetNote("ignored");
+}
+
+TEST(QueryTraceTest, FinishClosesOpenSpansAndSpendsTheTrace) {
+  QueryTrace trace;
+  const QueryTrace::SpanId id = trace.BeginSpan("stage.execute");
+  (void)id;  // Left open deliberately.
+  const QueryProfile profile = trace.Finish();
+  ASSERT_EQ(profile.roots.size(), 1u);
+  EXPECT_GE(profile.roots[0].nanos, 0);
+  // Spent: a second Finish yields an empty profile.
+  EXPECT_TRUE(trace.Finish().empty());
+  EXPECT_EQ(trace.num_spans(), 0);
+}
+
+TEST(QueryTraceTest, FindLocatesSpansDepthFirst) {
+  QueryTrace trace;
+  {
+    TraceSpan a(&trace, "stage.execute");
+    TraceSpan b(&trace, "video");
+    b.SetUnit(1);
+  }
+  const QueryProfile profile = trace.Finish();
+  ASSERT_NE(profile.Find("video"), nullptr);
+  EXPECT_EQ(profile.Find("video")->unit, 1);
+  EXPECT_EQ(profile.Find("no.such.span"), nullptr);
+  EXPECT_NE(profile.TotalNanos(), -1);
+}
+
+TEST(QueryTraceTest, CurrentFollowsScopedAttach) {
+  EXPECT_EQ(QueryTrace::Current(), nullptr);
+  QueryTrace outer_trace;
+  {
+    ScopedTraceAttach outer(&outer_trace);
+    EXPECT_EQ(QueryTrace::Current(), &outer_trace);
+    QueryTrace inner_trace;
+    {
+      ScopedTraceAttach inner(&inner_trace);
+      EXPECT_EQ(QueryTrace::Current(), &inner_trace);
+    }
+    EXPECT_EQ(QueryTrace::Current(), &outer_trace);
+  }
+  EXPECT_EQ(QueryTrace::Current(), nullptr);
+}
+
+TEST(QueryTraceTest, RecordFaultLandsInProfileAndAnnotatesOpenSpan) {
+  QueryTrace trace;
+  {
+    TraceSpan span(&trace, "op.picture_query");
+    trace.RecordFault("picture.query", Status::Internal("injected"));
+  }
+  const QueryProfile profile = trace.Finish();
+  ASSERT_EQ(profile.fault_trips.size(), 1u);
+  EXPECT_EQ(profile.fault_trips[0].point, "picture.query");
+  EXPECT_NE(profile.fault_trips[0].status.find("injected"), std::string::npos);
+  ASSERT_EQ(profile.roots.size(), 1u);
+  EXPECT_NE(profile.roots[0].note.find("fault:picture.query"), std::string::npos);
+}
+
+// The integration seam satellite 2 relies on: an armed fault point fired
+// under an attached trace records itself without any ExecContext in reach.
+TEST(QueryTraceTest, FaultRegistryHitReportsIntoCurrentTrace) {
+  FaultRegistry::Instance().DisableAll();
+  FaultSpec spec;
+  spec.code = StatusCode::kInternal;
+  spec.fire_on_hit = 1;
+  FaultRegistry::Instance().Enable("picture.query", spec);
+  QueryTrace trace;
+  {
+    ScopedTraceAttach attach(&trace);
+    const Status hit = FaultRegistry::Instance().Hit("picture.query");
+    EXPECT_EQ(hit.code(), StatusCode::kInternal);
+  }
+  FaultRegistry::Instance().DisableAll();
+  const QueryProfile profile = trace.Finish();
+  ASSERT_EQ(profile.fault_trips.size(), 1u);
+  EXPECT_EQ(profile.fault_trips[0].point, "picture.query");
+}
+
+TEST(QueryTraceTest, ToTextRendersTreeStatsAndFaults) {
+  QueryTrace trace;
+  {
+    TraceSpan outer(&trace, "stage.execute");
+    TraceSpan inner(&trace, "video");
+    inner.SetUnit(3);
+    inner.AddRows(12);
+    trace.RecordFault("engine.table_join", Status::Internal("boom"));
+  }
+  const std::string text = trace.Finish().ToText();
+  EXPECT_NE(text.find("query profile"), std::string::npos);
+  EXPECT_NE(text.find("stage.execute"), std::string::npos);
+  EXPECT_NE(text.find("video #3"), std::string::npos);
+  EXPECT_NE(text.find("rows=12"), std::string::npos);
+  EXPECT_NE(text.find("fault trip: engine.table_join"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace htl::obs

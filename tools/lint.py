@@ -30,6 +30,18 @@ Checks, over src/ by default:
                     deadlines or cancellation (CONTRIBUTING.md ground rule).
                     File-scoped: suppress with `// htl-lint:
                     allow(exec-context-polling)` anywhere in the file.
+  no-bare-timer     Hot-path kernel files (src/sim/ and src/engine/) must not
+                    time work with a bare WallTimer (util/timer.h): per-query
+                    timing belongs to the sanctioned span macro HTL_OBS_SPAN /
+                    TraceSpan (src/obs/trace.h), which is free when disarmed
+                    and lands in the EXPLAIN profile when armed.
+  obs-operator-span Hot-path kernel files (the operator kernels in src/sim/,
+                    the engines in src/engine/, and src/sql/executor.cc) must
+                    reference the observability layer (HTL_OBS_SPAN /
+                    HTL_OBS_COUNT / TraceSpan / obs::): a kernel that never
+                    counts or traces is invisible to EXPLAIN (CONTRIBUTING.md
+                    ground rule). File-scoped: suppress with `// htl-lint:
+                    allow(obs-operator-span)` anywhere in the file.
 
 A finding can be locally suppressed with `// htl-lint: allow(<rule>)` on the
 same line. Exit status is 0 when clean, 1 when any finding is reported.
@@ -217,6 +229,64 @@ def check_include_order(path: Path, raw_lines: list[str],
                 "includes within a block must be sorted alphabetically"))
 
 
+BARE_TIMER_RE = re.compile(r"\bWallTimer\b|#\s*include\s+\"util/timer\.h\"")
+
+
+def is_kernel_path(path: Path) -> bool:
+    try:
+        rel = path.relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return False
+    return rel.startswith("src/sim/") or rel.startswith("src/engine/")
+
+
+def check_no_bare_timer(path: Path, raw_lines: list[str], code_lines: list[str],
+                        findings: list[Finding]) -> None:
+    if not is_kernel_path(path):
+        return
+    for idx, code in enumerate(code_lines):
+        # The include is stripped to whitespace in `code`; test the raw line
+        # for it and the code line for the identifier.
+        if (BARE_TIMER_RE.search(code) or BARE_TIMER_RE.search(raw_lines[idx])) \
+                and "no-bare-timer" not in allowed_rules(raw_lines[idx]):
+            findings.append(Finding(
+                path, idx + 1, "no-bare-timer",
+                "hot-path kernels must not time work with a bare WallTimer; "
+                "use HTL_OBS_SPAN / TraceSpan (src/obs/trace.h) so the timing "
+                "lands in the EXPLAIN profile"))
+
+
+# The designated hot-path kernel files: the operator kernels, the engines'
+# evaluators, and the SQL executor. New kernel files belong on this list
+# (CONTRIBUTING.md ground rule).
+OBS_KERNEL_FILES = {
+    "src/engine/direct_engine.cc",
+    "src/engine/retrieval.cc",
+    "src/sim/list_ops.cc",
+    "src/sim/table_ops.cc",
+    "src/sql/executor.cc",
+}
+OBS_REF_RE = re.compile(r"\b(?:HTL_OBS_SPAN|HTL_OBS_COUNT|TraceSpan)\b|\bobs\s*::")
+
+
+def check_obs_operator_span(path: Path, raw_lines: list[str], code: str,
+                            findings: list[Finding]) -> None:
+    try:
+        rel = path.relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return
+    if rel not in OBS_KERNEL_FILES:
+        return
+    if any("obs-operator-span" in allowed_rules(l) for l in raw_lines):
+        return
+    if not OBS_REF_RE.search(code):
+        findings.append(Finding(
+            path, 1, "obs-operator-span",
+            "hot-path kernel file never references the observability layer; "
+            "operators must count (HTL_OBS_COUNT) and trace (HTL_OBS_SPAN) "
+            "their work, see CONTRIBUTING.md"))
+
+
 LOOP_RE = re.compile(r"\b(?:for|while)\s*\(")
 EXEC_REF_RE = re.compile(
     r"\b(?:ExecContext|DepthScope|HTL_CHECK_EXEC|ChargeRows|ChargeTable|exec_)\b")
@@ -257,6 +327,8 @@ def lint_file(path: Path) -> list[Finding]:
         check_header_guard(path, raw_lines, findings)
     check_include_order(path, raw_lines, findings)
     check_exec_context_polling(path, raw_lines, code, findings)
+    check_no_bare_timer(path, raw_lines, code_lines, findings)
+    check_obs_operator_span(path, raw_lines, code, findings)
     return findings
 
 
