@@ -48,7 +48,11 @@ struct ExecBudgets {
 /// bench_retrieval records the measured overhead in BENCH_retrieval.json.
 ///
 /// Thread model: the cancellation flag may be set from any thread (it is an
-/// atomic); everything else is owned by the querying thread.
+/// atomic); everything else is owned by the querying thread. For parallel
+/// per-video execution the Retriever gives each worker a *child* context
+/// (see the parent constructor): the child copies the parent's budgets and
+/// absolute deadline at construction and chains cancellation through the
+/// parent's atomic flag, so the only cross-thread state is atomic reads.
 class ExecContext {
  public:
   using Clock = std::chrono::steady_clock;
@@ -57,6 +61,25 @@ class ExecContext {
   ExecContext() = default;
 
   explicit ExecContext(ExecBudgets budgets) : budgets_(budgets) {}
+
+  /// Child context for one worker of a parallel query. Copies the parent's
+  /// budgets and absolute deadline (an already-expired or 0ms parent
+  /// deadline fails the child's very first poll, like SetTimeout(0) on the
+  /// parent itself), starts with fresh per-unit counters, and observes the
+  /// parent's Cancel() — including one issued *before* this child was
+  /// created — as well as its own. The parent (whole chain) must outlive
+  /// the child; a null parent yields a plain default context.
+  explicit ExecContext(const ExecContext* parent) {
+    if (parent == nullptr) return;
+    parent_ = parent;
+    budgets_ = parent->budgets_;
+    has_deadline_ = parent->has_deadline_;
+    deadline_ = parent->deadline_;
+    deadline_hit_ = parent->deadline_hit_;
+    // As in SetTimeout: the first poll must read the clock, so a deadline
+    // the parent already crossed fails immediately.
+    polls_since_clock_read_ = kDeadlinePollStride - 1;
+  }
 
   /// Sets the deadline `timeout` from now (monotonic clock). A zero or
   /// negative timeout is already expired: the first poll fails.
@@ -78,9 +101,16 @@ class ExecContext {
   bool has_deadline() const { return has_deadline_; }
 
   /// Requests cooperative cancellation; safe from any thread. The querying
-  /// thread observes it at its next poll.
+  /// thread observes it at its next poll. Cancelling a parent cancels every
+  /// (present and future) child chained to it; cancelling a child leaves
+  /// the parent running.
   void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
-  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+  bool cancelled() const {
+    for (const ExecContext* c = this; c != nullptr; c = c->parent_) {
+      if (c->cancelled_.load(std::memory_order_relaxed)) return true;
+    }
+    return false;
+  }
 
   const ExecBudgets& budgets() const { return budgets_; }
   ExecBudgets& mutable_budgets() { return budgets_; }
@@ -94,12 +124,11 @@ class ExecContext {
     depth_used_ = 0;
   }
 
-  /// The cheap poll engines place at loop boundaries: cancellation, then
-  /// (amortized) deadline. Never fails on a default context.
+  /// The cheap poll engines place at loop boundaries: cancellation
+  /// (chained through any parents), then (amortized) deadline. Never fails
+  /// on a default context.
   Status Check() {
-    if (cancelled_.load(std::memory_order_relaxed)) {
-      return Status::Cancelled("query cancelled");
-    }
+    if (cancelled()) return Status::Cancelled("query cancelled");
     if (has_deadline_) return CheckDeadline();
     return Status::OK();
   }
@@ -158,6 +187,7 @@ class ExecContext {
   /// the deadline is still honored well within a millisecond.
   static constexpr int32_t kDeadlinePollStride = 128;
 
+  const ExecContext* parent_ = nullptr;  // Cancellation chain; see cancelled().
   bool has_deadline_ = false;
   Clock::time_point deadline_{};
   int32_t polls_since_clock_read_ = 0;

@@ -7,6 +7,8 @@
 
 namespace htl {
 
+class ThreadPool;
+
 /// How the `and` connective combines similarity values — the paper's
 /// section 5 names "other similarity functions" as future work; both
 /// engines implement two:
@@ -31,6 +33,17 @@ struct QueryOptions {
 
   /// Similarity function for non-atomic conjunctions.
   AndSemantics and_semantics = AndSemantics::kSum;
+
+  /// Worker count for per-video parallel retrieval. `1` runs today's serial
+  /// path bit-for-bit (same loop, same caller thread, zero pool overhead);
+  /// `0` means ThreadPool::DefaultParallelism() (hardware concurrency).
+  /// Parallel output is guaranteed identical to serial output — see
+  /// DESIGN.md "Parallel execution" for the determinism contract.
+  int parallelism = 0;
+
+  /// Pool to run on when parallelism > 1; null means ThreadPool::Shared().
+  /// Borrowed, not owned — must outlive queries issued with these options.
+  ThreadPool* thread_pool = nullptr;
 
   /// Options forwarded to the picture-retrieval substrate.
   PictureOptions picture;

@@ -1,6 +1,10 @@
 #include "engine/retrieval.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
 
 #include "engine/direct_engine.h"
 #include "engine/reference_engine.h"
@@ -11,6 +15,7 @@
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace htl {
 
@@ -37,15 +42,24 @@ Result<FormulaPtr> Retriever::Prepare(std::string_view query_text) const {
   return Rewrite(std::move(f));
 }
 
-DirectEngine& Retriever::EngineFor(MetadataStore::VideoId video) {
+Retriever::VideoEngine& Retriever::EngineFor(MetadataStore::VideoId video) {
+  std::lock_guard<std::mutex> lock(engines_mu_);
   auto it = engines_.find(video);
   if (it == engines_.end()) {
     it = engines_
              .emplace(video,
-                      std::make_unique<DirectEngine>(&store_->Video(video), options_))
+                      std::make_unique<VideoEngine>(&store_->Video(video), options_))
              .first;
   }
   return *it->second;
+}
+
+int Retriever::EffectiveWorkers() const {
+  int workers = options_.parallelism > 0 ? options_.parallelism
+                                         : ThreadPool::DefaultParallelism();
+  const int64_t num_videos = store_->num_videos();
+  if (workers > num_videos) workers = static_cast<int>(num_videos);
+  return workers < 1 ? 1 : workers;
 }
 
 Result<SimilarityList> Retriever::EvaluateList(MetadataStore::VideoId video_id, int level,
@@ -60,12 +74,15 @@ Result<SimilarityList> Retriever::EvaluateList(MetadataStore::VideoId video_id, 
   // disjunction and closed-negation extensions; only the constructs it
   // reports Unimplemented for (negation over free variables, two-variable
   // comparisons) drop to the exponential reference evaluator.
-  DirectEngine& engine = EngineFor(video_id);
-  engine.set_exec_context(ctx);
-  Result<SimilarityList> direct = engine.EvaluateList(level, query);
-  engine.set_exec_context(nullptr);
-  if (direct.ok() || direct.status().code() != StatusCode::kUnimplemented) {
-    return direct;
+  {
+    VideoEngine& cached = EngineFor(video_id);
+    std::lock_guard<std::mutex> lock(cached.mu);
+    cached.engine.set_exec_context(ctx);
+    Result<SimilarityList> direct = cached.engine.EvaluateList(level, query);
+    cached.engine.set_exec_context(nullptr);
+    if (direct.ok() || direct.status().code() != StatusCode::kUnimplemented) {
+      return direct;
+    }
   }
   if (degraded != nullptr) *degraded = true;
   ReferenceEngine reference(&video, options_);
@@ -114,6 +131,124 @@ auto RunProfiled(ExecContext* ctx, const Body& body)
   return out;
 }
 
+// Folds one chunk's partial result into `out`. Chunks cover contiguous
+// ascending video ranges and merge in chunk order, so the concatenated hit
+// and failure sequences match the serial loop exactly.
+template <typename Part>
+void MergeChunk(Part& out, Part&& part) {
+  out.report.videos_evaluated += part.report.videos_evaluated;
+  out.report.videos_failed += part.report.videos_failed;
+  out.report.videos_degraded += part.report.videos_degraded;
+  for (RetrievalReport::VideoFailure& f : part.report.failures) {
+    out.report.failures.push_back(std::move(f));
+  }
+  for (auto& hit : part.hits) out.hits.push_back(std::move(hit));
+}
+
+// The store-wide per-video driver shared by the segment and whole-video
+// entry points. `eval_one(v, ctx, trace, part)` evaluates video `v` into
+// `part` and returns only query-abort errors; per-video failures are
+// recorded in the part's report.
+//
+// `workers <= 1` (or a 0/1-video store) runs the historical serial loop on
+// the calling thread — bit for bit, including a possibly-null `ctx`.
+// Otherwise the video range splits into `workers` contiguous chunks driven
+// through ParallelFor (the caller participates), each chunk under a child
+// ExecContext chained to a per-call group context: children copy the
+// caller's deadline and budgets, and the first aborting worker records its
+// status and cancels the group, draining the other chunks at their next
+// poll without touching the caller's own context. Chunk parts merge in
+// chunk order, so the output is identical to the serial loop's; per-worker
+// traces (when profiling) are stitched under the caller's innermost open
+// span, also in chunk order.
+template <typename Part, typename EvalOne>
+Status ForEachVideo(int64_t num_videos, ExecContext* ctx, int workers,
+                    ThreadPool* pool, const EvalOne& eval_one, Part& out) {
+  obs::QueryTrace* tr = ctx != nullptr ? ctx->trace() : nullptr;
+  if (workers <= 1 || num_videos <= 1) {
+    for (MetadataStore::VideoId v = 1; v <= num_videos; ++v) {
+      HTL_CHECK_EXEC(ctx);  // Deadline/cancel abort the whole call.
+      HTL_RETURN_IF_ERROR(eval_one(v, ctx, tr, out));
+    }
+    return Status::OK();
+  }
+  // Resolved here, not by the caller, so a serial query (the parallelism=1
+  // contract, and every query on a 1-CPU host) never instantiates the
+  // shared pool's worker threads.
+  if (pool == nullptr) pool = ThreadPool::Shared();
+
+  const int64_t chunks = std::min<int64_t>(workers, num_videos);
+  // Even contiguous partition: chunk c covers [ChunkBegin(c), ChunkBegin(c+1)).
+  const auto chunk_begin = [num_videos, chunks](int64_t c) {
+    return 1 + c * num_videos / chunks;
+  };
+
+  // The group context fans cancellation out to every worker child without
+  // touching the caller's context (whose cancel flag stays the caller's to
+  // set); children observe the group through the parent chain.
+  ExecContext group(ctx);
+  std::vector<Part> parts(static_cast<size_t>(chunks));
+  // QueryTrace is neither copyable nor movable, hence the indirection.
+  std::vector<std::unique_ptr<obs::QueryTrace>> worker_traces;
+  if (tr != nullptr) {
+    for (int64_t c = 0; c < chunks; ++c) {
+      worker_traces.push_back(std::make_unique<obs::QueryTrace>());
+    }
+  }
+
+  std::mutex abort_mu;
+  Status first_abort;  // Root-cause abort; guarded by abort_mu.
+  std::atomic<bool> aborted{false};
+
+  const Status loop_status = ParallelFor(
+      pool, chunks, [&](int64_t c) -> Status {
+        ExecContext child(&group);
+        obs::QueryTrace* wtr =
+            tr != nullptr ? worker_traces[static_cast<size_t>(c)].get() : nullptr;
+        child.set_trace(wtr);
+        // Fault trips under this worker land in its own trace (or nowhere
+        // when unprofiled) — never in another thread's.
+        obs::ScopedTraceAttach attach(wtr);
+        HTL_OBS_SPAN(wspan, wtr, "worker");
+        wspan.SetUnit(c);
+        Part& part = parts[static_cast<size_t>(c)];
+        for (int64_t v = chunk_begin(c); v < chunk_begin(c + 1); ++v) {
+          // Drain once any worker aborted: the merged result is discarded,
+          // so finishing the chunk would be wasted work.
+          if (aborted.load(std::memory_order_relaxed)) return Status::OK();
+          Status s = child.Check();
+          if (s.ok()) s = eval_one(v, &child, wtr, part);
+          if (!s.ok()) {
+            {
+              std::lock_guard<std::mutex> lock(abort_mu);
+              // Keep the root cause: workers drained by the fan-out fail
+              // with the induced Cancelled, which must not mask e.g. the
+              // DeadlineExceeded that started the abort.
+              if (first_abort.ok()) first_abort = s;
+            }
+            aborted.store(true, std::memory_order_relaxed);
+            group.Cancel();
+            return s;
+          }
+        }
+        return Status::OK();
+      });
+
+  {
+    std::lock_guard<std::mutex> lock(abort_mu);
+    if (!first_abort.ok()) return first_abort;
+  }
+  HTL_RETURN_IF_ERROR(loop_status);
+
+  if (tr != nullptr) {
+    for (std::unique_ptr<obs::QueryTrace>& wt : worker_traces) {
+      tr->Adopt(wt->Finish());
+    }
+  }
+  for (Part& part : parts) MergeChunk(out, std::move(part));
+  return Status::OK();
+}
+
 }  // namespace
 
 template <typename ResolveLevel>
@@ -121,38 +256,40 @@ Result<SegmentRetrieval> Retriever::RunSegmentQuery(const Formula& query, int64_
                                                     ExecContext* ctx,
                                                     const ResolveLevel& resolve_level) {
   SegmentRetrieval out;
-  obs::QueryTrace* tr = ctx != nullptr ? ctx->trace() : nullptr;
-  for (MetadataStore::VideoId v = 1; v <= store_->num_videos(); ++v) {
-    HTL_CHECK_EXEC(ctx);  // Deadline/cancel abort the whole call.
+  const auto eval_one = [&](MetadataStore::VideoId v, ExecContext* ectx,
+                            obs::QueryTrace* etr, SegmentRetrieval& part) -> Status {
     const int level = resolve_level(v);
-    if (level < 0) continue;  // Named level absent: silently skipped.
-    if (ctx != nullptr) ctx->BeginUnit();  // Budgets bound each video alone.
+    if (level < 0) return Status::OK();  // Named level absent: silently skipped.
+    if (ectx != nullptr) ectx->BeginUnit();  // Budgets bound each video alone.
     // One span per video; the unit carries the video id (span names stay
     // static so the unprofiled path never allocates).
-    HTL_OBS_SPAN(vspan, tr, "video");
+    HTL_OBS_SPAN(vspan, etr, "video");
     vspan.SetUnit(v);
     bool degraded = false;
-    Result<SimilarityList> list = EvaluateList(v, level, query, ctx, &degraded);
-    if (vspan.active() && ctx != nullptr) {
-      vspan.AddRows(ctx->rows_used());
-      vspan.AddTables(ctx->tables_used());
+    Result<SimilarityList> list = EvaluateList(v, level, query, ectx, &degraded);
+    if (vspan.active() && ectx != nullptr) {
+      vspan.AddRows(ectx->rows_used());
+      vspan.AddTables(ectx->tables_used());
     }
     if (!list.ok()) {
       // A query-wide abort is not a per-video fault: propagate it.
       if (list.status().IsQueryAbort()) return list.status();
       vspan.SetNote(StrCat("failed: ", list.status().ToString()));
-      ++out.report.videos_failed;
-      out.report.failures.push_back(RetrievalReport::VideoFailure{v, list.status()});
-      continue;
+      ++part.report.videos_failed;
+      part.report.failures.push_back(RetrievalReport::VideoFailure{v, list.status()});
+      return Status::OK();
     }
     if (degraded) vspan.SetNote("degraded");
-    ++out.report.videos_evaluated;
-    if (degraded) ++out.report.videos_degraded;
+    ++part.report.videos_evaluated;
+    if (degraded) ++part.report.videos_degraded;
     // Keep at most k per video before the global merge.
     for (const RankedSegment& rs : TopKSegments(list.value(), k)) {
-      out.hits.push_back(SegmentHit{v, rs.id, rs.sim});
+      part.hits.push_back(SegmentHit{v, rs.id, rs.sim});
     }
-  }
+    return Status::OK();
+  };
+  HTL_RETURN_IF_ERROR(ForEachVideo(store_->num_videos(), ctx, EffectiveWorkers(),
+                                   options_.thread_pool, eval_one, out));
   RankAndTrim(out.hits, k);
   return out;
 }
@@ -251,51 +388,58 @@ Result<std::vector<SegmentHit>> Retriever::TopSegmentsAtNamedLevel(
 Result<VideoRetrieval> Retriever::TopVideosWithReport(const Formula& query, int64_t k,
                                                       ExecContext* ctx) {
   VideoRetrieval out;
-  obs::QueryTrace* tr = ctx != nullptr ? ctx->trace() : nullptr;
-  for (MetadataStore::VideoId v = 1; v <= store_->num_videos(); ++v) {
-    HTL_CHECK_EXEC(ctx);
-    if (ctx != nullptr) ctx->BeginUnit();
-    HTL_OBS_SPAN(vspan, tr, "video");
+  const auto eval_one = [&](MetadataStore::VideoId v, ExecContext* ectx,
+                            obs::QueryTrace* etr, VideoRetrieval& part) -> Status {
+    if (ectx != nullptr) ectx->BeginUnit();
+    HTL_OBS_SPAN(vspan, etr, "video");
     vspan.SetUnit(v);
     const VideoTree& video = store_->Video(v);
     Sim sim;
     bool degraded = false;
-    DirectEngine& engine = EngineFor(v);
-    engine.set_exec_context(ctx);
-    Result<Sim> direct = engine.EvaluateVideo(query);
-    engine.set_exec_context(nullptr);
     Status video_error = Status::OK();
-    if (direct.ok()) {
-      sim = direct.value();
-    } else if (direct.status().code() == StatusCode::kUnimplemented) {
-      degraded = true;
+    {
+      VideoEngine& cached = EngineFor(v);
+      std::lock_guard<std::mutex> lock(cached.mu);
+      cached.engine.set_exec_context(ectx);
+      Result<Sim> direct = cached.engine.EvaluateVideo(query);
+      cached.engine.set_exec_context(nullptr);
+      if (direct.ok()) {
+        sim = direct.value();
+      } else if (direct.status().code() == StatusCode::kUnimplemented) {
+        degraded = true;
+      } else {
+        video_error = direct.status();
+      }
+    }
+    if (degraded) {
       ReferenceEngine reference(&video, options_);
-      reference.set_exec_context(ctx);
+      reference.set_exec_context(ectx);
       Result<Sim> ref = reference.EvaluateVideo(query);
       if (ref.ok()) {
         sim = ref.value();
       } else {
         video_error = ref.status();
       }
-    } else {
-      video_error = direct.status();
     }
-    if (vspan.active() && ctx != nullptr) {
-      vspan.AddRows(ctx->rows_used());
-      vspan.AddTables(ctx->tables_used());
+    if (vspan.active() && ectx != nullptr) {
+      vspan.AddRows(ectx->rows_used());
+      vspan.AddTables(ectx->tables_used());
     }
     if (!video_error.ok()) {
       if (video_error.IsQueryAbort()) return video_error;
       vspan.SetNote(StrCat("failed: ", video_error.ToString()));
-      ++out.report.videos_failed;
-      out.report.failures.push_back(RetrievalReport::VideoFailure{v, video_error});
-      continue;
+      ++part.report.videos_failed;
+      part.report.failures.push_back(RetrievalReport::VideoFailure{v, video_error});
+      return Status::OK();
     }
     if (degraded) vspan.SetNote("degraded");
-    ++out.report.videos_evaluated;
-    if (degraded) ++out.report.videos_degraded;
-    if (sim.actual > 0) out.hits.push_back(VideoHit{v, sim});
-  }
+    ++part.report.videos_evaluated;
+    if (degraded) ++part.report.videos_degraded;
+    if (sim.actual > 0) part.hits.push_back(VideoHit{v, sim});
+    return Status::OK();
+  };
+  HTL_RETURN_IF_ERROR(ForEachVideo(store_->num_videos(), ctx, EffectiveWorkers(),
+                                   options_.thread_pool, eval_one, out));
   std::stable_sort(out.hits.begin(), out.hits.end(),
                    [](const VideoHit& a, const VideoHit& b) {
                      if (a.sim.fraction() != b.sim.fraction()) {

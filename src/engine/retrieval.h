@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -86,10 +87,19 @@ struct VideoRetrieval {
 /// the strict historical contract (first per-video error fails the call);
 /// the *WithReport variants implement graceful degradation.
 ///
+/// Parallel execution: QueryOptions::parallelism splits the per-video loop
+/// into contiguous chunks evaluated on a ThreadPool, each worker under a
+/// child ExecContext sharing the caller's deadline and budgets. The ranked
+/// output, the report, and every per-video decision are identical to the
+/// serial run (`parallelism = 1`) — see DESIGN.md "Parallel execution" for
+/// the determinism contract and the cancellation fan-out.
+///
 /// The retriever keeps one DirectEngine per video, so atomic picture
 /// queries and value tables are cached *across* queries. The store must not
 /// be mutated while a Retriever holds it — create a fresh Retriever after
-/// changing meta-data.
+/// changing meta-data. Concurrent queries against one Retriever are safe:
+/// the engine cache is mutex-guarded per video (distinct videos never
+/// contend, so one query's parallel chunks run lock-free).
 class Retriever {
  public:
   /// `store` must outlive the retriever.
@@ -171,8 +181,25 @@ class Retriever {
                                       bool* degraded = nullptr);
 
  private:
-  /// The cached per-video engine (created on first use).
-  DirectEngine& EngineFor(MetadataStore::VideoId video);
+  /// One cached per-video engine. `mu` serializes queries touching the same
+  /// video (the engine's exec-context slot is per-evaluation state);
+  /// distinct videos never share an entry, so one parallel query's chunks
+  /// take no contended lock.
+  struct VideoEngine {
+    VideoEngine(const VideoTree* video, const QueryOptions& options)
+        : engine(video, options) {}
+    std::mutex mu;
+    DirectEngine engine;
+  };
+
+  /// The cached per-video engine (created on first use). `engines_mu_`
+  /// guards the map; the returned entry's own mutex guards evaluation. Map
+  /// nodes are stable, so the reference survives later insertions.
+  VideoEngine& EngineFor(MetadataStore::VideoId video);
+
+  /// Worker count this query should use: options_.parallelism, with 0
+  /// meaning ThreadPool::DefaultParallelism(), capped at the video count.
+  int EffectiveWorkers() const;
 
   /// The shared per-video evaluation loop behind the segment entry points.
   /// `resolve_level` maps a video to the level to query (negative: skip the
@@ -184,7 +211,8 @@ class Retriever {
 
   const MetadataStore* store_;
   QueryOptions options_;
-  std::map<MetadataStore::VideoId, std::unique_ptr<DirectEngine>> engines_;
+  std::mutex engines_mu_;  // Guards engines_ (map shape only).
+  std::map<MetadataStore::VideoId, std::unique_ptr<VideoEngine>> engines_;
 };
 
 }  // namespace htl

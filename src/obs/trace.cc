@@ -65,6 +65,18 @@ void QueryTrace::RecordFault(std::string_view point, const Status& status) {
   }
 }
 
+void QueryTrace::Adopt(QueryProfile&& sub) {
+  for (QueryProfile::FaultTrip& trip : sub.fault_trips) {
+    fault_trips_.push_back(std::move(trip));
+  }
+  std::vector<QueryProfile::Node>& dest =
+      open_.empty() ? adopted_roots_
+                    : recs_[static_cast<size_t>(open_.back())].grafted;
+  for (QueryProfile::Node& root : sub.roots) {
+    dest.push_back(std::move(root));
+  }
+}
+
 QueryProfile QueryTrace::Finish() {
   while (!open_.empty()) EndSpan(open_.back());
 
@@ -86,11 +98,11 @@ QueryProfile QueryTrace::Finish() {
   // Recursive assembly without actual recursion depth limits is fine here:
   // span nesting mirrors formula nesting, which the parsers already bound.
   struct Builder {
-    const std::vector<Rec>& recs;
+    std::vector<Rec>& recs;  // Non-const: adopted sub-trees are moved out.
     const std::vector<std::vector<SpanId>>& children;
 
     QueryProfile::Node Build(SpanId id) const {
-      const Rec& rec = recs[static_cast<size_t>(id)];
+      Rec& rec = recs[static_cast<size_t>(id)];
       QueryProfile::Node node;
       node.name = rec.name;
       node.nanos = rec.nanos;
@@ -100,16 +112,23 @@ QueryProfile QueryTrace::Finish() {
       for (SpanId child : children[static_cast<size_t>(id)]) {
         node.children.push_back(Build(child));
       }
+      for (QueryProfile::Node& graft : rec.grafted) {
+        node.children.push_back(std::move(graft));
+      }
       return node;
     }
   };
   const Builder builder{recs_, children};
-  profile.roots.reserve(root_ids.size());
+  profile.roots.reserve(root_ids.size() + adopted_roots_.size());
   for (SpanId root : root_ids) profile.roots.push_back(builder.Build(root));
+  for (QueryProfile::Node& root : adopted_roots_) {
+    profile.roots.push_back(std::move(root));
+  }
   profile.fault_trips = std::move(fault_trips_);
 
   recs_.clear();
   fault_trips_.clear();
+  adopted_roots_.clear();
   return profile;
 }
 

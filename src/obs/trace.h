@@ -51,6 +51,13 @@ class QueryTrace {
   /// Current()); also annotates the innermost open span.
   void RecordFault(std::string_view point, const Status& status);
 
+  /// Grafts a finished sub-trace (a worker's profile from a parallel query)
+  /// under the innermost open span — the sub-profile's roots become children
+  /// appended after the span's own child spans, and its fault trips join
+  /// this trace's. With no span open the roots join this trace's roots.
+  /// Call from the owning thread only, after the worker has finished.
+  void Adopt(QueryProfile&& sub);
+
   int64_t num_spans() const { return static_cast<int64_t>(recs_.size()); }
 
   /// Closes any still-open spans and builds the profile tree. The trace is
@@ -72,11 +79,14 @@ class QueryTrace {
     int64_t unit = -1;
     OpStats stats;
     std::string note;
+    /// Adopted sub-profiles; appended after built children in Finish().
+    std::vector<QueryProfile::Node> grafted;
   };
 
   std::vector<Rec> recs_;
   std::vector<SpanId> open_;  // Stack of open span ids.
   std::vector<QueryProfile::FaultTrip> fault_trips_;
+  std::vector<QueryProfile::Node> adopted_roots_;  // Adopt() with no open span.
 };
 
 /// RAII span over one stage or operator. Tolerates a null trace (no-op), so

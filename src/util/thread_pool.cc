@@ -1,0 +1,153 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace htl {
+
+ThreadPool::ThreadPool() : ThreadPool(Options{}) {}
+
+ThreadPool::ThreadPool(Options options) {
+  int threads = options.num_threads > 0 ? options.num_threads : DefaultParallelism();
+  queue_capacity_ = options.queue_capacity > 0
+                        ? options.queue_capacity
+                        : std::max<int64_t>(16, 4 * static_cast<int64_t>(threads));
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  queue_space_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  HTL_CHECK(queue_.empty()) << "worker exited with tasks still queued";
+}
+
+void ThreadPool::Schedule(std::function<void()> fn) {
+  HTL_CHECK(fn != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_space_.wait(lock, [this] {
+      return stopping_ || static_cast<int64_t>(queue_.size()) < queue_capacity_;
+    });
+    HTL_CHECK(!stopping_) << "Schedule() on a ThreadPool being destroyed";
+    queue_.push_back(std::move(fn));
+  }
+  task_ready_.notify_one();
+}
+
+int64_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain-on-shutdown: exit only once the queue is empty, so every task
+      // scheduled before destruction still runs.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_space_.notify_one();
+    task();
+  }
+}
+
+int ThreadPool::DefaultParallelism() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool* ThreadPool::Shared() {
+  // Never destroyed: worker threads must outlive every static-destruction
+  // order dependency a tear-down could race with.
+  static ThreadPool* const pool = new ThreadPool();
+  return pool;
+}
+
+namespace {
+
+/// Shared control block of one ParallelFor call. Lives on the caller's
+/// stack; the caller joins every driver before returning, so references from
+/// pool tasks never dangle.
+struct ParallelForState {
+  const std::function<Status(int64_t)>& fn;
+  const int64_t n;
+
+  std::atomic<int64_t> next{0};
+  std::atomic<bool> abort{false};
+
+  std::mutex mu;
+  std::condition_variable done;
+  int pending_drivers = 0;     // Pool-side drivers not yet finished.
+  int64_t error_index;         // Lowest failed index seen (n = none).
+  Status error;
+
+  ParallelForState(const std::function<Status(int64_t)>& fn_in, int64_t n_in)
+      : fn(fn_in), n(n_in), error_index(n_in) {}
+
+  /// Claims and runs iterations until the range is exhausted or aborted.
+  void Drive() {
+    for (;;) {
+      if (abort.load(std::memory_order_relaxed)) return;
+      const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      Status s = fn(i);
+      if (!s.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (i < error_index) {
+            error_index = i;
+            error = std::move(s);
+          }
+        }
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Status ParallelFor(ThreadPool* pool, int64_t n,
+                   const std::function<Status(int64_t)>& fn) {
+  if (n <= 0) return Status::OK();
+  if (pool == nullptr || pool->num_threads() <= 1 || n == 1) {
+    for (int64_t i = 0; i < n; ++i) HTL_RETURN_IF_ERROR(fn(i));
+    return Status::OK();
+  }
+
+  ParallelForState state(fn, n);
+  // The caller is one driver; the pool contributes up to num_threads more,
+  // never more drivers than iterations.
+  const int pool_drivers = static_cast<int>(
+      std::min<int64_t>(n - 1, static_cast<int64_t>(pool->num_threads())));
+  state.pending_drivers = pool_drivers;
+  for (int d = 0; d < pool_drivers; ++d) {
+    pool->Schedule([&state] {
+      state.Drive();
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (--state.pending_drivers == 0) state.done.notify_all();
+    });
+  }
+  state.Drive();
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.done.wait(lock, [&state] { return state.pending_drivers == 0; });
+  return state.error_index < n ? state.error : Status::OK();
+}
+
+}  // namespace htl

@@ -1,0 +1,105 @@
+#ifndef HTL_UTIL_THREAD_POOL_H_
+#define HTL_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace htl {
+
+/// A fixed-size worker pool with a bounded task queue — the one sanctioned
+/// home for threads in src/ (tools/lint.py rejects raw std::thread anywhere
+/// else; route concurrency through the pool so shutdown, backpressure, and
+/// TSan coverage stay in one place).
+///
+/// Semantics:
+///   * `Schedule` enqueues a task; when the queue is at capacity it BLOCKS
+///     until a worker drains an entry (backpressure, never an unbounded
+///     buffer). Tasks must not throw (the library is exception-free) and
+///     must not block on this same pool's queue.
+///   * Destruction drains: already-scheduled tasks all run to completion,
+///     then workers join. Scheduling during/after destruction is a
+///     programming error (checked).
+///   * The pool is content-agnostic: Status propagation and early abort are
+///     layered on top by ParallelFor below.
+///
+/// Thread model: all members are internally synchronized; Schedule may be
+/// called from any thread, including from inside a task (as long as the
+/// caller tolerates the blocking backpressure).
+class ThreadPool {
+ public:
+  struct Options {
+    /// Worker count; 0 means DefaultParallelism().
+    int num_threads = 0;
+
+    /// Bound on queued-but-not-started tasks; 0 means 4x the worker count
+    /// (at least 16). Schedule blocks while the queue holds this many.
+    int64_t queue_capacity = 0;
+  };
+
+  /// Default options: DefaultParallelism() workers, default queue bound.
+  ThreadPool();
+  explicit ThreadPool(Options options);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn`; blocks while the queue is at capacity. `fn` runs on some
+  /// worker thread at most once; it must not throw. Calling Schedule on a
+  /// pool whose destructor has begun is a checked programming error — tasks
+  /// may schedule follow-up work onto their own pool, but the caller must
+  /// then quiesce the chain before destroying the pool.
+  void Schedule(std::function<void()> fn);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+  int64_t queue_capacity() const { return queue_capacity_; }
+
+  /// Tasks enqueued and not yet picked up by a worker (tests, metrics).
+  int64_t queue_depth() const;
+
+  /// The hardware parallelism this process should assume: hardware
+  /// concurrency, with 1 as the floor when the runtime reports 0.
+  static int DefaultParallelism();
+
+  /// Process-wide shared pool, sized to DefaultParallelism(), created on
+  /// first use and alive for the process lifetime. Query execution uses this
+  /// unless QueryOptions names another pool.
+  static ThreadPool* Shared();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable task_ready_;   // Signals workers: task or stop.
+  std::condition_variable queue_space_;  // Signals producers: queue below cap.
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  int64_t queue_capacity_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `fn(0) .. fn(n-1)` across `pool`, propagating Status: the first
+/// iteration to return an error aborts the loop — iterations not yet started
+/// never run (exception-free early abort), in-flight ones finish — and the
+/// call returns the error of the lowest-numbered failed iteration. The
+/// calling thread participates as a worker, so progress is guaranteed even
+/// when the pool is saturated by other callers; a null pool (or n <= 1, or a
+/// single-thread pool) degrades to a plain serial loop on the caller.
+///
+/// `fn` is invoked for each index at most once, from the caller or a pool
+/// thread; it must be safe to run concurrently with itself on distinct
+/// indices. Completion of every started iteration happens-before the return.
+Status ParallelFor(ThreadPool* pool, int64_t n,
+                   const std::function<Status(int64_t)>& fn);
+
+}  // namespace htl
+
+#endif  // HTL_UTIL_THREAD_POOL_H_

@@ -65,6 +65,114 @@ TEST(ExecContextTest, CancellationObservedAtNextPoll) {
   EXPECT_TRUE(s.IsQueryAbort());
 }
 
+// ---------------------------------------------------------------------------
+// Child contexts (parallel workers).
+
+TEST(ExecContextChildTest, NullParentYieldsPlainDefaultContext) {
+  ExecContext child(static_cast<const ExecContext*>(nullptr));
+  EXPECT_FALSE(child.has_deadline());
+  EXPECT_FALSE(child.cancelled());
+  EXPECT_OK(child.Check());
+}
+
+TEST(ExecContextChildTest, ChildCopiesBudgetsAndCountsItsOwnUnits) {
+  ExecBudgets budgets;
+  budgets.max_rows = 5;
+  ExecContext parent(budgets);
+  ASSERT_OK(parent.ChargeRows(3));
+
+  ExecContext child(&parent);
+  EXPECT_EQ(child.budgets().max_rows, 5);
+  // Per-unit counters start fresh: the parent's 3 used rows do not carry
+  // over (budgets bound each video independently, whichever worker runs it).
+  EXPECT_EQ(child.rows_used(), 0);
+  EXPECT_OK(child.ChargeRows(5));
+  EXPECT_TRUE(child.ChargeRows(1).IsResourceExhausted());
+  // The child's charging never touches the parent.
+  EXPECT_EQ(parent.rows_used(), 3);
+}
+
+TEST(ExecContextChildTest, ChildObservesParentCancelSetBeforeSpawn) {
+  // The fan-out ordering that matters in the retriever: a worker child
+  // created *after* the group was cancelled must fail its very first poll.
+  ExecContext parent;
+  parent.Cancel();
+  ExecContext child(&parent);
+  EXPECT_TRUE(child.cancelled());
+  Status s = child.Check();
+  EXPECT_TRUE(s.IsCancelled()) << s.ToString();
+}
+
+TEST(ExecContextChildTest, ChildObservesParentCancelSetAfterSpawn) {
+  ExecContext parent;
+  ExecContext child(&parent);
+  EXPECT_OK(child.Check());
+  parent.Cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_TRUE(child.Check().IsCancelled());
+}
+
+TEST(ExecContextChildTest, CancellingChildLeavesParentAndSiblingRunning) {
+  ExecContext parent;
+  ExecContext child_a(&parent);
+  ExecContext child_b(&parent);
+  child_a.Cancel();
+  EXPECT_TRUE(child_a.Check().IsCancelled());
+  EXPECT_FALSE(parent.cancelled());
+  EXPECT_OK(parent.Check());
+  EXPECT_OK(child_b.Check());
+}
+
+TEST(ExecContextChildTest, CancelChainsThroughTwoLevels) {
+  // Retriever layering: caller ctx -> per-call group -> per-worker child.
+  ExecContext caller;
+  ExecContext group(&caller);
+  ExecContext worker(&group);
+  caller.Cancel();
+  EXPECT_TRUE(worker.cancelled());
+  // Cancelling only the group reaches workers but never the caller.
+  ExecContext caller2;
+  ExecContext group2(&caller2);
+  ExecContext worker2(&group2);
+  group2.Cancel();
+  EXPECT_TRUE(worker2.cancelled());
+  EXPECT_FALSE(caller2.cancelled());
+}
+
+TEST(ExecContextChildTest, ChildInheritsZeroTimeoutDeadline) {
+  // 0ms (or negative) deadline semantics carry over: the parent's deadline
+  // is copied as an absolute time point, so the child's first poll fails
+  // exactly like SetTimeout(0) on the parent itself.
+  ExecContext parent;
+  parent.SetTimeout(milliseconds(0));
+  ExecContext child(&parent);
+  EXPECT_TRUE(child.has_deadline());
+  Status s = child.Check();
+  EXPECT_TRUE(s.IsDeadlineExceeded()) << s.ToString();
+}
+
+TEST(ExecContextChildTest, ChildInheritsLatchedDeadline) {
+  ExecContext parent;
+  parent.SetTimeout(milliseconds(-5));
+  EXPECT_TRUE(parent.Check().IsDeadlineExceeded());  // Latches.
+  ExecContext child(&parent);
+  EXPECT_TRUE(child.Check().IsDeadlineExceeded());
+}
+
+TEST(ExecContextChildTest, ChildSharesAbsoluteDeadlineNotTimeout) {
+  ExecContext parent;
+  parent.SetTimeout(milliseconds(30));
+  std::this_thread::sleep_for(milliseconds(15));
+  // A child created halfway through inherits the *remaining* ~15ms, not a
+  // fresh 30ms window.
+  ExecContext child(&parent);
+  EXPECT_OK(child.Check());
+  std::this_thread::sleep_for(milliseconds(30));
+  Status last = Status::OK();
+  for (int i = 0; i < 256 && last.ok(); ++i) last = child.Check();
+  EXPECT_TRUE(last.IsDeadlineExceeded()) << last.ToString();
+}
+
 TEST(ExecContextTest, RowBudgetTripsAndResetsPerUnit) {
   ExecBudgets budgets;
   budgets.max_rows = 10;

@@ -35,6 +35,13 @@ class ProfileTest : public ::testing::Test {
     if (execute == nullptr) return out;
     for (const obs::QueryProfile::Node& child : execute->children) {
       if (child.name == "video") out.push_back(&child);
+      // Parallel runs nest the video spans under per-worker spans, stitched
+      // in chunk order — the flattened video order stays ascending.
+      if (child.name == "worker") {
+        for (const obs::QueryProfile::Node& sub : child.children) {
+          if (sub.name == "video") out.push_back(&sub);
+        }
+      }
     }
     return out;
   }
@@ -111,7 +118,11 @@ TEST_F(ProfileTest, FaultedVideoSpansMatchReportFailures) {
   spec.fire_on_hit = 1;
   spec.sticky = false;
   FaultRegistry::Instance().Enable("picture.query", spec);
-  Retriever r(&store_);
+  // Counted fault specs trip on the globally first hit, which is only a
+  // deterministic video under the serial evaluation order.
+  QueryOptions serial;
+  serial.parallelism = 1;
+  Retriever r(&store_, serial);
   FormulaPtr q = casablanca::Query1Full();
   auto result = r.TopSegmentsProfiled(*q, 2, 8);
   ASSERT_OK(result.status());

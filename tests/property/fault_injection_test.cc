@@ -34,15 +34,24 @@ class FaultInjectionTest : public ::testing::Test {
 
   // Runs the retrieval side of the workload: Query 1 end-to-end plus the
   // freeze query. A fresh Retriever each run (caches would otherwise mask
-  // fault points on repeat runs).
+  // fault points on repeat runs). Pinned to serial execution: the counted
+  // fault specs below (fire_on_hit = 1) trip on the globally first hit,
+  // which is only a deterministic video under the serial evaluation order —
+  // parallel fault coverage lives in tests/engine/parallel_retrieval_test.
+  static QueryOptions SerialOptions() {
+    QueryOptions options;
+    options.parallelism = 1;
+    return options;
+  }
+
   static Result<SegmentRetrieval> RunRetrieval(MetadataStore* store) {
-    Retriever r(store);
+    Retriever r(store, SerialOptions());
     FormulaPtr q = casablanca::Query1Full();
     return r.TopSegmentsWithReport(*q, 2, 8);
   }
 
   static Result<SegmentRetrieval> RunFreeze(MetadataStore* store) {
-    Retriever r(store);
+    Retriever r(store, SerialOptions());
     return r.TopSegmentsWithReport(kFreezeQuery, 2, 8);
   }
 

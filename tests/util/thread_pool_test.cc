@@ -1,0 +1,238 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace htl {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// A reusable gate: tasks block in Wait() until the test calls Open().
+class Gate {
+ public:
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(ThreadPoolTest, DefaultsResolveToPositiveSizes) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1);
+  EXPECT_EQ(pool.num_threads(), ThreadPool::DefaultParallelism());
+  EXPECT_GE(pool.queue_capacity(), 16);
+  EXPECT_EQ(pool.queue_depth(), 0);
+}
+
+TEST(ThreadPoolTest, RunsEveryScheduledTask) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(ThreadPool::Options{4, 0});
+    for (int i = 0; i < 100; ++i) {
+      pool.Schedule([&ran] { ran.fetch_add(1); });
+    }
+  }  // Destructor drains, then joins.
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueuedTasks) {
+  // One worker, deep queue: destruction starts with most tasks still queued
+  // and every one of them must still run (drain-on-shutdown contract).
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(ThreadPool::Options{1, 64});
+    for (int i = 0; i < 50; ++i) {
+      pool.Schedule([&ran] {
+        std::this_thread::sleep_for(milliseconds(1));
+        ran.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, DestructionWhileTasksAreBusyJoinsCleanly) {
+  std::atomic<int> ran{0};
+  Gate gate;
+  {
+    ThreadPool pool(ThreadPool::Options{2, 0});
+    for (int i = 0; i < 2; ++i) {
+      pool.Schedule([&] {
+        gate.Wait();
+        ran.fetch_add(1);
+      });
+    }
+    // Both workers are (about to be) parked inside a task; destruction must
+    // wait for them rather than tearing down under their feet.
+    gate.Open();
+  }
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPoolTest, BoundedQueueAppliesBackpressure) {
+  ThreadPool pool(ThreadPool::Options{1, 2});
+  Gate gate;
+  pool.Schedule([&gate] { gate.Wait(); });  // Occupies the only worker.
+  pool.Schedule([] {});                     // Queue slot 1.
+  pool.Schedule([] {});                     // Queue slot 2: queue now full.
+  EXPECT_EQ(pool.queue_depth(), 2);
+
+  std::atomic<bool> third_accepted{false};
+  std::thread producer([&] {
+    pool.Schedule([] {});  // Must block until the worker drains a slot.
+    third_accepted.store(true);
+  });
+  std::this_thread::sleep_for(milliseconds(50));
+  EXPECT_FALSE(third_accepted.load()) << "Schedule did not block on a full queue";
+
+  gate.Open();
+  producer.join();
+  EXPECT_TRUE(third_accepted.load());
+}
+
+TEST(ThreadPoolTest, ScheduleFromInsideATask) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(ThreadPool::Options{2, 0});
+    pool.Schedule([&] {
+      ran.fetch_add(1);
+      pool.Schedule([&ran] { ran.fetch_add(1); });
+    });
+    // Self-scheduling tasks must quiesce before destruction (Schedule during
+    // shutdown is a checked error), so wait for the chain to finish here.
+    while (ran.load() < 2) std::this_thread::yield();
+  }
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPoolTest, ManyProducersOneConsumerCountsExactly) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(ThreadPool::Options{1, 4});
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&pool, &ran] {
+        for (int i = 0; i < 25; ++i) {
+          pool.Schedule([&ran] { ran.fetch_add(1); });
+        }
+      });
+    }
+    for (std::thread& t : producers) t.join();
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ParallelForTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(ThreadPool::Options{4, 0});
+  std::vector<std::atomic<int>> counts(100);
+  Status s = ParallelFor(&pool, 100, [&counts](int64_t i) {
+    counts[static_cast<size_t>(i)].fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  for (const std::atomic<int>& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelForTest, NullPoolRunsSeriallyInOrder) {
+  std::vector<int64_t> order;
+  Status s = ParallelFor(nullptr, 10, [&order](int64_t i) {
+    order.push_back(i);  // Safe: serial fallback runs on this thread only.
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  ASSERT_EQ(order.size(), 10u);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ParallelForTest, EmptyAndSingletonRanges) {
+  ThreadPool pool(ThreadPool::Options{2, 0});
+  int ran = 0;
+  EXPECT_TRUE(ParallelFor(&pool, 0, [&](int64_t) {
+                ++ran;
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(ran, 0);
+  // n == 1 runs inline on the caller (single-threaded, no pool hop).
+  std::thread::id caller = std::this_thread::get_id();
+  EXPECT_TRUE(ParallelFor(&pool, 1, [&](int64_t) {
+                EXPECT_EQ(std::this_thread::get_id(), caller);
+                ++ran;
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ParallelForTest, PropagatesTheError) {
+  ThreadPool pool(ThreadPool::Options{4, 0});
+  Status s = ParallelFor(&pool, 64, [](int64_t i) {
+    if (i == 17) return Status::Internal("iteration 17 failed");
+    return Status::OK();
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(s.message(), "iteration 17 failed");
+}
+
+TEST(ParallelForTest, ReturnsLowestIndexErrorWhenSeveralFail) {
+  ThreadPool pool(ThreadPool::Options{4, 0});
+  // Every iteration fails with its own message; whatever subset actually
+  // runs before the abort, the reported error is the lowest-index one of
+  // the failures that occurred — and index 0 always runs.
+  Status s = ParallelFor(&pool, 32, [](int64_t i) {
+    if (i == 0) return Status::Internal("iteration 0 failed");
+    return Status::FailedPrecondition("later iteration failed");
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(s.message(), "iteration 0 failed");
+}
+
+TEST(ParallelForTest, AbortSkipsUnstartedIterations) {
+  ThreadPool pool(ThreadPool::Options{2, 0});
+  std::atomic<int64_t> started{0};
+  const int64_t n = 100000;
+  Status s = ParallelFor(&pool, n, [&started](int64_t) {
+    started.fetch_add(1);
+    return Status::Internal("fail fast");
+  });
+  EXPECT_FALSE(s.ok());
+  // The first failure aborts the claim loop; only iterations already
+  // claimed by the (at most 3) drivers can still run.
+  EXPECT_LT(started.load(), n);
+}
+
+TEST(ParallelForTest, SerialFallbackStopsAtFirstError) {
+  int64_t last_started = -1;
+  Status s = ParallelFor(nullptr, 100, [&last_started](int64_t i) {
+    last_started = i;
+    if (i == 3) return Status::Internal("stop");
+    return Status::OK();
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(last_started, 3);
+}
+
+}  // namespace
+}  // namespace htl

@@ -42,6 +42,11 @@ Checks, over src/ by default:
                     counts or traces is invisible to EXPLAIN (CONTRIBUTING.md
                     ground rule). File-scoped: suppress with `// htl-lint:
                     allow(obs-operator-span)` anywhere in the file.
+  no-raw-thread     `std::thread` / `std::jthread` are forbidden in src/
+                    outside src/util/thread_pool.{h,cc}: ad-hoc threads skip
+                    the pool's bounded queue, cancellation fan-out, and TSan
+                    coverage. Run work on the shared ThreadPool (ParallelFor /
+                    Schedule) instead (CONTRIBUTING.md ground rule).
 
 A finding can be locally suppressed with `// htl-lint: allow(<rule>)` on the
 same line. Exit status is 0 when clean, 1 when any finding is reported.
@@ -117,7 +122,22 @@ EXCEPTION_RE = re.compile(r"(?<![\w])(?:throw|try|catch)(?![\w])")
 USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\b")
 VOID_DISCARD_RE = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_][\w:.\->]*\s*\(")
 THROWING_PARSE_RE = re.compile(r"\bstd\s*::\s*sto(?:i|l|ll|ul|ull|f|d|ld)\b")
+RAW_THREAD_RE = re.compile(r"\bstd\s*::\s*(?:jthread|thread)\b")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(<[^>]+>|"[^"]+")')
+
+# The one sanctioned home for raw threads: the pool's own implementation.
+RAW_THREAD_EXEMPT = {
+    "src/util/thread_pool.h",
+    "src/util/thread_pool.cc",
+}
+
+
+def is_raw_thread_exempt(path: Path) -> bool:
+    try:
+        rel = path.relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return False
+    return rel in RAW_THREAD_EXEMPT
 
 
 def expected_guard(path: Path) -> str:
@@ -151,6 +171,14 @@ def check_line_rules(path: Path, raw_lines: list[str], code_lines: list[str],
             findings.append(Finding(
                 path, lineno, "no-throwing-parse",
                 "std::sto* throws on overflow; use htl::Parse* (util/parse.h)"))
+        if RAW_THREAD_RE.search(code) and "no-raw-thread" not in allows and \
+                not is_raw_thread_exempt(path):
+            findings.append(Finding(
+                path, lineno, "no-raw-thread",
+                "raw std::thread/std::jthread is forbidden outside "
+                "src/util/thread_pool; run work on the shared ThreadPool "
+                "(ParallelFor / Schedule) so it gets the bounded queue, "
+                "cancellation fan-out, and TSan coverage"))
 
 
 def check_header_guard(path: Path, raw_lines: list[str],
