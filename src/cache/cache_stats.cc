@@ -1,0 +1,25 @@
+#include "cache/cache_stats.h"
+
+#include "util/string_util.h"
+
+namespace htl::cache {
+
+std::string CacheStats::ToString() const {
+  return StrCat("hits ", hits, ", misses ", misses, " (stale ", stale, "), fills ",
+                fills, ", evictions ", evictions, ", shared-waits ", shared_waits,
+                ", resident ", entries, " entries / ", bytes, " bytes");
+}
+
+std::string_view LookupOutcomeName(LookupOutcome outcome) {
+  switch (outcome) {
+    case LookupOutcome::kHit:
+      return "hit";
+    case LookupOutcome::kMiss:
+      return "miss";
+    case LookupOutcome::kStale:
+      return "miss (stale epoch)";
+  }
+  return "unknown";
+}
+
+}  // namespace htl::cache

@@ -1,0 +1,355 @@
+#ifndef HTL_CACHE_SHARDED_CACHE_H_
+#define HTL_CACHE_SHARDED_CACHE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cache/cache_stats.h"
+#include "engine/exec_context.h"
+#include "htl/fingerprint.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/result.h"
+
+namespace htl::cache {
+
+/// A sharded, thread-safe LRU cache with a byte-denominated capacity.
+///
+/// Keys hash (FNV-1a fingerprint) to one of `num_shards` shards; each shard
+/// is an unordered map of pointer-stable entries threaded on an intrusive
+/// LRU list under one shard mutex, so concurrent queries on different keys
+/// rarely contend. Values are handed out as `shared_ptr<const V>`: a hit
+/// stays valid even if the entry is evicted a microsecond later, and
+/// entries are immutable once published (the determinism contract —
+/// DESIGN.md "Result and sub-formula caching").
+///
+/// Correctness under store mutation uses epoch stamping: every entry
+/// records the store epoch it was computed at, and a lookup presenting a
+/// newer epoch lazily evicts the stale entry and reports a miss. Eviction
+/// is per shard from the LRU tail once the shard's slice of
+/// `capacity_bytes` overflows.
+///
+/// GetOrCompute() adds a single-flight guard: concurrent callers of one
+/// key run the compute once (the leader); waiters block on a per-key
+/// flight, polling their own ExecContext so a waiter's deadline or
+/// cancellation still aborts in bounded time. A leader whose compute fails
+/// (deadline, cancel, injected fault) publishes nothing — the error never
+/// poisons the cache — and its waiters retry, at most once becoming
+/// leaders themselves.
+///
+/// Hit/miss/fill counters are relaxed atomics local to the cache and are
+/// mirrored into obs::MetricsRegistry ("cache.<name>.hits", ...) when the
+/// registry is enabled.
+template <typename V>
+class ShardedLruCache {
+ public:
+  using ValuePtr = std::shared_ptr<const V>;
+
+  /// What a compute hands back to GetOrCompute: the value to return (and
+  /// share with waiters), its byte cost, and whether it may be stored
+  /// (`store = false` degrades to compute-without-caching — the fill-fault
+  /// and partial-result paths).
+  struct Fill {
+    ValuePtr value;
+    int64_t bytes = 0;
+    bool store = true;
+  };
+
+  /// One probe's result; `value` is null on kMiss / kStale.
+  struct Found {
+    ValuePtr value;
+    LookupOutcome outcome = LookupOutcome::kMiss;
+  };
+
+  /// `name` labels the registry metrics ("cache.<name>.hits", ...).
+  ShardedLruCache(CacheConfig config, const std::string& name)
+      : config_(config), shards_(ShardCount(config)) {
+    per_shard_capacity_ = config_.capacity_bytes / static_cast<int64_t>(shards_.size());
+    if (per_shard_capacity_ < 1) per_shard_capacity_ = 1;
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+    reg_hits_ = reg.GetCounter("cache." + name + ".hits");
+    reg_misses_ = reg.GetCounter("cache." + name + ".misses");
+    reg_stale_ = reg.GetCounter("cache." + name + ".stale");
+    reg_fills_ = reg.GetCounter("cache." + name + ".fills");
+    reg_evictions_ = reg.GetCounter("cache." + name + ".evictions");
+    reg_shared_ = reg.GetCounter("cache." + name + ".shared_waits");
+  }
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Probes `key` at `epoch`. A present entry stamped with a different
+  /// epoch is evicted here (lazy invalidation) and reported as kStale.
+  Found Get(const std::string& key, uint64_t epoch) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return GetLocked(shard, key, epoch);
+  }
+
+  /// Publishes `value` for `key` at `epoch`, replacing any existing entry
+  /// and evicting LRU tails while the shard overflows its capacity slice.
+  void Put(const std::string& key, uint64_t epoch, ValuePtr value, int64_t bytes) {
+    HTL_CHECK(value != nullptr);
+    if (bytes < 1) bytes = 1;  // Every entry occupies at least one byte.
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.map.try_emplace(key);
+    Entry& e = it->second;
+    if (!inserted) {
+      shard.bytes -= e.bytes;
+      Unlink(&e);
+    }
+    e.epoch = epoch;
+    e.value = std::move(value);
+    e.bytes = bytes;
+    e.key = &it->first;
+    PushFront(shard, &e);
+    shard.bytes += bytes;
+    Count(fills_, reg_fills_);
+    EvictOverflowLocked(shard);
+  }
+
+  /// The single-flight cached compute described in the class comment.
+  /// `compute` is `Result<Fill>()`; it runs outside every cache lock, on
+  /// the leader's thread and under the leader's own ExecContext (captured
+  /// by the closure). Waiters poll `ctx` (null = wait without limits).
+  template <typename Compute>
+  Result<ValuePtr> GetOrCompute(const std::string& key, uint64_t epoch,
+                                ExecContext* ctx, const Compute& compute) {
+    Shard& shard = ShardFor(key);
+    for (;;) {
+      std::shared_ptr<Flight> flight;
+      bool leader = false;
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        // Double-check under the shard lock: a racing leader may have
+        // published between the caller's probe and this call. The re-probe
+        // is silent on miss (the caller's probe already counted it); only a
+        // genuine late hit is counted.
+        Found found = GetLocked(shard, key, epoch, /*count_miss=*/false);
+        if (found.value != nullptr) return found.value;
+        auto it = shard.flights.find(key);
+        if (it != shard.flights.end()) {
+          flight = it->second;
+        } else {
+          flight = std::make_shared<Flight>();
+          shard.flights.emplace(key, flight);
+          leader = true;
+        }
+      }
+      if (leader) return Lead(shard, key, epoch, *flight, compute);
+
+      // Waiter: block until the leader resolves. The coarse timed wait
+      // bounds how late this thread notices its own deadline or a cancel
+      // (the leader keeps computing under its own context either way).
+      {
+        std::unique_lock<std::mutex> fl(flight->mu);
+        while (!flight->done) {
+          if (ctx != nullptr) {
+            Status s = ctx->Check();
+            if (!s.ok()) return s;
+          }
+          flight->cv.wait_for(fl, std::chrono::milliseconds(1));
+        }
+        if (flight->ok) {
+          Count(shared_waits_, reg_shared_);
+          return flight->value;
+        }
+      }
+      // The leader failed; its status must not leak to waiters whose own
+      // contexts are healthy. Loop: re-probe (another leader may have
+      // succeeded) or become the leader and compute under our own context.
+    }
+  }
+
+  /// Drops every resident entry (flights in progress are unaffected; they
+  /// publish into the emptied table when they finish).
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.map.clear();
+      shard.lru.prev = shard.lru.next = &shard.lru;
+      shard.bytes = 0;
+    }
+  }
+
+  /// Detached counter snapshot plus the current resident totals.
+  CacheStats stats() const {
+    CacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.stale = stale_.load(std::memory_order_relaxed);
+    s.fills = fills_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.shared_waits = shared_waits_.load(std::memory_order_relaxed);
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      s.bytes += shard.bytes;
+      s.entries += static_cast<int64_t>(shard.map.size());
+    }
+    return s;
+  }
+
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  /// One resident entry. Lives in Shard::map (node-based, so the address
+  /// is stable) and is threaded on the shard's intrusive LRU list; `key`
+  /// points at the owning map node's key for tail eviction.
+  struct Entry {
+    uint64_t epoch = 0;
+    ValuePtr value;
+    int64_t bytes = 0;
+    Entry* prev = nullptr;
+    Entry* next = nullptr;
+    const std::string* key = nullptr;
+  };
+
+  /// One in-progress single-flight compute; waiters block on `cv`.
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool ok = false;
+    ValuePtr value;  // Shared with waiters even when not stored.
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> map;
+    Entry lru;  // Sentinel: lru.next is most recent, lru.prev the tail.
+    int64_t bytes = 0;
+    // In-flight computes by key; guarded by `mu` (the flight's own mutex
+    // only guards its done/value hand-off).
+    std::map<std::string, std::shared_ptr<Flight>> flights;
+
+    Shard() { lru.prev = lru.next = &lru; }
+  };
+
+  static size_t ShardCount(const CacheConfig& config) {
+    return config.num_shards < 1 ? 1 : static_cast<size_t>(config.num_shards);
+  }
+
+  Shard& ShardFor(const std::string& key) {
+    return shards_[FingerprintKey(key) % shards_.size()];
+  }
+
+  static void Unlink(Entry* e) {
+    e->prev->next = e->next;
+    e->next->prev = e->prev;
+    e->prev = e->next = nullptr;
+  }
+
+  static void PushFront(Shard& shard, Entry* e) {
+    e->prev = &shard.lru;
+    e->next = shard.lru.next;
+    shard.lru.next->prev = e;
+    shard.lru.next = e;
+  }
+
+  void Count(std::atomic<int64_t>& local, obs::Counter* mirror) {
+    local.fetch_add(1, std::memory_order_relaxed);
+    if (obs::MetricsRegistry::Enabled()) mirror->Increment();
+  }
+
+  /// `count_miss = false` makes a miss/stale outcome silent in the stats —
+  /// used by GetOrCompute's internal double-check so one logical lookup
+  /// (probe, then compute) is not counted as two misses.
+  Found GetLocked(Shard& shard, const std::string& key, uint64_t epoch,
+                  bool count_miss = true) {
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      if (count_miss) Count(misses_, reg_misses_);
+      return Found{nullptr, LookupOutcome::kMiss};
+    }
+    Entry& e = it->second;
+    if (e.epoch != epoch) {
+      shard.bytes -= e.bytes;
+      Unlink(&e);
+      shard.map.erase(it);
+      if (count_miss) {
+        Count(misses_, reg_misses_);
+        Count(stale_, reg_stale_);
+      }
+      return Found{nullptr, LookupOutcome::kStale};
+    }
+    Unlink(&e);
+    PushFront(shard, &e);
+    Count(hits_, reg_hits_);
+    return Found{e.value, LookupOutcome::kHit};
+  }
+
+  void EvictOverflowLocked(Shard& shard) {
+    while (shard.bytes > per_shard_capacity_ && shard.lru.prev != &shard.lru) {
+      Entry* tail = shard.lru.prev;
+      shard.bytes -= tail->bytes;
+      Unlink(tail);
+      Count(evictions_, reg_evictions_);
+      // Copied: erasing through a reference into the node being destroyed
+      // would have the map hash a key it is freeing.
+      const std::string victim = *tail->key;
+      shard.map.erase(victim);
+    }
+  }
+
+  /// Runs the leader's side of one flight: compute (no locks held),
+  /// publish on store-worthy success, then resolve the flight for the
+  /// waiters. The flight is removed before waiters wake, so a failed
+  /// compute lets the next arrival start a fresh flight immediately.
+  template <typename Compute>
+  Result<ValuePtr> Lead(Shard& shard, const std::string& key, uint64_t epoch,
+                        Flight& flight, const Compute& compute) {
+    Result<Fill> result = compute();
+    ValuePtr out;
+    if (result.ok()) {
+      out = result.value().value;
+      HTL_CHECK(out != nullptr) << "single-flight compute returned a null value";
+      if (result.value().store) Put(key, epoch, out, result.value().bytes);
+    }
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.flights.erase(key);
+    }
+    {
+      std::lock_guard<std::mutex> lock(flight.mu);
+      flight.done = true;
+      flight.ok = result.ok();
+      flight.value = out;
+    }
+    flight.cv.notify_all();
+    if (!result.ok()) return result.status();
+    return out;
+  }
+
+  CacheConfig config_;
+  int64_t per_shard_capacity_ = 0;
+  std::vector<Shard> shards_;
+
+  // Local stats (see CacheStats) ...
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> stale_{0};
+  std::atomic<int64_t> fills_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> shared_waits_{0};
+  // ... and their process-registry mirrors (bumped only while enabled).
+  obs::Counter* reg_hits_ = nullptr;
+  obs::Counter* reg_misses_ = nullptr;
+  obs::Counter* reg_stale_ = nullptr;
+  obs::Counter* reg_fills_ = nullptr;
+  obs::Counter* reg_evictions_ = nullptr;
+  obs::Counter* reg_shared_ = nullptr;
+};
+
+}  // namespace htl::cache
+
+#endif  // HTL_CACHE_SHARDED_CACHE_H_

@@ -1,0 +1,47 @@
+#include "cache/sim_list_cache.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/fault_point.h"
+#include "util/string_util.h"
+
+namespace htl::cache {
+
+SimListCache::SimListCache(CacheConfig config)
+    : cache_(config, "simlist") {}
+
+std::string SimListCache::MakeKey(int64_t video, int level,
+                                  const std::string& formula_key) {
+  return StrCat("v", video, "|l", level, "|", formula_key);
+}
+
+SimListCache::ListPtr SimListCache::Get(int64_t video, int level,
+                                        const std::string& formula_key,
+                                        uint64_t epoch) {
+  // Handled by hand (not HTL_FAULT_POINT) because an injected fault must
+  // degrade to a miss here, not propagate an error to the evaluation.
+  if (FaultRegistry::Armed() &&
+      !FaultRegistry::Instance().Hit("cache.lookup").ok()) {
+    HTL_OBS_COUNT("cache.simlist.lookup_bypass", 1);
+    return nullptr;
+  }
+  return cache_.Get(MakeKey(video, level, formula_key), epoch).value;
+}
+
+void SimListCache::Put(int64_t video, int level, const std::string& formula_key,
+                       uint64_t epoch, SimilarityList list) {
+  // A fill fault skips the store: the next query recomputes (bypass), and
+  // no partial or corrupt entry is ever published.
+  if (FaultRegistry::Armed() && !FaultRegistry::Instance().Hit("cache.fill").ok()) {
+    HTL_OBS_COUNT("cache.simlist.fill_bypass", 1);
+    return;
+  }
+  const int64_t bytes =
+      static_cast<int64_t>(sizeof(SimilarityList)) +
+      static_cast<int64_t>(list.entries().size() * sizeof(SimEntry));
+  cache_.Put(MakeKey(video, level, formula_key), epoch,
+             std::make_shared<const SimilarityList>(std::move(list)), bytes);
+}
+
+}  // namespace htl::cache

@@ -1,0 +1,52 @@
+#ifndef HTL_CACHE_SIM_LIST_CACHE_H_
+#define HTL_CACHE_SIM_LIST_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cache/cache_stats.h"
+#include "cache/sharded_cache.h"
+#include "sim/sim_list.h"
+
+namespace htl::cache {
+
+/// The cross-query similarity-list cache — client (a) of the tentpole:
+/// DirectEngine consults it for every *closed* non-atomic sub-formula
+/// evaluated over a full level, keyed by
+/// `(video, level, canonical sub-formula key)` and stamped with the store
+/// epoch, so repeated queries and shared sub-formulas across the four
+/// formula classes reuse interval-coded lists instead of recomputing them
+/// (the paper's §4-§5 reuse argument applied across queries).
+///
+/// Both accessors pass through the `cache.lookup` / `cache.fill` fault
+/// points: an injected lookup fault degrades to a miss and a fill fault
+/// skips the store, so a faulty cache can only cost recomputation — never
+/// a wrong or poisoned entry.
+class SimListCache {
+ public:
+  using ListPtr = std::shared_ptr<const SimilarityList>;
+
+  explicit SimListCache(CacheConfig config);
+
+  /// The cached list for the slot, or null (miss, stale epoch, or an
+  /// injected lookup fault).
+  ListPtr Get(int64_t video, int level, const std::string& formula_key,
+              uint64_t epoch);
+
+  /// Publishes `list` for the slot (byte cost: its interval entries).
+  void Put(int64_t video, int level, const std::string& formula_key, uint64_t epoch,
+           SimilarityList list);
+
+  CacheStats stats() const { return cache_.stats(); }
+  void Clear() { cache_.Clear(); }
+
+ private:
+  static std::string MakeKey(int64_t video, int level, const std::string& formula_key);
+
+  ShardedLruCache<SimilarityList> cache_;
+};
+
+}  // namespace htl::cache
+
+#endif  // HTL_CACHE_SIM_LIST_CACHE_H_

@@ -1,7 +1,11 @@
 #include "engine/direct_engine.h"
 
 #include <optional>
+#include <string>
+#include <utility>
 
+#include "cache/sim_list_cache.h"
+#include "htl/fingerprint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "picture/atomic.h"
@@ -164,6 +168,42 @@ Result<SimilarityTable> DirectEngine::EvalTable(int level, const Interval& bound
                     [&](const SimilarityList& l) { return l.Clip(bounds); });
   }
 
+  // Cross-query similarity-list cache: closed non-atomic sub-formulas
+  // evaluated over the full level are exactly the interval-coded
+  // intermediates the paper makes reusable (§4-§5); serve them from the
+  // retriever-shared cache when one is attached. Only ≤1-row closed tables
+  // are published: for those, FromList(ToList(t)) reproduces the table the
+  // cold path returns bit for bit, so a hit is indistinguishable from a
+  // recompute.
+  const bool cacheable =
+      list_cache_ != nullptr && options_.cache_mode != CacheMode::kOff &&
+      f.kind != FormulaKind::kTrue && f.kind != FormulaKind::kFalse &&
+      bounds.begin == 1 && bounds.end == video_->NumSegments(level) &&
+      FreeObjectVars(f).empty() && FreeAttrVars(f).empty();
+  std::string cache_key;
+  if (cacheable) {
+    cache_key = CanonicalFormulaKey(f);
+    if (cache::SimListCache::ListPtr hit =
+            list_cache_->Get(cache_video_id_, level, cache_key, cache_epoch_)) {
+      HTL_OBS_SPAN(span, trace(), "cache.list");
+      span.SetNote("hit");
+      span.AddIntervals(static_cast<int64_t>(hit->entries().size()));
+      if (hit->empty()) return SimilarityTable();
+      return SimilarityTable::FromList(*hit);
+    }
+  }
+  HTL_ASSIGN_OR_RETURN(SimilarityTable table, EvalNode(level, bounds, f));
+  if (cacheable && options_.cache_mode == CacheMode::kReadWrite &&
+      table.num_rows() <= 1 && table.object_vars().empty() &&
+      table.attr_vars().empty()) {
+    list_cache_->Put(cache_video_id_, level, cache_key, cache_epoch_,
+                     table.ToList(MaxSimilarity(f)));
+  }
+  return table;
+}
+
+Result<SimilarityTable> DirectEngine::EvalNode(int level, const Interval& bounds,
+                                               const Formula& f) {
   switch (f.kind) {
     case FormulaKind::kTrue: {
       SimilarityList list =

@@ -16,6 +16,9 @@
 #include "util/result.h"
 
 namespace htl {
+namespace cache {
+class SimListCache;
+}  // namespace cache
 
 /// Point-in-time snapshot of one DirectEngine's runtime counters —
 /// observability for the ablation benches and for verifying cache behaviour.
@@ -77,6 +80,21 @@ class DirectEngine {
   /// changes or when timing cold runs).
   void ClearCache();
 
+  /// Lends the engine a cross-query similarity-list cache (borrowed, may
+  /// be null = disabled; must outlive the engine's evaluations). When set
+  /// and QueryOptions::cache_mode allows it, every *closed* non-atomic
+  /// sub-formula evaluated over a full level is served from / published
+  /// to the cache under `(video_id, level, canonical sub-formula key)`,
+  /// stamped with the epoch from set_cache_epoch().
+  void set_list_cache(cache::SimListCache* cache, int64_t video_id) {
+    list_cache_ = cache;
+    cache_video_id_ = video_id;
+  }
+
+  /// The store epoch stamped on (and required of) cache entries; the
+  /// retriever samples it once per query before evaluation starts.
+  void set_cache_epoch(uint64_t epoch) { cache_epoch_ = epoch; }
+
   /// Snapshot of the live counters. By value: the underlying counters are
   /// atomics shared with a possibly-running query, so callers get a coherent
   /// detached copy instead of a reference into mutating state.
@@ -112,6 +130,9 @@ class DirectEngine {
   };
 
   Result<SimilarityTable> EvalTable(int level, const Interval& bounds, const Formula& f);
+  /// The operator switch behind EvalTable (which wraps it with the depth
+  /// poll, the atomic-subtree cache, and the similarity-list cache).
+  Result<SimilarityTable> EvalNode(int level, const Interval& bounds, const Formula& f);
   Result<SimilarityTable> EvalLevelOp(int level, const Interval& bounds,
                                       const Formula& f);
   Result<int> ResolveLevel(int level, const LevelSpec& spec) const;
@@ -125,6 +146,9 @@ class DirectEngine {
   QueryOptions options_;
   PictureSystem pictures_;
   ExecContext* exec_ = nullptr;  // Not owned; null means unlimited.
+  cache::SimListCache* list_cache_ = nullptr;  // Not owned; null disables.
+  int64_t cache_video_id_ = 0;
+  uint64_t cache_epoch_ = 0;
   EngineCounters counters_;
   // Full-level atomic tables keyed by (formula text, level). Text keys are
   // stable across formula lifetimes (pointer keys would alias when a freed

@@ -9,6 +9,16 @@ namespace htl {
 
 class ThreadPool;
 
+/// Whether and how the retriever's caches participate in a query (see
+/// DESIGN.md "Result and sub-formula caching"). Off is the default: the
+/// historical recompute-everything path, bit for bit, with no cache
+/// machinery constructed at all.
+enum class CacheMode {
+  kOff,        // No caches; no key derivation; zero overhead.
+  kRead,       // Serve hits, never fill (warm-only readers).
+  kReadWrite,  // Serve hits and publish fills (single-flighted).
+};
+
 /// How the `and` connective combines similarity values — the paper's
 /// section 5 names "other similarity functions" as future work; both
 /// engines implement two:
@@ -44,6 +54,22 @@ struct QueryOptions {
   /// Pool to run on when parallelism > 1; null means ThreadPool::Shared().
   /// Borrowed, not owned — must outlive queries issued with these options.
   ThreadPool* thread_pool = nullptr;
+
+  /// Result / similarity-list caching (off by default). Cached output is
+  /// bit-identical to the cold path — hits replay a complete prior result
+  /// of the same store epoch; partial (failed-video) results are never
+  /// cached. Hits do not re-charge per-video budgets.
+  CacheMode cache_mode = CacheMode::kOff;
+
+  /// Byte capacity of the whole-query result cache (Retriever client).
+  int64_t result_cache_bytes = 4 * 1024 * 1024;
+
+  /// Byte capacity of the per-video similarity-list cache (DirectEngine
+  /// client, closed sub-formula lists).
+  int64_t list_cache_bytes = 8 * 1024 * 1024;
+
+  /// Shard count for both caches (values < 1 clamp to 1).
+  int cache_shards = 8;
 
   /// Options forwarded to the picture-retrieval substrate.
   PictureOptions picture;

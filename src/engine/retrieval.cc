@@ -6,10 +6,13 @@
 #include <mutex>
 #include <vector>
 
+#include "cache/sim_list_cache.h"
 #include "engine/direct_engine.h"
+#include "engine/query_cache.h"
 #include "engine/reference_engine.h"
 #include "htl/binder.h"
 #include "htl/classifier.h"
+#include "htl/fingerprint.h"
 #include "htl/parser.h"
 #include "htl/rewriter.h"
 #include "obs/trace.h"
@@ -34,7 +37,13 @@ std::string RetrievalReport::ToString() const {
 Retriever::Retriever(const MetadataStore* store, QueryOptions options)
     : store_(store), options_(options) {
   HTL_CHECK(store != nullptr);
+  if (options_.cache_mode != CacheMode::kOff) {
+    caches_ = std::make_unique<QueryCaches>(options_);
+    options_fp_ = OptionsFingerprint(options_);
+  }
 }
+
+Retriever::~Retriever() = default;
 
 Result<FormulaPtr> Retriever::Prepare(std::string_view query_text) const {
   HTL_ASSIGN_OR_RETURN(FormulaPtr f, ParseFormula(query_text));
@@ -46,12 +55,22 @@ Retriever::VideoEngine& Retriever::EngineFor(MetadataStore::VideoId video) {
   std::lock_guard<std::mutex> lock(engines_mu_);
   auto it = engines_.find(video);
   if (it == engines_.end()) {
-    it = engines_
-             .emplace(video,
-                      std::make_unique<VideoEngine>(&store_->Video(video), options_))
-             .first;
+    it = engines_.emplace(video, std::make_unique<VideoEngine>()).first;
   }
   return *it->second;
+}
+
+DirectEngine& Retriever::EngineLocked(VideoEngine& slot, MetadataStore::VideoId video,
+                                      uint64_t epoch) {
+  if (slot.engine == nullptr || slot.built_epoch != epoch) {
+    // Absent, or built against an older store generation: its VideoTree
+    // pointer and per-formula caches may both be invalid. Rebuild.
+    slot.engine = std::make_unique<DirectEngine>(&store_->Video(video), options_);
+    slot.built_epoch = epoch;
+    if (caches_ != nullptr) slot.engine->set_list_cache(&caches_->lists(), video);
+  }
+  slot.engine->set_cache_epoch(epoch);
+  return *slot.engine;
 }
 
 int Retriever::EffectiveWorkers() const {
@@ -75,11 +94,12 @@ Result<SimilarityList> Retriever::EvaluateList(MetadataStore::VideoId video_id, 
   // reports Unimplemented for (negation over free variables, two-variable
   // comparisons) drop to the exponential reference evaluator.
   {
-    VideoEngine& cached = EngineFor(video_id);
-    std::lock_guard<std::mutex> lock(cached.mu);
-    cached.engine.set_exec_context(ctx);
-    Result<SimilarityList> direct = cached.engine.EvaluateList(level, query);
-    cached.engine.set_exec_context(nullptr);
+    VideoEngine& slot = EngineFor(video_id);
+    std::lock_guard<std::mutex> lock(slot.mu);
+    DirectEngine& engine = EngineLocked(slot, video_id, store_->epoch());
+    engine.set_exec_context(ctx);
+    Result<SimilarityList> direct = engine.EvaluateList(level, query);
+    engine.set_exec_context(nullptr);
     if (direct.ok() || direct.status().code() != StatusCode::kUnimplemented) {
       return direct;
     }
@@ -251,10 +271,39 @@ Status ForEachVideo(int64_t num_videos, ExecContext* ctx, int workers,
 
 }  // namespace
 
-template <typename ResolveLevel>
+template <typename LevelTag, typename ResolveLevel>
 Result<SegmentRetrieval> Retriever::RunSegmentQuery(const Formula& query, int64_t k,
                                                     ExecContext* ctx,
+                                                    const LevelTag& level_tag,
                                                     const ResolveLevel& resolve_level) {
+  if (caches_ == nullptr) return RunSegmentQueryCold(query, k, ctx, resolve_level);
+  // One epoch sample governs the whole query: lookups validate against it
+  // and the fill is stamped with it, so a mutation slipping in mid-query
+  // (a contract violation) can only leave entries a later lookup evicts.
+  const uint64_t epoch = store_->epoch();
+  const std::string key = StrCat("seg|", level_tag(), "|k", k, "|", options_fp_, "|",
+                                 CanonicalFormulaKey(query));
+  obs::QueryTrace* tr = ctx != nullptr ? ctx->trace() : nullptr;
+  HTL_ASSIGN_OR_RETURN(
+      QueryCaches::ResultPtr cached,
+      caches_->GetOrRun(key, epoch, ctx, tr, [&]() -> Result<CachedQueryResult> {
+        HTL_ASSIGN_OR_RETURN(SegmentRetrieval r,
+                             RunSegmentQueryCold(query, k, ctx, resolve_level));
+        CachedQueryResult c;
+        c.segment_hits = std::move(r.hits);
+        c.report = std::move(r.report);
+        return c;
+      }));
+  SegmentRetrieval out;
+  out.hits = cached->segment_hits;
+  out.report = cached->report;
+  return out;
+}
+
+template <typename ResolveLevel>
+Result<SegmentRetrieval> Retriever::RunSegmentQueryCold(
+    const Formula& query, int64_t k, ExecContext* ctx,
+    const ResolveLevel& resolve_level) {
   SegmentRetrieval out;
   const auto eval_one = [&](MetadataStore::VideoId v, ExecContext* ectx,
                             obs::QueryTrace* etr, SegmentRetrieval& part) -> Status {
@@ -298,6 +347,7 @@ Result<SegmentRetrieval> Retriever::TopSegmentsWithReport(const Formula& query,
                                                           int level, int64_t k,
                                                           ExecContext* ctx) {
   return RunSegmentQuery(query, k, ctx,
+                         [level] { return StrCat("lvl", level); },
                          [level](MetadataStore::VideoId) { return level; });
 }
 
@@ -364,10 +414,12 @@ Result<std::vector<SegmentHit>> Retriever::TopSegments(std::string_view query_te
 
 Result<SegmentRetrieval> Retriever::TopSegmentsAtNamedLevelWithReport(
     const Formula& query, const std::string& level_name, int64_t k, ExecContext* ctx) {
-  return RunSegmentQuery(query, k, ctx, [this, &level_name](MetadataStore::VideoId v) {
-    Result<int> level = store_->Video(v).LevelByName(level_name);
-    return level.ok() ? level.value() : -1;
-  });
+  return RunSegmentQuery(query, k, ctx,
+                         [&level_name] { return StrCat("name:", level_name); },
+                         [this, &level_name](MetadataStore::VideoId v) {
+                           Result<int> level = store_->Video(v).LevelByName(level_name);
+                           return level.ok() ? level.value() : -1;
+                         });
 }
 
 Result<std::vector<SegmentHit>> Retriever::TopSegmentsAtNamedLevel(
@@ -387,6 +439,28 @@ Result<std::vector<SegmentHit>> Retriever::TopSegmentsAtNamedLevel(
 
 Result<VideoRetrieval> Retriever::TopVideosWithReport(const Formula& query, int64_t k,
                                                       ExecContext* ctx) {
+  if (caches_ == nullptr) return RunVideoQueryCold(query, k, ctx);
+  const uint64_t epoch = store_->epoch();
+  const std::string key =
+      StrCat("vid|k", k, "|", options_fp_, "|", CanonicalFormulaKey(query));
+  obs::QueryTrace* tr = ctx != nullptr ? ctx->trace() : nullptr;
+  HTL_ASSIGN_OR_RETURN(
+      QueryCaches::ResultPtr cached,
+      caches_->GetOrRun(key, epoch, ctx, tr, [&]() -> Result<CachedQueryResult> {
+        HTL_ASSIGN_OR_RETURN(VideoRetrieval r, RunVideoQueryCold(query, k, ctx));
+        CachedQueryResult c;
+        c.video_hits = std::move(r.hits);
+        c.report = std::move(r.report);
+        return c;
+      }));
+  VideoRetrieval out;
+  out.hits = cached->video_hits;
+  out.report = cached->report;
+  return out;
+}
+
+Result<VideoRetrieval> Retriever::RunVideoQueryCold(const Formula& query, int64_t k,
+                                                    ExecContext* ctx) {
   VideoRetrieval out;
   const auto eval_one = [&](MetadataStore::VideoId v, ExecContext* ectx,
                             obs::QueryTrace* etr, VideoRetrieval& part) -> Status {
@@ -398,11 +472,12 @@ Result<VideoRetrieval> Retriever::TopVideosWithReport(const Formula& query, int6
     bool degraded = false;
     Status video_error = Status::OK();
     {
-      VideoEngine& cached = EngineFor(v);
-      std::lock_guard<std::mutex> lock(cached.mu);
-      cached.engine.set_exec_context(ectx);
-      Result<Sim> direct = cached.engine.EvaluateVideo(query);
-      cached.engine.set_exec_context(nullptr);
+      VideoEngine& slot = EngineFor(v);
+      std::lock_guard<std::mutex> lock(slot.mu);
+      DirectEngine& engine = EngineLocked(slot, v, store_->epoch());
+      engine.set_exec_context(ectx);
+      Result<Sim> direct = engine.EvaluateVideo(query);
+      engine.set_exec_context(nullptr);
       if (direct.ok()) {
         sim = direct.value();
       } else if (direct.status().code() == StatusCode::kUnimplemented) {

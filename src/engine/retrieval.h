@@ -1,6 +1,7 @@
 #ifndef HTL_ENGINE_RETRIEVAL_H_
 #define HTL_ENGINE_RETRIEVAL_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -17,6 +18,8 @@
 #include "util/result.h"
 
 namespace htl {
+
+class QueryCaches;
 
 /// One retrieved video segment across the whole database.
 struct SegmentHit {
@@ -95,15 +98,28 @@ struct VideoRetrieval {
 /// the determinism contract and the cancellation fan-out.
 ///
 /// The retriever keeps one DirectEngine per video, so atomic picture
-/// queries and value tables are cached *across* queries. The store must not
-/// be mutated while a Retriever holds it — create a fresh Retriever after
-/// changing meta-data. Concurrent queries against one Retriever are safe:
-/// the engine cache is mutex-guarded per video (distinct videos never
-/// contend, so one query's parallel chunks run lock-free).
+/// queries and value tables are cached *across* queries. Each per-video
+/// engine records the store epoch it was built at and is rebuilt on first
+/// use after a mutation (MetadataStore::epoch()), so mutating the store
+/// *between* queries is safe; mutations must still be serialized against
+/// in-flight queries by the caller. Concurrent queries against one
+/// Retriever are safe: the engine cache is mutex-guarded per video
+/// (distinct videos never contend, so one query's parallel chunks run
+/// lock-free).
+///
+/// Caching (QueryOptions::cache_mode, default off): with caching enabled
+/// the retriever owns a whole-query result cache (keyed by the canonical
+/// query fingerprint, the options fingerprint, k, and the level spec) and
+/// a similarity-list cache lent to the per-video engines for closed
+/// sub-formulas. Hits are bit-identical to cold recomputation at the same
+/// store epoch; entries from older epochs are lazily evicted; concurrent
+/// identical queries single-flight (one computes, the rest wait). See
+/// DESIGN.md "Result and sub-formula caching".
 class Retriever {
  public:
   /// `store` must outlive the retriever.
   explicit Retriever(const MetadataStore* store, QueryOptions options = {});
+  ~Retriever();
 
   /// Parses and validates a query, returning the bound formula.
   Result<FormulaPtr> Prepare(std::string_view query_text) const;
@@ -180,22 +196,33 @@ class Retriever {
                                       const Formula& query, ExecContext* ctx = nullptr,
                                       bool* degraded = nullptr);
 
+  /// The retriever's cache bundle — null when cache_mode == kOff. Exposed
+  /// for stats assertions in tests and benches.
+  QueryCaches* caches() { return caches_.get(); }
+
  private:
-  /// One cached per-video engine. `mu` serializes queries touching the same
-  /// video (the engine's exec-context slot is per-evaluation state);
-  /// distinct videos never share an entry, so one parallel query's chunks
-  /// take no contended lock.
+  /// One cached per-video engine slot. `mu` serializes queries touching
+  /// the same video (the engine's exec-context slot is per-evaluation
+  /// state); distinct videos never share an entry, so one parallel query's
+  /// chunks take no contended lock. The engine itself is built lazily and
+  /// rebuilt when the store epoch moves (its VideoTree pointer and caches
+  /// are only valid for the epoch it was built at).
   struct VideoEngine {
-    VideoEngine(const VideoTree* video, const QueryOptions& options)
-        : engine(video, options) {}
     std::mutex mu;
-    DirectEngine engine;
+    std::unique_ptr<DirectEngine> engine;  // Guarded by mu.
+    uint64_t built_epoch = 0;              // Guarded by mu.
   };
 
-  /// The cached per-video engine (created on first use). `engines_mu_`
-  /// guards the map; the returned entry's own mutex guards evaluation. Map
-  /// nodes are stable, so the reference survives later insertions.
+  /// The cached per-video engine slot (created on first use).
+  /// `engines_mu_` guards the map; the returned entry's own mutex guards
+  /// evaluation. Map nodes are stable, so the reference survives later
+  /// insertions.
   VideoEngine& EngineFor(MetadataStore::VideoId video);
+
+  /// The slot's engine, (re)built for `epoch` if absent or stale. Requires
+  /// the slot's `mu` to be held; attaches the list cache when enabled.
+  DirectEngine& EngineLocked(VideoEngine& slot, MetadataStore::VideoId video,
+                             uint64_t epoch);
 
   /// Worker count this query should use: options_.parallelism, with 0
   /// meaning ThreadPool::DefaultParallelism(), capped at the video count.
@@ -203,16 +230,33 @@ class Retriever {
 
   /// The shared per-video evaluation loop behind the segment entry points.
   /// `resolve_level` maps a video to the level to query (negative: skip the
-  /// video silently, the named-level contract).
-  template <typename ResolveLevel>
+  /// video silently, the named-level contract). `level_tag` is a callable
+  /// producing the level-spec part of the result cache key ("lvl<i>" /
+  /// "name:<s>"); it is a thunk, not a string, so the cache_mode=off path
+  /// never pays the key formatting.
+  template <typename LevelTag, typename ResolveLevel>
   Result<SegmentRetrieval> RunSegmentQuery(const Formula& query, int64_t k,
                                            ExecContext* ctx,
+                                           const LevelTag& level_tag,
                                            const ResolveLevel& resolve_level);
+
+  /// The uncached body of RunSegmentQuery (the cold path the result cache
+  /// falls back to and differential tests compare against).
+  template <typename ResolveLevel>
+  Result<SegmentRetrieval> RunSegmentQueryCold(const Formula& query, int64_t k,
+                                               ExecContext* ctx,
+                                               const ResolveLevel& resolve_level);
+
+  /// The uncached body of TopVideosWithReport.
+  Result<VideoRetrieval> RunVideoQueryCold(const Formula& query, int64_t k,
+                                           ExecContext* ctx);
 
   const MetadataStore* store_;
   QueryOptions options_;
   std::mutex engines_mu_;  // Guards engines_ (map shape only).
   std::map<MetadataStore::VideoId, std::unique_ptr<VideoEngine>> engines_;
+  std::unique_ptr<QueryCaches> caches_;  // Null when cache_mode == kOff.
+  std::string options_fp_;               // Cached OptionsFingerprint(options_).
 };
 
 }  // namespace htl

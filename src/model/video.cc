@@ -172,6 +172,7 @@ Status VideoTree::CheckInvariants() const {
 
 MetadataStore::VideoId MetadataStore::AddVideo(VideoTree video) {
   videos_.push_back(std::move(video));
+  BumpEpoch();
   return static_cast<VideoId>(videos_.size());
 }
 
@@ -184,6 +185,7 @@ const VideoTree& MetadataStore::Video(VideoId id) const {
 VideoTree& MetadataStore::MutableVideo(VideoId id) {
   HTL_CHECK_GE(id, 1);
   HTL_CHECK_LE(id, num_videos());
+  BumpEpoch();
   return videos_[static_cast<size_t>(id - 1)];
 }
 

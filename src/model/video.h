@@ -1,6 +1,8 @@
 #ifndef HTL_MODEL_VIDEO_H_
 #define HTL_MODEL_VIDEO_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -106,17 +108,50 @@ class MetadataStore {
  public:
   using VideoId = int64_t;
 
-  /// Adds a video and returns its id (ids start at 1).
+  MetadataStore() = default;
+  // The epoch cell is atomic, so copies and moves (test fixtures return
+  // stores by value) are spelled out; they transfer the epoch *value*.
+  MetadataStore(const MetadataStore& other)
+      : videos_(other.videos_), epoch_(other.epoch()) {}
+  MetadataStore(MetadataStore&& other) noexcept
+      : videos_(std::move(other.videos_)), epoch_(other.epoch()) {}
+  MetadataStore& operator=(const MetadataStore& other) {
+    videos_ = other.videos_;
+    epoch_.store(other.epoch(), std::memory_order_release);
+    return *this;
+  }
+  MetadataStore& operator=(MetadataStore&& other) noexcept {
+    videos_ = std::move(other.videos_);
+    epoch_.store(other.epoch(), std::memory_order_release);
+    return *this;
+  }
+
+  /// Adds a video and returns its id (ids start at 1). Bumps the epoch.
   VideoId AddVideo(VideoTree video);
 
   int64_t num_videos() const { return static_cast<int64_t>(videos_.size()); }
 
   /// Video by id; checks bounds.
   const VideoTree& Video(VideoId id) const;
+  /// Mutable access; handing out the reference counts as a mutation and
+  /// bumps the epoch (conservative — callers take it in order to write).
   VideoTree& MutableVideo(VideoId id);
+
+  /// The store's mutation generation. Every mutation (AddVideo,
+  /// MutableVideo, BumpEpoch) advances it; caches stamp entries with the
+  /// epoch they were computed at and lazily evict entries whose stamp
+  /// fell behind (DESIGN.md "Result and sub-formula caching"). Mutations
+  /// must still be externally serialized against in-flight queries; the
+  /// epoch makes cached state safe *across* that serialization point.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Manually invalidates all cached state derived from this store (e.g.
+  /// after writing through a previously obtained MutableVideo reference).
+  void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
 
  private:
   std::vector<VideoTree> videos_;
+  std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace htl

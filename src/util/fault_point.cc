@@ -18,6 +18,8 @@ const std::vector<std::string_view>& FaultRegistry::KnownPoints() {
   // so a planted point missing here fails fast in debug test runs.
   static const std::vector<std::string_view>* points =
       new std::vector<std::string_view>{
+          "cache.fill",          // Cache store (result + similarity-list).
+          "cache.lookup",        // Cache probe (degrades to a bypass/miss).
           "engine.table_join",   // DirectEngine and/or/until join.
           "engine.value_table",  // DirectEngine freeze value-table build.
           "picture.query",       // PictureSystem atomic picture query.

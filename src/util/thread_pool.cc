@@ -67,8 +67,13 @@ void ThreadPool::WorkerLoop() {
 }
 
 int ThreadPool::DefaultParallelism() {
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  // hardware_concurrency() is a syscall on the query path for every caller
+  // with parallelism=0 (the default); probe once.
+  static const int cached = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }();
+  return cached;
 }
 
 ThreadPool* ThreadPool::Shared() {

@@ -1,0 +1,329 @@
+// The caching determinism contract: with cache_mode on, every hit is
+// *bit-identical* to what a cold (cache-off) retriever computes on the same
+// store — across all four formula classes of section 3, repeated queries,
+// interleaved store mutations (epoch bumps), worker counts, and eviction
+// pressure from tiny byte budgets. The cache may only change latency, never
+// a single output bit.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/query_cache.h"
+#include "engine/retrieval.h"
+#include "htl/classifier.h"
+#include "htl/fingerprint.h"
+#include "model/video.h"
+#include "testing/helpers.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "workload/video_gen.h"
+
+namespace htl {
+namespace {
+
+// The four sub-general classes of section 3 over the generated-video
+// vocabulary (same fixed set the parallel determinism suite pins down).
+struct ClassedQuery {
+  const char* text;
+  FormulaClass expected_class;
+};
+
+const ClassedQuery kQueries[] = {
+    {"exists x (type(x) = 'person') until exists y (type(y) = 'train')",
+     FormulaClass::kType1},
+    {"exists x (present(x) and moving(x) and eventually armed(x))",
+     FormulaClass::kType2},
+    {"exists z (present(z) and [h <- height(z)] eventually (height(z) > h))",
+     FormulaClass::kConjunctive},
+    {"exists x (type(x) = 'horse') and at-next-level(exists y (moving(y)))",
+     FormulaClass::kExtendedConjunctive},
+};
+
+void ExpectSameSegmentResults(const SegmentRetrieval& want,
+                              const SegmentRetrieval& got,
+                              const std::string& context) {
+  SCOPED_TRACE(context);
+  ASSERT_EQ(want.hits.size(), got.hits.size());
+  for (size_t i = 0; i < want.hits.size(); ++i) {
+    EXPECT_EQ(want.hits[i].video, got.hits[i].video) << "hit " << i;
+    EXPECT_EQ(want.hits[i].segment, got.hits[i].segment) << "hit " << i;
+    // operator== compares doubles exactly: bit-identical, not near.
+    EXPECT_EQ(want.hits[i].sim, got.hits[i].sim) << "hit " << i;
+  }
+  EXPECT_EQ(want.report.videos_evaluated, got.report.videos_evaluated);
+  EXPECT_EQ(want.report.videos_failed, got.report.videos_failed);
+  EXPECT_EQ(want.report.videos_degraded, got.report.videos_degraded);
+}
+
+void ExpectSameVideoResults(const VideoRetrieval& want, const VideoRetrieval& got,
+                            const std::string& context) {
+  SCOPED_TRACE(context);
+  ASSERT_EQ(want.hits.size(), got.hits.size());
+  for (size_t i = 0; i < want.hits.size(); ++i) {
+    EXPECT_EQ(want.hits[i].video, got.hits[i].video) << "hit " << i;
+    EXPECT_EQ(want.hits[i].sim, got.hits[i].sim) << "hit " << i;
+  }
+  EXPECT_EQ(want.report.videos_evaluated, got.report.videos_evaluated);
+  EXPECT_EQ(want.report.videos_failed, got.report.videos_failed);
+}
+
+class CacheDifferentialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Same heterogeneous corpus as the parallel determinism suite: six
+    // 3-level videos and three 2-level ones.
+    Rng rng(20260806);
+    for (int i = 0; i < 9; ++i) {
+      VideoGenOptions vopts;
+      vopts.levels = i % 3 == 2 ? 2 : 3;
+      vopts.min_branching = 2;
+      vopts.max_branching = 4;
+      store_.AddVideo(GenerateVideo(rng, vopts));
+    }
+  }
+
+  Retriever MakeCold() { return Retriever(&store_, QueryOptions{}); }
+
+  Retriever MakeCached(CacheMode mode = CacheMode::kReadWrite,
+                       int parallelism = 1) {
+    QueryOptions options;
+    options.cache_mode = mode;
+    options.parallelism = parallelism;
+    options.thread_pool = parallelism > 1 ? &pool_ : nullptr;
+    return Retriever(&store_, options);
+  }
+
+  // The cold reference answer, recomputed from scratch on a throwaway
+  // cache-off retriever (the historical code path, bit for bit).
+  SegmentRetrieval ColdAnswer(const Formula& f, int level) {
+    Retriever cold = MakeCold();
+    Result<SegmentRetrieval> r = cold.TopSegmentsWithReport(f, level, 10);
+    EXPECT_OK(r.status());
+    return std::move(r).value();
+  }
+
+  MetadataStore store_;
+  ThreadPool pool_{ThreadPool::Options{4, 0}};
+};
+
+// Repeated queries through one caching retriever: first run misses and
+// fills, later runs hit — every run bit-identical to cold recomputation,
+// for every formula class and level.
+TEST_F(CacheDifferentialTest, WarmHitsMatchColdAcrossAllClasses) {
+  Retriever cached = MakeCached();
+  int64_t expected_hits = 0;
+  int64_t expected_fills = 0;
+  for (const ClassedQuery& q : kQueries) {
+    ASSERT_OK_AND_ASSIGN(FormulaPtr f, cached.Prepare(q.text));
+    ASSERT_EQ(Classify(*f), q.expected_class) << q.text;
+    for (int level : {2, 3}) {
+      SegmentRetrieval want = ColdAnswer(*f, level);
+      // Complete answers fill once then hit; partial answers (some videos
+      // lack the level or the next level) are never cached, so every run
+      // recomputes.
+      if (want.report.complete()) {
+        expected_fills += 1;
+        expected_hits += 2;
+      }
+      for (int run = 0; run < 3; ++run) {
+        ASSERT_OK_AND_ASSIGN(SegmentRetrieval got,
+                             cached.TopSegmentsWithReport(*f, level, 10));
+        ExpectSameSegmentResults(want, got,
+                                 std::string(q.text) + " level " +
+                                     std::to_string(level) + " run " +
+                                     std::to_string(run));
+      }
+    }
+  }
+  ASSERT_GT(expected_hits, 0) << "corpus produced no complete answers";
+  const cache::CacheStats stats = cached.caches()->result_stats();
+  EXPECT_EQ(stats.hits, expected_hits) << stats.ToString();
+  EXPECT_EQ(stats.fills, expected_fills) << stats.ToString();
+  EXPECT_EQ(stats.hits + stats.misses, 24) << stats.ToString();  // 4 x 2 x 3.
+}
+
+TEST_F(CacheDifferentialTest, TopVideosWarmHitsMatchCold) {
+  Retriever cached = MakeCached();
+  for (const ClassedQuery& q : kQueries) {
+    ASSERT_OK_AND_ASSIGN(FormulaPtr f, cached.Prepare(q.text));
+    Retriever cold = MakeCold();
+    ASSERT_OK_AND_ASSIGN(VideoRetrieval want, cold.TopVideosWithReport(*f, 5));
+    for (int run = 0; run < 2; ++run) {
+      ASSERT_OK_AND_ASSIGN(VideoRetrieval got, cached.TopVideosWithReport(*f, 5));
+      ExpectSameVideoResults(want, got,
+                             std::string(q.text) + " run " + std::to_string(run));
+    }
+  }
+  EXPECT_GT(cached.caches()->result_stats().hits, 0);
+}
+
+// Store mutations interleaved with queries: every AddVideo / MutableVideo
+// bumps the epoch, so the warm cache must never serve a pre-mutation
+// answer — each post-mutation query matches a from-scratch cold retriever
+// on the mutated store.
+TEST_F(CacheDifferentialTest, MutationsInvalidateWarmEntries) {
+  Retriever cached = MakeCached();
+  ASSERT_OK_AND_ASSIGN(FormulaPtr f, cached.Prepare(kQueries[1].text));
+  Rng rng(7);
+  for (int round = 0; round < 4; ++round) {
+    SCOPED_TRACE(round);
+    // Warm (twice: the second run is a genuine hit at the current epoch).
+    SegmentRetrieval want = ColdAnswer(*f, 2);
+    for (int run = 0; run < 2; ++run) {
+      ASSERT_OK_AND_ASSIGN(SegmentRetrieval got,
+                           cached.TopSegmentsWithReport(*f, 2, 10));
+      ExpectSameSegmentResults(want, got, "pre-mutation run " + std::to_string(run));
+    }
+    // Mutate: grow the store on even rounds, rewrite an existing video in
+    // place on odd ones (both bump the epoch; the second also invalidates
+    // the engines' VideoTree pointers).
+    VideoGenOptions vopts;
+    vopts.levels = 3;
+    vopts.min_branching = 2;
+    vopts.max_branching = 4;
+    if (round % 2 == 0) {
+      store_.AddVideo(GenerateVideo(rng, vopts));
+    } else {
+      store_.MutableVideo(1 + round % store_.num_videos()) =
+          GenerateVideo(rng, vopts);
+    }
+    SegmentRetrieval after = ColdAnswer(*f, 2);
+    ASSERT_OK_AND_ASSIGN(SegmentRetrieval got,
+                         cached.TopSegmentsWithReport(*f, 2, 10));
+    ExpectSameSegmentResults(after, got, "post-mutation");
+  }
+  // The post-mutation lookups found the warm-but-stale entries and evicted
+  // them instead of serving them.
+  EXPECT_GT(cached.caches()->result_stats().stale, 0)
+      << cached.caches()->result_stats().ToString();
+}
+
+// The caching layers compose with parallel execution: for worker counts 1,
+// 2 and 4, cold fills and warm hits both reproduce the serial cold answer.
+TEST_F(CacheDifferentialTest, ParallelismSweepMatchesSerialCold) {
+  for (const ClassedQuery& q : kQueries) {
+    Retriever cold = MakeCold();
+    ASSERT_OK_AND_ASSIGN(FormulaPtr f, cold.Prepare(q.text));
+    ASSERT_OK_AND_ASSIGN(SegmentRetrieval want, cold.TopSegmentsWithReport(*f, 2, 10));
+    for (int workers : {1, 2, 4}) {
+      Retriever cached = MakeCached(CacheMode::kReadWrite, workers);
+      for (int run = 0; run < 2; ++run) {
+        ASSERT_OK_AND_ASSIGN(SegmentRetrieval got,
+                             cached.TopSegmentsWithReport(*f, 2, 10));
+        ExpectSameSegmentResults(want, got,
+                                 std::string(q.text) + " workers " +
+                                     std::to_string(workers) + " run " +
+                                     std::to_string(run));
+      }
+      // A complete answer fills on run 0 and hits on run 1; a partial one
+      // is never cached and recomputes both times.
+      EXPECT_EQ(cached.caches()->result_stats().hits,
+                want.report.complete() ? 1 : 0);
+    }
+  }
+}
+
+// Eviction pressure: byte budgets far too small for the working set force
+// constant eviction; every answer still matches cold recomputation.
+TEST_F(CacheDifferentialTest, TinyBudgetsEvictButNeverCorrupt) {
+  QueryOptions options;
+  options.cache_mode = CacheMode::kReadWrite;
+  options.result_cache_bytes = 512;  // A couple of entries store-wide.
+  options.list_cache_bytes = 256;
+  options.cache_shards = 2;
+  Retriever cached(&store_, options);
+  std::vector<FormulaPtr> formulas;
+  std::vector<SegmentRetrieval> want;
+  for (const ClassedQuery& q : kQueries) {
+    ASSERT_OK_AND_ASSIGN(FormulaPtr f, cached.Prepare(q.text));
+    want.push_back(ColdAnswer(*f, 2));
+    formulas.push_back(std::move(f));
+  }
+  // Round-robin so every fill evicts someone else's entry.
+  for (int round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < formulas.size(); ++i) {
+      ASSERT_OK_AND_ASSIGN(SegmentRetrieval got,
+                           cached.TopSegmentsWithReport(*formulas[i], 2, 10));
+      ExpectSameSegmentResults(want[i], got,
+                               "round " + std::to_string(round) + " query " +
+                                   std::to_string(i));
+    }
+  }
+  const cache::CacheStats stats = cached.caches()->result_stats();
+  EXPECT_GT(stats.evictions, 0) << stats.ToString();
+  EXPECT_LE(stats.bytes, options.result_cache_bytes) << stats.ToString();
+}
+
+// cache_mode = kRead probes but never stores: with nothing ever filled,
+// every run recomputes and still matches cold.
+TEST_F(CacheDifferentialTest, ReadModeNeverStores) {
+  Retriever cached = MakeCached(CacheMode::kRead);
+  ASSERT_OK_AND_ASSIGN(FormulaPtr f, cached.Prepare(kQueries[0].text));
+  SegmentRetrieval want = ColdAnswer(*f, 2);
+  for (int run = 0; run < 2; ++run) {
+    ASSERT_OK_AND_ASSIGN(SegmentRetrieval got,
+                         cached.TopSegmentsWithReport(*f, 2, 10));
+    ExpectSameSegmentResults(want, got, "run " + std::to_string(run));
+  }
+  const cache::CacheStats stats = cached.caches()->result_stats();
+  EXPECT_EQ(stats.fills, 0) << stats.ToString();
+  EXPECT_EQ(stats.entries, 0) << stats.ToString();
+  EXPECT_EQ(stats.misses, 2) << stats.ToString();
+}
+
+// Commutative operand order canonicalizes into one cache key: `a and b`
+// asked after `b and a` is a warm hit, and the answers are bit-identical
+// (the canonical serializer proves why: IEEE min/+ at a single node are
+// symmetric in their operands).
+TEST_F(CacheDifferentialTest, CommutativeOperandOrderSharesOneEntry) {
+  constexpr const char* kAB =
+      "exists x (moving(x)) and exists y (type(y) = 'train')";
+  constexpr const char* kBA =
+      "exists y (type(y) = 'train') and exists x (moving(x))";
+  Retriever cached = MakeCached();
+  ASSERT_OK_AND_ASSIGN(FormulaPtr ab, cached.Prepare(kAB));
+  ASSERT_OK_AND_ASSIGN(FormulaPtr ba, cached.Prepare(kBA));
+  EXPECT_EQ(CanonicalFormulaKey(*ab), CanonicalFormulaKey(*ba));
+
+  ASSERT_OK_AND_ASSIGN(SegmentRetrieval first,
+                       cached.TopSegmentsWithReport(*ab, 2, 10));
+  ASSERT_OK_AND_ASSIGN(SegmentRetrieval second,
+                       cached.TopSegmentsWithReport(*ba, 2, 10));
+  ExpectSameSegmentResults(first, second, "swapped operands");
+  const cache::CacheStats stats = cached.caches()->result_stats();
+  EXPECT_EQ(stats.hits, 1) << stats.ToString();
+  EXPECT_EQ(stats.entries, 1) << stats.ToString();
+  // And the shared entry serves the cold answer, not merely *an* answer.
+  ExpectSameSegmentResults(ColdAnswer(*ab, 2), second, "vs cold");
+}
+
+// The sub-formula (similarity-list) cache alone: EvaluateList through a
+// caching retriever matches the cache-off list exactly for every video.
+TEST_F(CacheDifferentialTest, EvaluateListMatchesColdPerVideo) {
+  Retriever cached = MakeCached();
+  Retriever cold = MakeCold();
+  for (const ClassedQuery& q : kQueries) {
+    ASSERT_OK_AND_ASSIGN(FormulaPtr f, cached.Prepare(q.text));
+    for (MetadataStore::VideoId v = 1; v <= store_.num_videos(); ++v) {
+      for (int run = 0; run < 2; ++run) {
+        SCOPED_TRACE(std::string(q.text) + " video " + std::to_string(v) +
+                     " run " + std::to_string(run));
+        Result<SimilarityList> want = cold.EvaluateList(v, 2, *f);
+        Result<SimilarityList> got = cached.EvaluateList(v, 2, *f);
+        // Videos where the query cannot evaluate (e.g. no next level) must
+        // fail identically, not differently, through the cache.
+        ASSERT_EQ(want.ok(), got.ok()) << got.status().ToString();
+        if (!want.ok()) {
+          EXPECT_EQ(want.status().code(), got.status().code());
+          continue;
+        }
+        EXPECT_TRUE(want.value() == got.value());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace htl

@@ -8,6 +8,7 @@
 #include <map>
 #include <string>
 
+#include "engine/query_cache.h"
 #include "engine/retrieval.h"
 #include "model/video.h"
 #include "sql/sql_system.h"
@@ -50,6 +51,31 @@ class FaultInjectionTest : public ::testing::Test {
     return r.TopSegmentsWithReport(*q, 2, 8);
   }
 
+  // Serial + result/list caching on: the configuration that reaches the
+  // cache.lookup / cache.fill seams.
+  static QueryOptions CachedOptions() {
+    QueryOptions options;
+    options.parallelism = 1;
+    options.cache_mode = CacheMode::kReadWrite;
+    return options;
+  }
+
+  static Result<SegmentRetrieval> RunCached(Retriever& r) {
+    FormulaPtr q = casablanca::Query1Full();
+    return r.TopSegmentsWithReport(*q, 2, 8);
+  }
+
+  static void ExpectSameHits(const SegmentRetrieval& got,
+                             const SegmentRetrieval& want) {
+    ASSERT_EQ(got.hits.size(), want.hits.size());
+    for (size_t i = 0; i < got.hits.size(); ++i) {
+      EXPECT_EQ(got.hits[i].video, want.hits[i].video) << i;
+      EXPECT_EQ(got.hits[i].segment, want.hits[i].segment) << i;
+      EXPECT_EQ(got.hits[i].sim.actual, want.hits[i].sim.actual) << i;
+      EXPECT_EQ(got.hits[i].sim.fraction(), want.hits[i].sim.fraction()) << i;
+    }
+  }
+
   static Result<SegmentRetrieval> RunFreeze(MetadataStore* store) {
     Retriever r(store, SerialOptions());
     return r.TopSegmentsWithReport(kFreezeQuery, 2, 8);
@@ -70,6 +96,11 @@ TEST_F(FaultInjectionTest, WorkloadReachesEveryKnownFaultPoint) {
   ASSERT_OK(RunRetrieval(&store_).status());
   ASSERT_OK(RunFreeze(&store_).status());
   ASSERT_OK(RunSql().status());
+  // Twice through one caching retriever: the first run fills, the second
+  // probes — together they reach cache.lookup and cache.fill.
+  Retriever cached(&store_, CachedOptions());
+  ASSERT_OK(RunCached(cached).status());
+  ASSERT_OK(RunCached(cached).status());
   std::map<std::string, int64_t> hits = FaultRegistry::Instance().TraceHits();
   for (std::string_view point : FaultRegistry::KnownPoints()) {
     auto it = hits.find(std::string(point));
@@ -189,6 +220,60 @@ TEST_F(FaultInjectionTest, ProbabilisticFaultsKeepReportConsistent) {
       }
     }
   }
+}
+
+// A fill fault must degrade to cache-bypass recomputation: every run still
+// returns the exact cold answer, reports complete, and nothing is ever
+// stored (no poisoned entries to serve later).
+TEST_F(FaultInjectionTest, CacheFillFaultDegradesToBypassRecompute) {
+  ASSERT_OK_AND_ASSIGN(SegmentRetrieval cold, RunRetrieval(&store_));
+  FaultRegistry::Instance().Enable("cache.fill", FaultSpec{});  // Every hit.
+  Retriever r(&store_, CachedOptions());
+  for (int run = 0; run < 3; ++run) {
+    SCOPED_TRACE(run);
+    ASSERT_OK_AND_ASSIGN(SegmentRetrieval out, RunCached(r));
+    ExpectSameHits(out, cold);
+    EXPECT_TRUE(out.report.complete()) << out.report.ToString();
+  }
+  FaultRegistry::Instance().DisableAll();
+  EXPECT_EQ(r.caches()->result_stats().entries, 0)
+      << "a faulted fill stored an entry";
+  EXPECT_EQ(r.caches()->list_stats().entries, 0);
+}
+
+// A lookup fault bypasses the cache (even a warm one) and recomputes; the
+// answer stays exact either way.
+TEST_F(FaultInjectionTest, CacheLookupFaultBypassesButKeepsAnswersExact) {
+  ASSERT_OK_AND_ASSIGN(SegmentRetrieval cold, RunRetrieval(&store_));
+  Retriever r(&store_, CachedOptions());
+  ASSERT_OK(RunCached(r).status());  // Warm the cache while disarmed.
+  EXPECT_GT(r.caches()->result_stats().entries, 0);
+  FaultRegistry::Instance().Enable("cache.lookup", FaultSpec{});
+  ASSERT_OK_AND_ASSIGN(SegmentRetrieval out, RunCached(r));
+  FaultRegistry::Instance().DisableAll();
+  ExpectSameHits(out, cold);
+  EXPECT_TRUE(out.report.complete()) << out.report.ToString();
+}
+
+// A partial (faulted) evaluation must never be cached: the next healthy run
+// through the same retriever recomputes and returns the complete answer —
+// the cache cannot launder a degraded result into a complete-looking one.
+TEST_F(FaultInjectionTest, PartialResultsAreNeverCached) {
+  Retriever r(&store_, CachedOptions());
+  FaultSpec spec;
+  spec.fire_on_hit = 1;
+  spec.sticky = false;  // Only video 1's first hit fires.
+  FaultRegistry::Instance().Enable("picture.query", spec);
+  ASSERT_OK_AND_ASSIGN(SegmentRetrieval partial, RunCached(r));
+  FaultRegistry::Instance().DisableAll();
+  EXPECT_EQ(partial.report.videos_failed, 1) << partial.report.ToString();
+  EXPECT_EQ(r.caches()->result_stats().entries, 0)
+      << "partial result was cached";
+
+  ASSERT_OK_AND_ASSIGN(SegmentRetrieval healed, RunCached(r));
+  EXPECT_TRUE(healed.report.complete()) << healed.report.ToString();
+  ASSERT_OK_AND_ASSIGN(SegmentRetrieval cold, RunRetrieval(&store_));
+  ExpectSameHits(healed, cold);
 }
 
 }  // namespace

@@ -47,6 +47,13 @@ Checks, over src/ by default:
                     the pool's bounded queue, cancellation fan-out, and TSan
                     coverage. Run work on the shared ThreadPool (ParallelFor /
                     Schedule) instead (CONTRIBUTING.md ground rule).
+  cache-obs         Cache machinery files (CACHE_OBS_FILES: the sharded LRU
+                    and its clients in src/cache/) must reference the
+                    observability layer: a cache whose hits/misses/evictions
+                    never reach obs::MetricsRegistry cannot be sized or
+                    debugged in production (CONTRIBUTING.md ground rule). New
+                    cache clients belong on the list. File-scoped: suppress
+                    with `// htl-lint: allow(cache-obs)` anywhere in the file.
 
 A finding can be locally suppressed with `// htl-lint: allow(<rule>)` on the
 same line. Exit status is 0 when clean, 1 when any finding is reported.
@@ -315,6 +322,33 @@ def check_obs_operator_span(path: Path, raw_lines: list[str], code: str,
             "their work, see CONTRIBUTING.md"))
 
 
+# The cache substrate and every cache client: each must feed the metrics
+# registry (hit/miss/fill/eviction counters) so deployed caches are
+# observable. New cache clients belong on this list (CONTRIBUTING.md).
+CACHE_OBS_FILES = {
+    "src/cache/sharded_cache.h",
+    "src/cache/sim_list_cache.cc",
+}
+
+
+def check_cache_obs(path: Path, raw_lines: list[str], code: str,
+                    findings: list[Finding]) -> None:
+    try:
+        rel = path.relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return
+    if rel not in CACHE_OBS_FILES:
+        return
+    if any("cache-obs" in allowed_rules(l) for l in raw_lines):
+        return
+    if not OBS_REF_RE.search(code):
+        findings.append(Finding(
+            path, 1, "cache-obs",
+            "cache machinery never references the observability layer; "
+            "hit/miss/fill/eviction counters must reach obs::MetricsRegistry, "
+            "see CONTRIBUTING.md"))
+
+
 LOOP_RE = re.compile(r"\b(?:for|while)\s*\(")
 EXEC_REF_RE = re.compile(
     r"\b(?:ExecContext|DepthScope|HTL_CHECK_EXEC|ChargeRows|ChargeTable|exec_)\b")
@@ -357,6 +391,7 @@ def lint_file(path: Path) -> list[Finding]:
     check_exec_context_polling(path, raw_lines, code, findings)
     check_no_bare_timer(path, raw_lines, code_lines, findings)
     check_obs_operator_span(path, raw_lines, code, findings)
+    check_cache_obs(path, raw_lines, code, findings)
     return findings
 
 
