@@ -3,11 +3,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -18,7 +16,9 @@
 #include "htl/fingerprint.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace htl::cache {
 
@@ -91,7 +91,7 @@ class ShardedLruCache {
   /// epoch is evicted here (lazy invalidation) and reported as kStale.
   Found Get(const std::string& key, uint64_t epoch) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     return GetLocked(shard, key, epoch);
   }
 
@@ -101,7 +101,7 @@ class ShardedLruCache {
     HTL_CHECK(value != nullptr);
     if (bytes < 1) bytes = 1;  // Every entry occupies at least one byte.
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto [it, inserted] = shard.map.try_emplace(key);
     Entry& e = it->second;
     if (!inserted) {
@@ -130,7 +130,7 @@ class ShardedLruCache {
       std::shared_ptr<Flight> flight;
       bool leader = false;
       {
-        std::lock_guard<std::mutex> lock(shard.mu);
+        MutexLock lock(&shard.mu);
         // Double-check under the shard lock: a racing leader may have
         // published between the caller's probe and this call. The re-probe
         // is silent on miss (the caller's probe already counted it); only a
@@ -152,17 +152,18 @@ class ShardedLruCache {
       // bounds how late this thread notices its own deadline or a cancel
       // (the leader keeps computing under its own context either way).
       {
-        std::unique_lock<std::mutex> fl(flight->mu);
-        while (!flight->done) {
+        Flight& f = *flight;  // One deref: the analysis tracks `f.mu`.
+        MutexLock fl(&f.mu);
+        while (!f.done) {
           if (ctx != nullptr) {
             Status s = ctx->Check();
             if (!s.ok()) return s;
           }
-          flight->cv.wait_for(fl, std::chrono::milliseconds(1));
+          f.cv.WaitFor(f.mu, std::chrono::milliseconds(1));
         }
-        if (flight->ok) {
+        if (f.ok) {
           Count(shared_waits_, reg_shared_);
-          return flight->value;
+          return f.value;
         }
       }
       // The leader failed; its status must not leak to waiters whose own
@@ -175,7 +176,7 @@ class ShardedLruCache {
   /// publish into the emptied table when they finish).
   void Clear() {
     for (Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(&shard.mu);
       shard.map.clear();
       shard.lru.prev = shard.lru.next = &shard.lru;
       shard.bytes = 0;
@@ -192,7 +193,7 @@ class ShardedLruCache {
     s.evictions = evictions_.load(std::memory_order_relaxed);
     s.shared_waits = shared_waits_.load(std::memory_order_relaxed);
     for (const Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(&shard.mu);
       s.bytes += shard.bytes;
       s.entries += static_cast<int64_t>(shard.map.size());
     }
@@ -216,21 +217,22 @@ class ShardedLruCache {
 
   /// One in-progress single-flight compute; waiters block on `cv`.
   struct Flight {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    bool ok = false;
-    ValuePtr value;  // Shared with waiters even when not stored.
+    Mutex mu;
+    CondVar cv;
+    bool done HTL_GUARDED_BY(mu) = false;
+    bool ok HTL_GUARDED_BY(mu) = false;
+    ValuePtr value HTL_GUARDED_BY(mu);  // Shared with waiters even when not stored.
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, Entry> map;
-    Entry lru;  // Sentinel: lru.next is most recent, lru.prev the tail.
-    int64_t bytes = 0;
-    // In-flight computes by key; guarded by `mu` (the flight's own mutex
-    // only guards its done/value hand-off).
-    std::map<std::string, std::shared_ptr<Flight>> flights;
+    mutable Mutex mu;
+    std::unordered_map<std::string, Entry> map HTL_GUARDED_BY(mu);
+    // Sentinel: lru.next is most recent, lru.prev the tail.
+    Entry lru HTL_GUARDED_BY(mu);
+    int64_t bytes HTL_GUARDED_BY(mu) = 0;
+    // In-flight computes by key; the flight's own mutex only guards its
+    // done/value hand-off, never nested with this shard's `mu`.
+    std::map<std::string, std::shared_ptr<Flight>> flights HTL_GUARDED_BY(mu);
 
     Shard() { lru.prev = lru.next = &lru; }
   };
@@ -249,7 +251,7 @@ class ShardedLruCache {
     e->prev = e->next = nullptr;
   }
 
-  static void PushFront(Shard& shard, Entry* e) {
+  static void PushFront(Shard& shard, Entry* e) HTL_REQUIRES(shard.mu) {
     e->prev = &shard.lru;
     e->next = shard.lru.next;
     shard.lru.next->prev = e;
@@ -265,7 +267,7 @@ class ShardedLruCache {
   /// used by GetOrCompute's internal double-check so one logical lookup
   /// (probe, then compute) is not counted as two misses.
   Found GetLocked(Shard& shard, const std::string& key, uint64_t epoch,
-                  bool count_miss = true) {
+                  bool count_miss = true) HTL_REQUIRES(shard.mu) {
     auto it = shard.map.find(key);
     if (it == shard.map.end()) {
       if (count_miss) Count(misses_, reg_misses_);
@@ -288,7 +290,7 @@ class ShardedLruCache {
     return Found{e.value, LookupOutcome::kHit};
   }
 
-  void EvictOverflowLocked(Shard& shard) {
+  void EvictOverflowLocked(Shard& shard) HTL_REQUIRES(shard.mu) {
     while (shard.bytes > per_shard_capacity_ && shard.lru.prev != &shard.lru) {
       Entry* tail = shard.lru.prev;
       shard.bytes -= tail->bytes;
@@ -307,7 +309,8 @@ class ShardedLruCache {
   /// compute lets the next arrival start a fresh flight immediately.
   template <typename Compute>
   Result<ValuePtr> Lead(Shard& shard, const std::string& key, uint64_t epoch,
-                        Flight& flight, const Compute& compute) {
+                        Flight& flight, const Compute& compute)
+      HTL_EXCLUDES(shard.mu, flight.mu) {
     Result<Fill> result = compute();
     ValuePtr out;
     if (result.ok()) {
@@ -316,16 +319,16 @@ class ShardedLruCache {
       if (result.value().store) Put(key, epoch, out, result.value().bytes);
     }
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(&shard.mu);
       shard.flights.erase(key);
     }
     {
-      std::lock_guard<std::mutex> lock(flight.mu);
+      MutexLock lock(&flight.mu);
       flight.done = true;
       flight.ok = result.ok();
       flight.value = out;
     }
-    flight.cv.notify_all();
+    flight.cv.NotifyAll();
     if (!result.ok()) return result.status();
     return out;
   }

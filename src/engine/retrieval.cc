@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "cache/sim_list_cache.h"
@@ -17,6 +16,7 @@
 #include "htl/rewriter.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -52,7 +52,7 @@ Result<FormulaPtr> Retriever::Prepare(std::string_view query_text) const {
 }
 
 Retriever::VideoEngine& Retriever::EngineFor(MetadataStore::VideoId video) {
-  std::lock_guard<std::mutex> lock(engines_mu_);
+  MutexLock lock(&engines_mu_);
   auto it = engines_.find(video);
   if (it == engines_.end()) {
     it = engines_.emplace(video, std::make_unique<VideoEngine>()).first;
@@ -95,7 +95,7 @@ Result<SimilarityList> Retriever::EvaluateList(MetadataStore::VideoId video_id, 
   // comparisons) drop to the exponential reference evaluator.
   {
     VideoEngine& slot = EngineFor(video_id);
-    std::lock_guard<std::mutex> lock(slot.mu);
+    MutexLock lock(&slot.mu);
     DirectEngine& engine = EngineLocked(slot, video_id, store_->epoch());
     engine.set_exec_context(ctx);
     Result<SimilarityList> direct = engine.EvaluateList(level, query);
@@ -216,7 +216,7 @@ Status ForEachVideo(int64_t num_videos, ExecContext* ctx, int workers,
     }
   }
 
-  std::mutex abort_mu;
+  Mutex abort_mu;
   Status first_abort;  // Root-cause abort; guarded by abort_mu.
   std::atomic<bool> aborted{false};
 
@@ -240,7 +240,7 @@ Status ForEachVideo(int64_t num_videos, ExecContext* ctx, int workers,
           if (s.ok()) s = eval_one(v, &child, wtr, part);
           if (!s.ok()) {
             {
-              std::lock_guard<std::mutex> lock(abort_mu);
+              MutexLock lock(&abort_mu);
               // Keep the root cause: workers drained by the fan-out fail
               // with the induced Cancelled, which must not mask e.g. the
               // DeadlineExceeded that started the abort.
@@ -255,7 +255,7 @@ Status ForEachVideo(int64_t num_videos, ExecContext* ctx, int workers,
       });
 
   {
-    std::lock_guard<std::mutex> lock(abort_mu);
+    MutexLock lock(&abort_mu);
     if (!first_abort.ok()) return first_abort;
   }
   HTL_RETURN_IF_ERROR(loop_status);
@@ -473,7 +473,7 @@ Result<VideoRetrieval> Retriever::RunVideoQueryCold(const Formula& query, int64_
     Status video_error = Status::OK();
     {
       VideoEngine& slot = EngineFor(v);
-      std::lock_guard<std::mutex> lock(slot.mu);
+      MutexLock lock(&slot.mu);
       DirectEngine& engine = EngineLocked(slot, v, store_->epoch());
       engine.set_exec_context(ectx);
       Result<Sim> direct = engine.EvaluateVideo(query);

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -15,7 +14,9 @@
 #include "model/video.h"
 #include "obs/profile.h"
 #include "sim/topk.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace htl {
 
@@ -208,9 +209,9 @@ class Retriever {
   /// rebuilt when the store epoch moves (its VideoTree pointer and caches
   /// are only valid for the epoch it was built at).
   struct VideoEngine {
-    std::mutex mu;
-    std::unique_ptr<DirectEngine> engine;  // Guarded by mu.
-    uint64_t built_epoch = 0;              // Guarded by mu.
+    Mutex mu;
+    std::unique_ptr<DirectEngine> engine HTL_GUARDED_BY(mu);
+    uint64_t built_epoch HTL_GUARDED_BY(mu) = 0;
   };
 
   /// The cached per-video engine slot (created on first use).
@@ -222,7 +223,7 @@ class Retriever {
   /// The slot's engine, (re)built for `epoch` if absent or stale. Requires
   /// the slot's `mu` to be held; attaches the list cache when enabled.
   DirectEngine& EngineLocked(VideoEngine& slot, MetadataStore::VideoId video,
-                             uint64_t epoch);
+                             uint64_t epoch) HTL_REQUIRES(slot.mu);
 
   /// Worker count this query should use: options_.parallelism, with 0
   /// meaning ThreadPool::DefaultParallelism(), capped at the video count.
@@ -253,8 +254,9 @@ class Retriever {
 
   const MetadataStore* store_;
   QueryOptions options_;
-  std::mutex engines_mu_;  // Guards engines_ (map shape only).
-  std::map<MetadataStore::VideoId, std::unique_ptr<VideoEngine>> engines_;
+  Mutex engines_mu_;  // Guards engines_ (map shape only; slots guard themselves).
+  std::map<MetadataStore::VideoId, std::unique_ptr<VideoEngine>> engines_
+      HTL_GUARDED_BY(engines_mu_);
   std::unique_ptr<QueryCaches> caches_;  // Null when cache_mode == kOff.
   std::string options_fp_;               // Cached OptionsFingerprint(options_).
 };

@@ -104,6 +104,14 @@ class VideoTree {
 /// A collection of videos, keyed by a small integer video id — the
 /// "meta-data database" of figure 1. Retrieval runs per video and merges
 /// results across videos for global top-k.
+///
+/// Lock discipline (DESIGN.md): the store holds no Mutex capability by
+/// design. Concurrent *queries* only read `videos_` and the atomic epoch;
+/// *mutations* (AddVideo / MutableVideo / BumpEpoch) must be externally
+/// serialized against in-flight queries by the caller, and the epoch is
+/// what lets caches detect that serialization point after the fact. The
+/// streaming-ingest work (ROADMAP item 4) is where per-video htl::Mutex
+/// state lands — born annotated, per the no-raw-mutex ground rule.
 class MetadataStore {
  public:
   using VideoId = int64_t;

@@ -24,7 +24,11 @@ namespace htl::obs {
 /// never go negative.
 ///
 /// Thread model: a trace is owned by the querying thread; it is not
-/// thread-safe. Cross-thread aggregation belongs to the MetricsRegistry.
+/// thread-safe and deliberately carries no Mutex capability (DESIGN.md
+/// "Lock discipline") — thread confinement, not locking, is its contract.
+/// Parallel workers each write their own trace, stitched by Adopt() on the
+/// owner's thread afterwards. Cross-thread aggregation belongs to the
+/// MetricsRegistry.
 class QueryTrace {
  public:
   using SpanId = int32_t;

@@ -4,6 +4,7 @@
 
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/string_util.h"
 
 namespace htl {
@@ -30,7 +31,7 @@ const std::vector<std::string_view>& FaultRegistry::KnownPoints() {
 
 void FaultRegistry::Enable(std::string_view point, FaultSpec spec) {
   HTL_CHECK(spec.code != StatusCode::kOk) << "fault spec must carry an error code";
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   PointState& state = points_[std::string(point)];
   state.spec = spec;
   state.hits = 0;
@@ -39,14 +40,14 @@ void FaultRegistry::Enable(std::string_view point, FaultSpec spec) {
 }
 
 void FaultRegistry::Disable(std::string_view point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = points_.find(point);
   if (it != points_.end()) it->second.enabled = false;
   UpdateArmed();
 }
 
 void FaultRegistry::DisableAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   points_.clear();
   tracing_ = false;
   trace_hits_.clear();
@@ -54,19 +55,19 @@ void FaultRegistry::DisableAll() {
 }
 
 void FaultRegistry::StartTrace() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   tracing_ = true;
   trace_hits_.clear();
   UpdateArmed();
 }
 
 std::map<std::string, int64_t> FaultRegistry::TraceHits() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return trace_hits_;
 }
 
 void FaultRegistry::Seed(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rng_state_ = seed | 1;  // Never zero.
 }
 
@@ -80,7 +81,7 @@ Status FaultRegistry::Hit(std::string_view point) {
   const auto& known = KnownPoints();
   HTL_DCHECK(std::find(known.begin(), known.end(), point) != known.end())
       << "fault point '" << point << "' missing from FaultRegistry::KnownPoints()";
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (tracing_) ++trace_hits_[std::string(point)];
   auto it = points_.find(point);
   if (it == points_.end() || !it->second.enabled) return Status::OK();

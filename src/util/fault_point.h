@@ -3,12 +3,13 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace htl {
 
@@ -86,14 +87,14 @@ class FaultRegistry {
     bool enabled = false;
   };
 
-  void UpdateArmed();  // Requires mu_ held.
+  void UpdateArmed() HTL_REQUIRES(mu_);
 
   std::atomic<bool> armed_{false};
-  std::mutex mu_;
-  std::map<std::string, PointState, std::less<>> points_;
-  bool tracing_ = false;
-  std::map<std::string, int64_t> trace_hits_;
-  uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;
+  Mutex mu_;
+  std::map<std::string, PointState, std::less<>> points_ HTL_GUARDED_BY(mu_);
+  bool tracing_ HTL_GUARDED_BY(mu_) = false;
+  std::map<std::string, int64_t> trace_hits_ HTL_GUARDED_BY(mu_);
+  uint64_t rng_state_ HTL_GUARDED_BY(mu_) = 0x9E3779B97F4A7C15ull;
 };
 
 }  // namespace htl

@@ -1,0 +1,104 @@
+#ifndef HTL_UTIL_MUTEX_H_
+#define HTL_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace htl {
+
+class CondVar;
+
+/// The library's mutex: std::mutex carrying the CAPABILITY annotation so
+/// Clang Thread Safety Analysis can prove the lock discipline at compile
+/// time (see util/thread_annotations.h and DESIGN.md "Lock discipline").
+///
+/// Bare std::mutex / std::lock_guard / std::condition_variable are banned
+/// in src/ outside this file (tools/lint.py `no-raw-mutex`): a raw mutex is
+/// invisible to the analysis, so members it guards and functions that
+/// require it cannot be machine-checked. Prefer MutexLock over manual
+/// Lock()/Unlock() pairs.
+class HTL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() HTL_ACQUIRE() { mu_.lock(); }
+  void Unlock() HTL_RELEASE() { mu_.unlock(); }
+
+  /// Non-blocking acquire; true means the caller now holds the mutex.
+  bool TryLock() HTL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // Wait() needs the native handle to park on.
+
+  std::mutex mu_;
+};
+
+/// RAII lock for a Mutex — the annotated replacement for std::lock_guard /
+/// std::unique_lock. Acquires in the constructor, releases in the
+/// destructor; the analysis tracks the critical section as the object's
+/// scope.
+class HTL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) HTL_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() HTL_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable paired with htl::Mutex. Wait/WaitFor require the
+/// mutex held (HTL_REQUIRES) and return with it re-held, so the analysis —
+/// which cannot see the release/re-acquire inside the park — correctly
+/// treats guarded members as protected across the call. Spurious wakeups
+/// are possible: every wait belongs in a `while (!predicate)` loop
+/// (clang-tidy bugprone-spuriously-wake-up-functions enforces this at call
+/// sites).
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, parks until notified (or spuriously woken),
+  /// and re-acquires `mu` before returning.
+  void Wait(Mutex& mu) HTL_REQUIRES(mu) {
+    // Adopt the caller-held lock for the wait, then release the guard
+    // object without unlocking: ownership returns to the caller's scope.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);  // NOLINT(bugprone-spuriously-wake-up-functions)
+    lock.release();
+  }
+
+  /// As Wait, but also wakes after `timeout`; the caller re-checks its
+  /// predicate either way, so the return value is advisory.
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      HTL_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status;
+  }
+
+  /// Wakes one / every waiter. Callers may hold the associated mutex or
+  /// not; the wait loop's predicate re-check makes both orders correct.
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace htl
+
+#endif  // HTL_UTIL_MUTEX_H_

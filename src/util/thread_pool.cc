@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace htl {
 
@@ -22,30 +24,33 @@ ThreadPool::ThreadPool(Options options) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  task_ready_.notify_all();
-  queue_space_.notify_all();
+  task_ready_.NotifyAll();
+  queue_space_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
+  // Joined workers establish happens-before; the lock keeps the check
+  // honest under the analysis (destructors are exempt, but cheap is cheap).
+  MutexLock lock(&mu_);
   HTL_CHECK(queue_.empty()) << "worker exited with tasks still queued";
 }
 
 void ThreadPool::Schedule(std::function<void()> fn) {
   HTL_CHECK(fn != nullptr);
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    queue_space_.wait(lock, [this] {
-      return stopping_ || static_cast<int64_t>(queue_.size()) < queue_capacity_;
-    });
+    MutexLock lock(&mu_);
+    while (!stopping_ && static_cast<int64_t>(queue_.size()) >= queue_capacity_) {
+      queue_space_.Wait(mu_);
+    }
     HTL_CHECK(!stopping_) << "Schedule() on a ThreadPool being destroyed";
     queue_.push_back(std::move(fn));
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 int64_t ThreadPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int64_t>(queue_.size());
 }
 
@@ -53,15 +58,15 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) task_ready_.Wait(mu_);
       // Drain-on-shutdown: exit only once the queue is empty, so every task
       // scheduled before destruction still runs.
       if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    queue_space_.notify_one();
+    queue_space_.NotifyOne();
     task();
   }
 }
@@ -95,14 +100,15 @@ struct ParallelForState {
   std::atomic<int64_t> next{0};
   std::atomic<bool> abort{false};
 
-  std::mutex mu;
-  std::condition_variable done;
-  int pending_drivers = 0;     // Pool-side drivers not yet finished.
-  int64_t error_index;         // Lowest failed index seen (n = none).
-  Status error;
+  Mutex mu;
+  CondVar done;
+  int pending_drivers HTL_GUARDED_BY(mu);      // Pool-side drivers not yet finished.
+  int64_t error_index HTL_GUARDED_BY(mu);      // Lowest failed index seen (n = none).
+  Status error HTL_GUARDED_BY(mu);
 
-  ParallelForState(const std::function<Status(int64_t)>& fn_in, int64_t n_in)
-      : fn(fn_in), n(n_in), error_index(n_in) {}
+  ParallelForState(const std::function<Status(int64_t)>& fn_in, int64_t n_in,
+                   int pool_drivers)
+      : fn(fn_in), n(n_in), pending_drivers(pool_drivers), error_index(n_in) {}
 
   /// Claims and runs iterations until the range is exhausted or aborted.
   void Drive() {
@@ -113,7 +119,7 @@ struct ParallelForState {
       Status s = fn(i);
       if (!s.ok()) {
         {
-          std::lock_guard<std::mutex> lock(mu);
+          MutexLock lock(&mu);
           if (i < error_index) {
             error_index = i;
             error = std::move(s);
@@ -136,22 +142,21 @@ Status ParallelFor(ThreadPool* pool, int64_t n,
     return Status::OK();
   }
 
-  ParallelForState state(fn, n);
   // The caller is one driver; the pool contributes up to num_threads more,
   // never more drivers than iterations.
   const int pool_drivers = static_cast<int>(
       std::min<int64_t>(n - 1, static_cast<int64_t>(pool->num_threads())));
-  state.pending_drivers = pool_drivers;
+  ParallelForState state(fn, n, pool_drivers);
   for (int d = 0; d < pool_drivers; ++d) {
     pool->Schedule([&state] {
       state.Drive();
-      std::lock_guard<std::mutex> lock(state.mu);
-      if (--state.pending_drivers == 0) state.done.notify_all();
+      MutexLock lock(&state.mu);
+      if (--state.pending_drivers == 0) state.done.NotifyAll();
     });
   }
   state.Drive();
-  std::unique_lock<std::mutex> lock(state.mu);
-  state.done.wait(lock, [&state] { return state.pending_drivers == 0; });
+  MutexLock lock(&state.mu);
+  while (state.pending_drivers != 0) state.done.Wait(state.mu);
   return state.error_index < n ? state.error : Status::OK();
 }
 

@@ -2,15 +2,15 @@
 #define HTL_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace htl {
 
@@ -77,12 +77,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable task_ready_;   // Signals workers: task or stop.
-  std::condition_variable queue_space_;  // Signals producers: queue below cap.
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
-  int64_t queue_capacity_ = 0;
+  mutable Mutex mu_;
+  CondVar task_ready_;   // Signals workers: task or stop.
+  CondVar queue_space_;  // Signals producers: queue below cap.
+  std::deque<std::function<void()>> queue_ HTL_GUARDED_BY(mu_);
+  bool stopping_ HTL_GUARDED_BY(mu_) = false;
+  int64_t queue_capacity_ = 0;  // Set once at construction, then read-only.
   std::vector<std::thread> workers_;
 };
 

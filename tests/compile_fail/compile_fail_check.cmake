@@ -1,0 +1,55 @@
+# Script-mode driver for one negative-compile case (see CMakeLists.txt here).
+#
+# Inputs (all -D):
+#   CHECK_SCRIPT_COMPILER  clang++ to invoke
+#   CHECK_SCRIPT_INCLUDE   repo src/ include root
+#   CHECK_SCRIPT_WORKDIR   scratch dir for the object file
+#   CHECK_SCRIPT_SOURCE    the .cc under test
+#   CHECK_SCRIPT_EXPECT    SUCCEED | FAIL
+#
+# FAIL cases must not merely fail — the diagnostic must come from the
+# thread-safety analysis ("-Wthread-safety" appears in Clang's output),
+# so an unrelated compile error (typo, missing header) cannot masquerade
+# as the analysis firing.
+
+foreach(var COMPILER INCLUDE WORKDIR SOURCE EXPECT)
+  if(NOT DEFINED CHECK_SCRIPT_${var})
+    message(FATAL_ERROR "compile_fail_check.cmake: missing CHECK_SCRIPT_${var}")
+  endif()
+endforeach()
+
+get_filename_component(case_name "${CHECK_SCRIPT_SOURCE}" NAME_WE)
+set(obj "${CHECK_SCRIPT_WORKDIR}/${case_name}.o")
+
+execute_process(
+  COMMAND "${CHECK_SCRIPT_COMPILER}"
+    -std=c++20 -c "${CHECK_SCRIPT_SOURCE}" -o "${obj}"
+    -I "${CHECK_SCRIPT_INCLUDE}"
+    -Wthread-safety -Werror=thread-safety
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+)
+set(diag "${out}${err}")
+
+if(CHECK_SCRIPT_EXPECT STREQUAL "SUCCEED")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "control case ${case_name} failed to compile (rc=${rc}) — the harness "
+      "flags or include paths are broken:\n${diag}")
+  endif()
+elseif(CHECK_SCRIPT_EXPECT STREQUAL "FAIL")
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+      "${case_name} compiled cleanly — the thread-safety analysis is NOT "
+      "armed (expected a -Wthread-safety error)")
+  endif()
+  if(NOT diag MATCHES "thread-safety")
+    message(FATAL_ERROR
+      "${case_name} failed for the wrong reason (no thread-safety "
+      "diagnostic in the output):\n${diag}")
+  endif()
+else()
+  message(FATAL_ERROR "CHECK_SCRIPT_EXPECT must be SUCCEED or FAIL, "
+                      "got '${CHECK_SCRIPT_EXPECT}'")
+endif()

@@ -1,0 +1,37 @@
+// Control case for the negative-compile harness: uses the same wrappers and
+// annotations as the *_fail.cc cases but locks correctly, so it must compile
+// under -Wthread-safety -Werror=thread-safety. If this case breaks, the
+// harness itself (flags, include path, wrapper headers) is broken and the
+// FAIL cases prove nothing.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() HTL_EXCLUDES(mu_) {
+    htl::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  int ValueLocked() const HTL_REQUIRES(mu_) { return value_; }
+
+  int Read() HTL_EXCLUDES(mu_) {
+    htl::MutexLock lock(&mu_);
+    return ValueLocked();
+  }
+
+ private:
+  mutable htl::Mutex mu_;
+  int value_ HTL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Read();
+}

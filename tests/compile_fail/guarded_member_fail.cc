@@ -1,0 +1,29 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety: writes an
+// HTL_GUARDED_BY member without holding its mutex. If this compiles, the
+// analysis is disarmed (wrong flags, or the annotation macros expanded to
+// nothing) — tests/compile_fail/CMakeLists.txt turns that into a test
+// failure.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // BUG: no lock held -> -Wthread-safety error expected here.
+  }
+
+ private:
+  htl::Mutex mu_;
+  int value_ HTL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

@@ -1,0 +1,21 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety: acquires a
+// Mutex directly and returns without releasing it. Proves the acquire /
+// release bookkeeping on htl::Mutex::Lock / Unlock is armed — the scenario
+// the MutexLock RAII wrapper exists to make impossible.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+htl::Mutex g_mu;
+int g_value HTL_GUARDED_BY(g_mu) = 0;
+
+int LeakyRead() {
+  g_mu.Lock();
+  return g_value;  // BUG: returns with g_mu held -> -Wthread-safety error.
+}
+
+}  // namespace
+
+int main() { return LeakyRead(); }

@@ -1,0 +1,29 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety: calls an
+// HTL_REQUIRES(mu_) method without holding the capability. Companion to
+// guarded_member_fail.cc — this one proves call-contract checking is armed,
+// not just member-access checking.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  int ValueLocked() const HTL_REQUIRES(mu_) { return value_; }
+
+  int Read() {
+    return ValueLocked();  // BUG: mu_ not held -> -Wthread-safety error.
+  }
+
+ private:
+  mutable htl::Mutex mu_;
+  int value_ HTL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.Read();
+}

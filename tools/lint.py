@@ -1,7 +1,10 @@
 #!/usr/bin/env python3
 """House-rules linter for the htl codebase (run in CI; see CONTRIBUTING.md).
 
-Checks, over src/ by default:
+Checks src/, bench/, and examples/ by default. src/ gets the full rule set;
+bench/ and examples/ (and any file outside src/) get the portable subset
+(no-exceptions, no-throwing-parse, no-raw-thread, no-raw-mutex) — the rules
+whose rationale is about runtime behavior, not src/ layout conventions.
 
   no-exceptions     `throw` / `try` / `catch` are forbidden in src/: fallible
                     code returns htl::Status / htl::Result<T> (status.h).
@@ -47,6 +50,13 @@ Checks, over src/ by default:
                     the pool's bounded queue, cancellation fan-out, and TSan
                     coverage. Run work on the shared ThreadPool (ParallelFor /
                     Schedule) instead (CONTRIBUTING.md ground rule).
+  no-raw-mutex      `std::mutex` / `std::condition_variable` / the std lock
+                    adapters are forbidden outside src/util/mutex.h: shared
+                    state synchronizes through the annotated htl::Mutex /
+                    htl::MutexLock / htl::CondVar wrappers so Clang Thread
+                    Safety Analysis (the `tsa` preset; DESIGN.md "Lock
+                    discipline") can prove the lock discipline. A raw
+                    std::mutex is invisible to the analysis.
   cache-obs         Cache machinery files (CACHE_OBS_FILES: the sharded LRU
                     and its clients in src/cache/) must reference the
                     observability layer: a cache whose hits/misses/evictions
@@ -54,6 +64,12 @@ Checks, over src/ by default:
                     debugged in production (CONTRIBUTING.md ground rule). New
                     cache clients belong on the list. File-scoped: suppress
                     with `// htl-lint: allow(cache-obs)` anywhere in the file.
+  stale-suppression `// htl-lint: allow(<rule>)` comments that no longer
+                    suppress anything (the rule never fires there, is unknown,
+                    or is not in scope for the file) are findings themselves:
+                    a stale allow is how the next real violation sneaks in
+                    under an old waiver. Fix by deleting the comment. This
+                    meta-rule cannot itself be suppressed.
 
 A finding can be locally suppressed with `// htl-lint: allow(<rule>)` on the
 same line. Exit status is 0 when clean, 1 when any finding is reported.
@@ -72,6 +88,33 @@ HEADER_EXTS = {".h"}
 SOURCE_EXTS = {".h", ".cc", ".cpp"}
 
 ALLOW_RE = re.compile(r"//\s*htl-lint:\s*allow\(([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\)")
+
+# Every rule the linter can emit (stale-suppression is the meta-rule).
+ALL_RULES = {
+    "no-exceptions",
+    "no-using-namespace-in-header",
+    "header-guard",
+    "include-order",
+    "no-void-status-discard",
+    "no-throwing-parse",
+    "exec-context-polling",
+    "no-bare-timer",
+    "obs-operator-span",
+    "no-raw-thread",
+    "no-raw-mutex",
+    "cache-obs",
+    "stale-suppression",
+}
+
+# The portable subset applied outside src/ (bench/, examples/): rules about
+# runtime behavior that hold anywhere, not src/ layout conventions.
+AUX_RULES = {
+    "no-exceptions",
+    "no-throwing-parse",
+    "no-raw-thread",
+    "no-raw-mutex",
+    "stale-suppression",
+}
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -114,7 +157,10 @@ class Finding:
         self.path, self.line, self.rule, self.message = path, line, rule, message
 
     def __str__(self) -> str:
-        rel = self.path.relative_to(REPO_ROOT) if self.path.is_absolute() else self.path
+        try:
+            rel = self.path.relative_to(REPO_ROOT)
+        except ValueError:
+            rel = self.path
         return f"{rel}:{self.line}: [{self.rule}] {self.message}"
 
 
@@ -125,11 +171,51 @@ def allowed_rules(raw_line: str) -> set[str]:
     return {r.strip() for r in m.group(1).split(",")}
 
 
+class FileLint:
+    """One file's lint pass: enabled-rule scoping, findings, and the record
+    of which allow() suppressions actually fired (for stale detection)."""
+
+    def __init__(self, path: Path, raw_lines: list[str], enabled: set[str]):
+        self.path = path
+        self.raw_lines = raw_lines
+        self.enabled = enabled
+        self.findings: list[Finding] = []
+        # (lineno, rule) pairs whose allow() suppressed a real would-be
+        # finding; everything mentioned but absent here is stale.
+        self.used_allows: set[tuple[int, str]] = set()
+
+    def hit(self, lineno: int, rule: str, message: str) -> None:
+        """Reports a would-be finding at `lineno`, honoring a same-line
+        allow(). No-op when the rule is out of scope for this file."""
+        if rule not in self.enabled:
+            return
+        if rule in allowed_rules(self.raw_lines[lineno - 1]):
+            self.used_allows.add((lineno, rule))
+        else:
+            self.findings.append(Finding(self.path, lineno, rule, message))
+
+    def hit_file_scoped(self, rule: str, message: str) -> None:
+        """Reports a would-be file-scoped finding, honoring an allow()
+        anywhere in the file (all mentions of the rule count as used)."""
+        if rule not in self.enabled:
+            return
+        mentions = [idx + 1 for idx, l in enumerate(self.raw_lines)
+                    if rule in allowed_rules(l)]
+        if mentions:
+            self.used_allows.update((m, rule) for m in mentions)
+        else:
+            self.findings.append(Finding(self.path, 1, rule, message))
+
+
 EXCEPTION_RE = re.compile(r"(?<![\w])(?:throw|try|catch)(?![\w])")
 USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\b")
 VOID_DISCARD_RE = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_][\w:.\->]*\s*\(")
 THROWING_PARSE_RE = re.compile(r"\bstd\s*::\s*sto(?:i|l|ll|ul|ull|f|d|ld)\b")
 RAW_THREAD_RE = re.compile(r"\bstd\s*::\s*(?:jthread|thread)\b")
+RAW_MUTEX_RE = re.compile(
+    r"\bstd\s*::\s*(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock)\b")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(<[^>]+>|"[^"]+")')
 
 # The one sanctioned home for raw threads: the pool's own implementation.
@@ -138,13 +224,19 @@ RAW_THREAD_EXEMPT = {
     "src/util/thread_pool.cc",
 }
 
+# The one sanctioned home for raw std synchronization: the annotated wrapper
+# itself (htl::Mutex / htl::CondVar are built on std::mutex /
+# std::condition_variable — that is the point).
+RAW_MUTEX_EXEMPT = {
+    "src/util/mutex.h",
+}
 
-def is_raw_thread_exempt(path: Path) -> bool:
+
+def rel_posix(path: Path) -> str | None:
     try:
-        rel = path.relative_to(REPO_ROOT).as_posix()
+        return path.relative_to(REPO_ROOT).as_posix()
     except ValueError:
-        return False
-    return rel in RAW_THREAD_EXEMPT
+        return None
 
 
 def expected_guard(path: Path) -> str:
@@ -153,67 +245,71 @@ def expected_guard(path: Path) -> str:
     return f"HTL_{token}_"
 
 
-def check_line_rules(path: Path, raw_lines: list[str], code_lines: list[str],
-                     findings: list[Finding]) -> None:
+def check_line_rules(lint: FileLint, code_lines: list[str]) -> None:
+    path = lint.path
+    rel = rel_posix(path)
     is_header = path.suffix in HEADER_EXTS
     for idx, code in enumerate(code_lines):
         lineno = idx + 1
-        allows = allowed_rules(raw_lines[idx])
 
-        if EXCEPTION_RE.search(code) and "no-exceptions" not in allows:
-            findings.append(Finding(
-                path, lineno, "no-exceptions",
-                "throw/try/catch is forbidden in src/; return htl::Status instead"))
-        if is_header and USING_NAMESPACE_RE.search(code) and \
-                "no-using-namespace-in-header" not in allows:
-            findings.append(Finding(
-                path, lineno, "no-using-namespace-in-header",
-                "`using namespace` in a header pollutes every includer"))
-        if VOID_DISCARD_RE.search(code) and "no-void-status-discard" not in allows:
-            findings.append(Finding(
-                path, lineno, "no-void-status-discard",
-                "discarding a call with (void) defeats [[nodiscard]]; "
-                "use .IgnoreError() or handle the result"))
-        if THROWING_PARSE_RE.search(code) and "no-throwing-parse" not in allows:
-            findings.append(Finding(
-                path, lineno, "no-throwing-parse",
-                "std::sto* throws on overflow; use htl::Parse* (util/parse.h)"))
-        if RAW_THREAD_RE.search(code) and "no-raw-thread" not in allows and \
-                not is_raw_thread_exempt(path):
-            findings.append(Finding(
-                path, lineno, "no-raw-thread",
-                "raw std::thread/std::jthread is forbidden outside "
-                "src/util/thread_pool; run work on the shared ThreadPool "
-                "(ParallelFor / Schedule) so it gets the bounded queue, "
-                "cancellation fan-out, and TSan coverage"))
+        if EXCEPTION_RE.search(code):
+            lint.hit(lineno, "no-exceptions",
+                     "throw/try/catch is forbidden; return htl::Status instead")
+        if is_header and USING_NAMESPACE_RE.search(code):
+            lint.hit(lineno, "no-using-namespace-in-header",
+                     "`using namespace` in a header pollutes every includer")
+        if VOID_DISCARD_RE.search(code):
+            lint.hit(lineno, "no-void-status-discard",
+                     "discarding a call with (void) defeats [[nodiscard]]; "
+                     "use .IgnoreError() or handle the result")
+        if THROWING_PARSE_RE.search(code):
+            lint.hit(lineno, "no-throwing-parse",
+                     "std::sto* throws on overflow; use htl::Parse* (util/parse.h)")
+        if RAW_THREAD_RE.search(code) and rel not in RAW_THREAD_EXEMPT:
+            lint.hit(lineno, "no-raw-thread",
+                     "raw std::thread/std::jthread is forbidden outside "
+                     "src/util/thread_pool; run work on the shared ThreadPool "
+                     "(ParallelFor / Schedule) so it gets the bounded queue, "
+                     "cancellation fan-out, and TSan coverage")
+        if RAW_MUTEX_RE.search(code) and rel not in RAW_MUTEX_EXEMPT:
+            lint.hit(lineno, "no-raw-mutex",
+                     "raw std synchronization is forbidden outside "
+                     "src/util/mutex.h; use htl::Mutex / htl::MutexLock / "
+                     "htl::CondVar (util/mutex.h) so Clang Thread Safety "
+                     "Analysis can prove the lock discipline (DESIGN.md "
+                     "\"Lock discipline\")")
 
 
-def check_header_guard(path: Path, raw_lines: list[str],
-                       findings: list[Finding]) -> None:
+def check_header_guard(lint: FileLint) -> None:
+    if "header-guard" not in lint.enabled:
+        return
+    path, raw_lines = lint.path, lint.raw_lines
     guard = expected_guard(path)
     text_lines = [l.strip() for l in raw_lines]
     try:
         ifndef_idx = next(i for i, l in enumerate(text_lines) if l.startswith("#ifndef"))
     except StopIteration:
-        findings.append(Finding(path, 1, "header-guard",
-                                f"missing header guard (expected {guard})"))
+        lint.findings.append(Finding(path, 1, "header-guard",
+                                     f"missing header guard (expected {guard})"))
         return
     if text_lines[ifndef_idx] != f"#ifndef {guard}":
-        findings.append(Finding(path, ifndef_idx + 1, "header-guard",
-                                f"guard should be {guard}"))
+        lint.findings.append(Finding(path, ifndef_idx + 1, "header-guard",
+                                     f"guard should be {guard}"))
         return
     if ifndef_idx + 1 >= len(text_lines) or \
             text_lines[ifndef_idx + 1] != f"#define {guard}":
-        findings.append(Finding(path, ifndef_idx + 2, "header-guard",
-                                f"#define {guard} must follow the #ifndef"))
+        lint.findings.append(Finding(path, ifndef_idx + 2, "header-guard",
+                                     f"#define {guard} must follow the #ifndef"))
     last_nonempty = next((l for l in reversed(text_lines) if l), "")
     if last_nonempty != f"#endif  // {guard}":
-        findings.append(Finding(path, len(text_lines), "header-guard",
-                                f"file must end with `#endif  // {guard}`"))
+        lint.findings.append(Finding(path, len(text_lines), "header-guard",
+                                     f"file must end with `#endif  // {guard}`"))
 
 
-def check_include_order(path: Path, raw_lines: list[str],
-                        findings: list[Finding]) -> None:
+def check_include_order(lint: FileLint) -> None:
+    if "include-order" not in lint.enabled:
+        return
+    path, raw_lines = lint.path, lint.raw_lines
     includes = []  # (lineno, token) with token like <x> or "y"
     for idx, line in enumerate(raw_lines):
         m = INCLUDE_RE.match(line)
@@ -230,7 +326,7 @@ def check_include_order(path: Path, raw_lines: list[str],
             if first_tok == own:
                 start = 1
             else:
-                findings.append(Finding(
+                lint.findings.append(Finding(
                     path, first_line, "include-order",
                     f"first include of a .cc must be its own header {own}"))
 
@@ -246,20 +342,18 @@ def check_include_order(path: Path, raw_lines: list[str],
     for block in blocks:
         kinds = {tok[0] for _, tok in block}
         if kinds == {"<"}:
-            if seen_project_block and "include-order" not in \
-                    allowed_rules(raw_lines[block[0][0] - 1]):
-                findings.append(Finding(
-                    path, block[0][0], "include-order",
-                    "<system> include block after a \"project\" block"))
+            if seen_project_block:
+                lint.hit(block[0][0], "include-order",
+                         "<system> include block after a \"project\" block")
         elif kinds == {'"'}:
             seen_project_block = True
         else:
-            findings.append(Finding(
+            lint.findings.append(Finding(
                 path, block[0][0], "include-order",
                 "mixed <system> and \"project\" includes in one block"))
         toks = [tok for _, tok in block]
         if toks != sorted(toks):
-            findings.append(Finding(
+            lint.findings.append(Finding(
                 path, block[0][0], "include-order",
                 "includes within a block must be sorted alphabetically"))
 
@@ -268,27 +362,22 @@ BARE_TIMER_RE = re.compile(r"\bWallTimer\b|#\s*include\s+\"util/timer\.h\"")
 
 
 def is_kernel_path(path: Path) -> bool:
-    try:
-        rel = path.relative_to(REPO_ROOT).as_posix()
-    except ValueError:
-        return False
-    return rel.startswith("src/sim/") or rel.startswith("src/engine/")
+    rel = rel_posix(path)
+    return rel is not None and (rel.startswith("src/sim/") or
+                                rel.startswith("src/engine/"))
 
 
-def check_no_bare_timer(path: Path, raw_lines: list[str], code_lines: list[str],
-                        findings: list[Finding]) -> None:
-    if not is_kernel_path(path):
+def check_no_bare_timer(lint: FileLint, code_lines: list[str]) -> None:
+    if not is_kernel_path(lint.path):
         return
     for idx, code in enumerate(code_lines):
         # The include is stripped to whitespace in `code`; test the raw line
         # for it and the code line for the identifier.
-        if (BARE_TIMER_RE.search(code) or BARE_TIMER_RE.search(raw_lines[idx])) \
-                and "no-bare-timer" not in allowed_rules(raw_lines[idx]):
-            findings.append(Finding(
-                path, idx + 1, "no-bare-timer",
-                "hot-path kernels must not time work with a bare WallTimer; "
-                "use HTL_OBS_SPAN / TraceSpan (src/obs/trace.h) so the timing "
-                "lands in the EXPLAIN profile"))
+        if BARE_TIMER_RE.search(code) or BARE_TIMER_RE.search(lint.raw_lines[idx]):
+            lint.hit(idx + 1, "no-bare-timer",
+                     "hot-path kernels must not time work with a bare WallTimer; "
+                     "use HTL_OBS_SPAN / TraceSpan (src/obs/trace.h) so the timing "
+                     "lands in the EXPLAIN profile")
 
 
 # The designated hot-path kernel files: the operator kernels, the engines'
@@ -304,22 +393,15 @@ OBS_KERNEL_FILES = {
 OBS_REF_RE = re.compile(r"\b(?:HTL_OBS_SPAN|HTL_OBS_COUNT|TraceSpan)\b|\bobs\s*::")
 
 
-def check_obs_operator_span(path: Path, raw_lines: list[str], code: str,
-                            findings: list[Finding]) -> None:
-    try:
-        rel = path.relative_to(REPO_ROOT).as_posix()
-    except ValueError:
-        return
-    if rel not in OBS_KERNEL_FILES:
-        return
-    if any("obs-operator-span" in allowed_rules(l) for l in raw_lines):
+def check_obs_operator_span(lint: FileLint, code: str) -> None:
+    if rel_posix(lint.path) not in OBS_KERNEL_FILES:
         return
     if not OBS_REF_RE.search(code):
-        findings.append(Finding(
-            path, 1, "obs-operator-span",
+        lint.hit_file_scoped(
+            "obs-operator-span",
             "hot-path kernel file never references the observability layer; "
             "operators must count (HTL_OBS_COUNT) and trace (HTL_OBS_SPAN) "
-            "their work, see CONTRIBUTING.md"))
+            "their work, see CONTRIBUTING.md")
 
 
 # The cache substrate and every cache client: each must feed the metrics
@@ -331,22 +413,15 @@ CACHE_OBS_FILES = {
 }
 
 
-def check_cache_obs(path: Path, raw_lines: list[str], code: str,
-                    findings: list[Finding]) -> None:
-    try:
-        rel = path.relative_to(REPO_ROOT).as_posix()
-    except ValueError:
-        return
-    if rel not in CACHE_OBS_FILES:
-        return
-    if any("cache-obs" in allowed_rules(l) for l in raw_lines):
+def check_cache_obs(lint: FileLint, code: str) -> None:
+    if rel_posix(lint.path) not in CACHE_OBS_FILES:
         return
     if not OBS_REF_RE.search(code):
-        findings.append(Finding(
-            path, 1, "cache-obs",
+        lint.hit_file_scoped(
+            "cache-obs",
             "cache machinery never references the observability layer; "
             "hit/miss/fill/eviction counters must reach obs::MetricsRegistry, "
-            "see CONTRIBUTING.md"))
+            "see CONTRIBUTING.md")
 
 
 LOOP_RE = re.compile(r"\b(?:for|while)\s*\(")
@@ -357,25 +432,55 @@ EXEC_REF_RE = re.compile(
 def is_engine_loop_file(path: Path) -> bool:
     if path.suffix != ".cc":
         return False
-    try:
-        rel = path.relative_to(REPO_ROOT).as_posix()
-    except ValueError:
-        return False
-    return rel.startswith("src/engine/") or rel == "src/sql/executor.cc"
+    rel = rel_posix(path)
+    return rel is not None and (rel.startswith("src/engine/") or
+                                rel == "src/sql/executor.cc")
 
 
-def check_exec_context_polling(path: Path, raw_lines: list[str], code: str,
-                               findings: list[Finding]) -> None:
-    if not is_engine_loop_file(path):
-        return
-    if any("exec-context-polling" in allowed_rules(l) for l in raw_lines):
+def check_exec_context_polling(lint: FileLint, code: str) -> None:
+    if not is_engine_loop_file(lint.path):
         return
     if LOOP_RE.search(code) and not EXEC_REF_RE.search(code):
-        findings.append(Finding(
-            path, 1, "exec-context-polling",
+        lint.hit_file_scoped(
+            "exec-context-polling",
             "engine-loop file never references the execution context; loops "
             "over segments/rows must poll it (HTL_CHECK_EXEC / ChargeRows), "
-            "see CONTRIBUTING.md"))
+            "see CONTRIBUTING.md")
+
+
+def check_stale_suppressions(lint: FileLint) -> None:
+    """Every allow() mention must have suppressed a real would-be finding in
+    this run; the rest are stale waivers (or typos) and get reported."""
+    if "stale-suppression" not in lint.enabled:
+        return
+    for idx, raw in enumerate(lint.raw_lines):
+        for rule in sorted(allowed_rules(raw)):
+            lineno = idx + 1
+            if rule not in ALL_RULES:
+                lint.findings.append(Finding(
+                    lint.path, lineno, "stale-suppression",
+                    f"allow({rule}) names an unknown rule (typo?); "
+                    "known rules are listed in tools/lint.py"))
+            elif rule == "stale-suppression":
+                lint.findings.append(Finding(
+                    lint.path, lineno, "stale-suppression",
+                    "allow(stale-suppression) is not suppressible; "
+                    "delete the stale comment instead"))
+            elif (lineno, rule) not in lint.used_allows:
+                lint.findings.append(Finding(
+                    lint.path, lineno, "stale-suppression",
+                    f"allow({rule}) suppresses nothing here "
+                    "(the rule no longer fires on this line, or is out of "
+                    "scope for this file); delete the comment"))
+
+
+def rules_for(path: Path) -> set[str]:
+    """src/ gets the full set; bench/, examples/, and anything else gets the
+    portable subset (see module docstring)."""
+    rel = rel_posix(path)
+    if rel is not None and rel.startswith("src/"):
+        return ALL_RULES
+    return AUX_RULES
 
 
 def lint_file(path: Path) -> list[Finding]:
@@ -383,25 +488,27 @@ def lint_file(path: Path) -> list[Finding]:
     raw_lines = raw.splitlines()
     code = strip_comments_and_strings(raw)
     code_lines = code.splitlines()
-    findings: list[Finding] = []
-    check_line_rules(path, raw_lines, code_lines, findings)
+    lint = FileLint(path, raw_lines, rules_for(path))
+    check_line_rules(lint, code_lines)
     if path.suffix in HEADER_EXTS:
-        check_header_guard(path, raw_lines, findings)
-    check_include_order(path, raw_lines, findings)
-    check_exec_context_polling(path, raw_lines, code, findings)
-    check_no_bare_timer(path, raw_lines, code_lines, findings)
-    check_obs_operator_span(path, raw_lines, code, findings)
-    check_cache_obs(path, raw_lines, code, findings)
-    return findings
+        check_header_guard(lint)
+    check_include_order(lint)
+    check_exec_context_polling(lint, code)
+    check_no_bare_timer(lint, code_lines)
+    check_obs_operator_span(lint, code)
+    check_cache_obs(lint, code)
+    check_stale_suppressions(lint)
+    return lint.findings
 
 
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("paths", nargs="*", type=Path,
-                        help="files or directories (default: src/)")
+                        help="files or directories (default: src/ bench/ examples/)")
     args = parser.parse_args(argv)
 
-    roots = args.paths or [REPO_ROOT / "src"]
+    roots = args.paths or [REPO_ROOT / "src", REPO_ROOT / "bench",
+                           REPO_ROOT / "examples"]
     files: list[Path] = []
     for root in roots:
         root = root.resolve()
