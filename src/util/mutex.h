@@ -85,7 +85,8 @@ class CondVar {
   std::cv_status WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
       HTL_REQUIRES(mu) {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
-    const std::cv_status status = cv_.wait_for(lock, timeout);
+    const std::cv_status status =
+        cv_.wait_for(lock, timeout);  // NOLINT(bugprone-spuriously-wake-up-functions)
     lock.release();
     return status;
   }
