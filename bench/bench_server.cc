@@ -1,0 +1,317 @@
+// Load harness for the query service: measures baseline capacity, then
+// drives a 10x-capacity overload phase and a drain-under-load phase,
+// gating on the robustness contract — under any load the server answers
+// every connection with a well-formed response (complete, degraded
+// partial, or an explicit Overloaded refusal) or a clean transport error,
+// never a hang, torn frame, or crash.
+//
+// Emits BENCH_server.json: throughput, p50/p99 latency, and the
+// ok/shed/reject fractions per phase. Exits non-zero when a gate fails,
+// so CI treats robustness regressions like correctness failures.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "model/video.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "perf_common.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+#include "workload/random_lists.h"
+#include "workload/video_gen.h"
+
+namespace htl::net {
+namespace {
+
+constexpr int kWorkerThreads = 4;
+constexpr int64_t kClientDeadlineMs = 500;
+constexpr double kPhaseSeconds = 2.0;
+
+// Mixed workload: three HTL shapes over the generated-video vocabulary and
+// one type (1) formula for the SQL system.
+const char* const kHtlQueries[] = {
+    "exists x (type(x) = 'person') until exists y (type(y) = 'train')",
+    "eventually exists x (moving(x) and armed(x))",
+    "exists x (type(x) = 'horse') and eventually exists y (moving(y))",
+};
+constexpr const char* kSqlQuery = "p0() until eventually p1()";
+constexpr int64_t kSqlN = 500;
+
+struct Outcomes {
+  std::vector<double> ok_latency_ms;  // Accepted (kWireOk) requests only.
+  int64_t ok = 0;        // kWireOk, complete or partial/degraded.
+  int64_t shed = 0;      // kWireOk with the degraded flag (soft watermark).
+  int64_t rejected = 0;  // kWireOverloaded (hard watermark / draining).
+  int64_t deadline = 0;  // kWireDeadlineExceeded or transport timeout.
+  int64_t transport = 0; // Clean Unavailable (refused / reset / torn).
+  int64_t bad = 0;       // Anything else — a robustness-contract violation.
+  std::string first_bad;  // Diagnostic: what the first bad outcome was.
+
+  int64_t total() const {
+    return ok + rejected + deadline + transport + bad;
+  }
+  void AddBad(const std::string& what) {
+    if (bad == 0) first_bad = what;
+    ++bad;
+  }
+  void Merge(const Outcomes& other) {
+    ok_latency_ms.insert(ok_latency_ms.end(), other.ok_latency_ms.begin(),
+                         other.ok_latency_ms.end());
+    ok += other.ok;
+    shed += other.shed;
+    rejected += other.rejected;
+    deadline += other.deadline;
+    transport += other.transport;
+    if (bad == 0 && other.bad > 0) first_bad = other.first_bad;
+    bad += other.bad;
+  }
+};
+
+double Percentile(std::vector<double>* values, double p) {
+  if (values->empty()) return 0.0;
+  std::sort(values->begin(), values->end());
+  const auto index = static_cast<size_t>(
+      p * static_cast<double>(values->size() - 1) + 0.5);
+  return (*values)[std::min(index, values->size() - 1)];
+}
+
+MetadataStore MakeStore() {
+  MetadataStore store;
+  Rng rng(0xBE9C);
+  for (int i = 0; i < 8; ++i) {
+    VideoGenOptions vopts;
+    vopts.min_branching = 2;
+    vopts.max_branching = 3;
+    store.AddVideo(GenerateVideo(rng, vopts));
+  }
+  return store;
+}
+
+/// One closed-loop client: issues mixed HTL/SQL requests until the clock
+/// runs out, recording per-request outcomes. Single attempt per request —
+/// the harness measures raw shed/reject behaviour, not retry smoothing.
+Outcomes RunClientLoop(uint16_t port, double seconds, uint64_t seed) {
+  ClientOptions copts;
+  copts.port = port;
+  copts.max_attempts = 1;
+  copts.io_timeout_ms = kClientDeadlineMs + 2000;  // Transport slack.
+  const QueryClient client(copts);
+  Rng rng(seed);
+  Outcomes out;
+  const WallTimer phase_timer;
+  while (phase_timer.ElapsedSeconds() < seconds) {
+    QueryRequest request;
+    request.deadline_ms = kClientDeadlineMs;
+    request.k = 10;
+    const int64_t pick = rng.UniformInt(0, 3);
+    if (pick == 3) {
+      request.kind = QueryKind::kSql;
+      request.query_text = kSqlQuery;
+    } else {
+      request.kind = QueryKind::kHtlSegments;
+      request.level = 3;  // Generated videos carry facts on the shot level.
+      request.query_text = kHtlQueries[pick];
+    }
+    const WallTimer request_timer;
+    auto response = client.QueryOnce(request);
+    const double ms =
+        static_cast<double>(request_timer.ElapsedMicros()) / 1000.0;
+    if (response.ok()) {
+      switch (response->status) {
+        case WireStatus::kWireOk:
+          ++out.ok;
+          if (response->degraded()) ++out.shed;
+          out.ok_latency_ms.push_back(ms);
+          break;
+        case WireStatus::kWireOverloaded:
+          ++out.rejected;
+          break;
+        case WireStatus::kWireDeadlineExceeded:
+          ++out.deadline;
+          break;
+        default:
+          // Parse/internal errors are not acceptable overload behaviour
+          // for well-formed requests.
+          out.AddBad(StrCat("wire status ", static_cast<int>(response->status),
+                            ": ", response->message));
+          break;
+      }
+    } else if (response.status().IsUnavailable()) {
+      ++out.transport;
+    } else if (response.status().IsDeadlineExceeded()) {
+      ++out.deadline;
+    } else {
+      out.AddBad(response.status().ToString());
+    }
+  }
+  return out;
+}
+
+/// Fans `num_clients` closed loops out on a pool and merges their outcomes.
+Outcomes RunPhase(uint16_t port, int num_clients, double seconds,
+                  uint64_t seed_base) {
+  std::vector<Outcomes> per_client(static_cast<size_t>(num_clients));
+  {
+    ThreadPool pool(ThreadPool::Options{.num_threads = num_clients});
+    for (int i = 0; i < num_clients; ++i) {
+      Outcomes* slot = &per_client[static_cast<size_t>(i)];
+      const uint64_t seed = seed_base + static_cast<uint64_t>(i);
+      pool.Schedule(
+          [port, seconds, seed, slot] { slot->Merge(RunClientLoop(port, seconds, seed)); });
+    }
+  }  // Pool destructor joins every client loop.
+  Outcomes merged;
+  for (const Outcomes& one : per_client) merged.Merge(one);
+  return merged;
+}
+
+void Record(bench::BenchJson* json, const char* phase, Outcomes* out,
+            double seconds) {
+  const double total = static_cast<double>(out->total());
+  const double denom = total > 0 ? total : 1;
+  const double p50 = Percentile(&out->ok_latency_ms, 0.50);
+  const double p99 = Percentile(&out->ok_latency_ms, 0.99);
+  json->Add(phase,
+            {{"requests", total},
+             {"throughput_qps", static_cast<double>(out->ok) / seconds},
+             {"p50_ms", p50},
+             {"p99_ms", p99},
+             {"ok_fraction", static_cast<double>(out->ok) / denom},
+             {"shed_fraction", static_cast<double>(out->shed) / denom},
+             {"reject_fraction", static_cast<double>(out->rejected) / denom},
+             {"deadline_fraction", static_cast<double>(out->deadline) / denom},
+             {"transport_fraction",
+              static_cast<double>(out->transport) / denom},
+             {"bad", static_cast<double>(out->bad)}});
+  std::printf(
+      "%-16s %6lld req  %8.1f qps  p50 %7.2f ms  p99 %7.2f ms  "
+      "shed %4.1f%%  reject %4.1f%%  bad %lld\n",
+      phase, static_cast<long long>(out->total()),
+      static_cast<double>(out->ok) / seconds, p50, p99,
+      100.0 * static_cast<double>(out->shed) / denom,
+      100.0 * static_cast<double>(out->rejected) / denom,
+      static_cast<long long>(out->bad));
+  if (out->bad > 0) {
+    std::printf("  first bad outcome: %s\n", out->first_bad.c_str());
+  }
+}
+
+bool Gate(bool ok, const char* what) {
+  if (!ok) std::printf("GATE FAILED: %s\n", what);
+  return ok;
+}
+
+int Run() {
+  obs::MetricsRegistry::Instance().SetEnabled(true);
+  bench::BenchJson json("server");
+
+  MetadataStore store = MakeStore();
+  ServerOptions options;
+  options.worker_threads = kWorkerThreads;
+  options.soft_watermark = kWorkerThreads + 2;
+  options.hard_watermark = 4 * kWorkerThreads;
+  options.default_deadline_ms = kClientDeadlineMs;
+  options.drain_deadline_ms = 2000;
+  {
+    Rng rng(777);
+    RandomListOptions lopts;
+    lopts.num_segments = kSqlN;
+    options.sql_inputs["p0"] = GenerateRandomList(rng, lopts);
+    options.sql_inputs["p1"] = GenerateRandomList(rng, lopts);
+    options.sql_n = kSqlN;
+  }
+  QueryServer server(&store, options);
+  if (Status started = server.Start(); !started.ok()) {
+    std::printf("server start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  const uint16_t port = server.port();
+  bool all_ok = true;
+
+  // Phase 1 — capacity: as many closed loops as workers. This is the
+  // denominator for "10x capacity" below.
+  Outcomes capacity = RunPhase(port, kWorkerThreads, kPhaseSeconds, 1000);
+  Record(&json, "capacity", &capacity, kPhaseSeconds);
+  all_ok &= Gate(capacity.bad == 0, "capacity: malformed outcome");
+  all_ok &= Gate(capacity.ok > 0, "capacity: no request succeeded");
+
+  // Phase 2 — overload: 10x the capacity client count. Liveness + shape:
+  // plenty of answers, all well-formed, sheds/rejects explicit, and the
+  // p99 of *accepted* requests stays bounded by the client deadline (plus
+  // transport slack) — overload must not smear accepted latencies.
+  Outcomes overload =
+      RunPhase(port, 10 * kWorkerThreads, kPhaseSeconds, 2000);
+  Record(&json, "overload_10x", &overload, kPhaseSeconds);
+  all_ok &= Gate(overload.bad == 0, "overload: malformed outcome");
+  all_ok &= Gate(overload.ok > 0, "overload: no request succeeded");
+  all_ok &= Gate(overload.total() > overload.ok,
+                 "overload: nothing was shed, rejected, or timed out at 10x "
+                 "capacity (watermarks never engaged)");
+  const double p99 = Percentile(&overload.ok_latency_ms, 0.99);
+  all_ok &= Gate(p99 <= static_cast<double>(kClientDeadlineMs) + 1500.0,
+                 "overload: accepted p99 not bounded by the client deadline");
+
+  // Liveness probe after the storm: one plain request must succeed.
+  {
+    ClientOptions copts;
+    copts.port = port;
+    copts.max_attempts = 3;
+    const QueryClient probe(copts);
+    QueryRequest request;
+    request.level = 3;
+    request.query_text = kHtlQueries[0];
+    auto response = probe.Query(request);
+    all_ok &= Gate(response.ok() && response->ok(),
+                   "liveness: post-overload request failed");
+  }
+
+  // Phase 3 — drain under load: shut down while 8 loops are firing. The
+  // gates: Shutdown returns OK (nothing leaked), promptly, and the load
+  // threads saw only well-formed outcomes throughout.
+  {
+    std::vector<Outcomes> per_client(8);
+    const WallTimer drain_timer;
+    double shutdown_s = 0.0;
+    Status drained = Status::OK();
+    {
+      ThreadPool pool(ThreadPool::Options{.num_threads = 8});
+      for (size_t i = 0; i < per_client.size(); ++i) {
+        Outcomes* slot = &per_client[i];
+        const uint64_t seed = 3000 + i;
+        pool.Schedule([port, seed, slot] {
+          slot->Merge(RunClientLoop(port, 1.0, seed));
+        });
+      }
+      // Let load build, then pull the plug mid-flight.
+      while (drain_timer.ElapsedSeconds() < 0.3) {
+      }
+      const WallTimer shutdown_timer;
+      drained = server.Shutdown();
+      shutdown_s = shutdown_timer.ElapsedSeconds();
+    }
+    Outcomes drain;
+    for (const Outcomes& one : per_client) drain.Merge(one);
+    Record(&json, "drain_under_load", &drain, 1.0);
+    json.Add("drain", {{"shutdown_s", shutdown_s},
+                       {"in_flight_after", static_cast<double>(server.in_flight())}});
+    all_ok &= Gate(drained.ok(), "drain: Shutdown reported a leak");
+    all_ok &= Gate(server.in_flight() == 0, "drain: sessions left in flight");
+    all_ok &= Gate(shutdown_s < 2.0 + 10.0, "drain: shutdown exceeded bound");
+    all_ok &= Gate(drain.bad == 0, "drain: malformed outcome under drain");
+  }
+
+  std::printf(all_ok ? "\nall gates passed\n" : "\nGATES FAILED\n");
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace htl::net
+
+int main() { return htl::net::Run(); }

@@ -1,0 +1,107 @@
+// CI smoke test for the query service: starts a server on a loopback
+// ephemeral port, runs the happy path (HTL segments over the wire), an
+// injected-fault path (engine.table_join tripping per video, surfaced as a
+// degraded partial response), and a graceful drain — exiting non-zero on
+// any deviation so the CI job gates on it.
+
+#include <cstdio>
+
+#include "engine/retrieval.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "util/fault_point.h"
+#include "util/rng.h"
+#include "workload/video_gen.h"
+
+int main() {
+  using namespace htl;
+  using namespace htl::net;
+
+  MetadataStore store;
+  Rng rng(20260808);
+  for (int i = 0; i < 4; ++i) {
+    VideoGenOptions vopts;
+    vopts.min_branching = 2;
+    vopts.max_branching = 3;
+    store.AddVideo(GenerateVideo(rng, vopts));
+  }
+
+  ServerOptions options;
+  options.worker_threads = 2;
+  QueryServer server(&store, options);
+  if (Status started = server.Start(); !started.ok()) {
+    std::printf("FAIL: server start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("server listening on 127.0.0.1:%u\n", server.port());
+
+  ClientOptions copts;
+  copts.port = server.port();
+  const QueryClient client(copts);
+
+  QueryRequest request;
+  request.query_text =
+      "exists x (type(x) = 'person') until exists y (type(y) = 'train')";
+  request.level = 3;  // Generated videos carry facts on the shot level.
+  request.k = 5;
+  request.deadline_ms = 10'000;
+
+  // 1. Happy path: a complete ranked response.
+  {
+    auto response = client.Query(request);
+    if (!response.ok() || !response->ok() || response->partial()) {
+      std::printf("FAIL: happy path: %s\n",
+                  response.ok() ? response->message.c_str()
+                                : response.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("happy path: %zu hits, %lld videos evaluated\n",
+                response->hits.size(),
+                static_cast<long long>(response->videos_evaluated));
+  }
+
+  // 2. Fault path: every table join trips, so every video is skipped and
+  // the response must come back partial with the skip count intact —
+  // not as a dropped connection or an internal crash.
+  {
+    FaultSpec spec;
+    spec.code = StatusCode::kInternal;
+    spec.fire_on_hit = 0;  // Every hit.
+    spec.sticky = true;
+    FaultRegistry::Instance().Enable("engine.table_join", spec);
+    auto response = client.Query(request);
+    FaultRegistry::Instance().DisableAll();
+    if (!response.ok() || !response->ok() || !response->partial() ||
+        response->videos_failed == 0) {
+      std::printf("FAIL: fault path did not surface as a partial response\n");
+      return 1;
+    }
+    std::printf("fault path: partial response, %lld/%lld videos skipped\n",
+                static_cast<long long>(response->videos_failed),
+                static_cast<long long>(response->videos_evaluated +
+                                       response->videos_failed));
+  }
+
+  // 3. Drain: shutdown must complete cleanly with nothing in flight.
+  if (Status drained = server.Shutdown(); !drained.ok()) {
+    std::printf("FAIL: drain: %s\n", drained.ToString().c_str());
+    return 1;
+  }
+  if (server.in_flight() != 0 || server.running()) {
+    std::printf("FAIL: sessions leaked through drain\n");
+    return 1;
+  }
+  std::printf("drain: clean\n");
+
+  // 4. Post-drain: connections are refused, a clean retryable error.
+  {
+    auto response = client.QueryOnce(request);
+    if (response.ok() || !response.status().IsUnavailable()) {
+      std::printf("FAIL: post-drain connect should be Unavailable\n");
+      return 1;
+    }
+  }
+  std::printf("query server smoke: all checks passed\n");
+  return 0;
+}

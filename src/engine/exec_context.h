@@ -98,6 +98,27 @@ class ExecContext {
     polls_since_clock_read_ = kDeadlinePollStride - 1;
   }
 
+  /// Upper clamp for SetTimeoutMs: 24 hours. Anything longer is
+  /// indistinguishable from "no deadline" for a query service, and bounding
+  /// it here keeps the milliseconds -> nanoseconds conversion safely inside
+  /// int64 for any wire value (INT64_MAX ms would overflow the duration).
+  static constexpr int64_t kMaxTimeoutMs = 24 * 60 * 60 * 1000;
+
+  /// Deadline from a relative timeout in *milliseconds* — the unit budgets
+  /// travel in over the wire (net/protocol.h) — with explicit clamping:
+  /// zero and negative values are already expired (the first poll fails,
+  /// exactly like SetTimeout(0)); values above kMaxTimeoutMs clamp down to
+  /// it. Call sites must use this instead of hand-rolled steady_clock
+  /// arithmetic so the edge cases stay in one tested place.
+  void SetTimeoutMs(int64_t timeout_ms) {
+    if (timeout_ms > kMaxTimeoutMs) timeout_ms = kMaxTimeoutMs;
+    if (timeout_ms <= 0) {
+      SetTimeout(std::chrono::nanoseconds(0));
+      return;
+    }
+    SetTimeout(std::chrono::milliseconds(timeout_ms));
+  }
+
   bool has_deadline() const { return has_deadline_; }
 
   /// Requests cooperative cancellation; safe from any thread. The querying

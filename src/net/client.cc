@@ -1,0 +1,90 @@
+#include "net/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "net/socket.h"
+
+namespace htl::net {
+
+QueryClient::QueryClient(ClientOptions options)
+    : options_(std::move(options)) {
+  if (options_.max_attempts < 1) options_.max_attempts = 1;
+  if (options_.backoff_initial_ms < 0) options_.backoff_initial_ms = 0;
+  if (options_.backoff_max_ms < options_.backoff_initial_ms) {
+    options_.backoff_max_ms = options_.backoff_initial_ms;
+  }
+  if (options_.backoff_multiplier < 1.0) options_.backoff_multiplier = 1.0;
+}
+
+int64_t QueryClient::BackoffDelayMs(const ClientOptions& options,
+                                    int attempt) {
+  if (attempt < 1 || options.backoff_initial_ms <= 0) return 0;
+  double delay = static_cast<double>(options.backoff_initial_ms);
+  const double cap = static_cast<double>(options.backoff_max_ms);
+  for (int i = 1; i < attempt && delay < cap; ++i) {
+    delay *= options.backoff_multiplier;
+  }
+  return static_cast<int64_t>(std::min(delay, cap));
+}
+
+Result<QueryResponse> QueryClient::QueryOnce(
+    const QueryRequest& request) const {
+  HTL_ASSIGN_OR_RETURN(
+      const std::string framed,
+      FrameMessage(EncodeRequest(request), options_.max_frame_bytes));
+
+  HTL_ASSIGN_OR_RETURN(
+      const Socket conn,
+      Connect(options_.host, options_.port,
+              DeadlineAfterMs(options_.connect_timeout_ms)));
+
+  const SocketDeadline io_deadline = DeadlineAfterMs(options_.io_timeout_ms);
+  HTL_RETURN_IF_ERROR(WriteFull(conn, framed.data(), framed.size(),
+                                io_deadline));
+
+  uint8_t header[kFrameHeaderBytes];
+  HTL_RETURN_IF_ERROR(ReadFull(conn, header, sizeof(header), io_deadline));
+  HTL_ASSIGN_OR_RETURN(const uint32_t body_len,
+                       CheckFrameHeader(header, options_.max_frame_bytes));
+  std::string body(body_len, '\0');
+  if (body_len > 0) {
+    HTL_RETURN_IF_ERROR(ReadFull(conn, body.data(), body.size(),
+                                 io_deadline));
+  }
+  return DecodeResponse(body);
+}
+
+Result<QueryResponse> QueryClient::Query(const QueryRequest& request) const {
+  Status last = Status::Unavailable("no attempt made");
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      const int64_t delay = BackoffDelayMs(options_, attempt);
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+    }
+
+    auto response = QueryOnce(request);
+    if (response.ok()) {
+      if (response->status == WireStatus::kWireOverloaded &&
+          attempt + 1 < options_.max_attempts) {
+        // Explicit shed/drain refusal: the one *response* worth backing off
+        // and retrying. The final attempt's Overloaded response is returned
+        // as-is so callers see the refusal, not a synthetic error.
+        last = StatusFromWire(response->status, response->message);
+        continue;
+      }
+      return response;
+    }
+    if (!response.status().IsUnavailable()) {
+      return response;  // Deterministic failure or spent deadline: give up.
+    }
+    last = response.status();  // Transient transport failure: retry.
+  }
+  return last;
+}
+
+}  // namespace htl::net

@@ -1,0 +1,82 @@
+#ifndef HTL_NET_CLIENT_H_
+#define HTL_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "util/result.h"
+
+namespace htl::net {
+
+/// Tuning for one QueryClient.
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  /// Transport deadlines: establishing the connection, and each of the
+  /// request-write / response-read halves of the exchange. A server that
+  /// stalls mid-frame surfaces as DeadlineExceeded, never a hang.
+  int64_t connect_timeout_ms = 1000;
+  int64_t io_timeout_ms = 3000;
+
+  /// Retry policy: total attempts (1 = no retries). Only *retryable*
+  /// failures are retried — see QueryClient::Query.
+  int max_attempts = 3;
+
+  /// Capped exponential backoff between attempts: attempt n (n >= 1 is the
+  /// first retry) sleeps initial * multiplier^(n-1) ms, capped at max.
+  /// Deterministic (no jitter) so tests can assert the schedule exactly.
+  int64_t backoff_initial_ms = 10;
+  int64_t backoff_max_ms = 500;
+  double backoff_multiplier = 2.0;
+
+  /// Frame cap for responses (must be >= the server's; oversized inbound
+  /// frames are rejected before allocation).
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// Client for the QueryServer wire protocol: one connect/request/response
+/// exchange per attempt, deadlines on every blocking step, and capped
+/// exponential backoff on retryable failures.
+///
+/// Retryable (up to max_attempts, with backoff):
+///   * Unavailable transport errors — connection refused, peer reset, torn
+///     response (the server died or shed the connection);
+///   * kWireOverloaded responses — the server's explicit shed/drain refusal
+///     (backing off is the entire point of that status).
+/// Never retried:
+///   * DeadlineExceeded — the budget is spent; retrying cannot help and
+///     would pile onto an overloaded server exactly when it hurts most;
+///   * every other error (InvalidArgument, ParseError, Internal, ...) —
+///     deterministic failures that would fail identically again.
+///
+/// Thread model: stateless between calls; one QueryClient may be shared by
+/// any number of threads.
+class QueryClient {
+ public:
+  explicit QueryClient(ClientOptions options);
+
+  /// Runs one query to completion under the retry policy. Returns the
+  /// server's decoded response (including error and Overloaded responses —
+  /// inspect QueryResponse::status) or the final transport error.
+  Result<QueryResponse> Query(const QueryRequest& request) const;
+
+  /// A single attempt, no retries (exposed for tests and the bench harness
+  /// overload phase, which must observe raw shed/reject behaviour).
+  Result<QueryResponse> QueryOnce(const QueryRequest& request) const;
+
+  /// The backoff delay before retry attempt `attempt` (1-based), in ms —
+  /// the schedule Query() sleeps. Exposed so tests pin the cap and curve.
+  static int64_t BackoffDelayMs(const ClientOptions& options, int attempt);
+
+  const ClientOptions& options() const { return options_; }
+
+ private:
+  ClientOptions options_;
+};
+
+}  // namespace htl::net
+
+#endif  // HTL_NET_CLIENT_H_

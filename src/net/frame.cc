@@ -1,0 +1,286 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace htl::net {
+
+namespace {
+
+/// Hard cap on hits in one response, independent of the frame cap: a hostile
+/// num_hits prefix must not drive a huge reserve before truncation is
+/// noticed. 32 bytes per hit keeps this consistent with kDefaultMaxFrameBytes.
+constexpr uint32_t kMaxWireHits = kDefaultMaxFrameBytes / 32;
+
+}  // namespace
+
+bool IsValidQueryKind(uint8_t kind) {
+  return kind <= static_cast<uint8_t>(QueryKind::kSql);
+}
+
+WireStatus WireStatusFromCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return WireStatus::kWireOk;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kFailedPrecondition:
+      return WireStatus::kWireInvalidArgument;
+    case StatusCode::kParseError:
+      return WireStatus::kWireParseError;
+    case StatusCode::kDeadlineExceeded:
+      return WireStatus::kWireDeadlineExceeded;
+    case StatusCode::kCancelled:
+      return WireStatus::kWireCancelled;
+    case StatusCode::kResourceExhausted:
+      return WireStatus::kWireResourceExhausted;
+    case StatusCode::kUnavailable:
+      return WireStatus::kWireOverloaded;
+    case StatusCode::kUnimplemented:
+      return WireStatus::kWireUnimplemented;
+    case StatusCode::kInternal:
+      return WireStatus::kWireInternal;
+  }
+  return WireStatus::kWireInternal;
+}
+
+Status StatusFromWire(WireStatus wire, std::string message) {
+  switch (wire) {
+    case WireStatus::kWireOk:
+      return Status::OK();
+    case WireStatus::kWireInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case WireStatus::kWireParseError:
+      return Status::ParseError(std::move(message));
+    case WireStatus::kWireDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(message));
+    case WireStatus::kWireCancelled:
+      return Status::Cancelled(std::move(message));
+    case WireStatus::kWireResourceExhausted:
+      return Status::ResourceExhausted(std::move(message));
+    case WireStatus::kWireOverloaded:
+      return Status::Unavailable(std::move(message));
+    case WireStatus::kWireUnimplemented:
+      return Status::Unimplemented(std::move(message));
+    case WireStatus::kWireInternal:
+      return Status::Internal(std::move(message));
+  }
+  return Status::Internal(std::move(message));
+}
+
+void ByteWriter::U8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+
+void ByteWriter::U32(uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  bytes_.append(buf, 4);
+}
+
+void ByteWriter::I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+
+void ByteWriter::I64(int64_t v) {
+  const auto u = static_cast<uint64_t>(v);
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((u >> (8 * i)) & 0xFF);
+  bytes_.append(buf, 8);
+}
+
+void ByteWriter::F64(double v) {
+  static_assert(sizeof(double) == 8, "wire doubles are 8 bytes");
+  char buf[8];
+  std::memcpy(buf, &v, 8);  // IEEE-754 little-endian hosts only.
+  bytes_.append(buf, 8);
+}
+
+void ByteWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  bytes_.append(s.data(), s.size());
+}
+
+bool ByteReader::Raw(void* out, size_t n) {
+  if (remaining() < n) return false;
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::U8(uint8_t* out) { return Raw(out, 1); }
+
+bool ByteReader::U32(uint32_t* out) {
+  uint8_t buf[4];
+  if (!Raw(buf, 4)) return false;
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | buf[i];
+  *out = v;
+  return true;
+}
+
+bool ByteReader::I32(int32_t* out) {
+  uint32_t u = 0;
+  if (!U32(&u)) return false;
+  *out = static_cast<int32_t>(u);
+  return true;
+}
+
+bool ByteReader::I64(int64_t* out) {
+  uint8_t buf[8];
+  if (!Raw(buf, 8)) return false;
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | buf[i];
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ByteReader::F64(double* out) {
+  uint8_t buf[8];
+  if (!Raw(buf, 8)) return false;
+  std::memcpy(out, buf, 8);
+  return true;
+}
+
+bool ByteReader::Str(std::string* out) {
+  uint32_t len = 0;
+  if (!U32(&len)) return false;
+  if (remaining() < len) return false;  // Hostile length prefix: no alloc.
+  out->assign(data_.data() + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+std::string EncodeRequest(const QueryRequest& request) {
+  ByteWriter w;
+  w.U8(kProtocolVersion);
+  w.U8(static_cast<uint8_t>(request.kind));
+  w.U8(request.use_cache ? 1 : 0);
+  w.U8(request.flags);
+  w.I32(request.level);
+  w.I32(request.parallelism);
+  w.I64(request.k);
+  w.I64(request.deadline_ms);
+  w.Str(request.query_text);
+  return w.Take();
+}
+
+Result<QueryRequest> DecodeRequest(std::string_view body) {
+  ByteReader r(body);
+  uint8_t version = 0, kind = 0, use_cache = 0, flags = 0;
+  QueryRequest req;
+  if (!r.U8(&version) || !r.U8(&kind) || !r.U8(&use_cache) || !r.U8(&flags) ||
+      !r.I32(&req.level) || !r.I32(&req.parallelism) || !r.I64(&req.k) ||
+      !r.I64(&req.deadline_ms) || !r.Str(&req.query_text)) {
+    return Status::ParseError("truncated request frame");
+  }
+  if (!r.exhausted()) {
+    return Status::ParseError(
+        StrCat("request frame has ", r.remaining(), " trailing byte(s)"));
+  }
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument(
+        StrCat("unsupported protocol version ", static_cast<int>(version),
+               " (speak ", static_cast<int>(kProtocolVersion), ")"));
+  }
+  if (!IsValidQueryKind(kind)) {
+    return Status::InvalidArgument(
+        StrCat("unknown query kind ", static_cast<int>(kind)));
+  }
+  req.kind = static_cast<QueryKind>(kind);
+  req.use_cache = use_cache != 0;
+  req.flags = flags;
+  return req;
+}
+
+std::string EncodeResponse(const QueryResponse& response) {
+  ByteWriter w;
+  w.U8(kProtocolVersion);
+  w.U8(static_cast<uint8_t>(response.status));
+  w.U8(response.flags);
+  w.I64(response.videos_evaluated);
+  w.I64(response.videos_failed);
+  w.U32(static_cast<uint32_t>(response.hits.size()));
+  for (const WireHit& hit : response.hits) {
+    w.I64(hit.video);
+    w.I64(hit.segment);
+    w.F64(hit.actual);
+    w.F64(hit.max);
+  }
+  w.Str(response.message);
+  return w.Take();
+}
+
+Result<QueryResponse> DecodeResponse(std::string_view body) {
+  ByteReader r(body);
+  uint8_t version = 0, status = 0;
+  QueryResponse resp;
+  uint32_t num_hits = 0;
+  if (!r.U8(&version) || !r.U8(&status) || !r.U8(&resp.flags) ||
+      !r.I64(&resp.videos_evaluated) || !r.I64(&resp.videos_failed) ||
+      !r.U32(&num_hits)) {
+    return Status::ParseError("truncated response frame");
+  }
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument(
+        StrCat("unsupported protocol version ", static_cast<int>(version)));
+  }
+  if (status > static_cast<uint8_t>(WireStatus::kWireInternal)) {
+    return Status::ParseError(
+        StrCat("unknown wire status ", static_cast<int>(status)));
+  }
+  if (num_hits > kMaxWireHits || r.remaining() / 32 < num_hits) {
+    return Status::ParseError(
+        StrCat("hit count ", num_hits, " exceeds the frame's capacity"));
+  }
+  resp.status = static_cast<WireStatus>(status);
+  resp.hits.reserve(num_hits);
+  for (uint32_t i = 0; i < num_hits; ++i) {
+    WireHit hit;
+    if (!r.I64(&hit.video) || !r.I64(&hit.segment) || !r.F64(&hit.actual) ||
+        !r.F64(&hit.max)) {
+      return Status::ParseError("truncated response hit list");
+    }
+    resp.hits.push_back(hit);
+  }
+  if (!r.Str(&resp.message)) {
+    return Status::ParseError("truncated response message");
+  }
+  if (!r.exhausted()) {
+    return Status::ParseError(
+        StrCat("response frame has ", r.remaining(), " trailing byte(s)"));
+  }
+  return resp;
+}
+
+Result<std::string> FrameMessage(std::string_view body,
+                                 uint32_t max_frame_bytes) {
+  if (body.size() > max_frame_bytes) {
+    return Status::InvalidArgument(
+        StrCat("frame body of ", body.size(), " bytes exceeds the cap of ",
+               max_frame_bytes));
+  }
+  ByteWriter w;
+  w.U32(kFrameMagic);
+  w.U32(static_cast<uint32_t>(body.size()));
+  std::string out = w.Take();
+  out.append(body.data(), body.size());
+  return out;
+}
+
+Result<uint32_t> CheckFrameHeader(const uint8_t header[kFrameHeaderBytes],
+                                  uint32_t max_frame_bytes) {
+  uint32_t magic = 0, length = 0;
+  for (int i = 3; i >= 0; --i) magic = (magic << 8) | header[i];
+  for (int i = 7; i >= 4; --i) length = (length << 8) | header[i];
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument("bad frame magic (not an htl query frame)");
+  }
+  if (length > max_frame_bytes) {
+    return Status::ResourceExhausted(
+        StrCat("frame of ", length, " bytes exceeds the cap of ",
+               max_frame_bytes));
+  }
+  return length;
+}
+
+}  // namespace htl::net

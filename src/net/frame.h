@@ -1,0 +1,93 @@
+#ifndef HTL_NET_FRAME_H_
+#define HTL_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/protocol.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace htl::net {
+
+/// Wire framing: every message is `magic(4) length(4) body(length)` with
+/// fixed-width little-endian integers. The magic byte sequence rejects
+/// accidental cross-protocol traffic before any length is trusted; the
+/// length is validated against the reader's max-frame cap *before* any
+/// allocation, so an adversarial length prefix cannot balloon memory.
+inline constexpr uint32_t kFrameMagic = 0x51'4C'54'48;  // "HTLQ" little-endian.
+inline constexpr uint32_t kFrameHeaderBytes = 8;
+
+/// Default cap on one frame body. Requests are tiny (query text); responses
+/// carry at most k hits plus a profile text. Anything larger is hostile.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 1 << 20;
+
+/// Append-only little-endian byte writer for frame bodies.
+class ByteWriter {
+ public:
+  void U8(uint8_t v);
+  void U32(uint32_t v);
+  void I32(int32_t v);
+  void I64(int64_t v);
+  void F64(double v);
+  /// U32 length prefix + raw bytes.
+  void Str(std::string_view s);
+
+  const std::string& bytes() const { return bytes_; }
+  std::string Take() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+/// Bounds-checked little-endian reader over a frame body. Every accessor
+/// fails cleanly (false) on underflow instead of reading past the buffer —
+/// the property the hostile-input suite hammers on.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool U8(uint8_t* out);
+  bool U32(uint32_t* out);
+  bool I32(int32_t* out);
+  bool I64(int64_t* out);
+  bool F64(double* out);
+  /// Length-prefixed string; the prefix is validated against the remaining
+  /// bytes before anything is copied.
+  bool Str(std::string* out);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return remaining() == 0; }
+
+ private:
+  bool Raw(void* out, size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Request body <-> bytes. Encode never fails; Decode returns
+/// InvalidArgument/ParseError on anything malformed (wrong version, unknown
+/// kind, truncation, trailing garbage) and never crashes or over-reads.
+std::string EncodeRequest(const QueryRequest& request);
+Result<QueryRequest> DecodeRequest(std::string_view body);
+
+/// Response body <-> bytes, same contract.
+std::string EncodeResponse(const QueryResponse& response);
+Result<QueryResponse> DecodeResponse(std::string_view body);
+
+/// Frames `body` with the magic/length header. Fails InvalidArgument when
+/// the body exceeds `max_frame_bytes` (callers surface this before writing
+/// anything, so oversized responses never produce torn frames).
+Result<std::string> FrameMessage(std::string_view body, uint32_t max_frame_bytes);
+
+/// Validates a frame header (magic + length), returning the body length.
+/// InvalidArgument on bad magic; ResourceExhausted when the length exceeds
+/// `max_frame_bytes` — the slow-loris / memory-bomb rejection path.
+Result<uint32_t> CheckFrameHeader(const uint8_t header[kFrameHeaderBytes],
+                                  uint32_t max_frame_bytes);
+
+}  // namespace htl::net
+
+#endif  // HTL_NET_FRAME_H_

@@ -1,0 +1,499 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "htl/parser.h"
+#include "sim/topk.h"
+#include "sql/sql_system.h"
+#include "util/fault_point.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace htl::net {
+
+namespace {
+
+/// Accept-loop poll tick: how quickly Shutdown() is observed.
+constexpr int64_t kAcceptTickMs = 20;
+
+/// Hard bound on the post-cancel drain wait. Cancelled sessions unwind in
+/// milliseconds (engines poll their context, sockets are shut down); this
+/// only bounds the wait against bugs, so Shutdown can report a leak
+/// instead of hanging.
+constexpr int64_t kCancelledDrainSlackMs = 10'000;
+
+QueryResponse ErrorResponse(const Status& status) {
+  QueryResponse resp;
+  resp.status = WireStatusFromCode(status.code());
+  resp.message = status.message();
+  return resp;
+}
+
+QueryResponse OverloadedResponse(const char* why) {
+  QueryResponse resp;
+  resp.status = WireStatus::kWireOverloaded;
+  resp.message = why;
+  return resp;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(const MetadataStore* store, ServerOptions options)
+    : store_(store), options_(std::move(options)) {
+  if (options_.worker_threads < 1) options_.worker_threads = 1;
+  if (options_.soft_watermark <= 0) {
+    options_.soft_watermark = options_.worker_threads;
+  }
+  if (options_.hard_watermark <= 0) {
+    options_.hard_watermark =
+        4 * std::max<int64_t>(options_.soft_watermark, options_.worker_threads);
+  }
+  // The soft band must be inside the hard band for the state machine
+  // degrade -> reject to make sense.
+  options_.hard_watermark =
+      std::max(options_.hard_watermark, options_.soft_watermark);
+  if (options_.max_hits < 1) options_.max_hits = 1;
+
+  auto& metrics = obs::MetricsRegistry::Instance();
+  accepted_ = metrics.GetCounter("net.accepted");
+  rejected_ = metrics.GetCounter("net.rejected_overload");
+  shed_degraded_ = metrics.GetCounter("net.shed_degraded");
+  frame_errors_ = metrics.GetCounter("net.frame_errors");
+  responses_ok_ = metrics.GetCounter("net.responses_ok");
+  responses_error_ = metrics.GetCounter("net.responses_error");
+  in_flight_gauge_ = metrics.GetGauge("net.in_flight");
+  latency_us_ = metrics.GetHistogram(
+      "net.request_latency_us",
+      obs::Histogram::ExponentialBounds(100, 2.0, 18));
+}
+
+QueryServer::~QueryServer() {
+  if (started_.load(std::memory_order_acquire)) {
+    Shutdown().IgnoreError();  // Destructor cannot report; Shutdown logged.
+  }
+}
+
+Status QueryServer::Start() {
+  if (started_.exchange(true, std::memory_order_acq_rel)) {
+    return Status::FailedPrecondition("QueryServer::Start called twice");
+  }
+  HTL_ASSIGN_OR_RETURN(listener_,
+                       ListenOnLoopback(options_.port, options_.accept_backlog));
+  HTL_ASSIGN_OR_RETURN(port_, LocalPort(listener_));
+
+  ThreadPool::Options pool_options;
+  pool_options.num_threads = options_.worker_threads + 1;  // +1: accept loop.
+  // The accept loop rejects past the hard watermark, so at most
+  // hard_watermark sessions are ever queued or running; with this capacity
+  // Schedule() never blocks the accept loop.
+  pool_options.queue_capacity = options_.hard_watermark + 2;
+  pool_ = std::make_unique<ThreadPool>(pool_options);
+
+  running_.store(true, std::memory_order_release);
+  pool_->Schedule([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void QueryServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    auto conn = Accept(listener_, DeadlineAfterMs(kAcceptTickMs));
+    if (!conn.ok()) {
+      if (conn.status().IsDeadlineExceeded()) continue;  // Idle tick.
+      if (conn.status().IsUnavailable()) break;  // Listener shut down.
+      // Transient accept failure (e.g. fd pressure): keep serving.
+      frame_errors_->Increment();
+      continue;
+    }
+
+    // net.accept: an injected fault here models accept-time breakage (fd
+    // exhaustion, a peer that vanished); the connection is dropped and the
+    // loop keeps serving.
+    if (FaultRegistry::Armed()) {
+      const Status fault = FaultRegistry::Instance().Hit("net.accept");
+      if (!fault.ok()) {
+        frame_errors_->Increment();
+        continue;  // conn closes via RAII.
+      }
+    }
+
+    const int64_t admitted =
+        in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (admitted > options_.hard_watermark ||
+        stopping_.load(std::memory_order_acquire)) {
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      rejected_->Increment();
+      // Refuse explicitly: drain whatever request bytes already arrived
+      // (so the close does not RST the response away), answer Overloaded,
+      // close. The accept loop never blocks on this peer — DrainPending
+      // does not wait and the response write has a short deadline.
+      DrainPending(*conn, options_.max_frame_bytes);
+      WriteResponseBestEffort(*conn, OverloadedResponse(
+          stopping_.load(std::memory_order_acquire)
+              ? "server draining"
+              : "overloaded: in-flight limit reached"));
+      continue;
+    }
+
+    accepted_->Increment();
+    in_flight_gauge_->Set(admitted);
+    const uint64_t id =
+        next_session_id_.fetch_add(1, std::memory_order_relaxed);
+    auto socket = std::make_shared<Socket>(std::move(*conn));
+    pool_->Schedule([this, id, socket] { RunSession(id, socket); });
+  }
+
+  // The listener is closed by Shutdown *after* this flag flips — closing
+  // it here would race Shutdown's concurrent ShutdownBoth() on the fd.
+  MutexLock lock(&mu_);
+  accept_loop_done_ = true;
+  drained_cv_.NotifyAll();
+}
+
+void QueryServer::RunSession(uint64_t session_id,
+                             const std::shared_ptr<Socket>& socket) {
+  // Registered for the whole session so the drain path can reach the
+  // socket; the context pointer joins once the request is decoded.
+  {
+    MutexLock lock(&mu_);
+    live_[session_id] = LiveSession{socket.get(), nullptr};
+  }
+
+  ServeOneRequest(session_id, *socket);
+
+  {
+    MutexLock lock(&mu_);
+    live_.erase(session_id);
+  }
+  const int64_t remaining =
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  in_flight_gauge_->Set(remaining);
+  drained_cv_.NotifyAll();
+}
+
+void QueryServer::ServeOneRequest(uint64_t session_id, const Socket& socket) {
+  // --- Read the request frame under the read deadline. ------------------
+  const SocketDeadline read_deadline =
+      DeadlineAfterMs(options_.read_timeout_ms);
+
+  Status torn = Status::OK();
+  if (FaultRegistry::Armed()) {
+    // net.read_frame: models a torn/stalled inbound frame.
+    torn = FaultRegistry::Instance().Hit("net.read_frame");
+  }
+
+  uint8_t header[kFrameHeaderBytes];
+  if (torn.ok()) {
+    torn = ReadFull(socket, header, sizeof(header), read_deadline);
+  }
+  if (!torn.ok()) {
+    // Nothing trustworthy arrived (timeout, torn read, or injected fault):
+    // there is no request to answer, so the only clean move is to close.
+    frame_errors_->Increment();
+    return;
+  }
+
+  auto body_len = CheckFrameHeader(header, options_.max_frame_bytes);
+  if (!body_len.ok()) {
+    // Bad magic or oversized length: the header itself was readable, so an
+    // explicit error response is possible before closing.
+    frame_errors_->Increment();
+    WriteResponseBestEffort(socket, ErrorResponse(body_len.status()));
+    return;
+  }
+  std::string body(*body_len, '\0');
+  if (*body_len > 0) {
+    const Status read =
+        ReadFull(socket, body.data(), body.size(), read_deadline);
+    if (!read.ok()) {
+      frame_errors_->Increment();  // Slow loris or torn body: drop.
+      return;
+    }
+  }
+
+  auto request = DecodeRequest(body);
+  if (!request.ok()) {
+    frame_errors_->Increment();
+    WriteResponseBestEffort(socket, ErrorResponse(request.status()));
+    return;
+  }
+
+  // --- Admission: decide the shedding band for this request. ------------
+  QueryResponse response;
+  const WallTimer timer;
+  if (drain_cancelled_.load(std::memory_order_acquire)) {
+    response = OverloadedResponse("server draining");
+  } else {
+    const bool degraded = in_flight_.load(std::memory_order_acquire) >
+                          options_.soft_watermark;
+    if (degraded) shed_degraded_->Increment();
+
+    // Budget mapping: the client's deadline becomes the context deadline,
+    // so evaluation is cancelled server-side when the budget expires.
+    ExecContext ctx(degraded ? options_.shed_budgets : ExecBudgets{});
+    ctx.SetTimeoutMs(request->deadline_ms > 0 ? request->deadline_ms
+                                              : options_.default_deadline_ms);
+    {
+      MutexLock lock(&mu_);
+      auto it = live_.find(session_id);
+      if (it != live_.end()) it->second.ctx = &ctx;
+    }
+
+    Status injected = Status::OK();
+    if (FaultRegistry::Armed()) {
+      // net.session: an injected session-scope failure surfaces as a
+      // well-formed error response (never a dropped connection).
+      injected = FaultRegistry::Instance().Hit("net.session");
+    }
+    response = injected.ok() ? HandleRequest(*request, degraded, &ctx)
+                             : ErrorResponse(injected);
+
+    // A degraded-mode ResourceExhausted was caused by the *shed* budgets,
+    // not by the request (un-shed requests run with unlimited budgets):
+    // report it as the retryable Overloaded refusal it really is, so
+    // clients back off and retry instead of treating the query as broken.
+    if (degraded && response.status == WireStatus::kWireResourceExhausted) {
+      response = OverloadedResponse(
+          "degraded-mode budget exhausted; retry when load clears");
+      response.flags |= kFlagDegraded;
+    }
+
+    // The context dies with this scope: unhook it from the drain path
+    // first (Cancel after this point would be a use-after-free).
+    {
+      MutexLock lock(&mu_);
+      auto it = live_.find(session_id);
+      if (it != live_.end()) it->second.ctx = nullptr;
+    }
+  }
+  latency_us_->Observe(timer.ElapsedMicros());
+
+  // --- Write the response frame under the write deadline. ---------------
+  if (FaultRegistry::Armed()) {
+    // net.write_frame: models a peer that vanished mid-response — the
+    // session closes without writing and the server carries on.
+    if (!FaultRegistry::Instance().Hit("net.write_frame").ok()) {
+      frame_errors_->Increment();
+      return;
+    }
+  }
+
+  std::string resp_body = EncodeResponse(response);
+  auto framed = FrameMessage(resp_body, options_.max_frame_bytes);
+  if (!framed.ok()) {
+    // Response overflowed the frame cap (huge k + profile text): degrade
+    // to a hit-less error response rather than a torn frame.
+    response = ErrorResponse(Status::ResourceExhausted(
+        "response exceeded the frame cap; lower k or drop want_profile"));
+    resp_body = EncodeResponse(response);
+    framed = FrameMessage(resp_body, options_.max_frame_bytes);
+    if (!framed.ok()) {
+      // Even the error response overflows (a deliberately tiny cap):
+      // closing without a frame is the only well-formed move left.
+      frame_errors_->Increment();
+      return;
+    }
+  }
+  const Status written =
+      WriteFull(socket, framed->data(), framed->size(),
+                DeadlineAfterMs(options_.write_timeout_ms));
+  if (!written.ok()) {
+    frame_errors_->Increment();  // Peer gone or not draining: drop.
+    return;
+  }
+  if (response.ok()) {
+    responses_ok_->Increment();
+  } else {
+    responses_error_->Increment();
+  }
+}
+
+QueryResponse QueryServer::HandleRequest(const QueryRequest& request,
+                                         bool degraded, ExecContext* ctx) {
+  QueryResponse response;
+  switch (request.kind) {
+    case QueryKind::kHtlSegments:
+    case QueryKind::kHtlVideos:
+      response = HandleHtl(request, ctx);
+      break;
+    case QueryKind::kSql:
+      response = HandleSql(request, ctx);
+      break;
+  }
+  if (degraded) response.flags |= kFlagDegraded;
+  return response;
+}
+
+QueryResponse QueryServer::HandleHtl(const QueryRequest& request,
+                                     ExecContext* ctx) {
+  if (request.k <= 0) {
+    return ErrorResponse(Status::InvalidArgument("k must be positive"));
+  }
+  const int64_t k = std::min(request.k, options_.max_hits);
+  Retriever* retriever =
+      RetrieverFor(request.use_cache, request.parallelism == 1);
+
+  auto formula = retriever->Prepare(request.query_text);
+  if (!formula.ok()) return ErrorResponse(formula.status());
+
+  const bool want_profile = (request.flags & kFlagWantProfile) != 0;
+  QueryResponse response;
+
+  if (request.kind == QueryKind::kHtlSegments) {
+    auto result = want_profile
+                      ? retriever->TopSegmentsProfiled(**formula,
+                                                       request.level, k, ctx)
+                      : retriever->TopSegmentsWithReport(**formula,
+                                                         request.level, k, ctx);
+    if (!result.ok()) return ErrorResponse(result.status());
+    for (const SegmentHit& hit : result->hits) {
+      response.hits.push_back(
+          WireHit{hit.video, hit.segment, hit.sim.actual, hit.sim.max});
+    }
+    FillReport(result->report, want_profile, &response);
+  } else {
+    auto result = want_profile
+                      ? retriever->TopVideosProfiled(**formula, k, ctx)
+                      : retriever->TopVideosWithReport(**formula, k, ctx);
+    if (!result.ok()) return ErrorResponse(result.status());
+    for (const VideoHit& hit : result->hits) {
+      response.hits.push_back(
+          WireHit{hit.video, 0, hit.sim.actual, hit.sim.max});
+    }
+    FillReport(result->report, want_profile, &response);
+  }
+  return response;
+}
+
+void QueryServer::FillReport(const RetrievalReport& report, bool want_profile,
+                             QueryResponse* response) {
+  response->videos_evaluated = report.videos_evaluated;
+  response->videos_failed = report.videos_failed;
+  if (!report.complete()) {
+    response->flags |= kFlagPartial;
+    response->message = report.ToString();
+  }
+  if (want_profile) response->message = report.profile.ToText();
+}
+
+QueryResponse QueryServer::HandleSql(const QueryRequest& request,
+                                     ExecContext* ctx) {
+  if (options_.sql_inputs.empty() || options_.sql_n <= 0) {
+    return ErrorResponse(Status::Unimplemented(
+        "this server has no SQL input relations configured"));
+  }
+  if (request.k <= 0) {
+    return ErrorResponse(Status::InvalidArgument("k must be positive"));
+  }
+  auto formula = ParseFormula(request.query_text);
+  if (!formula.ok()) return ErrorResponse(formula.status());
+
+  sql::SqlSystem system;
+  system.executor().set_exec_context(ctx);
+  auto list =
+      system.Evaluate(**formula, options_.sql_inputs, options_.sql_n);
+  if (!list.ok()) return ErrorResponse(list.status());
+
+  QueryResponse response;
+  const int64_t k = std::min(request.k, options_.max_hits);
+  for (const RankedSegment& seg : TopKSegments(*list, k)) {
+    response.hits.push_back(
+        WireHit{0, seg.id, seg.sim.actual, seg.sim.max});
+  }
+  response.videos_evaluated = 1;
+  return response;
+}
+
+Retriever* QueryServer::RetrieverFor(bool use_cache, bool serial) {
+  const int index = (use_cache ? 2 : 0) + (serial ? 1 : 0);
+  MutexLock lock(&retrievers_mu_);
+  if (retrievers_[index] == nullptr) {
+    QueryOptions opts = options_.query_options;
+    opts.cache_mode = use_cache ? CacheMode::kReadWrite : CacheMode::kOff;
+    if (serial) opts.parallelism = 1;
+    retrievers_[index] = std::make_unique<Retriever>(store_, opts);
+  }
+  return retrievers_[index].get();
+}
+
+void QueryServer::WriteResponseBestEffort(const Socket& socket,
+                                          const QueryResponse& response) {
+  auto framed =
+      FrameMessage(EncodeResponse(response), options_.max_frame_bytes);
+  if (!framed.ok()) return;  // Cannot happen for hit-less responses.
+  WriteFull(socket, framed->data(), framed->size(),
+            DeadlineAfterMs(options_.write_timeout_ms))
+      .IgnoreError();  // Best effort: the peer may already be gone.
+}
+
+Status QueryServer::Shutdown() {
+  if (!started_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("QueryServer::Shutdown before Start");
+  }
+  // One drain at a time: a second caller (e.g. the destructor after an
+  // explicit Shutdown) parks here and finds running_ already false.
+  MutexLock shutdown_lock(&shutdown_mu_);
+  if (!running_.load(std::memory_order_acquire)) return Status::OK();
+  stopping_.store(true, std::memory_order_release);
+
+  // Unblock the accept loop promptly (it also exits on its next tick).
+  listener_.ShutdownBoth();
+
+  // Phase 1 — stop accepting: wait for the accept loop to exit so no new
+  // session can be admitted while we drain, then close the listener (safe
+  // now: no other thread touches it).
+  {
+    MutexLock lock(&mu_);
+    while (!accept_loop_done_) {
+      drained_cv_.WaitFor(mu_, std::chrono::milliseconds(50));
+    }
+  }
+  listener_.Close();
+
+  // Phase 2 — natural drain: in-flight sessions get drain_deadline_ms to
+  // finish on their own.
+  const auto drain_deadline = DeadlineAfterMs(options_.drain_deadline_ms);
+  {
+    MutexLock lock(&mu_);
+    while (in_flight_.load(std::memory_order_acquire) > 0 &&
+           std::chrono::steady_clock::now() < drain_deadline) {
+      drained_cv_.WaitFor(mu_, std::chrono::milliseconds(10));
+    }
+  }
+
+  // Phase 3 — cancel the stragglers: cooperative context cancellation for
+  // sessions mid-evaluation, socket shutdown for sessions parked in
+  // transport I/O. Sessions dequeued after this point answer "draining".
+  drain_cancelled_.store(true, std::memory_order_release);
+  {
+    MutexLock lock(&mu_);
+    for (auto& [id, session] : live_) {
+      if (session.ctx != nullptr) session.ctx->Cancel();
+      if (session.socket != nullptr) session.socket->ShutdownBoth();
+    }
+  }
+
+  // Phase 4 — bounded wait for the cancelled sessions, then join.
+  const auto cancel_deadline = DeadlineAfterMs(kCancelledDrainSlackMs);
+  {
+    MutexLock lock(&mu_);
+    while (in_flight_.load(std::memory_order_acquire) > 0 &&
+           std::chrono::steady_clock::now() < cancel_deadline) {
+      drained_cv_.WaitFor(mu_, std::chrono::milliseconds(10));
+    }
+  }
+  const int64_t leaked = in_flight_.load(std::memory_order_acquire);
+  if (leaked > 0) {
+    // Do NOT destroy the pool with live sessions on it (their joins would
+    // block forever); report the bug instead.
+    return Status::Internal(
+        StrCat("drain leaked ", leaked, " session(s) past the deadline"));
+  }
+
+  pool_.reset();  // Drains the (now empty) queue and joins every worker.
+  running_.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+}  // namespace htl::net

@@ -1,0 +1,260 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace htl::net {
+
+namespace {
+
+Status ErrnoStatus(const char* what, int err) {
+  return Status::Internal(StrCat(what, " failed: ", std::strerror(err)));
+}
+
+/// Remaining budget in whole milliseconds for poll(2); 0 once expired.
+int PollTimeoutMs(SocketDeadline deadline) {
+  const auto now = std::chrono::steady_clock::now();
+  if (deadline <= now) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+          .count();
+  // poll takes an int; clamp huge deadlines to ~24 days per tick.
+  return static_cast<int>(std::min<int64_t>(ms + 1, 2'000'000'000 / 1000));
+}
+
+/// Waits for `events` on `fd` until the deadline. OK when ready;
+/// DeadlineExceeded on expiry; Internal on poll failure. POLLERR/POLLHUP
+/// count as ready — the following recv/send surfaces the real error.
+Status WaitReady(int fd, short events, SocketDeadline deadline) {
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int timeout = PollTimeoutMs(deadline);
+    const int rc = ::poll(&pfd, 1, timeout);
+    if (rc > 0) return Status::OK();
+    if (rc == 0) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return Status::DeadlineExceeded("socket operation timed out");
+      }
+      continue;  // Clamped tick; keep waiting.
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus("poll", errno);
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)", errno);
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(F_SETFL)", errno);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+SocketDeadline DeadlineAfterMs(int64_t timeout_ms) {
+  const auto now = std::chrono::steady_clock::now();
+  if (timeout_ms <= 0) return now;
+  return now + std::chrono::milliseconds(timeout_ms);
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Result<Socket> ListenOnLoopback(uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return ErrnoStatus("socket", errno);
+  Socket sock(fd);
+
+  const int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    return ErrnoStatus("setsockopt(SO_REUSEADDR)", errno);
+  }
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<const struct sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    return ErrnoStatus("bind", errno);
+  }
+  if (::listen(fd, backlog) < 0) return ErrnoStatus("listen", errno);
+  HTL_RETURN_IF_ERROR(SetNonBlocking(fd));
+  return sock;
+}
+
+Result<uint16_t> LocalPort(const Socket& listener) {
+  struct sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listener.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) < 0) {
+    return ErrnoStatus("getsockname", errno);
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<Socket> Accept(const Socket& listener, SocketDeadline deadline) {
+  for (;;) {
+    HTL_RETURN_IF_ERROR(WaitReady(listener.fd(), POLLIN, deadline));
+    const int fd =
+        ::accept4(listener.fd(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) {
+      Socket conn(fd);
+      // Request/response frames are small and latency-bound; never Nagle.
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return conn;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == ECONNABORTED) {
+      continue;  // Raced another accept or the peer gave up; wait again.
+    }
+    if (errno == EBADF || errno == EINVAL) {
+      return Status::Unavailable("listener shut down");
+    }
+    return ErrnoStatus("accept", errno);
+  }
+}
+
+Result<Socket> Connect(const std::string& host, uint16_t port,
+                       SocketDeadline deadline) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StrCat("host must be an IPv4 literal, got '", host, "'"));
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return ErrnoStatus("socket", errno);
+  Socket sock(fd);
+  HTL_RETURN_IF_ERROR(SetNonBlocking(fd));
+
+  if (::connect(fd, reinterpret_cast<const struct sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS) {
+      if (errno == ECONNREFUSED || errno == ENETUNREACH) {
+        return Status::Unavailable(
+            StrCat("connect to ", host, ":", port, ": ",
+                   std::strerror(errno)));
+      }
+      return ErrnoStatus("connect", errno);
+    }
+    Status ready = WaitReady(fd, POLLOUT, deadline);
+    if (ready.IsDeadlineExceeded()) {
+      return Status::DeadlineExceeded(
+          StrCat("connect to ", host, ":", port, " timed out"));
+    }
+    HTL_RETURN_IF_ERROR(ready);
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return ErrnoStatus("getsockopt(SO_ERROR)", errno);
+    }
+    if (err != 0) {
+      return Status::Unavailable(
+          StrCat("connect to ", host, ":", port, ": ", std::strerror(err)));
+    }
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Status ReadFull(const Socket& socket, void* buf, size_t n,
+                SocketDeadline deadline, size_t* bytes_read) {
+  size_t done = 0;
+  if (bytes_read != nullptr) *bytes_read = 0;
+  while (done < n) {
+    HTL_RETURN_IF_ERROR(WaitReady(socket.fd(), POLLIN, deadline));
+    const ssize_t rc = ::recv(socket.fd(), static_cast<char*>(buf) + done,
+                              n - done, 0);
+    if (rc > 0) {
+      done += static_cast<size_t>(rc);
+      if (bytes_read != nullptr) *bytes_read = done;
+      continue;
+    }
+    if (rc == 0) {
+      return Status::Unavailable(
+          done == 0 ? "connection closed by peer"
+                    : StrCat("connection closed mid-message after ", done,
+                             " of ", n, " bytes"));
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    if (errno == ECONNRESET || errno == EPIPE) {
+      return Status::Unavailable(StrCat("recv: ", std::strerror(errno)));
+    }
+    return ErrnoStatus("recv", errno);
+  }
+  return Status::OK();
+}
+
+Status WriteFull(const Socket& socket, const void* buf, size_t n,
+                 SocketDeadline deadline) {
+  size_t done = 0;
+  while (done < n) {
+    HTL_RETURN_IF_ERROR(WaitReady(socket.fd(), POLLOUT, deadline));
+    const ssize_t rc =
+        ::send(socket.fd(), static_cast<const char*>(buf) + done, n - done,
+               MSG_NOSIGNAL);
+    if (rc >= 0) {
+      done += static_cast<size_t>(rc);
+      continue;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    if (errno == ECONNRESET || errno == EPIPE) {
+      return Status::Unavailable(StrCat("send: ", std::strerror(errno)));
+    }
+    return ErrnoStatus("send", errno);
+  }
+  return Status::OK();
+}
+
+void DrainPending(const Socket& socket, size_t max) {
+  char sink[512];
+  size_t drained = 0;
+  while (drained < max) {
+    const size_t want = std::min(sizeof(sink), max - drained);
+    const ssize_t rc = ::recv(socket.fd(), sink, want, MSG_DONTWAIT);
+    if (rc <= 0) return;
+    drained += static_cast<size_t>(rc);
+  }
+}
+
+}  // namespace htl::net

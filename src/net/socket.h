@@ -1,0 +1,97 @@
+#ifndef HTL_NET_SOCKET_H_
+#define HTL_NET_SOCKET_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace htl::net {
+
+/// Steady-clock deadline shared by all socket operations: every blocking
+/// call takes an absolute deadline and returns Status::DeadlineExceeded
+/// instead of hanging — the transport-level half of the slow-loris defence
+/// (the frame layer's size cap is the other half).
+using SocketDeadline = std::chrono::steady_clock::time_point;
+
+/// A deadline `timeout_ms` from now (<= 0 is already expired).
+SocketDeadline DeadlineAfterMs(int64_t timeout_ms);
+
+/// Move-only RAII wrapper over one file descriptor. This header and
+/// socket.cc are the only files allowed to touch socket syscalls
+/// (tools/lint.py `no-raw-socket`): every error becomes a Status here, no
+/// signal ever escapes (writes use MSG_NOSIGNAL), and every blocking
+/// primitive is deadline-bounded.
+///
+/// Error vocabulary:
+///   DeadlineExceeded  the per-call deadline expired mid-operation;
+///   Unavailable       peer closed / reset / refused — transient from the
+///                     client's point of view (retryable with backoff);
+///   InvalidArgument   caller misuse (e.g. writing on an invalid socket);
+///   Internal          unexpected syscall failure (carries errno text).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Closes the descriptor (idempotent).
+  void Close();
+
+  /// Shuts down both directions without closing the descriptor — wakes any
+  /// thread blocked in ReadFull/WriteFull on this socket (the drain path
+  /// uses this to unstick sessions parked on slow clients). Safe to call
+  /// from another thread while the owner is blocked in poll.
+  void ShutdownBoth();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket on 127.0.0.1:`port` (0 picks an ephemeral port) with
+/// SO_REUSEADDR and the given accept backlog.
+Result<Socket> ListenOnLoopback(uint16_t port, int backlog);
+
+/// The port a listening socket is bound to (resolves port 0).
+Result<uint16_t> LocalPort(const Socket& listener);
+
+/// Accepts one connection, waiting until `deadline`. DeadlineExceeded when
+/// nothing arrived (the accept loop's poll tick); Unavailable when the
+/// listener was shut down under the caller.
+Result<Socket> Accept(const Socket& listener, SocketDeadline deadline);
+
+/// Connects to `host`:`port` within the deadline. Unavailable on refusal /
+/// unreachable (retryable), DeadlineExceeded on timeout.
+Result<Socket> Connect(const std::string& host, uint16_t port,
+                       SocketDeadline deadline);
+
+/// Reads exactly `n` bytes. Unavailable when the peer closes mid-read (a
+/// torn frame) or before the first byte (clean EOF — callers that care
+/// distinguish by `short_read` below having seen 0 bytes).
+Status ReadFull(const Socket& socket, void* buf, size_t n,
+                SocketDeadline deadline, size_t* bytes_read = nullptr);
+
+/// Writes exactly `n` bytes. Unavailable on EPIPE/ECONNRESET (peer went
+/// away mid-response), DeadlineExceeded when the peer stops draining.
+Status WriteFull(const Socket& socket, const void* buf, size_t n,
+                 SocketDeadline deadline);
+
+/// Best-effort drain of already-arrived bytes (up to `max`, never blocks).
+/// The reject path uses this so closing with unread data does not RST the
+/// response out of the client's receive buffer. Errors are ignored.
+void DrainPending(const Socket& socket, size_t max);
+
+}  // namespace htl::net
+
+#endif  // HTL_NET_SOCKET_H_

@@ -23,6 +23,10 @@ const std::vector<std::string_view>& FaultRegistry::KnownPoints() {
           "cache.lookup",        // Cache probe (degrades to a bypass/miss).
           "engine.table_join",   // DirectEngine and/or/until join.
           "engine.value_table",  // DirectEngine freeze value-table build.
+          "net.accept",          // QueryServer accept loop, post-accept.
+          "net.read_frame",      // QueryServer inbound frame read.
+          "net.session",         // QueryServer session body, pre-evaluate.
+          "net.write_frame",     // QueryServer outbound response write.
           "picture.query",       // PictureSystem atomic picture query.
           "sql.scan",            // sql::Executor FROM-pipeline table scan.
       };

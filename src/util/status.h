@@ -23,6 +23,7 @@ enum class StatusCode {
   kDeadlineExceeded = 9,
   kCancelled = 10,
   kResourceExhausted = 11,
+  kUnavailable = 12,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "ParseError", ...).
@@ -79,6 +80,13 @@ class [[nodiscard]] Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  /// The service cannot take this request *right now* (overload shedding,
+  /// draining for shutdown, connection refused/reset). Retryable with
+  /// backoff, unlike every other code — net::QueryClient keys its retry
+  /// policy on exactly this predicate.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
 
@@ -89,6 +97,7 @@ class [[nodiscard]] Status {
   bool IsDeadlineExceeded() const { return code_ == StatusCode::kDeadlineExceeded; }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
   bool IsResourceExhausted() const { return code_ == StatusCode::kResourceExhausted; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsQueryAbort() const { return IsDeadlineExceeded() || IsCancelled(); }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <limits>
 #include <thread>
 
 #include "engine/retrieval.h"
@@ -53,6 +54,54 @@ TEST(ExecContextTest, FutureDeadlinePassesThenExpires) {
   Status last = Status::OK();
   for (int i = 0; i < 256 && last.ok(); ++i) last = ctx.Check();
   EXPECT_TRUE(last.IsDeadlineExceeded()) << last.ToString();
+}
+
+TEST(ExecContextTest, SetTimeoutMsZeroIsAlreadyExpired) {
+  ExecContext ctx;
+  ctx.SetTimeoutMs(0);
+  EXPECT_TRUE(ctx.has_deadline());
+  EXPECT_TRUE(ctx.Check().IsDeadlineExceeded());
+}
+
+TEST(ExecContextTest, SetTimeoutMsNegativeIsAlreadyExpired) {
+  // Wire values are attacker-controlled: any negative budget, including the
+  // most negative one (whose ms -> ns conversion would overflow if it were
+  // attempted), must behave exactly like SetTimeout(0).
+  for (int64_t ms : {int64_t{-1}, int64_t{-5000},
+                     std::numeric_limits<int64_t>::min()}) {
+    ExecContext ctx;
+    ctx.SetTimeoutMs(ms);
+    EXPECT_TRUE(ctx.Check().IsDeadlineExceeded()) << "timeout_ms = " << ms;
+  }
+}
+
+TEST(ExecContextTest, SetTimeoutMsHugeClampsInsteadOfOverflowing) {
+  // INT64_MAX milliseconds overflows int64 nanoseconds ~292x over; the
+  // clamp must land the deadline in the future (24h), not wrap it into the
+  // past.
+  for (int64_t ms : {std::numeric_limits<int64_t>::max(),
+                     ExecContext::kMaxTimeoutMs + 1}) {
+    ExecContext ctx;
+    ctx.SetTimeoutMs(ms);
+    EXPECT_TRUE(ctx.has_deadline());
+    EXPECT_OK(ctx.Check());
+  }
+}
+
+TEST(ExecContextTest, SetTimeoutMsNormalValueBehavesLikeSetTimeout) {
+  ExecContext ctx;
+  ctx.SetTimeoutMs(20);
+  EXPECT_OK(ctx.Check());
+  std::this_thread::sleep_for(milliseconds(40));
+  Status last = Status::OK();
+  for (int i = 0; i < 256 && last.ok(); ++i) last = ctx.Check();
+  EXPECT_TRUE(last.IsDeadlineExceeded()) << last.ToString();
+}
+
+TEST(ExecContextTest, SetTimeoutMsAtTheClampBoundaryIsNotExpired) {
+  ExecContext ctx;
+  ctx.SetTimeoutMs(ExecContext::kMaxTimeoutMs);
+  EXPECT_OK(ctx.Check());
 }
 
 TEST(ExecContextTest, CancellationObservedAtNextPoll) {

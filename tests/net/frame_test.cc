@@ -1,0 +1,177 @@
+// Wire framing and codec: round-trips are lossless, headers are validated
+// before any allocation, and every malformed body decodes to a clean error.
+
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "net/protocol.h"
+#include "testing/helpers.h"
+#include "util/status.h"
+
+namespace htl::net {
+namespace {
+
+using ::htl::testing::ErrorText;
+
+QueryRequest SampleRequest() {
+  QueryRequest request;
+  request.kind = QueryKind::kHtlSegments;
+  request.level = 2;
+  request.k = 7;
+  request.deadline_ms = 250;
+  request.use_cache = true;
+  request.parallelism = 1;
+  request.flags = kFlagWantProfile;
+  request.query_text = "exists x (type(x) = 'person')";
+  return request;
+}
+
+TEST(NetFrame, RequestRoundTrip) {
+  const QueryRequest request = SampleRequest();
+  const std::string body = EncodeRequest(request);
+  auto decoded = DecodeRequest(body);
+  ASSERT_TRUE(decoded.ok()) << ErrorText(decoded);
+  EXPECT_EQ(decoded->kind, request.kind);
+  EXPECT_EQ(decoded->level, request.level);
+  EXPECT_EQ(decoded->k, request.k);
+  EXPECT_EQ(decoded->deadline_ms, request.deadline_ms);
+  EXPECT_EQ(decoded->use_cache, request.use_cache);
+  EXPECT_EQ(decoded->parallelism, request.parallelism);
+  EXPECT_EQ(decoded->flags, request.flags);
+  EXPECT_EQ(decoded->query_text, request.query_text);
+}
+
+TEST(NetFrame, ResponseRoundTrip) {
+  QueryResponse response;
+  response.status = WireStatus::kWireOk;
+  response.flags = kFlagDegraded | kFlagPartial;
+  response.videos_evaluated = 9;
+  response.videos_failed = 3;
+  response.hits.push_back(WireHit{4, 17, 2.5, 20.0});
+  response.hits.push_back(WireHit{1, 3, 0.5, 20.0});
+  response.message = "3 videos skipped";
+
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << ErrorText(decoded);
+  EXPECT_EQ(decoded->status, response.status);
+  EXPECT_EQ(decoded->flags, response.flags);
+  EXPECT_TRUE(decoded->degraded());
+  EXPECT_TRUE(decoded->partial());
+  EXPECT_EQ(decoded->videos_evaluated, 9);
+  EXPECT_EQ(decoded->videos_failed, 3);
+  ASSERT_EQ(decoded->hits.size(), 2u);
+  EXPECT_EQ(decoded->hits[0].video, 4);
+  EXPECT_EQ(decoded->hits[0].segment, 17);
+  EXPECT_EQ(decoded->hits[0].actual, 2.5);
+  EXPECT_EQ(decoded->hits[0].max, 20.0);
+  EXPECT_EQ(decoded->message, response.message);
+}
+
+TEST(NetFrame, DecodeRejectsWrongVersion) {
+  std::string body = EncodeRequest(SampleRequest());
+  body[0] = static_cast<char>(kProtocolVersion + 1);
+  auto decoded = DecodeRequest(body);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetFrame, DecodeRejectsUnknownKind) {
+  std::string body = EncodeRequest(SampleRequest());
+  body[1] = static_cast<char>(200);
+  EXPECT_FALSE(DecodeRequest(body).ok());
+}
+
+TEST(NetFrame, DecodeRejectsTruncationAtEveryLength) {
+  const std::string body = EncodeRequest(SampleRequest());
+  for (size_t len = 0; len < body.size(); ++len) {
+    auto decoded = DecodeRequest(std::string_view(body).substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "prefix of length " << len << " decoded";
+  }
+}
+
+TEST(NetFrame, DecodeRejectsTrailingGarbage) {
+  std::string body = EncodeRequest(SampleRequest());
+  body.push_back('\0');
+  EXPECT_FALSE(DecodeRequest(body).ok());
+
+  QueryResponse response;
+  std::string resp_body = EncodeResponse(response);
+  resp_body += "xx";
+  EXPECT_FALSE(DecodeResponse(resp_body).ok());
+}
+
+TEST(NetFrame, DecodeResponseRejectsHostileHitCount) {
+  // A response body claiming 2^31 hits with no hit bytes behind the claim
+  // must fail the arithmetic check, not attempt the allocation.
+  QueryResponse response;
+  std::string body = EncodeResponse(response);
+  // num_hits is the u32 after version(1) + status(1) + flags(1) + two i64s.
+  const size_t num_hits_off = 3 + 8 + 8;
+  const uint32_t hostile = 0x80000000u;
+  std::memcpy(body.data() + num_hits_off, &hostile, sizeof(hostile));
+  auto decoded = DecodeResponse(body);
+  ASSERT_FALSE(decoded.ok());
+}
+
+TEST(NetFrame, FrameMessageRoundTripsThroughHeaderCheck) {
+  const std::string body = EncodeRequest(SampleRequest());
+  auto framed = FrameMessage(body, kDefaultMaxFrameBytes);
+  ASSERT_TRUE(framed.ok()) << ErrorText(framed);
+  ASSERT_EQ(framed->size(), kFrameHeaderBytes + body.size());
+
+  uint8_t header[kFrameHeaderBytes];
+  std::memcpy(header, framed->data(), sizeof(header));
+  auto body_len = CheckFrameHeader(header, kDefaultMaxFrameBytes);
+  ASSERT_TRUE(body_len.ok()) << ErrorText(body_len);
+  EXPECT_EQ(*body_len, body.size());
+  EXPECT_EQ(framed->substr(kFrameHeaderBytes), body);
+}
+
+TEST(NetFrame, FrameMessageRejectsOversizedBody) {
+  const std::string big(1025, 'q');
+  auto framed = FrameMessage(big, 1024);
+  ASSERT_FALSE(framed.ok());
+  EXPECT_EQ(framed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetFrame, CheckFrameHeaderRejectsBadMagic) {
+  uint8_t header[kFrameHeaderBytes] = {'B', 'A', 'D', '!', 0, 0, 0, 0};
+  auto body_len = CheckFrameHeader(header, kDefaultMaxFrameBytes);
+  ASSERT_FALSE(body_len.ok());
+  EXPECT_EQ(body_len.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetFrame, CheckFrameHeaderRejectsOversizedLength) {
+  // Valid magic, length just past the cap: the memory-bomb rejection.
+  auto framed = FrameMessage("x", kDefaultMaxFrameBytes);
+  ASSERT_TRUE(framed.ok()) << ErrorText(framed);
+  uint8_t header[kFrameHeaderBytes];
+  std::memcpy(header, framed->data(), sizeof(header));
+  const uint32_t huge = 0xFFFFFFFFu;
+  std::memcpy(header + 4, &huge, sizeof(huge));
+  auto body_len = CheckFrameHeader(header, kDefaultMaxFrameBytes);
+  ASSERT_FALSE(body_len.ok());
+  EXPECT_EQ(body_len.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(NetFrame, WireStatusMapsUnavailableToOverloaded) {
+  EXPECT_EQ(WireStatusFromCode(StatusCode::kUnavailable),
+            WireStatus::kWireOverloaded);
+  const Status back = StatusFromWire(WireStatus::kWireOverloaded, "shed");
+  EXPECT_TRUE(back.IsUnavailable());
+}
+
+TEST(NetFrame, EmptyQueryTextRoundTrips) {
+  QueryRequest request;
+  request.query_text.clear();
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << ErrorText(decoded);
+  EXPECT_TRUE(decoded->query_text.empty());
+}
+
+}  // namespace
+}  // namespace htl::net

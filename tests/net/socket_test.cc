@@ -1,0 +1,145 @@
+// Transport primitives: deadlines actually expire, peers that vanish
+// surface as Unavailable, and cross-thread socket shutdown unsticks a
+// blocked reader (the drain path's lever).
+
+#include "net/socket.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "testing/helpers.h"
+#include "util/thread_pool.h"
+
+namespace htl::net {
+namespace {
+
+struct ListenerFixture {
+  Socket listener;
+  uint16_t port = 0;
+};
+
+ListenerFixture MakeListener() {
+  ListenerFixture fx;
+  auto listener = ListenOnLoopback(0, 8);
+  EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+  fx.listener = std::move(*listener);
+  auto port = LocalPort(fx.listener);
+  EXPECT_TRUE(port.ok()) << port.status().ToString();
+  fx.port = *port;
+  return fx;
+}
+
+TEST(NetSocket, ConnectAcceptRoundTripsBytes) {
+  ListenerFixture fx = MakeListener();
+  auto client = Connect("127.0.0.1", fx.port, DeadlineAfterMs(1000));
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto server = Accept(fx.listener, DeadlineAfterMs(1000));
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  const std::string message = "similarity";
+  ASSERT_OK(WriteFull(*client, message.data(), message.size(),
+                      DeadlineAfterMs(1000)));
+  std::string got(message.size(), '\0');
+  ASSERT_OK(ReadFull(*server, got.data(), got.size(), DeadlineAfterMs(1000)));
+  EXPECT_EQ(got, message);
+}
+
+TEST(NetSocket, AcceptTimesOutWithoutConnection) {
+  ListenerFixture fx = MakeListener();
+  auto conn = Accept(fx.listener, DeadlineAfterMs(30));
+  ASSERT_FALSE(conn.ok());
+  EXPECT_TRUE(conn.status().IsDeadlineExceeded()) << conn.status().ToString();
+}
+
+TEST(NetSocket, ReadTimesOutOnSilentPeer) {
+  // The slow-loris shape: a peer that connects and then sends nothing.
+  ListenerFixture fx = MakeListener();
+  auto client = Connect("127.0.0.1", fx.port, DeadlineAfterMs(1000));
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto server = Accept(fx.listener, DeadlineAfterMs(1000));
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  char buf[16];
+  const Status read = ReadFull(*server, buf, sizeof(buf), DeadlineAfterMs(50));
+  EXPECT_TRUE(read.IsDeadlineExceeded()) << read.ToString();
+}
+
+TEST(NetSocket, ReadReportsPeerCloseAsUnavailable) {
+  ListenerFixture fx = MakeListener();
+  auto client = Connect("127.0.0.1", fx.port, DeadlineAfterMs(1000));
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto server = Accept(fx.listener, DeadlineAfterMs(1000));
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  client->Close();
+  char buf[4];
+  const Status read = ReadFull(*server, buf, sizeof(buf), DeadlineAfterMs(1000));
+  EXPECT_TRUE(read.IsUnavailable()) << read.ToString();
+}
+
+TEST(NetSocket, TornMessageReportsBytesSeen) {
+  ListenerFixture fx = MakeListener();
+  auto client = Connect("127.0.0.1", fx.port, DeadlineAfterMs(1000));
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto server = Accept(fx.listener, DeadlineAfterMs(1000));
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  ASSERT_OK(WriteFull(*client, "ab", 2, DeadlineAfterMs(1000)));
+  client->Close();
+
+  char buf[8];
+  size_t seen = 0;
+  const Status read =
+      ReadFull(*server, buf, sizeof(buf), DeadlineAfterMs(1000), &seen);
+  EXPECT_TRUE(read.IsUnavailable()) << read.ToString();
+  EXPECT_EQ(seen, 2u);
+}
+
+TEST(NetSocket, ConnectToClosedPortIsUnavailable) {
+  // Bind a port, learn it, close it — connecting afterwards must be the
+  // retryable refusal, not a hang or an Internal error.
+  uint16_t dead_port = 0;
+  {
+    ListenerFixture fx = MakeListener();
+    dead_port = fx.port;
+  }
+  auto conn = Connect("127.0.0.1", dead_port, DeadlineAfterMs(1000));
+  ASSERT_FALSE(conn.ok());
+  EXPECT_TRUE(conn.status().IsUnavailable()) << conn.status().ToString();
+}
+
+TEST(NetSocket, ConnectRejectsHostnames) {
+  auto conn = Connect("not-an-ip", 80, DeadlineAfterMs(50));
+  ASSERT_FALSE(conn.ok());
+  EXPECT_EQ(conn.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetSocket, ShutdownUnsticksBlockedReader) {
+  // The drain path's contract: ShutdownBoth() from another thread wakes a
+  // reader parked in poll and its read fails cleanly instead of waiting out
+  // the full deadline.
+  ListenerFixture fx = MakeListener();
+  auto client = Connect("127.0.0.1", fx.port, DeadlineAfterMs(1000));
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto accepted = Accept(fx.listener, DeadlineAfterMs(1000));
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+  auto server = std::make_shared<Socket>(std::move(*accepted));
+
+  Status read_status = Status::OK();
+  {
+    ThreadPool pool(ThreadPool::Options{.num_threads = 1});
+    pool.Schedule([server, &read_status] {
+      char buf[4];
+      read_status =
+          ReadFull(*server, buf, sizeof(buf), DeadlineAfterMs(10'000));
+    });
+    server->ShutdownBoth();
+  }  // Pool destructor joins the reader; a stuck read would hang here.
+  EXPECT_FALSE(read_status.ok());
+  EXPECT_FALSE(read_status.IsDeadlineExceeded()) << read_status.ToString();
+}
+
+}  // namespace
+}  // namespace htl::net

@@ -11,6 +11,9 @@
 #include "engine/query_cache.h"
 #include "engine/retrieval.h"
 #include "model/video.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
 #include "sql/sql_system.h"
 #include "testing/helpers.h"
 #include "util/fault_point.h"
@@ -101,6 +104,23 @@ TEST_F(FaultInjectionTest, WorkloadReachesEveryKnownFaultPoint) {
   Retriever cached(&store_, CachedOptions());
   ASSERT_OK(RunCached(cached).status());
   ASSERT_OK(RunCached(cached).status());
+  // One loopback round-trip through the query service reaches the four
+  // net.* seams (accept, session, read_frame, write_frame).
+  {
+    net::QueryServer server(&store_, net::ServerOptions{});
+    ASSERT_OK(server.Start());
+    net::ClientOptions copts;
+    copts.port = server.port();
+    net::QueryRequest request;
+    request.kind = net::QueryKind::kHtlSegments;
+    request.level = 2;
+    request.k = 8;
+    request.query_text = "exists x (moving(x))";
+    ASSERT_OK_AND_ASSIGN(net::QueryResponse response,
+                         net::QueryClient(copts).QueryOnce(request));
+    ASSERT_EQ(response.status, net::WireStatus::kWireOk);
+    ASSERT_OK(server.Shutdown());
+  }
   std::map<std::string, int64_t> hits = FaultRegistry::Instance().TraceHits();
   for (std::string_view point : FaultRegistry::KnownPoints()) {
     auto it = hits.find(std::string(point));

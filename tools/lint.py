@@ -3,8 +3,9 @@
 
 Checks src/, bench/, and examples/ by default. src/ gets the full rule set;
 bench/ and examples/ (and any file outside src/) get the portable subset
-(no-exceptions, no-throwing-parse, no-raw-thread, no-raw-mutex) — the rules
-whose rationale is about runtime behavior, not src/ layout conventions.
+(no-exceptions, no-throwing-parse, no-raw-thread, no-raw-mutex,
+no-raw-socket) — the rules whose rationale is about runtime behavior, not
+src/ layout conventions.
 
   no-exceptions     `throw` / `try` / `catch` are forbidden in src/: fallible
                     code returns htl::Status / htl::Result<T> (status.h).
@@ -57,6 +58,15 @@ whose rationale is about runtime behavior, not src/ layout conventions.
                     Safety Analysis (the `tsa` preset; DESIGN.md "Lock
                     discipline") can prove the lock discipline. A raw
                     std::mutex is invisible to the analysis.
+  no-raw-socket     The BSD socket API (the <sys/socket.h> family of headers
+                    and ::socket / ::connect / ::recv / ... syscalls) is
+                    forbidden outside src/net/socket.cc: all byte transport
+                    goes through the deadline-aware net::Socket wrappers
+                    (src/net/socket.h) so every read/write path gets
+                    deadlines, clean Unavailable mapping, fault points, and
+                    the drain path's cross-thread shutdown (DESIGN.md "Query
+                    service"). An ad-hoc socket can block forever and is
+                    invisible to graceful drain.
   cache-obs         Cache machinery files (CACHE_OBS_FILES: the sharded LRU
                     and its clients in src/cache/) must reference the
                     observability layer: a cache whose hits/misses/evictions
@@ -102,6 +112,7 @@ ALL_RULES = {
     "obs-operator-span",
     "no-raw-thread",
     "no-raw-mutex",
+    "no-raw-socket",
     "cache-obs",
     "stale-suppression",
 }
@@ -113,6 +124,7 @@ AUX_RULES = {
     "no-throwing-parse",
     "no-raw-thread",
     "no-raw-mutex",
+    "no-raw-socket",
     "stale-suppression",
 }
 
@@ -231,6 +243,25 @@ RAW_MUTEX_EXEMPT = {
     "src/util/mutex.h",
 }
 
+# Socket-API headers (matched on the raw line — include paths inside quotes
+# are blanked by strip_comments_and_strings, but these are all <...>).
+RAW_SOCKET_INCLUDE_RE = re.compile(
+    r"#\s*include\s+<(?:sys/socket\.h|sys/un\.h|netinet/[^>]+|arpa/inet\.h|"
+    r"netdb\.h|poll\.h|sys/epoll\.h)>")
+# Globally-qualified socket syscalls. The lookbehind keeps `std::bind` /
+# `absl::socket`-style qualified names from matching: only a leading `::`
+# (start of token) counts as the global namespace.
+RAW_SOCKET_CALL_RE = re.compile(
+    r"(?<![\w)])::\s*(?:socket|connect|accept4?|bind|listen|recv|recvfrom|"
+    r"send|sendto|sendmsg|recvmsg|poll|epoll_\w+|setsockopt|getsockopt|"
+    r"getsockname|getpeername|inet_pton|inet_ntop)\s*\(")
+
+# The one sanctioned home for the raw socket API: the deadline-aware
+# net::Socket wrapper implementation.
+RAW_SOCKET_EXEMPT = {
+    "src/net/socket.cc",
+}
+
 
 def rel_posix(path: Path) -> str | None:
     try:
@@ -278,6 +309,15 @@ def check_line_rules(lint: FileLint, code_lines: list[str]) -> None:
                      "htl::CondVar (util/mutex.h) so Clang Thread Safety "
                      "Analysis can prove the lock discipline (DESIGN.md "
                      "\"Lock discipline\")")
+        if rel not in RAW_SOCKET_EXEMPT and (
+                RAW_SOCKET_CALL_RE.search(code) or
+                RAW_SOCKET_INCLUDE_RE.search(lint.raw_lines[idx])):
+            lint.hit(lineno, "no-raw-socket",
+                     "the raw socket API is forbidden outside "
+                     "src/net/socket.cc; use the deadline-aware net::Socket "
+                     "wrappers (net/socket.h) so every transport path gets "
+                     "deadlines, fault points, and drain-safe shutdown "
+                     "(DESIGN.md \"Query service\")")
 
 
 def check_header_guard(lint: FileLint) -> None:
