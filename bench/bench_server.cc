@@ -10,8 +10,11 @@
 // so CI treats robustness regressions like correctness failures.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "model/video.h"
@@ -172,6 +175,65 @@ Outcomes RunPhase(uint16_t port, int num_clients, double seconds,
   return merged;
 }
 
+struct ScrapeStats {
+  int64_t scrapes = 0;
+  int64_t failures = 0;
+};
+
+/// A 1 Hz telemetry scraper: metrics text + healthz per tick, the cadence
+/// tools/htlstat.py runs at. Every scrape must succeed — the admin plane is
+/// exempt from admission control by design.
+ScrapeStats RunScraper(uint16_t admin_port, double seconds) {
+  ClientOptions copts;
+  copts.port = admin_port;
+  const AdminClient admin(copts);
+  ScrapeStats stats;
+  const WallTimer timer;
+  while (timer.ElapsedSeconds() < seconds) {
+    const auto metrics = admin.Fetch(AdminVerb::kMetricsText);
+    const auto healthz = admin.Fetch(AdminVerb::kHealthz);
+    ++stats.scrapes;
+    if (!metrics.ok() || !healthz.ok()) ++stats.failures;
+    const double next_tick = static_cast<double>(stats.scrapes);
+    while (timer.ElapsedSeconds() < seconds &&
+           timer.ElapsedSeconds() < next_tick) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  return stats;
+}
+
+/// One capacity-load round, optionally with the 1 Hz scraper riding along.
+/// Returns the round's accepted throughput; scraper stats merge into *stats.
+double RunScrapedRound(uint16_t port, uint16_t admin_port, double seconds,
+                       uint64_t seed_base, bool scrape, ScrapeStats* stats,
+                       Outcomes* merged) {
+  std::vector<Outcomes> per_client(kWorkerThreads);
+  ScrapeStats round_stats;
+  {
+    ThreadPool pool(ThreadPool::Options{.num_threads = kWorkerThreads + 1});
+    for (int i = 0; i < kWorkerThreads; ++i) {
+      Outcomes* slot = &per_client[static_cast<size_t>(i)];
+      const uint64_t seed = seed_base + static_cast<uint64_t>(i);
+      pool.Schedule([port, seconds, seed, slot] {
+        slot->Merge(RunClientLoop(port, seconds, seed));
+      });
+    }
+    if (scrape) {
+      pool.Schedule([admin_port, seconds, &round_stats] {
+        round_stats = RunScraper(admin_port, seconds);
+      });
+    }
+  }  // Pool destructor joins clients and scraper.
+  Outcomes round;
+  for (const Outcomes& one : per_client) round.Merge(one);
+  const double qps = static_cast<double>(round.ok) / seconds;
+  stats->scrapes += round_stats.scrapes;
+  stats->failures += round_stats.failures;
+  merged->Merge(round);
+  return qps;
+}
+
 void Record(bench::BenchJson* json, const char* phase, Outcomes* out,
             double seconds) {
   const double total = static_cast<double>(out->total());
@@ -272,7 +334,57 @@ int Run() {
                    "liveness: post-overload request failed");
   }
 
-  // Phase 3 — drain under load: shut down while 8 loops are firing. The
+  // Phase 3 — admin scrape under load: a 1 Hz telemetry scraper (the
+  // tools/htlstat.py cadence) must cost < 2% throughput at capacity load.
+  // Best-of-3 alternating unscraped/scraped rounds fight scheduler noise;
+  // every scrape must succeed — the admin plane never sheds.
+  {
+    double min_ratio = 0.98;
+    if (const char* env = std::getenv("HTL_ADMIN_SCRAPE_MIN_RATIO");
+        env != nullptr) {
+      char* end = nullptr;
+      const double parsed = std::strtod(env, &end);
+      if (end != env && parsed > 0) min_ratio = parsed;
+    }
+    double unscraped_qps = 0.0, scraped_qps = 0.0;
+    ScrapeStats stats;
+    Outcomes scrape_phase;
+    for (int round = 0; round < 3; ++round) {
+      const uint64_t seed = 4000 + 100 * static_cast<uint64_t>(round);
+      unscraped_qps = std::max(
+          unscraped_qps,
+          RunScrapedRound(port, server.admin_port(), kPhaseSeconds, seed,
+                          /*scrape=*/false, &stats, &scrape_phase));
+      scraped_qps = std::max(
+          scraped_qps,
+          RunScrapedRound(port, server.admin_port(), kPhaseSeconds, seed + 50,
+                          /*scrape=*/true, &stats, &scrape_phase));
+    }
+    const double ratio =
+        unscraped_qps > 0 ? scraped_qps / unscraped_qps : 0.0;
+    Record(&json, "admin_scrape", &scrape_phase, 6 * kPhaseSeconds);
+    json.Add("admin_scrape_cost",
+             {{"unscraped_qps", unscraped_qps},
+              {"scraped_qps", scraped_qps},
+              {"throughput_ratio", ratio},
+              {"min_ratio", min_ratio},
+              {"scrapes", static_cast<double>(stats.scrapes)},
+              {"scrape_failures", static_cast<double>(stats.failures)}});
+    std::printf(
+        "admin scrape: %8.1f qps unscraped, %8.1f qps scraped "
+        "(ratio %.3f, floor %.3f), %lld scrapes, %lld failed\n",
+        unscraped_qps, scraped_qps, ratio, min_ratio,
+        static_cast<long long>(stats.scrapes),
+        static_cast<long long>(stats.failures));
+    all_ok &= Gate(stats.scrapes > 0, "admin scrape: scraper never ran");
+    all_ok &= Gate(stats.failures == 0,
+                   "admin scrape: a telemetry scrape failed under load");
+    all_ok &= Gate(ratio >= min_ratio,
+                   "admin scrape: 1 Hz scraper cost exceeded the bound");
+    all_ok &= Gate(scrape_phase.bad == 0, "admin scrape: malformed outcome");
+  }
+
+  // Phase 4 — drain under load: shut down while 8 loops are firing. The
   // gates: Shutdown returns OK (nothing leaked), promptly, and the load
   // threads saw only well-formed outcomes throughout.
   {

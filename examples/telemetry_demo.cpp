@@ -1,0 +1,180 @@
+// CI smoke test for the telemetry plane: exports a Chrome trace from a
+// local profiled query, then starts a server, drives a slow-threshold
+// query through it, and scrapes every admin verb over the wire — writing
+// each answer to a JSON file (telemetry_*.json in the working directory)
+// that the CI job round-trips through `python -m json.tool`. Exits
+// non-zero on any deviation so the job gates on it.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "engine/retrieval.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "obs/trace_export.h"
+#include "util/rng.h"
+#include "workload/video_gen.h"
+
+namespace {
+
+bool WriteFile(const char* path, const std::string& body) {
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) {
+    std::printf("FAIL: cannot open %s for writing\n", path);
+    return false;
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) {
+    std::printf("FAIL: short write to %s\n", path);
+    return false;
+  }
+  std::printf("wrote %s (%zu bytes)\n", path, body.size());
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  using namespace htl;
+  using namespace htl::net;
+
+  obs::MetricsRegistry::Instance().SetEnabled(true);
+
+  MetadataStore store;
+  Rng rng(20260808);
+  for (int i = 0; i < 4; ++i) {
+    VideoGenOptions vopts;
+    vopts.min_branching = 2;
+    vopts.max_branching = 3;
+    store.AddVideo(GenerateVideo(rng, vopts));
+  }
+  constexpr const char* kQuery =
+      "exists x (type(x) = 'person') until exists y (type(y) = 'train')";
+  constexpr int kLevel = 3;  // Generated videos carry facts on the shot level.
+
+  // 1. Local profiled query -> Chrome trace export (no server involved):
+  // the EXPLAIN profile of one retrieval, openable in Perfetto / chrome://tracing.
+  {
+    Retriever retriever(&store);
+    auto result = retriever.TopSegmentsProfiled(kQuery, kLevel, 10);
+    if (!result.ok()) {
+      std::printf("FAIL: local profiled query: %s\n",
+                  result.status().ToString().c_str());
+      return 1;
+    }
+    const std::string trace = obs::ProfileToChromeTrace(result->report.profile);
+    if (trace.find("stage.execute") == std::string::npos) {
+      std::printf("FAIL: local trace carries no stage.execute span\n");
+      return 1;
+    }
+    if (!WriteFile("telemetry_trace_local.json", trace)) return 1;
+  }
+
+  // 2. Server + admin plane: every request takes >= 1us, so a 1us slow
+  // threshold makes the demo query land in the slowlog with its profile.
+  ServerOptions options;
+  options.worker_threads = 2;
+  options.query_log.slow_threshold_us = 1;
+  QueryServer server(&store, options);
+  if (Status started = server.Start(); !started.ok()) {
+    std::printf("FAIL: server start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("query port 127.0.0.1:%u, admin port 127.0.0.1:%u\n",
+              server.port(), server.admin_port());
+
+  {
+    ClientOptions copts;
+    copts.port = server.port();
+    const QueryClient client(copts);
+    QueryRequest request;
+    request.query_text = kQuery;
+    request.level = kLevel;
+    request.k = 5;
+    request.deadline_ms = 10'000;
+    auto response = client.Query(request);
+    if (!response.ok() || !response->ok()) {
+      std::printf("FAIL: query over the wire: %s\n",
+                  response.ok() ? response->message.c_str()
+                                : response.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("query: %zu hits\n", response->hits.size());
+  }
+
+  // 3. Scrape every admin verb and persist the answers.
+  {
+    ClientOptions copts;
+    copts.port = server.admin_port();
+    const AdminClient admin(copts);
+
+    auto metrics = admin.Fetch(AdminVerb::kMetricsJson);
+    if (!metrics.ok() ||
+        metrics->find("net.request.latency_us") == std::string::npos) {
+      std::printf("FAIL: metrics scrape missing the request histogram\n");
+      return 1;
+    }
+    if (!WriteFile("telemetry_metrics.json", *metrics)) return 1;
+
+    auto healthz = admin.Fetch(AdminVerb::kHealthz);
+    if (!healthz.ok() ||
+        healthz->find("\"state\": \"accepting\"") == std::string::npos ||
+        healthz->find("\"healthy\": true") == std::string::npos) {
+      std::printf("FAIL: healthz scrape: %s\n",
+                  healthz.ok() ? healthz->c_str()
+                               : healthz.status().ToString().c_str());
+      return 1;
+    }
+    if (!WriteFile("telemetry_healthz.json", *healthz)) return 1;
+
+    // The wide event lands just after the response is written; a scrape
+    // racing it retries (each Fetch is its own round-trip).
+    Result<std::string> slowlog = admin.Fetch(AdminVerb::kSlowlog);
+    for (int attempt = 0;
+         attempt < 100 &&
+         (!slowlog.ok() ||
+          slowlog->find("\"has_profile\": true") == std::string::npos);
+         ++attempt) {
+      slowlog = admin.Fetch(AdminVerb::kSlowlog);
+    }
+    if (!slowlog.ok() ||
+        slowlog->find("\"has_profile\": true") == std::string::npos) {
+      std::printf("FAIL: slowlog did not retain the slow query's profile\n");
+      return 1;
+    }
+    if (!WriteFile("telemetry_slowlog.json", *slowlog)) return 1;
+
+    // arg 0 = the newest retained profile: the query we just ran.
+    auto trace = admin.Fetch(AdminVerb::kTrace, 0);
+    if (!trace.ok() || trace->find("stage.execute") == std::string::npos) {
+      std::printf("FAIL: slowlog trace export missing stage spans\n");
+      return 1;
+    }
+    if (!WriteFile("telemetry_trace_slow.json", *trace)) return 1;
+  }
+
+  // Optional linger so external scrapers (tools/htlstat.py) can poll the
+  // live admin port before the drain; off by default so CI stays fast.
+  if (const char* env = std::getenv("HTL_TELEMETRY_DEMO_LINGER_MS");
+      env != nullptr) {
+    const long linger_ms = std::strtol(env, nullptr, 10);
+    if (linger_ms > 0) {
+      std::printf("lingering %ld ms for external scrapers\n", linger_ms);
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+    }
+  }
+
+  if (Status drained = server.Shutdown(); !drained.ok()) {
+    std::printf("FAIL: drain: %s\n", drained.ToString().c_str());
+    return 1;
+  }
+  std::printf("telemetry smoke: all checks passed\n");
+  return 0;
+}

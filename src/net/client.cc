@@ -57,6 +57,45 @@ Result<QueryResponse> QueryClient::QueryOnce(
   return DecodeResponse(body);
 }
 
+AdminClient::AdminClient(ClientOptions options)
+    : options_(std::move(options)) {}
+
+Result<AdminResponse> AdminClient::Call(const AdminRequest& request) const {
+  HTL_ASSIGN_OR_RETURN(
+      const std::string framed,
+      FrameMessage(EncodeAdminRequest(request), options_.max_frame_bytes));
+
+  HTL_ASSIGN_OR_RETURN(
+      const Socket conn,
+      Connect(options_.host, options_.port,
+              DeadlineAfterMs(options_.connect_timeout_ms)));
+
+  const SocketDeadline io_deadline = DeadlineAfterMs(options_.io_timeout_ms);
+  HTL_RETURN_IF_ERROR(
+      WriteFull(conn, framed.data(), framed.size(), io_deadline));
+
+  uint8_t header[kFrameHeaderBytes];
+  HTL_RETURN_IF_ERROR(ReadFull(conn, header, sizeof(header), io_deadline));
+  HTL_ASSIGN_OR_RETURN(const uint32_t body_len,
+                       CheckFrameHeader(header, options_.max_frame_bytes));
+  std::string body(body_len, '\0');
+  if (body_len > 0) {
+    HTL_RETURN_IF_ERROR(ReadFull(conn, body.data(), body.size(), io_deadline));
+  }
+  return DecodeAdminResponse(body);
+}
+
+Result<std::string> AdminClient::Fetch(AdminVerb verb, int64_t arg) const {
+  AdminRequest request;
+  request.verb = verb;
+  request.arg = arg;
+  HTL_ASSIGN_OR_RETURN(AdminResponse response, Call(request));
+  if (!response.ok()) {
+    return StatusFromWire(response.status, std::move(response.body));
+  }
+  return std::move(response.body);
+}
+
 Result<QueryResponse> QueryClient::Query(const QueryRequest& request) const {
   Status last = Status::Unavailable("no attempt made");
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {

@@ -77,6 +77,31 @@ class QueryClient {
   ClientOptions options_;
 };
 
+/// Client for the QueryServer's admin/telemetry listener (AdminVerb
+/// protocol). One connect/request/response exchange per call, no retries —
+/// pollers own their own cadence and a missed scrape is data, not a failure
+/// to paper over. Stateless between calls; shareable across threads.
+class AdminClient {
+ public:
+  /// `options.port` must be the server's admin_port(); the retry/backoff
+  /// fields are ignored.
+  explicit AdminClient(ClientOptions options);
+
+  /// Runs one admin exchange. Returns the decoded response (including
+  /// error responses — inspect AdminResponse::status) or the transport
+  /// error.
+  Result<AdminResponse> Call(const AdminRequest& request) const;
+
+  /// Call() + status check: the response body on kWireOk, the wire error
+  /// as a Status otherwise.
+  Result<std::string> Fetch(AdminVerb verb, int64_t arg = 0) const;
+
+  const ClientOptions& options() const { return options_; }
+
+ private:
+  ClientOptions options_;
+};
+
 }  // namespace htl::net
 
 #endif  // HTL_NET_CLIENT_H_

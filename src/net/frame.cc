@@ -19,6 +19,10 @@ bool IsValidQueryKind(uint8_t kind) {
   return kind <= static_cast<uint8_t>(QueryKind::kSql);
 }
 
+bool IsValidAdminVerb(uint8_t verb) {
+  return verb <= static_cast<uint8_t>(AdminVerb::kTrace);
+}
+
 WireStatus WireStatusFromCode(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
@@ -249,6 +253,69 @@ Result<QueryResponse> DecodeResponse(std::string_view body) {
     return Status::ParseError(
         StrCat("response frame has ", r.remaining(), " trailing byte(s)"));
   }
+  return resp;
+}
+
+std::string EncodeAdminRequest(const AdminRequest& request) {
+  ByteWriter w;
+  w.U8(kProtocolVersion);
+  w.U8(static_cast<uint8_t>(request.verb));
+  w.I64(request.arg);
+  return w.Take();
+}
+
+Result<AdminRequest> DecodeAdminRequest(std::string_view body) {
+  ByteReader r(body);
+  uint8_t version = 0, verb = 0;
+  AdminRequest req;
+  if (!r.U8(&version) || !r.U8(&verb) || !r.I64(&req.arg)) {
+    return Status::ParseError("truncated admin request frame");
+  }
+  if (!r.exhausted()) {
+    return Status::ParseError(
+        StrCat("admin request frame has ", r.remaining(), " trailing byte(s)"));
+  }
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument(
+        StrCat("unsupported protocol version ", static_cast<int>(version),
+               " (speak ", static_cast<int>(kProtocolVersion), ")"));
+  }
+  if (!IsValidAdminVerb(verb)) {
+    return Status::InvalidArgument(
+        StrCat("unknown admin verb ", static_cast<int>(verb)));
+  }
+  req.verb = static_cast<AdminVerb>(verb);
+  return req;
+}
+
+std::string EncodeAdminResponse(const AdminResponse& response) {
+  ByteWriter w;
+  w.U8(kProtocolVersion);
+  w.U8(static_cast<uint8_t>(response.status));
+  w.Str(response.body);
+  return w.Take();
+}
+
+Result<AdminResponse> DecodeAdminResponse(std::string_view body) {
+  ByteReader r(body);
+  uint8_t version = 0, status = 0;
+  AdminResponse resp;
+  if (!r.U8(&version) || !r.U8(&status) || !r.Str(&resp.body)) {
+    return Status::ParseError("truncated admin response frame");
+  }
+  if (!r.exhausted()) {
+    return Status::ParseError(StrCat("admin response frame has ",
+                                     r.remaining(), " trailing byte(s)"));
+  }
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument(
+        StrCat("unsupported protocol version ", static_cast<int>(version)));
+  }
+  if (status > static_cast<uint8_t>(WireStatus::kWireInternal)) {
+    return Status::ParseError(
+        StrCat("unknown wire status ", static_cast<int>(status)));
+  }
+  resp.status = static_cast<WireStatus>(status);
   return resp;
 }
 

@@ -77,6 +77,15 @@ Result<QueryRequest> DecodeRequest(std::string_view body);
 std::string EncodeResponse(const QueryResponse& response);
 Result<QueryResponse> DecodeResponse(std::string_view body);
 
+/// Admin exchange bodies <-> bytes, same contract (and the same frame
+/// header), spoken on the admin listener only. The decoders survive the
+/// hostile-input suite like the query codecs: truncation, bad version,
+/// unknown verbs/statuses, and trailing bytes all fail cleanly.
+std::string EncodeAdminRequest(const AdminRequest& request);
+Result<AdminRequest> DecodeAdminRequest(std::string_view body);
+std::string EncodeAdminResponse(const AdminResponse& response);
+Result<AdminResponse> DecodeAdminResponse(std::string_view body);
+
 /// Frames `body` with the magic/length header. Fails InvalidArgument when
 /// the body exceeds `max_frame_bytes` (callers surface this before writing
 /// anything, so oversized responses never produce torn frames).

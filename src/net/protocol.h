@@ -113,6 +113,38 @@ struct QueryResponse {
   bool partial() const { return (flags & kFlagPartial) != 0; }
 };
 
+/// Verbs served by the QueryServer's admin listener — a second, lightweight
+/// port that is exempt from admission control (shedding runs at accept time
+/// on the query port), so the telemetry plane answers even at 10x overload.
+enum class AdminVerb : uint8_t {
+  kMetricsText = 0,  // Human-readable metrics listing (MetricsSnapshot).
+  kMetricsJson = 1,  // MetricsSnapshot::ToJson().
+  kHealthz = 2,      // JSON health document (state, in-flight, stalls).
+  kSlowlog = 3,      // Wide-event query log tail as JSON (arg = max records).
+  kTrace = 4,        // Chrome trace JSON for one record (arg = id, 0 = latest).
+};
+
+/// True for byte values that decode to an AdminVerb.
+bool IsValidAdminVerb(uint8_t verb);
+
+/// One admin exchange request. `arg` is the verb's argument: kSlowlog takes
+/// the maximum record count (<= 0 means the server default), kTrace the
+/// wide-event record id whose retained profile to export (0 = the newest
+/// record with a retained profile). Other verbs ignore it.
+struct AdminRequest {
+  AdminVerb verb = AdminVerb::kMetricsText;
+  int64_t arg = 0;
+};
+
+/// The admin listener's answer: a status plus an opaque UTF-8 body (text or
+/// JSON per the verb; the error message on non-OK statuses).
+struct AdminResponse {
+  WireStatus status = WireStatus::kWireOk;
+  std::string body;
+
+  bool ok() const { return status == WireStatus::kWireOk; }
+};
+
 }  // namespace htl::net
 
 #endif  // HTL_NET_PROTOCOL_H_

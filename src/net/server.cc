@@ -1,9 +1,13 @@
 #include "net/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "htl/fingerprint.h"
 #include "htl/parser.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "sim/topk.h"
 #include "sql/sql_system.h"
 #include "util/fault_point.h"
@@ -38,10 +42,36 @@ QueryResponse OverloadedResponse(const char* why) {
   return resp;
 }
 
+AdminResponse AdminError(const Status& status) {
+  AdminResponse resp;
+  resp.status = WireStatusFromCode(status.code());
+  resp.body = status.message();
+  return resp;
+}
+
+/// Sums a stat over every span named `name` in the profile (the per-video
+/// spans each carry their own rows/tables; ExecContext budgets reset per
+/// unit, so the request total only exists as this sum).
+int64_t SumOverSpans(const obs::QueryProfile& profile, std::string_view name,
+                     int64_t obs::OpStats::*field) {
+  int64_t total = 0;
+  const auto walk = [&](const auto& self,
+                        const obs::QueryProfile::Node& node) -> void {
+    if (node.name == name) total += node.stats.*field;
+    for (const obs::QueryProfile::Node& child : node.children) {
+      self(self, child);
+    }
+  };
+  for (const obs::QueryProfile::Node& root : profile.roots) walk(walk, root);
+  return total;
+}
+
 }  // namespace
 
 QueryServer::QueryServer(const MetadataStore* store, ServerOptions options)
-    : store_(store), options_(std::move(options)) {
+    : store_(store),
+      options_(std::move(options)),
+      query_log_(options_.query_log) {
   if (options_.worker_threads < 1) options_.worker_threads = 1;
   if (options_.soft_watermark <= 0) {
     options_.soft_watermark = options_.worker_threads;
@@ -56,6 +86,15 @@ QueryServer::QueryServer(const MetadataStore* store, ServerOptions options)
       std::max(options_.hard_watermark, options_.soft_watermark);
   if (options_.max_hits < 1) options_.max_hits = 1;
 
+  if (options_.watchdog_stall_ms == 0) {
+    // No healthy session outlives its transport deadlines plus the default
+    // evaluation budget; past that it is stuck, not slow.
+    watchdog_bound_ms_ = options_.read_timeout_ms + options_.write_timeout_ms +
+                         options_.default_deadline_ms + 1000;
+  } else {
+    watchdog_bound_ms_ = options_.watchdog_stall_ms;  // < 0 disables.
+  }
+
   auto& metrics = obs::MetricsRegistry::Instance();
   accepted_ = metrics.GetCounter("net.accepted");
   rejected_ = metrics.GetCounter("net.rejected_overload");
@@ -63,10 +102,21 @@ QueryServer::QueryServer(const MetadataStore* store, ServerOptions options)
   frame_errors_ = metrics.GetCounter("net.frame_errors");
   responses_ok_ = metrics.GetCounter("net.responses_ok");
   responses_error_ = metrics.GetCounter("net.responses_error");
+  admin_requests_ = metrics.GetCounter("net.admin.requests");
+  admin_errors_ = metrics.GetCounter("net.admin.errors");
+  watchdog_stalls_ = metrics.GetCounter("net.watchdog.stalls");
   in_flight_gauge_ = metrics.GetGauge("net.in_flight");
+  stalled_gauge_ = metrics.GetGauge("net.watchdog.stalled_sessions");
   latency_us_ = metrics.GetHistogram(
-      "net.request_latency_us",
+      "net.request.latency_us",
       obs::Histogram::ExponentialBounds(100, 2.0, 18));
+  decode_us_ = metrics.GetHistogram(
+      "net.request.decode_us", obs::Histogram::ExponentialBounds(10, 2.0, 18));
+  execute_us_ = metrics.GetHistogram(
+      "net.request.execute_us",
+      obs::Histogram::ExponentialBounds(100, 2.0, 18));
+  encode_us_ = metrics.GetHistogram(
+      "net.request.encode_us", obs::Histogram::ExponentialBounds(10, 2.0, 18));
 }
 
 QueryServer::~QueryServer() {
@@ -82,17 +132,26 @@ Status QueryServer::Start() {
   HTL_ASSIGN_OR_RETURN(listener_,
                        ListenOnLoopback(options_.port, options_.accept_backlog));
   HTL_ASSIGN_OR_RETURN(port_, LocalPort(listener_));
+  // The admin plane binds its own socket: the query listener's admission
+  // control never sees (and so can never shed) a telemetry scrape.
+  HTL_ASSIGN_OR_RETURN(
+      admin_listener_,
+      ListenOnLoopback(options_.admin_port, options_.accept_backlog));
+  HTL_ASSIGN_OR_RETURN(admin_port_, LocalPort(admin_listener_));
+  started_at_ = std::chrono::steady_clock::now();
 
   ThreadPool::Options pool_options;
-  pool_options.num_threads = options_.worker_threads + 1;  // +1: accept loop.
+  // +2: the accept loop and the admin loop each pin a worker.
+  pool_options.num_threads = options_.worker_threads + 2;
   // The accept loop rejects past the hard watermark, so at most
   // hard_watermark sessions are ever queued or running; with this capacity
   // Schedule() never blocks the accept loop.
-  pool_options.queue_capacity = options_.hard_watermark + 2;
+  pool_options.queue_capacity = options_.hard_watermark + 3;
   pool_ = std::make_unique<ThreadPool>(pool_options);
 
   running_.store(true, std::memory_order_release);
   pool_->Schedule([this] { AcceptLoop(); });
+  pool_->Schedule([this] { AdminLoop(); });
   return Status::OK();
 }
 
@@ -154,17 +213,28 @@ void QueryServer::AcceptLoop() {
 void QueryServer::RunSession(uint64_t session_id,
                              const std::shared_ptr<Socket>& socket) {
   // Registered for the whole session so the drain path can reach the
-  // socket; the context pointer joins once the request is decoded.
+  // socket (and the watchdog can age it); the context pointer joins once
+  // the request is decoded.
   {
     MutexLock lock(&mu_);
-    live_[session_id] = LiveSession{socket.get(), nullptr};
+    live_[session_id] =
+        LiveSession{socket.get(), nullptr, std::chrono::steady_clock::now(),
+                    /*stalled=*/false};
   }
 
   ServeOneRequest(session_id, *socket);
 
   {
     MutexLock lock(&mu_);
-    live_.erase(session_id);
+    auto it = live_.find(session_id);
+    if (it != live_.end()) {
+      if (it->second.stalled) {
+        // The stall resolved itself after all: healthz heals.
+        --stalled_sessions_;
+        stalled_gauge_->Set(stalled_sessions_);
+      }
+      live_.erase(it);
+    }
   }
   const int64_t remaining =
       in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
@@ -173,9 +243,27 @@ void QueryServer::RunSession(uint64_t session_id,
 }
 
 void QueryServer::ServeOneRequest(uint64_t session_id, const Socket& socket) {
+  obs::QueryLogRecord record;
+  record.kind = 0xFF;  // Stays 0xFF unless a request actually decodes.
+  obs::QueryProfile profile;
+  const WallTimer total;
+  ServeRequestOnSocket(session_id, socket, &record, &profile);
+  // Every exit of the exchange — answered, refused, or dropped — lands one
+  // wide event and one total-latency observation (the tools/lint.py
+  // net-wide-event rule pins this invariant).
+  record.total_us = total.ElapsedMicros();
+  latency_us_->Observe(record.total_us);
+  RecordWideEvent(std::move(record), std::move(profile));
+}
+
+void QueryServer::ServeRequestOnSocket(uint64_t session_id,
+                                       const Socket& socket,
+                                       obs::QueryLogRecord* record,
+                                       obs::QueryProfile* profile) {
   // --- Read the request frame under the read deadline. ------------------
   const SocketDeadline read_deadline =
       DeadlineAfterMs(options_.read_timeout_ms);
+  const WallTimer decode_timer;
 
   Status torn = Status::OK();
   if (FaultRegistry::Armed()) {
@@ -191,6 +279,7 @@ void QueryServer::ServeOneRequest(uint64_t session_id, const Socket& socket) {
     // Nothing trustworthy arrived (timeout, torn read, or injected fault):
     // there is no request to answer, so the only clean move is to close.
     frame_errors_->Increment();
+    record->wire_status = static_cast<uint8_t>(WireStatusFromCode(torn.code()));
     return;
   }
 
@@ -199,7 +288,9 @@ void QueryServer::ServeOneRequest(uint64_t session_id, const Socket& socket) {
     // Bad magic or oversized length: the header itself was readable, so an
     // explicit error response is possible before closing.
     frame_errors_->Increment();
-    WriteResponseBestEffort(socket, ErrorResponse(body_len.status()));
+    const QueryResponse error = ErrorResponse(body_len.status());
+    record->wire_status = static_cast<uint8_t>(error.status);
+    WriteResponseBestEffort(socket, error);
     return;
   }
   std::string body(*body_len, '\0');
@@ -208,20 +299,36 @@ void QueryServer::ServeOneRequest(uint64_t session_id, const Socket& socket) {
         ReadFull(socket, body.data(), body.size(), read_deadline);
     if (!read.ok()) {
       frame_errors_->Increment();  // Slow loris or torn body: drop.
+      record->wire_status =
+          static_cast<uint8_t>(WireStatusFromCode(read.code()));
       return;
     }
   }
 
   auto request = DecodeRequest(body);
+  record->decode_us = decode_timer.ElapsedMicros();
+  decode_us_->Observe(record->decode_us);
   if (!request.ok()) {
     frame_errors_->Increment();
-    WriteResponseBestEffort(socket, ErrorResponse(request.status()));
+    const QueryResponse error = ErrorResponse(request.status());
+    record->wire_status = static_cast<uint8_t>(error.status);
+    WriteResponseBestEffort(socket, error);
     return;
   }
 
+  record->kind = static_cast<uint8_t>(request->kind);
+  record->fingerprint = FingerprintKey(request->query_text);
+  record->query = request->query_text;
+  record->level = request->level;
+  record->k = request->k;
+  record->use_cache = request->use_cache;
+  record->deadline_ms = request->deadline_ms > 0
+                            ? request->deadline_ms
+                            : options_.default_deadline_ms;
+
   // --- Admission: decide the shedding band for this request. ------------
   QueryResponse response;
-  const WallTimer timer;
+  const WallTimer exec_timer;
   if (drain_cancelled_.load(std::memory_order_acquire)) {
     response = OverloadedResponse("server draining");
   } else {
@@ -232,8 +339,7 @@ void QueryServer::ServeOneRequest(uint64_t session_id, const Socket& socket) {
     // Budget mapping: the client's deadline becomes the context deadline,
     // so evaluation is cancelled server-side when the budget expires.
     ExecContext ctx(degraded ? options_.shed_budgets : ExecBudgets{});
-    ctx.SetTimeoutMs(request->deadline_ms > 0 ? request->deadline_ms
-                                              : options_.default_deadline_ms);
+    ctx.SetTimeoutMs(record->deadline_ms);
     {
       MutexLock lock(&mu_);
       auto it = live_.find(session_id);
@@ -246,7 +352,7 @@ void QueryServer::ServeOneRequest(uint64_t session_id, const Socket& socket) {
       // well-formed error response (never a dropped connection).
       injected = FaultRegistry::Instance().Hit("net.session");
     }
-    response = injected.ok() ? HandleRequest(*request, degraded, &ctx)
+    response = injected.ok() ? HandleRequest(*request, degraded, &ctx, profile)
                              : ErrorResponse(injected);
 
     // A degraded-mode ResourceExhausted was caused by the *shed* budgets,
@@ -267,14 +373,17 @@ void QueryServer::ServeOneRequest(uint64_t session_id, const Socket& socket) {
       if (it != live_.end()) it->second.ctx = nullptr;
     }
   }
-  latency_us_->Observe(timer.ElapsedMicros());
+  record->execute_us = exec_timer.ElapsedMicros();
+  execute_us_->Observe(record->execute_us);
 
   // --- Write the response frame under the write deadline. ---------------
+  const WallTimer encode_timer;
   if (FaultRegistry::Armed()) {
     // net.write_frame: models a peer that vanished mid-response — the
     // session closes without writing and the server carries on.
     if (!FaultRegistry::Instance().Hit("net.write_frame").ok()) {
       frame_errors_->Increment();
+      record->wire_status = static_cast<uint8_t>(response.status);
       return;
     }
   }
@@ -292,12 +401,24 @@ void QueryServer::ServeOneRequest(uint64_t session_id, const Socket& socket) {
       // Even the error response overflows (a deliberately tiny cap):
       // closing without a frame is the only well-formed move left.
       frame_errors_->Increment();
+      record->wire_status = static_cast<uint8_t>(response.status);
       return;
     }
   }
+
+  // The response is final: its truth belongs in the wide event whether or
+  // not the peer sticks around to read it.
+  record->wire_status = static_cast<uint8_t>(response.status);
+  record->degraded = response.degraded();
+  record->partial = response.partial();
+  record->videos_evaluated = response.videos_evaluated;
+  record->videos_failed = response.videos_failed;
+
   const Status written =
       WriteFull(socket, framed->data(), framed->size(),
                 DeadlineAfterMs(options_.write_timeout_ms));
+  record->encode_us = encode_timer.ElapsedMicros();
+  encode_us_->Observe(record->encode_us);
   if (!written.ok()) {
     frame_errors_->Increment();  // Peer gone or not draining: drop.
     return;
@@ -309,16 +430,35 @@ void QueryServer::ServeOneRequest(uint64_t session_id, const Socket& socket) {
   }
 }
 
+void QueryServer::RecordWideEvent(obs::QueryLogRecord record,
+                                  obs::QueryProfile profile) {
+  if (!profile.empty()) {
+    if (const obs::QueryProfile::Node* classify =
+            profile.Find("stage.classify")) {
+      record.formula_class = classify->note;
+    }
+    if (const obs::QueryProfile::Node* cache = profile.Find("cache.lookup")) {
+      record.cache_hit = cache->note == "hit";
+    }
+    // ExecContext budgets reset per video, so request-total work only
+    // exists as the sum over the per-video spans.
+    record.rows = SumOverSpans(profile, "video", &obs::OpStats::rows);
+    record.tables = SumOverSpans(profile, "video", &obs::OpStats::tables);
+  }
+  query_log_.Record(std::move(record), std::move(profile));
+}
+
 QueryResponse QueryServer::HandleRequest(const QueryRequest& request,
-                                         bool degraded, ExecContext* ctx) {
+                                         bool degraded, ExecContext* ctx,
+                                         obs::QueryProfile* profile) {
   QueryResponse response;
   switch (request.kind) {
     case QueryKind::kHtlSegments:
     case QueryKind::kHtlVideos:
-      response = HandleHtl(request, ctx);
+      response = HandleHtl(request, ctx, profile);
       break;
     case QueryKind::kSql:
-      response = HandleSql(request, ctx);
+      response = HandleSql(request, ctx, profile);
       break;
   }
   if (degraded) response.flags |= kFlagDegraded;
@@ -326,7 +466,8 @@ QueryResponse QueryServer::HandleRequest(const QueryRequest& request,
 }
 
 QueryResponse QueryServer::HandleHtl(const QueryRequest& request,
-                                     ExecContext* ctx) {
+                                     ExecContext* ctx,
+                                     obs::QueryProfile* profile) {
   if (request.k <= 0) {
     return ErrorResponse(Status::InvalidArgument("k must be positive"));
   }
@@ -338,10 +479,14 @@ QueryResponse QueryServer::HandleHtl(const QueryRequest& request,
   if (!formula.ok()) return ErrorResponse(formula.status());
 
   const bool want_profile = (request.flags & kFlagWantProfile) != 0;
+  // trace_requests runs every request profiled so the query log can retain
+  // full traces for the slow ones (the client only *sees* the profile text
+  // when it asked for it).
+  const bool traced = want_profile || options_.trace_requests;
   QueryResponse response;
 
   if (request.kind == QueryKind::kHtlSegments) {
-    auto result = want_profile
+    auto result = traced
                       ? retriever->TopSegmentsProfiled(**formula,
                                                        request.level, k, ctx)
                       : retriever->TopSegmentsWithReport(**formula,
@@ -352,16 +497,17 @@ QueryResponse QueryServer::HandleHtl(const QueryRequest& request,
           WireHit{hit.video, hit.segment, hit.sim.actual, hit.sim.max});
     }
     FillReport(result->report, want_profile, &response);
+    if (profile != nullptr) *profile = std::move(result->report.profile);
   } else {
-    auto result = want_profile
-                      ? retriever->TopVideosProfiled(**formula, k, ctx)
-                      : retriever->TopVideosWithReport(**formula, k, ctx);
+    auto result = traced ? retriever->TopVideosProfiled(**formula, k, ctx)
+                         : retriever->TopVideosWithReport(**formula, k, ctx);
     if (!result.ok()) return ErrorResponse(result.status());
     for (const VideoHit& hit : result->hits) {
       response.hits.push_back(
           WireHit{hit.video, 0, hit.sim.actual, hit.sim.max});
     }
     FillReport(result->report, want_profile, &response);
+    if (profile != nullptr) *profile = std::move(result->report.profile);
   }
   return response;
 }
@@ -378,7 +524,8 @@ void QueryServer::FillReport(const RetrievalReport& report, bool want_profile,
 }
 
 QueryResponse QueryServer::HandleSql(const QueryRequest& request,
-                                     ExecContext* ctx) {
+                                     ExecContext* ctx,
+                                     obs::QueryProfile* profile) {
   if (options_.sql_inputs.empty() || options_.sql_n <= 0) {
     return ErrorResponse(Status::Unimplemented(
         "this server has no SQL input relations configured"));
@@ -386,22 +533,46 @@ QueryResponse QueryServer::HandleSql(const QueryRequest& request,
   if (request.k <= 0) {
     return ErrorResponse(Status::InvalidArgument("k must be positive"));
   }
-  auto formula = ParseFormula(request.query_text);
-  if (!formula.ok()) return ErrorResponse(formula.status());
 
-  sql::SqlSystem system;
-  system.executor().set_exec_context(ctx);
-  auto list =
-      system.Evaluate(**formula, options_.sql_inputs, options_.sql_n);
-  if (!list.ok()) return ErrorResponse(list.status());
-
-  QueryResponse response;
-  const int64_t k = std::min(request.k, options_.max_hits);
-  for (const RankedSegment& seg : TopKSegments(*list, k)) {
-    response.hits.push_back(
-        WireHit{0, seg.id, seg.sim.actual, seg.sim.max});
+  // The SQL system has no Profiled entry point; attach a trace to the
+  // session context here so the slowlog gets stage spans for kSql too.
+  obs::QueryTrace trace;
+  obs::QueryTrace* tr = nullptr;
+  obs::QueryTrace* saved = nullptr;
+  if (options_.trace_requests && ctx != nullptr) {
+    tr = &trace;
+    saved = ctx->trace();
+    ctx->set_trace(tr);
   }
-  response.videos_evaluated = 1;
+  obs::ScopedTraceAttach attach(tr);
+  QueryResponse response = [&] {
+    FormulaPtr formula;
+    {
+      HTL_OBS_SPAN(span, tr, "stage.parse");
+      auto parsed = ParseFormula(request.query_text);
+      if (!parsed.ok()) return ErrorResponse(parsed.status());
+      formula = std::move(*parsed);
+    }
+
+    HTL_OBS_SPAN(span, tr, "stage.execute");
+    sql::SqlSystem system;
+    system.executor().set_exec_context(ctx);
+    auto list =
+        system.Evaluate(*formula, options_.sql_inputs, options_.sql_n);
+    if (!list.ok()) return ErrorResponse(list.status());
+
+    QueryResponse resp;
+    const int64_t k = std::min(request.k, options_.max_hits);
+    for (const RankedSegment& seg : TopKSegments(*list, k)) {
+      resp.hits.push_back(WireHit{0, seg.id, seg.sim.actual, seg.sim.max});
+    }
+    resp.videos_evaluated = 1;
+    return resp;
+  }();
+  if (tr != nullptr) {
+    ctx->set_trace(saved);
+    if (profile != nullptr) *profile = trace.Finish();
+  }
   return response;
 }
 
@@ -415,6 +586,189 @@ Retriever* QueryServer::RetrieverFor(bool use_cache, bool serial) {
     retrievers_[index] = std::make_unique<Retriever>(store_, opts);
   }
   return retrievers_[index].get();
+}
+
+void QueryServer::AdminLoop() {
+  while (!admin_stopping_.load(std::memory_order_acquire)) {
+    auto conn = Accept(admin_listener_, DeadlineAfterMs(kAcceptTickMs));
+    // The watchdog heartbeat rides the accept tick: it runs whether or not
+    // anyone is scraping, so a stall is noticed within ~kAcceptTickMs.
+    CheckStalls();
+    if (!conn.ok()) {
+      if (conn.status().IsDeadlineExceeded()) continue;  // Idle tick.
+      if (conn.status().IsUnavailable()) break;  // Listener shut down.
+      continue;  // Transient accept failure: keep serving.
+    }
+
+    // net.admin.accept: injected accept-time breakage on the admin plane;
+    // the connection drops, the loop keeps serving.
+    if (FaultRegistry::Armed()) {
+      if (!FaultRegistry::Instance().Hit("net.admin.accept").ok()) {
+        admin_errors_->Increment();
+        continue;  // conn closes via RAII.
+      }
+    }
+    // Served inline: admin answers are small, computed locally, and bounded
+    // by the admin transport deadlines, so one loop thread is plenty — and
+    // it can never be starved by query-side worker saturation.
+    ServeAdminConn(*conn);
+  }
+
+  MutexLock lock(&mu_);
+  admin_loop_done_ = true;
+  drained_cv_.NotifyAll();
+}
+
+void QueryServer::ServeAdminConn(const Socket& socket) {
+  const SocketDeadline read_deadline =
+      DeadlineAfterMs(options_.admin_read_timeout_ms);
+
+  Status torn = Status::OK();
+  if (FaultRegistry::Armed()) {
+    // net.admin.read_frame: a torn/stalled inbound admin frame.
+    torn = FaultRegistry::Instance().Hit("net.admin.read_frame");
+  }
+  uint8_t header[kFrameHeaderBytes];
+  if (torn.ok()) {
+    torn = ReadFull(socket, header, sizeof(header), read_deadline);
+  }
+  if (!torn.ok()) {
+    admin_errors_->Increment();  // Nothing trustworthy arrived: close.
+    return;
+  }
+
+  AdminResponse response;
+  auto body_len = CheckFrameHeader(header, options_.max_frame_bytes);
+  if (!body_len.ok()) {
+    admin_errors_->Increment();
+    response = AdminError(body_len.status());
+  } else {
+    std::string body(*body_len, '\0');
+    if (*body_len > 0) {
+      const Status read =
+          ReadFull(socket, body.data(), body.size(), read_deadline);
+      if (!read.ok()) {
+        admin_errors_->Increment();  // Slow loris on the admin port: drop.
+        return;
+      }
+    }
+    auto request = DecodeAdminRequest(body);
+    if (!request.ok()) {
+      admin_errors_->Increment();
+      response = AdminError(request.status());
+    } else {
+      admin_requests_->Increment();
+      response = HandleAdmin(*request);
+    }
+  }
+
+  if (FaultRegistry::Armed()) {
+    // net.admin.write_frame: the scraper vanished mid-answer.
+    if (!FaultRegistry::Instance().Hit("net.admin.write_frame").ok()) {
+      admin_errors_->Increment();
+      return;
+    }
+  }
+  auto framed =
+      FrameMessage(EncodeAdminResponse(response), options_.max_frame_bytes);
+  if (!framed.ok()) {
+    // Answer larger than the frame cap (a giant slowlog under a tiny cap):
+    // degrade to an explicit error rather than a torn frame.
+    response = AdminError(Status::ResourceExhausted(
+        "admin response exceeded the frame cap; lower the record count"));
+    framed =
+        FrameMessage(EncodeAdminResponse(response), options_.max_frame_bytes);
+    if (!framed.ok()) {
+      admin_errors_->Increment();
+      return;
+    }
+  }
+  WriteFull(socket, framed->data(), framed->size(),
+            DeadlineAfterMs(options_.admin_write_timeout_ms))
+      .IgnoreError();  // Best effort: the scraper may already be gone.
+}
+
+AdminResponse QueryServer::HandleAdmin(const AdminRequest& request) {
+  AdminResponse response;
+  switch (request.verb) {
+    case AdminVerb::kMetricsText:
+      response.body = obs::MetricsRegistry::Instance().Snapshot().ToText();
+      break;
+    case AdminVerb::kMetricsJson:
+      response.body = obs::MetricsRegistry::Instance().Snapshot().ToJson();
+      break;
+    case AdminVerb::kHealthz:
+      response.body = HealthzJson();
+      break;
+    case AdminVerb::kSlowlog: {
+      const int64_t n = request.arg > 0 ? request.arg : 64;
+      response.body = query_log_.ToJson(static_cast<size_t>(n));
+      break;
+    }
+    case AdminVerb::kTrace: {
+      const uint64_t id =
+          request.arg > 0 ? static_cast<uint64_t>(request.arg) : 0;
+      auto profile = query_log_.ProfileFor(id);
+      if (profile == nullptr) {
+        return AdminError(Status::NotFound(
+            id == 0 ? std::string("no retained profile in the query log")
+                    : StrCat("no retained profile for record ", id)));
+      }
+      response.body = obs::ProfileToChromeTrace(*profile);
+      break;
+    }
+  }
+  return response;
+}
+
+std::string QueryServer::HealthzJson() {
+  const bool draining = stopping_.load(std::memory_order_acquire);
+  const int64_t inflight = in_flight_.load(std::memory_order_acquire);
+  const char* state = draining ? "draining"
+                     : inflight > options_.soft_watermark ? "shedding"
+                                                          : "accepting";
+  int64_t stalled = 0;
+  {
+    MutexLock lock(&mu_);
+    stalled = stalled_sessions_;
+  }
+  const double uptime =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - started_at_)
+          .count();
+  // "healthy" is the watchdog's verdict alone — shedding and draining are
+  // load states a balancer reads from "state", not liveness failures.
+  return StrCat(
+      "{\"state\": \"", state, "\", \"healthy\": ",
+      stalled == 0 ? "true" : "false", ", \"in_flight\": ", inflight,
+      ", \"soft_watermark\": ", options_.soft_watermark,
+      ", \"hard_watermark\": ", options_.hard_watermark,
+      ", \"stalled_sessions\": ", stalled,
+      ", \"wide_events\": ", query_log_.total_recorded(),
+      ", \"uptime_s\": ", FormatFixed(uptime, 3),
+      ", \"query_port\": ", port_, ", \"admin_port\": ", admin_port_, "}");
+}
+
+void QueryServer::CheckStalls() {
+  if (watchdog_bound_ms_ < 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  const auto bound = std::chrono::milliseconds(watchdog_bound_ms_);
+  MutexLock lock(&mu_);
+  for (auto& [id, session] : live_) {
+    if (!session.stalled && now - session.start > bound) {
+      // Flagged once per session; the flag clears (and healthz heals) when
+      // the session deregisters.
+      session.stalled = true;
+      ++stalled_sessions_;
+      watchdog_stalls_->Increment();
+      stalled_gauge_->Set(stalled_sessions_);
+    }
+  }
+}
+
+int64_t QueryServer::stalled_sessions() const {
+  MutexLock lock(&mu_);
+  return stalled_sessions_;
 }
 
 void QueryServer::WriteResponseBestEffort(const Socket& socket,
@@ -490,6 +844,19 @@ Status QueryServer::Shutdown() {
     return Status::Internal(
         StrCat("drain leaked ", leaked, " session(s) past the deadline"));
   }
+
+  // Phase 5 — retire the telemetry plane last: the admin loop kept
+  // answering (healthz state "draining") through phases 1-4, so a watcher
+  // sees the drain happen instead of a dead port.
+  admin_stopping_.store(true, std::memory_order_release);
+  admin_listener_.ShutdownBoth();
+  {
+    MutexLock lock(&mu_);
+    while (!admin_loop_done_) {
+      drained_cv_.WaitFor(mu_, std::chrono::milliseconds(50));
+    }
+  }
+  admin_listener_.Close();
 
   pool_.reset();  // Drains the (now empty) queue and joins every worker.
   running_.store(false, std::memory_order_release);

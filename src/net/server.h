@@ -2,6 +2,7 @@
 #define HTL_NET_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -14,6 +15,8 @@
 #include "net/protocol.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/query_log.h"
 #include "sim/sim_list.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -83,6 +86,36 @@ struct ServerOptions {
   /// kSql answers kWireUnimplemented.
   std::map<std::string, SimilarityList> sql_inputs;
   int64_t sql_n = 0;
+
+  // --- Telemetry plane (DESIGN.md "Telemetry plane"). ---------------------
+
+  /// TCP port for the admin listener on 127.0.0.1 (0 = ephemeral; read it
+  /// back via admin_port()). Deliberately a *second* listener: admission
+  /// control runs at accept time on the query port, so a separate socket is
+  /// what keeps metrics/healthz reachable while the query port sheds.
+  uint16_t admin_port = 0;
+
+  /// Transport deadlines for admin exchanges. Admin frames are tiny and the
+  /// answers are computed locally, so these are tight by default.
+  int64_t admin_read_timeout_ms = 1000;
+  int64_t admin_write_timeout_ms = 1000;
+
+  /// Wide-event query log retention (ring capacity, slow threshold,
+  /// sampling, profile cap). Backs the admin `slowlog` / `trace` verbs.
+  obs::QueryLog::Options query_log;
+
+  /// Run every request through the profiled engine entry points so the
+  /// query log can retain full traces for slow/sampled requests. Off: wide
+  /// events still record, but the trace-derived fields stay empty and the
+  /// slowlog holds no profiles.
+  bool trace_requests = true;
+
+  /// Stall watchdog: a live session older than this flips healthz to
+  /// unhealthy and bumps net.watchdog.stalls (it un-flips when the session
+  /// ends). 0 derives a bound that no healthy session can reach —
+  /// read + write timeouts + the default deadline + 1s slack; negative
+  /// disables the watchdog.
+  int64_t watchdog_stall_ms = 0;
 };
 
 /// Multi-threaded TCP query service in front of a Retriever. One
@@ -106,8 +139,17 @@ struct ServerOptions {
 ///
 /// Fault points: net.accept, net.read_frame, net.write_frame, net.session
 /// let tests inject torn frames, stalled reads, and mid-response
-/// disconnects. Metrics: net.* counters/gauges/histograms (accepted,
-/// sheds, rejects, frame errors, in-flight, request latency).
+/// disconnects; net.admin.* cover the admin plane. Metrics: net.* counters/
+/// gauges/histograms (accepted, sheds, rejects, frame errors, in-flight,
+/// per-stage request latency).
+///
+/// Telemetry plane: a second lightweight listener (admin_port) serves the
+/// AdminVerb protocol — metrics text/JSON, a healthz document, the
+/// wide-event slowlog, and Chrome-trace export of retained profiles — and
+/// is exempt from admission control by construction. Every request lands
+/// one obs::QueryLogRecord in the server's QueryLog whatever its outcome
+/// (including undecodable frames), and a stall watchdog on the admin loop
+/// flags sessions that outlive every legitimate deadline.
 ///
 /// Thread model: Start() spawns the accept loop and session workers on an
 /// internal ThreadPool; all public methods are safe from any thread.
@@ -125,8 +167,11 @@ class QueryServer {
   /// calling Start twice is FailedPrecondition.
   Status Start();
 
-  /// The bound port (valid after a successful Start).
+  /// The bound query port (valid after a successful Start).
   uint16_t port() const { return port_; }
+
+  /// The bound admin/telemetry port (valid after a successful Start).
+  uint16_t admin_port() const { return admin_port_; }
 
   /// Graceful drain; see the class comment. Returns OK when every session
   /// finished (naturally or after cancellation) and all threads joined;
@@ -142,6 +187,14 @@ class QueryServer {
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
+  /// The wide-event query log backing the admin slowlog/trace verbs
+  /// (tests and tools inspect it directly; recording is internal).
+  const obs::QueryLog& query_log() const { return query_log_; }
+
+  /// Sessions currently flagged by the stall watchdog (healthz "healthy"
+  /// is exactly this being zero while the server runs).
+  int64_t stalled_sessions() const;
+
  private:
   /// One admitted session visible to the drain path. The session thread
   /// owns the socket and context; this entry only lends them to Shutdown
@@ -150,6 +203,10 @@ class QueryServer {
   struct LiveSession {
     Socket* socket = nullptr;
     ExecContext* ctx = nullptr;
+    /// Admission time + watchdog flag (set once by CheckStalls, cleared by
+    /// the session's deregistration).
+    std::chrono::steady_clock::time_point start;
+    bool stalled = false;
   };
 
   void AcceptLoop();
@@ -159,14 +216,41 @@ class QueryServer {
   /// Never propagates errors (they become responses, closes, and metrics).
   void RunSession(uint64_t session_id, const std::shared_ptr<Socket>& socket);
 
-  /// The session body: read frame -> decode -> evaluate -> respond.
+  /// The session body: read frame -> decode -> evaluate -> respond, then
+  /// observe the total latency and land the wide event in the query log
+  /// (every exit path, including closes without a response).
   void ServeOneRequest(uint64_t session_id, const Socket& socket);
 
-  /// Evaluates one decoded request under `ctx`.
+  /// The exchange itself; fills `record` (and `profile` when the request
+  /// ran traced) as it goes instead of reporting through return values.
+  void ServeRequestOnSocket(uint64_t session_id, const Socket& socket,
+                            obs::QueryLogRecord* record,
+                            obs::QueryProfile* profile);
+
+  /// Derives the trace-dependent wide-event fields (formula class, cache
+  /// hit, rows/tables) from `profile`, then records both into query_log_.
+  void RecordWideEvent(obs::QueryLogRecord record, obs::QueryProfile profile);
+
+  /// Evaluates one decoded request under `ctx`. With trace_requests (or
+  /// kFlagWantProfile) the profiled entry points run and the trace lands in
+  /// `*profile` for the query log.
   QueryResponse HandleRequest(const QueryRequest& request, bool degraded,
-                              ExecContext* ctx);
-  QueryResponse HandleHtl(const QueryRequest& request, ExecContext* ctx);
-  QueryResponse HandleSql(const QueryRequest& request, ExecContext* ctx);
+                              ExecContext* ctx, obs::QueryProfile* profile);
+  QueryResponse HandleHtl(const QueryRequest& request, ExecContext* ctx,
+                          obs::QueryProfile* profile);
+  QueryResponse HandleSql(const QueryRequest& request, ExecContext* ctx,
+                          obs::QueryProfile* profile);
+
+  /// Admin plane: its own accept loop (serving exchanges inline — admin
+  /// answers are small and computed locally) plus the per-tick stall scan.
+  void AdminLoop();
+  void ServeAdminConn(const Socket& socket);
+  AdminResponse HandleAdmin(const AdminRequest& request);
+  std::string HealthzJson();
+
+  /// Flags live sessions older than the watchdog bound (see
+  /// ServerOptions::watchdog_stall_ms). Runs on the admin loop's tick.
+  void CheckStalls();
 
   /// Copies RetrievalReport truth (evaluated/failed counts, partial flag,
   /// summary or profile text) onto the wire response.
@@ -187,11 +271,23 @@ class QueryServer {
 
   Socket listener_;
   uint16_t port_ = 0;
+  Socket admin_listener_;
+  uint16_t admin_port_ = 0;
   std::unique_ptr<ThreadPool> pool_;
+  /// Wall-clock start of Start(), for healthz uptime.
+  std::chrono::steady_clock::time_point started_at_;
+  /// Resolved watchdog bound in ms (< 0: watchdog disabled).
+  int64_t watchdog_bound_ms_ = -1;
+
+  obs::QueryLog query_log_;
 
   std::atomic<bool> started_{false};
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  /// Stops the admin loop — set strictly *after* the query-side drain, so
+  /// the telemetry plane keeps answering (and reporting "draining") while
+  /// sessions unwind.
+  std::atomic<bool> admin_stopping_{false};
   /// Set by the drain cancel sweep: sessions that dequeue after it respond
   /// kWireOverloaded ("draining") instead of starting work.
   std::atomic<bool> drain_cancelled_{false};
@@ -203,9 +299,12 @@ class QueryServer {
   Mutex shutdown_mu_;
 
   mutable Mutex mu_;
-  CondVar drained_cv_;  // Signalled on session end and accept-loop exit.
+  CondVar drained_cv_;  // Signalled on session end and loop exits.
   bool accept_loop_done_ HTL_GUARDED_BY(mu_) = false;
+  bool admin_loop_done_ HTL_GUARDED_BY(mu_) = false;
   std::map<uint64_t, LiveSession> live_ HTL_GUARDED_BY(mu_);
+  /// Live sessions currently past the watchdog bound (flag set in live_).
+  int64_t stalled_sessions_ HTL_GUARDED_BY(mu_) = 0;
 
   Mutex retrievers_mu_;
   std::unique_ptr<Retriever> retrievers_[4] HTL_GUARDED_BY(retrievers_mu_);
@@ -217,8 +316,15 @@ class QueryServer {
   obs::Counter* frame_errors_ = nullptr;
   obs::Counter* responses_ok_ = nullptr;
   obs::Counter* responses_error_ = nullptr;
+  obs::Counter* admin_requests_ = nullptr;
+  obs::Counter* admin_errors_ = nullptr;
+  obs::Counter* watchdog_stalls_ = nullptr;
   obs::Gauge* in_flight_gauge_ = nullptr;
+  obs::Gauge* stalled_gauge_ = nullptr;
   obs::Histogram* latency_us_ = nullptr;
+  obs::Histogram* decode_us_ = nullptr;
+  obs::Histogram* execute_us_ = nullptr;
+  obs::Histogram* encode_us_ = nullptr;
 };
 
 }  // namespace htl::net

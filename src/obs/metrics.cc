@@ -161,9 +161,21 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   for (const auto& [name, c] : counters_) {
     snap.counters.push_back(MetricsSnapshot::CounterRow{name, c->Value()});
   }
-  snap.gauges.reserve(gauges_.size());
+  snap.gauges.reserve(gauges_.size() + 1);
+  // The synthetic reset-sequence gauge rides every snapshot in sorted
+  // position, so pollers can detect a ResetAll between two scrapes.
+  bool seq_emitted = false;
   for (const auto& [name, g] : gauges_) {
+    if (!seq_emitted && name > kSnapshotSeqName) {
+      snap.gauges.push_back(
+          MetricsSnapshot::GaugeRow{std::string(kSnapshotSeqName), snapshot_seq_});
+      seq_emitted = true;
+    }
     snap.gauges.push_back(MetricsSnapshot::GaugeRow{name, g->Value()});
+  }
+  if (!seq_emitted) {
+    snap.gauges.push_back(
+        MetricsSnapshot::GaugeRow{std::string(kSnapshotSeqName), snapshot_seq_});
   }
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
@@ -177,6 +189,14 @@ void MetricsRegistry::ResetAll() {
   for (const auto& [name, c] : counters_) c->Reset();
   for (const auto& [name, g] : gauges_) g->Reset();
   for (const auto& [name, h] : histograms_) h->Reset();
+  // Bumped after the zeroing, under the same lock: a snapshot serialized
+  // behind this reset sees the new seq with the zeroed values.
+  ++snapshot_seq_;
+}
+
+int64_t MetricsRegistry::snapshot_seq() const {
+  MutexLock lock(&mu_);
+  return snapshot_seq_;
 }
 
 }  // namespace htl::obs

@@ -14,6 +14,10 @@
 
 namespace htl::obs {
 
+/// Name of the synthetic reset-sequence gauge every MetricsSnapshot carries
+/// (see MetricsRegistry::ResetAll — it is not a registered Gauge).
+inline constexpr std::string_view kSnapshotSeqName = "obs.snapshot_seq";
+
 /// A monotonically increasing counter. All operations are relaxed atomics:
 /// increments from any thread are safe and never torn, and a snapshot taken
 /// while writers run sees each counter at some value it actually held.
@@ -130,12 +134,26 @@ class MetricsRegistry {
   /// return the existing histogram regardless of bounds.
   Histogram* GetHistogram(std::string_view name, std::vector<int64_t> bounds);
 
+  /// Point-in-time copy of every metric, plus the synthetic gauge
+  /// `obs.snapshot_seq` (see ResetAll).
+  ///
+  /// Concurrency contract with ResetAll: both take the registry mutex, so a
+  /// snapshot never observes a *torn* value — but Snapshot() does not stop
+  /// writers, so a snapshot racing a reset may mix pre-reset and post-reset
+  /// values across metrics, and a counter can appear to move backwards
+  /// between two scrapes. Pollers that difference counters across scrapes
+  /// must compare `obs.snapshot_seq` first: a changed seq means ResetAll ran
+  /// in between and the delta is meaningless (re-baseline instead).
   MetricsSnapshot Snapshot() const;
 
-  /// Zeroes every registered metric (registrations are kept). Race-free:
+  /// Zeroes every registered metric (registrations are kept) and increments
+  /// the reset sequence surfaced as the `obs.snapshot_seq` gauge. Race-free:
   /// concurrent writers may land increments before or after the reset, but
-  /// values are never torn.
+  /// values are never torn. See Snapshot() for the poller-side contract.
   void ResetAll();
+
+  /// Completed ResetAll calls so far (the value of `obs.snapshot_seq`).
+  int64_t snapshot_seq() const;
 
  private:
   MetricsRegistry() = default;
@@ -143,6 +161,10 @@ class MetricsRegistry {
   inline static std::atomic<bool> enabled_{false};
 
   mutable Mutex mu_;
+  /// Bumped by ResetAll *after* zeroing, surfaced as the synthetic gauge
+  /// `obs.snapshot_seq` in every snapshot. Deliberately not a registered
+  /// Gauge: it must survive the very reset it reports.
+  int64_t snapshot_seq_ HTL_GUARDED_BY(mu_) = 0;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
       HTL_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_

@@ -1,0 +1,152 @@
+#include "obs/query_log.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/mutex.h"
+#include "util/string_util.h"
+
+namespace htl::obs {
+
+QueryLog::QueryLog(Options options) : options_(options) {
+  HTL_CHECK(options_.capacity > 0) << "QueryLog needs a positive capacity";
+  ring_.resize(options_.capacity);
+}
+
+bool QueryLog::ShouldRetain(const QueryLogRecord& record) const {
+  if (options_.max_retained_profiles == 0) return false;
+  if (options_.slow_threshold_us >= 0 &&
+      record.total_us >= options_.slow_threshold_us) {
+    return true;
+  }
+  return options_.sample_every > 0 &&
+         record.id % static_cast<uint64_t>(options_.sample_every) == 0;
+}
+
+uint64_t QueryLog::Record(QueryLogRecord record, QueryProfile profile) {
+  if (record.query.size() > options_.max_query_bytes) {
+    record.query.resize(options_.max_query_bytes);
+  }
+  HTL_OBS_COUNT("obs.querylog.records", 1);
+
+  MutexLock lock(&mu_);
+  record.id = next_id_++;
+  const bool retain = !profile.empty() && ShouldRetain(record);
+  Entry& slot = ring_[(record.id - 1) % options_.capacity];
+  if (slot.profile != nullptr) {
+    // The overwritten record falls off the ring and takes its profile along.
+    slot.profile.reset();
+    --retained_;
+    HTL_OBS_COUNT("obs.querylog.profiles_evicted", 1);
+  }
+  slot.record = std::move(record);
+  if (retain) {
+    if (retained_ >= options_.max_retained_profiles) {
+      // Evict the oldest retained profile (its record stays in the ring).
+      const uint64_t newest = next_id_ - 1;
+      const uint64_t live = std::min<uint64_t>(newest, options_.capacity);
+      for (uint64_t id = newest - live + 1; id < newest; ++id) {
+        Entry& e = ring_[(id - 1) % options_.capacity];
+        if (e.profile != nullptr) {
+          e.profile.reset();
+          --retained_;
+          HTL_OBS_COUNT("obs.querylog.profiles_evicted", 1);
+          break;
+        }
+      }
+    }
+    slot.profile = std::make_shared<const QueryProfile>(std::move(profile));
+    ++retained_;
+    HTL_OBS_COUNT("obs.querylog.profiles_retained", 1);
+  }
+  return slot.record.id;
+}
+
+std::vector<QueryLog::Entry> QueryLog::Tail(size_t n) const {
+  MutexLock lock(&mu_);
+  const uint64_t newest = next_id_ - 1;
+  const uint64_t live = std::min<uint64_t>(newest, options_.capacity);
+  const uint64_t take = std::min<uint64_t>(live, n);
+  std::vector<Entry> out;
+  out.reserve(take);
+  for (uint64_t id = newest; id > newest - take; --id) {
+    out.push_back(ring_[(id - 1) % options_.capacity]);
+  }
+  return out;
+}
+
+std::shared_ptr<const QueryProfile> QueryLog::ProfileFor(uint64_t id) const {
+  MutexLock lock(&mu_);
+  const uint64_t newest = next_id_ - 1;
+  const uint64_t live = std::min<uint64_t>(newest, options_.capacity);
+  if (id != 0) {
+    if (id > newest || id + live <= newest) return nullptr;  // Fell off.
+    const Entry& e = ring_[(id - 1) % options_.capacity];
+    return e.record.id == id ? e.profile : nullptr;
+  }
+  for (uint64_t cand = newest; cand > newest - live; --cand) {
+    const Entry& e = ring_[(cand - 1) % options_.capacity];
+    if (e.profile != nullptr) return e.profile;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void AppendRecordJson(std::string* out, const QueryLog::Entry& entry) {
+  const QueryLogRecord& r = entry.record;
+  *out += StrCat("{\"id\": ", r.id, ", \"fingerprint\": ", r.fingerprint,
+                 ", \"query\": \"");
+  AppendJsonEscaped(out, r.query);
+  *out += StrCat("\", \"kind\": ", static_cast<int>(r.kind),
+                 ", \"wire_status\": ", static_cast<int>(r.wire_status),
+                 ", \"degraded\": ", r.degraded ? "true" : "false",
+                 ", \"partial\": ", r.partial ? "true" : "false",
+                 ", \"use_cache\": ", r.use_cache ? "true" : "false",
+                 ", \"cache_hit\": ", r.cache_hit ? "true" : "false",
+                 ", \"formula_class\": \"");
+  AppendJsonEscaped(out, r.formula_class);
+  *out += StrCat("\", \"level\": ", r.level, ", \"k\": ", r.k,
+                 ", \"deadline_ms\": ", r.deadline_ms,
+                 ", \"decode_us\": ", r.decode_us,
+                 ", \"execute_us\": ", r.execute_us,
+                 ", \"encode_us\": ", r.encode_us,
+                 ", \"total_us\": ", r.total_us, ", \"rows\": ", r.rows,
+                 ", \"tables\": ", r.tables,
+                 ", \"videos_evaluated\": ", r.videos_evaluated,
+                 ", \"videos_failed\": ", r.videos_failed, ", \"has_profile\": ",
+                 entry.profile != nullptr ? "true" : "false", "}");
+}
+
+}  // namespace
+
+std::string QueryLog::ToJson(size_t n) const {
+  const std::vector<Entry> tail = Tail(n);
+  std::string out = StrCat("{\"count\": ", tail.size(), ", \"records\": [");
+  for (size_t i = 0; i < tail.size(); ++i) {
+    if (i != 0) out += ", ";
+    AppendRecordJson(&out, tail[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+uint64_t QueryLog::total_recorded() const {
+  MutexLock lock(&mu_);
+  return next_id_ - 1;
+}
+
+size_t QueryLog::size() const {
+  MutexLock lock(&mu_);
+  return static_cast<size_t>(
+      std::min<uint64_t>(next_id_ - 1, options_.capacity));
+}
+
+size_t QueryLog::retained_profiles() const {
+  MutexLock lock(&mu_);
+  return retained_;
+}
+
+}  // namespace htl::obs

@@ -1,0 +1,95 @@
+#include "obs/trace_export.h"
+
+#include <string_view>
+
+#include "util/string_util.h"
+
+namespace htl::obs {
+
+namespace {
+
+/// Microseconds with sub-microsecond remainder, the unit of trace_event
+/// "ts"/"dur" fields.
+std::string NanosAsMicros(int64_t nanos) {
+  return FormatFixed(static_cast<double>(nanos) / 1000.0, 3);
+}
+
+struct Emitter {
+  std::string* out;
+  const ChromeTraceOptions& options;
+  bool first = true;
+
+  void BeginEvent() {
+    if (!first) *out += ",\n";
+    first = false;
+  }
+
+  void EmitSpan(const QueryProfile::Node& node, int64_t start_nanos) {
+    BeginEvent();
+    *out += "{\"name\": \"";
+    AppendJsonEscaped(out, node.name);
+    *out += StrCat("\", \"cat\": \"htl\", \"ph\": \"X\", \"ts\": ",
+                   NanosAsMicros(start_nanos),
+                   ", \"dur\": ", NanosAsMicros(node.nanos),
+                   ", \"pid\": ", options.pid, ", \"tid\": ", options.tid);
+    const bool has_args = node.unit >= 0 || !node.stats.empty() ||
+                          !node.note.empty();
+    if (has_args) {
+      *out += ", \"args\": {";
+      bool first_arg = true;
+      const auto arg = [&](std::string_view key, auto&& value) {
+        *out += StrCat(first_arg ? "" : ", ", "\"", key, "\": ", value);
+        first_arg = false;
+      };
+      if (node.unit >= 0) arg("unit", node.unit);
+      if (node.stats.rows != 0) arg("rows", node.stats.rows);
+      if (node.stats.intervals != 0) arg("intervals", node.stats.intervals);
+      if (node.stats.tables != 0) arg("tables", node.stats.tables);
+      if (!node.note.empty()) {
+        arg("note", StrCat("\"", JsonEscaped(node.note), "\""));
+      }
+      *out += "}";
+    }
+    *out += "}";
+    // Children stack inside the parent: each starts where the durations of
+    // its earlier siblings end.
+    int64_t child_start = start_nanos;
+    for (const QueryProfile::Node& child : node.children) {
+      EmitSpan(child, child_start);
+      child_start += child.nanos;
+    }
+  }
+
+  void EmitFault(const QueryProfile::FaultTrip& trip, int64_t at_nanos) {
+    BeginEvent();
+    *out += "{\"name\": \"fault: ";
+    AppendJsonEscaped(out, trip.point);
+    *out += StrCat("\", \"cat\": \"htl.fault\", \"ph\": \"i\", \"s\": \"t\"",
+                   ", \"ts\": ", NanosAsMicros(at_nanos),
+                   ", \"pid\": ", options.pid, ", \"tid\": ", options.tid,
+                   ", \"args\": {\"status\": \"", JsonEscaped(trip.status),
+                   "\"}}");
+  }
+};
+
+}  // namespace
+
+std::string ProfileToChromeTrace(const QueryProfile& profile,
+                                 const ChromeTraceOptions& options) {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  Emitter emitter{&out, options};
+  int64_t start = 0;
+  for (const QueryProfile::Node& root : profile.roots) {
+    emitter.EmitSpan(root, start);
+    start += root.nanos;
+  }
+  // `start` is now the synthesized end of the timeline; pin the fault
+  // instants there so they are visible next to the spans that tripped them.
+  for (const QueryProfile::FaultTrip& trip : profile.fault_trips) {
+    emitter.EmitFault(trip, start);
+  }
+  out += "\n]}";
+  return out;
+}
+
+}  // namespace htl::obs

@@ -1,0 +1,36 @@
+#ifndef HTL_OBS_TRACE_EXPORT_H_
+#define HTL_OBS_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/profile.h"
+
+namespace htl::obs {
+
+/// Rendering knobs for ProfileToChromeTrace.
+struct ChromeTraceOptions {
+  int64_t pid = 1;  // Process id stamped on every event.
+  int64_t tid = 1;  // Thread id stamped on every event.
+};
+
+/// Renders a QueryProfile as Chrome trace_event JSON — the format
+/// chrome://tracing, Perfetto, and speedscope all open directly, which turns
+/// the engine's EXPLAIN ANALYZE tree into a flame graph for free.
+///
+/// The profile stores durations, not timestamps, so timestamps are
+/// synthesized: each root span starts where the previous one ended, and each
+/// child starts at its parent's start offset by the durations of its earlier
+/// siblings. That is exact for the engine's sequential stage spans and a
+/// faithful nesting (if not a true timeline) for parallel per-video spans.
+/// Every span becomes one complete ("ph":"X") event carrying its OpStats and
+/// note as args; fault trips become instant ("ph":"i") events at the end of
+/// the timeline.
+///
+/// Always returns a valid JSON object, even for an empty profile.
+std::string ProfileToChromeTrace(const QueryProfile& profile,
+                                 const ChromeTraceOptions& options = {});
+
+}  // namespace htl::obs
+
+#endif  // HTL_OBS_TRACE_EXPORT_H_

@@ -24,6 +24,9 @@ const std::vector<std::string_view>& FaultRegistry::KnownPoints() {
           "engine.table_join",   // DirectEngine and/or/until join.
           "engine.value_table",  // DirectEngine freeze value-table build.
           "net.accept",          // QueryServer accept loop, post-accept.
+          "net.admin.accept",    // Admin listener accept, post-accept.
+          "net.admin.read_frame",   // Admin inbound frame read.
+          "net.admin.write_frame",  // Admin outbound response write.
           "net.read_frame",      // QueryServer inbound frame read.
           "net.session",         // QueryServer session body, pre-evaluate.
           "net.write_frame",     // QueryServer outbound response write.

@@ -44,4 +44,42 @@ std::string FormatFixed(double v, int digits) {
   return os.str();
 }
 
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          *out += "\\u00";
+          out->push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xF]);
+          out->push_back(kHex[static_cast<unsigned char>(c) & 0xF]);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+std::string JsonEscaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  AppendJsonEscaped(&out, s);
+  return out;
+}
+
 }  // namespace htl

@@ -54,6 +54,14 @@ std::string StrJoin(const Container& parts, std::string_view sep) {
 /// (fixed, `digits` decimals).
 std::string FormatFixed(double v, int digits);
 
+/// Appends `s` to `*out` escaped for use inside a JSON string literal
+/// (quotes, backslashes, and control characters; everything else verbatim —
+/// the telemetry plane emits UTF-8 pass-through).
+void AppendJsonEscaped(std::string* out, std::string_view s);
+
+/// AppendJsonEscaped into a fresh string (no surrounding quotes).
+std::string JsonEscaped(std::string_view s);
+
 }  // namespace htl
 
 #endif  // HTL_UTIL_STRING_UTIL_H_

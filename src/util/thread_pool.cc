@@ -3,11 +3,38 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
 namespace htl {
+
+namespace {
+
+// Process-wide pool telemetry cells, resolved once (stable pointers,
+// lock-free to bump). Shared by every pool in the process — the aggregate
+// view is what a saturation probe wants (DESIGN.md "Telemetry plane").
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* const g =
+      obs::MetricsRegistry::Instance().GetGauge("pool.queue_depth");
+  return g;
+}
+
+obs::Gauge* WorkersBusyGauge() {
+  static obs::Gauge* const g =
+      obs::MetricsRegistry::Instance().GetGauge("pool.workers_busy");
+  return g;
+}
+
+obs::Histogram* TaskWaitHistogram() {
+  static obs::Histogram* const h =
+      obs::MetricsRegistry::Instance().GetHistogram(
+          "pool.task_wait_us", obs::Histogram::ExponentialBounds(10, 2.0, 18));
+  return h;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool() : ThreadPool(Options{}) {}
 
@@ -38,13 +65,22 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Schedule(std::function<void()> fn) {
   HTL_CHECK(fn != nullptr);
+  Task task{std::move(fn), {}, false};
+  if (obs::MetricsRegistry::Enabled()) {
+    task.enqueued = std::chrono::steady_clock::now();
+    task.timed = true;
+  }
+  const bool timed = task.timed;
   {
     MutexLock lock(&mu_);
     while (!stopping_ && static_cast<int64_t>(queue_.size()) >= queue_capacity_) {
       queue_space_.Wait(mu_);
     }
     HTL_CHECK(!stopping_) << "Schedule() on a ThreadPool being destroyed";
-    queue_.push_back(std::move(fn));
+    queue_.push_back(std::move(task));
+    if (timed) {
+      QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
+    }
   }
   task_ready_.NotifyOne();
 }
@@ -56,7 +92,7 @@ int64_t ThreadPool::queue_depth() const {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       MutexLock lock(&mu_);
       while (!stopping_ && queue_.empty()) task_ready_.Wait(mu_);
@@ -65,9 +101,24 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (task.timed) {
+        QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
+      }
     }
     queue_space_.NotifyOne();
-    task();
+    if (task.timed) {
+      // Only tasks stamped at enqueue time are measured, so the wait is
+      // never computed from a default-constructed epoch.
+      TaskWaitHistogram()->Observe(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - task.enqueued)
+              .count());
+      WorkersBusyGauge()->Add(1);
+      task.fn();
+      WorkersBusyGauge()->Add(-1);
+    } else {
+      task.fn();
+    }
   }
 }
 

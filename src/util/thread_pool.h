@@ -2,6 +2,7 @@
 #define HTL_UTIL_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -33,6 +34,13 @@ namespace htl {
 /// Thread model: all members are internally synchronized; Schedule may be
 /// called from any thread, including from inside a task (as long as the
 /// caller tolerates the blocking backpressure).
+///
+/// Telemetry: while obs::MetricsRegistry is enabled, every pool feeds the
+/// process-wide `pool.queue_depth` / `pool.workers_busy` gauges and the
+/// `pool.task_wait_us` histogram (enqueue -> dequeue latency; only tasks
+/// enqueued while metrics were on are timed). The names are shared by all
+/// pools in the process — the aggregate is what a saturation probe wants.
+/// Disarmed cost per Schedule/dequeue: one relaxed atomic load and a branch.
 class ThreadPool {
  public:
   struct Options {
@@ -75,12 +83,21 @@ class ThreadPool {
   static ThreadPool* Shared();
 
  private:
+  /// One queued task plus its telemetry stamp. `timed` is set only when the
+  /// task was enqueued with metrics enabled, so a mid-run SetEnabled flip
+  /// never observes a wait measured from an unstamped epoch.
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+    bool timed = false;
+  };
+
   void WorkerLoop();
 
   mutable Mutex mu_;
   CondVar task_ready_;   // Signals workers: task or stop.
   CondVar queue_space_;  // Signals producers: queue below cap.
-  std::deque<std::function<void()>> queue_ HTL_GUARDED_BY(mu_);
+  std::deque<Task> queue_ HTL_GUARDED_BY(mu_);
   bool stopping_ HTL_GUARDED_BY(mu_) = false;
   int64_t queue_capacity_ = 0;  // Set once at construction, then read-only.
   std::vector<std::thread> workers_;

@@ -1,0 +1,435 @@
+// End-to-end telemetry plane: every admin verb over the wire, wide events
+// for every request outcome (including undecodable frames), slowlog profile
+// retention and Chrome-trace export, admin availability while the query port
+// sheds and while the server drains, the stall watchdog's healthz verdict,
+// net.admin.* fault injection, and garbage bytes on the admin port.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "testing/helpers.h"
+#include "util/fault_point.h"
+#include "util/rng.h"
+#include "workload/video_gen.h"
+
+namespace htl::net {
+namespace {
+
+constexpr const char* kQuery =
+    "exists x (type(x) = 'person') until exists y (type(y) = 'train')";
+constexpr int kLevel = 3;
+
+MetadataStore MakeStore(int num_videos) {
+  MetadataStore store;
+  Rng rng(20260808);
+  for (int i = 0; i < num_videos; ++i) {
+    VideoGenOptions vopts;
+    vopts.min_branching = 2;
+    vopts.max_branching = 3;
+    store.AddVideo(GenerateVideo(rng, vopts));
+  }
+  return store;
+}
+
+class AdminServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultRegistry::Instance().DisableAll(); }
+  void TearDown() override {
+    FaultRegistry::Instance().DisableAll();
+    if (server_ != nullptr && server_->running()) {
+      EXPECT_OK(server_->Shutdown());
+    }
+  }
+
+  void StartServer(ServerOptions options, int num_videos = 6) {
+    store_ = MakeStore(num_videos);
+    options.port = 0;
+    options.admin_port = 0;
+    server_ = std::make_unique<QueryServer>(&store_, options);
+    ASSERT_OK(server_->Start());
+    ASSERT_NE(server_->admin_port(), 0);
+    ASSERT_NE(server_->admin_port(), server_->port());
+  }
+
+  QueryClient MakeQueryClient() {
+    ClientOptions copts;
+    copts.port = server_->port();
+    copts.max_attempts = 1;
+    return QueryClient(copts);
+  }
+
+  AdminClient MakeAdminClient() {
+    ClientOptions copts;
+    copts.port = server_->admin_port();
+    return AdminClient(copts);
+  }
+
+  /// An admitted query-port connection that sends nothing: occupies an
+  /// in-flight slot until its read deadline (the overload/watchdog tests).
+  Result<Socket> OpenIdleConnection() {
+    return Connect("127.0.0.1", server_->port(), DeadlineAfterMs(2000));
+  }
+
+  /// The wide event lands *after* the response is written (the client can
+  /// observe the response first), so log assertions poll briefly.
+  void AwaitWideEvents(uint64_t n) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (server_->query_log().total_recorded() < n &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_GE(server_->query_log().total_recorded(), n);
+  }
+
+  void AwaitInFlight(int64_t n) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (server_->in_flight() < n &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_GE(server_->in_flight(), n);
+  }
+
+  /// Writes raw `bytes` to the admin port and decodes one framed
+  /// AdminResponse (the transport-abuse tests speak bytes, not verbs).
+  Result<AdminResponse> RawAdminExchange(const std::string& bytes) {
+    HTL_ASSIGN_OR_RETURN(
+        const Socket conn,
+        Connect("127.0.0.1", server_->admin_port(), DeadlineAfterMs(2000)));
+    HTL_RETURN_IF_ERROR(
+        WriteFull(conn, bytes.data(), bytes.size(), DeadlineAfterMs(2000)));
+    uint8_t header[kFrameHeaderBytes];
+    HTL_RETURN_IF_ERROR(
+        ReadFull(conn, header, sizeof(header), DeadlineAfterMs(2000)));
+    HTL_ASSIGN_OR_RETURN(const uint32_t body_len,
+                         CheckFrameHeader(header, kDefaultMaxFrameBytes));
+    std::string body(body_len, '\0');
+    HTL_RETURN_IF_ERROR(
+        ReadFull(conn, body.data(), body.size(), DeadlineAfterMs(2000)));
+    return DecodeAdminResponse(body);
+  }
+
+  MetadataStore store_;
+  std::unique_ptr<QueryServer> server_;
+};
+
+TEST_F(AdminServerTest, ServesEveryVerbOnAFreshServer) {
+  StartServer(ServerOptions{});
+  const AdminClient admin = MakeAdminClient();
+
+  ASSERT_OK_AND_ASSIGN(const std::string text,
+                       admin.Fetch(AdminVerb::kMetricsText));
+  EXPECT_NE(text.find("net.admin.requests"), std::string::npos) << text;
+  EXPECT_NE(text.find("net.request.latency_us"), std::string::npos);
+
+  ASSERT_OK_AND_ASSIGN(const std::string json,
+                       admin.Fetch(AdminVerb::kMetricsJson));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+
+  ASSERT_OK_AND_ASSIGN(const std::string healthz,
+                       admin.Fetch(AdminVerb::kHealthz));
+  EXPECT_NE(healthz.find("\"state\": \"accepting\""), std::string::npos)
+      << healthz;
+  EXPECT_NE(healthz.find("\"healthy\": true"), std::string::npos);
+  EXPECT_NE(healthz.find("\"in_flight\": 0"), std::string::npos);
+  EXPECT_NE(healthz.find("\"uptime_s\": "), std::string::npos);
+
+  ASSERT_OK_AND_ASSIGN(const std::string slowlog,
+                       admin.Fetch(AdminVerb::kSlowlog));
+  EXPECT_NE(slowlog.find("\"count\": 0"), std::string::npos) << slowlog;
+
+  // No query has run, so no profile is retained: trace is a clean error.
+  auto trace = admin.Fetch(AdminVerb::kTrace);
+  EXPECT_FALSE(trace.ok());
+}
+
+TEST_F(AdminServerTest, SlowQueryLandsInSlowlogWithExportableTrace) {
+  ServerOptions options;
+  // Any real request takes >= 1us, so this threshold makes every request
+  // "slow" — a deterministic injected slow query.
+  options.query_log.slow_threshold_us = 1;
+  StartServer(options);
+
+  QueryRequest request;
+  request.level = kLevel;
+  request.k = 10;
+  request.query_text = kQuery;
+  ASSERT_OK_AND_ASSIGN(QueryResponse response,
+                       MakeQueryClient().QueryOnce(request));
+  ASSERT_TRUE(response.ok()) << response.message;
+
+  // The wide event recorded every field of the request's life.
+  AwaitWideEvents(1);
+  ASSERT_EQ(server_->query_log().total_recorded(), 1u);
+  ASSERT_GE(server_->query_log().retained_profiles(), 1u);
+  const auto tail = server_->query_log().Tail(1);
+  ASSERT_EQ(tail.size(), 1u);
+  const obs::QueryLogRecord& record = tail[0].record;
+  EXPECT_EQ(record.query, kQuery);
+  EXPECT_NE(record.fingerprint, 0u);
+  EXPECT_EQ(record.kind, 0);  // kHtlSegments.
+  EXPECT_EQ(record.wire_status, 0);
+  EXPECT_EQ(record.level, kLevel);
+  EXPECT_EQ(record.k, 10);
+  EXPECT_EQ(record.deadline_ms, 1000);  // Server default applied.
+  EXPECT_GT(record.total_us, 0);
+  EXPECT_GE(record.total_us,
+            record.decode_us + record.execute_us + record.encode_us);
+  EXPECT_EQ(record.videos_evaluated, 6);
+  EXPECT_EQ(record.videos_failed, 0);
+  EXPECT_FALSE(record.formula_class.empty());  // stage.classify note.
+  ASSERT_NE(tail[0].profile, nullptr);
+  EXPECT_NE(tail[0].profile->Find("stage.execute"), nullptr);
+
+  const AdminClient admin = MakeAdminClient();
+  ASSERT_OK_AND_ASSIGN(const std::string slowlog,
+                       admin.Fetch(AdminVerb::kSlowlog));
+  EXPECT_NE(slowlog.find("\"count\": 1"), std::string::npos) << slowlog;
+  EXPECT_NE(slowlog.find("\"has_profile\": true"), std::string::npos);
+  EXPECT_NE(slowlog.find("person"), std::string::npos);
+
+  // arg 0 = newest retained profile; the export is a Chrome trace with the
+  // engine's stage spans in it.
+  ASSERT_OK_AND_ASSIGN(const std::string trace,
+                       admin.Fetch(AdminVerb::kTrace, 0));
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\": \"stage.execute\""), std::string::npos)
+      << trace;
+  EXPECT_NE(trace.find("\"ph\": \"X\""), std::string::npos);
+
+  // The same export by explicit record id.
+  ASSERT_OK_AND_ASSIGN(
+      const std::string by_id,
+      admin.Fetch(AdminVerb::kTrace, static_cast<int64_t>(record.id)));
+  EXPECT_EQ(by_id, trace);
+
+  // A record id that never existed is a clean NotFound, not a crash.
+  EXPECT_FALSE(admin.Fetch(AdminVerb::kTrace, 999'999).ok());
+}
+
+TEST_F(AdminServerTest, FastQueriesRecordWideEventsWithoutRetainingProfiles) {
+  ServerOptions options;
+  options.query_log.slow_threshold_us = -1;  // Never retain.
+  StartServer(options);
+  QueryRequest request;
+  request.level = kLevel;
+  request.query_text = kQuery;
+  ASSERT_OK_AND_ASSIGN(QueryResponse response,
+                       MakeQueryClient().QueryOnce(request));
+  ASSERT_TRUE(response.ok()) << response.message;
+  AwaitWideEvents(1);
+  EXPECT_EQ(server_->query_log().total_recorded(), 1u);
+  EXPECT_EQ(server_->query_log().retained_profiles(), 0u);
+  EXPECT_FALSE(MakeAdminClient().Fetch(AdminVerb::kTrace).ok());
+}
+
+TEST_F(AdminServerTest, UndecodableFrameStillLandsAWideEvent) {
+  StartServer(ServerOptions{});
+  // A well-formed frame whose body is garbage: the server answers a
+  // well-formed error AND the request appears in the query log with the
+  // undecodable marker — no request escapes the wide-event record.
+  ASSERT_OK_AND_ASSIGN(const std::string framed,
+                       FrameMessage("not a request", kDefaultMaxFrameBytes));
+  ASSERT_OK_AND_ASSIGN(
+      const Socket conn,
+      Connect("127.0.0.1", server_->port(), DeadlineAfterMs(2000)));
+  ASSERT_OK(WriteFull(conn, framed.data(), framed.size(),
+                      DeadlineAfterMs(2000)));
+  uint8_t header[kFrameHeaderBytes];
+  ASSERT_OK(ReadFull(conn, header, sizeof(header), DeadlineAfterMs(2000)));
+
+  AwaitWideEvents(1);
+  const auto tail = server_->query_log().Tail(1);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].record.kind, 0xFF);      // Never decoded.
+  EXPECT_NE(tail[0].record.wire_status, 0);  // And not OK.
+  EXPECT_GT(tail[0].record.total_us, 0);
+}
+
+TEST_F(AdminServerTest, AdminAnswersWhileQueryPortSheds) {
+  ServerOptions options;
+  options.worker_threads = 2;
+  options.soft_watermark = 1;
+  options.hard_watermark = 2;
+  options.read_timeout_ms = 10'000;
+  StartServer(options);
+
+  // Park the query port at its hard watermark: new query connections are
+  // refused outright.
+  ASSERT_OK_AND_ASSIGN(const Socket idle1, OpenIdleConnection());
+  ASSERT_OK_AND_ASSIGN(const Socket idle2, OpenIdleConnection());
+  AwaitInFlight(2);
+
+  QueryRequest request;
+  request.level = kLevel;
+  request.query_text = kQuery;
+  ASSERT_OK_AND_ASSIGN(QueryResponse refused,
+                       MakeQueryClient().QueryOnce(request));
+  EXPECT_EQ(refused.status, WireStatus::kWireOverloaded);
+
+  // The telemetry plane is exempt from admission control: metrics and
+  // healthz answer while the query port sheds, and healthz names the state.
+  const AdminClient admin = MakeAdminClient();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK_AND_ASSIGN(const std::string healthz,
+                         admin.Fetch(AdminVerb::kHealthz));
+    EXPECT_NE(healthz.find("\"state\": \"shedding\""), std::string::npos)
+        << healthz;
+    EXPECT_NE(healthz.find("\"in_flight\": 2"), std::string::npos);
+    ASSERT_OK_AND_ASSIGN(const std::string text,
+                         admin.Fetch(AdminVerb::kMetricsText));
+    EXPECT_NE(text.find("net.admin.requests"), std::string::npos);
+  }
+}
+
+TEST_F(AdminServerTest, HealthzReportsDrainingDuringShutdown) {
+  ServerOptions options;
+  options.read_timeout_ms = 10'000;
+  options.drain_deadline_ms = 2000;
+  StartServer(options);
+  // A parked session keeps the drain in its "natural drain" phase long
+  // enough to scrape healthz mid-shutdown.
+  std::optional<Socket> idle;
+  {
+    ASSERT_OK_AND_ASSIGN(Socket conn, OpenIdleConnection());
+    idle.emplace(std::move(conn));
+  }
+  AwaitInFlight(1);
+
+  std::thread shutdown([&] { EXPECT_OK(server_->Shutdown()); });
+  const AdminClient admin = MakeAdminClient();
+  bool saw_draining = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(1500);
+  while (!saw_draining && std::chrono::steady_clock::now() < deadline) {
+    auto healthz = admin.Fetch(AdminVerb::kHealthz);
+    if (healthz.ok() &&
+        healthz->find("\"state\": \"draining\"") != std::string::npos) {
+      saw_draining = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  shutdown.join();
+  EXPECT_TRUE(saw_draining)
+      << "admin plane never reported draining during shutdown";
+  // Phase 5 retired the admin listener: the telemetry plane is gone only
+  // after the drain completed.
+  EXPECT_FALSE(server_->running());
+  EXPECT_FALSE(admin.Fetch(AdminVerb::kHealthz).ok());
+}
+
+TEST_F(AdminServerTest, WatchdogFlagsStalledSessionAndHealsOnitsEnd) {
+  ServerOptions options;
+  options.read_timeout_ms = 5000;
+  options.watchdog_stall_ms = 50;  // Everything parked >50ms is a stall.
+  StartServer(options);
+  const AdminClient admin = MakeAdminClient();
+
+  std::optional<Socket> idle;
+  {
+    ASSERT_OK_AND_ASSIGN(Socket conn, OpenIdleConnection());
+    idle.emplace(std::move(conn));
+  }
+  AwaitInFlight(1);
+
+  // The watchdog rides the admin accept tick, so the flag lands within a
+  // tick or two of the bound.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server_->stalled_sessions() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GT(server_->stalled_sessions(), 0);
+  ASSERT_OK_AND_ASSIGN(std::string healthz, admin.Fetch(AdminVerb::kHealthz));
+  EXPECT_NE(healthz.find("\"healthy\": false"), std::string::npos) << healthz;
+  EXPECT_NE(healthz.find("\"stalled_sessions\": 1"), std::string::npos);
+
+  // Closing the stalled client ends its session; healthz heals.
+  idle.reset();
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server_->stalled_sessions() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server_->stalled_sessions(), 0);
+  ASSERT_OK_AND_ASSIGN(healthz, admin.Fetch(AdminVerb::kHealthz));
+  EXPECT_NE(healthz.find("\"healthy\": true"), std::string::npos) << healthz;
+
+  // The stall was counted durably even though the gauge healed.
+  EXPECT_GE(
+      obs::MetricsRegistry::Instance().GetCounter("net.watchdog.stalls")
+          ->Value(),
+      1);
+}
+
+TEST_F(AdminServerTest, AdminFaultPointsDropConnectionsAndKeepServing) {
+  StartServer(ServerOptions{});
+  const AdminClient admin = MakeAdminClient();
+
+  for (const char* point :
+       {"net.admin.accept", "net.admin.read_frame", "net.admin.write_frame"}) {
+    FaultRegistry::Instance().Enable(
+        point, FaultSpec{.code = StatusCode::kInternal, .fire_on_hit = 1,
+                         .sticky = false});
+    EXPECT_FALSE(admin.Fetch(AdminVerb::kHealthz).ok())
+        << point << " did not drop the exchange";
+    // Fault fired once; the plane keeps serving.
+    ASSERT_OK_AND_ASSIGN(const std::string healthz,
+                         admin.Fetch(AdminVerb::kHealthz));
+    EXPECT_NE(healthz.find("\"state\": \"accepting\""), std::string::npos);
+    FaultRegistry::Instance().DisableAll();
+  }
+}
+
+TEST_F(AdminServerTest, GarbageOnTheAdminPortFailsCleanly) {
+  StartServer(ServerOptions{});
+
+  // Valid frame, garbage body: a well-formed error response.
+  ASSERT_OK_AND_ASSIGN(const std::string framed,
+                       FrameMessage("\xde\xad\xbe\xef", kDefaultMaxFrameBytes));
+  ASSERT_OK_AND_ASSIGN(AdminResponse response, RawAdminExchange(framed));
+  EXPECT_FALSE(response.ok());
+  EXPECT_FALSE(response.body.empty());
+
+  // Garbage header (bad magic): a well-formed error response too — the
+  // transport still worked, so the peer learns *why* it was rejected.
+  ASSERT_OK_AND_ASSIGN(AdminResponse bad_magic,
+                       RawAdminExchange("no magic here, just junk bytes"));
+  EXPECT_FALSE(bad_magic.ok());
+
+  // Unknown verb byte inside a valid frame: rejected by the decoder.
+  AdminRequest request;
+  request.verb = AdminVerb::kHealthz;
+  std::string body = EncodeAdminRequest(request);
+  body[1] = '\x7F';  // Corrupt the verb field.
+  ASSERT_OK_AND_ASSIGN(const std::string bad_verb,
+                       FrameMessage(body, kDefaultMaxFrameBytes));
+  ASSERT_OK_AND_ASSIGN(response, RawAdminExchange(bad_verb));
+  EXPECT_FALSE(response.ok());
+
+  // And the plane still serves after all of that.
+  ASSERT_OK_AND_ASSIGN(const std::string healthz,
+                       MakeAdminClient().Fetch(AdminVerb::kHealthz));
+  EXPECT_NE(healthz.find("\"healthy\": true"), std::string::npos);
+  EXPECT_GE(
+      obs::MetricsRegistry::Instance().GetCounter("net.admin.errors")->Value(),
+      3);
+}
+
+}  // namespace
+}  // namespace htl::net

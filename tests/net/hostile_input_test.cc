@@ -43,6 +43,8 @@ void Corrupt(Rng& rng, std::string& body, int flips) {
 void FeedAllDecoders(std::string_view bytes) {
   DecodeRequest(bytes).IgnoreError();
   DecodeResponse(bytes).IgnoreError();
+  DecodeAdminRequest(bytes).IgnoreError();
+  DecodeAdminResponse(bytes).IgnoreError();
   if (bytes.size() >= kFrameHeaderBytes) {
     uint8_t header[kFrameHeaderBytes];
     std::memcpy(header, bytes.data(), sizeof(header));
@@ -76,6 +78,24 @@ TEST(NetHostileInput, TruncatedValidFramesFailCleanly) {
   for (size_t len = 0; len < resp_body.size(); ++len) {
     auto decoded = DecodeResponse(std::string_view(resp_body).substr(0, len));
     EXPECT_FALSE(decoded.ok());
+  }
+}
+
+TEST(NetHostileInput, TruncatedAdminFramesFailCleanly) {
+  AdminRequest request;
+  request.verb = AdminVerb::kSlowlog;
+  request.arg = 64;
+  const std::string body = EncodeAdminRequest(request);
+  for (size_t len = 0; len < body.size(); ++len) {
+    EXPECT_FALSE(DecodeAdminRequest(std::string_view(body).substr(0, len)).ok());
+  }
+
+  AdminResponse response;
+  response.body = "{\"state\": \"accepting\"}";
+  const std::string resp_body = EncodeAdminResponse(response);
+  for (size_t len = 0; len < resp_body.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeAdminResponse(std::string_view(resp_body).substr(0, len)).ok());
   }
 }
 

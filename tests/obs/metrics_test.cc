@@ -186,5 +186,71 @@ TEST_F(MetricsTest, SnapshotSerializes) {
   EXPECT_NE(json.find("\"metrics_test.json_hist\""), std::string::npos);
 }
 
+int64_t SnapshotSeqIn(const MetricsSnapshot& snap) {
+  for (const MetricsSnapshot::GaugeRow& row : snap.gauges) {
+    if (row.name == kSnapshotSeqName) return row.value;
+  }
+  ADD_FAILURE() << "snapshot carries no " << kSnapshotSeqName;
+  return -1;
+}
+
+TEST_F(MetricsTest, SnapshotSeqRidesEverySnapshotAndBumpsOnReset) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  reg.GetGauge("metrics_test.seq_neighbour")->Set(1);
+  const int64_t before = SnapshotSeqIn(reg.Snapshot());
+  EXPECT_EQ(before, reg.snapshot_seq());
+  reg.ResetAll();
+  reg.ResetAll();
+  EXPECT_EQ(SnapshotSeqIn(reg.Snapshot()), before + 2);
+  // The synthetic gauge is NOT a registered gauge: it survives the very
+  // reset it reports instead of being zeroed along with everything else.
+  EXPECT_EQ(reg.snapshot_seq(), before + 2);
+
+  // It is spliced into the sorted gauge listing, not bolted on the end.
+  const MetricsSnapshot snap = reg.Snapshot();
+  for (size_t i = 1; i < snap.gauges.size(); ++i) {
+    EXPECT_LE(snap.gauges[i - 1].name, snap.gauges[i].name) << "at " << i;
+  }
+}
+
+TEST_F(MetricsTest, ConcurrentResetAndSnapshotObeySeqContract) {
+  // The documented poller contract: a snapshot is never torn, and a counter
+  // may only appear to move backwards across two scrapes when
+  // obs.snapshot_seq changed in between (ResetAll ran). Hammer reset,
+  // write, and snapshot concurrently and check exactly that.
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  Counter* c = reg.GetCounter("metrics_test.seq_race");
+  c->Reset();
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) c->Increment();
+  });
+  std::thread resetter([&] {
+    while (!stop.load(std::memory_order_relaxed)) reg.ResetAll();
+  });
+
+  int64_t last_value = 0;
+  int64_t last_seq = -1;
+  for (int i = 0; i < 500; ++i) {
+    const MetricsSnapshot snap = reg.Snapshot();
+    const int64_t seq = SnapshotSeqIn(snap);
+    ASSERT_GE(seq, last_seq) << "reset sequence must be monotone";
+    int64_t value = -1;
+    for (const MetricsSnapshot::CounterRow& row : snap.counters) {
+      if (row.name == "metrics_test.seq_race") value = row.value;
+    }
+    ASSERT_GE(value, 0) << "counter missing or torn";
+    if (seq == last_seq && value < last_value) {
+      ADD_FAILURE() << "counter moved backwards (" << last_value << " -> "
+                    << value << ") without a seq change at scrape " << i;
+    }
+    last_value = value;
+    last_seq = seq;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  resetter.join();
+}
+
 }  // namespace
 }  // namespace htl::obs

@@ -1,0 +1,152 @@
+// Chrome trace_event export: structural shape of the JSON, synthesized
+// timestamps (children stack inside parents, siblings offset by duration),
+// fault-trip instant events, arg elision, and escaping of hostile span text.
+
+#include "obs/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/profile.h"
+
+namespace htl::obs {
+namespace {
+
+QueryProfile::Node MakeNode(std::string name, int64_t nanos) {
+  QueryProfile::Node node;
+  node.name = std::move(name);
+  node.nanos = nanos;
+  return node;
+}
+
+// A whitespace-light structural check sufficient for our own emitter: every
+// brace/bracket nests and every quote closes. (CI additionally round-trips
+// exported traces through `python -m json.tool`.)
+bool LooksLikeBalancedJson(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(TraceExport, EmptyProfileIsValidAndEventless) {
+  const std::string json = ProfileToChromeTrace(QueryProfile{});
+  EXPECT_TRUE(LooksLikeBalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\""), std::string::npos);
+}
+
+TEST(TraceExport, SynthesizesStackedTimestamps) {
+  // root (5us) with children a (2us) then b (1us): a starts at the root's
+  // ts, b starts where a ends. A second root starts where the first ends.
+  QueryProfile profile;
+  QueryProfile::Node root = MakeNode("stage.execute", 5000);
+  root.children.push_back(MakeNode("op.a", 2000));
+  root.children.push_back(MakeNode("op.b", 1000));
+  profile.roots.push_back(std::move(root));
+  profile.roots.push_back(MakeNode("stage.encode", 500));
+
+  const std::string json = ProfileToChromeTrace(profile);
+  EXPECT_TRUE(LooksLikeBalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"name\": \"stage.execute\", \"cat\": \"htl\", "
+                      "\"ph\": \"X\", \"ts\": 0.000, \"dur\": 5.000"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\": \"op.a\", \"cat\": \"htl\", "
+                      "\"ph\": \"X\", \"ts\": 0.000, \"dur\": 2.000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"op.b\", \"cat\": \"htl\", "
+                      "\"ph\": \"X\", \"ts\": 2.000, \"dur\": 1.000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"stage.encode\", \"cat\": \"htl\", "
+                      "\"ph\": \"X\", \"ts\": 5.000, \"dur\": 0.500"),
+            std::string::npos);
+}
+
+TEST(TraceExport, ArgsCarryUnitStatsAndNoteOnlyWhenPresent) {
+  QueryProfile profile;
+  QueryProfile::Node bare = MakeNode("stage.parse", 100);
+  profile.roots.push_back(std::move(bare));
+  QueryProfile::Node video = MakeNode("video", 200);
+  video.unit = 7;
+  video.stats.rows = 12;
+  video.stats.tables = 2;
+  video.note = "hit";
+  profile.roots.push_back(std::move(video));
+
+  const std::string json = ProfileToChromeTrace(profile);
+  // The bare span has no args object at all.
+  const size_t parse_at = json.find("\"name\": \"stage.parse\"");
+  const size_t parse_end = json.find("}", parse_at);
+  ASSERT_NE(parse_at, std::string::npos);
+  EXPECT_EQ(json.substr(parse_at, parse_end - parse_at).find("args"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"unit\": 7, \"rows\": 12, \"tables\": 2, "
+                      "\"note\": \"hit\"}"),
+            std::string::npos)
+      << json;
+}
+
+TEST(TraceExport, FaultTripsBecomeInstantEventsAtTimelineEnd) {
+  QueryProfile profile;
+  profile.roots.push_back(MakeNode("stage.execute", 3000));
+  profile.fault_trips.push_back(
+      QueryProfile::FaultTrip{"net.write_frame", "UNAVAILABLE: injected"});
+
+  const std::string json = ProfileToChromeTrace(profile);
+  EXPECT_TRUE(LooksLikeBalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"name\": \"fault: net.write_frame\", "
+                      "\"cat\": \"htl.fault\", \"ph\": \"i\", \"s\": \"t\", "
+                      "\"ts\": 3.000"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"args\": {\"status\": \"UNAVAILABLE: injected\"}"),
+            std::string::npos);
+}
+
+TEST(TraceExport, EscapesHostileNamesAndNotes) {
+  QueryProfile profile;
+  QueryProfile::Node node = MakeNode("evil\"span\\\n", 10);
+  node.note = "quote\" backslash\\ newline\n tab\t ctrl\x01";
+  profile.roots.push_back(std::move(node));
+  profile.fault_trips.push_back(
+      QueryProfile::FaultTrip{"point\"x", "status\"y\n"});
+
+  const std::string json = ProfileToChromeTrace(profile);
+  EXPECT_TRUE(LooksLikeBalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"evil\\\"span\\\\\\n\""), std::string::npos) << json;
+  EXPECT_NE(json.find("quote\\\" backslash\\\\ newline\\n tab\\t"),
+            std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("fault: point\\\"x"), std::string::npos);
+}
+
+TEST(TraceExport, PidAndTidAreConfigurable) {
+  QueryProfile profile;
+  profile.roots.push_back(MakeNode("s", 1000));
+  ChromeTraceOptions options;
+  options.pid = 42;
+  options.tid = 9;
+  const std::string json = ProfileToChromeTrace(profile, options);
+  EXPECT_NE(json.find("\"pid\": 42, \"tid\": 9"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace htl::obs

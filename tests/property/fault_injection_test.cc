@@ -105,7 +105,8 @@ TEST_F(FaultInjectionTest, WorkloadReachesEveryKnownFaultPoint) {
   ASSERT_OK(RunCached(cached).status());
   ASSERT_OK(RunCached(cached).status());
   // One loopback round-trip through the query service reaches the four
-  // net.* seams (accept, session, read_frame, write_frame).
+  // net.* seams (accept, session, read_frame, write_frame); one admin
+  // scrape reaches the three net.admin.* seams on the telemetry listener.
   {
     net::QueryServer server(&store_, net::ServerOptions{});
     ASSERT_OK(server.Start());
@@ -119,6 +120,9 @@ TEST_F(FaultInjectionTest, WorkloadReachesEveryKnownFaultPoint) {
     ASSERT_OK_AND_ASSIGN(net::QueryResponse response,
                          net::QueryClient(copts).QueryOnce(request));
     ASSERT_EQ(response.status, net::WireStatus::kWireOk);
+    net::ClientOptions aopts;
+    aopts.port = server.admin_port();
+    ASSERT_OK(net::AdminClient(aopts).Fetch(net::AdminVerb::kHealthz).status());
     ASSERT_OK(server.Shutdown());
   }
   std::map<std::string, int64_t> hits = FaultRegistry::Instance().TraceHits();

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace htl {
@@ -221,6 +222,70 @@ TEST(ParallelForTest, AbortSkipsUnstartedIterations) {
   // The first failure aborts the claim loop; only iterations already
   // claimed by the (at most 3) drivers can still run.
   EXPECT_LT(started.load(), n);
+}
+
+// Satellite: pool saturation telemetry. The process-wide cells
+// pool.queue_depth / pool.workers_busy / pool.task_wait_us are only written
+// when metrics are enabled (tasks are stamped at enqueue time), and the
+// gauges must return to zero once the pool drains.
+class ThreadPoolMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+    depth_ = reg.GetGauge("pool.queue_depth");
+    busy_ = reg.GetGauge("pool.workers_busy");
+    wait_ = reg.GetHistogram("pool.task_wait_us",
+                             obs::Histogram::ExponentialBounds(10, 2.0, 18));
+    depth_->Reset();
+    busy_->Reset();
+    wait_->Reset();
+    reg.SetEnabled(true);
+  }
+  void TearDown() override {
+    obs::MetricsRegistry::Instance().SetEnabled(false);
+  }
+
+  obs::Gauge* depth_ = nullptr;
+  obs::Gauge* busy_ = nullptr;
+  obs::Histogram* wait_ = nullptr;
+};
+
+TEST_F(ThreadPoolMetricsTest, GaugesTrackSaturationAndReturnToZero) {
+  Gate gate;
+  std::atomic<int> parked{0};
+  {
+    ThreadPool pool(ThreadPool::Options{2, 8});
+    for (int i = 0; i < 2; ++i) {
+      pool.Schedule([&] {
+        parked.fetch_add(1);
+        gate.Wait();
+      });
+    }
+    while (parked.load() < 2) std::this_thread::yield();
+    EXPECT_EQ(busy_->Value(), 2);  // Both workers inside tasks.
+
+    pool.Schedule([] {});
+    pool.Schedule([] {});
+    EXPECT_EQ(depth_->Value(), 2);  // Two tasks waiting behind the blockers.
+    EXPECT_EQ(pool.queue_depth(), 2);
+
+    gate.Open();
+  }  // Destructor drains and joins.
+  EXPECT_EQ(busy_->Value(), 0);
+  EXPECT_EQ(depth_->Value(), 0);
+  // All four tasks were stamped and measured.
+  EXPECT_EQ(wait_->Snap().count, 4);
+}
+
+TEST_F(ThreadPoolMetricsTest, DisabledRegistryRecordsNothing) {
+  obs::MetricsRegistry::Instance().SetEnabled(false);
+  {
+    ThreadPool pool(ThreadPool::Options{2, 0});
+    for (int i = 0; i < 8; ++i) pool.Schedule([] {});
+  }
+  EXPECT_EQ(wait_->Snap().count, 0);
+  EXPECT_EQ(busy_->Value(), 0);
+  EXPECT_EQ(depth_->Value(), 0);
 }
 
 TEST(ParallelForTest, SerialFallbackStopsAtFirstError) {

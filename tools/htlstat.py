@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""htlstat — live top-style view of a running HTL query server.
+
+Polls the server's admin endpoint (the second, shed-exempt listener) over
+the native HTLQ admin protocol and renders health, throughput, per-stage
+latency percentiles, and pool saturation. Stdlib only; no server-side
+support beyond the admin verbs.
+
+Usage:
+    tools/htlstat.py --port 8471               # live view, 2s refresh
+    tools/htlstat.py --port 8471 --interval 1
+    tools/htlstat.py --port 8471 --once        # one scrape, plain output
+    tools/htlstat.py --port 8471 --slowlog     # dump the slowlog and exit
+
+QPS is the delta of the request-latency histogram's count between two
+scrapes; percentiles are estimated from histogram buckets by linear
+interpolation inside the bucket, so they are as coarse as the bucket
+layout (exponential, base 2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import struct
+import sys
+import time
+
+FRAME_MAGIC = 0x514C5448  # "HTLQ" little-endian.
+PROTOCOL_VERSION = 1
+
+VERB_METRICS_TEXT = 0
+VERB_METRICS_JSON = 1
+VERB_HEALTHZ = 2
+VERB_SLOWLOG = 3
+VERB_TRACE = 4
+
+WIRE_STATUS_NAMES = {
+    0: "ok", 1: "invalid-argument", 2: "parse-error", 3: "deadline-exceeded",
+    4: "cancelled", 5: "resource-exhausted", 6: "overloaded",
+    7: "unimplemented", 8: "internal",
+}
+
+STAGE_HISTOGRAMS = [
+    ("total", "net.request.latency_us"),
+    ("decode", "net.request.decode_us"),
+    ("execute", "net.request.execute_us"),
+    ("encode", "net.request.encode_us"),
+]
+
+
+class AdminError(RuntimeError):
+    pass
+
+
+def admin_call(host: str, port: int, verb: int, arg: int = 0,
+               timeout: float = 5.0) -> str:
+    """One admin request over a fresh connection; returns the response body."""
+    body = struct.pack("<BBq", PROTOCOL_VERSION, verb, arg)
+    frame = struct.pack("<II", FRAME_MAGIC, len(body)) + body
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(frame)
+        header = recv_exact(sock, 8)
+        magic, length = struct.unpack("<II", header)
+        if magic != FRAME_MAGIC:
+            raise AdminError(f"bad frame magic 0x{magic:08x}")
+        if length > 64 * 1024 * 1024:
+            raise AdminError(f"response frame of {length} bytes is implausible")
+        payload = recv_exact(sock, length)
+    if len(payload) < 2:
+        raise AdminError("truncated admin response")
+    version, status = payload[0], payload[1]
+    if version != PROTOCOL_VERSION:
+        raise AdminError(f"server speaks protocol v{version}, not v{PROTOCOL_VERSION}")
+    (strlen,) = struct.unpack_from("<I", payload, 2)
+    text = payload[6:6 + strlen].decode("utf-8", errors="replace")
+    if status != 0:
+        name = WIRE_STATUS_NAMES.get(status, str(status))
+        raise AdminError(f"admin verb {verb} failed ({name}): {text}")
+    return text
+
+
+def recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    while n > 0:
+        chunk = sock.recv(min(n, 1 << 16))
+        if not chunk:
+            raise AdminError("connection closed mid-frame")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def percentile(hist: dict, q: float) -> float | None:
+    """Estimate the q-th percentile (0..1) of a bucketed histogram in us.
+
+    Buckets are per-bucket counts, bounds ascending, last bucket = overflow.
+    Interpolates linearly inside the winning bucket; the overflow bucket
+    reports the last bound (a floor, rendered with a '>' by callers).
+    """
+    count = hist.get("count", 0)
+    if count <= 0:
+        return None
+    bounds = hist.get("bounds", [])
+    buckets = hist.get("buckets", [])
+    target = q * count
+    seen = 0.0
+    for i, n in enumerate(buckets):
+        if seen + n >= target and n > 0:
+            lo = bounds[i - 1] if i > 0 else 0
+            hi = bounds[i] if i < len(bounds) else None
+            if hi is None:
+                return float(lo)  # Overflow bucket: the bound is a floor.
+            frac = (target - seen) / n
+            return lo + frac * (hi - lo)
+        seen += n
+    return float(bounds[-1]) if bounds else None
+
+
+def fmt_us(us: float | None, overflow: bool = False) -> str:
+    if us is None:
+        return "-"
+    prefix = ">" if overflow else ""
+    if us >= 1e6:
+        return f"{prefix}{us / 1e6:.2f}s"
+    if us >= 1e3:
+        return f"{prefix}{us / 1e3:.1f}ms"
+    return f"{prefix}{us:.0f}us"
+
+
+def is_overflow(hist: dict, q: float) -> bool:
+    """True when the q-th percentile lands in the overflow bucket."""
+    count = hist.get("count", 0)
+    buckets = hist.get("buckets", [])
+    if count <= 0 or not buckets:
+        return False
+    below = sum(buckets[:-1])
+    return q * count > below
+
+
+def scrape(host: str, port: int) -> tuple[dict, dict, float]:
+    now = time.monotonic()
+    metrics = json.loads(admin_call(host, port, VERB_METRICS_JSON))
+    healthz = json.loads(admin_call(host, port, VERB_HEALTHZ))
+    return metrics, healthz, now
+
+
+def render(metrics: dict, healthz: dict, prev: tuple[dict, float] | None,
+           now: float) -> str:
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    histograms = metrics.get("histograms", {})
+
+    total = histograms.get("net.request.latency_us", {})
+    requests = total.get("count", 0)
+    qps = None
+    if prev is not None:
+        prev_metrics, prev_now = prev
+        prev_count = (prev_metrics.get("histograms", {})
+                      .get("net.request.latency_us", {}).get("count", 0))
+        elapsed = now - prev_now
+        if elapsed > 0:
+            qps = (requests - prev_count) / elapsed
+
+    state = healthz.get("state", "?")
+    healthy = healthz.get("healthy", False)
+    lines = []
+    lines.append(
+        f"htlstat  query :{healthz.get('query_port', '?')}"
+        f"  admin :{healthz.get('admin_port', '?')}"
+        f"  uptime {healthz.get('uptime_s', '?')}s")
+    health_word = "healthy" if healthy else "UNHEALTHY"
+    lines.append(
+        f"state {state} ({health_word})"
+        f"  in-flight {healthz.get('in_flight', '?')}"
+        f"/{healthz.get('hard_watermark', '?')}"
+        f"  stalled {healthz.get('stalled_sessions', 0)}"
+        f"  wide-events {healthz.get('wide_events', 0)}")
+    qps_text = f"{qps:.1f}" if qps is not None else "-"
+    lines.append(
+        f"requests {requests}  qps {qps_text}"
+        f"  ok {counters.get('net.responses_ok', 0)}"
+        f"  err {counters.get('net.responses_error', 0)}"
+        f"  shed {counters.get('net.rejected_overload', 0)}"
+        f"  degraded {counters.get('net.shed_degraded', 0)}"
+        f"  frame-errs {counters.get('net.frame_errors', 0)}")
+    lines.append(
+        f"pool queue {gauges.get('pool.queue_depth', 0)}"
+        f"  busy {gauges.get('pool.workers_busy', 0)}"
+        f"  admin reqs {counters.get('net.admin.requests', 0)}"
+        f"  admin errs {counters.get('net.admin.errors', 0)}"
+        f"  watchdog stalls {counters.get('net.watchdog.stalls', 0)}")
+    lines.append("")
+    lines.append(f"{'stage':<10} {'count':>10} {'p50':>10} {'p99':>10}")
+    for label, name in STAGE_HISTOGRAMS:
+        hist = histograms.get(name, {})
+        p50 = percentile(hist, 0.50)
+        p99 = percentile(hist, 0.99)
+        lines.append(
+            f"{label:<10} {hist.get('count', 0):>10}"
+            f" {fmt_us(p50, is_overflow(hist, 0.50)):>10}"
+            f" {fmt_us(p99, is_overflow(hist, 0.99)):>10}")
+    wait = histograms.get("pool.task_wait_us", {})
+    if wait:
+        lines.append(
+            f"{'pool-wait':<10} {wait.get('count', 0):>10}"
+            f" {fmt_us(percentile(wait, 0.50)):>10}"
+            f" {fmt_us(percentile(wait, 0.99)):>10}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0], prog="htlstat")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True,
+                        help="admin port (QueryServer::admin_port())")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="refresh interval in seconds (default 2)")
+    parser.add_argument("--once", action="store_true",
+                        help="scrape once, print, exit")
+    parser.add_argument("--slowlog", action="store_true",
+                        help="dump the slowlog JSON and exit")
+    parser.add_argument("--trace", type=int, metavar="N", default=None,
+                        help="export retained profile N (0 = newest) as "
+                             "Chrome trace JSON on stdout and exit")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.slowlog:
+            print(admin_call(args.host, args.port, VERB_SLOWLOG))
+            return 0
+        if args.trace is not None:
+            print(admin_call(args.host, args.port, VERB_TRACE, args.trace))
+            return 0
+
+        prev: tuple[dict, float] | None = None
+        while True:
+            metrics, healthz, now = scrape(args.host, args.port)
+            view = render(metrics, healthz, prev, now)
+            if args.once:
+                print(view)
+                return 0
+            sys.stdout.write("\x1b[2J\x1b[H" + view + "\n")
+            sys.stdout.flush()
+            prev = (metrics, now)
+            time.sleep(max(args.interval, 0.1))
+    except AdminError as err:
+        print(f"htlstat: {err}", file=sys.stderr)
+        return 1
+    except (ConnectionError, socket.timeout, OSError) as err:
+        print(f"htlstat: cannot reach admin endpoint: {err}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -74,6 +74,15 @@ src/ layout conventions.
                     debugged in production (CONTRIBUTING.md ground rule). New
                     cache clients belong on the list. File-scoped: suppress
                     with `// htl-lint: allow(cache-obs)` anywhere in the file.
+  net-wide-event    Server request-path files (NET_WIDE_EVENT_FILES:
+                    src/net/server.cc) must land every request in the
+                    wide-event query log (RecordWideEvent / query_log_) and
+                    observe the request latency histogram: a server path that
+                    skips the wide event is invisible to the slowlog and to
+                    tools/htlstat.py (CONTRIBUTING.md ground rule). New server
+                    request paths belong on the list. File-scoped: suppress
+                    with `// htl-lint: allow(net-wide-event)` anywhere in the
+                    file.
   stale-suppression `// htl-lint: allow(<rule>)` comments that no longer
                     suppress anything (the rule never fires there, is unknown,
                     or is not in scope for the file) are findings themselves:
@@ -114,6 +123,7 @@ ALL_RULES = {
     "no-raw-mutex",
     "no-raw-socket",
     "cache-obs",
+    "net-wide-event",
     "stale-suppression",
 }
 
@@ -464,6 +474,36 @@ def check_cache_obs(lint: FileLint, code: str) -> None:
             "see CONTRIBUTING.md")
 
 
+# Server request-path files: every request must land one wide event in the
+# query log and one latency observation, whatever its outcome — the slowlog
+# and tools/htlstat.py are blind to paths that skip it. New server request
+# paths belong on this list (CONTRIBUTING.md ground rule).
+NET_WIDE_EVENT_FILES = {
+    "src/net/server.cc",
+}
+WIDE_EVENT_REF_RE = re.compile(r"\bRecordWideEvent\b")
+QUERY_LOG_REF_RE = re.compile(r"\bquery_log_\b")
+LATENCY_OBS_RE = re.compile(r"\blatency_us_\s*->\s*Observe\b")
+
+
+def check_net_wide_event(lint: FileLint, code: str) -> None:
+    if rel_posix(lint.path) not in NET_WIDE_EVENT_FILES:
+        return
+    missing = []
+    if not WIDE_EVENT_REF_RE.search(code):
+        missing.append("RecordWideEvent")
+    if not QUERY_LOG_REF_RE.search(code):
+        missing.append("query_log_")
+    if not LATENCY_OBS_RE.search(code):
+        missing.append("latency_us_->Observe")
+    if missing:
+        lint.hit_file_scoped(
+            "net-wide-event",
+            "server request path no longer lands wide events ("
+            + ", ".join(missing) + " missing); every request must record "
+            "into the query log and the latency histogram, see CONTRIBUTING.md")
+
+
 LOOP_RE = re.compile(r"\b(?:for|while)\s*\(")
 EXEC_REF_RE = re.compile(
     r"\b(?:ExecContext|DepthScope|HTL_CHECK_EXEC|ChargeRows|ChargeTable|exec_)\b")
@@ -537,6 +577,7 @@ def lint_file(path: Path) -> list[Finding]:
     check_no_bare_timer(lint, code_lines)
     check_obs_operator_span(lint, code)
     check_cache_obs(lint, code)
+    check_net_wide_event(lint, code)
     check_stale_suppressions(lint)
     return lint.findings
 
