@@ -1,0 +1,250 @@
+// Paired interpreter-vs-VM sweep over the four formula classes plus a
+// merge-heavy set of deep temporal chains — the workload the bytecode VM's
+// arena kernels were built for. Per formula both engines first have their
+// results compared bit for bit, then run as interleaved best-of-rounds
+// arms (scheduler drift and frequency scaling hit both alike).
+//
+// Gates (CI runs this binary directly; non-zero exit on failure):
+//   - VM speedup on the merge-heavy set >= 1.3x the interpreter
+//     (override with HTL_VM_SPEEDUP_LIMIT);
+//   - the engine_mode dispatch layer in front of the interpreter costs
+//     < 2% of a real interpreted query (override with
+//     HTL_VM_INTERP_OVERHEAD_LIMIT). The dispatch probe times the full
+//     entry path — mode switch, per-mode method call, argument validation,
+//     Status construction — on a call that does no evaluation work, which
+//     upper-bounds what `engine_mode=interpret` added to the old
+//     interpreter entry.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "engine/direct_engine.h"
+#include "htl/binder.h"
+#include "htl/parser.h"
+#include "model/video.h"
+#include "perf_common.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workload/video_gen.h"
+
+namespace {
+
+struct Case {
+  const char* label;
+  const char* text;
+  bool merge_heavy;   // Counts toward the speedup gate.
+  bool needs_levels;  // Runs on the 3-level video.
+};
+
+double EnvLimit(const char* name, double fallback) {
+  if (const char* env = std::getenv(name); env != nullptr) {
+    char* end = nullptr;
+    const double parsed = std::strtod(env, &end);
+    if (end != env && parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main() {
+  using namespace htl;
+
+  const double speedup_limit = EnvLimit("HTL_VM_SPEEDUP_LIMIT", 1.3);
+  const double overhead_limit = EnvLimit("HTL_VM_INTERP_OVERHEAD_LIMIT", 0.02);
+
+  bench::BenchJson json("vm");
+
+  // A wide 2-level video (hundreds of leaf segments: long similarity lists,
+  // so the merge kernels dominate) plus a 3-level one for the level operator.
+  Rng rng(7031);
+  VideoGenOptions wide;
+  wide.levels = 2;
+  wide.min_branching = 40;
+  wide.max_branching = 52;
+  wide.num_objects = 3;
+  // Sparse objects fragment the similarity lists into many short runs, so
+  // the merge kernels sweep realistic interval counts instead of a handful
+  // of coalesced segments.
+  wide.object_density = 0.12;
+  VideoTree video = GenerateVideo(rng, wide);
+  VideoGenOptions deep;
+  deep.levels = 3;
+  deep.min_branching = 4;
+  deep.max_branching = 6;
+  deep.num_objects = 6;
+  VideoTree video3 = GenerateVideo(rng, deep);
+
+  const Case cases[] = {
+      // One arm per formula class.
+      {"type1", "exists x (moving(x) and armed(x))", false, false},
+      {"conjunctive", "exists x (present(x) and eventually moving(x))", false,
+       false},
+      {"extended",
+       "exists x (moving(x)) and at-next-level(eventually exists y (armed(y)))",
+       false, true},
+      {"general", "not (exists x (moving(x)) until exists y (armed(y)))", false,
+       false},
+      // Merge-heavy: deep closed temporal chains, the VM's home turf. All
+      // subtrees inside one formula are distinct, so the compiler's
+      // common-sub-plan sharing never skips a kernel and the speedup
+      // measures the arena merge pipeline itself.
+      {"merge_until_chain",
+       "(((exists x (moving(x)) until exists y (armed(y))) until "
+       "eventually (exists p (present(p)))) until "
+       "((exists y (armed(y)) until exists x (moving(x))) or "
+       "next (exists p (present(p))))) until "
+       "((duration >= 30 until exists x (moving(x))) or "
+       "eventually (exists q (type(q) = 'train')))",
+       true, false},
+      {"merge_mixed_chain",
+       "eventually ((((exists x (moving(x)) or exists y (armed(y))) until "
+       "next (exists p (present(p)))) until "
+       "(exists x (moving(x)) until eventually (exists y (armed(y))))) until "
+       "((exists p (present(p)) or duration >= 30) until "
+       "(exists q (type(q) = 'train') until exists x (moving(x)))))",
+       true, false},
+      {"merge_join_pair",
+       "(((exists x (moving(x)) until exists y (armed(y))) and "
+       "(exists p (present(p)) until exists x (moving(x)))) until "
+       "((exists y (armed(y)) or exists p (present(p))) until "
+       "next (exists x (moving(x))))) until "
+       "(((duration >= 30 or exists q (type(q) = 'train')) until "
+       "exists y (armed(y))) and eventually (next (exists p (present(p)))))",
+       true, false},
+  };
+
+  constexpr int kReps = 40;
+  constexpr int kRounds = 8;
+
+  std::printf("interpreter vs bytecode VM (best of %d rounds, %d reps each)\n",
+              kRounds, kReps);
+  std::printf("%-20s %-14s %-14s %s\n", "case", "interpret ms", "vm ms",
+              "speedup");
+
+  double interp_merge_total = 0, vm_merge_total = 0;
+  int merge_arms = 0;
+  bool failed = false;
+
+  for (const Case& c : cases) {
+    const VideoTree& v = c.needs_levels ? video3 : video;
+    const int level = c.needs_levels ? 2 : v.num_levels();
+
+    auto parsed = ParseFormula(c.text);
+    HTL_CHECK(parsed.ok()) << parsed.status().ToString();
+    FormulaPtr f = std::move(parsed).value();
+    HTL_CHECK(Bind(f.get()).ok());
+
+    QueryOptions interp_opts;
+    interp_opts.engine_mode = EngineMode::kInterpret;
+    QueryOptions vm_opts;
+    vm_opts.engine_mode = EngineMode::kVm;
+    DirectEngine interp(&v, interp_opts);
+    DirectEngine vm(&v, vm_opts);
+
+    // Correctness before speed: the two arms must agree bit for bit (this
+    // also warms the per-engine atomic caches, so the timed loops measure
+    // the merge pipeline, not picture queries).
+    auto a = interp.EvaluateList(level, *f);
+    auto b = vm.EvaluateList(level, *f);
+    HTL_CHECK(a.ok()) << a.status().ToString() << " case " << c.label;
+    HTL_CHECK(b.ok()) << b.status().ToString() << " case " << c.label;
+    if (!(a.value() == b.value())) {
+      std::printf("FAIL: %s diverges between interpreter and VM\n", c.label);
+      return 1;
+    }
+
+    auto time_arm = [&](DirectEngine& engine) -> double {
+      WallTimer timer;
+      for (int r = 0; r < kReps; ++r) {
+        auto result = engine.EvaluateList(level, *f);
+        HTL_CHECK(result.ok()) << result.status().ToString();
+      }
+      return 1e3 * timer.ElapsedSeconds() / kReps;
+    };
+
+    double interp_ms = 1e99, vm_ms = 1e99;
+    for (int round = 0; round < kRounds; ++round) {
+      interp_ms = std::min(interp_ms, time_arm(interp));
+      vm_ms = std::min(vm_ms, time_arm(vm));
+    }
+
+    const double speedup = vm_ms > 0 ? interp_ms / vm_ms : 0.0;
+    std::printf("%-20s %-14.4f %-14.4f %.2fx%s\n", c.label, interp_ms, vm_ms,
+                speedup, c.merge_heavy ? "  [merge-heavy]" : "");
+    json.Add(c.label, {{"interp_ms", interp_ms},
+                       {"vm_ms", vm_ms},
+                       {"speedup", speedup},
+                       {"merge_heavy", c.merge_heavy ? 1.0 : 0.0}});
+    if (c.merge_heavy) {
+      interp_merge_total += interp_ms;
+      vm_merge_total += vm_ms;
+      ++merge_arms;
+    }
+  }
+
+  // Dispatch probe: an EvaluateList call that fails argument validation
+  // does the mode switch, the per-mode call and a Status round-trip but no
+  // evaluation — an upper bound on what engine_mode costs per query.
+  QueryOptions interp_opts;
+  interp_opts.engine_mode = EngineMode::kInterpret;
+  DirectEngine probe_engine(&video, interp_opts);
+  {
+    auto parsed = ParseFormula("exists x (moving(x))");
+    HTL_CHECK(parsed.ok());
+    FormulaPtr probe_f = std::move(parsed).value();
+    HTL_CHECK(Bind(probe_f.get()).ok());
+    constexpr int kProbeReps = 20000;
+    double probe_ms = 1e99;
+    for (int round = 0; round < kRounds; ++round) {
+      WallTimer timer;
+      for (int r = 0; r < kProbeReps; ++r) {
+        auto result = probe_engine.EvaluateList(/*level=*/99, *probe_f);
+        HTL_CHECK(!result.ok());
+      }
+      probe_ms = std::min(probe_ms, 1e3 * timer.ElapsedSeconds() / kProbeReps);
+    }
+
+    const double mean_interp_ms = interp_merge_total / merge_arms;
+    const double dispatch_overhead =
+        mean_interp_ms > 0 ? probe_ms / mean_interp_ms : 0.0;
+    const double merge_speedup =
+        vm_merge_total > 0 ? interp_merge_total / vm_merge_total : 0.0;
+    json.Add("aggregate", {{"merge_interp_ms", interp_merge_total},
+                           {"merge_vm_ms", vm_merge_total},
+                           {"merge_speedup", merge_speedup},
+                           {"dispatch_probe_ms", probe_ms},
+                           {"mean_interp_ms", mean_interp_ms},
+                           {"dispatch_overhead", dispatch_overhead},
+                           {"speedup_limit", speedup_limit},
+                           {"overhead_limit", overhead_limit}});
+    std::printf(
+        "\nmerge-heavy aggregate: interpreter %.3f ms, VM %.3f ms -> %.2fx "
+        "(gate >= %.2fx)\n",
+        interp_merge_total, vm_merge_total, merge_speedup, speedup_limit);
+    std::printf(
+        "engine_mode dispatch probe: %.6f ms/call = %.3f%% of a mean "
+        "merge-heavy interpreted query (gate < %.0f%%)\n",
+        probe_ms, 1e2 * dispatch_overhead, 1e2 * overhead_limit);
+
+    if (merge_speedup < speedup_limit) {
+      std::printf("FAIL: VM speedup %.2fx below the %.2fx gate\n", merge_speedup,
+                  speedup_limit);
+      failed = true;
+    }
+    if (dispatch_overhead > overhead_limit) {
+      std::printf("FAIL: dispatch overhead %.3f%% exceeds the %.0f%% gate\n",
+                  1e2 * dispatch_overhead, 1e2 * overhead_limit);
+      failed = true;
+    }
+  }
+
+  if (failed) return 1;
+  std::printf("PASS: VM speedup and interpret-mode dispatch overhead within "
+              "limits\n");
+  return 0;
+}

@@ -17,9 +17,15 @@ int64_t CachedQueryResult::ByteSize() const {
 }
 
 std::string OptionsFingerprint(const QueryOptions& options) {
+  const char* engine = "v";
+  switch (options.engine_mode) {
+    case EngineMode::kInterpret: engine = "i"; break;
+    case EngineMode::kVm: engine = "v"; break;
+    case EngineMode::kDifferential: engine = "d"; break;
+  }
   return StrCat("u", options.until_threshold, "|a",
                 options.and_semantics == AndSemantics::kFuzzyMin ? "min" : "sum",
-                "|mb", options.picture.max_bindings);
+                "|mb", options.picture.max_bindings, "|e", engine);
 }
 
 QueryCaches::QueryCaches(const QueryOptions& options)

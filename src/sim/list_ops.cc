@@ -3,60 +3,30 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "sim/merge_kernels.h"
 #include "util/logging.h"
 
 namespace htl {
 
+// The algorithm cores live in sim/merge_kernels.h, shared with the
+// arena-backed VM kernels (src/vm/vm.cc) so both executors run the same
+// float expressions in the same order. This file instantiates them with
+// std::vector storage and the SimilarityList validation/canonicalization
+// of FromEntriesOrDie.
+
 namespace {
 
-// Forward cursor over a list's entries: value lookups at non-decreasing ids
-// in amortized O(1).
-class RunCursor {
- public:
-  explicit RunCursor(const SimilarityList& list) : entries_(list.entries()) {}
-
-  double ValueAt(SegmentId id) {
-    while (i_ < entries_.size() && entries_[i_].range.end < id) ++i_;
-    if (i_ < entries_.size() && entries_[i_].range.Contains(id)) return entries_[i_].actual;
-    return 0.0;
-  }
-
- private:
-  const std::vector<SimEntry>& entries_;
-  size_t i_ = 0;
-};
-
-// All ids where either list's value may change: entry begins and ends+1,
-// sorted and deduplicated.
-std::vector<SegmentId> CriticalPoints(const SimilarityList& a, const SimilarityList& b) {
-  std::vector<SegmentId> pts;
-  pts.reserve(2 * (a.entries().size() + b.entries().size()));
-  for (const SimEntry& e : a.entries()) {
-    pts.push_back(e.range.begin);
-    pts.push_back(e.range.end + 1);
-  }
-  for (const SimEntry& e : b.entries()) {
-    pts.push_back(e.range.begin);
-    pts.push_back(e.range.end + 1);
-  }
-  std::sort(pts.begin(), pts.end());
-  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
-  return pts;
+kernel::EntrySpan Runs(const SimilarityList& l) {
+  return kernel::EntrySpan{l.entries().data(), l.entries().size()};
 }
 
-// Runs Combine(va, vb) over every maximal run where both inputs are
-// constant, producing a canonical list with the given max.
 template <typename Combine>
 SimilarityList ZipMerge(const SimilarityList& a, const SimilarityList& b, double max,
                         Combine combine) {
-  std::vector<SegmentId> pts = CriticalPoints(a, b);
-  RunCursor ca(a), cb(b);
+  std::vector<SegmentId> pts;
+  pts.reserve(2 * (a.entries().size() + b.entries().size()));
   std::vector<SimEntry> out;
-  for (size_t i = 0; i + 1 < pts.size(); ++i) {
-    const Interval run{pts[i], pts[i + 1] - 1};
-    const double v = combine(ca.ValueAt(run.begin), cb.ValueAt(run.begin));
-    if (v > 0.0) out.push_back(SimEntry{run, v});
-  }
+  kernel::ZipMergeInto(Runs(a), Runs(b), combine, pts, out);
   return SimilarityList::FromEntriesOrDie(std::move(out), max);
 }
 
@@ -92,81 +62,26 @@ SimilarityList NextShift(const SimilarityList& g) {
   HTL_OBS_COUNT("sim.next_shift.calls", 1);
   std::vector<SimEntry> out;
   out.reserve(g.entries().size());
-  for (const SimEntry& e : g.entries()) {
-    Interval shifted{std::max<SegmentId>(1, e.range.begin - 1), e.range.end - 1};
-    if (!shifted.empty()) out.push_back(SimEntry{shifted, e.actual});
-  }
+  kernel::NextShiftInto(Runs(g), out);
   return SimilarityList::FromEntriesOrDie(std::move(out), g.max());
 }
 
 std::vector<Interval> ThresholdSupport(const SimilarityList& g, double tau) {
   std::vector<Interval> support;
-  const double cutoff = tau * g.max();
-  for (const SimEntry& e : g.entries()) {
-    if (e.actual + 1e-12 < cutoff) continue;
-    if (!support.empty() && (support.back().Adjacent(e.range) || support.back().end >= e.range.begin)) {
-      support.back().end = std::max(support.back().end, e.range.end);
-    } else {
-      support.push_back(e.range);
-    }
-  }
+  kernel::ThresholdSupportInto(Runs(g), tau * g.max(), support);
   return support;
 }
 
 namespace {
 
-// Shared backward sweep for until/eventually. `g_support` is the coalesced
-// id set where the left operand clears the threshold; when
-// `g_always == true` the support is the whole axis (eventually).
+// Shared backward sweep for until/eventually; see kernel::BackwardUntilSweepInto.
 SimilarityList BackwardUntilSweep(const std::vector<Interval>& g_support, bool g_always,
                                   const SimilarityList& h) {
-  // Critical points of h and of the support intervals.
   std::vector<SegmentId> pts;
   pts.reserve(2 * (h.entries().size() + g_support.size()));
-  for (const SimEntry& e : h.entries()) {
-    pts.push_back(e.range.begin);
-    pts.push_back(e.range.end + 1);
-  }
-  for (const Interval& iv : g_support) {
-    pts.push_back(iv.begin);
-    pts.push_back(iv.end + 1);
-  }
-  std::sort(pts.begin(), pts.end());
-  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
-  if (pts.size() < 2) return SimilarityList(h.max());
-
-  // Constant-value runs, scanned right-to-left. `carry` is f(run.end + 1).
-  // Runs above the last critical point and gaps between runs are handled by
-  // the fact that every boundary is a critical point; beyond the top, f = 0
-  // unless g_always (where carry just stays whatever the suffix max is — it
-  // starts at 0 there too since h is 0 beyond its last entry).
   std::vector<SimEntry> reversed;
-  double carry = 0.0;
-  // Reverse cursors: walk entries from the back.
-  const auto& hs = h.entries();
-  size_t hi = hs.size();
-  size_t gi = g_support.size();
-  for (size_t p = pts.size() - 1; p-- > 0;) {
-    const Interval run{pts[p], pts[p + 1] - 1};
-    while (hi > 0 && hs[hi - 1].range.begin > run.begin) --hi;
-    double hv = 0.0;
-    if (hi > 0 && hs[hi - 1].range.Contains(run.begin)) hv = hs[hi - 1].actual;
-    bool gok = g_always;
-    if (!gok) {
-      while (gi > 0 && g_support[gi - 1].begin > run.begin) --gi;
-      gok = gi > 0 && g_support[gi - 1].Contains(run.begin);
-    }
-    const double res = gok ? std::max(hv, carry) : hv;
-    carry = res;
-    if (res > 0.0) reversed.push_back(SimEntry{run, res});
-  }
-  // Below the lowest critical point h is zero, so f(u) = carry wherever the
-  // left operand holds. For `eventually` (g_always) that extends the final
-  // carry down to id 1; for `until` those ids lie outside every support
-  // interval and carry nothing.
-  if (g_always && carry > 0.0 && pts.front() > 1) {
-    reversed.push_back(SimEntry{Interval{1, pts.front() - 1}, carry});
-  }
+  kernel::BackwardUntilSweepInto(kernel::IntervalSpan{g_support.data(), g_support.size()},
+                                 g_always, Runs(h), pts, reversed);
   std::reverse(reversed.begin(), reversed.end());
   return SimilarityList::FromEntriesOrDie(std::move(reversed), h.max());
 }
@@ -188,20 +103,7 @@ SimilarityList Eventually(const SimilarityList& h) {
 SimilarityList Complement(const SimilarityList& g, const Interval& bounds) {
   HTL_OBS_COUNT("sim.complement.calls", 1);
   std::vector<SimEntry> out;
-  if (bounds.empty()) return SimilarityList(g.max());
-  SegmentId cursor = bounds.begin;
-  auto emit = [&](const Interval& range, double value) {
-    Interval cut = range.Intersect(bounds);
-    if (cut.empty() || value <= 0.0) return;
-    out.push_back(SimEntry{cut, value});
-  };
-  for (const SimEntry& e : g.entries()) {
-    if (e.range.begin > cursor) emit(Interval{cursor, e.range.begin - 1}, g.max());
-    emit(e.range, g.max() - e.actual);
-    cursor = std::max(cursor, e.range.end + 1);
-    if (cursor > bounds.end) break;
-  }
-  if (cursor <= bounds.end) emit(Interval{cursor, bounds.end}, g.max());
+  kernel::ComplementInto(Runs(g), g.max(), bounds, out);
   return SimilarityList::FromEntriesOrDie(std::move(out), g.max());
 }
 

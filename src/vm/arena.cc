@@ -1,0 +1,96 @@
+#include "vm/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+// ASan manual poisoning: reclaimed arena space is marked unaddressable so
+// stale pointers into a previous execution fault loudly. Compiles to
+// nothing without ASan.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define HTL_VM_ARENA_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define HTL_VM_ARENA_ASAN 1
+#endif
+
+#ifdef HTL_VM_ARENA_ASAN
+#include <sanitizer/asan_interface.h>  // htl-lint: allow(include-order)
+#define HTL_ARENA_POISON(ptr, n) ASAN_POISON_MEMORY_REGION(ptr, n)
+#define HTL_ARENA_UNPOISON(ptr, n) ASAN_UNPOISON_MEMORY_REGION(ptr, n)
+#else
+#define HTL_ARENA_POISON(ptr, n) ((void)(ptr), (void)(n))
+#define HTL_ARENA_UNPOISON(ptr, n) ((void)(ptr), (void)(n))
+#endif
+
+namespace htl {
+namespace vm {
+
+Arena::Arena(size_t first_chunk_bytes) {
+  AddChunk(std::max(first_chunk_bytes, size_t{64}));
+}
+
+Arena::~Arena() {
+  // Unpoison before handing the memory back so the allocator (and any
+  // later reuse of the pages) is not reported as a use-after-poison.
+  for (Chunk& c : chunks_) HTL_ARENA_UNPOISON(c.data.get(), c.size);
+}
+
+void Arena::AddChunk(size_t min_bytes) {
+  size_t size;
+  if (min_bytes > kMaxChunkBytes) {
+    // Large-allocation fallback: a dedicated exact-size chunk, so one
+    // outsized register does not inflate the doubling sequence forever.
+    size = min_bytes;
+  } else if (chunks_.empty()) {
+    // The constructor's first chunk is taken literally (tests shrink it to
+    // exercise growth; the engine default is kMinChunkBytes).
+    size = min_bytes;
+  } else {
+    const size_t prev = chunks_.back().size;
+    size = std::max(min_bytes, std::min(std::max(2 * prev, kMinChunkBytes), kMaxChunkBytes));
+  }
+  Chunk c;
+  c.data.reset(new char[size]);
+  c.size = size;
+  HTL_ARENA_POISON(c.data.get(), c.size);
+  bytes_reserved_ += size;
+  chunks_.push_back(std::move(c));
+  cursor_chunk_ = chunks_.size() - 1;
+  cursor_ = 0;
+}
+
+void* Arena::AllocateBytes(size_t n, size_t align) {
+  HTL_DCHECK(align > 0 && (align & (align - 1)) == 0) << "alignment must be a power of two";
+  if (n == 0) n = 1;  // Distinct non-null pointers for empty arrays.
+  while (true) {
+    Chunk& c = chunks_[cursor_chunk_];
+    const size_t aligned = (cursor_ + (align - 1)) & ~(align - 1);
+    if (aligned + n <= c.size) {
+      void* p = c.data.get() + aligned;
+      HTL_ARENA_UNPOISON(p, n);
+      cursor_ = aligned + n;
+      bytes_used_ += n;
+      return p;
+    }
+    // Try the next retained chunk (after Reset) before growing.
+    if (cursor_chunk_ + 1 < chunks_.size() && n <= chunks_[cursor_chunk_ + 1].size) {
+      ++cursor_chunk_;
+      cursor_ = 0;
+      continue;
+    }
+    AddChunk(n + align);
+  }
+}
+
+void Arena::Reset() {
+  for (Chunk& c : chunks_) HTL_ARENA_POISON(c.data.get(), c.size);
+  cursor_chunk_ = 0;
+  cursor_ = 0;
+  bytes_used_ = 0;
+}
+
+}  // namespace vm
+}  // namespace htl

@@ -1,0 +1,143 @@
+#ifndef HTL_VM_ARENA_H_
+#define HTL_VM_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace htl {
+namespace vm {
+
+/// Bump-pointer arena backing one program execution (one video evaluation).
+/// Every VM register's similarity runs live here; Reset() reclaims the
+/// whole execution's memory in O(chunks) without touching the allocator,
+/// which is what removes the per-operator heap churn the interpreter pays
+/// in src/sim/ (one or more std::vector allocations per evaluated node).
+///
+/// Layout: a chain of geometrically growing chunks. Allocations bump a
+/// pointer within the current chunk; when a request does not fit, a new
+/// chunk of max(2 * previous, request) bytes is appended. Requests larger
+/// than kMaxChunkBytes get a dedicated exact-size chunk (the
+/// "large-allocation fallback") so one huge register does not poison the
+/// doubling sequence. Reset() keeps the chunks and rewinds the cursor, so
+/// steady-state executions allocate nothing.
+///
+/// Under AddressSanitizer the unused tail of every chunk and all reclaimed
+/// space after Reset() are poisoned, so a stale pointer into a previous
+/// execution's registers faults immediately instead of silently reading
+/// reused memory (tests/vm/arena_test.cc).
+///
+/// Not thread-safe: one arena belongs to one engine evaluation at a time
+/// (DirectEngine serializes evaluations per video slot).
+class Arena {
+ public:
+  /// Default first-chunk size; later chunks double up to kMaxChunkBytes.
+  static constexpr size_t kMinChunkBytes = 4 * 1024;
+  static constexpr size_t kMaxChunkBytes = 1 * 1024 * 1024;
+
+  explicit Arena(size_t first_chunk_bytes = kMinChunkBytes);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// `n` bytes aligned to `align` (power of two, <= alignof(max_align_t)).
+  void* AllocateBytes(size_t n, size_t align);
+
+  /// Uninitialized storage for `n` objects of trivially-destructible T.
+  /// (The arena never runs destructors — that is the point.)
+  template <typename T>
+  T* Allocate(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without destructors");
+    return static_cast<T*>(AllocateBytes(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds to empty, keeping every chunk for reuse (and re-poisoning the
+  /// reclaimed space under ASan). O(number of chunks).
+  void Reset();
+
+  /// Total bytes handed out since the last Reset().
+  size_t bytes_used() const { return bytes_used_; }
+  /// Total capacity currently held (survives Reset()).
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  size_t num_chunks() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  /// Makes the cursor chunk able to hold `n` bytes, appending a chunk if
+  /// needed.
+  void AddChunk(size_t min_bytes);
+
+  std::vector<Chunk> chunks_;
+  size_t cursor_chunk_ = 0;  // Chunk currently being bumped.
+  size_t cursor_ = 0;        // Offset within it.
+  size_t bytes_used_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+/// A minimal growable array on an Arena — the output container the shared
+/// merge kernels (sim/merge_kernels.h) write into. Capacity is reserved up
+/// front from the kernels' documented output bounds, so push_back never
+/// relocates in the common case; if a bound is ever exceeded the storage
+/// doubles with an arena copy (the old block is abandoned to the arena).
+/// Satisfies the kernels' Vec concept: push_back / size / operator[] /
+/// back / begin / end / erase(first, last).
+template <typename T>
+class ArenaVec {
+ public:
+  ArenaVec(Arena* arena, size_t capacity) : arena_(arena) { Reserve(capacity); }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) Grow();
+    data_[size_++] = v;
+  }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  void erase(T* first, T* last) {
+    // Only the tail form `erase(it, end())` is used (sort+unique in the
+    // kernels); a general erase would need element moves.
+    if (last == data_ + size_) size_ = static_cast<size_t>(first - data_);
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+ private:
+  void Reserve(size_t capacity) {
+    capacity_ = capacity > 0 ? capacity : 1;
+    data_ = arena_->Allocate<T>(capacity_);
+  }
+  void Grow() {
+    T* old = data_;
+    size_t old_cap = capacity_;
+    Reserve(old_cap * 2);
+    for (size_t i = 0; i < size_; ++i) data_[i] = old[i];
+    (void)old_cap;
+  }
+
+  Arena* arena_;
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace vm
+}  // namespace htl
+
+#endif  // HTL_VM_ARENA_H_

@@ -1,0 +1,304 @@
+#include "vm/compiler.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "htl/classifier.h"
+#include "htl/fingerprint.h"
+#include "picture/atomic.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace htl {
+namespace vm {
+namespace {
+
+bool ContainsLevel(const Formula& f) {
+  if (f.kind == FormulaKind::kLevel) return true;
+  if (f.left != nullptr && ContainsLevel(*f.left)) return true;
+  if (f.right != nullptr && ContainsLevel(*f.right)) return true;
+  return false;
+}
+
+/// Static variable schema upper bound (see compiler.h): set semantics only —
+/// column order is a runtime property of the tables themselves.
+struct Schema {
+  std::set<std::string> objects;
+  std::set<std::string> attrs;
+  bool empty() const { return objects.empty() && attrs.empty(); }
+};
+
+class Compiler {
+ public:
+  explicit Compiler(const QueryOptions& options) : options_(options) {}
+
+  Result<Program> Run(const Formula& f) {
+    prog_.formula_text = f.ToString();
+    prog_.formula_class = Classify(f);
+    prog_.root_max = MaxSimilarity(f);
+    HTL_ASSIGN_OR_RETURN(Node root, CompileNode(f));
+    prog_.root_reg = root.reg;
+    Instruction emit;
+    emit.op = OpCode::kEmit;
+    emit.lhs = root.reg;
+    emit.flags = prog_.registers[root.reg].is_list ? kFlagList : 0;
+    emit.static_max = prog_.root_max;
+    Push(emit, "");
+    return std::move(prog_);
+  }
+
+ private:
+  struct Node {
+    uint16_t reg = 0;
+    Schema schema;
+  };
+
+  size_t Push(const Instruction& ins, std::string text) {
+    prog_.code.push_back(ins);
+    prog_.node_text.push_back(std::move(text));
+    return prog_.code.size() - 1;
+  }
+
+  /// Register for `f`'s result. Closed, level-free subtrees dedupe on the
+  /// canonical fingerprint: a duplicate reuses the defining occurrence's
+  /// register and its kernel may be skipped at runtime (kFlagMaySkip).
+  struct RegAssign {
+    uint16_t reg = 0;
+    bool may_skip = false;
+  };
+
+  Result<RegAssign> AssignRegister(const Formula& f, const Schema& schema) {
+    const bool is_list = schema.empty();
+    const bool cse_ok = is_list && f.kind != FormulaKind::kTrue &&
+                        f.kind != FormulaKind::kFalse && !ContainsLevel(f);
+    std::string canonical;
+    if (cse_ok) {
+      canonical = CanonicalFormulaKey(f);
+      auto it = cse_.find(canonical);
+      if (it != cse_.end()) return RegAssign{it->second, /*may_skip=*/true};
+    }
+    if (prog_.registers.size() >= 0xFFFF) {
+      return Status::ResourceExhausted(
+          StrCat("formula needs more than 65535 registers: ", prog_.formula_text));
+    }
+    const auto reg = static_cast<uint16_t>(prog_.registers.size());
+    prog_.registers.push_back(RegisterInfo{is_list, MaxSimilarity(f)});
+    if (cse_ok) cse_.emplace(std::move(canonical), reg);
+    return RegAssign{reg, /*may_skip=*/false};
+  }
+
+  /// Similarity-list cache key index for `f`'s probe, or -1. Mirrors the
+  /// compile-time-decidable half of EvalTable's `cacheable` test; the
+  /// runtime half (cache attached, full-level bounds) is the VM's.
+  int CacheKeyIndex(const Formula& f) {
+    if (options_.cache_mode == CacheMode::kOff) return -1;
+    if (f.kind == FormulaKind::kTrue || f.kind == FormulaKind::kFalse) return -1;
+    if (!FreeObjectVars(f).empty() || !FreeAttrVars(f).empty()) return -1;
+    std::string key = CanonicalFormulaKey(f);
+    auto it = key_pool_.find(key);
+    if (it != key_pool_.end()) return it->second;
+    const int index = static_cast<int>(prog_.keys.size());
+    prog_.keys.push_back(key);
+    key_pool_.emplace(std::move(key), index);
+    return index;
+  }
+
+  /// Emits kEnter, compiles the children via `body`, then emits the compute
+  /// instruction `ins` (dst/flags/key filled in here) and patches the
+  /// enter's probe jump to the following pc. `body` must fill in ins.op,
+  /// operand registers, maxima and aux, and return the node's schema.
+  template <typename Body>
+  Result<Node> EmitNode(const Formula& f, int key_index, Body body) {
+    const size_t pc_enter = Push(Instruction{}, "");
+    Instruction ins;
+    HTL_ASSIGN_OR_RETURN(Schema schema, body(ins));
+    HTL_ASSIGN_OR_RETURN(RegAssign r, AssignRegister(f, schema));
+    ins.dst = r.reg;
+    ins.key = key_index;
+    ins.static_max = MaxSimilarity(f);
+    if (prog_.registers[r.reg].is_list) ins.flags |= kFlagList;
+    if (r.may_skip) ins.flags |= kFlagMaySkip;
+    Push(ins, f.ToString());
+    Instruction& enter = prog_.code[pc_enter];
+    enter.op = OpCode::kEnter;
+    enter.dst = ins.dst;
+    enter.flags = ins.flags;
+    enter.key = key_index;
+    enter.static_max = ins.static_max;
+    enter.skip_to = static_cast<int32_t>(prog_.code.size());
+    return Node{r.reg, std::move(schema)};
+  }
+
+  Result<Node> CompileAtomic(const Formula& f) {
+    // Never list-cached: the interpreter's atomic branch returns before the
+    // cross-query cache logic (the per-engine atomic-table cache covers it).
+    return EmitNode(f, /*key_index=*/-1, [&](Instruction& ins) -> Result<Schema> {
+      HTL_ASSIGN_OR_RETURN(AtomicFormula atomic, ExtractAtomic(f));
+      std::string text = f.ToString();
+      auto it = atomic_pool_.find(text);
+      int aux;
+      if (it != atomic_pool_.end()) {
+        aux = it->second;
+      } else {
+        aux = static_cast<int>(prog_.atomics.size());
+        prog_.atomics.push_back(AtomicSlot{std::move(atomic), text});
+        atomic_pool_.emplace(std::move(text), aux);
+      }
+      ins.op = OpCode::kLoadAtomic;
+      ins.aux = aux;
+      Schema s;
+      for (std::string& v : FreeObjectVars(f)) s.objects.insert(std::move(v));
+      for (std::string& v : FreeAttrVars(f)) s.attrs.insert(std::move(v));
+      return s;
+    });
+  }
+
+  Result<Node> CompileNode(const Formula& f) {
+    // Maximal atomic subtrees compile to a single kLoadAtomic, mirroring
+    // EvalTable's dispatch order (one depth poll, one picture query).
+    if (f.kind != FormulaKind::kTrue && f.kind != FormulaKind::kFalse &&
+        IsAtomicShape(f)) {
+      return CompileAtomic(f);
+    }
+    const int key_index = CacheKeyIndex(f);
+    switch (f.kind) {
+      case FormulaKind::kTrue:
+        return EmitNode(f, key_index, [&](Instruction& ins) -> Result<Schema> {
+          ins.op = OpCode::kLoadTrue;
+          return Schema{};
+        });
+      case FormulaKind::kFalse:
+        return EmitNode(f, key_index, [&](Instruction& ins) -> Result<Schema> {
+          ins.op = OpCode::kLoadFalse;
+          return Schema{};
+        });
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+      case FormulaKind::kUntil:
+        return EmitNode(f, key_index, [&](Instruction& ins) -> Result<Schema> {
+          HTL_ASSIGN_OR_RETURN(Node lhs, CompileNode(*f.left));
+          HTL_ASSIGN_OR_RETURN(Node rhs, CompileNode(*f.right));
+          ins.op = f.kind == FormulaKind::kAnd   ? OpCode::kAndMerge
+                   : f.kind == FormulaKind::kOr  ? OpCode::kOrMerge
+                                                 : OpCode::kUntilMerge;
+          if (f.kind == FormulaKind::kAnd &&
+              options_.and_semantics == AndSemantics::kFuzzyMin) {
+            ins.flags |= kFlagFuzzy;
+          }
+          ins.lhs = lhs.reg;
+          ins.rhs = rhs.reg;
+          ins.lhs_max = MaxSimilarity(*f.left);
+          ins.rhs_max = MaxSimilarity(*f.right);
+          Schema s = std::move(lhs.schema);
+          s.objects.insert(rhs.schema.objects.begin(), rhs.schema.objects.end());
+          s.attrs.insert(rhs.schema.attrs.begin(), rhs.schema.attrs.end());
+          return s;
+        });
+      case FormulaKind::kNext:
+      case FormulaKind::kEventually:
+        return EmitNode(f, key_index, [&](Instruction& ins) -> Result<Schema> {
+          HTL_ASSIGN_OR_RETURN(Node child, CompileNode(*f.left));
+          ins.op = f.kind == FormulaKind::kNext ? OpCode::kNextShift
+                                                : OpCode::kEventually;
+          ins.lhs = child.reg;
+          ins.lhs_max = MaxSimilarity(*f.left);
+          return std::move(child.schema);
+        });
+      case FormulaKind::kExists:
+        return EmitNode(f, key_index, [&](Instruction& ins) -> Result<Schema> {
+          HTL_ASSIGN_OR_RETURN(Node child, CompileNode(*f.left));
+          ins.op = OpCode::kExistsCollapse;
+          ins.lhs = child.reg;
+          ins.lhs_max = MaxSimilarity(*f.left);
+          ins.aux = static_cast<int>(prog_.exists_sets.size());
+          prog_.exists_sets.push_back(f.vars);
+          Schema s = std::move(child.schema);
+          for (const std::string& v : f.vars) s.objects.erase(v);
+          return s;
+        });
+      case FormulaKind::kFreeze:
+        return EmitNode(f, key_index, [&](Instruction& ins) -> Result<Schema> {
+          HTL_ASSIGN_OR_RETURN(Node child, CompileNode(*f.left));
+          ins.op = OpCode::kFreezeJoin;
+          ins.lhs = child.reg;
+          ins.lhs_max = MaxSimilarity(*f.left);
+          ins.aux = static_cast<int>(prog_.freezes.size());
+          prog_.freezes.push_back(FreezeSlot{f.freeze_var, f.freeze_term,
+                                             f.freeze_term.ToString()});
+          Schema s = std::move(child.schema);
+          s.attrs.erase(f.freeze_var);
+          if (f.freeze_term.kind == AttrTerm::Kind::kAttrOfVar) {
+            s.objects.insert(f.freeze_term.object_var);
+          }
+          return s;
+        });
+      case FormulaKind::kLevel:
+        return EmitNode(f, key_index, [&](Instruction& ins) -> Result<Schema> {
+          // The body runs as its own program (own frame, registers and
+          // common-sub-plan scope: its bounds differ per parent position).
+          HTL_ASSIGN_OR_RETURN(Program body, Compile(*f.left, options_));
+          ins.op = OpCode::kLevelEval;
+          ins.aux = static_cast<int>(prog_.levels.size());
+          const int sub = static_cast<int>(prog_.subprograms.size());
+          Schema s;
+          for (std::string& v : FreeObjectVars(*f.left)) s.objects.insert(std::move(v));
+          for (std::string& v : FreeAttrVars(*f.left)) s.attrs.insert(std::move(v));
+          prog_.levels.push_back(LevelSlot{f.level, sub, MaxSimilarity(*f.left)});
+          prog_.subprograms.push_back(std::move(body));
+          return s;
+        });
+      case FormulaKind::kNot:
+        return EmitNode(f, key_index, [&](Instruction& ins) -> Result<Schema> {
+          HTL_ASSIGN_OR_RETURN(Node child, CompileNode(*f.left));
+          ins.op = OpCode::kNegate;
+          ins.lhs = child.reg;
+          ins.lhs_max = MaxSimilarity(*f.left);
+          // The closedness requirement (Unimplemented otherwise) is checked
+          // at runtime on the runtime table, exactly like the interpreter:
+          // the static schema can overestimate an actually-empty one.
+          return std::move(child.schema);
+        });
+      case FormulaKind::kConstraint:
+        break;  // Handled by the atomic branch above.
+    }
+    return Status::Internal(StrCat("unhandled formula: ", f.ToString()));
+  }
+
+  const QueryOptions& options_;
+  Program prog_;
+  std::map<std::string, uint16_t> cse_;
+  std::map<std::string, int> key_pool_;
+  std::map<std::string, int> atomic_pool_;
+};
+
+}  // namespace
+
+const char* OpCodeName(OpCode op) {
+  switch (op) {
+    case OpCode::kEnter: return "enter";
+    case OpCode::kLoadAtomic: return "load_atomic";
+    case OpCode::kLoadTrue: return "load_true";
+    case OpCode::kLoadFalse: return "load_false";
+    case OpCode::kAndMerge: return "and_merge";
+    case OpCode::kOrMerge: return "or_merge";
+    case OpCode::kUntilMerge: return "until_merge";
+    case OpCode::kNextShift: return "next_shift";
+    case OpCode::kEventually: return "eventually";
+    case OpCode::kExistsCollapse: return "exists_collapse";
+    case OpCode::kFreezeJoin: return "freeze_join";
+    case OpCode::kNegate: return "negate";
+    case OpCode::kLevelEval: return "level_eval";
+    case OpCode::kEmit: return "emit";
+  }
+  return "?";
+}
+
+Result<Program> Compile(const Formula& f, const QueryOptions& options) {
+  return Compiler(options).Run(f);
+}
+
+}  // namespace vm
+}  // namespace htl

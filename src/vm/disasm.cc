@@ -1,0 +1,122 @@
+#include <cstdio>
+#include <string>
+
+#include "htl/classifier.h"
+#include "util/string_util.h"
+#include "vm/bytecode.h"
+
+// Text renderer for compiled programs, snapshotted by the golden tests
+// (tests/integration/golden_program_test.cc). Every field that affects
+// execution appears here, so an unintended compiler change shows up as a
+// golden diff. Keep the format deterministic: no pointers, no hashes.
+
+namespace htl {
+namespace vm {
+namespace {
+
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+std::string Pc(size_t pc) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04zu", pc);
+  return buf;
+}
+
+void AppendProgram(const Program& p, const std::string& indent, std::string& out) {
+  out += StrCat(indent, "program: ", p.formula_text, "\n");
+  out += StrCat(indent, "class: ", FormulaClassName(p.formula_class), "\n");
+  out += StrCat(indent, "root: r", p.root_reg, " max=", Num(p.root_max), "\n");
+  out += StrCat(indent, "registers: ", p.registers.size(), "\n");
+  for (size_t i = 0; i < p.registers.size(); ++i) {
+    out += StrCat(indent, "  r", i, " ", p.registers[i].is_list ? "list" : "table",
+                  " max=", Num(p.registers[i].static_max), "\n");
+  }
+  out += StrCat(indent, "code:\n");
+  for (size_t pc = 0; pc < p.code.size(); ++pc) {
+    const Instruction& ins = p.code[pc];
+    std::string line = StrCat(indent, "  ", Pc(pc), " ", OpCodeName(ins.op));
+    while (line.size() < indent.size() + 22) line += ' ';
+    switch (ins.op) {
+      case OpCode::kEnter:
+        line += StrCat("dst=r", ins.dst, " skip=", Pc(static_cast<size_t>(ins.skip_to)));
+        if (ins.key >= 0) line += StrCat(" key=k", ins.key);
+        break;
+      case OpCode::kLoadAtomic:
+        line += StrCat("r", ins.dst, " <- atomic[", ins.aux, "]");
+        break;
+      case OpCode::kLoadTrue:
+      case OpCode::kLoadFalse:
+        line += StrCat("r", ins.dst);
+        break;
+      case OpCode::kAndMerge:
+      case OpCode::kOrMerge:
+      case OpCode::kUntilMerge:
+        line += StrCat("r", ins.dst, " <- r", ins.lhs, ", r", ins.rhs,
+                       " lmax=", Num(ins.lhs_max), " rmax=", Num(ins.rhs_max));
+        if (ins.fuzzy()) line += " fuzzy";
+        break;
+      case OpCode::kNextShift:
+      case OpCode::kEventually:
+      case OpCode::kNegate:
+        line += StrCat("r", ins.dst, " <- r", ins.lhs, " lmax=", Num(ins.lhs_max));
+        break;
+      case OpCode::kExistsCollapse:
+        line += StrCat("r", ins.dst, " <- r", ins.lhs, " vars[", ins.aux, "]");
+        break;
+      case OpCode::kFreezeJoin:
+        line += StrCat("r", ins.dst, " <- r", ins.lhs, " freeze[", ins.aux, "]");
+        break;
+      case OpCode::kLevelEval:
+        line += StrCat("r", ins.dst, " <- level[", ins.aux, "]");
+        break;
+      case OpCode::kEmit:
+        line += StrCat("r", ins.lhs);
+        break;
+    }
+    if (ins.op != OpCode::kEnter) {
+      line += StrCat(" max=", Num(ins.static_max));
+      if (ins.key >= 0) line += StrCat(" key=k", ins.key);
+      if (ins.may_skip()) line += " may_skip";
+    }
+    if (pc < p.node_text.size() && !p.node_text[pc].empty()) {
+      line += StrCat("  ; ", p.node_text[pc]);
+    }
+    out += line + "\n";
+  }
+  for (size_t i = 0; i < p.atomics.size(); ++i) {
+    out += StrCat(indent, "atomic[", i, "]: ", p.atomics[i].text, "\n");
+  }
+  for (size_t i = 0; i < p.exists_sets.size(); ++i) {
+    out += StrCat(indent, "vars[", i, "]: {", StrJoin(p.exists_sets[i], ", "), "}\n");
+  }
+  for (size_t i = 0; i < p.freezes.size(); ++i) {
+    out += StrCat(indent, "freeze[", i, "]: ", p.freezes[i].var, " <- ",
+                  p.freezes[i].term_text, "\n");
+  }
+  for (size_t i = 0; i < p.levels.size(); ++i) {
+    out += StrCat(indent, "level[", i, "]: ", p.levels[i].spec.ToString(), " sub=",
+                  p.levels[i].subprogram, " body_max=", Num(p.levels[i].body_max), "\n");
+  }
+  for (size_t i = 0; i < p.keys.size(); ++i) {
+    out += StrCat(indent, "k", i, ": ", p.keys[i], "\n");
+  }
+  for (size_t i = 0; i < p.subprograms.size(); ++i) {
+    out += StrCat(indent, "subprogram ", i, ":\n");
+    AppendProgram(p.subprograms[i], indent + "  ", out);
+  }
+}
+
+}  // namespace
+
+std::string Disassemble(const Program& program) {
+  std::string out;
+  AppendProgram(program, "", out);
+  return out;
+}
+
+}  // namespace vm
+}  // namespace htl

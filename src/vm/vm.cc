@@ -1,0 +1,674 @@
+#include "vm/vm.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "engine/level_eval.h"
+#include "obs/metrics.h"
+#include "sim/list_ops.h"
+#include "sim/merge_kernels.h"
+#include "sim/table_ops.h"
+#include "util/fault_point.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace htl {
+namespace vm {
+namespace {
+
+/// Merges adjacent equal-valued runs in place — the arena-side counterpart
+/// of SimilarityList::Canonicalize. The kernels never emit empty ranges or
+/// non-positive values, so coalescing is the only normalization left.
+void CanonicalizeInPlace(ArenaVec<SimEntry>& v) {
+  size_t w = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (w > 0 && v[w - 1].actual == v[i].actual && v[w - 1].range.Adjacent(v[i].range)) {
+      v[w - 1].range.end = v[i].range.end;
+    } else {
+      v[w++] = v[i];
+    }
+  }
+  v.erase(v.begin() + w, v.end());
+}
+
+/// SimilarityList::ActualAt over a raw run span.
+double SpanActualAt(kernel::EntrySpan s, SegmentId id) {
+  auto it = std::upper_bound(s.begin(), s.end(), id,
+                             [](SegmentId v, const SimEntry& e) { return v < e.range.begin; });
+  if (it == s.begin()) return 0.0;
+  --it;
+  return it->range.Contains(id) ? it->actual : 0.0;
+}
+
+}  // namespace
+
+/// One register file: the main program's, or one per level-body
+/// subprogram, reused across the sweep positions. Subframes own their
+/// arena and reset it at every position: nothing arena-backed escapes a
+/// frame (level results leave through LevelAccumulator's heap entries,
+/// cache publishes are heap copies), so per-position reuse is safe and
+/// keeps a long sweep's footprint at its widest position, not its sum.
+struct Executor::Frame {
+  struct RegSlot {
+    const SimEntry* data = nullptr;  // List registers: arena/cache runs.
+    size_t size = 0;
+    double max = 0.0;
+    SimilarityTable table;  // Table registers.
+    bool computed = false;  // Written this Run (common-sub-plan skip bit).
+  };
+
+  const Program* prog = nullptr;
+  Arena* arena = nullptr;
+  std::unique_ptr<Arena> owned_arena;  // Subframes only.
+  std::vector<RegSlot> regs;
+  // Cache hits alias cache-owned entries; pin them for the execution.
+  std::vector<cache::SimListCache::ListPtr> pins;
+  std::vector<std::unique_ptr<Frame>> subframes;  // Parallel to prog->subprograms.
+
+  Frame(const Program* p, Arena* a) : prog(p), arena(a) {
+    regs.resize(p->registers.size());
+    subframes.resize(p->subprograms.size());
+  }
+
+  kernel::EntrySpan Span(uint16_t reg) const {
+    return kernel::EntrySpan{regs[reg].data, regs[reg].size};
+  }
+
+  void SetList(uint16_t reg, const SimEntry* data, size_t size, double max) {
+    RegSlot& r = regs[reg];
+    r.data = data;
+    r.size = size;
+    r.max = max;
+    r.computed = true;
+  }
+};
+
+Executor::Executor(const Program& program, const ExecEnv& env, Arena* arena)
+    : program_(program), env_(env) {
+  main_ = std::make_unique<Frame>(&program_, arena);
+}
+
+Executor::~Executor() = default;
+
+Status Executor::Run(int level, Interval bounds) { return RunFrame(*main_, level, bounds); }
+
+RootView Executor::Root() const {
+  const Frame::RegSlot& r = main_->regs[program_.root_reg];
+  RootView v;
+  v.is_list = program_.registers[program_.root_reg].is_list;
+  v.data = r.data;
+  v.size = r.size;
+  v.max = r.max;
+  v.table = &r.table;
+  return v;
+}
+
+SimilarityList Executor::MaterializeList(const RootView& view, double fallback_max) {
+  HTL_CHECK(view.is_list);
+  if (view.size == 0) return SimilarityList(fallback_max);
+  // Via MultiMax like SimilarityTable::ToList, so the sim.* metric traffic
+  // of a VM materialization matches the interpreter's.
+  std::vector<SimilarityList> one;
+  one.push_back(SimilarityList::FromEntriesOrDie(
+      std::vector<SimEntry>(view.data, view.data + view.size), view.max));
+  return MultiMax(std::move(one));
+}
+
+Status Executor::RunFrame(Frame& frame, int level, Interval bounds) {
+  if (frame.owned_arena != nullptr) frame.owned_arena->Reset();
+  for (Frame::RegSlot& r : frame.regs) r.computed = false;
+  frame.pins.clear();
+  int live_depth = 0;
+  Status st = RunCode(frame, level, bounds, live_depth);
+  if (!st.ok() && env_.exec != nullptr) {
+    // Mirror the interpreter's DepthScope unwinding: every successful
+    // EnterDepth leaves on the way out of an error.
+    for (; live_depth > 0; --live_depth) env_.exec->LeaveDepth();
+  }
+  return st;
+}
+
+Status Executor::RunCode(Frame& frame, int level, Interval bounds, int& live_depth) {
+  const Program& p = *frame.prog;
+  Arena& arena = *frame.arena;
+  const bool full_level =
+      bounds.begin == 1 && bounds.end == env_.video->NumSegments(level);
+
+  // Borrows a register as the interpreter's table shape without copying:
+  // table registers come back by reference, closed (0/1-row) list
+  // registers materialize into the caller's scratch slot.
+  auto reg_as_table = [&](uint16_t reg,
+                          SimilarityTable& scratch) -> const SimilarityTable& {
+    const Frame::RegSlot& r = frame.regs[reg];
+    if (!p.registers[reg].is_list) return r.table;
+    if (r.size == 0) {
+      scratch = SimilarityTable();
+    } else {
+      scratch = SimilarityTable::FromList(SimilarityList::FromEntriesOrDie(
+          std::vector<SimEntry>(r.data, r.data + r.size), r.max));
+    }
+    return scratch;
+  };
+  auto reg_rows = [&](uint16_t reg) -> int64_t {
+    return p.registers[reg].is_list ? (frame.regs[reg].size > 0 ? 1 : 0)
+                                    : frame.regs[reg].table.num_rows();
+  };
+  // Copies a <=1-row var-free table into a list register (arena).
+  auto table_to_list_reg = [&](const Instruction& ins, const SimilarityTable& t) {
+    HTL_DCHECK(t.num_rows() <= 1);
+    if (t.num_rows() == 0) {
+      frame.SetList(ins.dst, nullptr, 0, ins.static_max);
+      return;
+    }
+    const SimilarityList& l = t.rows()[0].list;
+    SimEntry* copy = arena.Allocate<SimEntry>(l.entries().size());
+    std::copy(l.entries().begin(), l.entries().end(), copy);
+    frame.SetList(ins.dst, copy, l.entries().size(), ins.static_max);
+  };
+  // Publishes the freshly available register to the cross-query list cache
+  // exactly when the interpreter's EvalTable would after EvalNode: the op
+  // span is already closed, so a degraded cache.fill trip attaches to the
+  // enclosing span (if any), never to the op's own span.
+  auto maybe_publish = [&](const Instruction& ins) {
+    if (ins.key < 0 || env_.list_cache == nullptr ||
+        env_.cache_mode != CacheMode::kReadWrite || !full_level) {
+      return;
+    }
+    const Frame::RegSlot& r = frame.regs[ins.dst];
+    if (ins.is_list()) {
+      RootView v;
+      v.is_list = true;
+      v.data = r.data;
+      v.size = r.size;
+      v.max = r.max;
+      env_.list_cache->Put(env_.cache_video_id, level, p.keys[ins.key],
+                           env_.cache_epoch, MaterializeList(v, ins.static_max));
+    } else if (r.table.num_rows() <= 1 && r.table.object_vars().empty() &&
+               r.table.attr_vars().empty()) {
+      env_.list_cache->Put(env_.cache_video_id, level, p.keys[ins.key],
+                           env_.cache_epoch, r.table.ToList(ins.static_max));
+    }
+  };
+  auto leave_depth = [&] {
+    if (env_.exec != nullptr) {
+      env_.exec->LeaveDepth();
+      --live_depth;
+    }
+  };
+  // Whether this compute may skip its kernel (value already in the shared
+  // register from the defining occurrence of the common sub-plan).
+  auto skip_kernel = [&](const Instruction& ins) {
+    return ins.may_skip() && frame.regs[ins.dst].computed;
+  };
+
+  for (size_t pc = 0; pc < p.code.size(); ++pc) {
+    const Instruction& ins = p.code[pc];
+    switch (ins.op) {
+      case OpCode::kEnter: {
+        if (env_.exec != nullptr) {
+          HTL_RETURN_IF_ERROR(env_.exec->EnterDepth());
+          ++live_depth;
+        }
+        if (ins.key >= 0 && env_.list_cache != nullptr &&
+            env_.cache_mode != CacheMode::kOff && full_level) {
+          if (cache::SimListCache::ListPtr hit =
+                  env_.list_cache->Get(env_.cache_video_id, level, p.keys[ins.key],
+                                       env_.cache_epoch)) {
+            HTL_OBS_SPAN(span, env_.trace, "cache.list");
+            span.SetNote("hit");
+            span.AddIntervals(static_cast<int64_t>(hit->entries().size()));
+            if (ins.is_list()) {
+              frame.SetList(ins.dst, hit->entries().data(), hit->entries().size(),
+                            hit->max());
+              frame.pins.push_back(std::move(hit));
+            } else {
+              Frame::RegSlot& dst = frame.regs[ins.dst];
+              dst.table = hit->empty() ? SimilarityTable()
+                                       : SimilarityTable::FromList(*hit);
+              dst.computed = true;
+            }
+            leave_depth();
+            pc = static_cast<size_t>(ins.skip_to) - 1;  // -1: loop increment.
+          }
+        }
+        break;
+      }
+
+      case OpCode::kLoadAtomic: {
+        const AtomicSlot& slot = p.atomics[ins.aux];
+        auto key = std::make_pair(slot.text, level);
+        auto it = env_.atomic_cache->find(key);
+        if (it == env_.atomic_cache->end()) {
+          env_.atomic_queries->Increment();
+          HTL_OBS_COUNT("engine.atomic_queries", 1);
+          SimilarityTable table;
+          {
+            HTL_OBS_SPAN(span, env_.trace, "op.picture_query");
+            HTL_ASSIGN_OR_RETURN(table, env_.pictures->Query(level, slot.atomic));
+            span.AddTables(1);
+            span.AddRows(table.num_rows());
+            if (env_.exec != nullptr) {
+              HTL_RETURN_IF_ERROR(env_.exec->ChargeTable());
+              HTL_RETURN_IF_ERROR(env_.exec->ChargeRows(table.num_rows()));
+            }
+          }
+          it = env_.atomic_cache->emplace(std::move(key), std::move(table)).first;
+        } else {
+          env_.atomic_cache_hits->Increment();
+          HTL_OBS_COUNT("engine.atomic_cache_hits", 1);
+        }
+        if (!skip_kernel(ins)) {
+          const SimilarityTable& cached = it->second;
+          if (ins.is_list()) {
+            HTL_DCHECK(cached.num_rows() <= 1);
+            if (cached.num_rows() == 0) {
+              frame.SetList(ins.dst, nullptr, 0, ins.static_max);
+            } else {
+              const SimilarityList& l = cached.rows()[0].list;
+              if (full_level) {
+                // Clip to full bounds is the identity; alias the cache
+                // entry (the per-engine atomic cache is append-only, so
+                // the runs stay valid for the whole execution).
+                frame.SetList(ins.dst, l.entries().data(), l.entries().size(),
+                              ins.static_max);
+              } else {
+                ArenaVec<SimEntry> out(&arena, l.entries().size());
+                kernel::ClipInto(
+                    kernel::EntrySpan{l.entries().data(), l.entries().size()}, bounds,
+                    out);
+                frame.SetList(ins.dst, out.data(), out.size(), ins.static_max);
+              }
+            }
+          } else {
+            frame.regs[ins.dst].table = MapLists(
+                cached, [&](const SimilarityList& l) { return l.Clip(bounds); });
+            frame.regs[ins.dst].computed = true;
+          }
+        }
+        leave_depth();
+        break;
+      }
+
+      case OpCode::kLoadTrue: {
+        if (!skip_kernel(ins)) {
+          HTL_CHECK(!bounds.empty()) << "kTrue over an empty sequence";
+          SimEntry* e = arena.Allocate<SimEntry>(1);
+          e[0] = SimEntry{bounds, 1.0};
+          frame.SetList(ins.dst, e, 1, ins.static_max);
+        }
+        leave_depth();
+        break;
+      }
+
+      case OpCode::kLoadFalse: {
+        if (!skip_kernel(ins)) frame.SetList(ins.dst, nullptr, 0, ins.static_max);
+        leave_depth();
+        break;
+      }
+
+      case OpCode::kAndMerge:
+      case OpCode::kOrMerge:
+      case OpCode::kUntilMerge: {
+        HTL_FAULT_POINT("engine.table_join");
+        env_.table_joins->Increment();
+        HTL_OBS_COUNT("engine.table_joins", 1);
+        const char* join_name = ins.op == OpCode::kOrMerge      ? "op.or_join"
+                                : ins.op == OpCode::kUntilMerge ? "op.until_join"
+                                                                : "op.and_join";
+        {
+        HTL_OBS_SPAN(span, env_.trace, join_name);
+        const int64_t rows_in = reg_rows(ins.lhs) + reg_rows(ins.rhs);
+        span.AddTables(1);
+        span.AddRows(rows_in);
+        if (env_.exec != nullptr) {
+          HTL_RETURN_IF_ERROR(env_.exec->ChargeTable());
+          HTL_RETURN_IF_ERROR(env_.exec->ChargeRows(rows_in));
+        }
+        if (skip_kernel(ins)) {
+          // Fall through to publish/leave below the span.
+        } else if (ins.is_list()) {
+          // Closed operands: one shared kernel call reproduces the whole
+          // join + one-sided rows + dedup pipeline bit for bit (the
+          // combined row dominates the one-sided rows pointwise; see
+          // DESIGN.md "Compiled execution").
+          kernel::EntrySpan a = frame.Span(ins.lhs);
+          kernel::EntrySpan b = frame.Span(ins.rhs);
+          if (ins.op == OpCode::kUntilMerge) {
+            HTL_OBS_COUNT("sim.until_merge.calls", 1);
+            HTL_OBS_COUNT("sim.until_merge.entries_in",
+                          static_cast<int64_t>(a.size + b.size));
+            ArenaVec<Interval> support(&arena, a.size + 1);
+            kernel::ThresholdSupportInto(a, env_.until_threshold * ins.lhs_max,
+                                         support);
+            const size_t bound = 2 * (b.size + support.size()) + 1;
+            ArenaVec<SegmentId> pts(&arena, bound);
+            ArenaVec<SimEntry> out(&arena, bound);
+            kernel::BackwardUntilSweepInto(
+                kernel::IntervalSpan{support.data(), support.size()},
+                /*g_always=*/false, b, pts, out);
+            std::reverse(out.begin(), out.end());
+            CanonicalizeInPlace(out);
+            frame.SetList(ins.dst, out.data(), out.size(), ins.static_max);
+          } else {
+            const size_t bound = 2 * (a.size + b.size) + 1;
+            ArenaVec<SegmentId> pts(&arena, bound);
+            ArenaVec<SimEntry> out(&arena, bound);
+            if (ins.op == OpCode::kOrMerge) {
+              HTL_OBS_COUNT("sim.or_merge.calls", 1);
+              HTL_OBS_COUNT("sim.or_merge.entries_in",
+                            static_cast<int64_t>(a.size + b.size));
+              kernel::ZipMergeInto(
+                  a, b, [](double x, double y) { return std::max(x, y); }, pts, out);
+            } else if (ins.fuzzy()) {
+              HTL_OBS_COUNT("sim.fuzzy_and_merge.calls", 1);
+              HTL_OBS_COUNT("sim.fuzzy_and_merge.entries_in",
+                            static_cast<int64_t>(a.size + b.size));
+              const double mg = ins.lhs_max;
+              const double mh = ins.rhs_max;
+              const double out_max = mg + mh;
+              kernel::ZipMergeInto(
+                  a, b,
+                  [=](double x, double y) {
+                    const double frac_g = mg > 0 ? x / mg : 0.0;
+                    const double frac_h = mh > 0 ? y / mh : 0.0;
+                    return std::min(frac_g, frac_h) * out_max;
+                  },
+                  pts, out);
+            } else {
+              HTL_OBS_COUNT("sim.and_merge.calls", 1);
+              HTL_OBS_COUNT("sim.and_merge.entries_in",
+                            static_cast<int64_t>(a.size + b.size));
+              kernel::ZipMergeInto(a, b, [](double x, double y) { return x + y; },
+                                   pts, out);
+            }
+            CanonicalizeInPlace(out);
+            frame.SetList(ins.dst, out.data(), out.size(), ins.static_max);
+          }
+        } else {
+          SimilarityTable lhs_scratch, rhs_scratch;
+          const SimilarityTable& lhs_t = reg_as_table(ins.lhs, lhs_scratch);
+          const SimilarityTable& rhs_t = reg_as_table(ins.rhs, rhs_scratch);
+          TableCombine op = ins.op == OpCode::kOrMerge      ? TableCombine::kOr
+                            : ins.op == OpCode::kUntilMerge ? TableCombine::kUntil
+                            : ins.fuzzy()                   ? TableCombine::kFuzzyAnd
+                                                            : TableCombine::kAnd;
+          frame.regs[ins.dst].table = JoinTables(lhs_t, ins.lhs_max, rhs_t,
+                                                 ins.rhs_max, op, env_.until_threshold);
+          frame.regs[ins.dst].computed = true;
+        }
+        }
+        maybe_publish(ins);
+        leave_depth();
+        break;
+      }
+
+      case OpCode::kNextShift:
+      case OpCode::kEventually: {
+        const char* span_name =
+            ins.op == OpCode::kNextShift ? "op.next_shift" : "op.eventually";
+        {
+        HTL_OBS_SPAN(span, env_.trace, span_name);
+        span.AddRows(reg_rows(ins.lhs));
+        if (skip_kernel(ins)) {
+          // Fall through to publish/leave below the span.
+        } else if (ins.is_list()) {
+          kernel::EntrySpan a = frame.Span(ins.lhs);
+          if (ins.op == OpCode::kNextShift) {
+            HTL_OBS_COUNT("sim.next_shift.calls", 1);
+            ArenaVec<SimEntry> shifted(&arena, a.size + 1);
+            kernel::NextShiftInto(a, shifted);
+            CanonicalizeInPlace(shifted);
+            ArenaVec<SimEntry> out(&arena, shifted.size() + 1);
+            kernel::ClipInto(kernel::EntrySpan{shifted.data(), shifted.size()},
+                             bounds, out);
+            frame.SetList(ins.dst, out.data(), out.size(), ins.static_max);
+          } else {
+            HTL_OBS_COUNT("sim.eventually.calls", 1);
+            HTL_OBS_COUNT("sim.eventually.entries_in", static_cast<int64_t>(a.size));
+            const size_t bound = 2 * a.size + 2;
+            ArenaVec<SegmentId> pts(&arena, bound);
+            ArenaVec<SimEntry> out(&arena, bound);
+            kernel::BackwardUntilSweepInto(kernel::IntervalSpan{nullptr, 0},
+                                           /*g_always=*/true, a, pts, out);
+            std::reverse(out.begin(), out.end());
+            CanonicalizeInPlace(out);
+            frame.SetList(ins.dst, out.data(), out.size(), ins.static_max);
+          }
+        } else {
+          SimilarityTable scratch;
+          const SimilarityTable& t = reg_as_table(ins.lhs, scratch);
+          frame.regs[ins.dst].table =
+              ins.op == OpCode::kNextShift
+                  ? MapLists(t,
+                             [&](const SimilarityList& l) {
+                               return NextShift(l).Clip(bounds);
+                             })
+                  : MapLists(t, [](const SimilarityList& l) { return Eventually(l); });
+          frame.regs[ins.dst].computed = true;
+        }
+        }
+        maybe_publish(ins);
+        leave_depth();
+        break;
+      }
+
+      case OpCode::kExistsCollapse: {
+        env_.exists_collapses->Increment();
+        HTL_OBS_COUNT("engine.exists_collapses", 1);
+        {
+        HTL_OBS_SPAN(span, env_.trace, "op.exists_collapse");
+        span.AddRows(reg_rows(ins.lhs));
+        if (!skip_kernel(ins)) {
+          if (ins.is_list() && p.registers[ins.lhs].is_list) {
+            // Closed child: collapsing a 0/1-row var-free table is the
+            // identity; alias the operand.
+            const Frame::RegSlot& src = frame.regs[ins.lhs];
+            frame.SetList(ins.dst, src.data, src.size, ins.static_max);
+          } else {
+            SimilarityTable scratch;
+            SimilarityTable collapsed = CollapseExists(
+                reg_as_table(ins.lhs, scratch), p.exists_sets[ins.aux]);
+            if (ins.is_list()) {
+              table_to_list_reg(ins, collapsed);
+            } else {
+              frame.regs[ins.dst].table = std::move(collapsed);
+              frame.regs[ins.dst].computed = true;
+            }
+          }
+        }
+        }
+        maybe_publish(ins);
+        leave_depth();
+        break;
+      }
+
+      case OpCode::kFreezeJoin: {
+        const FreezeSlot& slot = p.freezes[ins.aux];
+        if (p.registers[ins.lhs].is_list) {
+          // The child never bound the variable (no attr columns at all):
+          // the interpreter returns the child table untouched, before any
+          // value-table or counter traffic.
+          if (!skip_kernel(ins)) {
+            const Frame::RegSlot& src = frame.regs[ins.lhs];
+            frame.SetList(ins.dst, src.data, src.size, ins.static_max);
+          }
+          maybe_publish(ins);
+          leave_depth();
+          break;
+        }
+        const SimilarityTable& t = frame.regs[ins.lhs].table;
+        if (t.AttrColumn(slot.var) < 0) {  // Variable unused at runtime.
+          if (!skip_kernel(ins)) {
+            if (ins.is_list()) {
+              table_to_list_reg(ins, t);
+            } else {
+              frame.regs[ins.dst].table = t;
+              frame.regs[ins.dst].computed = true;
+            }
+          }
+          maybe_publish(ins);
+          leave_depth();
+          break;
+        }
+        auto key = std::make_pair(slot.term_text, level);
+        auto it = env_.value_cache->find(key);
+        if (it == env_.value_cache->end()) {
+          HTL_OBS_SPAN(vspan, env_.trace, "op.value_table");
+          HTL_FAULT_POINT("engine.value_table");
+          HTL_ASSIGN_OR_RETURN(ValueTable vt, env_.pictures->Values(level, slot.term));
+          vspan.AddRows(vt.num_rows());
+          vspan.AddTables(1);
+          it = env_.value_cache->emplace(std::move(key), std::move(vt)).first;
+        }
+        env_.freeze_joins->Increment();
+        HTL_OBS_COUNT("engine.freeze_joins", 1);
+        {
+        HTL_OBS_SPAN(span, env_.trace, "op.freeze_join");
+        span.AddRows(t.num_rows());
+        if (!skip_kernel(ins)) {
+          SimilarityTable joined = FreezeJoin(t, slot.var, it->second);
+          if (ins.is_list()) {
+            table_to_list_reg(ins, joined);
+          } else {
+            frame.regs[ins.dst].table = std::move(joined);
+            frame.regs[ins.dst].computed = true;
+          }
+        }
+        }
+        maybe_publish(ins);
+        leave_depth();
+        break;
+      }
+
+      case OpCode::kNegate: {
+        if (!p.registers[ins.lhs].is_list) {
+          const SimilarityTable& t = frame.regs[ins.lhs].table;
+          if (!t.object_vars().empty() || !t.attr_vars().empty()) {
+            return Status::Unimplemented(
+                "negation over free variables is outside the extended conjunctive "
+                "class (section 2.5); use ReferenceEngine for general formulas");
+          }
+        }
+        {
+        HTL_OBS_SPAN(span, env_.trace, "op.complement");
+        span.AddRows(reg_rows(ins.lhs));
+        if (!skip_kernel(ins)) {
+          if (ins.is_list() && p.registers[ins.lhs].is_list) {
+            kernel::EntrySpan a = frame.Span(ins.lhs);
+            ArenaVec<SimEntry> out(&arena, 2 * a.size + 1);
+            kernel::ComplementInto(a, ins.lhs_max, bounds, out);
+            CanonicalizeInPlace(out);
+            frame.SetList(ins.dst, out.data(), out.size(), ins.static_max);
+          } else {
+            // Runtime-closed table operand: the interpreter's heap path.
+            SimilarityTable scratch;
+            SimilarityTable negated = SimilarityTable::FromList(Complement(
+                reg_as_table(ins.lhs, scratch).ToList(ins.lhs_max), bounds));
+            if (ins.is_list()) {
+              table_to_list_reg(ins, negated);
+            } else {
+              frame.regs[ins.dst].table = std::move(negated);
+              frame.regs[ins.dst].computed = true;
+            }
+          }
+        }
+        }
+        maybe_publish(ins);
+        leave_depth();
+        break;
+      }
+
+      case OpCode::kLevelEval: {
+        const LevelSlot& slot = p.levels[ins.aux];
+        {
+        HTL_OBS_SPAN(span, env_.trace, "op.level_eval");
+        // ResolveLevel, inlined: kNextLevel may exceed num_levels (zeroes);
+        // absolute/named targets must lie strictly below the current level.
+        int target = 0;
+        switch (slot.spec.kind) {
+          case LevelSpec::Kind::kNextLevel:
+            target = level + 1;
+            break;
+          case LevelSpec::Kind::kAbsolute:
+            target = slot.spec.level;
+            break;
+          case LevelSpec::Kind::kNamed: {
+            HTL_ASSIGN_OR_RETURN(target, env_.video->LevelByName(slot.spec.name));
+            break;
+          }
+        }
+        if (slot.spec.kind != LevelSpec::Kind::kNextLevel &&
+            (target <= level || target > env_.video->num_levels())) {
+          return Status::InvalidArgument(
+              StrCat("level operator targets level ", target, " from level ", level));
+        }
+        if (target > env_.video->num_levels()) {
+          // at-next-level below the leaves: similarity zero everywhere.
+          if (ins.is_list()) {
+            frame.SetList(ins.dst, nullptr, 0, ins.static_max);
+          } else {
+            frame.regs[ins.dst].table = SimilarityTable();
+            frame.regs[ins.dst].computed = true;
+          }
+        } else {
+        if (frame.subframes[slot.subprogram] == nullptr) {
+          auto sub = std::make_unique<Frame>(&p.subprograms[slot.subprogram], nullptr);
+          sub->owned_arena = std::make_unique<Arena>();
+          sub->arena = sub->owned_arena.get();
+          frame.subframes[slot.subprogram] = std::move(sub);
+        }
+        Frame& sub = *frame.subframes[slot.subprogram];
+        const Program& sp = *sub.prog;
+        const bool sub_is_list = sp.registers[sp.root_reg].is_list;
+        LevelAccumulator acc;
+        for (SegmentId pos = bounds.begin; pos <= bounds.end; ++pos) {
+          HTL_CHECK_EXEC(env_.exec);
+          const Interval seq = slot.spec.kind == LevelSpec::Kind::kNextLevel
+                                   ? env_.video->Children(level, pos)
+                                   : env_.video->DescendantsAtLevel(level, pos, target);
+          if (seq.empty()) continue;
+          env_.level_evaluations->Increment();
+          HTL_OBS_COUNT("engine.level_evaluations", 1);
+          HTL_RETURN_IF_ERROR(RunFrame(sub, target, seq));
+          if (sub_is_list) {
+            const Frame::RegSlot& root = sub.regs[sp.root_reg];
+            if (!acc.has_schema()) acc.SetSchema({}, {});
+            if (root.size > 0) {
+              acc.Add(pos, SpanActualAt(kernel::EntrySpan{root.data, root.size},
+                                        seq.begin),
+                      {}, {});
+            }
+          } else {
+            const SimilarityTable& t = sub.regs[sp.root_reg].table;
+            if (!acc.has_schema()) acc.SetSchema(t.object_vars(), t.attr_vars());
+            for (const SimilarityTable::Row& row : t.rows()) {
+              acc.Add(pos, row.list.ActualAt(seq.begin), row.objects, row.ranges);
+            }
+          }
+        }
+        HTL_ASSIGN_OR_RETURN(SimilarityTable out, acc.Finish(slot.body_max));
+        // Level subtrees are never common-sub-plan deduped (their bounds
+        // differ per position), so no skip check here.
+        if (ins.is_list()) {
+          table_to_list_reg(ins, out);
+        } else {
+          frame.regs[ins.dst].table = std::move(out);
+          frame.regs[ins.dst].computed = true;
+        }
+        }
+        }
+        maybe_publish(ins);
+        leave_depth();
+        break;
+      }
+
+      case OpCode::kEmit:
+        return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vm
+}  // namespace htl

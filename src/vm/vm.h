@@ -1,0 +1,115 @@
+#ifndef HTL_VM_VM_H_
+#define HTL_VM_VM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/sim_list_cache.h"
+#include "engine/exec_context.h"
+#include "engine/query_options.h"
+#include "model/video.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "picture/picture_system.h"
+#include "sim/sim_table.h"
+#include "util/result.h"
+#include "vm/arena.h"
+#include "vm/bytecode.h"
+
+namespace htl {
+namespace vm {
+
+/// Everything one program execution borrows from its engine. The VM shares
+/// the engine's caches and counters so interpret and vm modes on the same
+/// DirectEngine are indistinguishable from the outside: atomic tables and
+/// value tables cached by one executor are served to the other, the
+/// EngineStats counters aggregate across modes, and the cross-query
+/// similarity-list cache sees the same probe/publish traffic.
+/// All borrowed; everything must outlive the executor's Run calls.
+struct ExecEnv {
+  const VideoTree* video = nullptr;
+  PictureSystem* pictures = nullptr;
+  ExecContext* exec = nullptr;        // Null = unlimited.
+  obs::QueryTrace* trace = nullptr;   // Null = unprofiled.
+
+  double until_threshold = 0.5;  // QueryOptions::until_threshold.
+
+  cache::SimListCache* list_cache = nullptr;  // Null disables probes.
+  int64_t cache_video_id = 0;
+  uint64_t cache_epoch = 0;
+  CacheMode cache_mode = CacheMode::kOff;
+
+  std::map<std::pair<std::string, int>, SimilarityTable>* atomic_cache = nullptr;
+  std::map<std::pair<std::string, int>, ValueTable>* value_cache = nullptr;
+
+  // The engine's live counters (EngineStats backing); all required.
+  obs::Counter* atomic_queries = nullptr;
+  obs::Counter* atomic_cache_hits = nullptr;
+  obs::Counter* table_joins = nullptr;
+  obs::Counter* exists_collapses = nullptr;
+  obs::Counter* freeze_joins = nullptr;
+  obs::Counter* level_evaluations = nullptr;
+};
+
+/// The result register after a successful Run: either an arena-backed run
+/// span (closed formulas — valid until the next Run or arena reset) or a
+/// borrowed table (open formulas).
+struct RootView {
+  bool is_list = false;
+  const SimEntry* data = nullptr;  // List form.
+  size_t size = 0;
+  double max = 0.0;
+  const SimilarityTable* table = nullptr;  // Table form.
+};
+
+/// Executes one compiled Program (vm/compiler.h) over one video. A small
+/// switch-dispatch loop over the flat instruction stream: closed
+/// subformulas run the shared merge kernels (sim/merge_kernels.h) straight
+/// into the arena — zero heap traffic; open subformulas fall back to the
+/// heap table kernels in sim/table_ops.cc, exactly the interpreter's code.
+///
+/// The executor owns a register frame per program (and one per level-body
+/// subprogram, reused across the sweep positions) but borrows the arena:
+/// the engine resets it once per evaluation. Not thread-safe; one executor
+/// serves one evaluation at a time, but distinct executors may run the
+/// same immutable Program concurrently.
+class Executor {
+ public:
+  /// `program`, `env` contents and `arena` must outlive the executor.
+  Executor(const Program& program, const ExecEnv& env, Arena* arena);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Runs the program for the segment sequence `bounds` at `level`. On
+  /// error, depth budget acquired so far is released (mirroring the
+  /// interpreter's scope unwinding). The caller resets the arena between
+  /// runs; results are valid until then.
+  Status Run(int level, Interval bounds);
+
+  /// The root register after a successful Run.
+  RootView Root() const;
+
+  /// Heap materialization of a view, firing the same sim.* traffic the
+  /// interpreter's SimilarityTable::ToList would (MultiMax on nonempty).
+  static SimilarityList MaterializeList(const RootView& view, double fallback_max);
+
+ private:
+  struct Frame;
+
+  Status RunFrame(Frame& frame, int level, Interval bounds);
+  Status RunCode(Frame& frame, int level, Interval bounds, int& live_depth);
+
+  const Program& program_;
+  ExecEnv env_;
+  std::unique_ptr<Frame> main_;
+};
+
+}  // namespace vm
+}  // namespace htl
+
+#endif  // HTL_VM_VM_H_

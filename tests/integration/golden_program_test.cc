@@ -1,0 +1,118 @@
+// Golden snapshots of vm::Disassemble() over representative formulas — one
+// per supported class plus the option-sensitive variants (fuzzy and, cache
+// keys). The listing pins everything the compiler bakes into a program:
+// instruction stream, register typing, static maxima, CSE sharing, cache
+// keys, constant pools, and level subprograms. An unintended compiler change
+// shows up as a byte diff here before it can reach the differential battery.
+//
+// To regenerate after an intentional compiler change, run integration_tests
+// with HTL_REGEN_GOLDEN=1 and --gtest_filter='GoldenProgramTest.*', then
+// review the diff under tests/integration/golden/ (see CONTRIBUTING.md).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "htl/binder.h"
+#include "htl/parser.h"
+#include "testing/helpers.h"
+#include "vm/bytecode.h"
+#include "vm/compiler.h"
+#include "workload/casablanca.h"
+
+namespace htl {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(HTL_TEST_SRCDIR) + "/integration/golden/" + name;
+}
+
+void CompareToGolden(const std::string& name, const std::string& rendered) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("HTL_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << rendered;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (regenerate with HTL_REGEN_GOLDEN=1)";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(rendered, want.str())
+      << "program listing drifted from " << path
+      << " — if intentional, regenerate with HTL_REGEN_GOLDEN=1 and review";
+}
+
+std::string CompileAndDisassemble(std::string_view text,
+                                  QueryOptions options = {}) {
+  auto parsed = ParseFormula(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  FormulaPtr f = std::move(parsed).value();
+  Status bound = Bind(f.get());
+  EXPECT_TRUE(bound.ok()) << bound.ToString();
+  auto program = vm::Compile(*f, options);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return vm::Disassemble(program.value());
+}
+
+TEST(GoldenProgramTest, Type1TemporalChain) {
+  CompareToGolden("program_type1.txt",
+                  CompileAndDisassemble(
+                      "exists x (moving(x)) until "
+                      "(exists y (armed(y)) and eventually exists x (moving(x)))"));
+}
+
+TEST(GoldenProgramTest, ConjunctiveWithFreeze) {
+  CompareToGolden("program_conjunctive_freeze.txt",
+                  CompileAndDisassemble(
+                      "exists z (type(z) = 'person' and "
+                      "[h <- type(z)] eventually (type(z) = h))"));
+}
+
+TEST(GoldenProgramTest, ExtendedConjunctiveWithLevelSubprogram) {
+  CompareToGolden(
+      "program_extended_level.txt",
+      CompileAndDisassemble("exists x (moving(x)) and "
+                            "at-next-level(eventually exists y (armed(y)))"));
+}
+
+TEST(GoldenProgramTest, GeneralWithClosedNegationAndSharedSubplan) {
+  // The duplicated until-subtree must disassemble as one register with the
+  // second occurrence marked may_skip (CSE via canonical fingerprints).
+  CompareToGolden("program_general_cse.txt",
+                  CompileAndDisassemble(
+                      "not ((exists x (moving(x)) until exists y (armed(y))) or "
+                      "(exists x (moving(x)) until exists y (armed(y))))"));
+}
+
+TEST(GoldenProgramTest, CasablancaQueryOne) {
+  FormulaPtr f = casablanca::Query1Full();
+  ASSERT_OK(Bind(f.get()));
+  auto program = vm::Compile(*f, QueryOptions{});
+  ASSERT_OK(program.status());
+  CompareToGolden("program_casablanca_q1.txt", vm::Disassemble(program.value()));
+}
+
+TEST(GoldenProgramTest, OptionsChangeTheProgram) {
+  // Fuzzy and-semantics flips the instruction flag; caching mints key pools.
+  QueryOptions fuzzy;
+  fuzzy.and_semantics = AndSemantics::kFuzzyMin;
+  CompareToGolden("program_fuzzy_and.txt",
+                  CompileAndDisassemble(
+                      "exists x (moving(x)) and exists y (armed(y))", fuzzy));
+
+  QueryOptions cached;
+  cached.cache_mode = CacheMode::kReadWrite;
+  CompareToGolden("program_cached_keys.txt",
+                  CompileAndDisassemble(
+                      "eventually (exists x (moving(x)) and exists y (armed(y)))",
+                      cached));
+}
+
+}  // namespace
+}  // namespace htl

@@ -1,0 +1,467 @@
+// The differential proof behind QueryOptions::engine_mode = kVm: on random
+// videos and random formulas from all four supported classes, the bytecode
+// VM (src/vm/) reproduces the tree-walk interpreter bit for bit — result
+// lists, error statuses, operator trace spans, and ExecContext budget
+// charges — serial and parallel, cached and uncached, strict and degraded
+// (injected faults, blown budgets). Any divergence is shrunk to a minimal
+// failing subformula before it is reported.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/sim_list_cache.h"
+#include "engine/direct_engine.h"
+#include "engine/exec_context.h"
+#include "engine/retrieval.h"
+#include "htl/binder.h"
+#include "htl/classifier.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "testing/helpers.h"
+#include "util/fault_point.h"
+#include "util/rng.h"
+#include "workload/formula_gen.h"
+#include "workload/video_gen.h"
+
+namespace htl {
+namespace {
+
+// ---------------------------------------------------------------------------
+// One engine run and everything observable about it.
+
+struct RunConfig {
+  QueryOptions options;          // engine_mode is overridden per run.
+  ExecBudgets budgets;           // Defaults to unlimited.
+  int level = 2;
+  int runs = 1;                  // >1 exercises warm engine-local caches.
+  bool with_list_cache = false;  // Fresh per-engine cross-query cache.
+  std::string fault_point;       // Non-empty arms the registry per engine.
+  FaultSpec fault_spec;
+  uint64_t fault_seed = 1;
+};
+
+struct Observed {
+  std::vector<Result<SimilarityList>> results;  // One per run.
+  EngineStats stats;
+  ExecContext::UnitUsage usage;  // After the final run.
+  std::string profile;           // Normalized span tree (no timings).
+};
+
+void RenderNode(const obs::QueryProfile::Node& n, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(n.name);
+  if (n.unit >= 0) out->append(" unit=" + std::to_string(n.unit));
+  out->append(" rows=" + std::to_string(n.stats.rows));
+  out->append(" intervals=" + std::to_string(n.stats.intervals));
+  out->append(" tables=" + std::to_string(n.stats.tables));
+  if (!n.note.empty()) out->append(" note=" + n.note);
+  out->push_back('\n');
+  for (const obs::QueryProfile::Node& c : n.children) RenderNode(c, depth + 1, out);
+}
+
+// Span structure, operator counts, notes and fault trips — everything the
+// profile pins except wall time.
+std::string RenderProfile(const obs::QueryProfile& p) {
+  std::string out;
+  for (const obs::QueryProfile::Node& n : p.roots) RenderNode(n, 0, &out);
+  for (const obs::QueryProfile::FaultTrip& t : p.fault_trips) {
+    out += "fault " + t.point + ": " + t.status + "\n";
+  }
+  return out;
+}
+
+Observed RunEngine(EngineMode mode, const VideoTree& video, const Formula& f,
+                   const RunConfig& cfg) {
+  Observed seen;
+  QueryOptions options = cfg.options;
+  options.engine_mode = mode;
+  DirectEngine engine(&video, options);
+  // Per-engine cache: both executors face the same cold/warm sequence.
+  std::optional<cache::SimListCache> list_cache;
+  if (cfg.with_list_cache) {
+    list_cache.emplace(cache::CacheConfig{options.list_cache_bytes,
+                                          options.cache_shards});
+    engine.set_list_cache(&*list_cache, /*video_id=*/7);
+    engine.set_cache_epoch(3);
+  }
+  ExecContext exec;
+  exec.mutable_budgets() = cfg.budgets;
+  obs::QueryTrace trace;
+  exec.set_trace(&trace);
+  engine.set_exec_context(&exec);
+  // Identical fault countdowns for both executors: re-seed and re-arm
+  // immediately before each engine's runs.
+  if (!cfg.fault_point.empty()) {
+    FaultRegistry::Instance().DisableAll();
+    FaultRegistry::Instance().Seed(cfg.fault_seed);
+    FaultRegistry::Instance().Enable(cfg.fault_point, cfg.fault_spec);
+  }
+  {
+    obs::ScopedTraceAttach attach(&trace);  // Fault trips land in the trace.
+    for (int run = 0; run < cfg.runs; ++run) {
+      exec.BeginUnit();  // Budgets bound each run, like the retriever.
+      seen.results.push_back(engine.EvaluateList(cfg.level, f));
+    }
+  }
+  if (!cfg.fault_point.empty()) FaultRegistry::Instance().DisableAll();
+  seen.usage = exec.unit_usage();
+  seen.stats = engine.stats();
+  seen.profile = RenderProfile(trace.Finish());
+  return seen;
+}
+
+// ---------------------------------------------------------------------------
+// The parity surface: results, statuses, spans, budget charges, counters.
+
+std::string DescribeRun(const Result<SimilarityList>& r) {
+  if (!r.ok()) return "status{" + r.status().ToString() + "}";
+  return "list{" + r.value().ToString() + "}";
+}
+
+::testing::AssertionResult SameObservations(const Observed& interp,
+                                            const Observed& vm) {
+  if (interp.results.size() != vm.results.size()) {
+    return ::testing::AssertionFailure() << "run-count mismatch";
+  }
+  bool any_error = false;
+  for (size_t i = 0; i < interp.results.size(); ++i) {
+    const Result<SimilarityList>& a = interp.results[i];
+    const Result<SimilarityList>& b = vm.results[i];
+    if (a.ok() != b.ok() || (a.ok() && !(a.value() == b.value())) ||
+        (!a.ok() && !(a.status() == b.status()))) {
+      return ::testing::AssertionFailure()
+             << "run " << i << " diverged:\n  interpreter: " << DescribeRun(a)
+             << "\n  vm:          " << DescribeRun(b);
+    }
+    if (!a.ok()) any_error = true;
+  }
+  if (!(interp.usage == vm.usage)) {
+    return ::testing::AssertionFailure()
+           << "budget charges diverged: interpreter rows=" << interp.usage.rows
+           << " tables=" << interp.usage.tables << " depth=" << interp.usage.depth
+           << " vs vm rows=" << vm.usage.rows << " tables=" << vm.usage.tables
+           << " depth=" << vm.usage.depth;
+  }
+  if (interp.profile != vm.profile) {
+    return ::testing::AssertionFailure()
+           << "trace spans diverged:\n--- interpreter ---\n" << interp.profile
+           << "--- vm ---\n" << vm.profile;
+  }
+  // Counters compare only when every run succeeded: the interpreter counts
+  // an exists collapse *before* evaluating its child, the VM after (its
+  // bytecode is post-order), so an error inside the child legitimately
+  // leaves the two counters one apart. On success the totals are equal.
+  if (!any_error) {
+    const EngineStats& a = interp.stats;
+    const EngineStats& b = vm.stats;
+    if (a.atomic_queries != b.atomic_queries ||
+        a.atomic_cache_hits != b.atomic_cache_hits ||
+        a.table_joins != b.table_joins ||
+        a.exists_collapses != b.exists_collapses ||
+        a.freeze_joins != b.freeze_joins ||
+        a.level_evaluations != b.level_evaluations) {
+      return ::testing::AssertionFailure()
+             << "EngineStats diverged: interpreter {" << a.atomic_queries << ","
+             << a.atomic_cache_hits << "," << a.table_joins << ","
+             << a.exists_collapses << "," << a.freeze_joins << ","
+             << a.level_evaluations << "} vs vm {" << b.atomic_queries << ","
+             << b.atomic_cache_hits << "," << b.table_joins << ","
+             << b.exists_collapses << "," << b.freeze_joins << ","
+             << b.level_evaluations << "}";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking: walk down to the smallest closed subformula that still
+// diverges, so a failure names a minimal reproducer, not a depth-4 monster.
+
+using FailPred = std::function<bool(const Formula&)>;
+
+const Formula* ShrinkToMinimal(const Formula* f, const FailPred& diverges) {
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    for (const Formula* child : {f->left.get(), f->right.get()}) {
+      if (child == nullptr) continue;
+      if (!FreeObjectVars(*child).empty() || !FreeAttrVars(*child).empty()) {
+        continue;  // Open subtrees are not evaluable on their own.
+      }
+      if (diverges(*child)) {
+        f = child;
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return f;
+}
+
+struct ClassCoverage {
+  int counts[5] = {0, 0, 0, 0, 0};
+  void Count(FormulaClass c) { ++counts[static_cast<int>(c)]; }
+};
+
+// Runs the differential comparison for one generated formula; on divergence,
+// shrinks and fails with the minimal formula.
+void ExpectEnginesIdentical(const VideoTree& video, const Formula& f,
+                            const RunConfig& cfg, uint64_t seed) {
+  auto diverges = [&](const Formula& g) {
+    return !SameObservations(RunEngine(EngineMode::kInterpret, video, g, cfg),
+                             RunEngine(EngineMode::kVm, video, g, cfg));
+  };
+  Observed interp = RunEngine(EngineMode::kInterpret, video, f, cfg);
+  Observed vm = RunEngine(EngineMode::kVm, video, f, cfg);
+  ::testing::AssertionResult same = SameObservations(interp, vm);
+  if (same) return;
+  const Formula* minimal = ShrinkToMinimal(&f, diverges);
+  ADD_FAILURE() << same.message() << "\nseed " << seed << "\nformula: "
+                << f.ToString() << "\nminimal reproducer: " << minimal->ToString();
+}
+
+// One generated (video, formula) pair per seed. Returns the formula's class
+// so callers can assert coverage.
+FormulaClass DifferentialTrial(uint64_t seed, const FormulaGenOptions& fopts_in,
+                               int video_levels, const RunConfig& cfg_in) {
+  Rng rng(seed);
+  VideoGenOptions vopts;
+  vopts.levels = video_levels;
+  vopts.min_branching = video_levels == 2 ? 5 : 2;
+  vopts.max_branching = video_levels == 2 ? 10 : 4;
+  vopts.num_objects = 4;
+  VideoTree video = GenerateVideo(rng, vopts);
+
+  FormulaGenOptions fopts = fopts_in;
+  fopts.max_levels = video.num_levels();
+  FormulaPtr f = GenerateFormula(rng, fopts);
+  Status bound = Bind(f.get());
+  EXPECT_TRUE(bound.ok()) << bound.ToString() << "\n" << f->ToString();
+
+  RunConfig cfg = cfg_in;
+  cfg.level = fopts.allow_level ? 2 : video.num_levels();
+  ExpectEnginesIdentical(video, *f, cfg, seed);
+  return Classify(*f);
+}
+
+// The four generator shapes that together cover every supported class.
+FormulaGenOptions ShapeType1() {
+  FormulaGenOptions o;
+  o.allow_exists = false;
+  o.allow_freeze = false;
+  return o;
+}
+FormulaGenOptions ShapeConjunctive() { return FormulaGenOptions{}; }
+FormulaGenOptions ShapeExtended() {
+  FormulaGenOptions o;
+  o.allow_level = true;
+  return o;
+}
+FormulaGenOptions ShapeGeneral() {
+  FormulaGenOptions o;
+  o.allow_or = true;
+  o.allow_closed_not = true;
+  return o;
+}
+
+void SweepAllShapes(uint64_t seed_base, const RunConfig& cfg, int trials) {
+  ClassCoverage coverage;
+  auto covered = [&] {
+    return coverage.counts[static_cast<int>(FormulaClass::kType1)] > 0 &&
+           coverage.counts[static_cast<int>(FormulaClass::kType2)] +
+                   coverage.counts[static_cast<int>(FormulaClass::kConjunctive)] >
+               0 &&
+           coverage.counts[static_cast<int>(FormulaClass::kExtendedConjunctive)] > 0 &&
+           coverage.counts[static_cast<int>(FormulaClass::kGeneral)] > 0;
+  };
+  // The configured trial count always runs; short sweeps then top up with
+  // further seeded rounds until every class has appeared (the generator is
+  // random, so a couple of rounds need not hit e.g. kExtendedConjunctive).
+  constexpr int kMaxTopUpRounds = 24;
+  for (int round = 0; round < trials + kMaxTopUpRounds; ++round) {
+    if (round >= trials && covered()) break;
+    const uint64_t seed = seed_base + static_cast<uint64_t>(round);
+    coverage.Count(DifferentialTrial(seed, ShapeType1(), 2, cfg));
+    coverage.Count(DifferentialTrial(seed + 100, ShapeConjunctive(), 2, cfg));
+    coverage.Count(DifferentialTrial(seed + 200, ShapeExtended(), 3, cfg));
+    coverage.Count(DifferentialTrial(seed + 300, ShapeGeneral(), 2, cfg));
+  }
+  // All four supported classes (and the general extension) must have been
+  // exercised — a generator regression would otherwise hollow out the proof.
+  EXPECT_GT(coverage.counts[static_cast<int>(FormulaClass::kType1)], 0);
+  EXPECT_GT(coverage.counts[static_cast<int>(FormulaClass::kType2)] +
+                coverage.counts[static_cast<int>(FormulaClass::kConjunctive)],
+            0);
+  EXPECT_GT(coverage.counts[static_cast<int>(FormulaClass::kExtendedConjunctive)], 0);
+  EXPECT_GT(coverage.counts[static_cast<int>(FormulaClass::kGeneral)], 0);
+}
+
+// ---------------------------------------------------------------------------
+// The battery.
+
+TEST(VmDifferentialTest, SerialUncachedAllClasses) {
+  RunConfig cfg;
+  SweepAllShapes(/*seed_base=*/1, cfg, /*trials=*/6);
+}
+
+TEST(VmDifferentialTest, FuzzyAndSemanticsAndUntilThreshold) {
+  RunConfig cfg;
+  cfg.options.and_semantics = AndSemantics::kFuzzyMin;
+  cfg.options.until_threshold = 0.3;
+  SweepAllShapes(/*seed_base=*/40, cfg, /*trials=*/4);
+}
+
+TEST(VmDifferentialTest, WarmEngineCachesSecondRun) {
+  // Two runs through each engine: the second is served by the per-engine
+  // atomic/value caches, which both executors share by construction.
+  RunConfig cfg;
+  cfg.runs = 2;
+  SweepAllShapes(/*seed_base=*/80, cfg, /*trials=*/3);
+}
+
+TEST(VmDifferentialTest, CrossQueryListCacheColdAndWarm) {
+  RunConfig cfg;
+  cfg.options.cache_mode = CacheMode::kReadWrite;
+  cfg.with_list_cache = true;
+  cfg.runs = 2;  // Cold fill, then warm probe hits.
+  SweepAllShapes(/*seed_base=*/120, cfg, /*trials=*/3);
+}
+
+TEST(VmDifferentialTest, BlownBudgetsProduceIdenticalStatuses) {
+  for (int variant = 0; variant < 3; ++variant) {
+    RunConfig cfg;
+    if (variant == 0) cfg.budgets.max_rows = 40;
+    if (variant == 1) cfg.budgets.max_tables = 3;
+    if (variant == 2) cfg.budgets.max_depth = 3;
+    SCOPED_TRACE(variant);
+    SweepAllShapes(/*seed_base=*/160 + static_cast<uint64_t>(variant) * 1000, cfg,
+                   /*trials=*/3);
+  }
+}
+
+TEST(VmDifferentialTest, InjectedFaultsSurfaceIdentically) {
+  for (const char* point :
+       {"engine.table_join", "picture.query", "engine.value_table"}) {
+    RunConfig cfg;
+    cfg.fault_point = point;
+    cfg.fault_spec.fire_on_hit = 2;  // Past the first hit: mid-evaluation.
+    cfg.fault_spec.sticky = true;
+    SCOPED_TRACE(point);
+    SweepAllShapes(/*seed_base=*/250, cfg, /*trials=*/2);
+  }
+}
+
+TEST(VmDifferentialTest, ProbabilisticFaultsWithSharedSeed) {
+  RunConfig cfg;
+  cfg.fault_point = "picture.query";
+  cfg.fault_spec.probability = 0.5;
+  cfg.fault_seed = 11;  // Re-seeded per engine: identical fault draws.
+  SweepAllShapes(/*seed_base=*/300, cfg, /*trials=*/2);
+}
+
+TEST(VmDifferentialTest, DegradedCacheSeamsStayIdentical) {
+  for (const char* point : {"cache.lookup", "cache.fill"}) {
+    RunConfig cfg;
+    cfg.options.cache_mode = CacheMode::kReadWrite;
+    cfg.with_list_cache = true;
+    cfg.runs = 2;
+    cfg.fault_point = point;
+    SCOPED_TRACE(point);
+    SweepAllShapes(/*seed_base=*/350, cfg, /*trials=*/2);
+  }
+}
+
+TEST(VmDifferentialTest, EvaluateVideoAgreesBitForBit) {
+  for (uint64_t seed = 400; seed < 408; ++seed) {
+    Rng rng(seed);
+    VideoGenOptions vopts;
+    vopts.levels = 2;
+    VideoTree video = GenerateVideo(rng, vopts);
+    FormulaPtr f = GenerateFormula(rng, FormulaGenOptions{});
+    ASSERT_OK(Bind(f.get()));
+    QueryOptions interp_opts;
+    interp_opts.engine_mode = EngineMode::kInterpret;
+    QueryOptions vm_opts;
+    vm_opts.engine_mode = EngineMode::kVm;
+    DirectEngine interp(&video, interp_opts);
+    DirectEngine vm(&video, vm_opts);
+    Result<Sim> a = interp.EvaluateVideo(*f);
+    Result<Sim> b = vm.EvaluateVideo(*f);
+    ASSERT_EQ(a.ok(), b.ok()) << f->ToString();
+    if (a.ok()) {
+      EXPECT_TRUE(a.value() == b.value())
+          << "seed " << seed << " formula: " << f->ToString();
+    } else {
+      EXPECT_TRUE(a.status() == b.status()) << f->ToString();
+    }
+  }
+}
+
+TEST(VmDifferentialTest, DifferentialModeIsGreenAndCatchesNothing) {
+  // engine_mode=kDifferential re-proves the equivalence inside the engine on
+  // every call; over the sweep it must never trip its Internal divergence
+  // check, and must return the interpreter's (== VM's) answer.
+  for (uint64_t seed = 500; seed < 506; ++seed) {
+    Rng rng(seed);
+    VideoGenOptions vopts;
+    vopts.levels = 2;
+    VideoTree video = GenerateVideo(rng, vopts);
+    FormulaPtr f = GenerateFormula(rng, FormulaGenOptions{});
+    ASSERT_OK(Bind(f.get()));
+    QueryOptions diff_opts;
+    diff_opts.engine_mode = EngineMode::kDifferential;
+    DirectEngine diff(&video, diff_opts);
+    DirectEngine plain(&video);  // Default mode: the VM.
+    Result<SimilarityList> got = diff.EvaluateList(video.num_levels(), *f);
+    Result<SimilarityList> want = plain.EvaluateList(video.num_levels(), *f);
+    ASSERT_EQ(got.ok(), want.ok())
+        << got.status().ToString() << " formula: " << f->ToString();
+    if (got.ok()) {
+      EXPECT_TRUE(got.value() == want.value()) << f->ToString();
+    }
+  }
+}
+
+// Retriever-level: the VM under the full parallel retrieval path (worker
+// pool, per-video engines, ranking) returns exactly the serial
+// interpreter's hits.
+TEST(VmDifferentialTest, ParallelVmRetrievalMatchesSerialInterpreter) {
+  Rng rng(777);
+  MetadataStore store;
+  VideoGenOptions vopts;
+  vopts.levels = 2;
+  for (int v = 0; v < 4; ++v) store.AddVideo(GenerateVideo(rng, vopts));
+
+  FormulaGenOptions fopts;
+  for (int trial = 0; trial < 4; ++trial) {
+    FormulaPtr f = GenerateFormula(rng, fopts);
+    ASSERT_OK(Bind(f.get()));
+
+    QueryOptions serial_interp;
+    serial_interp.parallelism = 1;
+    serial_interp.engine_mode = EngineMode::kInterpret;
+    QueryOptions parallel_vm;
+    parallel_vm.parallelism = 4;
+    parallel_vm.engine_mode = EngineMode::kVm;
+
+    Retriever a(&store, serial_interp);
+    Retriever b(&store, parallel_vm);
+    auto want = a.TopSegmentsWithReport(*f, 2, 16);
+    auto got = b.TopSegmentsWithReport(*f, 2, 16);
+    ASSERT_EQ(want.ok(), got.ok()) << f->ToString();
+    if (!want.ok()) continue;
+    ASSERT_EQ(got->hits.size(), want->hits.size()) << f->ToString();
+    for (size_t i = 0; i < got->hits.size(); ++i) {
+      EXPECT_EQ(got->hits[i].video, want->hits[i].video) << f->ToString();
+      EXPECT_EQ(got->hits[i].segment, want->hits[i].segment);
+      EXPECT_EQ(got->hits[i].sim, want->hits[i].sim);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace htl

@@ -1,0 +1,227 @@
+#include "vm/compiler.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "htl/binder.h"
+#include "htl/classifier.h"
+#include "htl/parser.h"
+#include "testing/helpers.h"
+#include "vm/bytecode.h"
+
+namespace htl {
+namespace vm {
+namespace {
+
+FormulaPtr Parse(std::string_view text) {
+  auto r = ParseFormula(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  FormulaPtr f = std::move(r).value();
+  Status s = Bind(f.get());
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return f;
+}
+
+Program MustCompile(std::string_view text, QueryOptions options = {}) {
+  FormulaPtr f = Parse(text);
+  auto p = Compile(*f, options);
+  EXPECT_TRUE(p.ok()) << p.status().ToString() << "\nformula: " << text;
+  return std::move(p).value();
+}
+
+int CountOp(const Program& p, OpCode op) {
+  int n = 0;
+  for (const Instruction& ins : p.code) {
+    if (ins.op == op) ++n;
+  }
+  return n;
+}
+
+TEST(CompilerTest, AtomicFormulaIsOneLoadBetweenEnterAndEmit) {
+  Program p = MustCompile("exists x (moving(x))");
+  // exists over an atomic subtree is itself atomic-shaped: one picture query.
+  ASSERT_EQ(p.code.size(), 3u);
+  EXPECT_EQ(p.code[0].op, OpCode::kEnter);
+  EXPECT_EQ(p.code[1].op, OpCode::kLoadAtomic);
+  EXPECT_EQ(p.code[2].op, OpCode::kEmit);
+  ASSERT_EQ(p.atomics.size(), 1u);
+  EXPECT_EQ(p.atomics[0].text, "exists x (moving(x))");
+  // Closed formula: the root register is an arena list.
+  EXPECT_TRUE(p.code[1].is_list());
+  EXPECT_TRUE(p.registers[p.root_reg].is_list);
+  EXPECT_EQ(p.formula_class, Classify(*Parse("exists x (moving(x))")));
+}
+
+TEST(CompilerTest, PostOrderMirrorsInterpreterRecursion) {
+  Program p = MustCompile(
+      "exists x (moving(x)) and eventually (exists y (armed(y)))");
+  // Post-order: both operands complete before the join; every node is
+  // framed by its own kEnter (the depth poll / probe site).
+  EXPECT_EQ(CountOp(p, OpCode::kEnter), 4);  // and, lhs, eventually, rhs.
+  EXPECT_EQ(CountOp(p, OpCode::kLoadAtomic), 2);
+  EXPECT_EQ(CountOp(p, OpCode::kEventually), 1);
+  EXPECT_EQ(CountOp(p, OpCode::kAndMerge), 1);
+  EXPECT_EQ(p.code[p.code.size() - 1].op, OpCode::kEmit);
+  const Instruction& join = p.code[p.code.size() - 2];
+  EXPECT_EQ(join.op, OpCode::kAndMerge);
+  EXPECT_EQ(join.dst, p.root_reg);
+  // Static maxima are baked in for the join operands.
+  EXPECT_GT(join.lhs_max, 0.0);
+  EXPECT_GT(join.rhs_max, 0.0);
+  EXPECT_EQ(join.static_max, join.lhs_max + join.rhs_max);
+  EXPECT_EQ(p.root_max, join.static_max);
+}
+
+TEST(CompilerTest, FuzzySemanticsAreBakedIntoTheInstruction) {
+  // The temporal operand keeps the conjunction from collapsing into a
+  // single picture query, so a real kAndMerge is emitted.
+  const char* text = "exists x (moving(x)) and eventually (exists y (armed(y)))";
+  QueryOptions fuzzy;
+  fuzzy.and_semantics = AndSemantics::kFuzzyMin;
+  Program sum = MustCompile(text);
+  Program min = MustCompile(text, fuzzy);
+  auto flag_of_join = [](const Program& p) {
+    for (const Instruction& ins : p.code) {
+      if (ins.op == OpCode::kAndMerge) return ins.fuzzy();
+    }
+    ADD_FAILURE() << "no kAndMerge emitted";
+    return false;
+  };
+  EXPECT_FALSE(flag_of_join(sum));
+  EXPECT_TRUE(flag_of_join(min));
+}
+
+TEST(CompilerTest, FreeVariableSubtreesGetTableRegisters) {
+  // `moving(x) until armed(x)` under one exists: the until keeps the body
+  // from collapsing into one picture query, so its operands materialize as
+  // tables carrying the free object variable x; the collapse closes it.
+  Program p = MustCompile("exists x (moving(x) until armed(x))");
+  EXPECT_TRUE(p.registers[p.root_reg].is_list);
+  bool saw_table_register = false;
+  for (const Instruction& ins : p.code) {
+    if (ins.op == OpCode::kLoadAtomic && !ins.is_list()) saw_table_register = true;
+  }
+  EXPECT_TRUE(saw_table_register)
+      << "operand registers under the quantifier must be tables";
+  bool saw_table_until = false;
+  for (const Instruction& ins : p.code) {
+    if (ins.op == OpCode::kUntilMerge && !ins.is_list()) saw_table_until = true;
+  }
+  EXPECT_TRUE(saw_table_until);
+  EXPECT_EQ(CountOp(p, OpCode::kExistsCollapse), 1);
+}
+
+TEST(CompilerTest, DuplicateClosedSubtreesShareARegister) {
+  Program p = MustCompile(
+      "(exists x (moving(x)) until exists y (armed(y))) and "
+      "(exists x (moving(x)) until exists y (armed(y)))");
+  // The two until-subtrees have equal canonical fingerprints: one register,
+  // and the second occurrence is marked skippable.
+  ASSERT_EQ(CountOp(p, OpCode::kUntilMerge), 2);
+  const Instruction* first = nullptr;
+  const Instruction* second = nullptr;
+  for (const Instruction& ins : p.code) {
+    if (ins.op != OpCode::kUntilMerge) continue;
+    (first == nullptr ? first : second) = &ins;
+  }
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(first->dst, second->dst);
+  EXPECT_FALSE(first->may_skip());
+  EXPECT_TRUE(second->may_skip());
+}
+
+TEST(CompilerTest, CommutedOperandsShareViaCanonicalFingerprint) {
+  // Temporal lhs keeps each conjunction a real kAndMerge; and commutes
+  // canonically, so the swapped duplicate shares the first one's register.
+  Program p = MustCompile(
+      "(eventually exists x (moving(x)) and exists y (armed(y))) or "
+      "(exists y (armed(y)) and eventually exists x (moving(x)))");
+  ASSERT_EQ(CountOp(p, OpCode::kAndMerge), 2);
+  int may_skip = 0;
+  for (const Instruction& ins : p.code) {
+    if (ins.op == OpCode::kAndMerge && ins.may_skip()) ++may_skip;
+  }
+  EXPECT_EQ(may_skip, 1);
+}
+
+TEST(CompilerTest, CacheKeysOnlyWhenCachingIsOn) {
+  const char* text = "eventually (exists x (moving(x)))";
+  Program off = MustCompile(text);
+  EXPECT_TRUE(off.keys.empty());
+  for (const Instruction& ins : off.code) EXPECT_EQ(ins.key, -1);
+
+  QueryOptions cached;
+  cached.cache_mode = CacheMode::kReadWrite;
+  Program on = MustCompile(text, cached);
+  EXPECT_FALSE(on.keys.empty());
+  // The atomic leaf is served by the per-engine atomic cache, never by the
+  // cross-query list cache (the interpreter returns before its cache logic).
+  for (const Instruction& ins : on.code) {
+    if (ins.op == OpCode::kLoadAtomic) {
+      EXPECT_EQ(ins.key, -1);
+    }
+  }
+  bool eventually_keyed = false;
+  for (size_t pc = 0; pc < on.code.size(); ++pc) {
+    if (on.code[pc].op == OpCode::kEventually) {
+      // Its kEnter carries the probe key and a skip target past the node.
+      for (size_t e = 0; e < pc; ++e) {
+        if (on.code[e].op == OpCode::kEnter &&
+            static_cast<size_t>(on.code[e].skip_to) == pc + 1) {
+          eventually_keyed = on.code[e].key >= 0;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(eventually_keyed);
+}
+
+TEST(CompilerTest, LevelBodyCompilesToSubprogram) {
+  Program p = MustCompile("at-next-level(exists x (moving(x)))");
+  ASSERT_EQ(p.levels.size(), 1u);
+  ASSERT_EQ(p.subprograms.size(), 1u);
+  EXPECT_EQ(p.levels[0].subprogram, 0);
+  EXPECT_GT(p.levels[0].body_max, 0.0);
+  EXPECT_EQ(CountOp(p, OpCode::kLevelEval), 1);
+  EXPECT_EQ(CountOp(p.subprograms[0], OpCode::kLoadAtomic), 1);
+}
+
+TEST(CompilerTest, FreezeAndNegateCompile) {
+  Program p = MustCompile(
+      "not (exists z (type(z) = 'person' and "
+      "[h <- type(z)] eventually (type(z) = h)))");
+  EXPECT_EQ(CountOp(p, OpCode::kNegate), 1);
+  EXPECT_EQ(CountOp(p, OpCode::kFreezeJoin), 1);
+  ASSERT_EQ(p.freezes.size(), 1u);
+  EXPECT_EQ(p.freezes[0].var, "h");
+}
+
+TEST(CompilerTest, TrueAndFalseLoadConstants) {
+  Program p = MustCompile("true until false");
+  EXPECT_EQ(CountOp(p, OpCode::kLoadTrue), 1);
+  EXPECT_EQ(CountOp(p, OpCode::kLoadFalse), 1);
+  EXPECT_EQ(CountOp(p, OpCode::kUntilMerge), 1);
+}
+
+TEST(DisassembleTest, ListingIsDeterministicAndComplete) {
+  const char* text =
+      "(exists x (moving(x)) until exists y (armed(y))) and "
+      "at-next-level(exists x (moving(x)))";
+  Program p = MustCompile(text);
+  const std::string listing = Disassemble(p);
+  EXPECT_EQ(listing, Disassemble(p)) << "listing must be deterministic";
+  // Every instruction pc appears, as do the pools and the subprogram.
+  EXPECT_NE(listing.find("program: "), std::string::npos);
+  EXPECT_NE(listing.find("root: r"), std::string::npos);
+  EXPECT_NE(listing.find("until_merge"), std::string::npos);
+  EXPECT_NE(listing.find("level_eval"), std::string::npos);
+  EXPECT_NE(listing.find("subprogram 0:"), std::string::npos);
+  EXPECT_NE(listing.find("atomic[0]: "), std::string::npos);
+  // No raw pointers or addresses may leak into the listing.
+  EXPECT_EQ(listing.find("0x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vm
+}  // namespace htl
