@@ -13,6 +13,12 @@ int64_t CachedQueryResult::ByteSize() const {
   // stored, but the value is still shared with single-flight waiters).
   bytes += static_cast<int64_t>(report.failures.size() *
                                 (sizeof(RetrievalReport::VideoFailure) + 64));
+  // Pruned-video ids are corpus-sized, not result-sized: charge them so a
+  // selective query over a large store pays its true cache footprint.
+  bytes += static_cast<int64_t>(report.pruned_videos.size() *
+                                sizeof(MetadataStore::VideoId));
+  bytes += static_cast<int64_t>(report.shard_failures.size() *
+                                (sizeof(RetrievalReport::ShardFailure) + 64));
   return bytes;
 }
 
@@ -23,9 +29,13 @@ std::string OptionsFingerprint(const QueryOptions& options) {
     case EngineMode::kVm: engine = "v"; break;
     case EngineMode::kDifferential: engine = "d"; break;
   }
+  // prune and num_shards never change the ranked output (the differential
+  // battery proves bit-identity), but the *reports* they cache differ
+  // (videos_pruned, shard partitioning), so they key separately.
   return StrCat("u", options.until_threshold, "|a",
                 options.and_semantics == AndSemantics::kFuzzyMin ? "min" : "sum",
-                "|mb", options.picture.max_bindings, "|e", engine);
+                "|mb", options.picture.max_bindings, "|e", engine, "|p",
+                options.prune ? 1 : 0, "|s", options.num_shards < 1 ? 1 : options.num_shards);
 }
 
 QueryCaches::QueryCaches(const QueryOptions& options)

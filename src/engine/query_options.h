@@ -87,6 +87,25 @@ struct QueryOptions {
   /// they are proven identical.
   EngineMode engine_mode = EngineMode::kVm;
 
+  /// Bound-based top-k pruning (off by default): derive a cheap per-video
+  /// upper bound on the attainable fractional similarity (htl/bound.h over
+  /// VideoStats) and skip whole videos whose bound falls below the running
+  /// global top-k floor. Ranked output is bit-identical to the unpruned
+  /// path (proven by tests/property/prune_differential_test.cc); skipped
+  /// videos are reported in RetrievalReport::videos_pruned/pruned_videos.
+  /// See DESIGN.md "Scale-out retrieval".
+  bool prune = false;
+
+  /// Corpus shard count for scatter-gather retrieval. Values <= 1 run the
+  /// historical per-video loop byte for byte. With N > 1 the video range
+  /// splits into N contiguous shards evaluated under child ExecContexts
+  /// (serially in shard order when parallelism <= 1, otherwise scattered
+  /// over the thread pool); shards share the pruning floor through a
+  /// monotonic atomic, and a shard whose dispatch faults degrades to a
+  /// truthful partial report (RetrievalReport::shard_failures) instead of
+  /// failing the query. Gathered output is identical to the unsharded run.
+  int num_shards = 1;
+
   /// Options forwarded to the picture-retrieval substrate.
   PictureOptions picture;
 };

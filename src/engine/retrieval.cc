@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -10,11 +11,14 @@
 #include "engine/query_cache.h"
 #include "engine/reference_engine.h"
 #include "htl/binder.h"
+#include "htl/bound.h"
 #include "htl/classifier.h"
 #include "htl/fingerprint.h"
 #include "htl/parser.h"
 #include "htl/rewriter.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/fault_point.h"
 #include "util/logging.h"
 #include "util/mutex.h"
 #include "util/string_util.h"
@@ -24,7 +28,12 @@ namespace htl {
 
 std::string RetrievalReport::ToString() const {
   std::string out = StrCat("evaluated ", videos_evaluated, ", failed ", videos_failed,
-                           ", degraded-to-reference ", videos_degraded);
+                           ", degraded-to-reference ", videos_degraded, ", pruned ",
+                           videos_pruned);
+  for (const ShardFailure& sf : shard_failures) {
+    out += StrCat("; shard ", sf.shard, " lost videos [", sf.first_video, ", ",
+                  sf.last_video, "]: ", sf.status.ToString());
+  }
   for (const VideoFailure& f : failures) {
     out += StrCat("; video ", f.video, ": ", f.status.ToString());
   }
@@ -79,6 +88,51 @@ int Retriever::EffectiveWorkers() const {
   const int64_t num_videos = store_->num_videos();
   if (workers > num_videos) workers = static_cast<int>(num_videos);
   return workers < 1 ? 1 : workers;
+}
+
+std::shared_ptr<const VideoStats> Retriever::StatsFor(MetadataStore::VideoId video,
+                                                      const VideoTree& tree,
+                                                      uint64_t epoch) {
+  VideoStatsSlot* slot;
+  {
+    MutexLock lock(&stats_mu_);
+    auto it = stats_.find(video);
+    if (it == stats_.end()) {
+      it = stats_.emplace(video, std::make_unique<VideoStatsSlot>()).first;
+    }
+    slot = it->second.get();  // Map nodes are stable across later insertions.
+  }
+  MutexLock lock(&slot->mu);
+  if (slot->stats == nullptr || slot->built_epoch != epoch) {
+    slot->stats = std::make_shared<const VideoStats>(VideoStats::Build(tree));
+    slot->built_epoch = epoch;
+  }
+  return slot->stats;
+}
+
+Result<double> Retriever::BoundForVideo(const Formula& query,
+                                        MetadataStore::VideoId video,
+                                        const VideoTree& tree, int level,
+                                        uint64_t epoch) {
+  // An injected failure (any code, even an abort-shaped one) degrades to
+  // full evaluation at the caller: the bound is advisory, never load-bearing.
+  HTL_FAULT_POINT("engine.bound_compute");
+  HTL_OBS_COUNT("engine.prune.bound_checks", 1);
+  // A level past this video's hierarchy evaluates to an empty list; return
+  // the trivial bound so the video still evaluates and per-video counts
+  // stay aligned with the unpruned run.
+  if (level > tree.num_levels()) return 1.0;
+  std::shared_ptr<const VideoStats> stats = StatsFor(video, tree, epoch);
+  BoundOptions bound_options;
+  bound_options.fuzzy_and = options_.and_semantics == AndSemantics::kFuzzyMin;
+  const double ub = UpperBoundFraction(query, tree, *stats, level, bound_options);
+  if (obs::MetricsRegistry::Enabled()) {
+    static obs::Histogram* bound_hist =
+        obs::MetricsRegistry::Instance().GetHistogram(
+            "engine.prune.bound_permille", {0, 100, 250, 500, 750, 900, 1000});
+    bound_hist->Observe(static_cast<int64_t>(ub * 1000.0));
+  }
+  return ub;
 }
 
 Result<SimilarityList> Retriever::EvaluateList(MetadataStore::VideoId video_id, int level,
@@ -159,33 +213,92 @@ void MergeChunk(Part& out, Part&& part) {
   out.report.videos_evaluated += part.report.videos_evaluated;
   out.report.videos_failed += part.report.videos_failed;
   out.report.videos_degraded += part.report.videos_degraded;
+  out.report.videos_pruned += part.report.videos_pruned;
   for (RetrievalReport::VideoFailure& f : part.report.failures) {
     out.report.failures.push_back(std::move(f));
   }
+  for (MetadataStore::VideoId v : part.report.pruned_videos) {
+    out.report.pruned_videos.push_back(v);
+  }
+  for (RetrievalReport::ShardFailure& sf : part.report.shard_failures) {
+    out.report.shard_failures.push_back(std::move(sf));
+  }
   for (auto& hit : part.hits) out.hits.push_back(std::move(hit));
 }
+
+// Part types for ForEachVideo with pruning: the retrieval result plus the
+// chunk/shard-local scratch — a min-heap of the best k hit fractions seen
+// by this part. Once the heap is full its root is the part's k-th best,
+// which is a valid lower bound on the global k-th best (the k-th largest of
+// a subset never exceeds the k-th largest of the whole), so it can be
+// published to the shared floor.
+struct SegmentPart : SegmentRetrieval {
+  std::vector<double> best;
+};
+struct VideoPart : VideoRetrieval {
+  std::vector<double> best;
+};
+
+// Push one retained hit fraction into the local top-k min-heap.
+void PushBest(std::vector<double>& best, int64_t k, double fraction) {
+  if (static_cast<int64_t>(best.size()) < k) {
+    best.push_back(fraction);
+    std::push_heap(best.begin(), best.end(), std::greater<>());
+    return;
+  }
+  if (fraction <= best.front()) return;
+  std::pop_heap(best.begin(), best.end(), std::greater<>());
+  best.back() = fraction;
+  std::push_heap(best.begin(), best.end(), std::greater<>());
+}
+
+// The monotonically-rising top-k floor one query's chunks and shards share
+// (CAS-max). Relaxed ordering is sound: a stale read only weakens pruning —
+// a video evaluates that could have been skipped — never strengthens it,
+// because published values are true lower bounds on the final k-th-best
+// fraction regardless of when they are observed.
+class PruneFloor {
+ public:
+  double Get() const { return floor_.load(std::memory_order_relaxed); }
+  void Publish(double fraction) {
+    double cur = floor_.load(std::memory_order_relaxed);
+    while (cur < fraction &&
+           !floor_.compare_exchange_weak(cur, fraction, std::memory_order_relaxed)) {
+    }
+    HTL_DCHECK(Get() >= fraction) << "prune floor moved backwards";
+  }
+
+ private:
+  std::atomic<double> floor_{0.0};
+};
 
 // The store-wide per-video driver shared by the segment and whole-video
 // entry points. `eval_one(v, ctx, trace, part)` evaluates video `v` into
 // `part` and returns only query-abort errors; per-video failures are
 // recorded in the part's report.
 //
-// `workers <= 1` (or a 0/1-video store) runs the historical serial loop on
-// the calling thread — bit for bit, including a possibly-null `ctx`.
-// Otherwise the video range splits into `workers` contiguous chunks driven
-// through ParallelFor (the caller participates), each chunk under a child
-// ExecContext chained to a per-call group context: children copy the
-// caller's deadline and budgets, and the first aborting worker records its
-// status and cancels the group, draining the other chunks at their next
-// poll without touching the caller's own context. Chunk parts merge in
-// chunk order, so the output is identical to the serial loop's; per-worker
-// traces (when profiling) are stitched under the caller's innermost open
-// span, also in chunk order.
+// Unsharded (`shards <= 1`), `workers <= 1` (or a 0/1-video store) runs the
+// historical serial loop on the calling thread — bit for bit, including a
+// possibly-null `ctx`. Otherwise the video range splits into contiguous
+// pieces — corpus shards when `shards > 1`, else `workers` parallel chunks —
+// scattered through ParallelFor (the caller participates; a sharded serial
+// run keeps the pool null, so ParallelFor degrades to an in-order loop on
+// the caller). Each piece runs under a child ExecContext chained to a
+// per-call group context: children copy the caller's deadline and budgets,
+// and the first aborting worker records its status and cancels the group,
+// draining the other pieces at their next poll without touching the
+// caller's own context. A sharded piece whose scatter dispatch faults
+// ("engine.shard_dispatch") degrades to a truthful ShardFailure — its range
+// goes unevaluated, the other shards are unaffected. Piece parts merge in
+// piece order, so the gathered output is identical to the serial loop's;
+// per-piece traces (when profiling) are stitched under the caller's
+// innermost open span, also in piece order.
 template <typename Part, typename EvalOne>
-Status ForEachVideo(int64_t num_videos, ExecContext* ctx, int workers,
+Status ForEachVideo(int64_t num_videos, ExecContext* ctx, int workers, int shards,
                     ThreadPool* pool, const EvalOne& eval_one, Part& out) {
   obs::QueryTrace* tr = ctx != nullptr ? ctx->trace() : nullptr;
-  if (workers <= 1 || num_videos <= 1) {
+  const bool sharded = shards > 1 && num_videos > 0;
+  if (!sharded && (workers <= 1 || num_videos <= 1)) {
     for (MetadataStore::VideoId v = 1; v <= num_videos; ++v) {
       HTL_CHECK_EXEC(ctx);  // Deadline/cancel abort the whole call.
       HTL_RETURN_IF_ERROR(eval_one(v, ctx, tr, out));
@@ -195,23 +308,28 @@ Status ForEachVideo(int64_t num_videos, ExecContext* ctx, int workers,
   // Resolved here, not by the caller, so a serial query (the parallelism=1
   // contract, and every query on a 1-CPU host) never instantiates the
   // shared pool's worker threads.
-  if (pool == nullptr) pool = ThreadPool::Shared();
+  if (workers > 1) {
+    if (pool == nullptr) pool = ThreadPool::Shared();
+  } else {
+    pool = nullptr;  // Sharded serial: in-order shard loop on the caller.
+  }
 
-  const int64_t chunks = std::min<int64_t>(workers, num_videos);
-  // Even contiguous partition: chunk c covers [ChunkBegin(c), ChunkBegin(c+1)).
-  const auto chunk_begin = [num_videos, chunks](int64_t c) {
-    return 1 + c * num_videos / chunks;
+  const int64_t pieces = sharded ? std::min<int64_t>(shards, num_videos)
+                                 : std::min<int64_t>(workers, num_videos);
+  // Even contiguous partition: piece c covers [PieceBegin(c), PieceBegin(c+1)).
+  const auto piece_begin = [num_videos, pieces](int64_t c) {
+    return 1 + c * num_videos / pieces;
   };
 
   // The group context fans cancellation out to every worker child without
   // touching the caller's context (whose cancel flag stays the caller's to
   // set); children observe the group through the parent chain.
   ExecContext group(ctx);
-  std::vector<Part> parts(static_cast<size_t>(chunks));
+  std::vector<Part> parts(static_cast<size_t>(pieces));
   // QueryTrace is neither copyable nor movable, hence the indirection.
   std::vector<std::unique_ptr<obs::QueryTrace>> worker_traces;
   if (tr != nullptr) {
-    for (int64_t c = 0; c < chunks; ++c) {
+    for (int64_t c = 0; c < pieces; ++c) {
       worker_traces.push_back(std::make_unique<obs::QueryTrace>());
     }
   }
@@ -221,7 +339,7 @@ Status ForEachVideo(int64_t num_videos, ExecContext* ctx, int workers,
   std::atomic<bool> aborted{false};
 
   const Status loop_status = ParallelFor(
-      pool, chunks, [&](int64_t c) -> Status {
+      pool, pieces, [&](int64_t c) -> Status {
         ExecContext child(&group);
         obs::QueryTrace* wtr =
             tr != nullptr ? worker_traces[static_cast<size_t>(c)].get() : nullptr;
@@ -229,12 +347,25 @@ Status ForEachVideo(int64_t num_videos, ExecContext* ctx, int workers,
         // Fault trips under this worker land in its own trace (or nowhere
         // when unprofiled) — never in another thread's.
         obs::ScopedTraceAttach attach(wtr);
-        HTL_OBS_SPAN(wspan, wtr, "worker");
+        HTL_OBS_SPAN(wspan, wtr, sharded ? "shard" : "worker");
         wspan.SetUnit(c);
         Part& part = parts[static_cast<size_t>(c)];
-        for (int64_t v = chunk_begin(c); v < chunk_begin(c + 1); ++v) {
+        if (sharded && FaultRegistry::Armed()) {
+          // By hand rather than HTL_FAULT_POINT: a failed scatter degrades
+          // to a truthful partial report (this shard's whole range skipped,
+          // named in shard_failures), never a query failure.
+          Status dispatch = FaultRegistry::Instance().Hit("engine.shard_dispatch");
+          if (!dispatch.ok()) {
+            wspan.SetNote(StrCat("shard dispatch failed: ", dispatch.ToString()));
+            part.report.shard_failures.push_back(RetrievalReport::ShardFailure{
+                static_cast<int>(c), piece_begin(c), piece_begin(c + 1) - 1,
+                std::move(dispatch)});
+            return Status::OK();
+          }
+        }
+        for (int64_t v = piece_begin(c); v < piece_begin(c + 1); ++v) {
           // Drain once any worker aborted: the merged result is discarded,
-          // so finishing the chunk would be wasted work.
+          // so finishing the piece would be wasted work.
           if (aborted.load(std::memory_order_relaxed)) return Status::OK();
           Status s = child.Check();
           if (s.ok()) s = eval_one(v, &child, wtr, part);
@@ -304,11 +435,26 @@ template <typename ResolveLevel>
 Result<SegmentRetrieval> Retriever::RunSegmentQueryCold(
     const Formula& query, int64_t k, ExecContext* ctx,
     const ResolveLevel& resolve_level) {
-  SegmentRetrieval out;
+  const bool prune = options_.prune && k > 0;
+  PruneFloor floor;  // Shared by every chunk/shard of this query.
+  SegmentPart out;
   const auto eval_one = [&](MetadataStore::VideoId v, ExecContext* ectx,
-                            obs::QueryTrace* etr, SegmentRetrieval& part) -> Status {
+                            obs::QueryTrace* etr, SegmentPart& part) -> Status {
     const int level = resolve_level(v);
     if (level < 0) return Status::OK();  // Named level absent: silently skipped.
+    if (prune && floor.Get() > 0.0) {
+      // Before any budget or span: a pruned video is skipped outright. A
+      // bound failure (e.g. the injected engine.bound_compute fault) falls
+      // through to full evaluation — pruning only ever gets weaker.
+      Result<double> ub =
+          BoundForVideo(query, v, store_->Video(v), level, store_->epoch());
+      if (ub.ok() && ub.value() < floor.Get() - kBoundSlack) {
+        ++part.report.videos_pruned;
+        part.report.pruned_videos.push_back(v);
+        HTL_OBS_COUNT("engine.prune.videos_pruned", 1);
+        return Status::OK();
+      }
+    }
     if (ectx != nullptr) ectx->BeginUnit();  // Budgets bound each video alone.
     // One span per video; the unit carries the video id (span names stay
     // static so the unprofiled path never allocates).
@@ -334,13 +480,21 @@ Result<SegmentRetrieval> Retriever::RunSegmentQueryCold(
     // Keep at most k per video before the global merge.
     for (const RankedSegment& rs : TopKSegments(list.value(), k)) {
       part.hits.push_back(SegmentHit{v, rs.id, rs.sim});
+      if (prune) PushBest(part.best, k, rs.sim.fraction());
+    }
+    if (prune && static_cast<int64_t>(part.best.size()) >= k) {
+      floor.Publish(part.best.front());
     }
     return Status::OK();
   };
   HTL_RETURN_IF_ERROR(ForEachVideo(store_->num_videos(), ctx, EffectiveWorkers(),
-                                   options_.thread_pool, eval_one, out));
+                                   options_.num_shards, options_.thread_pool,
+                                   eval_one, out));
   RankAndTrim(out.hits, k);
-  return out;
+  SegmentRetrieval result;
+  result.hits = std::move(out.hits);
+  result.report = std::move(out.report);
+  return result;
 }
 
 Result<SegmentRetrieval> Retriever::TopSegmentsWithReport(const Formula& query,
@@ -461,9 +615,22 @@ Result<VideoRetrieval> Retriever::TopVideosWithReport(const Formula& query, int6
 
 Result<VideoRetrieval> Retriever::RunVideoQueryCold(const Formula& query, int64_t k,
                                                     ExecContext* ctx) {
-  VideoRetrieval out;
+  const bool prune = options_.prune && k > 0;
+  PruneFloor floor;  // Shared by every chunk/shard of this query.
+  VideoPart out;
   const auto eval_one = [&](MetadataStore::VideoId v, ExecContext* ectx,
-                            obs::QueryTrace* etr, VideoRetrieval& part) -> Status {
+                            obs::QueryTrace* etr, VideoPart& part) -> Status {
+    if (prune && floor.Get() > 0.0) {
+      // Whole-video queries score the root, so the bound is taken at the
+      // top level; a bound failure degrades to full evaluation.
+      Result<double> ub = BoundForVideo(query, v, store_->Video(v), 1, store_->epoch());
+      if (ub.ok() && ub.value() < floor.Get() - kBoundSlack) {
+        ++part.report.videos_pruned;
+        part.report.pruned_videos.push_back(v);
+        HTL_OBS_COUNT("engine.prune.videos_pruned", 1);
+        return Status::OK();
+      }
+    }
     if (ectx != nullptr) ectx->BeginUnit();
     HTL_OBS_SPAN(vspan, etr, "video");
     vspan.SetUnit(v);
@@ -510,11 +677,20 @@ Result<VideoRetrieval> Retriever::RunVideoQueryCold(const Formula& query, int64_
     if (degraded) vspan.SetNote("degraded");
     ++part.report.videos_evaluated;
     if (degraded) ++part.report.videos_degraded;
-    if (sim.actual > 0) part.hits.push_back(VideoHit{v, sim});
+    if (sim.actual > 0) {
+      part.hits.push_back(VideoHit{v, sim});
+      if (prune) {
+        PushBest(part.best, k, sim.fraction());
+        if (static_cast<int64_t>(part.best.size()) >= k) {
+          floor.Publish(part.best.front());
+        }
+      }
+    }
     return Status::OK();
   };
   HTL_RETURN_IF_ERROR(ForEachVideo(store_->num_videos(), ctx, EffectiveWorkers(),
-                                   options_.thread_pool, eval_one, out));
+                                   options_.num_shards, options_.thread_pool,
+                                   eval_one, out));
   std::stable_sort(out.hits.begin(), out.hits.end(),
                    [](const VideoHit& a, const VideoHit& b) {
                      if (a.sim.fraction() != b.sim.fraction()) {
@@ -525,7 +701,10 @@ Result<VideoRetrieval> Retriever::RunVideoQueryCold(const Formula& query, int64_
   if (static_cast<int64_t>(out.hits.size()) > k) {
     out.hits.resize(static_cast<size_t>(k));
   }
-  return out;
+  VideoRetrieval result;
+  result.hits = std::move(out.hits);
+  result.report = std::move(out.report);
+  return result;
 }
 
 Result<VideoRetrieval> Retriever::TopVideosProfiled(const Formula& query, int64_t k,

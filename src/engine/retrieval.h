@@ -12,6 +12,7 @@
 #include "engine/query_options.h"
 #include "htl/ast.h"
 #include "model/video.h"
+#include "model/video_stats.h"
 #include "obs/profile.h"
 #include "sim/topk.h"
 #include "util/mutex.h"
@@ -46,17 +47,40 @@ struct RetrievalReport {
     Status status;
   };
 
+  /// One shard whose scatter dispatch failed (QueryOptions::num_shards > 1):
+  /// its contiguous video range was not evaluated at all. The gathered
+  /// result truthfully covers only the healthy shards; complete() is false.
+  struct ShardFailure {
+    int shard = 0;                          // 0-based shard index.
+    MetadataStore::VideoId first_video = 0;  // Inclusive range the shard owned.
+    MetadataStore::VideoId last_video = 0;
+    Status status;
+  };
+
   int64_t videos_evaluated = 0;  // Contributed results (incl. degraded).
   int64_t videos_failed = 0;     // Skipped with an error (see failures).
   int64_t videos_degraded = 0;   // Fell back from DirectEngine to ReferenceEngine.
+  int64_t videos_pruned = 0;     // Skipped by the top-k bound, unevaluated.
   std::vector<VideoFailure> failures;  // First error per failed video, in id order.
+
+  /// Every video skipped by bound-based pruning (QueryOptions::prune), in
+  /// id order per shard/chunk. Pruning is proven not to perturb the ranked
+  /// output, so pruned ∩ top-k is always empty — the differential battery
+  /// asserts it from this list. Sized by the corpus, not the result; only
+  /// populated when pruning is on.
+  std::vector<MetadataStore::VideoId> pruned_videos;
+
+  /// Shards lost to dispatch failures, in shard order (empty when unsharded
+  /// or healthy).
+  std::vector<ShardFailure> shard_failures;
 
   /// Stage/operator/per-video profile with the fault points that fired —
   /// filled by the Retriever's *Profiled entry points, empty otherwise.
   obs::QueryProfile profile;
 
-  /// True when every video contributed (the result is exact, not partial).
-  bool complete() const { return videos_failed == 0; }
+  /// True when every video contributed or was provably irrelevant (pruned):
+  /// the result is exact, not partial.
+  bool complete() const { return videos_failed == 0 && shard_failures.empty(); }
 
   /// Human-readable one-line summary for logs (names tripped fault points).
   std::string ToString() const;
@@ -97,6 +121,14 @@ struct VideoRetrieval {
 /// output, the report, and every per-video decision are identical to the
 /// serial run (`parallelism = 1`) — see DESIGN.md "Parallel execution" for
 /// the determinism contract and the cancellation fan-out.
+///
+/// Scale-out (QueryOptions::prune / num_shards): pruning derives a cheap
+/// per-video upper bound on the attainable similarity and skips videos that
+/// provably cannot enter the current top k; sharding splits the corpus into
+/// contiguous ranges scatter-gathered under child ExecContexts, sharing the
+/// pruning floor through a monotonic atomic. Both are proven bit-identical
+/// to the plain path by tests/property/prune_differential_test.cc — see
+/// DESIGN.md "Scale-out retrieval".
 ///
 /// The retriever keeps one DirectEngine per video, so atomic picture
 /// queries and value tables are cached *across* queries. Each per-video
@@ -225,6 +257,28 @@ class Retriever {
   DirectEngine& EngineLocked(VideoEngine& slot, MetadataStore::VideoId video,
                              uint64_t epoch) HTL_REQUIRES(slot.mu);
 
+  /// One cached per-video statistics slot (bound-based pruning). Stats are
+  /// immutable once built; the shared_ptr is copied out under the slot lock
+  /// and used lock-free. Rebuilt lazily when the store epoch moves, like
+  /// VideoEngine.
+  struct VideoStatsSlot {
+    Mutex mu;
+    std::shared_ptr<const VideoStats> stats HTL_GUARDED_BY(mu);
+    uint64_t built_epoch HTL_GUARDED_BY(mu) = 0;
+  };
+
+  /// The per-video stats, (re)built at `epoch` if absent or stale.
+  std::shared_ptr<const VideoStats> StatsFor(MetadataStore::VideoId video,
+                                             const VideoTree& tree, uint64_t epoch);
+
+  /// Upper bound on the fractional similarity `query` can reach anywhere in
+  /// `video` at `level` (htl/bound.h over cached VideoStats). Carries the
+  /// "engine.bound_compute" fault point: an injected error returns non-ok
+  /// and the caller falls back to full evaluation — pruning degrades, never
+  /// the result.
+  Result<double> BoundForVideo(const Formula& query, MetadataStore::VideoId video,
+                               const VideoTree& tree, int level, uint64_t epoch);
+
   /// Worker count this query should use: options_.parallelism, with 0
   /// meaning ThreadPool::DefaultParallelism(), capped at the video count.
   int EffectiveWorkers() const;
@@ -257,6 +311,9 @@ class Retriever {
   Mutex engines_mu_;  // Guards engines_ (map shape only; slots guard themselves).
   std::map<MetadataStore::VideoId, std::unique_ptr<VideoEngine>> engines_
       HTL_GUARDED_BY(engines_mu_);
+  Mutex stats_mu_;  // Guards stats_ (map shape only; slots guard themselves).
+  std::map<MetadataStore::VideoId, std::unique_ptr<VideoStatsSlot>> stats_
+      HTL_GUARDED_BY(stats_mu_);
   std::unique_ptr<QueryCaches> caches_;  // Null when cache_mode == kOff.
   std::string options_fp_;               // Cached OptionsFingerprint(options_).
 };

@@ -87,4 +87,35 @@ VideoTree GenerateVideo(Rng& rng, const VideoGenOptions& options) {
   return video;
 }
 
+std::vector<MetadataStore::VideoId> GenerateCorpus(const CorpusGenOptions& options,
+                                                   MetadataStore* store) {
+  HTL_CHECK(store != nullptr);
+  HTL_CHECK_GE(options.num_videos, 0);
+  Rng rng(options.seed);
+  std::vector<MetadataStore::VideoId> selective;
+  for (int64_t i = 0; i < options.num_videos; ++i) {
+    VideoGenOptions video_options = options.video;
+    if (options.size_skew > 0.0 && rng.Bernoulli(options.size_skew)) {
+      video_options.min_branching *= 2;
+      video_options.max_branching *= 2;
+    }
+    VideoTree video = GenerateVideo(rng, video_options);
+    const bool is_selective = rng.Bernoulli(options.selective_fraction);
+    if (is_selective) {
+      // Plant the rare markers on the first leaf segment: a fresh object of
+      // the rare type plus a unary fact over it.
+      const ObjectId rare_id = options.video.num_objects + 1;
+      SegmentMeta& meta = video.MutableMeta(video.num_levels(), 1);
+      ObjectAppearance rare;
+      rare.id = rare_id;
+      rare.attributes["type"] = AttrValue(options.rare_type);
+      meta.AddObject(std::move(rare));
+      meta.AddFact({options.rare_fact, {rare_id}});
+    }
+    const MetadataStore::VideoId id = store->AddVideo(std::move(video));
+    if (is_selective) selective.push_back(id);
+  }
+  return selective;
+}
+
 }  // namespace htl

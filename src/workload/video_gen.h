@@ -45,6 +45,42 @@ struct VideoGenOptions {
 /// the Rng state.
 VideoTree GenerateVideo(Rng& rng, const VideoGenOptions& options);
 
+/// Parameters for a whole synthetic corpus — the 10^5..10^6-video stores the
+/// scale benches and the pruning differential battery run against. A
+/// controllable fraction of videos is "selective": one leaf segment carries
+/// a rare object type plus a rare unary fact over it, so a query targeting
+/// either marker matches exactly that fraction of the corpus (the shape that
+/// makes bound-based pruning bite — see DESIGN.md "Scale-out retrieval").
+struct CorpusGenOptions {
+  /// Corpus size (videos are appended to the store, ids ascending).
+  int64_t num_videos = 1000;
+
+  /// Per-video shape shared by the whole corpus.
+  VideoGenOptions video;
+
+  /// Probability that a video carries the rare markers.
+  double selective_fraction = 0.05;
+
+  /// The rare markers: an object of this type, and this unary fact over it,
+  /// planted on the selective video's first leaf segment. The object id is
+  /// `video.num_objects + 1`, outside the generated universe.
+  std::string rare_type = "zeppelin";
+  std::string rare_fact = "rare_event";
+
+  /// Probability that a video is generated oversized (branching doubled) —
+  /// 0 keeps sizes uniform; > 0 skews the per-video work distribution, the
+  /// adversarial case for shard balance.
+  double size_skew = 0.0;
+
+  /// Seed for the whole corpus (one Rng stream; fully reproducible).
+  uint64_t seed = 1;
+};
+
+/// Appends `options.num_videos` synthetic videos to `store` and returns the
+/// ids of the selective videos, ascending. Deterministic given the options.
+std::vector<MetadataStore::VideoId> GenerateCorpus(const CorpusGenOptions& options,
+                                                   MetadataStore* store);
+
 }  // namespace htl
 
 #endif  // HTL_WORKLOAD_VIDEO_GEN_H_

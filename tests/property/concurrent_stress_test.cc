@@ -128,6 +128,123 @@ TEST(ConcurrentStressTest, MixedQueriesAgainstOneRetrieverWithMetricsChurn) {
   EXPECT_TRUE(after.report.complete()) << after.report.ToString();
 }
 
+TEST(ConcurrentStressTest, ShardedPrunedRetrievalUnderFaultAndEpochChurn) {
+  // The scale-out path under fire: a sharded, pruning Retriever shared by
+  // racing query threads while a churn thread (a) arms and disarms the
+  // engine.shard_dispatch and engine.bound_compute fault points mid-flight,
+  // (b) bumps the store epoch so the per-video VideoStats and engine caches
+  // rebuild under contention, and a sibling thread races Cancel() against
+  // some runs. TSan is the oracle for the shared prune floor (the CAS-max
+  // atomic), the stats cache's two-lock discipline, and the fault registry;
+  // in debug builds the HTL_DCHECK inside PruneFloor::Publish additionally
+  // asserts the floor never moves backwards.
+  FaultRegistry::Instance().DisableAll();
+  MetadataStore store;
+  Rng corpus_rng(515151);
+  CorpusGenOptions corpus;
+  corpus.num_videos = 12;
+  corpus.video.levels = 2;
+  corpus.video.min_branching = 3;
+  corpus.video.max_branching = 5;
+  corpus.selective_fraction = 0.3;
+  corpus.size_skew = 0.25;
+  corpus.seed = 515151;
+  GenerateCorpus(corpus, &store);
+
+  ThreadPool pool(ThreadPool::Options{4, 0});
+  QueryOptions options;
+  options.parallelism = 4;
+  options.num_shards = 4;
+  options.prune = true;
+  options.thread_pool = &pool;
+  Retriever retriever(&store, options);  // ONE retriever, shared by all threads.
+
+  ASSERT_OK_AND_ASSIGN(
+      FormulaPtr query,
+      retriever.Prepare("exists x (type(x) = 'zeppelin' and rare_event(x))"));
+  ASSERT_OK_AND_ASSIGN(FormulaPtr broad,
+                       retriever.Prepare("exists x (moving(x))"));
+
+  constexpr int kQueryThreads = 4;
+  constexpr int kRoundsPerThread = 10;
+  std::atomic<bool> stop_churn{false};
+  std::atomic<int> failures{0};
+
+  std::thread churn([&] {
+    Rng rng(771);
+    while (!stop_churn.load(std::memory_order_relaxed)) {
+      FaultSpec spec;
+      spec.probability = 0.3;
+      FaultRegistry::Instance().Enable("engine.shard_dispatch", spec);
+      FaultRegistry::Instance().Enable("engine.bound_compute", spec);
+      std::this_thread::yield();
+      store.BumpEpoch();  // Invalidate every cached engine and VideoStats.
+      std::this_thread::yield();
+      FaultRegistry::Instance().DisableAll();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kQueryThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) * 104729 + 7);
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        const Formula& f = rng.Bernoulli(0.5) ? *query : *broad;
+        const int64_t pick = rng.UniformInt(0, 2);
+        if (pick == 0) {
+          auto r = retriever.TopSegmentsWithReport(f, 2, 3);
+          if (!IsSanctioned(r.status())) failures.fetch_add(1);
+          if (r.ok()) {
+            const RetrievalReport& report = r.value().report;
+            ExpectConsistent(report, store.num_videos());
+            // Pruning must stay truthful even under churn: the counter
+            // matches the skip list and no video is double-counted.
+            EXPECT_EQ(report.videos_pruned,
+                      static_cast<int64_t>(report.pruned_videos.size()));
+            EXPECT_LE(report.videos_evaluated + report.videos_failed +
+                          report.videos_pruned,
+                      store.num_videos());
+          }
+        } else if (pick == 1) {
+          auto r = retriever.TopVideosWithReport(f, 3);
+          if (!IsSanctioned(r.status())) failures.fetch_add(1);
+          if (r.ok()) ExpectConsistent(r.value().report, store.num_videos());
+        } else {
+          ExecContext ctx;
+          std::thread canceller([&ctx] { ctx.Cancel(); });
+          auto r = retriever.TopSegmentsWithReport(f, 2, 3, &ctx);
+          canceller.join();
+          if (!IsSanctioned(r.status())) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  stop_churn.store(true, std::memory_order_relaxed);
+  churn.join();
+  FaultRegistry::Instance().DisableAll();
+
+  EXPECT_EQ(failures.load(), 0) << "a concurrent query returned an unsanctioned status";
+
+  // Fault-free, churn-free epilogue: the shared retriever still produces a
+  // complete, correctly pruned answer.
+  ASSERT_OK_AND_ASSIGN(SegmentRetrieval after,
+                       retriever.TopSegmentsWithReport(*query, 2, 3));
+  EXPECT_TRUE(after.report.complete()) << after.report.ToString();
+  QueryOptions plain;
+  plain.parallelism = 1;
+  Retriever reference(&store, plain);
+  ASSERT_OK_AND_ASSIGN(SegmentRetrieval want,
+                       reference.TopSegmentsWithReport(*query, 2, 3));
+  ASSERT_EQ(after.hits.size(), want.hits.size());
+  for (size_t i = 0; i < want.hits.size(); ++i) {
+    EXPECT_EQ(after.hits[i].video, want.hits[i].video);
+    EXPECT_EQ(after.hits[i].segment, want.hits[i].segment);
+    EXPECT_TRUE(after.hits[i].sim == want.hits[i].sim);
+  }
+}
+
 TEST(ConcurrentStressTest, ConcurrentStrictQueriesShareEngineCache) {
   // Strict Top* calls racing over the same cold Retriever: the per-video
   // engine cache is created under contention and every thread must see the
